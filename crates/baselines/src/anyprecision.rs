@@ -1,0 +1,97 @@
+//! AnyPrecision-style joint multi-bitwidth training.
+//!
+//! AnyPrecision DNNs backpropagate, at every step, the summed losses of
+//! the model evaluated at *all* supported bitwidths (with knowledge
+//! distillation from the full-precision teacher), producing one weight
+//! set servable at any of those widths. This is the deterministic
+//! counterpart of RobustQuant's randomized training.
+
+use flexiq_nn::data::{soft_labels, Dataset};
+use flexiq_nn::exec::F32Compute;
+use flexiq_nn::graph::Graph;
+use flexiq_quant::QuantBits;
+use flexiq_train::diff::{backward, forward, Grads};
+use flexiq_train::loss::paper_loss_k;
+use flexiq_train::sgd::Sgd;
+use flexiq_train::ste::QuantMode;
+
+use crate::Result;
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct AnyPrecisionConfig {
+    /// Epochs over the training inputs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Jointly trained bitwidths.
+    pub widths: Vec<QuantBits>,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for AnyPrecisionConfig {
+    fn default() -> Self {
+        AnyPrecisionConfig {
+            epochs: 3,
+            lr: 5e-3,
+            widths: vec![QuantBits::B4, QuantBits::B6, QuantBits::B8],
+            batch: 8,
+        }
+    }
+}
+
+/// Finetunes `graph` in place at all configured widths jointly.
+pub fn train(graph: &mut Graph, data: &Dataset, cfg: &AnyPrecisionConfig) -> Result<()> {
+    let teacher = soft_labels(graph, &mut F32Compute, &data.inputs)?;
+    let mut opt = Sgd::new(graph, cfg.lr);
+    let weight = 1.0 / cfg.widths.len() as f32;
+    for epoch in 0..cfg.epochs {
+        let mut batch_grads = Grads::new(graph.num_layers());
+        let mut in_batch = 0usize;
+        for i in 0..data.inputs.len() {
+            for &bits in &cfg.widths {
+                let (y, tape) = forward(graph, &data.inputs[i], QuantMode::Uniform(bits), &[])?;
+                let (_, mut d) = paper_loss_k(&y, data.labels[i], &teacher[i])?;
+                d.map_inplace(|v| v * weight);
+                let g = backward(graph, &tape, d)?;
+                batch_grads.accumulate(&g)?;
+            }
+            in_batch += 1;
+            if in_batch == cfg.batch || i + 1 == data.inputs.len() {
+                batch_grads.scale(1.0 / in_batch as f32);
+                opt.step(graph, &batch_grads, epoch)?;
+                batch_grads = Grads::new(graph.num_layers());
+                in_batch = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Accuracy at a served bitwidth (same executor as the other schemes).
+pub fn evaluate(graph: &Graph, data: &Dataset, bits: QuantBits) -> Result<f64> {
+    crate::robustquant::evaluate(graph, data, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_nn::data::{gen_image_inputs, teacher_dataset};
+    use flexiq_nn::zoo::{ModelId, Scale};
+
+    #[test]
+    fn joint_training_serves_all_widths() {
+        let id = ModelId::RNet20;
+        let mut graph = id.build(Scale::Test).unwrap();
+        let inputs = gen_image_inputs(12, &id.input_dims(Scale::Test), 471);
+        let data = teacher_dataset(&graph, inputs).unwrap();
+        let cfg = AnyPrecisionConfig { epochs: 2, batch: 6, ..Default::default() };
+        train(&mut graph, &data, &cfg).unwrap();
+        let a4 = evaluate(&graph, &data, QuantBits::B4).unwrap();
+        let a6 = evaluate(&graph, &data, QuantBits::B6).unwrap();
+        let a8 = evaluate(&graph, &data, QuantBits::B8).unwrap();
+        assert!(a8 >= 60.0, "8-bit {a8}");
+        assert!(a6 >= a4 - 15.0, "6-bit {a6} vs 4-bit {a4}");
+    }
+}

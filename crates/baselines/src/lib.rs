@@ -1,0 +1,33 @@
+//! Competing multi-precision quantization schemes (paper §8.4, Table 5).
+//!
+//! Simplified but faithful reimplementations of the four schemes the
+//! paper compares against, all running on the same substrate so the
+//! comparison is apples-to-apples:
+//!
+//! * [`uniform`] — plain uniform channel-wise quantization at any
+//!   bitwidth (the Table 2 baselines), plus the shared layer-wise
+//!   quantized-execution hook the other schemes build on.
+//! * [`hawq`] — HAWQ(v3)-style **static layer-wise** mixed precision:
+//!   per-layer sensitivities decide which layers drop to 4 bits to meet
+//!   an average-bitwidth budget. No runtime adjustment (the paper lists
+//!   it "for reference").
+//! * [`robustquant`] — RobustQuant-style robustness training: finetune
+//!   with a *randomly sampled* bitwidth per step so one model serves all
+//!   widths ("one model to rule them all").
+//! * [`anyprecision`] — AnyPrecision-style joint training: every step
+//!   backpropagates the sum of losses at 4/6/8 bits (distillation from
+//!   the full-precision teacher).
+//! * [`ptmq`] — PTMQ-style post-training multi-bit: per-layer,
+//!   per-bitwidth MSE-refined weight scales stored side by side, selected
+//!   at runtime.
+
+pub mod anyprecision;
+pub mod hawq;
+pub mod ptmq;
+pub mod robustquant;
+pub mod uniform;
+
+pub use uniform::{uniform_accuracy, LayerWiseQuant};
+
+/// Result alias shared with the NN substrate.
+pub type Result<T> = flexiq_nn::Result<T>;

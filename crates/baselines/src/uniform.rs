@@ -1,0 +1,146 @@
+//! Uniform channel-wise quantization and the shared layer-wise hook.
+
+use flexiq_nn::data::{accuracy, Dataset};
+use flexiq_nn::exec::Compute;
+use flexiq_nn::graph::{Graph, LayerId};
+use flexiq_nn::ops::{Conv2d, Linear};
+use flexiq_quant::quantize::RANGE_EPS;
+use flexiq_quant::{QParams, QuantBits};
+use flexiq_tensor::{stats, Tensor};
+
+use crate::Result;
+
+/// Fake-quantizes a weight tensor per output channel at `bits`, with an
+/// optional scale multiplier (PTMQ's refined scales).
+pub fn fake_weight_per_channel(w: &Tensor, bits: QuantBits, scale_mult: f32) -> Tensor {
+    let c_out = w.dims().first().copied().unwrap_or(1).max(1);
+    let per = w.numel() / c_out;
+    let mut out = vec![0.0f32; w.numel()];
+    for o in 0..c_out {
+        let row = &w.data()[o * per..(o + 1) * per];
+        let abs = stats::abs_max(row).max(RANGE_EPS) * scale_mult;
+        let p = QParams::from_abs_max(abs, bits).expect("abs > 0");
+        for (i, &v) in row.iter().enumerate() {
+            out[o * per + i] = p.fake(v);
+        }
+    }
+    Tensor::from_vec(w.dims().to_vec(), out).expect("same size")
+}
+
+/// Fake-quantizes an activation per tensor at `bits` (dynamic range).
+pub fn fake_act_per_tensor(x: &Tensor, bits: QuantBits) -> Tensor {
+    let abs = stats::abs_max(x.data()).max(RANGE_EPS);
+    let p = QParams::from_abs_max(abs, bits).expect("abs > 0");
+    x.map(|v| p.fake(v))
+}
+
+/// A layer-wise quantized execution hook: each layer runs at its own
+/// bitwidth with channel-wise weight scales and per-tensor activations.
+///
+/// This is the execution model of every scheme in this crate; they
+/// differ only in how `bits` (and `scale_mult`) are chosen.
+#[derive(Debug, Clone)]
+pub struct LayerWiseQuant {
+    /// Per-layer bitwidths.
+    pub bits: Vec<QuantBits>,
+    /// Per-layer weight-scale multipliers (1.0 = plain min-max).
+    pub scale_mult: Vec<f32>,
+}
+
+impl LayerWiseQuant {
+    /// All layers at one bitwidth.
+    pub fn uniform(graph: &Graph, bits: QuantBits) -> Self {
+        LayerWiseQuant {
+            bits: vec![bits; graph.num_layers()],
+            scale_mult: vec![1.0; graph.num_layers()],
+        }
+    }
+
+    /// Parameter-weighted average bitwidth.
+    pub fn avg_bits(&self, graph: &Graph) -> f64 {
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for l in 0..graph.num_layers() {
+            let params = graph.layer(l).map(|v| v.num_params()).unwrap_or(0) as f64;
+            num += params * self.bits[l].bits() as f64;
+            den += params;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+impl Compute for LayerWiseQuant {
+    fn conv2d(&mut self, layer: LayerId, conv: &Conv2d, x: &Tensor) -> flexiq_nn::Result<Tensor> {
+        let bits = self.bits[layer];
+        let w = fake_weight_per_channel(&conv.weight, bits, self.scale_mult[layer]);
+        let xq = fake_act_per_tensor(x, bits);
+        let eff = Conv2d::new(w, conv.bias.clone(), conv.stride, conv.pad, conv.groups)?;
+        eff.forward(&xq)
+    }
+
+    fn linear(&mut self, layer: LayerId, lin: &Linear, x: &Tensor) -> flexiq_nn::Result<Tensor> {
+        let bits = self.bits[layer];
+        let w = fake_weight_per_channel(&lin.weight, bits, self.scale_mult[layer]);
+        let xq = fake_act_per_tensor(x, bits);
+        let eff = Linear::new(w, lin.bias.clone())?;
+        eff.forward(&xq)
+    }
+}
+
+/// Accuracy of plain uniform quantization at `bits` (Table 2 baselines).
+pub fn uniform_accuracy(graph: &Graph, data: &Dataset, bits: QuantBits) -> Result<f64> {
+    let mut hook = LayerWiseQuant::uniform(graph, bits);
+    accuracy(graph, &mut hook, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_nn::data::{gen_image_inputs, teacher_dataset};
+    use flexiq_nn::zoo::{ModelId, Scale};
+
+    fn dataset(id: ModelId) -> (Graph, Dataset) {
+        let graph = id.build(Scale::Test).unwrap();
+        let inputs = gen_image_inputs(12, &id.input_dims(Scale::Test), 441);
+        let data = teacher_dataset(&graph, inputs).unwrap();
+        (graph, data)
+    }
+
+    #[test]
+    fn int8_is_near_perfect_int4_degrades() {
+        let (graph, data) = dataset(ModelId::RNet20);
+        let a8 = uniform_accuracy(&graph, &data, QuantBits::B8).unwrap();
+        let a4 = uniform_accuracy(&graph, &data, QuantBits::B4).unwrap();
+        assert!(a8 >= 80.0, "INT8 {a8}");
+        assert!(a4 <= a8, "INT4 {a4} should not beat INT8 {a8}");
+    }
+
+    #[test]
+    fn uniform_int4_collapses_on_outlier_transformers() {
+        // The paper's Table 2: ViT-S drops to 0.33% under uniform INT4
+        // because activation outliers destroy the per-tensor scale.
+        let (graph, data) = dataset(ModelId::ViTS);
+        let a8 = uniform_accuracy(&graph, &data, QuantBits::B8).unwrap();
+        let a4 = uniform_accuracy(&graph, &data, QuantBits::B4).unwrap();
+        assert!(a8 >= 70.0, "INT8 {a8}");
+        // At Test scale (2 blocks, 12 samples) the collapse is muted but
+        // INT4 must clearly trail INT8; the full effect shows at Eval
+        // scale (exp_table2_accuracy: ViT INT4 in the teens).
+        assert!(a4 <= a8 - 8.0, "uniform INT4 should trail INT8: {a4} vs {a8}");
+    }
+
+    #[test]
+    fn avg_bits_accounts_parameters() {
+        let (graph, _) = dataset(ModelId::RNet20);
+        let mut lw = LayerWiseQuant::uniform(&graph, QuantBits::B8);
+        assert_eq!(lw.avg_bits(&graph), 8.0);
+        for b in lw.bits.iter_mut() {
+            *b = QuantBits::B4;
+        }
+        assert_eq!(lw.avg_bits(&graph), 4.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion benches for the compute kernels: reference GEMMs, the
+//! functional mixed-precision GEMM at several `max_4bit_ch` boundaries,
+//! bit extraction, and the dynamic OR reduction.
+//!
+//! These back the kernel-level rows of Fig. 7 and the §8.6 overhead
+//! claims: the packed 4-bit path's relative cost, and the OR pass
+//! costing a few percent of a GEMM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use flexiq_gpu_sim::kernel::MixedGemm;
+use flexiq_quant::dynamic::{dynamic_lowering, or_magnitude};
+use flexiq_quant::lowering::BitLowering;
+use flexiq_quant::QuantBits;
+use flexiq_tensor::gemm::{gemm_f32, gemm_i8};
+use flexiq_tensor::rng::seeded;
+use rand::Rng;
+
+fn bench_reference_gemms(c: &mut Criterion) {
+    let mut rng = seeded(2001);
+    let (m, n, k) = (32, 64, 256);
+    let af: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let bf: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let ai: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+    let bi: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+    let mut g = c.benchmark_group("reference_gemm_32x64x256");
+    g.bench_function("f32", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0f32; m * n];
+            gemm_f32(m, n, k, black_box(&af), black_box(&bf), &mut out);
+            out
+        })
+    });
+    g.bench_function("i8", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0i32; m * n];
+            gemm_i8(m, n, k, black_box(&ai), black_box(&bi), &mut out);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_mixed_gemm_boundaries(c: &mut Criterion) {
+    let mut rng = seeded(2002);
+    let (m, n, k) = (16, 64, 256);
+    let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+    let w: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+    let act_max = vec![100u32; k / 32];
+    let mut g = c.benchmark_group("mixed_gemm_16x64x256");
+    for boundary in [0usize, 64, 128, 192, 256] {
+        let kern = MixedGemm::new(&w, n, k, boundary, &act_max);
+        g.bench_with_input(
+            BenchmarkId::new("max_4bit_ch", boundary),
+            &boundary,
+            |bch, _| bch.iter(|| kern.run(black_box(&a), black_box(&w), m)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_bit_extraction(c: &mut Criterion) {
+    let mut rng = seeded(2003);
+    let values: Vec<i8> = (0..4096).map(|_| rng.gen_range(-64i16..=63) as i8).collect();
+    let rule = BitLowering::for_max_abs(63, QuantBits::B4);
+    let mut g = c.benchmark_group("bit_extraction_4096");
+    g.bench_function("static_lower", |bch| {
+        bch.iter(|| rule.lower_slice(black_box(&values)))
+    });
+    g.bench_function("dynamic_or_reduce", |bch| {
+        bch.iter(|| or_magnitude(black_box(&values)))
+    });
+    g.bench_function("dynamic_lowering_full", |bch| {
+        bch.iter(|| {
+            let r = dynamic_lowering(black_box(&values), QuantBits::B4);
+            r.lower_slice(black_box(&values))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_reference_gemms,
+    bench_mixed_gemm_boundaries,
+    bench_bit_extraction
+);
+criterion_main!(kernels);

@@ -1,0 +1,74 @@
+//! Criterion benches for the runtime pieces: the `max_4bit_ch` ratio
+//! switch (§8.5: "less than a few microseconds"), NPU tile execution,
+//! NPU instruction reload, and one evolutionary generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flexiq_gpu_sim::switch::RatioSwitch;
+use flexiq_npu_sim::array::{NpuConfig, Precision, SystolicArray};
+use flexiq_npu_sim::isa::{Instr, InstructionMemory};
+use flexiq_tensor::rng::seeded;
+use rand::Rng;
+
+fn bench_ratio_switch(c: &mut Criterion) {
+    // ViT-B has 74 quantizable layers.
+    let sw = RatioSwitch::new(74);
+    let bounds: Vec<usize> = (0..74).map(|i| i * 8).collect();
+    c.bench_function("ratio_switch_74_layers", |b| {
+        b.iter(|| sw.switch_to(black_box(&bounds)))
+    });
+}
+
+fn bench_instruction_reload(c: &mut Criterion) {
+    let program: Vec<Instr> = (0..64)
+        .map(|i| if i % 2 == 0 { Instr::LoadWeights { tile: i } } else { Instr::Gemm { n: 196 } })
+        .collect();
+    c.bench_function("npu_instruction_reload_64", |b| {
+        b.iter(|| {
+            let mut im = InstructionMemory::new();
+            im.load(black_box(program.clone()), 200.0)
+        })
+    });
+}
+
+fn bench_npu_tile(c: &mut Criterion) {
+    let mut rng = seeded(2101);
+    let arr = SystolicArray::new(NpuConfig::default());
+    let w: Vec<Vec<i8>> = (0..32)
+        .map(|_| (0..32).map(|_| rng.gen_range(-100i16..=100) as i8).collect())
+        .collect();
+    let a: Vec<Vec<i8>> = (0..32)
+        .map(|_| (0..64).map(|_| rng.gen_range(-100i16..=100) as i8).collect())
+        .collect();
+    c.bench_function("npu_tile_int8_32x32x64", |b| {
+        b.iter(|| arr.run_tile(Precision::Int8, black_box(&w), black_box(&a), None, None))
+    });
+}
+
+fn bench_quantized_inference(c: &mut Criterion) {
+    use flexiq_core::pipeline::{prepare, FlexiQConfig};
+    use flexiq_core::selection::Strategy;
+    use flexiq_nn::data::gen_image_inputs;
+    use flexiq_nn::zoo::{ModelId, Scale};
+    let id = ModelId::RNet20;
+    let graph = id.build(Scale::Test).unwrap();
+    let calib = gen_image_inputs(4, &id.input_dims(Scale::Test), 2102);
+    let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    let x = &calib[0];
+    let mut g = c.benchmark_group("rnet20_test_scale_inference");
+    prepared.runtime.set_ratio(0.0).unwrap();
+    g.bench_function("int8", |b| b.iter(|| prepared.runtime.infer(black_box(x))));
+    prepared.runtime.set_ratio(1.0).unwrap();
+    g.bench_function("flexiq_100", |b| b.iter(|| prepared.runtime.infer(black_box(x))));
+    g.finish();
+}
+
+criterion_group!(
+    runtime,
+    bench_ratio_switch,
+    bench_instruction_reload,
+    bench_npu_tile,
+    bench_quantized_inference
+);
+criterion_main!(runtime);

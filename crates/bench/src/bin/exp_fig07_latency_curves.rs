@@ -1,0 +1,92 @@
+//! Fig. 7: GEMM/conv latency and whole-model latency vs 4-bit ratio —
+//! ViT-Base on the GPU cost model (left) and ResNet-18 on the NPU
+//! simulator (right).
+//!
+//! Expected shape (paper §8.3): GPU latency falls almost proportionally
+//! with the ratio at the GEMM level; end-to-end the gain is diluted to
+//! ~1.4× by fp16 ops. The NPU curve is more modest at small batch
+//! (memory-bound layers), with the 100% point near half the 8-bit
+//! compute cycles.
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_gpu_sim::cost::{KernelKind, LatencyModel};
+use flexiq_gpu_sim::models::vit_base;
+use flexiq_gpu_sim::profiles::GpuProfile;
+use flexiq_npu_sim::program::{compile_layer, GemmSpec};
+use flexiq_npu_sim::NpuConfig;
+
+/// ImageNet-scale ResNet-18 convolution shapes (c_in, c_out, k, out_hw),
+/// stem excluded (§8.3 runs it off-array).
+fn resnet18_convs() -> Vec<(usize, usize, usize, usize)> {
+    let mut v = Vec::new();
+    for _ in 0..4 {
+        v.push((64, 64, 3, 56));
+    }
+    v.push((64, 128, 3, 28));
+    v.push((64, 128, 1, 28)); // downsample
+    for _ in 0..3 {
+        v.push((128, 128, 3, 28));
+    }
+    v.push((128, 256, 3, 14));
+    v.push((128, 256, 1, 14));
+    for _ in 0..3 {
+        v.push((256, 256, 3, 14));
+    }
+    v.push((256, 512, 3, 7));
+    v.push((256, 512, 1, 7));
+    for _ in 0..3 {
+        v.push((512, 512, 3, 7));
+    }
+    v
+}
+
+fn main() {
+    // Left: ViT-B on the A6000 model, batch 16.
+    let w = vit_base();
+    let m = LatencyModel::new(GpuProfile::A6000);
+    let mut gpu = ResultTable::new(
+        "Fig. 7 (left) — ViT-B on A6000, batch 16: latency (ms) vs 4-bit ratio",
+        &["Ratio%", "GEMM-only", "Model", "INT4-baseline"],
+    );
+    let int4_model = w.model_latency_us(&m, 16, KernelKind::UniformInt4) / 1e3;
+    for r in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let kind = KernelKind::FlexiQ { low_fraction: r, dynamic_extract: false };
+        gpu.row(vec![
+            format!("{:.0}", r * 100.0),
+            f2(w.gemm_latency_us(&m, 16, kind) / 1e3),
+            f2(w.model_latency_us(&m, 16, kind) / 1e3),
+            f2(int4_model),
+        ]);
+    }
+    gpu.emit("fig07_gpu_vitb");
+
+    // Right: ResNet-18 on the NPU, per-layer boundaries at the ratio.
+    let cfg = NpuConfig::default();
+    let mut npu = ResultTable::new(
+        "Fig. 7 (right) — ResNet-18 on the 32x32 NPU: latency (ms) vs 4-bit ratio",
+        &["Ratio%", "TotalCycles", "ms"],
+    );
+    for r in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let mut cycles = 0u64;
+        for (c_in, c_out, k, hw) in resnet18_convs() {
+            // Round the boundary to the NPU's 64-channel 4-bit groups.
+            let low = (((c_in as f64 * r) / 64.0).round() as usize * 64).min(c_in);
+            let spec = GemmSpec {
+                c_out,
+                c_in,
+                k_per_channel: k * k,
+                n: hw * hw,
+                low_channels: low,
+                residual_store: k == 3 && c_in == c_out,
+            };
+            let (_, lat) = compile_layer(&cfg, &spec);
+            cycles += lat.total();
+        }
+        npu.row(vec![
+            format!("{:.0}", r * 100.0),
+            cycles.to_string(),
+            f2(cycles as f64 / (cfg.freq_mhz * 1e3)),
+        ]);
+    }
+    npu.emit("fig07_npu_rnet18");
+}

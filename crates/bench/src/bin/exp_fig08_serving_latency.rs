@@ -1,0 +1,100 @@
+//! Fig. 8: median and p90 response times vs Poisson request rate for
+//! FlexiQ 25–100% ratios and the INT8/INT4 baselines (ViT-B and Swin-S
+//! service times from the GPU model).
+//!
+//! Expected shape (paper §8.3): every configuration is flat until its
+//! saturation knee, then explodes; the knee moves right with the 4-bit
+//! ratio; FlexiQ-100% sustains ~1.5–1.6× the INT8 rate at comparable
+//! p90.
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_gpu_sim::cost::{KernelKind, LatencyModel};
+use flexiq_gpu_sim::models::{swin_small, vit_base, TransformerWorkload};
+use flexiq_gpu_sim::profiles::GpuProfile;
+use flexiq_serving::sim::{simulate, ServiceModel, SimConfig};
+use flexiq_serving::stats::{median, p90};
+use flexiq_serving::{poisson, FixedLevel};
+
+/// Service model backed by the GPU latency model.
+/// Levels: 0 = INT8, 1..=4 = FlexiQ 25..100%, 5 = uniform INT4.
+struct GpuService {
+    workload: TransformerWorkload,
+    model: LatencyModel,
+}
+
+impl ServiceModel for GpuService {
+    fn service_s(&self, batch: usize, level: usize) -> f64 {
+        let kind = match level {
+            0 => KernelKind::UniformInt8,
+            5 => KernelKind::UniformInt4,
+            l => KernelKind::FlexiQ {
+                low_fraction: 0.25 * l as f64,
+                dynamic_extract: false,
+            },
+        };
+        self.workload.model_latency_us(&self.model, batch.max(1), kind) / 1e6
+    }
+
+    fn levels(&self) -> usize {
+        6
+    }
+}
+
+fn main() {
+    for workload in [vit_base(), swin_small()] {
+        let name = workload.name;
+        let svc = GpuService { workload, model: LatencyModel::new(GpuProfile::A6000) };
+        let labels = ["INT8", "F25", "F50", "F75", "F100", "INT4"];
+        let rates = [100.0, 300.0, 600.0, 900.0, 1200.0, 1500.0, 2000.0, 2500.0, 3000.0];
+        let mut med_t = ResultTable::new(
+            format!("Fig. 8 — {name}: median latency (ms) vs request rate"),
+            &["Config", "100", "300", "600", "900", "1200", "1500", "2000", "2500", "3000"],
+        );
+        let mut p90_t = ResultTable::new(
+            format!("Fig. 8 — {name}: p90 latency (ms) vs request rate"),
+            &["Config", "100", "300", "600", "900", "1200", "1500", "2000", "2500", "3000"],
+        );
+        for (level, label) in labels.iter().enumerate() {
+            let mut med_row = vec![label.to_string()];
+            let mut p90_row = vec![label.to_string()];
+            for (i, &rate) in rates.iter().enumerate() {
+                let arrivals = poisson(rate, 4.0, 801 + i as u64);
+                let res = simulate(
+                    &arrivals,
+                    &svc,
+                    &mut FixedLevel(level),
+                    SimConfig { max_batch: 32, ..Default::default() },
+                );
+                let lat = res.latencies();
+                med_row.push(f2(median(&lat) * 1e3));
+                p90_row.push(f2(p90(&lat) * 1e3));
+            }
+            med_t.row(med_row);
+            p90_t.row(p90_row);
+        }
+        let tag = name.to_lowercase().replace('-', "_");
+        med_t.emit(&format!("fig08_median_{tag}"));
+        p90_t.emit(&format!("fig08_p90_{tag}"));
+
+        // Iso-p90 sustainable-rate ratio (the paper's 1.57x claim).
+        let knee = |level: usize| -> f64 {
+            let mut best = 0.0;
+            let fine: Vec<f64> = (4..=32).map(|i| i as f64 * 100.0).collect();
+            for &rate in &fine {
+                let arrivals = poisson(rate, 4.0, 899);
+                let res = simulate(
+                    &arrivals,
+                    &svc,
+                    &mut FixedLevel(level),
+                    SimConfig { max_batch: 32, ..Default::default() },
+                );
+                if p90(&res.latencies()) < 0.25 {
+                    best = rate;
+                }
+            }
+            best
+        };
+        let (r8, rf) = (knee(0), knee(4));
+        println!("{name}: FlexiQ-100% sustains {:.2}x the INT8 rate at iso-p90\n", rf / r8.max(1.0));
+    }
+}

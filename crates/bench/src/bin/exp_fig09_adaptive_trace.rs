@@ -1,0 +1,100 @@
+//! Fig. 9: median latency under a fluctuating Azure-like request trace —
+//! FlexiQ's adaptive ratio controller vs fixed INT8 / INT4.
+//!
+//! Expected shape (paper §8.3): as the rate swings between ~500 and
+//! ~1500 rps, INT8's median latency blows up at the peaks; the adaptive
+//! policy tracks INT4's latency at peak load while serving mostly-8-bit
+//! (higher accuracy) in the valleys.
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_gpu_sim::cost::{KernelKind, LatencyModel};
+use flexiq_gpu_sim::models::{vit_base, TransformerWorkload};
+use flexiq_gpu_sim::profiles::GpuProfile;
+use flexiq_serving::controller::{profile_offline, AdaptiveController};
+use flexiq_serving::sim::{simulate, ServiceModel, SimConfig};
+use flexiq_serving::stats::{median, windowed_median};
+use flexiq_serving::{azure_like_trace, FixedLevel};
+
+struct GpuService {
+    workload: TransformerWorkload,
+    model: LatencyModel,
+}
+
+impl ServiceModel for GpuService {
+    fn service_s(&self, batch: usize, level: usize) -> f64 {
+        let kind = match level {
+            0 => KernelKind::UniformInt8,
+            l => KernelKind::FlexiQ { low_fraction: 0.25 * l as f64, dynamic_extract: false },
+        };
+        self.workload.model_latency_us(&self.model, batch.max(1), kind) / 1e6
+    }
+
+    fn levels(&self) -> usize {
+        5
+    }
+}
+
+fn main() {
+    let svc = GpuService { workload: vit_base(), model: LatencyModel::new(GpuProfile::A6000) };
+    let cfg = SimConfig { max_batch: 32, ..Default::default() };
+    let (arrivals, segments) = azure_like_trace(500.0, 2.0, 15, 901);
+
+    // Offline profile (Fig. 8) drives the controller.
+    let profile = profile_offline(
+        &svc,
+        &[200.0, 500.0, 800.0, 1000.0, 1200.0, 1400.0, 1600.0],
+        3.0,
+        cfg,
+        902,
+    );
+    let threshold = 0.15; // 150 ms — the paper's stable band is 100–150 ms
+    let mut adaptive = AdaptiveController::new(profile, threshold);
+
+    let res_adapt = simulate(&arrivals, &svc, &mut adaptive, cfg);
+    let res_int8 = simulate(&arrivals, &svc, &mut FixedLevel(0), cfg);
+    let res_int4 = simulate(&arrivals, &svc, &mut FixedLevel(4), cfg);
+
+    let mut table = ResultTable::new(
+        "Fig. 9 — ViT-B under a fluctuating trace: windowed median latency (ms)",
+        &["t(s)", "rate(rps)", "INT8", "FlexiQ-adaptive", "INT4", "level"],
+    );
+    let w = 2.0;
+    let m8 = windowed_median(&res_int8.time_series(), w);
+    let ma = windowed_median(&res_adapt.time_series(), w);
+    let m4 = windowed_median(&res_int4.time_series(), w);
+    let lvl_at = |t: f64| -> usize {
+        res_adapt
+            .level_changes
+            .iter()
+            .rev()
+            .find(|(tt, _)| *tt <= t)
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    };
+    for (i, &(t, v8)) in m8.iter().enumerate() {
+        let rate = segments.get((t / 2.0) as usize).map(|s| s.1).unwrap_or(0.0);
+        let va = ma.get(i).map(|x| x.1).unwrap_or(f64::NAN);
+        let v4 = m4.get(i).map(|x| x.1).unwrap_or(f64::NAN);
+        table.row(vec![
+            f2(t),
+            f2(rate),
+            f2(v8 * 1e3),
+            f2(va * 1e3),
+            f2(v4 * 1e3),
+            lvl_at(t).to_string(),
+        ]);
+    }
+    table.emit("fig09_adaptive_trace");
+    println!(
+        "overall medians (ms): INT8 {:.1}, adaptive {:.1}, INT4 {:.1}; mean adaptive level {:.2} (0=INT8..4=100%)",
+        median(&res_int8.latencies()) * 1e3,
+        median(&res_adapt.latencies()) * 1e3,
+        median(&res_int4.latencies()) * 1e3,
+        res_adapt.mean_level()
+    );
+    println!(
+        "accuracy note: the adaptive policy serves level 0–1 in the valleys, so its\n\
+         time-averaged accuracy tracks INT8's (paper: 84.64% vs 84.72%); see\n\
+         results/table2_accuracy.csv for the accuracy at each level."
+    );
+}

@@ -1,0 +1,37 @@
+//! Fig. 10: percentage of 4-bit channels per layer as the global ratio
+//! rises from 25% to 100%, under the evolutionary selection.
+//!
+//! Expected shape (paper §8.5): non-uniform per-layer ratios at 25–75%
+//! (the algorithm spends the 4-bit budget where it is cheapest) that all
+//! converge to 100% at the top level, with the excluded first/last
+//! layers pinned at 0%.
+
+use flexiq_bench::{pct, ExpScale, Fixture, ResultTable};
+use flexiq_core::selection::Strategy;
+use flexiq_nn::zoo::ModelId;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    for id in [ModelId::ViTS, ModelId::RNet50] {
+        let fx = Fixture::new(id, scale);
+        let prepared = fx.prepare(Strategy::Evolutionary(Fixture::evolution()));
+        let schedule = &prepared.schedule_original;
+        let model = prepared.runtime.model();
+        let mut table = ResultTable::new(
+            format!("Fig. 10 — {}: % of 4-bit channels per layer", id.name()),
+            &["Layer", "25%", "50%", "75%", "100%"],
+        );
+        for l in 0..fx.graph.num_layers() {
+            let mut row = vec![fx.graph.layer_label(l)];
+            for plan in &schedule.plans {
+                let groups = &plan.low_groups[l];
+                let total = groups.len().max(1);
+                let low = groups.iter().filter(|&&b| b).count();
+                let _ = model;
+                row.push(pct(100.0 * low as f64 / total as f64));
+            }
+            table.row(row);
+        }
+        table.emit(&format!("fig10_layer_ratios_{}", id.name().to_lowercase().replace('-', "_")));
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 11: random vs greedy vs evolutionary channel selection,
+//! 0–100% 4-bit ratios.
+//!
+//! Expected shape (paper §8.5): greedy and evolutionary beat random by
+//! 1.5–2% at mid ratios; evolutionary adds another 0.2–1% over greedy
+//! (more on models where greedy's locally-good picks amplify error
+//! downstream).
+
+use flexiq_bench::{pct, ExpScale, Fixture, ResultTable};
+use flexiq_core::selection::Strategy;
+use flexiq_nn::zoo::ModelId;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let mut table = ResultTable::new(
+        "Fig. 11 — selection strategies, accuracy (%) per 4-bit ratio",
+        &["Model", "Strategy", "25%", "50%", "75%", "100%"],
+    );
+    for id in [ModelId::RNet18, ModelId::ViTS, ModelId::SwinS, ModelId::MNetV2] {
+        let fx = Fixture::new(id, scale);
+        for (name, strategy) in [
+            ("random", Strategy::Random),
+            ("greedy", Strategy::Greedy),
+            ("evolutionary", Strategy::Evolutionary(Fixture::evolution())),
+        ] {
+            let prepared = fx.prepare(strategy);
+            let mut row = vec![id.name().to_string(), name.to_string()];
+            for level in 0..prepared.runtime.num_levels() {
+                prepared.runtime.set_level(level).unwrap();
+                row.push(pct(prepared.runtime.accuracy(&fx.data).unwrap()));
+            }
+            table.row(row);
+        }
+        eprintln!("[{} done]", id.name());
+    }
+    table.emit("fig11_selection_cmp");
+}

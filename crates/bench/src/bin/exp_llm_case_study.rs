@@ -1,0 +1,102 @@
+//! §8.10 case study: applying FlexiQ to a small language model.
+//!
+//! Expected shape (paper): INT8 perplexity slightly above full
+//! precision; FlexiQ degrades gracefully from 25% to 100% 4-bit; uniform
+//! INT4 explodes (the paper measures 10938 vs FlexiQ's 39.6 on
+//! OPT-350m).
+
+use flexiq_baselines::LayerWiseQuant;
+use flexiq_bench::ResultTable;
+use flexiq_core::pipeline::{prepare, FlexiQConfig};
+use flexiq_core::selection::Strategy;
+use flexiq_nn::data::{gen_token_stream, lm_sequences, perplexity};
+use flexiq_nn::exec::F32Compute;
+use flexiq_nn::qexec::QuantCompute;
+use flexiq_nn::zoo::{ModelId, Scale, TinyLmCfg};
+use flexiq_quant::QuantBits;
+
+/// Trains the LM on the synthetic stream with plain next-token CE, so
+/// the full-precision model has real predictive power to lose (a random
+/// LM's perplexity sits *above* the uniform floor, which would invert
+/// the comparison).
+fn train_lm(graph: &mut flexiq_nn::Graph, seqs: &[flexiq_tensor::Tensor], epochs: usize) {
+    use flexiq_nn::ops::act::softmax_lastdim;
+    use flexiq_train::diff::{backward, forward};
+    use flexiq_train::sgd::Sgd;
+    use flexiq_train::ste::QuantMode;
+    let mut opt = Sgd::new(graph, 0.1);
+    opt.decay_every = 50; // keep the LR up for the short run
+    opt.weight_decay = 1e-5;
+    for epoch in 0..epochs {
+        for seq in seqs {
+            let (logits, tape) = forward(graph, seq, QuantMode::Fp32, &[]).unwrap();
+            let dims = logits.dims().to_vec();
+            let (t, v) = (dims[0], dims[1]);
+            let probs = softmax_lastdim(&logits).unwrap();
+            let mut d = probs.into_vec();
+            // Positions 0..T-1 predict the next token; the last position
+            // has no target and contributes no gradient.
+            for i in 0..t - 1 {
+                let target = seq.data()[i + 1] as usize;
+                d[i * v + target] -= 1.0;
+            }
+            for x in &mut d[(t - 1) * v..] {
+                *x = 0.0;
+            }
+            let scale = 1.0 / (t - 1) as f32;
+            let dlogits =
+                flexiq_tensor::Tensor::from_vec(dims, d.iter().map(|&x| x * scale).collect())
+                    .unwrap();
+            let grads = backward(graph, &tape, dlogits).unwrap();
+            opt.step(graph, &grads, epoch).unwrap();
+        }
+    }
+}
+
+fn main() {
+    let mut graph = ModelId::TinyLm.build(Scale::Eval).unwrap();
+    let cfg = TinyLmCfg::at(Scale::Eval);
+    let calib_seqs = lm_sequences(&gen_token_stream(cfg.vocab, 64 * cfg.context, 1001), cfg.context);
+    let eval_seqs = lm_sequences(&gen_token_stream(cfg.vocab, 96 * cfg.context, 1002), cfg.context);
+    let train_seqs =
+        lm_sequences(&gen_token_stream(cfg.vocab, 192 * cfg.context, 1003), cfg.context);
+    eprintln!("[training TinyLm on the synthetic stream]");
+    train_lm(&mut graph, &train_seqs, 60);
+    let graph = graph;
+
+    let mut table = ResultTable::new(
+        "§8.10 — TinyLm perplexity on a synthetic token stream",
+        &["Config", "Perplexity"],
+    );
+    let fp = perplexity(&graph, &mut F32Compute, &eval_seqs).unwrap();
+    table.row(vec!["FP32".into(), format!("{fp:.2}")]);
+
+    let mut pcfg = FlexiQConfig::new(8, Strategy::Greedy);
+    pcfg.fitness_samples = 4;
+    let prepared = prepare(&graph, &calib_seqs, &pcfg).unwrap();
+    let model = prepared.runtime.model();
+    let rt_graph = prepared.runtime.graph();
+
+    let ppl_at = |plan: flexiq_nn::qexec::MixedPlan| -> f64 {
+        let mut hook = QuantCompute::new(model, plan, Default::default()).unwrap();
+        perplexity(rt_graph, &mut hook, &eval_seqs).unwrap()
+    };
+    table.row(vec![
+        "INT8 (FlexiQ 0%)".into(),
+        format!("{:.2}", ppl_at(flexiq_nn::qexec::MixedPlan::all_high(model))),
+    ]);
+    for (i, &r) in prepared.runtime.schedule().ratios.iter().enumerate() {
+        table.row(vec![
+            format!("FlexiQ {:.0}%", r * 100.0),
+            format!("{:.2}", ppl_at(prepared.runtime.schedule().plans[i].clone())),
+        ]);
+    }
+    let mut int4 = LayerWiseQuant::uniform(&graph, QuantBits::B4);
+    let p4 = perplexity(&graph, &mut int4, &eval_seqs).unwrap();
+    table.row(vec!["Uniform INT4".into(), format!("{p4:.2}")]);
+    table.emit("llm_case_study");
+    println!(
+        "Shape check: FP ≤ INT8 < FlexiQ 25..100% ≪ Uniform INT4 (paper §8.10:\n\
+         22.0 / 27.6 / 28.7–39.6 / 10938 on OPT-350m)."
+    );
+}

@@ -1,0 +1,31 @@
+//! Table 3: end-to-end ViT-Base latency under different quantization /
+//! deployment stacks, batch 16–128 on the A6000 model.
+//!
+//! Expected shape (paper §8.3): our INT8 < TensorRT INT8 < CUTLASS INT8;
+//! FlexiQ-100% ≈ our INT4 (within a few percent); CUTLASS INT4 ≈ CUTLASS
+//! INT8 (layout transform eats the gain); TensorRT weight-only INT4 is
+//! the slowest.
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_gpu_sim::cost::LatencyModel;
+use flexiq_gpu_sim::frameworks::Framework;
+use flexiq_gpu_sim::models::vit_base;
+use flexiq_gpu_sim::profiles::GpuProfile;
+
+fn main() {
+    let w = vit_base();
+    let m = LatencyModel::new(GpuProfile::A6000);
+    let batches = [16usize, 32, 64, 128];
+    let mut table = ResultTable::new(
+        "Table 3 — ViT-B end-to-end latency (ms) by framework and batch",
+        &["Method", "b=16", "b=32", "b=64", "b=128"],
+    );
+    for f in Framework::ALL {
+        let mut row = vec![f.label().to_string()];
+        for &b in &batches {
+            row.push(f2(f.latency_us(&w, &m, b) / 1e3));
+        }
+        table.row(row);
+    }
+    table.emit("table3_frameworks");
+}

@@ -1,0 +1,52 @@
+//! Table 4: ViT-Base latency across GPU generations at batch 16 and 128.
+//!
+//! Expected shape (paper §8.3): FlexiQ speedups are roughly proportional
+//! to the 4-bit ratio on every device **except the A100**, whose low
+//! CUDA-core/tensor-core throughput ratio bottlenecks the bit-shift
+//! accumulation stage of the mixed kernel.
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_gpu_sim::cost::{KernelKind, LatencyModel};
+use flexiq_gpu_sim::models::vit_base;
+use flexiq_gpu_sim::profiles::GpuProfile;
+
+fn main() {
+    let w = vit_base();
+    for &batch in &[16usize, 128] {
+        let mut table = ResultTable::new(
+            format!("Table 4 — ViT-B latency (ms) across GPUs, batch {batch}"),
+            &["Method", "3090", "A6000", "A100", "L40S"],
+        );
+        let kinds: Vec<(String, KernelKind)> = vec![
+            ("INT8".into(), KernelKind::UniformInt8),
+            ("FlexiQ 25%".into(), KernelKind::FlexiQ { low_fraction: 0.25, dynamic_extract: false }),
+            ("FlexiQ 50%".into(), KernelKind::FlexiQ { low_fraction: 0.5, dynamic_extract: false }),
+            ("FlexiQ 75%".into(), KernelKind::FlexiQ { low_fraction: 0.75, dynamic_extract: false }),
+            ("FlexiQ 100%".into(), KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false }),
+            ("INT4".into(), KernelKind::UniformInt4),
+        ];
+        for (label, kind) in kinds {
+            let mut row = vec![label];
+            for gpu in GpuProfile::ALL {
+                let m = LatencyModel::new(gpu);
+                row.push(f2(w.model_latency_us(&m, batch, kind) / 1e3));
+            }
+            table.row(row);
+        }
+        table.emit(&format!("table4_gpus_b{batch}"));
+    }
+    // The A100 anomaly, quantified.
+    let speedup = |gpu: GpuProfile| {
+        let m = LatencyModel::new(gpu);
+        w.model_latency_us(&m, 128, KernelKind::UniformInt8)
+            / w.model_latency_us(
+                &m,
+                128,
+                KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+            )
+    };
+    println!("FlexiQ-100% speedup over INT8 at batch 128:");
+    for gpu in GpuProfile::ALL {
+        println!("  {:6} {:.2}x (cuda/tensor ratio {:.3})", gpu.name, speedup(gpu), gpu.cuda_tensor_ratio());
+    }
+}

@@ -1,0 +1,105 @@
+//! Table 5: FlexiQ vs multi-precision adaptive baselines at average
+//! bitwidths 4/6/8, reported as accuracy relative to full precision.
+//!
+//! Expected shape (paper §8.4): FlexiQ achieves the highest relative
+//! accuracy at 4- and 6-bit averages; HAWQ-style static layer-wise
+//! assignment trails because whole layers at 4 bit diverge; the
+//! trained schemes (RobustQuant/AnyPrecision-style) recover some 4-bit
+//! accuracy but give up fine-grained selection.
+
+use flexiq_baselines::{anyprecision, hawq, ptmq, robustquant};
+use flexiq_bench::{f2, ExpScale, Fixture, ResultTable};
+use flexiq_core::selection::Strategy;
+use flexiq_nn::zoo::ModelId;
+use flexiq_quant::QuantBits;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let mut table = ResultTable::new(
+        "Table 5 — multi-precision schemes, relative accuracy (Δ% vs FP)",
+        &["Model", "Method", "4-bit", "6-bit", "8-bit"],
+    );
+    for id in [ModelId::RNet18, ModelId::RNet50, ModelId::ViTB, ModelId::DeiTS] {
+        let fx = Fixture::new(id, scale);
+        let fp = 100.0; // teacher agreement of the FP32 model
+
+        // FlexiQ: avg 4 bits = 100% 4-bit; avg 6 = 50%; avg 8 = 0%.
+        let prepared = fx.prepare(Strategy::Evolutionary(Fixture::evolution()));
+        let at_ratio = |r: f64| {
+            prepared.runtime.set_ratio(r).unwrap();
+            prepared.runtime.accuracy(&fx.data).unwrap()
+        };
+        table.row(vec![
+            id.name().into(),
+            "FlexiQ (ours)".into(),
+            f2(at_ratio(1.0) - fp),
+            f2(at_ratio(0.5) - fp),
+            f2(at_ratio(0.0) - fp),
+        ]);
+
+        // HAWQ-style static layer-wise assignment.
+        let h = |bits: f64| {
+            hawq::evaluate(&fx.graph, &fx.data, bits, &fx.calib[..4]).unwrap() - fp
+        };
+        table.row(vec![
+            id.name().into(),
+            "HAWQ-style".into(),
+            f2(h(4.0)),
+            f2(h(6.0)),
+            f2(h(8.0)),
+        ]);
+
+        // PTMQ-style multi-bit scale sets.
+        let ptmq_model = ptmq::calibrate(
+            &fx.graph,
+            &[QuantBits::B4, QuantBits::B6, QuantBits::B8],
+        )
+        .unwrap();
+        let p = |b: QuantBits| ptmq_model.evaluate(&fx.graph, &fx.data, b).unwrap() - fp;
+        table.row(vec![
+            id.name().into(),
+            "PTMQ-style".into(),
+            f2(p(QuantBits::B4)),
+            f2(p(QuantBits::B6)),
+            f2(p(QuantBits::B8)),
+        ]);
+
+        // RobustQuant-style randomized-bitwidth training.
+        let mut rq_graph = fx.graph.clone();
+        let rq_cfg = robustquant::RobustTrainConfig {
+            epochs: scale.finetune_epochs.max(1),
+            ..Default::default()
+        };
+        let train_data = flexiq_nn::data::Dataset {
+            inputs: fx.data.inputs[..16.min(fx.data.len())].to_vec(),
+            labels: fx.data.labels[..16.min(fx.data.len())].to_vec(),
+        };
+        robustquant::train(&mut rq_graph, &train_data, &rq_cfg).unwrap();
+        let r = |b: QuantBits| robustquant::evaluate(&rq_graph, &fx.data, b).unwrap() - fp;
+        table.row(vec![
+            id.name().into(),
+            "RobustQuant-style".into(),
+            f2(r(QuantBits::B4)),
+            f2(r(QuantBits::B6)),
+            f2(r(QuantBits::B8)),
+        ]);
+
+        // AnyPrecision-style joint training.
+        let mut ap_graph = fx.graph.clone();
+        let ap_cfg = anyprecision::AnyPrecisionConfig {
+            epochs: scale.finetune_epochs.max(1),
+            ..Default::default()
+        };
+        anyprecision::train(&mut ap_graph, &train_data, &ap_cfg).unwrap();
+        let a = |b: QuantBits| anyprecision::evaluate(&ap_graph, &fx.data, b).unwrap() - fp;
+        table.row(vec![
+            id.name().into(),
+            "AnyPrecision-style".into(),
+            f2(a(QuantBits::B4)),
+            f2(a(QuantBits::B6)),
+            f2(a(QuantBits::B8)),
+        ]);
+        eprintln!("[{} done]", id.name());
+    }
+    table.emit("table5_baselines");
+}

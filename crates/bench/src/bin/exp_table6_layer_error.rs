@@ -1,0 +1,71 @@
+//! Table 6: propagated per-layer L1 error of evolutionary vs greedy vs
+//! random selection on a transformer's Q/K/V projection layers.
+//!
+//! Expected shape (paper §8.8): errors grow with depth (amplification)
+//! and with the 4-bit ratio; evolutionary ≤ greedy ≤ random, with the
+//! evolutionary advantage widening in deeper layers.
+
+use flexiq_bench::{ExpScale, Fixture, ResultTable};
+use flexiq_core::layer_error::propagated_layer_errors;
+use flexiq_core::selection::Strategy;
+use flexiq_nn::graph::Op;
+use flexiq_nn::zoo::ModelId;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let fx = Fixture::new(ModelId::ViTB, scale);
+    // Q/K/V projection layers: the first projection of each attention
+    // node stands in for the block (they share the input tensor).
+    let mut qkv_layers = Vec::new();
+    for node in fx.graph.nodes() {
+        if matches!(node.op, Op::Attention(_)) {
+            qkv_layers.push(node.layers[0]);
+        }
+    }
+    let samples = &fx.data.inputs[..8.min(fx.data.inputs.len())];
+
+    let mut table = ResultTable::new(
+        "Table 6 — ViT-B Q/K/V projection output L1 error vs 8-bit",
+        &[
+            "Layer", "E25", "G25", "R25", "E50", "G50", "R50", "E75", "G75", "R75",
+        ],
+    );
+    let mut per_strategy = Vec::new();
+    for strategy in [
+        Strategy::Evolutionary(Fixture::evolution()),
+        Strategy::Greedy,
+        Strategy::Random,
+    ] {
+        let prepared = fx.prepare(strategy);
+        let mut per_ratio = Vec::new();
+        for level in 0..3 {
+            let errs = propagated_layer_errors(
+                prepared.runtime.graph(),
+                prepared.runtime.model(),
+                &prepared.runtime.schedule().plans[level],
+                samples,
+                Default::default(),
+            )
+            .unwrap();
+            per_ratio.push(errs);
+        }
+        per_strategy.push(per_ratio);
+    }
+    for (i, &l) in qkv_layers.iter().enumerate() {
+        let mut row = vec![format!("attn#{i} (layer {l})")];
+        for ratio in 0..3 {
+            for strat in 0..3 {
+                row.push(format!("{:.4}", per_strategy[strat][ratio][l]));
+            }
+        }
+        // Reorder columns: ratio-major (E,G,R per ratio).
+        let mut ordered = vec![row[0].clone()];
+        for ratio in 0..3 {
+            for strat in 0..3 {
+                ordered.push(row[1 + ratio * 3 + strat].clone());
+            }
+        }
+        table.row(ordered);
+    }
+    table.emit("table6_layer_error");
+}

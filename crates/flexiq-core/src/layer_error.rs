@@ -1,0 +1,273 @@
+//! Per-layer error analyses (paper Fig. 14 and Table 6).
+//!
+//! Two views of where mixed-precision error comes from:
+//!
+//! * [`isolated_layer_errors`] — Fig. 14's setup: each layer is fed its
+//!   *full-precision* input and computed under INT8, uniform INT4, and
+//!   FlexiQ mixed plans; the normalized L2 distance to the 8-bit output
+//!   shows how much error a single layer introduces.
+//! * [`propagated_layer_errors`] — Table 6's setup: the whole network
+//!   runs under a mixed plan and each layer's output is compared to the
+//!   full 8-bit run, exposing inter-layer error amplification (which the
+//!   evolutionary selection explicitly optimizes against).
+
+use flexiq_nn::exec::{run_traced, Compute, F32Compute};
+use flexiq_nn::graph::{Graph, LayerId, Op};
+use flexiq_nn::ops::{Conv2d, Linear};
+use flexiq_nn::qexec::{MixedPlan, QuantCompute, QuantExecOptions, QuantizedModel};
+use flexiq_tensor::{stats, Tensor};
+
+use crate::Result;
+
+/// Isolated error of one layer under one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolatedLayerError {
+    /// The layer.
+    pub layer: LayerId,
+    /// Normalized L2 distance of uniform INT4 output to INT8 output.
+    pub uniform_int4: f64,
+    /// Normalized L2 distance of the FlexiQ plan's output to INT8.
+    pub flexiq: f64,
+}
+
+/// Captures the f32 input of every quantizable layer on one sample.
+struct InputCapture {
+    inputs: Vec<Option<Tensor>>,
+}
+
+impl Compute for InputCapture {
+    fn conv2d(&mut self, layer: LayerId, conv: &Conv2d, x: &Tensor) -> flexiq_nn::Result<Tensor> {
+        if self.inputs[layer].is_none() {
+            self.inputs[layer] = Some(x.clone());
+        }
+        conv.forward(x)
+    }
+
+    fn linear(&mut self, layer: LayerId, lin: &Linear, x: &Tensor) -> flexiq_nn::Result<Tensor> {
+        if self.inputs[layer].is_none() {
+            self.inputs[layer] = Some(x.clone());
+        }
+        lin.forward(x)
+    }
+}
+
+/// Computes one layer's output from a given input under a hook.
+fn layer_output(
+    graph: &Graph,
+    layer: LayerId,
+    x: &Tensor,
+    hook: &mut dyn Compute,
+) -> Result<Tensor> {
+    let (node, slot) = graph.layer_location(layer)?;
+    match (&graph.nodes()[node].op, slot) {
+        (Op::Conv2d(c), 0) => hook.conv2d(layer, c, x),
+        (Op::Linear(l), 0) => hook.linear(layer, l, x),
+        (Op::Attention(a), s) | (Op::WindowAttention(flexiq_nn::ops::WindowAttention { attn: a, .. }), s) => {
+            let lin = match s {
+                0 => &a.q,
+                1 => &a.k,
+                2 => &a.v,
+                _ => &a.o,
+            };
+            hook.linear(layer, lin, x)
+        }
+        _ => Err(flexiq_nn::NnError::BadLayer(layer)),
+    }
+}
+
+/// Fig. 14: per-layer isolated errors of uniform INT4 and a FlexiQ plan,
+/// normalized to the L2 norm of the layer's INT8 output, averaged over
+/// the samples.
+pub fn isolated_layer_errors(
+    graph: &Graph,
+    model: &QuantizedModel,
+    plan: &MixedPlan,
+    inputs: &[Tensor],
+    opts: QuantExecOptions,
+) -> Result<Vec<IsolatedLayerError>> {
+    let n = graph.num_layers();
+    let mut acc_int4 = vec![0.0f64; n];
+    let mut acc_flexi = vec![0.0f64; n];
+    for sample in inputs {
+        // Capture f32 inputs of every layer.
+        let mut cap = InputCapture { inputs: vec![None; n] };
+        flexiq_nn::exec::run(graph, sample, &mut cap)?;
+        let mut int8 = QuantCompute::new(model, MixedPlan::all_high(model), opts)?;
+        let mut int4 = QuantCompute::new(model, MixedPlan::all_low(model), opts)?;
+        let mut flexi = QuantCompute::new(model, plan.clone(), opts)?;
+        for l in 0..n {
+            let Some(x) = &cap.inputs[l] else { continue };
+            let y8 = layer_output(graph, l, x, &mut int8)?;
+            let y4 = layer_output(graph, l, x, &mut int4)?;
+            let yf = layer_output(graph, l, x, &mut flexi)?;
+            let norm = stats::l2_norm(y8.data()).max(1e-9) as f64;
+            acc_int4[l] += stats::l2_distance(y8.data(), y4.data()) as f64 / norm;
+            acc_flexi[l] += stats::l2_distance(y8.data(), yf.data()) as f64 / norm;
+        }
+    }
+    let count = inputs.len().max(1) as f64;
+    Ok((0..n)
+        .map(|l| IsolatedLayerError {
+            layer: l,
+            uniform_int4: acc_int4[l] / count,
+            flexiq: acc_flexi[l] / count,
+        })
+        .collect())
+}
+
+/// Table 6: per-layer **propagated** L1 errors of a mixed plan relative
+/// to full 8-bit inference, averaged over samples.
+///
+/// Output `errors[l]` is the mean absolute difference of layer `l`'s
+/// owning node output between the plan run and the INT8 run — deeper
+/// layers accumulate upstream error, which is the amplification the
+/// evolutionary selection minimizes.
+pub fn propagated_layer_errors(
+    graph: &Graph,
+    model: &QuantizedModel,
+    plan: &MixedPlan,
+    inputs: &[Tensor],
+    opts: QuantExecOptions,
+) -> Result<Vec<f64>> {
+    let n_nodes = graph.nodes().len();
+    let mut per_node = vec![0.0f64; n_nodes];
+    for sample in inputs {
+        let mut int8 = QuantCompute::new(model, MixedPlan::all_high(model), opts)?;
+        let ref_trace = run_traced(graph, sample, &mut int8)?;
+        let mut mixed = QuantCompute::new(model, plan.clone(), opts)?;
+        let mix_trace = run_traced(graph, sample, &mut mixed)?;
+        for (nid, (a, b)) in ref_trace.iter().zip(mix_trace.iter()).enumerate() {
+            if let (Some(a), Some(b)) = (a, b) {
+                per_node[nid] += stats::l1_distance(a.data(), b.data()) as f64;
+            }
+        }
+    }
+    let count = inputs.len().max(1) as f64;
+    // Report per quantizable layer via its owning node.
+    let mut out = Vec::with_capacity(graph.num_layers());
+    for l in 0..graph.num_layers() {
+        let (node, _) = graph.layer_location(l)?;
+        out.push(per_node[node] / count);
+    }
+    Ok(out)
+}
+
+/// Sanity baseline: F32 trace distances should be ~0 against itself.
+pub fn f32_self_check(graph: &Graph, input: &Tensor) -> Result<f64> {
+    let a = run_traced(graph, input, &mut F32Compute)?;
+    let b = run_traced(graph, input, &mut F32Compute)?;
+    let mut worst = 0.0f64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if let (Some(x), Some(y)) = (x, y) {
+            worst = worst.max(stats::l2_distance(x.data(), y.data()) as f64);
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::RatioSchedule;
+    use crate::score::GroupScores;
+    use crate::selection::{default_exclusions, SelectionContext, Strategy};
+    use flexiq_nn::calibrate::calibrate_default;
+    use flexiq_nn::data::gen_image_inputs;
+    use flexiq_nn::zoo::{ModelId, Scale};
+    use flexiq_quant::GroupSpec;
+
+    fn fixture() -> (flexiq_nn::Graph, QuantizedModel, RatioSchedule, Vec<Tensor>) {
+        let id = ModelId::RNet20;
+        let graph = id.build(Scale::Test).unwrap();
+        let inputs = gen_image_inputs(3, &id.input_dims(Scale::Test), 251);
+        let calib = calibrate_default(&graph, &inputs).unwrap();
+        let model = QuantizedModel::prepare(&graph, &calib, GroupSpec::new(4)).unwrap();
+        let scores = GroupScores::compute(&model);
+        let excl = default_exclusions(&graph);
+        let ctx = SelectionContext::build(&graph, &model, &scores, &excl, true).unwrap();
+        let schedule = RatioSchedule::build(
+            &ctx,
+            &model,
+            None,
+            &[0.25, 0.5, 0.75, 1.0],
+            &Strategy::Greedy,
+            51,
+        )
+        .unwrap();
+        (graph, model, schedule, inputs)
+    }
+
+    #[test]
+    fn flexiq_mixed_beats_uniform_int4_per_layer() {
+        let (graph, model, schedule, inputs) = fixture();
+        let errs = isolated_layer_errors(
+            &graph,
+            &model,
+            &schedule.plans[1], // 50% plan
+            &inputs,
+            Default::default(),
+        )
+        .unwrap();
+        // Averaged across layers, the 50% plan must have clearly less
+        // isolated error than uniform INT4 (paper Fig. 14: <7.4% vs 12.5%).
+        let mean_f: f64 = errs.iter().map(|e| e.flexiq).sum::<f64>() / errs.len() as f64;
+        let mean_4: f64 =
+            errs.iter().map(|e| e.uniform_int4).sum::<f64>() / errs.len() as f64;
+        assert!(
+            mean_f < mean_4 * 0.8,
+            "flexiq mean {mean_f} should beat int4 mean {mean_4}"
+        );
+    }
+
+    #[test]
+    fn propagated_errors_grow_with_ratio() {
+        let (graph, model, schedule, inputs) = fixture();
+        let e25 = propagated_layer_errors(
+            &graph,
+            &model,
+            &schedule.plans[0],
+            &inputs,
+            Default::default(),
+        )
+        .unwrap();
+        let e75 = propagated_layer_errors(
+            &graph,
+            &model,
+            &schedule.plans[2],
+            &inputs,
+            Default::default(),
+        )
+        .unwrap();
+        let s25: f64 = e25.iter().sum();
+        let s75: f64 = e75.iter().sum();
+        assert!(s75 >= s25, "errors should grow with the 4-bit ratio: {s25} vs {s75}");
+    }
+
+    #[test]
+    fn deeper_layers_accumulate_error() {
+        let (graph, model, schedule, inputs) = fixture();
+        let e = propagated_layer_errors(
+            &graph,
+            &model,
+            &schedule.plans[2],
+            &inputs,
+            Default::default(),
+        )
+        .unwrap();
+        // The mean of the last third should exceed the first third
+        // (error amplification across layers).
+        let third = e.len() / 3;
+        let head: f64 = e[..third].iter().sum::<f64>() / third as f64;
+        let tail: f64 = e[e.len() - third..].iter().sum::<f64>() / third as f64;
+        assert!(
+            tail > head * 0.5,
+            "expected no collapse of deep-layer errors: head {head}, tail {tail}"
+        );
+    }
+
+    #[test]
+    fn f32_trace_is_deterministic() {
+        let (graph, _, _, inputs) = fixture();
+        assert_eq!(f32_self_check(&graph, &inputs[0]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! FlexiQ — the paper's primary contribution.
+//!
+//! Everything specific to *adaptive mixed-precision quantization* lives
+//! here, built on the `flexiq-quant` / `flexiq-nn` substrates:
+//!
+//! * [`score`] — per-feature-group error-estimation scores (§4.2):
+//!   activation range × maximum weight range, computed from calibration.
+//! * [`selection`] — channel-selection strategies: random and greedy
+//!   baselines (Fig. 11) plus the shared machinery (selection units,
+//!   Q/K/V tying, first/last-layer exclusion, parameter-weighted ratio
+//!   targets).
+//! * [`evolution`] — the evolutionary algorithm of Alg. 1: layer-boundary
+//!   crossover, ratio-preserving mutation weighted by error scores,
+//!   elitist selection, and fitness measured as L2 distance to the 8-bit
+//!   model's soft labels.
+//! * [`schedule`] — nested ratio schedules: the channels selected at 25%
+//!   are a strict subset of those at 50%, 75% and 100% (§5), which is
+//!   what makes runtime switching a single-variable update.
+//! * [`layout`] — §5's post-processing: static channel reordering so
+//!   same-tier groups are contiguous, propagated through producer
+//!   weights and norm parameters, with explicit reorder operators
+//!   inserted on residual connections that straddle layouts.
+//! * [`runtime`] — the serving-facing [`runtime::FlexiRuntime`]: one set
+//!   of 8-bit master weights, `set_ratio` in O(layers) word writes (the
+//!   `max_4bit_ch` update of §7), inference at the active ratio.
+//! * [`layer_error`] — per-layer error analyses behind Fig. 14 and
+//!   Table 6.
+//! * [`ablation`] — the cumulative-optimization configurations of
+//!   Table 7.
+//! * [`pipeline`] — one-call preparation: calibrate → quantize → score →
+//!   select → reorder → build the runtime (optionally finetuning first).
+
+pub mod ablation;
+pub mod evolution;
+pub mod layer_error;
+pub mod layout;
+pub mod pipeline;
+pub mod runtime;
+pub mod schedule;
+pub mod score;
+pub mod selection;
+
+pub use pipeline::{FlexiQConfig, Prepared};
+pub use runtime::FlexiRuntime;
+pub use schedule::RatioSchedule;
+pub use selection::Strategy;
+
+/// Result alias shared with the NN substrate.
+pub type Result<T> = flexiq_nn::Result<T>;

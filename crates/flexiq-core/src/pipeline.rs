@@ -1,0 +1,209 @@
+//! One-call FlexiQ preparation (the Fig. 2 flow).
+//!
+//! `calibrate → quantize to 8-bit → score channels → select nested ratios
+//! → optimize layout → re-prepare on the transformed graph → runtime`,
+//! with optional dual-bitwidth finetuning (§6) before selection.
+
+use flexiq_nn::calibrate::{calibrate, CalibConfig, CalibrationRecord};
+use flexiq_nn::data::soft_labels;
+use flexiq_nn::exec::F32Compute;
+use flexiq_nn::graph::Graph;
+use flexiq_nn::qexec::{QuantExecOptions, QuantizedModel};
+use flexiq_tensor::Tensor;
+use flexiq_train::finetune::{finetune, FinetuneConfig};
+
+use crate::evolution::FitnessEval;
+use crate::layout::{optimize_layout, remap_schedule};
+use crate::runtime::FlexiRuntime;
+use crate::schedule::RatioSchedule;
+use crate::score::GroupScores;
+use crate::selection::{default_exclusions, SelectionContext, Strategy};
+use crate::Result;
+
+/// Configuration of the preparation pipeline.
+#[derive(Debug, Clone)]
+pub struct FlexiQConfig {
+    /// Feature-group size (32 GPU / 64 NPU; smaller for tiny models).
+    pub group_size: usize,
+    /// Low-bitwidth ratios to prepare (ascending or not; sorted inside).
+    pub ratios: Vec<f64>,
+    /// Channel-selection strategy.
+    pub strategy: Strategy,
+    /// Calibration configuration.
+    pub calib: CalibConfig,
+    /// Tie Q/K/V projections into one selection unit.
+    pub tie_qkv: bool,
+    /// Pin first and last layers to 8-bit (§8.2 convention).
+    pub exclude_first_last: bool,
+    /// Calibration samples used for evolutionary fitness.
+    pub fitness_samples: usize,
+    /// Execution options of the resulting runtime.
+    pub exec: QuantExecOptions,
+    /// Seed for the stochastic selection strategies.
+    pub seed: u64,
+}
+
+impl FlexiQConfig {
+    /// A sensible default for experiment-scale models.
+    pub fn new(group_size: usize, strategy: Strategy) -> Self {
+        FlexiQConfig {
+            group_size,
+            ratios: RatioSchedule::paper_ratios(),
+            strategy,
+            calib: CalibConfig::default(),
+            tie_qkv: true,
+            exclude_first_last: true,
+            fitness_samples: 8,
+            exec: QuantExecOptions::default(),
+            seed: 0xF1EC,
+        }
+    }
+}
+
+/// Everything the pipeline produces.
+pub struct Prepared {
+    /// The servable runtime (layout-optimized).
+    pub runtime: FlexiRuntime,
+    /// Error scores on the original graph.
+    pub scores: GroupScores,
+    /// The schedule on the original graph's indexing.
+    pub schedule_original: RatioSchedule,
+    /// Calibration of the original graph.
+    pub calibration: CalibrationRecord,
+    /// Reorder operators inserted by the layout pass.
+    pub inserted_reorders: usize,
+}
+
+/// Runs the full preparation pipeline on a (already trained or finetuned)
+/// model graph.
+pub fn prepare(graph: &Graph, calib_samples: &[Tensor], cfg: &FlexiQConfig) -> Result<Prepared> {
+    let group = flexiq_quant::GroupSpec::new(cfg.group_size);
+    let calibration = calibrate(graph, calib_samples, cfg.calib)?;
+    let model = QuantizedModel::prepare(graph, &calibration, group)?;
+    let scores = GroupScores::compute(&model);
+    let exclude = if cfg.exclude_first_last {
+        default_exclusions(graph)
+    } else {
+        Vec::new()
+    };
+    let ctx = SelectionContext::build(graph, &model, &scores, &exclude, cfg.tie_qkv)?;
+    let fit_inputs = &calib_samples[..cfg.fitness_samples.min(calib_samples.len())];
+    let eval = match &cfg.strategy {
+        Strategy::Evolutionary(_) => {
+            Some(FitnessEval::new(graph, &model, fit_inputs, cfg.exec)?)
+        }
+        _ => None,
+    };
+    let schedule = RatioSchedule::build(
+        &ctx,
+        &model,
+        eval.as_ref(),
+        &cfg.ratios,
+        &cfg.strategy,
+        cfg.seed,
+    )?;
+    let layout = optimize_layout(graph, &model, &schedule)?;
+    // Re-prepare on the transformed graph (channel order changed, so the
+    // per-channel calibration must be redone there).
+    let calib2 = calibrate(&layout.graph, calib_samples, cfg.calib)?;
+    let model2 = QuantizedModel::prepare(&layout.graph, &calib2, group)?;
+    let schedule2 = remap_schedule(&schedule, &layout, &model2)?;
+    let runtime = FlexiRuntime::new(layout.graph, model2, schedule2, cfg.exec)?;
+    Ok(Prepared {
+        runtime,
+        scores,
+        schedule_original: schedule,
+        calibration,
+        inserted_reorders: layout.inserted_reorders,
+    })
+}
+
+/// Finetunes a graph with the §6 dual-bitwidth loss, then prepares it.
+///
+/// Teacher soft labels come from the graph's own full-precision forward
+/// *before* any weights change.
+pub fn finetune_then_prepare(
+    mut graph: Graph,
+    train_inputs: &[Tensor],
+    train_labels: &[usize],
+    calib_samples: &[Tensor],
+    ft: &FinetuneConfig,
+    cfg: &FlexiQConfig,
+) -> Result<(Graph, Prepared)> {
+    let teacher = soft_labels(&graph, &mut F32Compute, train_inputs)?;
+    let mut ft = ft.clone();
+    if ft.exempt_layers.is_empty() && cfg.exclude_first_last {
+        ft.exempt_layers = default_exclusions(&graph);
+    }
+    finetune(&mut graph, train_inputs, train_labels, &teacher, &ft)?;
+    let prepared = prepare(&graph, calib_samples, cfg)?;
+    Ok((graph, prepared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolution::EvolutionConfig;
+    use flexiq_nn::data::{gen_image_inputs, teacher_dataset};
+    use flexiq_nn::zoo::{ModelId, Scale};
+
+    #[test]
+    fn end_to_end_greedy_pipeline() {
+        let id = ModelId::RNet20;
+        let graph = id.build(Scale::Test).unwrap();
+        let calib = gen_image_inputs(4, &id.input_dims(Scale::Test), 261);
+        let cfg = FlexiQConfig::new(4, Strategy::Greedy);
+        let prepared = prepare(&graph, &calib, &cfg).unwrap();
+        let data =
+            teacher_dataset(&graph, gen_image_inputs(8, &id.input_dims(Scale::Test), 262))
+                .unwrap();
+        prepared.runtime.set_ratio(0.0).unwrap();
+        let a8 = prepared.runtime.accuracy(&data).unwrap();
+        prepared.runtime.set_ratio(0.5).unwrap();
+        let a50 = prepared.runtime.accuracy(&data).unwrap();
+        assert!(a8 >= 60.0, "INT8 agreement too low: {a8}");
+        assert!(a50 >= 20.0, "50% plan collapsed: {a50}");
+    }
+
+    #[test]
+    fn end_to_end_evolutionary_pipeline_on_transformer() {
+        let id = ModelId::ViTS;
+        let graph = id.build(Scale::Test).unwrap();
+        let calib = gen_image_inputs(4, &id.input_dims(Scale::Test), 263);
+        let mut cfg = FlexiQConfig::new(
+            4,
+            Strategy::Evolutionary(EvolutionConfig {
+                population: 4,
+                generations: 3,
+                parents: 2,
+                ..Default::default()
+            }),
+        );
+        cfg.fitness_samples = 2;
+        let prepared = prepare(&graph, &calib, &cfg).unwrap();
+        assert_eq!(prepared.runtime.num_levels(), 4);
+        prepared.runtime.set_level(3).unwrap();
+        let x = &calib[0];
+        let y = prepared.runtime.infer(x).unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn finetune_then_prepare_runs() {
+        let id = ModelId::RNet20;
+        let graph = id.build(Scale::Test).unwrap();
+        let inputs = gen_image_inputs(6, &id.input_dims(Scale::Test), 264);
+        let data = teacher_dataset(&graph, inputs).unwrap();
+        let calib = gen_image_inputs(3, &id.input_dims(Scale::Test), 265);
+        let cfg = FlexiQConfig::new(4, Strategy::Greedy);
+        let ft = flexiq_train::finetune::FinetuneConfig {
+            epochs: 1,
+            batch: 3,
+            ..flexiq_train::finetune::FinetuneConfig::paper_default(4)
+        };
+        let (g2, prepared) =
+            finetune_then_prepare(graph, &data.inputs, &data.labels, &calib, &ft, &cfg)
+                .unwrap();
+        assert_eq!(g2.num_layers(), prepared.runtime.model().num_layers());
+    }
+}

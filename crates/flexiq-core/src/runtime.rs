@@ -1,0 +1,261 @@
+//! The mixed-precision serving runtime (§7).
+//!
+//! A [`FlexiRuntime`] owns one set of 8-bit master weights (the layout-
+//! optimized graph plus its [`QuantizedModel`]) and a nested
+//! [`RatioSchedule`]. Because every plan's low groups are contiguous
+//! prefixes per layer after layout optimization, switching the active
+//! ratio is just rewriting one word per layer — the paper's
+//! `max_4bit_ch` update, measured at microseconds (§8.5). Here the whole
+//! switch is a single atomic level index plus precomputed per-layer
+//! boundaries, and [`FlexiRuntime::set_level`] is safe to call from a
+//! serving thread while inference threads read the current level.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use flexiq_nn::data::Dataset;
+use flexiq_nn::exec;
+use flexiq_nn::graph::Graph;
+use flexiq_nn::qexec::{MixedPlan, QuantCompute, QuantExecOptions, QuantizedModel};
+use flexiq_nn::NnError;
+use flexiq_tensor::Tensor;
+
+use crate::schedule::RatioSchedule;
+use crate::Result;
+
+/// A servable FlexiQ model with runtime-adjustable low-bitwidth ratio.
+pub struct FlexiRuntime {
+    graph: Graph,
+    model: QuantizedModel,
+    schedule: RatioSchedule,
+    /// Per level, per layer: number of leading low groups (the
+    /// `max_4bit_ch` analogue; meaningful for contiguous layers).
+    max_low_group: Vec<Vec<usize>>,
+    /// Active level: `0..len` into the schedule, or `usize::MAX` for the
+    /// all-8-bit configuration.
+    level: AtomicUsize,
+    opts: QuantExecOptions,
+}
+
+/// Level index denoting the pure 8-bit configuration (0% 4-bit).
+pub const LEVEL_INT8: usize = usize::MAX;
+
+impl FlexiRuntime {
+    /// Assembles a runtime from its parts.
+    pub fn new(
+        graph: Graph,
+        model: QuantizedModel,
+        schedule: RatioSchedule,
+        opts: QuantExecOptions,
+    ) -> Result<Self> {
+        for plan in &schedule.plans {
+            plan.validate(&model)?;
+        }
+        let max_low_group = schedule
+            .plans
+            .iter()
+            .map(|plan| {
+                plan.low_groups
+                    .iter()
+                    .map(|groups| groups.iter().filter(|&&b| b).count())
+                    .collect()
+            })
+            .collect();
+        Ok(FlexiRuntime {
+            graph,
+            model,
+            schedule,
+            max_low_group,
+            level: AtomicUsize::new(LEVEL_INT8),
+            opts,
+        })
+    }
+
+    /// The layout-optimized graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The quantized master state.
+    pub fn model(&self) -> &QuantizedModel {
+        &self.model
+    }
+
+    /// The nested schedule.
+    pub fn schedule(&self) -> &RatioSchedule {
+        &self.schedule
+    }
+
+    /// Number of ratio levels (excluding the implicit 8-bit level).
+    pub fn num_levels(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Switches the active ratio level.
+    ///
+    /// This is the runtime's entire precision switch: one atomic store.
+    /// The per-layer boundaries (`max_4bit_ch`) were precomputed at build
+    /// time; [`FlexiRuntime::layer_boundaries`] exposes them as the
+    /// paper's kernels would read them.
+    pub fn set_level(&self, level: usize) -> Result<()> {
+        if level != LEVEL_INT8 && level >= self.schedule.len() {
+            return Err(NnError::Invalid(format!(
+                "level {level} out of range 0..{}",
+                self.schedule.len()
+            )));
+        }
+        self.level.store(level, Ordering::Release);
+        Ok(())
+    }
+
+    /// Switches to the level whose ratio is nearest to `ratio` (0 picks
+    /// the 8-bit configuration).
+    pub fn set_ratio(&self, ratio: f64) -> Result<()> {
+        if ratio <= 0.0 {
+            return self.set_level(LEVEL_INT8);
+        }
+        match self.schedule.nearest_level(ratio) {
+            Some(l) => self.set_level(l),
+            None => self.set_level(LEVEL_INT8),
+        }
+    }
+
+    /// The active level.
+    pub fn level(&self) -> usize {
+        self.level.load(Ordering::Acquire)
+    }
+
+    /// The active low-bitwidth ratio (0.0 in the 8-bit configuration).
+    pub fn current_ratio(&self) -> f64 {
+        match self.level() {
+            LEVEL_INT8 => 0.0,
+            l => self.schedule.ratios[l],
+        }
+    }
+
+    /// Per-layer `max_4bit_ch` boundaries of a level.
+    pub fn layer_boundaries(&self, level: usize) -> Option<&[usize]> {
+        self.max_low_group.get(level).map(|v| v.as_slice())
+    }
+
+    /// The plan for the active level.
+    pub fn current_plan(&self) -> MixedPlan {
+        match self.level() {
+            LEVEL_INT8 => MixedPlan::all_high(&self.model),
+            l => self.schedule.plans[l].clone(),
+        }
+    }
+
+    /// Runs inference at the active ratio.
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let plan = self.current_plan();
+        let mut hook = QuantCompute::new(&self.model, plan, self.opts)?;
+        exec::run(&self.graph, input, &mut hook)
+    }
+
+    /// Top-1 agreement with a teacher-labelled dataset at the active
+    /// ratio, in percent.
+    pub fn accuracy(&self, data: &Dataset) -> Result<f64> {
+        let plan = self.current_plan();
+        let mut hook = QuantCompute::new(&self.model, plan, self.opts)?;
+        flexiq_nn::data::accuracy(&self.graph, &mut hook, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{optimize_layout, remap_schedule};
+    use crate::score::GroupScores;
+    use crate::selection::{default_exclusions, SelectionContext, Strategy};
+    use flexiq_nn::calibrate::calibrate_default;
+    use flexiq_nn::data::{gen_image_inputs, teacher_dataset};
+    use flexiq_nn::zoo::{ModelId, Scale};
+    use flexiq_quant::GroupSpec;
+
+    fn runtime() -> (FlexiRuntime, Dataset) {
+        let id = ModelId::RNet20;
+        let graph = id.build(Scale::Test).unwrap();
+        let inputs = gen_image_inputs(6, &id.input_dims(Scale::Test), 241);
+        let calib = calibrate_default(&graph, &inputs).unwrap();
+        let model = QuantizedModel::prepare(&graph, &calib, GroupSpec::new(4)).unwrap();
+        let scores = GroupScores::compute(&model);
+        let excl = default_exclusions(&graph);
+        let ctx = SelectionContext::build(&graph, &model, &scores, &excl, true).unwrap();
+        let schedule = RatioSchedule::build(
+            &ctx,
+            &model,
+            None,
+            &RatioSchedule::paper_ratios(),
+            &Strategy::Greedy,
+            42,
+        )
+        .unwrap();
+        let layout = optimize_layout(&graph, &model, &schedule).unwrap();
+        let calib2 = calibrate_default(&layout.graph, &inputs).unwrap();
+        let model2 =
+            QuantizedModel::prepare(&layout.graph, &calib2, GroupSpec::new(4)).unwrap();
+        let schedule2 = remap_schedule(&schedule, &layout, &model2).unwrap();
+        let data = teacher_dataset(&graph, gen_image_inputs(8, &id.input_dims(Scale::Test), 242))
+            .unwrap();
+        let rt = FlexiRuntime::new(layout.graph, model2, schedule2, Default::default()).unwrap();
+        (rt, data)
+    }
+
+    #[test]
+    fn starts_at_int8_and_switches_levels() {
+        let (rt, _) = runtime();
+        assert_eq!(rt.level(), LEVEL_INT8);
+        assert_eq!(rt.current_ratio(), 0.0);
+        rt.set_level(2).unwrap();
+        assert_eq!(rt.current_ratio(), 0.75);
+        rt.set_ratio(0.4).unwrap();
+        assert_eq!(rt.current_ratio(), 0.5);
+        rt.set_ratio(0.0).unwrap();
+        assert_eq!(rt.level(), LEVEL_INT8);
+        assert!(rt.set_level(9).is_err());
+    }
+
+    #[test]
+    fn boundaries_are_monotone_across_levels() {
+        let (rt, _) = runtime();
+        for l in 0..rt.num_levels() - 1 {
+            let a = rt.layer_boundaries(l).unwrap();
+            let b = rt.layer_boundaries(l + 1).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(x <= y, "boundaries shrank across levels");
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_degrades_gracefully_with_ratio() {
+        let (rt, data) = runtime();
+        let mut accs = Vec::new();
+        rt.set_ratio(0.0).unwrap();
+        accs.push(rt.accuracy(&data).unwrap());
+        for l in 0..rt.num_levels() {
+            rt.set_level(l).unwrap();
+            accs.push(rt.accuracy(&data).unwrap());
+        }
+        // INT8 should be near-perfect agreement on the tiny model.
+        assert!(accs[0] >= 70.0, "INT8 accuracy {} too low", accs[0]);
+        // No configuration should fall below random guessing by much.
+        for (i, &a) in accs.iter().enumerate() {
+            assert!(a >= 0.0 && a <= 100.0, "acc[{i}]={a}");
+        }
+    }
+
+    #[test]
+    fn inference_runs_at_every_level() {
+        let (rt, data) = runtime();
+        let x = &data.inputs[0];
+        rt.set_ratio(0.0).unwrap();
+        let y8 = rt.infer(x).unwrap();
+        for l in 0..rt.num_levels() {
+            rt.set_level(l).unwrap();
+            let y = rt.infer(x).unwrap();
+            assert_eq!(y.dims(), y8.dims());
+            assert!(y.data().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Nested ratio schedules (§4.2 end, §5).
+//!
+//! FlexiQ serves one set of weights at several low-bitwidth ratios. To
+//! make runtime switching free, the groups selected at a smaller ratio
+//! must be a **subset** of those selected at every larger ratio; the
+//! schedule builds the ratios in ascending order, freezing each level's
+//! selection into the next. Each group gets a *tier*: the index of the
+//! smallest ratio that includes it (groups never selected get tier =
+//! `ratios.len()`). Tiers drive both the §5 memory layout and the
+//! runtime's per-layer `max_4bit_ch` boundaries.
+
+use flexiq_nn::qexec::{MixedPlan, QuantizedModel};
+use flexiq_nn::NnError;
+use flexiq_tensor::rng::seeded;
+
+use crate::evolution::{evolve, EvolutionConfig, FitnessEval};
+use crate::selection::{Mask, SelectionContext, Strategy};
+use crate::Result;
+
+/// A nested set of mixed-precision plans, one per ratio.
+#[derive(Debug, Clone)]
+pub struct RatioSchedule {
+    /// Ascending low-bitwidth ratios (fractions of eligible parameters).
+    pub ratios: Vec<f64>,
+    /// One plan per ratio; `plans[i]` ⊆ `plans[i+1]`.
+    pub plans: Vec<MixedPlan>,
+    /// Tier of each group: `tiers[layer][group]` = first plan index that
+    /// includes it, or `ratios.len()` if never selected.
+    pub tiers: Vec<Vec<usize>>,
+}
+
+impl RatioSchedule {
+    /// The paper's standard ratio ladder (25/50/75/100%).
+    pub fn paper_ratios() -> Vec<f64> {
+        vec![0.25, 0.5, 0.75, 1.0]
+    }
+
+    /// Builds a nested schedule with the given strategy.
+    pub fn build(
+        ctx: &SelectionContext,
+        model: &QuantizedModel,
+        eval: Option<&FitnessEval<'_>>,
+        ratios: &[f64],
+        strategy: &Strategy,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut sorted = ratios.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        if sorted.iter().any(|&r| !(0.0..=1.0).contains(&r)) {
+            return Err(NnError::Invalid(format!("ratios out of [0,1]: {sorted:?}")));
+        }
+        let eligible = ctx.eligible_params();
+        let mut frozen = ctx.empty_mask();
+        let mut plans = Vec::with_capacity(sorted.len());
+        let mut masks: Vec<Mask> = Vec::with_capacity(sorted.len());
+        let mut rng = seeded(seed);
+        for (i, &ratio) in sorted.iter().enumerate() {
+            let target = (eligible as f64 * ratio).round() as usize;
+            let mask = match strategy {
+                Strategy::Random => ctx.random_mask(target, &frozen, &mut rng),
+                Strategy::Greedy => ctx.greedy_mask(target, &frozen),
+                Strategy::Evolutionary(cfg) => {
+                    let eval = eval.ok_or_else(|| {
+                        NnError::Invalid("evolutionary strategy needs a fitness evaluator".into())
+                    })?;
+                    let cfg = EvolutionConfig { seed: cfg.seed ^ (i as u64), ..cfg.clone() };
+                    evolve(ctx, eval, target, &frozen, &cfg)?.mask
+                }
+            };
+            plans.push(ctx.mask_to_plan(&mask, model));
+            frozen = mask.clone();
+            masks.push(mask);
+        }
+        // Derive tiers from the nested plans.
+        let mut tiers: Vec<Vec<usize>> = model
+            .layers
+            .iter()
+            .map(|lq| vec![sorted.len(); lq.num_groups()])
+            .collect();
+        for (i, plan) in plans.iter().enumerate() {
+            for (l, groups) in plan.low_groups.iter().enumerate() {
+                for (g, &low) in groups.iter().enumerate() {
+                    if low && tiers[l][g] == sorted.len() {
+                        tiers[l][g] = i;
+                    }
+                }
+            }
+        }
+        let schedule = RatioSchedule { ratios: sorted, plans, tiers };
+        schedule.check_nested()?;
+        Ok(schedule)
+    }
+
+    /// Validates the subset invariant.
+    pub fn check_nested(&self) -> Result<()> {
+        for w in self.plans.windows(2) {
+            if !w[0].subset_of(&w[1]) {
+                return Err(NnError::Invalid("schedule plans are not nested".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of ratio levels.
+    pub fn len(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// Returns `true` if the schedule has no levels.
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty()
+    }
+
+    /// The plan whose ratio is closest to `ratio` (`None` selects the
+    /// all-high plan conceptually and returns `None`).
+    pub fn nearest_level(&self, ratio: f64) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &r) in self.ratios.iter().enumerate() {
+            let d = (r - ratio).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Tier of one group.
+    pub fn tier(&self, layer: usize, group: usize) -> usize {
+        self.tiers[layer][group]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::GroupScores;
+    use crate::selection::default_exclusions;
+    use flexiq_nn::calibrate::calibrate_default;
+    use flexiq_nn::data::gen_image_inputs;
+    use flexiq_nn::zoo::{ModelId, Scale};
+    use flexiq_quant::GroupSpec;
+
+    fn setup() -> (flexiq_nn::Graph, QuantizedModel, SelectionContext) {
+        let graph = ModelId::RNet20.build(Scale::Test).unwrap();
+        let inputs = gen_image_inputs(3, &ModelId::RNet20.input_dims(Scale::Test), 221);
+        let calib = calibrate_default(&graph, &inputs).unwrap();
+        let model = QuantizedModel::prepare(&graph, &calib, GroupSpec::new(4)).unwrap();
+        let scores = GroupScores::compute(&model);
+        let excl = default_exclusions(&graph);
+        let ctx = SelectionContext::build(&graph, &model, &scores, &excl, true).unwrap();
+        (graph, model, ctx)
+    }
+
+    #[test]
+    fn greedy_schedule_is_nested_with_rising_ratios() {
+        let (_, model, ctx) = setup();
+        let s = RatioSchedule::build(
+            &ctx,
+            &model,
+            None,
+            &RatioSchedule::paper_ratios(),
+            &Strategy::Greedy,
+            1,
+        )
+        .unwrap();
+        assert_eq!(s.len(), 4);
+        s.check_nested().unwrap();
+        let fr: Vec<f64> = s.plans.iter().map(|p| p.low_param_fraction(&model)).collect();
+        for w in fr.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "fractions not ascending: {fr:?}");
+        }
+        // The 100% plan covers all eligible parameters.
+        assert!(fr[3] > 0.8, "100% plan too small: {}", fr[3]);
+    }
+
+    #[test]
+    fn tiers_match_plans() {
+        let (_, model, ctx) = setup();
+        let s = RatioSchedule::build(
+            &ctx,
+            &model,
+            None,
+            &[0.5, 1.0],
+            &Strategy::Greedy,
+            2,
+        )
+        .unwrap();
+        for (l, groups) in s.tiers.iter().enumerate() {
+            for (g, &t) in groups.iter().enumerate() {
+                let in0 = s.plans[0].low_groups[l][g];
+                let in1 = s.plans[1].low_groups[l][g];
+                match t {
+                    0 => assert!(in0 && in1),
+                    1 => assert!(!in0 && in1),
+                    2 => assert!(!in0 && !in1),
+                    _ => panic!("impossible tier {t}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_schedule_is_nested_too() {
+        let (_, model, ctx) = setup();
+        let s = RatioSchedule::build(
+            &ctx,
+            &model,
+            None,
+            &[0.25, 0.75],
+            &Strategy::Random,
+            3,
+        )
+        .unwrap();
+        s.check_nested().unwrap();
+        assert!(s.plans[0].subset_of(&s.plans[1]));
+    }
+
+    #[test]
+    fn nearest_level_picks_closest_ratio() {
+        let (_, model, ctx) = setup();
+        let s = RatioSchedule::build(
+            &ctx,
+            &model,
+            None,
+            &RatioSchedule::paper_ratios(),
+            &Strategy::Greedy,
+            4,
+        )
+        .unwrap();
+        assert_eq!(s.nearest_level(0.3), Some(0));
+        assert_eq!(s.nearest_level(0.6), Some(1));
+        assert_eq!(s.nearest_level(0.95), Some(3));
+    }
+
+    #[test]
+    fn bad_ratios_rejected() {
+        let (_, model, ctx) = setup();
+        assert!(RatioSchedule::build(&ctx, &model, None, &[1.5], &Strategy::Greedy, 5).is_err());
+    }
+}

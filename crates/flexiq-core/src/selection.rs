@@ -1,0 +1,504 @@
+//! Channel-selection machinery shared by all strategies.
+//!
+//! Selection operates on **units**: a unit is one quantizable layer, or a
+//! tied set of layers that must share a low-bitwidth mask (the Q/K/V
+//! projections of an attention block read the same activation tensor, so
+//! a shared mask keeps §5's contiguous layout achievable). The first and
+//! last layers are excluded from low-bitwidth computation (§8.2).
+//!
+//! A *mask* marks which feature groups of each unit run at 4 bits;
+//! ratio targets are measured in weight parameters, matching the paper's
+//! "percentage of channel parameters quantized in 4-bit" (Table 2).
+
+use flexiq_nn::graph::{Graph, LayerId, Op};
+use flexiq_nn::qexec::{MixedPlan, QuantizedModel};
+use flexiq_nn::NnError;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::evolution::EvolutionConfig;
+use crate::score::GroupScores;
+use crate::Result;
+
+/// How low-bitwidth channels are chosen (Fig. 11's comparison).
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Uniform random selection.
+    Random,
+    /// Greedy by ascending error score.
+    Greedy,
+    /// The paper's evolutionary algorithm (Alg. 1).
+    Evolutionary(EvolutionConfig),
+}
+
+/// A group mask over selection units: `mask[unit][group]`.
+pub type Mask = Vec<Vec<bool>>;
+
+/// One selection unit (a layer or a tied set of layers).
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Member layers (identical c_in and group count).
+    pub layers: Vec<LayerId>,
+    /// Feature groups per member layer.
+    pub n_groups: usize,
+    /// Weight parameters per group, summed over members.
+    pub group_params: Vec<usize>,
+    /// Error score per group (maximum over members).
+    pub scores: Vec<f64>,
+    /// Excluded units never run at low bitwidth.
+    pub excluded: bool,
+}
+
+/// The full selection problem for one model.
+#[derive(Debug, Clone)]
+pub struct SelectionContext {
+    /// All units in layer order.
+    pub units: Vec<Unit>,
+    num_layers: usize,
+}
+
+impl SelectionContext {
+    /// Builds the unit decomposition of a graph.
+    ///
+    /// `exclude` lists layers pinned to 8-bit; when `tie_qkv` is set the
+    /// Q/K/V projections of each attention node form one unit.
+    pub fn build(
+        graph: &Graph,
+        model: &QuantizedModel,
+        scores: &GroupScores,
+        exclude: &[LayerId],
+        tie_qkv: bool,
+    ) -> Result<Self> {
+        if model.num_layers() != graph.num_layers() || scores.num_layers() != graph.num_layers()
+        {
+            return Err(NnError::Invalid("model/scores do not match the graph".into()));
+        }
+        let mut units = Vec::new();
+        let mut claimed = vec![false; graph.num_layers()];
+        let is_excluded =
+            |layers: &[LayerId]| layers.iter().any(|l| exclude.contains(l));
+
+        for node in graph.nodes() {
+            match &node.op {
+                Op::Attention(_) | Op::WindowAttention(_) if tie_qkv => {
+                    let qkv = [node.layers[0], node.layers[1], node.layers[2]];
+                    for &l in &qkv {
+                        claimed[l] = true;
+                    }
+                    units.push(Self::make_unit(qkv.to_vec(), model, scores, &is_excluded)?);
+                    // The output projection stays its own unit.
+                    claimed[node.layers[3]] = true;
+                    units.push(Self::make_unit(
+                        vec![node.layers[3]],
+                        model,
+                        scores,
+                        &is_excluded,
+                    )?);
+                }
+                _ => {
+                    for &l in &node.layers {
+                        if !claimed[l] {
+                            claimed[l] = true;
+                            units.push(Self::make_unit(vec![l], model, scores, &is_excluded)?);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SelectionContext { units, num_layers: graph.num_layers() })
+    }
+
+    fn make_unit(
+        layers: Vec<LayerId>,
+        model: &QuantizedModel,
+        scores: &GroupScores,
+        is_excluded: &dyn Fn(&[LayerId]) -> bool,
+    ) -> Result<Unit> {
+        let n_groups = model.layers[layers[0]].num_groups();
+        for &l in &layers[1..] {
+            if model.layers[l].num_groups() != n_groups {
+                return Err(NnError::Invalid("tied layers have different group counts".into()));
+            }
+        }
+        let mut group_params = vec![0usize; n_groups];
+        let mut score = vec![0.0f64; n_groups];
+        for &l in &layers {
+            let lq = &model.layers[l];
+            let per_channel = lq.w_q.numel() / lq.c_in.max(1);
+            for g in 0..n_groups {
+                let channels = model.groups.channel_range(g, lq.c_in).len();
+                group_params[g] += channels * per_channel;
+                score[g] = score[g].max(scores.get(l, g));
+            }
+        }
+        let excluded = is_excluded(&layers);
+        Ok(Unit { layers, n_groups, group_params, scores: score, excluded })
+    }
+
+    /// Total parameters of units eligible for low-bitwidth computation.
+    pub fn eligible_params(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| !u.excluded)
+            .map(|u| u.group_params.iter().sum::<usize>())
+            .sum()
+    }
+
+    /// An all-high (empty) mask.
+    pub fn empty_mask(&self) -> Mask {
+        self.units.iter().map(|u| vec![false; u.n_groups]).collect()
+    }
+
+    /// Low-bitwidth parameters selected by a mask.
+    pub fn mask_params(&self, mask: &Mask) -> usize {
+        self.units
+            .iter()
+            .zip(mask.iter())
+            .map(|(u, m)| {
+                m.iter()
+                    .zip(u.group_params.iter())
+                    .filter(|(&low, _)| low)
+                    .map(|(_, &p)| p)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Converts a unit mask into a per-layer [`MixedPlan`].
+    pub fn mask_to_plan(&self, mask: &Mask, model: &QuantizedModel) -> MixedPlan {
+        let mut plan = MixedPlan::all_high(model);
+        for (u, m) in self.units.iter().zip(mask.iter()) {
+            for &l in &u.layers {
+                for (g, &low) in m.iter().enumerate() {
+                    plan.low_groups[l][g] = low;
+                }
+            }
+        }
+        let _ = self.num_layers;
+        plan
+    }
+
+    /// Adjusts a mask toward a low-parameter target (the mutation repair
+    /// of Alg. 1): adds lowest-score groups while under target, removes
+    /// highest-score groups while over, never touching excluded units or
+    /// `frozen` groups.
+    pub fn repair(
+        &self,
+        mask: &mut Mask,
+        target_params: usize,
+        frozen: &Mask,
+        rng: &mut StdRng,
+    ) {
+        // Grow while strictly below target.
+        loop {
+            let current = self.mask_params(mask);
+            if current >= target_params {
+                break;
+            }
+            let candidates: Vec<(usize, usize)> = self.candidate_groups(mask, false);
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = weighted_pick(&candidates, rng, |&(u, g)| {
+                1.0 / (self.units[u].scores[g] + 1e-12)
+            });
+            let (u, g) = candidates[pick];
+            mask[u][g] = true;
+        }
+        // Shrink while an unset would still keep us at/above target.
+        loop {
+            let current = self.mask_params(mask);
+            if current <= target_params {
+                break;
+            }
+            let removable: Vec<(usize, usize)> = self
+                .candidate_groups(mask, true)
+                .into_iter()
+                .filter(|&(u, g)| !frozen[u][g])
+                .filter(|&(u, g)| current - self.units[u].group_params[g] >= target_params)
+                .collect();
+            if removable.is_empty() {
+                break;
+            }
+            let pick = weighted_pick(&removable, rng, |&(u, g)| self.units[u].scores[g] + 1e-12);
+            let (u, g) = removable[pick];
+            mask[u][g] = false;
+        }
+    }
+
+    /// Groups currently at `state` in non-excluded units.
+    fn candidate_groups(&self, mask: &Mask, state: bool) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (u, unit) in self.units.iter().enumerate() {
+            if unit.excluded {
+                continue;
+            }
+            for g in 0..unit.n_groups {
+                if mask[u][g] == state {
+                    out.push((u, g));
+                }
+            }
+        }
+        out
+    }
+
+    /// Uniform random mask hitting the target (the Fig. 11 baseline).
+    pub fn random_mask(&self, target_params: usize, frozen: &Mask, rng: &mut StdRng) -> Mask {
+        let mut mask = frozen.clone();
+        loop {
+            if self.mask_params(&mask) >= target_params {
+                break;
+            }
+            let candidates = self.candidate_groups(&mask, false);
+            if candidates.is_empty() {
+                break;
+            }
+            let (u, g) = candidates[rng.gen_range(0..candidates.len())];
+            mask[u][g] = true;
+        }
+        mask
+    }
+
+    /// Score-weighted random mask (the evolutionary seed initializer:
+    /// "higher probabilities for channels with lower error scores").
+    pub fn seeded_mask(&self, target_params: usize, frozen: &Mask, rng: &mut StdRng) -> Mask {
+        let mut mask = frozen.clone();
+        self.repair(&mut mask, target_params, frozen, rng);
+        mask
+    }
+
+    /// Global greedy mask: lowest scores first (Fig. 11's greedy).
+    pub fn greedy_mask(&self, target_params: usize, frozen: &Mask) -> Mask {
+        let mut mask = frozen.clone();
+        let mut all: Vec<(usize, usize)> = self.candidate_groups(&mask, false);
+        all.sort_by(|&(ua, ga), &(ub, gb)| {
+            self.units[ua].scores[ga]
+                .partial_cmp(&self.units[ub].scores[gb])
+                .expect("scores are finite")
+        });
+        for (u, g) in all {
+            if self.mask_params(&mask) >= target_params {
+                break;
+            }
+            mask[u][g] = true;
+        }
+        mask
+    }
+
+    /// Per-layer greedy mask at a uniform per-unit ratio (one of the
+    /// Alg. 1 seed chromosomes).
+    pub fn greedy_per_layer_mask(&self, ratio: f64, frozen: &Mask) -> Mask {
+        let mut mask = frozen.clone();
+        for (u, unit) in self.units.iter().enumerate() {
+            if unit.excluded {
+                continue;
+            }
+            let unit_total: usize = unit.group_params.iter().sum();
+            let target = (unit_total as f64 * ratio).round() as usize;
+            let mut order: Vec<usize> = (0..unit.n_groups).collect();
+            order.sort_by(|&a, &b| {
+                unit.scores[a].partial_cmp(&unit.scores[b]).expect("finite")
+            });
+            let mut got: usize = unit
+                .group_params
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| mask[u][*g])
+                .map(|(_, &p)| p)
+                .sum();
+            for g in order {
+                if got >= target {
+                    break;
+                }
+                if !mask[u][g] {
+                    mask[u][g] = true;
+                    got += unit.group_params[g];
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Weighted index pick over a candidate list.
+fn weighted_pick<T>(items: &[T], rng: &mut StdRng, weight: impl Fn(&T) -> f64) -> usize {
+    let weights: Vec<f64> = items.iter().map(&weight).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return rng.gen_range(0..items.len());
+    }
+    let mut r = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        r -= w;
+        if r <= 0.0 {
+            return i;
+        }
+    }
+    items.len() - 1
+}
+
+/// Default exclusion list: the first and last quantizable layers (§8.2).
+pub fn default_exclusions(graph: &Graph) -> Vec<LayerId> {
+    let n = graph.num_layers();
+    if n == 0 {
+        Vec::new()
+    } else if n == 1 {
+        vec![0]
+    } else {
+        vec![0, n - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_nn::calibrate::calibrate_default;
+    use flexiq_nn::data::gen_image_inputs;
+    use flexiq_nn::zoo::{ModelId, Scale};
+    use flexiq_quant::GroupSpec;
+    use flexiq_tensor::rng::seeded;
+
+    fn ctx_for(id: ModelId) -> (flexiq_nn::Graph, QuantizedModel, SelectionContext) {
+        let g = id.build(Scale::Test).unwrap();
+        let samples = gen_image_inputs(3, &id.input_dims(Scale::Test), 201);
+        let calib = calibrate_default(&g, &samples).unwrap();
+        let model = QuantizedModel::prepare(&g, &calib, GroupSpec::new(4)).unwrap();
+        let scores = GroupScores::compute(&model);
+        let excl = default_exclusions(&g);
+        let ctx = SelectionContext::build(&g, &model, &scores, &excl, true).unwrap();
+        (g, model, ctx)
+    }
+
+    #[test]
+    fn qkv_layers_are_tied_into_units() {
+        let (g, _, ctx) = ctx_for(ModelId::ViTS);
+        let tied = ctx.units.iter().filter(|u| u.layers.len() == 3).count();
+        // One tied unit per attention block.
+        let attn_nodes = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, flexiq_nn::graph::Op::Attention(_)))
+            .count();
+        assert_eq!(tied, attn_nodes);
+    }
+
+    #[test]
+    fn greedy_hits_ratio_targets() {
+        let (_, _, ctx) = ctx_for(ModelId::RNet20);
+        let eligible = ctx.eligible_params();
+        for ratio in [0.25, 0.5, 0.75, 1.0] {
+            let target = (eligible as f64 * ratio) as usize;
+            let mask = ctx.greedy_mask(target, &ctx.empty_mask());
+            let got = ctx.mask_params(&mask);
+            // Group granularity allows an overshoot of at most one group.
+            let max_group = ctx
+                .units
+                .iter()
+                .flat_map(|u| u.group_params.iter())
+                .copied()
+                .max()
+                .unwrap_or(0);
+            assert!(
+                got >= target.min(eligible) && got <= target + max_group,
+                "ratio {ratio}: got {got}, target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_low_scores() {
+        let (_, _, ctx) = ctx_for(ModelId::RNet20);
+        let eligible = ctx.eligible_params();
+        let mask = ctx.greedy_mask(eligible / 2, &ctx.empty_mask());
+        // Every selected group's score must be <= every unselected
+        // eligible group's score... not strictly true with parameter
+        // weighting, but the mean selected score must be lower.
+        let mut sel = Vec::new();
+        let mut unsel = Vec::new();
+        for (u, unit) in ctx.units.iter().enumerate() {
+            if unit.excluded {
+                continue;
+            }
+            for g in 0..unit.n_groups {
+                if mask[u][g] {
+                    sel.push(unit.scores[g]);
+                } else {
+                    unsel.push(unit.scores[g]);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(mean(&sel) < mean(&unsel), "{} vs {}", mean(&sel), mean(&unsel));
+    }
+
+    #[test]
+    fn excluded_units_never_selected() {
+        let (_, model, ctx) = ctx_for(ModelId::RNet20);
+        let mask = ctx.greedy_mask(ctx.eligible_params(), &ctx.empty_mask());
+        let plan = ctx.mask_to_plan(&mask, &model);
+        // Layer 0 (first) and the last layer must be all-high.
+        assert!(plan.low_groups[0].iter().all(|&b| !b));
+        assert!(plan.low_groups.last().unwrap().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn repair_respects_frozen_groups() {
+        let (_, _, ctx) = ctx_for(ModelId::RNet20);
+        let mut rng = seeded(202);
+        let eligible = ctx.eligible_params();
+        let frozen = ctx.greedy_mask(eligible / 4, &ctx.empty_mask());
+        let mut mask = frozen.clone();
+        ctx.repair(&mut mask, eligible / 2, &frozen, &mut rng);
+        // All frozen groups stay selected.
+        for (u, m) in frozen.iter().enumerate() {
+            for (g, &f) in m.iter().enumerate() {
+                if f {
+                    assert!(mask[u][g], "frozen group ({u},{g}) was unset");
+                }
+            }
+        }
+        // And now shrink below the frozen level: frozen still intact.
+        let mut mask2 = mask.clone();
+        ctx.repair(&mut mask2, eligible / 8, &frozen, &mut rng);
+        for (u, m) in frozen.iter().enumerate() {
+            for (g, &f) in m.iter().enumerate() {
+                if f {
+                    assert!(mask2[u][g], "frozen group ({u},{g}) was unset by shrink");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_mask_is_reproducible() {
+        let (_, _, ctx) = ctx_for(ModelId::RNet20);
+        let t = ctx.eligible_params() / 2;
+        let a = ctx.random_mask(t, &ctx.empty_mask(), &mut seeded(7));
+        let b = ctx.random_mask(t, &ctx.empty_mask(), &mut seeded(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_layer_greedy_balances_ratios() {
+        let (_, _, ctx) = ctx_for(ModelId::RNet20);
+        let mask = ctx.greedy_per_layer_mask(0.5, &ctx.empty_mask());
+        for (u, unit) in ctx.units.iter().enumerate() {
+            if unit.excluded || unit.n_groups < 2 {
+                continue;
+            }
+            let total: usize = unit.group_params.iter().sum();
+            let low: usize = unit
+                .group_params
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| mask[u][*g])
+                .map(|(_, &p)| p)
+                .sum();
+            let ratio = low as f64 / total as f64;
+            assert!(
+                (0.2..=0.8).contains(&ratio),
+                "unit {u} ratio {ratio} strays too far from 0.5"
+            );
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Analytic latency model of the nested-pipeline mixed GEMM kernel (§7).
+//!
+//! Per GEMM, three resources run concurrently in the pipeline:
+//!
+//! * **tensor cores** — 8-bit MMA work plus 4-bit MMA work (at twice the
+//!   rate);
+//! * **CUDA cores** — bit-shifting and mixed-precision accumulation, one
+//!   pass per 4-bit warp tile, plus the dequantization epilogue;
+//! * **memory** — operand and result movement (FlexiQ reads 8-bit master
+//!   weights even for 4-bit tiles; uniform INT4 reads packed nibbles).
+//!
+//! The kernel's latency is the maximum of the three, plus a launch
+//! constant — the standard roofline of a well-pipelined kernel. This is
+//! exactly why the A100 underperforms in Table 4 (CUDA-core bound) and
+//! why FlexiQ's 100% 4-bit GEMM is ~6% slower than the uniform INT4
+//! kernel while whole-model latency matches (§8.3).
+
+use crate::kernel::TILE_K;
+use crate::profiles::GpuProfile;
+
+/// One GEMM workload: `m×k` activations against `n×k` weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Rows (tokens × batch).
+    pub m: usize,
+    /// Output channels.
+    pub n: usize,
+    /// Reduction (feature channels).
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Multiply–accumulate count.
+    pub fn macs(&self) -> f64 {
+        self.m as f64 * self.n as f64 * self.k as f64
+    }
+}
+
+/// Which kernel computes a GEMM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelKind {
+    /// Our uniform INT8 kernel.
+    UniformInt8,
+    /// Our uniform INT4 kernel (packed weights and activations).
+    UniformInt4,
+    /// The FlexiQ mixed kernel with a 4-bit channel fraction.
+    FlexiQ {
+        /// Fraction of feature channels below `max_4bit_ch`.
+        low_fraction: f64,
+        /// Runtime OR-based extraction (adds 2–5%).
+        dynamic_extract: bool,
+    },
+    /// FP16 tensor-core GEMM (the weight-only-quantization fallback).
+    Fp16,
+}
+
+/// The calibrated latency model for one GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Device profile.
+    pub gpu: GpuProfile,
+    /// Sustained fraction of peak tensor throughput on these shapes.
+    pub utilization: f64,
+    /// Elementwise/normalization ops' sustained fraction of memory BW.
+    pub elementwise_bw_frac: f64,
+    /// Kernel launch overhead, µs.
+    pub launch_us: f64,
+}
+
+impl LatencyModel {
+    /// Model calibrated to the paper's A6000 ViT-Base measurements.
+    pub fn new(gpu: GpuProfile) -> Self {
+        LatencyModel { gpu, utilization: 0.25, elementwise_bw_frac: 0.12, launch_us: 5.0 }
+    }
+
+    /// Latency of one GEMM under a kernel, in microseconds.
+    pub fn gemm_us(&self, shape: GemmShape, kind: KernelKind) -> f64 {
+        let ops = 2.0 * shape.macs();
+        let util = self.utilization;
+        let g = &self.gpu;
+        let (tc_s, cc_ops, w_bytes, a_bytes) = match kind {
+            KernelKind::UniformInt8 => (
+                ops / (g.int8_tops * 1e12 * util),
+                (shape.m * shape.n) as f64, // dequant epilogue
+                (shape.n * shape.k) as f64,
+                (shape.m * shape.k) as f64,
+            ),
+            KernelKind::UniformInt4 => (
+                ops / (g.int4_tops * 1e12 * util),
+                (shape.m * shape.n) as f64,
+                (shape.n * shape.k) as f64 / 2.0,
+                (shape.m * shape.k) as f64 / 2.0,
+            ),
+            KernelKind::FlexiQ { low_fraction, .. } => {
+                let lf = low_fraction.clamp(0.0, 1.0);
+                let tc = ops * (1.0 - lf) / (g.int8_tops * 1e12 * util)
+                    + ops * lf / (g.int4_tops * 1e12 * util);
+                // One shift+accumulate pass per 4-bit tile per output
+                // element, plus the epilogue.
+                let tiles = (shape.k as f64 * lf / TILE_K as f64).ceil();
+                let cc = (shape.m * shape.n) as f64 * (1.0 * tiles + 1.0);
+                // Master weights stay 8-bit regardless of the ratio
+                // (§7 "Resource Consumption").
+                (tc, cc, (shape.n * shape.k) as f64, (shape.m * shape.k) as f64)
+            }
+            KernelKind::Fp16 => (
+                ops / (g.fp16_tflops * 1e12 * util),
+                (shape.m * shape.n) as f64,
+                (shape.n * shape.k) as f64 * 2.0,
+                (shape.m * shape.k) as f64 * 2.0,
+            ),
+        };
+        let cc_s = cc_ops / (g.cuda_tops * 1e12 * util);
+        let out_bytes = (shape.m * shape.n) as f64 * 2.0; // fp16 results
+        let mem_s = (w_bytes + a_bytes + out_bytes) / (g.mem_gbs * 1e9);
+        let mut us = tc_s.max(cc_s).max(mem_s) * 1e6 + self.launch_us;
+        if let KernelKind::FlexiQ { dynamic_extract: true, low_fraction } = kind {
+            let frac = flexiq_quant::dynamic::dynamic_overhead_fraction(shape.n);
+            us *= 1.0 + frac * low_fraction.clamp(0.0, 1.0);
+        }
+        us
+    }
+
+    /// Latency of memory-bound elementwise/normalization work, µs.
+    pub fn elementwise_us(&self, bytes: f64) -> f64 {
+        bytes / (self.gpu.mem_gbs * 1e9 * self.elementwise_bw_frac) * 1e6
+    }
+
+    /// Latency of fp16 attention matmuls (flop-bound), µs.
+    pub fn fp16_flops_us(&self, flops: f64) -> f64 {
+        flops / (self.gpu.fp16_tflops * 1e12 * self.utilization) * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: GemmShape = GemmShape { m: 3152, n: 768, k: 768 };
+
+    #[test]
+    fn int4_is_faster_than_int8() {
+        let m = LatencyModel::new(GpuProfile::A6000);
+        let t8 = m.gemm_us(SHAPE, KernelKind::UniformInt8);
+        let t4 = m.gemm_us(SHAPE, KernelKind::UniformInt4);
+        assert!(t4 < t8, "{t4} vs {t8}");
+    }
+
+    #[test]
+    fn flexiq_latency_is_monotone_in_ratio() {
+        let m = LatencyModel::new(GpuProfile::A6000);
+        let mut prev = f64::INFINITY;
+        for lf in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = m.gemm_us(
+                SHAPE,
+                KernelKind::FlexiQ { low_fraction: lf, dynamic_extract: false },
+            );
+            assert!(t <= prev + 1e-9, "latency rose at lf={lf}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn flexiq_100_is_slightly_slower_than_uniform_int4() {
+        // §8.3: "the mixed-precision GeMM kernel with 100% 4-bit
+        // computation runs 6% slower than the INT4 baseline".
+        let m = LatencyModel::new(GpuProfile::A6000);
+        let t4 = m.gemm_us(SHAPE, KernelKind::UniformInt4);
+        let tf = m.gemm_us(
+            SHAPE,
+            KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+        );
+        let slowdown = tf / t4 - 1.0;
+        assert!(
+            (0.0..=0.25).contains(&slowdown),
+            "FlexiQ-100 slowdown {slowdown} outside the plausible band"
+        );
+    }
+
+    #[test]
+    fn a100_is_cuda_bound_on_the_mixed_kernel() {
+        // On the A100 the CUDA-core pass dominates the mixed kernel,
+        // making its FlexiQ speedup less than proportional (Table 4).
+        let a100 = LatencyModel::new(GpuProfile::A100);
+        let l40s = LatencyModel::new(GpuProfile::L40S);
+        let speedup = |m: &LatencyModel| {
+            m.gemm_us(SHAPE, KernelKind::UniformInt8)
+                / m.gemm_us(SHAPE, KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false })
+        };
+        assert!(
+            speedup(&a100) < speedup(&l40s),
+            "A100 {} should gain less than L40S {}",
+            speedup(&a100),
+            speedup(&l40s)
+        );
+    }
+
+    #[test]
+    fn dynamic_extract_costs_a_few_percent() {
+        let m = LatencyModel::new(GpuProfile::A6000);
+        let stat = m.gemm_us(
+            SHAPE,
+            KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+        );
+        let dynamic = m.gemm_us(
+            SHAPE,
+            KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: true },
+        );
+        let over = dynamic / stat - 1.0;
+        assert!((0.01..=0.06).contains(&over), "dynamic overhead {over}");
+    }
+
+    #[test]
+    fn weight_only_fp16_is_slower_than_int8() {
+        // Table 3: TensorRT weight-only INT4 (fp16 compute) loses to
+        // real INT8 kernels.
+        let m = LatencyModel::new(GpuProfile::A6000);
+        let t8 = m.gemm_us(SHAPE, KernelKind::UniformInt8);
+        let tw = m.gemm_us(SHAPE, KernelKind::Fp16);
+        assert!(tw > t8, "{tw} vs {t8}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The Table 3 framework comparison.
+//!
+//! Baseline deployment stacks differ from our hand-written kernels in
+//! well-understood ways, which the model encodes as structural costs:
+//!
+//! * **CUTLASS** emits column-major outputs, so integrating with a
+//!   row-major runtime adds a full output-transformation pass; this is
+//!   why its INT4 path barely beats its INT8 path in the paper.
+//! * **TensorRT INT8** is a black-box graph compiler with slightly worse
+//!   kernel selection on these shapes than a tuned custom kernel.
+//! * **TensorRT "INT4"** only supports weight-only quantization: weights
+//!   are dequantized and the GEMM runs in FP16, so it loses to every real
+//!   integer kernel.
+
+use crate::cost::{GemmShape, KernelKind, LatencyModel};
+use crate::models::TransformerWorkload;
+
+/// The deployment stacks compared in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// CUTLASS INT8 GEMMs + layout transform.
+    CutlassInt8,
+    /// TensorRT INT8 engine.
+    TensorRtInt8,
+    /// Our uniform INT8 kernel.
+    OursInt8,
+    /// FlexiQ at 100% 4-bit.
+    FlexiQ100,
+    /// Our uniform INT4 kernel.
+    OursInt4,
+    /// CUTLASS INT4 GEMMs + layout transform.
+    CutlassInt4,
+    /// TensorRT with weight-only INT4 (FP16 compute).
+    TensorRtWeightOnlyInt4,
+}
+
+impl Framework {
+    /// All rows in the paper's table order.
+    pub const ALL: [Framework; 7] = [
+        Framework::CutlassInt8,
+        Framework::TensorRtInt8,
+        Framework::OursInt8,
+        Framework::FlexiQ100,
+        Framework::OursInt4,
+        Framework::CutlassInt4,
+        Framework::TensorRtWeightOnlyInt4,
+    ];
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Framework::CutlassInt8 => "CUTLASS INT8",
+            Framework::TensorRtInt8 => "TensorRT INT8",
+            Framework::OursInt8 => "Uniform INT8 (ours)",
+            Framework::FlexiQ100 => "FlexiQ 100%",
+            Framework::OursInt4 => "Uniform INT4 (ours)",
+            Framework::CutlassInt4 => "CUTLASS INT4",
+            Framework::TensorRtWeightOnlyInt4 => "TensorRT INT4 (weight-only)",
+        }
+    }
+
+    /// End-to-end latency of a workload under this stack, µs.
+    pub fn latency_us(&self, w: &TransformerWorkload, model: &LatencyModel, batch: usize) -> f64 {
+        match self {
+            Framework::OursInt8 => w.model_latency_us(model, batch, KernelKind::UniformInt8),
+            Framework::OursInt4 => w.model_latency_us(model, batch, KernelKind::UniformInt4),
+            Framework::FlexiQ100 => w.model_latency_us(
+                model,
+                batch,
+                KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+            ),
+            Framework::TensorRtInt8 => {
+                // Slightly worse kernel selection than a tuned kernel.
+                w.model_latency_us(model, batch, KernelKind::UniformInt8) * 1.17
+            }
+            Framework::CutlassInt8 => {
+                w.model_latency_us(model, batch, KernelKind::UniformInt8) * 1.09
+                    + layout_transform_us(w, model, batch)
+            }
+            Framework::CutlassInt4 => {
+                w.model_latency_us(model, batch, KernelKind::UniformInt4) * 1.09
+                    + layout_transform_us(w, model, batch)
+            }
+            Framework::TensorRtWeightOnlyInt4 => {
+                // Dequantize weights, then FP16 GEMMs.
+                let dequant = dequant_pass_us(w, model, batch);
+                w.model_latency_us(model, batch, KernelKind::Fp16) + dequant
+            }
+        }
+    }
+}
+
+/// Column-major → row-major output transformation: every GEMM result is
+/// rewritten once through memory. A pure streaming copy sustains a high
+/// fraction of peak bandwidth, unlike the strided normalization ops.
+fn layout_transform_us(w: &TransformerWorkload, model: &LatencyModel, batch: usize) -> f64 {
+    let bytes: f64 = w
+        .gemms
+        .iter()
+        .map(|g: &GemmShape| (g.m * batch * g.n) as f64 * 2.0 * 2.0) // read+write fp16
+        .sum();
+    bytes / (model.gpu.mem_gbs * 1e9 * 0.7) * 1e6
+}
+
+/// Weight-only INT4: unpack + dequantize every weight matrix per pass.
+fn dequant_pass_us(w: &TransformerWorkload, model: &LatencyModel, batch: usize) -> f64 {
+    let _ = batch; // weights are batch-independent but re-read per launch
+    let bytes: f64 = w
+        .gemms
+        .iter()
+        .map(|g| (g.n * g.k) as f64 * (0.5 + 2.0)) // read nibbles, write fp16
+        .sum();
+    model.elementwise_us(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::vit_base;
+    use crate::profiles::GpuProfile;
+
+    #[test]
+    fn table3_ordering_holds() {
+        // Paper Table 3 (batch 16): TensorRT-INT4wo > CUTLASS-INT8 ≈
+        // CUTLASS-INT4 > TensorRT-INT8 > ours-INT8 > FlexiQ-100 ≈ ours-INT4.
+        let w = vit_base();
+        let m = LatencyModel::new(GpuProfile::A6000);
+        let t = |f: Framework| f.latency_us(&w, &m, 16);
+        assert!(t(Framework::OursInt4) < t(Framework::OursInt8));
+        assert!(t(Framework::FlexiQ100) < t(Framework::OursInt8));
+        assert!(t(Framework::FlexiQ100) >= t(Framework::OursInt4) * 0.999);
+        assert!(t(Framework::OursInt8) < t(Framework::TensorRtInt8));
+        assert!(t(Framework::OursInt8) < t(Framework::CutlassInt8));
+        assert!(t(Framework::CutlassInt4) > t(Framework::OursInt4));
+        assert!(t(Framework::TensorRtWeightOnlyInt4) > t(Framework::TensorRtInt8));
+    }
+
+    #[test]
+    fn cutlass_int4_gains_little_over_cutlass_int8() {
+        // The layout transform dominates, collapsing the INT4 advantage —
+        // the effect the paper calls out.
+        let w = vit_base();
+        let m = LatencyModel::new(GpuProfile::A6000);
+        let c8 = Framework::CutlassInt8.latency_us(&w, &m, 128);
+        let c4 = Framework::CutlassInt4.latency_us(&w, &m, 128);
+        let gain = c8 / c4;
+        assert!(
+            gain < 1.35,
+            "CUTLASS INT4 should gain much less than 2x: {gain}"
+        );
+    }
+
+    #[test]
+    fn all_frameworks_have_labels() {
+        for f in Framework::ALL {
+            assert!(!f.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Functional mixed-precision GEMM kernel (§7, Fig. 6).
+//!
+//! Computes `y[m,n] = Σ_k a[m,k] · w[n,k]` where the leading
+//! `max_4bit_ch` channels of `k` run as packed 4-bit tiles (32 channels
+//! per tile, the MMA minimum for 4-bit operands) and the rest as 8-bit.
+//! Each 4-bit tile's partial sums are shifted by the tile's extraction
+//! positions before joining the `i32` accumulator — the "bit-shifted
+//! accumulation" the paper pipelines onto CUDA cores.
+
+use flexiq_quant::lowering::BitLowering;
+use flexiq_quant::QuantBits;
+use flexiq_tensor::I4Packed;
+
+/// Warp-tile width in feature channels (the 4-bit MMA minimum, §7).
+pub const TILE_K: usize = 32;
+
+/// Extraction rules of one 4-bit feature tile.
+#[derive(Debug, Clone)]
+pub struct TileRules {
+    /// Activation rule shared by the tile.
+    pub act: BitLowering,
+    /// Per-output-channel weight rules.
+    pub weight: Vec<BitLowering>,
+}
+
+/// The mixed-precision GEMM kernel state for one layer.
+#[derive(Debug, Clone)]
+pub struct MixedGemm {
+    /// Reduction length (feature channels).
+    pub k: usize,
+    /// Output channels.
+    pub n: usize,
+    /// Leading channels computed at 4 bits. Must be a multiple of
+    /// [`TILE_K`] or equal to `k`.
+    pub max_4bit_ch: usize,
+    /// Rules per 4-bit tile (`max_4bit_ch / TILE_K` entries, rounded up).
+    pub rules: Vec<TileRules>,
+}
+
+impl MixedGemm {
+    /// Builds the kernel descriptor, deriving extraction rules from the
+    /// given weights (`[n][k]`, row-major) and per-tile activation maxima.
+    pub fn new(w_q: &[i8], n: usize, k: usize, max_4bit_ch: usize, act_tile_max: &[u32]) -> Self {
+        assert_eq!(w_q.len(), n * k, "weight buffer size");
+        let max4 = max_4bit_ch.min(k);
+        let tiles = max4.div_ceil(TILE_K);
+        assert!(act_tile_max.len() >= tiles, "need one activation max per 4-bit tile");
+        let mut rules = Vec::with_capacity(tiles);
+        for t in 0..tiles {
+            let k0 = t * TILE_K;
+            let k1 = (k0 + TILE_K).min(max4);
+            let weight = (0..n)
+                .map(|o| {
+                    let m = w_q[o * k + k0..o * k + k1]
+                        .iter()
+                        .map(|&v| v.unsigned_abs() as u32)
+                        .max()
+                        .unwrap_or(0);
+                    BitLowering::for_max_abs(m, QuantBits::B4)
+                })
+                .collect();
+            rules.push(TileRules {
+                act: BitLowering::for_max_abs(act_tile_max[t], QuantBits::B4),
+                weight,
+            });
+        }
+        MixedGemm { k, n, max_4bit_ch: max4, rules }
+    }
+
+    /// Runs the kernel: activations `[m][k]`, weights `[n][k]`, output
+    /// `[m][n]` in `i32` (pre-dequantization).
+    ///
+    /// The 4-bit path genuinely packs operands two-per-byte via
+    /// [`I4Packed`] and unpacks inside the tile loop, mirroring the
+    /// register layout of the MMA path.
+    pub fn run(&self, a_q: &[i8], w_q: &[i8], m: usize) -> Vec<i32> {
+        assert_eq!(a_q.len(), m * self.k, "activation buffer size");
+        assert_eq!(w_q.len(), self.n * self.k, "weight buffer size");
+        let mut out = vec![0i32; m * self.n];
+        let max4 = self.max_4bit_ch;
+
+        // 4-bit tiles until the boundary.
+        for (t, rules) in self.rules.iter().enumerate() {
+            let k0 = t * TILE_K;
+            let k1 = (k0 + TILE_K).min(max4);
+            let bw = k1 - k0;
+            // Pack the lowered tile operands exactly as the kernel's
+            // shared-memory staging would.
+            let mut a_pack: Vec<I4Packed> = Vec::with_capacity(m);
+            for i in 0..m {
+                let lowered: Vec<i8> =
+                    (k0..k1).map(|c| rules.act.lower(a_q[i * self.k + c])).collect();
+                a_pack.push(I4Packed::pack(&lowered).expect("lowered values fit int4"));
+            }
+            for o in 0..self.n {
+                let wrule = rules.weight[o];
+                let lowered: Vec<i8> =
+                    (k0..k1).map(|c| wrule.lower(w_q[o * self.k + c])).collect();
+                let w_pack = I4Packed::pack(&lowered).expect("lowered values fit int4");
+                let shift = rules.act.shift() + wrule.shift();
+                for i in 0..m {
+                    let mut acc = 0i32;
+                    for c in 0..bw {
+                        acc += a_pack[i].get(c) as i32 * w_pack.get(c) as i32;
+                    }
+                    out[i * self.n + o] += acc << shift;
+                }
+            }
+        }
+        // 8-bit remainder.
+        for i in 0..m {
+            for o in 0..self.n {
+                let mut acc = 0i32;
+                for c in max4..self.k {
+                    acc += a_q[i * self.k + c] as i32 * w_q[o * self.k + c] as i32;
+                }
+                out[i * self.n + o] += acc;
+            }
+        }
+        out
+    }
+
+    /// Reference slow path: identical math without packing (used by the
+    /// property tests and the Criterion baseline).
+    pub fn run_reference(&self, a_q: &[i8], w_q: &[i8], m: usize) -> Vec<i32> {
+        let mut out = vec![0i32; m * self.n];
+        for i in 0..m {
+            for o in 0..self.n {
+                let mut acc = 0i32;
+                for c in 0..self.k {
+                    if c < self.max_4bit_ch {
+                        let t = c / TILE_K;
+                        let r = &self.rules[t];
+                        let shift = r.act.shift() + r.weight[o].shift();
+                        let al = r.act.lower(a_q[i * self.k + c]) as i32;
+                        let wl = r.weight[o].lower(w_q[o * self.k + c]) as i32;
+                        acc += (al * wl) << shift;
+                    } else {
+                        acc += a_q[i * self.k + c] as i32 * w_q[o * self.k + c] as i32;
+                    }
+                }
+                out[i * self.n + o] = acc;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::gemm::gemm_i8;
+    use flexiq_tensor::rng::seeded;
+    use rand::Rng;
+
+    fn random_setup(
+        m: usize,
+        n: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Vec<i8>, Vec<i8>, Vec<u32>) {
+        let mut rng = seeded(seed);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+        let w: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+        let tiles = k.div_ceil(TILE_K);
+        // Activation tile maxima from the actual data (never saturating).
+        let mut act_max = vec![0u32; tiles];
+        for i in 0..m {
+            for c in 0..k {
+                let t = c / TILE_K;
+                let v = (a[i * k + c] ^ (a[i * k + c] >> 7)) as u8 as u32;
+                if v > act_max[t] {
+                    act_max[t] = v;
+                }
+            }
+        }
+        (a, w, act_max)
+    }
+
+    #[test]
+    fn boundary_zero_equals_plain_int8_gemm() {
+        let (m, n, k) = (4, 6, 96);
+        let (a, w, act_max) = random_setup(m, n, k, 301);
+        let kern = MixedGemm::new(&w, n, k, 0, &act_max);
+        let y = kern.run(&a, &w, m);
+        // Plain i8 GEMM with transposed weight access.
+        let mut expect = vec![0i32; m * n];
+        let mut w_t = vec![0i8; k * n];
+        for o in 0..n {
+            for c in 0..k {
+                w_t[c * n + o] = w[o * k + c];
+            }
+        }
+        gemm_i8(m, n, k, &a, &w_t, &mut expect);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn packed_path_matches_reference_at_all_boundaries() {
+        let (m, n, k) = (3, 5, 96);
+        let (a, w, act_max) = random_setup(m, n, k, 302);
+        for boundary in [0usize, 32, 64, 96] {
+            let kern = MixedGemm::new(&w, n, k, boundary, &act_max);
+            assert_eq!(
+                kern.run(&a, &w, m),
+                kern.run_reference(&a, &w, m),
+                "boundary {boundary}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_to_int8_grows_with_boundary() {
+        let (m, n, k) = (4, 4, 128);
+        let (a, w, act_max) = random_setup(m, n, k, 303);
+        let full8 = MixedGemm::new(&w, n, k, 0, &act_max).run(&a, &w, m);
+        let mut prev_err = 0u64;
+        for boundary in [32usize, 64, 96, 128] {
+            let y = MixedGemm::new(&w, n, k, boundary, &act_max).run(&a, &w, m);
+            let err: u64 =
+                y.iter().zip(full8.iter()).map(|(x, y)| x.abs_diff(*y) as u64).sum();
+            assert!(
+                err + 1 >= prev_err / 2,
+                "error should broadly grow with the boundary"
+            );
+            prev_err = err;
+        }
+        assert!(prev_err > 0, "full 4-bit must differ from 8-bit on random data");
+    }
+
+    #[test]
+    fn small_range_tiles_are_lossless() {
+        // Values within ±7 lower losslessly: mixed output == int8 output.
+        let mut rng = seeded(304);
+        let (m, n, k) = (3, 4, 64);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-7i16..=7) as i8).collect();
+        let w: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-7i16..=7) as i8).collect();
+        let act_max = vec![7u32; 2];
+        let y4 = MixedGemm::new(&w, n, k, 64, &act_max).run(&a, &w, m);
+        let y8 = MixedGemm::new(&w, n, k, 0, &act_max).run(&a, &w, m);
+        assert_eq!(y4, y8);
+    }
+}

@@ -1,0 +1,34 @@
+//! GPU-side substrate: the functional mixed-precision GEMM kernel and the
+//! analytic latency model (§7, §8.3).
+//!
+//! The paper's CUDA kernel (CUTLASS/Atom-based) cannot run here, so this
+//! crate splits it into the two things that matter for reproduction:
+//!
+//! * [`kernel`] — a **functional** CPU implementation with the same
+//!   structure: feature channels in 32-wide warp tiles, 4-bit operands
+//!   packed two-per-byte and processed until the `max_4bit_ch` boundary,
+//!   per-tile bit-shifted accumulation into `i32`. Bit-exact against the
+//!   reference integer GEMM, which is the correctness claim of §7.
+//! * [`cost`] — the nested-pipeline latency model: tensor-core time for
+//!   the MMA work (4-bit tiles at twice the 8-bit rate), CUDA-core time
+//!   for bit-shifting/accumulation, memory time, with the pipeline
+//!   hiding whichever is smaller. This reproduces the *shapes* of
+//!   Fig. 7, Table 3 and Table 4 — including the A100 anomaly, where low
+//!   CUDA-core throughput caps the mixed kernel (§8.3).
+//! * [`profiles`] — per-GPU throughput profiles (3090/A6000/A100/L40S).
+//! * [`models`] — paper-scale transformer workloads (ViT-B, Swin-S) as
+//!   GEMM lists plus float-op costs, for end-to-end latency.
+//! * [`frameworks`] — the Table 3 framework comparison (CUTLASS-like,
+//!   TensorRT-like, our uniform kernels, FlexiQ).
+//! * [`switch`] — the `max_4bit_ch` runtime ratio switch.
+
+pub mod cost;
+pub mod frameworks;
+pub mod kernel;
+pub mod models;
+pub mod profiles;
+pub mod switch;
+
+pub use cost::{GemmShape, KernelKind, LatencyModel};
+pub use profiles::GpuProfile;
+pub use switch::RatioSwitch;

@@ -1,0 +1,112 @@
+//! Per-GPU throughput profiles (Table 4's devices).
+//!
+//! Peak numbers follow the public spec sheets; the cost model derates
+//! them with a utilization factor. The load-bearing relationship for the
+//! paper's Table 4 anomaly is the **ratio of CUDA-core to tensor-core
+//! throughput**: the A100 pairs huge tensor-core rates with modest
+//! CUDA-core rates, so FlexiQ's bit-shift/accumulate stage (which runs on
+//! CUDA cores) caps its mixed-precision speedup there, while pure INT8 /
+//! INT4 kernels are unaffected (§8.3).
+
+/// Throughput profile of one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuProfile {
+    /// Device name.
+    pub name: &'static str,
+    /// Dense INT8 tensor-core throughput, TOPS.
+    pub int8_tops: f64,
+    /// Dense INT4 tensor-core throughput, TOPS.
+    pub int4_tops: f64,
+    /// CUDA-core integer/f32 throughput, TOPS (shift + accumulate path).
+    pub cuda_tops: f64,
+    /// Tensor-core FP16 throughput (weight-only-quant GEMMs), TFLOPS.
+    pub fp16_tflops: f64,
+    /// Memory bandwidth, GB/s.
+    pub mem_gbs: f64,
+    /// Datacenter part (Table 4 grouping).
+    pub datacenter: bool,
+}
+
+impl GpuProfile {
+    /// Nvidia RTX 3090 (commodity, Ampere).
+    pub const RTX3090: GpuProfile = GpuProfile {
+        name: "3090",
+        int8_tops: 284.0,
+        int4_tops: 568.0,
+        cuda_tops: 35.6,
+        fp16_tflops: 142.0,
+        mem_gbs: 936.0,
+        datacenter: false,
+    };
+
+    /// Nvidia RTX A6000 (commodity, Ampere) — the paper's main device.
+    pub const A6000: GpuProfile = GpuProfile {
+        name: "A6000",
+        int8_tops: 310.0,
+        int4_tops: 620.0,
+        cuda_tops: 38.7,
+        fp16_tflops: 155.0,
+        mem_gbs: 768.0,
+        datacenter: false,
+    };
+
+    /// Nvidia A100 (datacenter, Ampere): big tensor cores, modest CUDA
+    /// cores — the Table 4 outlier.
+    pub const A100: GpuProfile = GpuProfile {
+        name: "A100",
+        int8_tops: 624.0,
+        int4_tops: 1248.0,
+        cuda_tops: 19.5,
+        fp16_tflops: 312.0,
+        mem_gbs: 1555.0,
+        datacenter: true,
+    };
+
+    /// Nvidia L40S (datacenter, Ada).
+    pub const L40S: GpuProfile = GpuProfile {
+        name: "L40S",
+        int8_tops: 733.0,
+        int4_tops: 1466.0,
+        cuda_tops: 91.6,
+        fp16_tflops: 366.0,
+        mem_gbs: 864.0,
+        datacenter: true,
+    };
+
+    /// The Table 4 device list.
+    pub const ALL: [GpuProfile; 4] =
+        [GpuProfile::RTX3090, GpuProfile::A6000, GpuProfile::A100, GpuProfile::L40S];
+
+    /// CUDA-to-tensor-core throughput ratio (the anomaly predictor).
+    pub fn cuda_tensor_ratio(&self) -> f64 {
+        self.cuda_tops / self.int8_tops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int4_doubles_int8_everywhere() {
+        for p in GpuProfile::ALL {
+            assert!((p.int4_tops / p.int8_tops - 2.0).abs() < 0.01, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn a100_has_the_weakest_cuda_tensor_ratio() {
+        let a100 = GpuProfile::A100.cuda_tensor_ratio();
+        for p in GpuProfile::ALL {
+            if p.name != "A100" {
+                assert!(
+                    p.cuda_tensor_ratio() > a100,
+                    "{} ratio {} should exceed A100 {}",
+                    p.name,
+                    p.cuda_tensor_ratio(),
+                    a100
+                );
+            }
+        }
+    }
+}

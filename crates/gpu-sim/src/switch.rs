@@ -1,0 +1,77 @@
+//! The runtime ratio switch (§7, "Low-bitwidth Ratio Adjustment").
+//!
+//! Adjusting the served 4-bit ratio only rewrites each layer's
+//! `max_4bit_ch` variable — the kernels read it on their next launch.
+//! [`RatioSwitch`] is that variable array; the Criterion bench
+//! `bench_switch` measures the update at nanoseconds–microseconds,
+//! matching §8.5.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-layer `max_4bit_ch` variables shared with running kernels.
+#[derive(Debug)]
+pub struct RatioSwitch {
+    bounds: Vec<AtomicUsize>,
+}
+
+impl RatioSwitch {
+    /// Creates the switch for `layers` layers, all at 0 (pure 8-bit).
+    pub fn new(layers: usize) -> Self {
+        RatioSwitch { bounds: (0..layers).map(|_| AtomicUsize::new(0)).collect() }
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Applies a new set of per-layer boundaries. This is the entire
+    /// precision-switch cost at runtime.
+    pub fn switch_to(&self, boundaries: &[usize]) {
+        debug_assert_eq!(boundaries.len(), self.bounds.len());
+        for (b, &v) in self.bounds.iter().zip(boundaries.iter()) {
+            b.store(v, Ordering::Release);
+        }
+    }
+
+    /// Reads one layer's boundary (what a kernel launch would do).
+    pub fn boundary(&self, layer: usize) -> usize {
+        self.bounds[layer].load(Ordering::Acquire)
+    }
+
+    /// Snapshot of all boundaries.
+    pub fn snapshot(&self) -> Vec<usize> {
+        self.bounds.iter().map(|b| b.load(Ordering::Acquire)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_applies_all_boundaries() {
+        let s = RatioSwitch::new(4);
+        assert_eq!(s.snapshot(), vec![0, 0, 0, 0]);
+        s.switch_to(&[32, 64, 96, 128]);
+        assert_eq!(s.snapshot(), vec![32, 64, 96, 128]);
+        assert_eq!(s.boundary(2), 96);
+    }
+
+    #[test]
+    fn switch_is_fast_enough_for_the_paper_bound() {
+        // §8.5: "on GPUs adjusting the ratio takes less than a few
+        // microseconds". A ViT-B has 74 quantizable layers.
+        let s = RatioSwitch::new(74);
+        let bounds: Vec<usize> = (0..74).map(|i| i * 8).collect();
+        let start = std::time::Instant::now();
+        for _ in 0..1000 {
+            s.switch_to(&bounds);
+        }
+        let per_switch = start.elapsed().as_nanos() as f64 / 1000.0;
+        assert!(
+            per_switch < 50_000.0,
+            "switch took {per_switch} ns, far above the paper's bound"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Calibration: estimating activation ranges from sample data.
+//!
+//! FlexiQ needs two range estimates per quantizable layer (§4.2, §8.1):
+//!
+//! * a **per-tensor** activation scale for 8-bit quantization, tracked
+//!   with an exponential moving average (momentum 0.99), and
+//! * **per-feature-channel** absolute maxima, which drive both the error
+//!   scores of the channel-selection algorithm and the static bit
+//!   extraction positions.
+//!
+//! Calibration runs the float model over a sample set with an observing
+//! compute hook; no quantization is involved yet.
+
+use flexiq_quant::observer::{EmaObserver, MinMaxObserver, PercentileObserver, RangeObserver};
+use flexiq_tensor::Tensor;
+
+use crate::exec::{run, Compute};
+use crate::graph::{Graph, LayerId};
+use crate::ops::{Conv2d, Linear};
+use crate::Result;
+
+/// How per-channel activation ranges are estimated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelRangeKind {
+    /// Exact min–max over the calibration set.
+    MinMax,
+    /// Coverage percentile (the paper's analysis uses 0.99).
+    Percentile(f64),
+}
+
+/// Calibration configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibConfig {
+    /// EMA momentum for the per-tensor scale (paper: 0.99).
+    pub ema_momentum: f32,
+    /// Per-channel range estimator.
+    pub channel_ranges: ChannelRangeKind,
+}
+
+impl Default for CalibConfig {
+    fn default() -> Self {
+        CalibConfig { ema_momentum: 0.99, channel_ranges: ChannelRangeKind::MinMax }
+    }
+}
+
+/// Calibrated ranges of one quantizable layer's **input** activation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCalib {
+    /// Per-tensor absolute maximum (EMA estimate).
+    pub act_abs_max: f32,
+    /// Per-feature-channel absolute maxima.
+    pub act_channel_abs: Vec<f32>,
+}
+
+/// Calibration result for every quantizable layer of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRecord {
+    /// Indexed by [`LayerId`].
+    pub layers: Vec<LayerCalib>,
+}
+
+impl CalibrationRecord {
+    /// Number of calibrated layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+enum ChannelObs {
+    MinMax(Vec<MinMaxObserver>),
+    Percentile(Vec<PercentileObserver>),
+}
+
+struct LayerObservers {
+    tensor: EmaObserver,
+    channels: Option<ChannelObs>,
+}
+
+/// Observing hook: runs layers at f32 while recording input ranges.
+struct CalibCompute {
+    cfg: CalibConfig,
+    per_layer: Vec<LayerObservers>,
+}
+
+impl CalibCompute {
+    fn new(cfg: CalibConfig, num_layers: usize) -> Self {
+        let per_layer = (0..num_layers)
+            .map(|_| LayerObservers { tensor: EmaObserver::new(cfg.ema_momentum), channels: None })
+            .collect();
+        CalibCompute { cfg, per_layer }
+    }
+
+    fn ensure_channels(&mut self, layer: LayerId, c: usize) {
+        if self.per_layer[layer].channels.is_none() {
+            let obs = match self.cfg.channel_ranges {
+                ChannelRangeKind::MinMax => {
+                    ChannelObs::MinMax(vec![MinMaxObserver::new(); c])
+                }
+                ChannelRangeKind::Percentile(p) => {
+                    ChannelObs::Percentile(vec![PercentileObserver::new(p); c])
+                }
+            };
+            self.per_layer[layer].channels = Some(obs);
+        }
+    }
+
+    /// Records an activation whose channels lie on `axis` 0 (`[C, H, W]`)
+    /// or the last axis (`[T, C]` / `[C]`).
+    fn record(&mut self, layer: LayerId, x: &Tensor, c_in: usize) {
+        self.per_layer[layer].tensor.observe(x.data());
+        self.ensure_channels(layer, c_in);
+        let dims = x.dims();
+        let mut scratch: Vec<f32> = Vec::new();
+        let obs = self.per_layer[layer].channels.as_mut().expect("just ensured");
+        let mut feed = |c: usize, values: &[f32]| match obs {
+            ChannelObs::MinMax(v) => v[c].observe(values),
+            ChannelObs::Percentile(v) => v[c].observe(values),
+        };
+        if dims.len() == 3 && dims[0] == c_in {
+            let hw = dims[1] * dims[2];
+            for c in 0..c_in {
+                feed(c, &x.data()[c * hw..(c + 1) * hw]);
+            }
+        } else {
+            // Token layout [T, C] or vector [C]: gather each channel.
+            let c_dim = *dims.last().expect("non-scalar activation");
+            debug_assert_eq!(c_dim, c_in);
+            let t = x.numel() / c_in.max(1);
+            for c in 0..c_in {
+                scratch.clear();
+                for ti in 0..t {
+                    scratch.push(x.data()[ti * c_in + c]);
+                }
+                feed(c, &scratch);
+            }
+        }
+    }
+
+    fn finish(self) -> CalibrationRecord {
+        let layers = self
+            .per_layer
+            .into_iter()
+            .map(|l| {
+                let act_abs_max = l.tensor.abs_max().unwrap_or(0.0);
+                let act_channel_abs = match l.channels {
+                    Some(ChannelObs::MinMax(v)) => {
+                        v.iter().map(|o| o.abs_max().unwrap_or(0.0)).collect()
+                    }
+                    Some(ChannelObs::Percentile(v)) => {
+                        v.iter().map(|o| o.abs_max().unwrap_or(0.0)).collect()
+                    }
+                    None => Vec::new(),
+                };
+                LayerCalib { act_abs_max, act_channel_abs }
+            })
+            .collect();
+        CalibrationRecord { layers }
+    }
+}
+
+impl Compute for CalibCompute {
+    fn conv2d(&mut self, layer: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        self.record(layer, x, conv.c_in());
+        conv.forward(x)
+    }
+
+    fn linear(&mut self, layer: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        self.record(layer, x, lin.c_in());
+        lin.forward(x)
+    }
+}
+
+/// Runs calibration over a set of sample inputs.
+pub fn calibrate(graph: &Graph, samples: &[Tensor], cfg: CalibConfig) -> Result<CalibrationRecord> {
+    let mut hook = CalibCompute::new(cfg, graph.num_layers());
+    for s in samples {
+        run(graph, s, &mut hook)?;
+    }
+    Ok(hook.finish())
+}
+
+/// Convenience wrapper using the paper's default configuration.
+pub fn calibrate_default(graph: &Graph, samples: &[Tensor]) -> Result<CalibrationRecord> {
+    calibrate(graph, samples, CalibConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::rng::seeded;
+
+    fn tiny_graph() -> Graph {
+        let mut rng = seeded(121);
+        let mut g = Graph::new("tiny");
+        let x = g.input();
+        let conv = Conv2d::new(Tensor::randn([4, 2, 3, 3], 0.0, 0.3, &mut rng), None, 1, 1, 1)
+            .unwrap();
+        let c = g.conv2d(x, conv).unwrap();
+        let r = g.relu(c).unwrap();
+        let gp = g.add_node(crate::graph::Op::GlobalAvgPool, vec![r]).unwrap();
+        let lin = Linear::new(Tensor::randn([3, 4], 0.0, 0.3, &mut rng), None).unwrap();
+        let l = g.linear(gp, lin).unwrap();
+        g.set_output(l).unwrap();
+        g
+    }
+
+    #[test]
+    fn calibration_covers_every_layer() {
+        let g = tiny_graph();
+        let mut rng = seeded(122);
+        let samples: Vec<Tensor> =
+            (0..4).map(|_| Tensor::randn([2, 5, 5], 0.0, 1.0, &mut rng)).collect();
+        let rec = calibrate_default(&g, &samples).unwrap();
+        assert_eq!(rec.num_layers(), 2);
+        assert!(rec.layers[0].act_abs_max > 0.0);
+        assert_eq!(rec.layers[0].act_channel_abs.len(), 2);
+        assert_eq!(rec.layers[1].act_channel_abs.len(), 4);
+        assert!(rec.layers[1].act_abs_max > 0.0);
+    }
+
+    #[test]
+    fn channel_ranges_reflect_input_structure() {
+        // Feed inputs where channel 1 is 100x channel 0: the calibrated
+        // per-channel ranges must mirror that.
+        let g = tiny_graph();
+        let mut rng = seeded(123);
+        let samples: Vec<Tensor> = (0..4)
+            .map(|_| {
+                Tensor::randn_axis_scaled([2, 5, 5], 0, &[0.01, 1.0], &mut rng).unwrap()
+            })
+            .collect();
+        let rec = calibrate_default(&g, &samples).unwrap();
+        let ch = &rec.layers[0].act_channel_abs;
+        assert!(ch[1] > 10.0 * ch[0], "channel ranges {ch:?}");
+    }
+
+    #[test]
+    fn percentile_calibration_is_tighter_than_minmax() {
+        let g = tiny_graph();
+        let mut rng = seeded(124);
+        let samples: Vec<Tensor> =
+            (0..4).map(|_| Tensor::randn([2, 8, 8], 0.0, 1.0, &mut rng)).collect();
+        let mm = calibrate(&g, &samples, CalibConfig::default()).unwrap();
+        let pc = calibrate(
+            &g,
+            &samples,
+            CalibConfig { channel_ranges: ChannelRangeKind::Percentile(0.9), ..Default::default() },
+        )
+        .unwrap();
+        for (a, b) in mm.layers[0]
+            .act_channel_abs
+            .iter()
+            .zip(pc.layers[0].act_channel_abs.iter())
+        {
+            assert!(b <= a, "percentile range {b} exceeds min-max {a}");
+        }
+    }
+
+    #[test]
+    fn token_layout_channels_are_columns() {
+        // A linear layer on [T, C] input: channel stats come from columns.
+        let mut rng = seeded(125);
+        let mut g = Graph::new("lin");
+        let x = g.input();
+        let lin = Linear::new(Tensor::randn([2, 3], 0.0, 0.3, &mut rng), None).unwrap();
+        let l = g.linear(x, lin).unwrap();
+        g.set_output(l).unwrap();
+        // Column 2 is large.
+        let s = Tensor::from_vec([2, 3], vec![0.1, 0.2, 9.0, -0.1, 0.1, -8.0]).unwrap();
+        let rec = calibrate_default(&g, &[s]).unwrap();
+        let ch = &rec.layers[0].act_channel_abs;
+        assert!((ch[2] - 9.0).abs() < 1e-6);
+        assert!(ch[0] < 0.2);
+    }
+}

@@ -1,0 +1,294 @@
+//! Synthetic datasets and the teacher-labelled accuracy task.
+//!
+//! The paper reports quantization accuracy *relative to the full-precision
+//! model* throughout (Tables 2, 5, 7 all quote deltas against FP). With no
+//! ImageNet available, we measure the identical quantity directly: a
+//! sample's label is the FP32 model's own argmax, and a quantized model's
+//! "accuracy" is its top-1 agreement with FP32 on held-out inputs. The
+//! full-precision model scores 100% by construction; INT8 lands within a
+//! fraction of a percent; low-bitwidth configurations lose agreement
+//! exactly where the paper loses accuracy.
+
+use flexiq_tensor::rng::seeded;
+use flexiq_tensor::Tensor;
+use rand::Rng;
+
+use crate::error::NnError;
+use crate::exec::{run, run_f32, Compute};
+use crate::graph::Graph;
+use crate::ops::act::log_softmax_lastdim;
+use crate::Result;
+
+/// A labelled evaluation set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Input tensors.
+    pub inputs: Vec<Tensor>,
+    /// Teacher (FP32 argmax) labels.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// Generates `n` synthetic image inputs of the given dimensions.
+pub fn gen_image_inputs(n: usize, dims: &[usize], seed: u64) -> Vec<Tensor> {
+    let mut rng = seeded(seed);
+    (0..n).map(|_| Tensor::randn(dims.to_vec(), 0.0, 1.0, &mut rng)).collect()
+}
+
+/// Labels inputs with the FP32 model's argmax (the teacher task).
+pub fn teacher_dataset(graph: &Graph, inputs: Vec<Tensor>) -> Result<Dataset> {
+    let mut labels = Vec::with_capacity(inputs.len());
+    for x in &inputs {
+        let logits = run_f32(graph, x)?;
+        labels.push(
+            logits
+                .argmax()
+                .ok_or_else(|| NnError::Invalid("empty logits".into()))?,
+        );
+    }
+    Ok(Dataset { inputs, labels })
+}
+
+/// Labels inputs with the FP32 argmax, keeping only samples the teacher
+/// classifies with a clear margin.
+///
+/// Trained networks classify natural inputs confidently (their logit
+/// gaps are large away from decision boundaries); random inputs to a
+/// random-weight teacher sit much closer to the boundaries. Keeping the
+/// top `keep` fraction by relative margin restores the trained-model
+/// property the paper's accuracy tables rely on: INT8's small
+/// perturbation flips almost nothing, while 4-bit noise still flips
+/// plenty. See DESIGN.md §1 (teacher-defined task).
+pub fn teacher_dataset_filtered(
+    graph: &Graph,
+    candidates: Vec<Tensor>,
+    keep: f64,
+) -> Result<Dataset> {
+    if !(0.0 < keep && keep <= 1.0) {
+        return Err(NnError::Invalid(format!("keep fraction {keep} outside (0, 1]")));
+    }
+    let mut scored: Vec<(f64, Tensor, usize)> = Vec::with_capacity(candidates.len());
+    for x in candidates {
+        let logits = run_f32(graph, &x)?;
+        let label = logits
+            .argmax()
+            .ok_or_else(|| NnError::Invalid("empty logits".into()))?;
+        let top = logits.data()[label];
+        let second = logits
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != label)
+            .map(|(_, &v)| v)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let spread = flexiq_tensor::stats::l2_norm(logits.data()).max(1e-6);
+        let margin = ((top - second) / spread) as f64;
+        scored.push((margin, x, label));
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite margins"));
+    let n = ((scored.len() as f64) * keep).ceil() as usize;
+    scored.truncate(n.max(1));
+    let mut inputs = Vec::with_capacity(scored.len());
+    let mut labels = Vec::with_capacity(scored.len());
+    for (_, x, l) in scored {
+        inputs.push(x);
+        labels.push(l);
+    }
+    Ok(Dataset { inputs, labels })
+}
+
+/// Top-1 agreement of a compute hook with the dataset labels, in percent.
+pub fn accuracy(graph: &Graph, compute: &mut dyn Compute, data: &Dataset) -> Result<f64> {
+    if data.is_empty() {
+        return Err(NnError::Invalid("empty dataset".into()));
+    }
+    let mut correct = 0usize;
+    for (x, &label) in data.inputs.iter().zip(data.labels.iter()) {
+        let logits = run(graph, x, compute)?;
+        if logits.argmax() == Some(label) {
+            correct += 1;
+        }
+    }
+    Ok(100.0 * correct as f64 / data.len() as f64)
+}
+
+/// Collects output logits for a set of inputs (soft labels for fitness
+/// evaluation and distillation).
+pub fn soft_labels(
+    graph: &Graph,
+    compute: &mut dyn Compute,
+    inputs: &[Tensor],
+) -> Result<Vec<Tensor>> {
+    inputs.iter().map(|x| run(graph, x, compute)).collect()
+}
+
+/// Generates a synthetic token stream with local structure (a noisy ramp
+/// over the vocabulary), so a language model can achieve non-trivial
+/// perplexity.
+pub fn gen_token_stream(vocab: usize, len: usize, seed: u64) -> Vec<usize> {
+    assert!(vocab >= 2, "vocabulary must have at least 2 tokens");
+    let mut rng = seeded(seed);
+    let mut out = Vec::with_capacity(len);
+    let mut state = rng.gen_range(0..vocab);
+    for _ in 0..len {
+        out.push(state);
+        // Mostly advance by 1, sometimes jump: predictable but not
+        // deterministic.
+        let r: f64 = rng.gen();
+        state = if r < 0.7 {
+            (state + 1) % vocab
+        } else if r < 0.9 {
+            (state + 2) % vocab
+        } else {
+            rng.gen_range(0..vocab)
+        };
+    }
+    out
+}
+
+/// Cuts a token stream into `[T]`-shaped id tensors for the LM graph.
+pub fn lm_sequences(stream: &[usize], t: usize) -> Vec<Tensor> {
+    stream
+        .chunks_exact(t)
+        .map(|chunk| {
+            Tensor::from_vec([t], chunk.iter().map(|&v| v as f32).collect())
+                .expect("chunk length matches")
+        })
+        .collect()
+}
+
+/// Next-token perplexity of an LM graph over id sequences.
+///
+/// The graph must map `[T]` ids to `[T, vocab]` logits; position `i`
+/// predicts token `i + 1`.
+pub fn perplexity(graph: &Graph, compute: &mut dyn Compute, seqs: &[Tensor]) -> Result<f64> {
+    let mut nll = 0.0f64;
+    let mut count = 0usize;
+    for seq in seqs {
+        let logits = run(graph, seq, compute)?;
+        let dims = logits.dims().to_vec();
+        if dims.len() != 2 || dims[0] != seq.numel() {
+            return Err(NnError::BadActivation {
+                op: "perplexity",
+                expected: format!("[{}, vocab] logits", seq.numel()),
+                got: dims,
+            });
+        }
+        let vocab = dims[1];
+        let logp = log_softmax_lastdim(&logits)?;
+        for i in 0..seq.numel() - 1 {
+            let target = seq.data()[i + 1] as usize;
+            if target >= vocab {
+                return Err(NnError::Invalid(format!("target {target} outside vocab {vocab}")));
+            }
+            nll -= logp.data()[i * vocab + target] as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return Err(NnError::Invalid("no prediction targets".into()));
+    }
+    Ok((nll / count as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::F32Compute;
+    use crate::ops::Linear;
+    use flexiq_tensor::rng;
+
+    fn toy_classifier(seed: u64) -> Graph {
+        let mut r = rng::seeded(seed);
+        let mut g = Graph::new("clf");
+        let x = g.input();
+        let l = g
+            .linear(x, Linear::new(Tensor::randn([4, 8], 0.0, 1.0, &mut r), None).unwrap())
+            .unwrap();
+        g.set_output(l).unwrap();
+        g
+    }
+
+    #[test]
+    fn teacher_task_gives_fp32_perfect_accuracy() {
+        let g = toy_classifier(141);
+        let inputs = gen_image_inputs(16, &[8], 142);
+        let data = teacher_dataset(&g, inputs).unwrap();
+        let acc = accuracy(&g, &mut F32Compute, &data).unwrap();
+        assert_eq!(acc, 100.0);
+    }
+
+    #[test]
+    fn perturbed_weights_lose_agreement() {
+        let g = toy_classifier(143);
+        let inputs = gen_image_inputs(64, &[8], 144);
+        let data = teacher_dataset(&g, inputs).unwrap();
+        // A heavily perturbed copy must score below 100%.
+        let mut g2 = g.clone();
+        if let crate::graph::LayerViewMut::Linear(l) = g2.layer_mut(0).unwrap() {
+            let mut r = rng::seeded(145);
+            l.weight = Tensor::randn([4, 8], 0.0, 1.0, &mut r);
+        }
+        let mut hook = F32Compute;
+        let mut correct = 0;
+        for (x, &lbl) in data.inputs.iter().zip(data.labels.iter()) {
+            let y = run(&g2, x, &mut hook).unwrap();
+            if y.argmax() == Some(lbl) {
+                correct += 1;
+            }
+        }
+        let acc = 100.0 * correct as f64 / data.len() as f64;
+        assert!(acc < 90.0, "independent model should disagree, got {acc}");
+    }
+
+    #[test]
+    fn token_stream_is_mostly_sequential() {
+        let stream = gen_token_stream(16, 1000, 146);
+        let sequential = stream
+            .windows(2)
+            .filter(|w| w[1] == (w[0] + 1) % 16)
+            .count();
+        assert!(sequential > 500, "stream lost its structure: {sequential}/999");
+    }
+
+    #[test]
+    fn lm_sequences_chunk_exactly() {
+        let stream: Vec<usize> = (0..10).collect();
+        let seqs = lm_sequences(&stream, 4);
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(seqs[1].data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn perplexity_of_uniform_logits_is_vocab_size() {
+        // An LM emitting all-zero logits assigns 1/V to every token.
+        let mut g = Graph::new("lm0");
+        let x = g.input();
+        let emb = crate::ops::Embedding::new(Tensor::zeros([8, 4])).unwrap();
+        let e = g.add_node(crate::graph::Op::Embedding(emb), vec![x]).unwrap();
+        let l = g.linear(e, Linear::new(Tensor::zeros([8, 4]), None).unwrap()).unwrap();
+        g.set_output(l).unwrap();
+        let seqs = lm_sequences(&gen_token_stream(8, 64, 147), 8);
+        let ppl = perplexity(&g, &mut F32Compute, &seqs).unwrap();
+        assert!((ppl - 8.0).abs() < 1e-3, "uniform ppl {ppl}");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let g = toy_classifier(148);
+        let data = Dataset { inputs: vec![], labels: vec![] };
+        assert!(accuracy(&g, &mut F32Compute, &data).is_err());
+    }
+}

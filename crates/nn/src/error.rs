@@ -1,0 +1,92 @@
+//! Error type for graph construction and execution.
+
+use std::fmt;
+
+/// Errors produced by graph construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A node referenced an input that does not exist yet.
+    DanglingInput {
+        /// The node being added.
+        node: usize,
+        /// The missing input id.
+        input: usize,
+    },
+    /// An operator received a tensor of unexpected rank or size.
+    BadActivation {
+        /// Operator name.
+        op: &'static str,
+        /// Human-readable expectation.
+        expected: String,
+        /// The shape that was received.
+        got: Vec<usize>,
+    },
+    /// A quantizable layer id was out of range or not quantizable.
+    BadLayer(usize),
+    /// Propagated tensor error.
+    Tensor(flexiq_tensor::TensorError),
+    /// Propagated quantization error.
+    Quant(flexiq_quant::QuantError),
+    /// Generic invalid-argument error with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::DanglingInput { node, input } => {
+                write!(f, "node {node} references missing input {input}")
+            }
+            NnError::BadActivation { op, expected, got } => {
+                write!(f, "`{op}` expected {expected}, got shape {got:?}")
+            }
+            NnError::BadLayer(id) => write!(f, "invalid quantizable layer id {id}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Quant(e) => write!(f, "quantization error: {e}"),
+            NnError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexiq_tensor::TensorError> for NnError {
+    fn from(e: flexiq_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<flexiq_quant::QuantError> for NnError {
+    fn from(e: flexiq_quant::QuantError) -> Self {
+        NnError::Quant(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_facts() {
+        let e = NnError::DanglingInput { node: 3, input: 9 };
+        assert!(e.to_string().contains("node 3"));
+        let e = NnError::BadActivation { op: "conv2d", expected: "[C,H,W]".into(), got: vec![4] };
+        assert!(e.to_string().contains("conv2d"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let te: NnError = flexiq_tensor::TensorError::Invalid("t".into()).into();
+        assert!(matches!(te, NnError::Tensor(_)));
+        let qe: NnError = flexiq_quant::QuantError::UnsupportedBits(3).into();
+        assert!(matches!(qe, NnError::Quant(_)));
+    }
+}

@@ -1,0 +1,358 @@
+//! Graph execution.
+//!
+//! One walker serves every precision mode: the float path, calibration,
+//! and the mixed-precision integer path all call [`run`] with a different
+//! [`Compute`] hook. The hook intercepts exactly the quantizable
+//! operations (convolutions and linears, including attention projections);
+//! everything else — normalization, activations, attention cores, pooling
+//! — executes in floating point, matching the paper's execution model
+//! (§8.2: integer compute for conv/linear, 16-bit float for the rest).
+
+use flexiq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::graph::{Graph, LayerId, NodeId, Op};
+use crate::ops::{act, pool, tokens, Attention, Conv2d, Linear};
+use crate::Result;
+
+/// Hook deciding how quantizable layers are computed.
+pub trait Compute {
+    /// Computes a convolution layer.
+    fn conv2d(&mut self, layer: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor>;
+
+    /// Computes a linear layer (standalone or attention projection).
+    fn linear(&mut self, layer: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor>;
+}
+
+/// Reference f32 compute: every layer runs at full precision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F32Compute;
+
+impl Compute for F32Compute {
+    fn conv2d(&mut self, _layer: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        conv.forward(x)
+    }
+
+    fn linear(&mut self, _layer: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        lin.forward(x)
+    }
+}
+
+/// Runs the graph on one input through the given compute hook.
+pub fn run(graph: &Graph, input: &Tensor, compute: &mut dyn Compute) -> Result<Tensor> {
+    let output = graph.output()?;
+    let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
+    eval(graph, output, input, compute, &mut memo)?;
+    memo[output]
+        .take()
+        .ok_or_else(|| NnError::Invalid("output was not computed".into()))
+}
+
+/// Runs the graph at full f32 precision.
+pub fn run_f32(graph: &Graph, input: &Tensor) -> Result<Tensor> {
+    run(graph, input, &mut F32Compute)
+}
+
+/// Runs the graph and returns **every** node's output.
+///
+/// Nodes unreachable from the output stay `None`. Used by batch-norm
+/// statistics calibration and by the per-layer error analyses (paper
+/// Fig. 14, Table 6), which compare intermediate activations across
+/// precision modes.
+pub fn run_traced(
+    graph: &Graph,
+    input: &Tensor,
+    compute: &mut dyn Compute,
+) -> Result<Vec<Option<Tensor>>> {
+    let output = graph.output()?;
+    let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
+    eval(graph, output, input, compute, &mut memo)?;
+    Ok(memo)
+}
+
+fn eval(
+    graph: &Graph,
+    id: NodeId,
+    input: &Tensor,
+    compute: &mut dyn Compute,
+    memo: &mut Vec<Option<Tensor>>,
+) -> Result<()> {
+    if memo[id].is_some() {
+        return Ok(());
+    }
+    // Iterative post-order traversal: deep residual chains would otherwise
+    // exhaust the stack on large graphs.
+    let mut stack: Vec<(NodeId, bool)> = vec![(id, false)];
+    while let Some((nid, expanded)) = stack.pop() {
+        if memo[nid].is_some() {
+            continue;
+        }
+        let node = graph.node(nid)?;
+        if !expanded {
+            stack.push((nid, true));
+            for &inp in &node.inputs {
+                if memo[inp].is_none() {
+                    stack.push((inp, false));
+                }
+            }
+            continue;
+        }
+        let mut resolved = Vec::with_capacity(node.inputs.len());
+        for (slot, &inp) in node.inputs.iter().enumerate() {
+            resolved.push(memo[inp].clone().ok_or_else(|| {
+                NnError::Invalid(format!("input {slot} of node {nid} missing"))
+            })?);
+        }
+        memo[nid] = Some(apply_node(node, &resolved, input, compute)?);
+    }
+    Ok(())
+}
+
+/// Applies one node's operator to resolved input activations.
+pub fn apply_node(
+    node: &crate::graph::Node,
+    inputs: &[Tensor],
+    graph_input: &Tensor,
+    compute: &mut dyn Compute,
+) -> Result<Tensor> {
+    let get = |slot: usize| -> Result<&Tensor> {
+        inputs.get(slot).ok_or_else(|| NnError::Invalid(format!("missing input {slot}")))
+    };
+    Ok(match &node.op {
+        Op::Input => graph_input.clone(),
+        Op::Conv2d(conv) => compute.conv2d(node.layers[0], conv, get(0)?)?,
+        Op::Linear(lin) => compute.linear(node.layers[0], lin, get(0)?)?,
+        Op::BatchNorm(bn) => bn.forward(get(0)?)?,
+        Op::LayerNorm(ln) => ln.forward(get(0)?)?,
+        Op::Relu => act::relu(get(0)?),
+        Op::Gelu => act::gelu(get(0)?),
+        Op::Add => get(0)?.add(get(1)?)?,
+        Op::MaxPool { k, stride } => pool::max_pool2d(get(0)?, *k, *stride)?,
+        Op::AvgPool { k, stride } => pool::avg_pool2d(get(0)?, *k, *stride)?,
+        Op::GlobalAvgPool => pool::global_avg_pool(get(0)?)?,
+        Op::ToTokens => tokens::to_tokens(get(0)?)?,
+        Op::MeanTokens => tokens::mean_tokens(get(0)?)?,
+        Op::PatchMerge { h, w } => tokens::patch_merge(get(0)?, *h, *w)?,
+        Op::Attention(attn) => run_attention(attn, &node.layers_array()?, get(0)?, compute)?,
+        Op::WindowAttention(wa) => {
+            let x = get(0)?;
+            let lids = node.layers_array()?;
+            // Projections are per-token, so they commute with the window
+            // partition: project once on the full grid, then run the
+            // attention core per window.
+            let q = compute.linear(lids[0], &wa.attn.q, x)?;
+            let k = compute.linear(lids[1], &wa.attn.k, x)?;
+            let v = compute.linear(lids[2], &wa.attn.v, x)?;
+            let qw = wa.partition(&q)?;
+            let kw = wa.partition(&k)?;
+            let vw = wa.partition(&v)?;
+            let mut outs = Vec::with_capacity(qw.len());
+            for ((qi, ki), vi) in qw.iter().zip(kw.iter()).zip(vw.iter()) {
+                outs.push(wa.attn.core(qi, ki, vi)?);
+            }
+            let merged = wa.merge(&outs)?;
+            compute.linear(lids[3], &wa.attn.o, &merged)?
+        }
+        Op::Reorder(perm) => tokens::reorder_channels(get(0)?, perm)?,
+        Op::AddParam(p) => get(0)?.add(p)?,
+        Op::Embedding(emb) => emb.forward(get(0)?)?,
+    })
+}
+
+/// Steps through the graph in node-index order (topological for graphs
+/// built through the [`Graph`] builders), running several samples in
+/// lockstep and letting `visit` mutate each node's operator **before**
+/// it executes — with all upstream mutations already in effect.
+///
+/// This is what batch-norm statistics calibration needs: each BN sees
+/// inputs produced by already-calibrated upstream BNs, so one pass
+/// suffices even for very deep residual networks.
+pub fn run_stepwise(
+    graph: &mut Graph,
+    samples: &[Tensor],
+    compute: &mut dyn Compute,
+    mut visit: impl FnMut(&mut Op, &[Tensor]) -> Result<()>,
+) -> Result<()> {
+    let n_nodes = graph.nodes().len();
+    let mut memos: Vec<Vec<Option<Tensor>>> = vec![vec![None; n_nodes]; samples.len()];
+    for nid in 0..n_nodes {
+        // Gather every sample's first-input activation for the visitor.
+        let node_inputs = graph.node(nid)?.inputs.clone();
+        let first_inputs: Vec<Tensor> = if node_inputs.is_empty() {
+            Vec::new()
+        } else {
+            memos
+                .iter()
+                .map(|m| {
+                    m[node_inputs[0]].clone().ok_or_else(|| {
+                        NnError::Invalid(format!(
+                            "node {nid} executed before its input {} (graph not in topological index order)",
+                            node_inputs[0]
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?
+        };
+        visit(graph.op_mut(nid)?, &first_inputs)?;
+        let node = graph.node(nid)?.clone();
+        for (s, sample) in samples.iter().enumerate() {
+            let resolved: Vec<Tensor> = node
+                .inputs
+                .iter()
+                .map(|&i| {
+                    memos[s][i]
+                        .clone()
+                        .ok_or_else(|| NnError::Invalid(format!("missing memo {i}")))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            memos[s][nid] = Some(apply_node(&node, &resolved, sample, compute)?);
+        }
+    }
+    Ok(())
+}
+
+fn run_attention(
+    attn: &Attention,
+    lids: &[LayerId; 4],
+    x: &Tensor,
+    compute: &mut dyn Compute,
+) -> Result<Tensor> {
+    let q = compute.linear(lids[0], &attn.q, x)?;
+    let k = compute.linear(lids[1], &attn.k, x)?;
+    let v = compute.linear(lids[2], &attn.v, x)?;
+    let core = attn.core(&q, &k, &v)?;
+    compute.linear(lids[3], &attn.o, &core)
+}
+
+impl crate::graph::Node {
+    fn layers_array(&self) -> Result<[LayerId; 4]> {
+        if self.layers.len() != 4 {
+            return Err(NnError::Invalid(format!(
+                "attention node has {} registered layers, expected 4",
+                self.layers.len()
+            )));
+        }
+        Ok([self.layers[0], self.layers[1], self.layers[2], self.layers[3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BatchNorm2d, Conv2d};
+    use flexiq_tensor::rng::seeded;
+
+    #[test]
+    fn residual_graph_executes() {
+        let mut g = Graph::new("resblock");
+        let x = g.input();
+        let w = Tensor::eye(2).reshape([2, 2, 1, 1]).unwrap();
+        let c = g.conv2d(x, Conv2d::new(w, None, 1, 0, 1).unwrap()).unwrap();
+        let b = g.batch_norm(c, BatchNorm2d::identity(2)).unwrap();
+        let s = g.add(b, x).unwrap();
+        let r = g.relu(s).unwrap();
+        g.set_output(r).unwrap();
+        let input = Tensor::from_vec([2, 1, 1], vec![1.0, -3.0]).unwrap();
+        let y = run_f32(&g, &input).unwrap();
+        // Identity conv + identity bn: y = relu(2x).
+        assert!((y.data()[0] - 2.0).abs() < 1e-5);
+        assert_eq!(y.data()[1], 0.0);
+    }
+
+    #[test]
+    fn diamond_graph_memoizes_shared_input() {
+        // Two branches off the same node, merged by Add: the shared node
+        // must evaluate once (checked via a counting hook).
+        struct Counting {
+            calls: usize,
+        }
+        impl Compute for Counting {
+            fn conv2d(&mut self, _l: LayerId, c: &Conv2d, x: &Tensor) -> Result<Tensor> {
+                self.calls += 1;
+                c.forward(x)
+            }
+            fn linear(&mut self, _l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+                lin.forward(x)
+            }
+        }
+        let mut g = Graph::new("diamond");
+        let x = g.input();
+        let w = Tensor::eye(2).reshape([2, 2, 1, 1]).unwrap();
+        let shared = g.conv2d(x, Conv2d::new(w, None, 1, 0, 1).unwrap()).unwrap();
+        let a = g.relu(shared).unwrap();
+        let b = g.gelu(shared).unwrap();
+        let s = g.add(a, b).unwrap();
+        g.set_output(s).unwrap();
+        let mut hook = Counting { calls: 0 };
+        let input = Tensor::ones([2, 2, 2]);
+        run(&g, &input, &mut hook).unwrap();
+        assert_eq!(hook.calls, 1);
+    }
+
+    #[test]
+    fn attention_node_routes_projections_through_hook() {
+        struct Names(Vec<LayerId>);
+        impl Compute for Names {
+            fn conv2d(&mut self, _l: LayerId, c: &Conv2d, x: &Tensor) -> Result<Tensor> {
+                c.forward(x)
+            }
+            fn linear(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+                self.0.push(l);
+                lin.forward(x)
+            }
+        }
+        let mut rng = seeded(111);
+        let mk = |rng: &mut _| Linear::new(Tensor::randn([4, 4], 0.0, 0.3, rng), None).unwrap();
+        let attn =
+            Attention::new(mk(&mut rng), mk(&mut rng), mk(&mut rng), mk(&mut rng), 2, false)
+                .unwrap();
+        let mut g = Graph::new("attn");
+        let x = g.input();
+        let a = g.attention(x, attn).unwrap();
+        g.set_output(a).unwrap();
+        let mut hook = Names(vec![]);
+        let input = Tensor::randn([3, 4], 0.0, 1.0, &mut rng);
+        run(&g, &input, &mut hook).unwrap();
+        assert_eq!(hook.0, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn window_attention_matches_manual_path() {
+        let mut rng = seeded(112);
+        let mk = |rng: &mut _| Linear::new(Tensor::randn([4, 4], 0.0, 0.3, rng), None).unwrap();
+        let attn =
+            Attention::new(mk(&mut rng), mk(&mut rng), mk(&mut rng), mk(&mut rng), 2, false)
+                .unwrap();
+        let wa = crate::ops::WindowAttention::new(attn.clone(), 4, 4, 2, false).unwrap();
+        let mut g = Graph::new("swinblock");
+        let x = g.input();
+        let a = g.window_attention(x, wa.clone()).unwrap();
+        g.set_output(a).unwrap();
+        let input = Tensor::randn([16, 4], 0.0, 1.0, &mut rng);
+        let got = run_f32(&g, &input).unwrap();
+
+        // Manual: project, partition, core per window, merge, output proj.
+        let q = attn.q.forward(&input).unwrap();
+        let k = attn.k.forward(&input).unwrap();
+        let v = attn.v.forward(&input).unwrap();
+        let (qw, kw, vw) =
+            (wa.partition(&q).unwrap(), wa.partition(&k).unwrap(), wa.partition(&v).unwrap());
+        let outs: Vec<Tensor> = qw
+            .iter()
+            .zip(kw.iter())
+            .zip(vw.iter())
+            .map(|((qi, ki), vi)| attn.core(qi, ki, vi).unwrap())
+            .collect();
+        let expect = attn.o.forward(&wa.merge(&outs).unwrap()).unwrap();
+        for (a, b) in got.data().iter().zip(expect.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn missing_output_errors() {
+        let mut g = Graph::new("none");
+        let _ = g.input();
+        assert!(run_f32(&g, &Tensor::zeros([1])).is_err());
+    }
+}

@@ -1,0 +1,509 @@
+//! Layer-graph intermediate representation.
+//!
+//! A [`Graph`] is a DAG of [`Node`]s; each node applies one [`Op`] to the
+//! outputs of its input nodes. Residual connections are plain two-input
+//! `Add` nodes, which gives §5's layout pass a concrete place to insert
+//! channel-reorder operators.
+//!
+//! Every *quantizable* sub-layer (a convolution, a linear layer, or one of
+//! the four projections inside an attention block) is registered in the
+//! graph's **layer registry** and addressed by a dense [`LayerId`]. All of
+//! FlexiQ — calibration, channel selection, layout optimization, the
+//! mixed-precision runtime and finetuning — identifies layers by these
+//! ids.
+
+use flexiq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::ops::{Attention, BatchNorm2d, Conv2d, Embedding, LayerNorm, Linear, WindowAttention};
+use crate::Result;
+
+/// Index of a node within a [`Graph`].
+pub type NodeId = usize;
+
+/// Dense index of a quantizable layer within a [`Graph`].
+pub type LayerId = usize;
+
+/// The operator performed by a node.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// The graph input placeholder.
+    Input,
+    /// 2-D convolution (quantizable).
+    Conv2d(Conv2d),
+    /// Fully connected layer (quantizable).
+    Linear(Linear),
+    /// Batch normalization (inference mode).
+    BatchNorm(BatchNorm2d),
+    /// Layer normalization.
+    LayerNorm(LayerNorm),
+    /// ReLU activation.
+    Relu,
+    /// GELU activation.
+    Gelu,
+    /// Elementwise addition of two inputs (residual connection).
+    Add,
+    /// Max pooling.
+    MaxPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling `[C, H, W]` → `[C]`.
+    GlobalAvgPool,
+    /// `[C, H, W]` → `[H*W, C]` token conversion.
+    ToTokens,
+    /// Mean over tokens `[T, C]` → `[C]`.
+    MeanTokens,
+    /// Swin patch merging on an `h`×`w` token grid.
+    PatchMerge {
+        /// Grid height.
+        h: usize,
+        /// Grid width.
+        w: usize,
+    },
+    /// Multi-head self-attention (4 quantizable projections).
+    Attention(Attention),
+    /// Window attention (4 quantizable projections).
+    WindowAttention(WindowAttention),
+    /// Channel permutation (inserted by the layout pass, §5).
+    Reorder(Vec<usize>),
+    /// Adds a stored parameter tensor (e.g. positional embeddings).
+    AddParam(Tensor),
+    /// Token-embedding lookup (LM input).
+    Embedding(Embedding),
+}
+
+impl Op {
+    /// Short operator name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Conv2d(_) => "conv2d",
+            Op::Linear(_) => "linear",
+            Op::BatchNorm(_) => "batch_norm",
+            Op::LayerNorm(_) => "layer_norm",
+            Op::Relu => "relu",
+            Op::Gelu => "gelu",
+            Op::Add => "add",
+            Op::MaxPool { .. } => "max_pool",
+            Op::AvgPool { .. } => "avg_pool",
+            Op::GlobalAvgPool => "global_avg_pool",
+            Op::ToTokens => "to_tokens",
+            Op::MeanTokens => "mean_tokens",
+            Op::PatchMerge { .. } => "patch_merge",
+            Op::Attention(_) => "attention",
+            Op::WindowAttention(_) => "window_attention",
+            Op::Reorder(_) => "reorder",
+            Op::AddParam(_) => "add_param",
+            Op::Embedding(_) => "embedding",
+        }
+    }
+
+    /// Number of inputs this operator expects.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Input => 0,
+            Op::Add => 2,
+            _ => 1,
+        }
+    }
+
+    fn num_sublayers(&self) -> usize {
+        match self {
+            Op::Conv2d(_) | Op::Linear(_) => 1,
+            Op::Attention(_) | Op::WindowAttention(_) => 4,
+            _ => 0,
+        }
+    }
+}
+
+/// One node of the graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// Ids of the nodes feeding this one.
+    pub inputs: Vec<NodeId>,
+    /// Quantizable layer ids owned by this node (empty for float ops).
+    pub layers: Vec<LayerId>,
+}
+
+/// Immutable view of a quantizable layer's parameters.
+#[derive(Debug)]
+pub enum LayerView<'a> {
+    /// A convolution layer.
+    Conv(&'a Conv2d),
+    /// A linear layer (standalone or an attention projection).
+    Linear(&'a Linear),
+}
+
+impl LayerView<'_> {
+    /// Feature (input) channels of the layer.
+    pub fn c_in(&self) -> usize {
+        match self {
+            LayerView::Conv(c) => c.c_in(),
+            LayerView::Linear(l) => l.c_in(),
+        }
+    }
+
+    /// Output channels of the layer.
+    pub fn c_out(&self) -> usize {
+        match self {
+            LayerView::Conv(c) => c.c_out(),
+            LayerView::Linear(l) => l.c_out(),
+        }
+    }
+
+    /// The weight tensor.
+    pub fn weight(&self) -> &Tensor {
+        match self {
+            LayerView::Conv(c) => &c.weight,
+            LayerView::Linear(l) => &l.weight,
+        }
+    }
+
+    /// Number of weight parameters.
+    pub fn num_params(&self) -> usize {
+        self.weight().numel()
+    }
+}
+
+/// Mutable view of a quantizable layer's parameters.
+#[derive(Debug)]
+pub enum LayerViewMut<'a> {
+    /// A convolution layer.
+    Conv(&'a mut Conv2d),
+    /// A linear layer.
+    Linear(&'a mut Linear),
+}
+
+impl LayerViewMut<'_> {
+    /// The weight tensor, mutably.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        match self {
+            LayerViewMut::Conv(c) => &mut c.weight,
+            LayerViewMut::Linear(l) => &mut l.weight,
+        }
+    }
+}
+
+/// A neural-network computation graph with a quantizable-layer registry.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    output: Option<NodeId>,
+    /// Layer registry: layer id → (node id, sub-slot).
+    ///
+    /// Slot 0 is the node's own conv/linear; attention nodes use slots
+    /// 0..=3 for Q/K/V/O.
+    layer_refs: Vec<(NodeId, usize)>,
+    name: String,
+}
+
+impl Graph {
+    /// Creates an empty graph with a human-readable name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph { name: name.into(), ..Default::default() }
+    }
+
+    /// The graph's name (model identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A single node.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id).ok_or(NnError::Invalid(format!("no node {id}")))
+    }
+
+    /// The designated output node.
+    pub fn output(&self) -> Result<NodeId> {
+        self.output.ok_or_else(|| NnError::Invalid("graph has no output set".into()))
+    }
+
+    /// Marks a node as the graph output.
+    pub fn set_output(&mut self, id: NodeId) -> Result<()> {
+        if id >= self.nodes.len() {
+            return Err(NnError::Invalid(format!("output node {id} does not exist")));
+        }
+        self.output = Some(id);
+        Ok(())
+    }
+
+    /// Adds an arbitrary node, validating input references and arity, and
+    /// registering any quantizable sub-layers.
+    pub fn add_node(&mut self, op: Op, inputs: Vec<NodeId>) -> Result<NodeId> {
+        let id = self.nodes.len();
+        if inputs.len() != op.arity() {
+            return Err(NnError::Invalid(format!(
+                "`{}` expects {} inputs, got {}",
+                op.name(),
+                op.arity(),
+                inputs.len()
+            )));
+        }
+        for &i in &inputs {
+            if i >= id {
+                return Err(NnError::DanglingInput { node: id, input: i });
+            }
+        }
+        let mut layers = Vec::new();
+        for slot in 0..op.num_sublayers() {
+            layers.push(self.layer_refs.len());
+            self.layer_refs.push((id, slot));
+        }
+        self.nodes.push(Node { op, inputs, layers });
+        Ok(id)
+    }
+
+    /// Adds the graph input node.
+    pub fn input(&mut self) -> NodeId {
+        self.add_node(Op::Input, vec![]).expect("input has no inputs to validate")
+    }
+
+    /// Adds a convolution node; returns its node id.
+    pub fn conv2d(&mut self, x: NodeId, conv: Conv2d) -> Result<NodeId> {
+        self.add_node(Op::Conv2d(conv), vec![x])
+    }
+
+    /// Adds a linear node.
+    pub fn linear(&mut self, x: NodeId, lin: Linear) -> Result<NodeId> {
+        self.add_node(Op::Linear(lin), vec![x])
+    }
+
+    /// Adds a batch-norm node.
+    pub fn batch_norm(&mut self, x: NodeId, bn: BatchNorm2d) -> Result<NodeId> {
+        self.add_node(Op::BatchNorm(bn), vec![x])
+    }
+
+    /// Adds a layer-norm node.
+    pub fn layer_norm(&mut self, x: NodeId, ln: LayerNorm) -> Result<NodeId> {
+        self.add_node(Op::LayerNorm(ln), vec![x])
+    }
+
+    /// Adds a ReLU node.
+    pub fn relu(&mut self, x: NodeId) -> Result<NodeId> {
+        self.add_node(Op::Relu, vec![x])
+    }
+
+    /// Adds a GELU node.
+    pub fn gelu(&mut self, x: NodeId) -> Result<NodeId> {
+        self.add_node(Op::Gelu, vec![x])
+    }
+
+    /// Adds a residual addition node.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        self.add_node(Op::Add, vec![a, b])
+    }
+
+    /// Adds an attention node.
+    pub fn attention(&mut self, x: NodeId, attn: Attention) -> Result<NodeId> {
+        self.add_node(Op::Attention(attn), vec![x])
+    }
+
+    /// Adds a window-attention node.
+    pub fn window_attention(&mut self, x: NodeId, attn: WindowAttention) -> Result<NodeId> {
+        self.add_node(Op::WindowAttention(attn), vec![x])
+    }
+
+    /// Number of registered quantizable layers.
+    pub fn num_layers(&self) -> usize {
+        self.layer_refs.len()
+    }
+
+    /// The node owning a layer and the layer's slot within it.
+    pub fn layer_location(&self, layer: LayerId) -> Result<(NodeId, usize)> {
+        self.layer_refs.get(layer).copied().ok_or(NnError::BadLayer(layer))
+    }
+
+    /// Immutable view of a quantizable layer.
+    pub fn layer(&self, layer: LayerId) -> Result<LayerView<'_>> {
+        let (node, slot) = self.layer_location(layer)?;
+        match (&self.nodes[node].op, slot) {
+            (Op::Conv2d(c), 0) => Ok(LayerView::Conv(c)),
+            (Op::Linear(l), 0) => Ok(LayerView::Linear(l)),
+            (Op::Attention(a), s) | (Op::WindowAttention(WindowAttention { attn: a, .. }), s) => {
+                let lin = match s {
+                    0 => &a.q,
+                    1 => &a.k,
+                    2 => &a.v,
+                    3 => &a.o,
+                    _ => return Err(NnError::BadLayer(layer)),
+                };
+                Ok(LayerView::Linear(lin))
+            }
+            _ => Err(NnError::BadLayer(layer)),
+        }
+    }
+
+    /// Mutable view of a quantizable layer.
+    pub fn layer_mut(&mut self, layer: LayerId) -> Result<LayerViewMut<'_>> {
+        let (node, slot) = self.layer_location(layer)?;
+        match (&mut self.nodes[node].op, slot) {
+            (Op::Conv2d(c), 0) => Ok(LayerViewMut::Conv(c)),
+            (Op::Linear(l), 0) => Ok(LayerViewMut::Linear(l)),
+            (Op::Attention(a), s) | (Op::WindowAttention(WindowAttention { attn: a, .. }), s) => {
+                let lin = match s {
+                    0 => &mut a.q,
+                    1 => &mut a.k,
+                    2 => &mut a.v,
+                    3 => &mut a.o,
+                    _ => return Err(NnError::BadLayer(layer)),
+                };
+                Ok(LayerViewMut::Linear(lin))
+            }
+            _ => Err(NnError::BadLayer(layer)),
+        }
+    }
+
+    /// Human-readable label of a layer, e.g. `"node12/attention.q"`.
+    pub fn layer_label(&self, layer: LayerId) -> String {
+        match self.layer_location(layer) {
+            Ok((node, slot)) => {
+                let op = self.nodes[node].op.name();
+                let suffix = match (&self.nodes[node].op, slot) {
+                    (Op::Attention(_) | Op::WindowAttention(_), 0) => ".q",
+                    (Op::Attention(_) | Op::WindowAttention(_), 1) => ".k",
+                    (Op::Attention(_) | Op::WindowAttention(_), 2) => ".v",
+                    (Op::Attention(_) | Op::WindowAttention(_), 3) => ".o",
+                    _ => "",
+                };
+                format!("node{node}/{op}{suffix}")
+            }
+            Err(_) => format!("layer{layer}?"),
+        }
+    }
+
+    /// Replaces one input edge of a node (layout pass rewiring).
+    pub fn reroute_input(&mut self, node: NodeId, slot: usize, new_input: NodeId) -> Result<()> {
+        if new_input >= self.nodes.len() {
+            return Err(NnError::Invalid(format!("new input {new_input} does not exist")));
+        }
+        let n = self
+            .nodes
+            .get_mut(node)
+            .ok_or_else(|| NnError::Invalid(format!("no node {node}")))?;
+        let edge = n
+            .inputs
+            .get_mut(slot)
+            .ok_or_else(|| NnError::Invalid(format!("node {node} has no input slot {slot}")))?;
+        *edge = new_input;
+        Ok(())
+    }
+
+    /// Mutable access to a node's operator (used by the layout pass to
+    /// permute parameters in place).
+    pub fn op_mut(&mut self, node: NodeId) -> Result<&mut Op> {
+        self.nodes
+            .get_mut(node)
+            .map(|n| &mut n.op)
+            .ok_or_else(|| NnError::Invalid(format!("no node {node}")))
+    }
+
+    /// Total quantizable weight parameters across all layers.
+    pub fn total_quantizable_params(&self) -> usize {
+        (0..self.num_layers())
+            .map(|l| self.layer(l).map(|v| v.num_params()).unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::Tensor;
+
+    fn conv(c_out: usize, c_in: usize) -> Conv2d {
+        Conv2d::new(Tensor::zeros([c_out, c_in, 3, 3]), None, 1, 1, 1).unwrap()
+    }
+
+    fn lin(c_out: usize, c_in: usize) -> Linear {
+        Linear::new(Tensor::zeros([c_out, c_in]), None).unwrap()
+    }
+
+    #[test]
+    fn builder_registers_layers() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        let c1 = g.conv2d(x, conv(4, 3)).unwrap();
+        let r = g.relu(c1).unwrap();
+        let c2 = g.conv2d(r, conv(4, 4)).unwrap();
+        let s = g.add(c2, c1).unwrap();
+        g.set_output(s).unwrap();
+        assert_eq!(g.num_layers(), 2);
+        assert_eq!(g.layer(0).unwrap().c_in(), 3);
+        assert_eq!(g.layer(1).unwrap().c_in(), 4);
+        assert_eq!(g.output().unwrap(), s);
+    }
+
+    #[test]
+    fn attention_owns_four_layers() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        let attn = Attention::new(lin(4, 4), lin(4, 4), lin(4, 4), lin(4, 4), 2, false).unwrap();
+        let a = g.attention(x, attn).unwrap();
+        g.set_output(a).unwrap();
+        assert_eq!(g.num_layers(), 4);
+        assert!(g.layer_label(0).ends_with(".q"));
+        assert!(g.layer_label(3).ends_with(".o"));
+        assert!(matches!(g.layer(2).unwrap(), LayerView::Linear(_)));
+    }
+
+    #[test]
+    fn dangling_inputs_rejected() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        assert!(g.add_node(Op::Relu, vec![x + 5]).is_err());
+        assert!(g.add_node(Op::Add, vec![x]).is_err()); // arity
+        assert!(g.set_output(99).is_err());
+    }
+
+    #[test]
+    fn layer_mut_updates_weights() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        let c = g.conv2d(x, conv(2, 2)).unwrap();
+        g.set_output(c).unwrap();
+        if let LayerViewMut::Conv(cv) = g.layer_mut(0).unwrap() {
+            cv.weight.data_mut()[0] = 9.0;
+        }
+        assert_eq!(g.layer(0).unwrap().weight().data()[0], 9.0);
+    }
+
+    #[test]
+    fn reroute_input_rewires_edges() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        let a = g.relu(x).unwrap();
+        let b = g.gelu(x).unwrap();
+        let s = g.add(a, b).unwrap();
+        g.reroute_input(s, 1, a).unwrap();
+        assert_eq!(g.node(s).unwrap().inputs, vec![a, a]);
+        assert!(g.reroute_input(s, 5, a).is_err());
+        assert!(g.reroute_input(s, 0, 99).is_err());
+    }
+
+    #[test]
+    fn total_params_counts_all_layers() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        let c = g.conv2d(x, conv(2, 3)).unwrap(); // 2*3*3*3 = 54
+        let l = g.linear(c, lin(5, 2)).unwrap(); // 10
+        g.set_output(l).unwrap();
+        assert_eq!(g.total_quantizable_params(), 64);
+    }
+}

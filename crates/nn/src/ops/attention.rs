@@ -1,0 +1,327 @@
+//! Multi-head self-attention and Swin-style window attention.
+//!
+//! The four projections (Q, K, V, output) are [`Linear`] layers and are
+//! individually quantizable — Table 6 of the paper analyses exactly these
+//! Q/K/V projection layers. The attention core itself (scores, softmax,
+//! weighted sum) runs in floating point, matching the paper's convention
+//! that only convolutions and linear operations use integer arithmetic.
+
+use flexiq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::ops::act::softmax_lastdim;
+use crate::ops::linear::Linear;
+use crate::Result;
+
+/// Multi-head self-attention over `[T, C]` tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attention {
+    /// Query projection.
+    pub q: Linear,
+    /// Key projection.
+    pub k: Linear,
+    /// Value projection.
+    pub v: Linear,
+    /// Output projection.
+    pub o: Linear,
+    /// Number of attention heads; must divide the model width.
+    pub heads: usize,
+    /// Apply a causal (autoregressive) mask.
+    pub causal: bool,
+}
+
+impl Attention {
+    /// Creates an attention block, validating head/width compatibility.
+    pub fn new(q: Linear, k: Linear, v: Linear, o: Linear, heads: usize, causal: bool) -> Result<Self> {
+        let c = q.c_out();
+        if heads == 0 || c % heads != 0 {
+            return Err(NnError::Invalid(format!("heads {heads} must divide width {c}")));
+        }
+        if k.c_out() != c || v.c_out() != c || o.c_in() != c {
+            return Err(NnError::Invalid("attention projection widths disagree".into()));
+        }
+        Ok(Attention { q, k, v, o, heads, causal })
+    }
+
+    /// Model width.
+    pub fn width(&self) -> usize {
+        self.q.c_out()
+    }
+
+    /// Attention core: combines already-projected Q/K/V tensors
+    /// (`[T, C]` each) into the pre-output-projection context.
+    ///
+    /// Split out from the projections so the executor can route Q/K/V/O
+    /// through the quantized compute hook while the core stays in f32.
+    pub fn core(&self, q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
+        let t = q.dims()[0];
+        let c = self.width();
+        if q.dims() != [t, c] || k.dims() != [t, c] || v.dims() != [t, c] {
+            return Err(NnError::BadActivation {
+                op: "attention_core",
+                expected: format!("[T, {c}] projections"),
+                got: q.dims().to_vec(),
+            });
+        }
+        let dh = c / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut out = vec![0.0f32; t * c];
+        for h in 0..self.heads {
+            // Scores for this head: [T, T].
+            let mut scores = vec![0.0f32; t * t];
+            for i in 0..t {
+                for j in 0..t {
+                    if self.causal && j > i {
+                        scores[i * t + j] = f32::NEG_INFINITY;
+                        continue;
+                    }
+                    let mut acc = 0.0f32;
+                    for d in 0..dh {
+                        acc += q.data()[i * c + h * dh + d] * k.data()[j * c + h * dh + d];
+                    }
+                    scores[i * t + j] = acc * scale;
+                }
+            }
+            let probs = softmax_lastdim(&Tensor::from_vec([t, t], scores)?)?;
+            for i in 0..t {
+                for d in 0..dh {
+                    let mut acc = 0.0f32;
+                    for j in 0..t {
+                        acc += probs.data()[i * t + j] * v.data()[j * c + h * dh + d];
+                    }
+                    out[i * c + h * dh + d] = acc;
+                }
+            }
+        }
+        Ok(Tensor::from_vec([t, c], out)?)
+    }
+}
+
+/// Swin-style window attention over a `[h*w, C]` token grid.
+///
+/// Tokens are partitioned into `window`×`window` tiles; attention runs
+/// independently inside each tile with shared projection weights. When
+/// `shifted` is set, the grid is cyclically rolled by half a window first
+/// (and unrolled after), which lets information cross window borders in
+/// alternating blocks — the core Swin mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAttention {
+    /// The shared attention block.
+    pub attn: Attention,
+    /// Token-grid height.
+    pub grid_h: usize,
+    /// Token-grid width.
+    pub grid_w: usize,
+    /// Window side length.
+    pub window: usize,
+    /// Apply the half-window cyclic shift.
+    pub shifted: bool,
+}
+
+impl WindowAttention {
+    /// Creates a window-attention block, validating the tiling.
+    pub fn new(
+        attn: Attention,
+        grid_h: usize,
+        grid_w: usize,
+        window: usize,
+        shifted: bool,
+    ) -> Result<Self> {
+        if window == 0 || grid_h % window != 0 || grid_w % window != 0 {
+            return Err(NnError::Invalid(format!(
+                "window {window} must tile grid {grid_h}x{grid_w}"
+            )));
+        }
+        Ok(WindowAttention { attn, grid_h, grid_w, window, shifted })
+    }
+
+    /// Number of windows.
+    pub fn num_windows(&self) -> usize {
+        (self.grid_h / self.window) * (self.grid_w / self.window)
+    }
+
+    /// The cyclic roll applied before partitioning (0 when not shifted).
+    pub fn roll(&self) -> usize {
+        if self.shifted {
+            self.window / 2
+        } else {
+            0
+        }
+    }
+
+    /// Partitions a `[h*w, C]` grid into per-window token matrices.
+    pub fn partition(&self, x: &Tensor) -> Result<Vec<Tensor>> {
+        let c = self.attn.width();
+        if x.dims() != [self.grid_h * self.grid_w, c] {
+            return Err(NnError::BadActivation {
+                op: "window_partition",
+                expected: format!("[{}, {c}]", self.grid_h * self.grid_w),
+                got: x.dims().to_vec(),
+            });
+        }
+        let roll = self.roll();
+        let (h, w, win) = (self.grid_h, self.grid_w, self.window);
+        let mut windows = Vec::with_capacity(self.num_windows());
+        for wy in (0..h).step_by(win) {
+            for wx in (0..w).step_by(win) {
+                let mut data = Vec::with_capacity(win * win * c);
+                for dy in 0..win {
+                    for dx in 0..win {
+                        let sy = (wy + dy + roll) % h;
+                        let sx = (wx + dx + roll) % w;
+                        let src = (sy * w + sx) * c;
+                        data.extend_from_slice(&x.data()[src..src + c]);
+                    }
+                }
+                windows.push(Tensor::from_vec([win * win, c], data)?);
+            }
+        }
+        Ok(windows)
+    }
+
+    /// Reassembles per-window outputs into the `[h*w, C]` grid, undoing
+    /// the cyclic shift.
+    pub fn merge(&self, windows: &[Tensor]) -> Result<Tensor> {
+        let c = self.attn.width();
+        if windows.len() != self.num_windows() {
+            return Err(NnError::Invalid(format!(
+                "expected {} windows, got {}",
+                self.num_windows(),
+                windows.len()
+            )));
+        }
+        let roll = self.roll();
+        let (h, w, win) = (self.grid_h, self.grid_w, self.window);
+        let mut out = vec![0.0f32; h * w * c];
+        let mut idx = 0usize;
+        for wy in (0..h).step_by(win) {
+            for wx in (0..w).step_by(win) {
+                let wdata = windows[idx].data();
+                for dy in 0..win {
+                    for dx in 0..win {
+                        let sy = (wy + dy + roll) % h;
+                        let sx = (wx + dx + roll) % w;
+                        let dst = (sy * w + sx) * c;
+                        let src = (dy * win + dx) * c;
+                        out[dst..dst + c].copy_from_slice(&wdata[src..src + c]);
+                    }
+                }
+                idx += 1;
+            }
+        }
+        Ok(Tensor::from_vec([h * w, c], out)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::rng::seeded;
+
+    fn toy_attention(c: usize, heads: usize, causal: bool, seed: u64) -> Attention {
+        let mut rng = seeded(seed);
+        let lin = |rng: &mut _| {
+            Linear::new(Tensor::randn([c, c], 0.0, 0.2, rng), None).unwrap()
+        };
+        Attention::new(lin(&mut rng), lin(&mut rng), lin(&mut rng), lin(&mut rng), heads, causal)
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_value_uniform_scores_average() {
+        // With Q=K=0 projections (uniform scores) and V=identity, the core
+        // averages the value rows.
+        let c = 4;
+        let zeros = Linear::new(Tensor::zeros([c, c]), None).unwrap();
+        let ident = Linear::new(Tensor::eye(c), None).unwrap();
+        let attn =
+            Attention::new(zeros.clone(), zeros, ident.clone(), ident, 2, false).unwrap();
+        let x = Tensor::from_vec(
+            [2, 4],
+            vec![1.0, 2.0, 3.0, 4.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap();
+        let q = attn.q.forward(&x).unwrap();
+        let k = attn.k.forward(&x).unwrap();
+        let v = attn.v.forward(&x).unwrap();
+        let y = attn.core(&q, &k, &v).unwrap();
+        for i in 0..4 {
+            let mean = (x.data()[i] + x.data()[4 + i]) / 2.0;
+            assert!((y.data()[i] - mean).abs() < 1e-5);
+            assert!((y.data()[4 + i] - mean).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_tokens() {
+        let attn = toy_attention(8, 2, true, 101);
+        let mut rng = seeded(102);
+        let x1 = Tensor::randn([4, 8], 0.0, 1.0, &mut rng);
+        // Changing a future token must not affect earlier outputs.
+        let mut x2 = x1.clone();
+        for v in &mut x2.data_mut()[3 * 8..] {
+            *v += 5.0;
+        }
+        let run = |x: &Tensor| {
+            let q = attn.q.forward(x).unwrap();
+            let k = attn.k.forward(x).unwrap();
+            let v = attn.v.forward(x).unwrap();
+            attn.core(&q, &k, &v).unwrap()
+        };
+        let y1 = run(&x1);
+        let y2 = run(&x2);
+        for i in 0..3 * 8 {
+            assert!((y1.data()[i] - y2.data()[i]).abs() < 1e-5, "token leak at {i}");
+        }
+        // The last token must differ (it sees itself).
+        let diff: f32 = (0..8).map(|i| (y1.data()[24 + i] - y2.data()[24 + i]).abs()).sum();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn heads_must_divide_width() {
+        let c = 6;
+        let lin = Linear::new(Tensor::zeros([c, c]), None).unwrap();
+        assert!(Attention::new(lin.clone(), lin.clone(), lin.clone(), lin.clone(), 4, false)
+            .is_err());
+        assert!(Attention::new(lin.clone(), lin.clone(), lin.clone(), lin, 0, false).is_err());
+    }
+
+    #[test]
+    fn window_partition_merge_round_trips() {
+        let mut rng = seeded(103);
+        for shifted in [false, true] {
+            let attn = toy_attention(4, 2, false, 104);
+            let wa = WindowAttention::new(attn, 4, 4, 2, shifted).unwrap();
+            let x = Tensor::randn([16, 4], 0.0, 1.0, &mut rng);
+            let parts = wa.partition(&x).unwrap();
+            assert_eq!(parts.len(), 4);
+            let merged = wa.merge(&parts).unwrap();
+            assert_eq!(merged.data(), x.data());
+        }
+    }
+
+    #[test]
+    fn shifted_windows_mix_across_borders() {
+        let attn = toy_attention(4, 1, false, 105);
+        let plain = WindowAttention::new(attn.clone(), 4, 4, 2, false).unwrap();
+        let shifted = WindowAttention::new(attn, 4, 4, 2, true).unwrap();
+        let mut rng = seeded(106);
+        let x = Tensor::randn([16, 4], 0.0, 1.0, &mut rng);
+        let p_plain = plain.partition(&x).unwrap();
+        let p_shift = shifted.partition(&x).unwrap();
+        // Window 0 of the plain partition holds tokens {0,1,4,5}; the
+        // shifted one holds {5,6,9,10} — they must differ.
+        assert_ne!(p_plain[0].data(), p_shift[0].data());
+    }
+
+    #[test]
+    fn window_validation() {
+        let attn = toy_attention(4, 2, false, 107);
+        assert!(WindowAttention::new(attn.clone(), 5, 4, 2, false).is_err());
+        assert!(WindowAttention::new(attn.clone(), 4, 4, 0, false).is_err());
+        let wa = WindowAttention::new(attn, 4, 4, 2, false).unwrap();
+        assert!(wa.partition(&Tensor::zeros([15, 4])).is_err());
+        assert!(wa.merge(&[Tensor::zeros([4, 4])]).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! 2-D convolution with optional channel groups (depthwise support).
+
+use flexiq_tensor::im2col::{im2col, Conv2dGeometry};
+use flexiq_tensor::{gemm, Tensor};
+
+use crate::error::NnError;
+use crate::Result;
+
+/// A 2-D convolution layer.
+///
+/// Weights follow the `[C_out, C_in / groups, KH, KW]` layout. Inputs and
+/// outputs are single-sample `[C, H, W]` tensors; batching is handled by
+/// the callers (the serving path models batches analytically, the
+/// accuracy path iterates samples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// Kernel weights `[C_out, C_in / groups, KH, KW]`.
+    pub weight: Tensor,
+    /// Optional per-output-channel bias.
+    pub bias: Option<Vec<f32>>,
+    /// Spatial stride (both dimensions).
+    pub stride: usize,
+    /// Zero padding (all sides).
+    pub pad: usize,
+    /// Channel groups; `groups == C_in` makes this a depthwise conv.
+    pub groups: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution, validating the weight layout.
+    pub fn new(
+        weight: Tensor,
+        bias: Option<Vec<f32>>,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Result<Self> {
+        if weight.shape().rank() != 4 {
+            return Err(NnError::BadActivation {
+                op: "conv2d",
+                expected: "rank-4 weight [C_out, C_in/groups, KH, KW]".into(),
+                got: weight.dims().to_vec(),
+            });
+        }
+        if groups == 0 || weight.dims()[0] % groups != 0 {
+            return Err(NnError::Invalid(format!(
+                "groups {groups} must divide C_out {}",
+                weight.dims()[0]
+            )));
+        }
+        if let Some(b) = &bias {
+            if b.len() != weight.dims()[0] {
+                return Err(NnError::Invalid(format!(
+                    "bias length {} != C_out {}",
+                    b.len(),
+                    weight.dims()[0]
+                )));
+            }
+        }
+        if stride == 0 {
+            return Err(NnError::Invalid("stride must be positive".into()));
+        }
+        Ok(Conv2d { weight, bias, stride, pad, groups })
+    }
+
+    /// Output channels.
+    pub fn c_out(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Input (feature) channels, including all groups.
+    pub fn c_in(&self) -> usize {
+        self.weight.dims()[1] * self.groups
+    }
+
+    /// Kernel height.
+    pub fn kh(&self) -> usize {
+        self.weight.dims()[2]
+    }
+
+    /// Kernel width.
+    pub fn kw(&self) -> usize {
+        self.weight.dims()[3]
+    }
+
+    /// The im2col geometry of one channel group for an `[C_in, H, W]`
+    /// input.
+    pub fn group_geometry(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            c_in: self.weight.dims()[1],
+            h,
+            w,
+            kh: self.kh(),
+            kw: self.kw(),
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    /// Validates an input activation and returns `(C_in, H, W)`.
+    pub fn check_input(&self, x: &Tensor) -> Result<(usize, usize, usize)> {
+        let dims = x.dims();
+        if dims.len() != 3 || dims[0] != self.c_in() {
+            return Err(NnError::BadActivation {
+                op: "conv2d",
+                expected: format!("[{}, H, W]", self.c_in()),
+                got: dims.to_vec(),
+            });
+        }
+        Ok((dims[0], dims[1], dims[2]))
+    }
+
+    /// Reference f32 forward pass.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let (_, h, w) = self.check_input(x)?;
+        let g = self.group_geometry(h, w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let c_out = self.c_out();
+        let c_out_g = c_out / self.groups;
+        let c_in_g = self.weight.dims()[1];
+        let k = g.rows();
+        let cols = g.cols();
+        let mut out = vec![0.0f32; c_out * cols];
+        for grp in 0..self.groups {
+            let x_slice =
+                &x.data()[grp * c_in_g * h * w..(grp + 1) * c_in_g * h * w];
+            let cols_mat = im2col(x_slice, &g);
+            let w_slice = &self.weight.data()[grp * c_out_g * k..(grp + 1) * c_out_g * k];
+            gemm::gemm_f32(
+                c_out_g,
+                cols,
+                k,
+                w_slice,
+                &cols_mat,
+                &mut out[grp * c_out_g * cols..(grp + 1) * c_out_g * cols],
+            );
+        }
+        if let Some(bias) = &self.bias {
+            for (co, &b) in bias.iter().enumerate() {
+                for v in &mut out[co * cols..(co + 1) * cols] {
+                    *v += b;
+                }
+            }
+        }
+        Ok(Tensor::from_vec([c_out, oh, ow], out)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::rng::seeded;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 conv with identity weights is a no-op.
+        let w = Tensor::from_vec([2, 2, 1, 1], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let conv = Conv2d::new(w, None, 1, 0, 1).unwrap();
+        let mut rng = seeded(81);
+        let x = Tensor::rand_uniform([2, 3, 3], -1.0, 1.0, &mut rng);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 3]);
+        for (a, b) in x.data().iter().zip(y.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bias_is_added_per_output_channel() {
+        let w = Tensor::zeros([2, 1, 1, 1]);
+        let conv = Conv2d::new(w, Some(vec![1.5, -2.0]), 1, 0, 1).unwrap();
+        let x = Tensor::zeros([1, 2, 2]);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(&y.data()[..4], &[1.5; 4]);
+        assert_eq!(&y.data()[4..], &[-2.0; 4]);
+    }
+
+    #[test]
+    fn stride_and_padding_shape() {
+        let mut rng = seeded(82);
+        let w = Tensor::randn([4, 3, 3, 3], 0.0, 0.1, &mut rng);
+        let conv = Conv2d::new(w, None, 2, 1, 1).unwrap();
+        let x = Tensor::randn([3, 8, 8], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_conv_processes_channels_independently() {
+        // Depthwise 1x1 conv scaling each channel by its own factor.
+        let w = Tensor::from_vec([3, 1, 1, 1], vec![2.0, 3.0, 4.0]).unwrap();
+        let conv = Conv2d::new(w, None, 1, 0, 3).unwrap();
+        let x = Tensor::ones([3, 2, 2]);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(&y.data()[..4], &[2.0; 4]);
+        assert_eq!(&y.data()[4..8], &[3.0; 4]);
+        assert_eq!(&y.data()[8..], &[4.0; 4]);
+        assert_eq!(conv.c_in(), 3);
+    }
+
+    #[test]
+    fn grouped_conv_matches_split_convs() {
+        let mut rng = seeded(83);
+        // groups=2: equivalent to two independent convs on channel halves.
+        let w = Tensor::randn([4, 2, 3, 3], 0.0, 0.3, &mut rng);
+        let conv = Conv2d::new(w.clone(), None, 1, 1, 2).unwrap();
+        let x = Tensor::randn([4, 5, 5], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x).unwrap();
+
+        for grp in 0..2usize {
+            let wg = Tensor::from_vec(
+                [2, 2, 3, 3],
+                w.data()[grp * 2 * 2 * 9..(grp + 1) * 2 * 2 * 9].to_vec(),
+            )
+            .unwrap();
+            let sub = Conv2d::new(wg, None, 1, 1, 1).unwrap();
+            let xg = Tensor::from_vec([2, 5, 5], x.data()[grp * 50..(grp + 1) * 50].to_vec())
+                .unwrap();
+            let yg = sub.forward(&xg).unwrap();
+            for (i, &v) in yg.data().iter().enumerate() {
+                assert!((v - y.data()[grp * 50 + i]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let w = Tensor::zeros([2, 3, 1, 1]);
+        let conv = Conv2d::new(w, None, 1, 0, 1).unwrap();
+        assert!(conv.forward(&Tensor::zeros([4, 2, 2])).is_err());
+        assert!(conv.forward(&Tensor::zeros([3, 4])).is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Conv2d::new(Tensor::zeros([2, 1, 1]), None, 1, 0, 1).is_err());
+        assert!(Conv2d::new(Tensor::zeros([2, 1, 1, 1]), None, 0, 0, 1).is_err());
+        assert!(Conv2d::new(Tensor::zeros([2, 1, 1, 1]), None, 1, 0, 3).is_err());
+        assert!(Conv2d::new(Tensor::zeros([2, 1, 1, 1]), Some(vec![0.0]), 1, 0, 1).is_err());
+    }
+}

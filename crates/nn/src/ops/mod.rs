@@ -1,0 +1,18 @@
+//! Operator implementations.
+//!
+//! Parameter-carrying operators live in their own modules; pure functions
+//! (activations, pooling, token reshapes) are free functions over
+//! [`flexiq_tensor::Tensor`].
+
+pub mod act;
+pub mod attention;
+pub mod conv;
+pub mod linear;
+pub mod norm;
+pub mod pool;
+pub mod tokens;
+
+pub use attention::{Attention, WindowAttention};
+pub use conv::Conv2d;
+pub use linear::{Embedding, Linear};
+pub use norm::{BatchNorm2d, LayerNorm};

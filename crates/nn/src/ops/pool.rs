@@ -1,0 +1,124 @@
+//! Spatial pooling operators.
+
+use flexiq_tensor::im2col::conv_out_size;
+use flexiq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::Result;
+
+fn check_chw<'a>(op: &'static str, x: &'a Tensor) -> Result<(&'a [usize], usize, usize, usize)> {
+    let dims = x.dims();
+    if dims.len() != 3 {
+        return Err(NnError::BadActivation {
+            op,
+            expected: "[C, H, W]".into(),
+            got: dims.to_vec(),
+        });
+    }
+    Ok((dims, dims[0], dims[1], dims[2]))
+}
+
+/// Max pooling with a `k`×`k` window and the given stride.
+pub fn max_pool2d(x: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
+    let (_, c, h, w) = check_chw("max_pool2d", x)?;
+    if k == 0 || stride == 0 || k > h || k > w {
+        return Err(NnError::Invalid(format!("bad pool window k={k} stride={stride} for {h}x{w}")));
+    }
+    let (oh, ow) = (conv_out_size(h, k, stride, 0), conv_out_size(w, k, stride, 0));
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        m = m.max(x.data()[(ci * h + oy * stride + dy) * w + ox * stride + dx]);
+                    }
+                }
+                out[(ci * oh + oy) * ow + ox] = m;
+            }
+        }
+    }
+    Ok(Tensor::from_vec([c, oh, ow], out)?)
+}
+
+/// Average pooling with a `k`×`k` window and the given stride.
+pub fn avg_pool2d(x: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
+    let (_, c, h, w) = check_chw("avg_pool2d", x)?;
+    if k == 0 || stride == 0 || k > h || k > w {
+        return Err(NnError::Invalid(format!("bad pool window k={k} stride={stride} for {h}x{w}")));
+    }
+    let (oh, ow) = (conv_out_size(h, k, stride, 0), conv_out_size(w, k, stride, 0));
+    let norm = 1.0 / (k * k) as f32;
+    let mut out = vec![0.0f32; c * oh * ow];
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut s = 0.0f32;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        s += x.data()[(ci * h + oy * stride + dy) * w + ox * stride + dx];
+                    }
+                }
+                out[(ci * oh + oy) * ow + ox] = s * norm;
+            }
+        }
+    }
+    Ok(Tensor::from_vec([c, oh, ow], out)?)
+}
+
+/// Global average pooling: `[C, H, W]` → `[C]`.
+pub fn global_avg_pool(x: &Tensor) -> Result<Tensor> {
+    let (_, c, h, w) = check_chw("global_avg_pool", x)?;
+    let hw = (h * w).max(1);
+    let mut out = vec![0.0f32; c];
+    for ci in 0..c {
+        out[ci] = x.data()[ci * h * w..(ci + 1) * h * w].iter().sum::<f32>() / hw as f32;
+    }
+    Ok(Tensor::from_vec([c], out)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_takes_window_maxima() {
+        let x = Tensor::from_vec([1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 1]);
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_takes_window_means() {
+        let x = Tensor::from_vec([1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = avg_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn strided_pooling_shapes() {
+        let x = Tensor::zeros([3, 8, 8]);
+        assert_eq!(max_pool2d(&x, 2, 2).unwrap().dims(), &[3, 4, 4]);
+        assert_eq!(avg_pool2d(&x, 3, 2).unwrap().dims(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_to_channels() {
+        let x = Tensor::from_vec([2, 1, 2], vec![1.0, 3.0, -2.0, -4.0]).unwrap();
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.dims(), &[2]);
+        assert_eq!(y.data(), &[2.0, -3.0]);
+    }
+
+    #[test]
+    fn pools_validate_inputs() {
+        let x = Tensor::zeros([2, 2]);
+        assert!(max_pool2d(&x, 2, 2).is_err());
+        assert!(global_avg_pool(&x).is_err());
+        let x = Tensor::zeros([1, 2, 2]);
+        assert!(max_pool2d(&x, 3, 1).is_err());
+        assert!(avg_pool2d(&x, 0, 1).is_err());
+    }
+}

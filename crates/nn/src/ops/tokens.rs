@@ -1,0 +1,218 @@
+//! Token-layout operators for transformer models.
+
+use flexiq_tensor::Tensor;
+
+use crate::error::NnError;
+use crate::Result;
+
+/// Converts a CNN activation `[C, H, W]` into a token matrix `[H*W, C]`.
+pub fn to_tokens(x: &Tensor) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 3 {
+        return Err(NnError::BadActivation {
+            op: "to_tokens",
+            expected: "[C, H, W]".into(),
+            got: dims.to_vec(),
+        });
+    }
+    // [C, H, W] -> [H, W, C] -> [H*W, C].
+    let p = x.permute(&[1, 2, 0])?;
+    Ok(p.reshape([dims[1] * dims[2], dims[0]])?)
+}
+
+/// Mean over tokens: `[T, C]` → `[C]` (the zoo's pooling head).
+pub fn mean_tokens(x: &Tensor) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 2 || dims[0] == 0 {
+        return Err(NnError::BadActivation {
+            op: "mean_tokens",
+            expected: "non-empty [T, C]".into(),
+            got: dims.to_vec(),
+        });
+    }
+    let (t, c) = (dims[0], dims[1]);
+    let mut out = vec![0.0f32; c];
+    for ti in 0..t {
+        for ci in 0..c {
+            out[ci] += x.data()[ti * c + ci];
+        }
+    }
+    for v in &mut out {
+        *v /= t as f32;
+    }
+    Ok(Tensor::from_vec([c], out)?)
+}
+
+/// Swin-style patch merging: a `[h*w, C]` token grid becomes
+/// `[(h/2)*(w/2), 4C]` by concatenating each 2×2 neighbourhood.
+///
+/// A linear `4C → 2C` reduction follows as a separate (quantizable) node.
+pub fn patch_merge(x: &Tensor, h: usize, w: usize) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 2 || dims[0] != h * w {
+        return Err(NnError::BadActivation {
+            op: "patch_merge",
+            expected: format!("[{} tokens, C]", h * w),
+            got: dims.to_vec(),
+        });
+    }
+    if h % 2 != 0 || w % 2 != 0 {
+        return Err(NnError::Invalid(format!("patch_merge needs even grid, got {h}x{w}")));
+    }
+    let c = dims[1];
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0.0f32; oh * ow * 4 * c];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let dst = (oy * ow + ox) * 4 * c;
+            // Order: (0,0), (1,0), (0,1), (1,1) — matches Swin's reference.
+            let quad = [(0, 0), (1, 0), (0, 1), (1, 1)];
+            for (qi, (dy, dx)) in quad.iter().enumerate() {
+                let src = ((2 * oy + dy) * w + 2 * ox + dx) * c;
+                out[dst + qi * c..dst + (qi + 1) * c]
+                    .copy_from_slice(&x.data()[src..src + c]);
+            }
+        }
+    }
+    Ok(Tensor::from_vec([oh * ow, 4 * c], out)?)
+}
+
+/// Permutes the channel dimension of an activation (layout pass, §5).
+///
+/// `perm[i] = j` means output channel `i` takes input channel `j`. The
+/// channel axis is inferred from the layout conventions: axis 0 for
+/// `[C, H, W]` and `[C]`, axis 1 for `[T, C]`.
+pub fn reorder_channels(x: &Tensor, perm: &[usize]) -> Result<Tensor> {
+    let dims = x.dims();
+    match dims.len() {
+        3 => {
+            let (c, h, w) = (dims[0], dims[1], dims[2]);
+            check_perm(perm, c)?;
+            let hw = h * w;
+            let mut out = vec![0.0f32; c * hw];
+            for (i, &j) in perm.iter().enumerate() {
+                out[i * hw..(i + 1) * hw].copy_from_slice(&x.data()[j * hw..(j + 1) * hw]);
+            }
+            Ok(Tensor::from_vec(dims.to_vec(), out)?)
+        }
+        2 => {
+            let (t, c) = (dims[0], dims[1]);
+            check_perm(perm, c)?;
+            let mut out = vec![0.0f32; t * c];
+            for ti in 0..t {
+                for (i, &j) in perm.iter().enumerate() {
+                    out[ti * c + i] = x.data()[ti * c + j];
+                }
+            }
+            Ok(Tensor::from_vec(dims.to_vec(), out)?)
+        }
+        1 => {
+            let c = dims[0];
+            check_perm(perm, c)?;
+            let out = perm.iter().map(|&j| x.data()[j]).collect();
+            Ok(Tensor::from_vec(dims.to_vec(), out)?)
+        }
+        _ => Err(NnError::BadActivation {
+            op: "reorder",
+            expected: "rank 1..=3 activation".into(),
+            got: dims.to_vec(),
+        }),
+    }
+}
+
+fn check_perm(perm: &[usize], c: usize) -> Result<()> {
+    if perm.len() != c {
+        return Err(NnError::Invalid(format!(
+            "permutation length {} != channels {c}",
+            perm.len()
+        )));
+    }
+    let mut seen = vec![false; c];
+    for &p in perm {
+        if p >= c || seen[p] {
+            return Err(NnError::Invalid(format!("invalid permutation entry {p}")));
+        }
+        seen[p] = true;
+    }
+    Ok(())
+}
+
+/// Inverts a permutation.
+pub fn invert_perm(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_tokens_transposes_correctly() {
+        // [2, 1, 2]: channels {a,b} at two positions.
+        let x = Tensor::from_vec([2, 1, 2], vec![1.0, 2.0, 10.0, 20.0]).unwrap();
+        let t = to_tokens(&x).unwrap();
+        assert_eq!(t.dims(), &[2, 2]);
+        // Token 0 = (position 0 of each channel).
+        assert_eq!(t.data(), &[1.0, 10.0, 2.0, 20.0]);
+    }
+
+    #[test]
+    fn mean_tokens_averages() {
+        let x = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        assert_eq!(mean_tokens(&x).unwrap().data(), &[2.0, 4.0]);
+        assert!(mean_tokens(&Tensor::zeros([0, 2])).is_err());
+    }
+
+    #[test]
+    fn patch_merge_concatenates_quads() {
+        // 2x2 grid, 1 channel, tokens valued 0..4 row-major.
+        let x = Tensor::from_vec([4, 1], vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let y = patch_merge(&x, 2, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 4]);
+        // Quad order (0,0), (1,0), (0,1), (1,1) = tokens 0, 2, 1, 3.
+        assert_eq!(y.data(), &[0.0, 2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn patch_merge_validates() {
+        let x = Tensor::zeros([6, 2]);
+        assert!(patch_merge(&x, 3, 2).is_err()); // odd grid
+        assert!(patch_merge(&x, 2, 2).is_err()); // token mismatch
+    }
+
+    #[test]
+    fn reorder_cnn_and_token_layouts() {
+        let x = Tensor::from_vec([2, 1, 1], vec![1.0, 2.0]).unwrap();
+        let y = reorder_channels(&x, &[1, 0]).unwrap();
+        assert_eq!(y.data(), &[2.0, 1.0]);
+
+        let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = reorder_channels(&t, &[1, 0]).unwrap();
+        assert_eq!(y.data(), &[2.0, 1.0, 4.0, 3.0]);
+
+        let v = Tensor::from_vec([3], vec![5.0, 6.0, 7.0]).unwrap();
+        let y = reorder_channels(&v, &[2, 0, 1]).unwrap();
+        assert_eq!(y.data(), &[7.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reorder_then_inverse_is_identity() {
+        let x = Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let perm = vec![2, 0, 3, 1];
+        let y = reorder_channels(&x, &perm).unwrap();
+        let z = reorder_channels(&y, &invert_perm(&perm)).unwrap();
+        assert_eq!(z.data(), x.data());
+    }
+
+    #[test]
+    fn reorder_rejects_bad_perms() {
+        let x = Tensor::zeros([3]);
+        assert!(reorder_channels(&x, &[0, 1]).is_err());
+        assert!(reorder_channels(&x, &[0, 0, 1]).is_err());
+        assert!(reorder_channels(&x, &[0, 1, 3]).is_err());
+    }
+}

@@ -1,0 +1,872 @@
+//! Mixed-precision quantized execution (§4, §7).
+//!
+//! A [`QuantizedModel`] holds the static 8-bit state of every quantizable
+//! layer: integer master weights with per-output-channel scales, a
+//! per-tensor activation scale, and the calibrated per-feature-group
+//! maxima that determine bit-extraction positions. A [`MixedPlan`] says
+//! which feature groups run at 4 bits; the plan is the *only* thing that
+//! changes when the serving runtime adjusts its low-bitwidth ratio.
+//!
+//! Two execution paths are provided:
+//!
+//! * [`ExecMode::Int`] — the functional path: real `i8` GEMM bands per
+//!   feature group, bit-extracted 4-bit operands, and bit-shifted `i32`
+//!   accumulation, exactly as the paper's GPU kernel and NPU datapath
+//!   operate. Used to validate the arithmetic.
+//! * [`ExecMode::Fake`] — the fast path: weights and activations are
+//!   replaced by their reconstruction (`dequantize(lower(quantize(x)))`)
+//!   and the layer runs in f32. Produces the same results up to f32
+//!   summation order; used for accuracy experiments and fitness
+//!   evaluation in the channel-selection loop.
+
+use flexiq_quant::dynamic::dynamic_lowering;
+use flexiq_quant::lowering::BitLowering;
+use flexiq_quant::quantize::{PerChannelQ, RANGE_EPS};
+use flexiq_quant::{GroupSpec, QParams, QuantBits};
+use flexiq_tensor::im2col::im2col_i8;
+use flexiq_tensor::{gemm, I8Tensor, Tensor};
+
+use crate::calibrate::CalibrationRecord;
+use crate::error::NnError;
+use crate::exec::Compute;
+use crate::graph::{Graph, LayerId, LayerView};
+use crate::ops::{Conv2d, Linear};
+use crate::Result;
+
+/// Static quantization state of one layer.
+#[derive(Debug, Clone)]
+pub struct LayerQuant {
+    /// Feature (input) channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// 8-bit master weights in the layer's original layout.
+    pub w_q: I8Tensor,
+    /// Per-output-channel weight scales.
+    pub w_scales: Vec<f32>,
+    /// Per-tensor activation scale (8-bit).
+    pub act_scale: f32,
+    /// Calibrated per-feature-group activation maxima, in quantized units.
+    pub act_group_max_q: Vec<u32>,
+    /// Per-feature-group, per-output-channel weight maxima, in quantized
+    /// units (`[group][c_out]`).
+    pub w_group_max_q: Vec<Vec<u32>>,
+}
+
+impl LayerQuant {
+    /// Number of feature groups.
+    pub fn num_groups(&self) -> usize {
+        self.act_group_max_q.len()
+    }
+
+    /// Static activation extraction rule for group `g`.
+    pub fn act_lowering(&self, g: usize, low_bits: QuantBits) -> BitLowering {
+        BitLowering::for_max_abs(self.act_group_max_q[g], low_bits)
+    }
+
+    /// Static weight extraction rule for group `g`, output channel `o`.
+    pub fn w_lowering(&self, g: usize, o: usize, low_bits: QuantBits) -> BitLowering {
+        BitLowering::for_max_abs(self.w_group_max_q[g][o], low_bits)
+    }
+}
+
+/// A quantized model: per-layer 8-bit state plus the group spec.
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    /// Per-layer state, indexed by [`LayerId`].
+    pub layers: Vec<LayerQuant>,
+    /// The feature-group granularity used throughout.
+    pub groups: GroupSpec,
+}
+
+impl QuantizedModel {
+    /// Quantizes a calibrated graph to 8-bit master state.
+    pub fn prepare(graph: &Graph, calib: &CalibrationRecord, groups: GroupSpec) -> Result<Self> {
+        if calib.num_layers() != graph.num_layers() {
+            return Err(NnError::Invalid(format!(
+                "calibration covers {} layers, graph has {}",
+                calib.num_layers(),
+                graph.num_layers()
+            )));
+        }
+        let mut layers = Vec::with_capacity(graph.num_layers());
+        for l in 0..graph.num_layers() {
+            let view = graph.layer(l)?;
+            let weight = view.weight();
+            let pc = PerChannelQ::calibrate_axis0(weight, QuantBits::B8)?;
+            let w_q = pc.quantize_axis0(weight)?;
+            let (c_in, c_out) = (view.c_in(), view.c_out());
+
+            let lc = &calib.layers[l];
+            let act_scale = lc.act_abs_max.max(RANGE_EPS) / QuantBits::B8.qmax() as f32;
+            let act_params = QParams::new(act_scale, QuantBits::B8)?;
+            let n_groups = groups.num_groups(c_in);
+            let mut act_group_max_q = vec![0u32; n_groups];
+            if lc.act_channel_abs.len() == c_in {
+                for g in 0..n_groups {
+                    let r = groups.channel_range(g, c_in);
+                    let m = lc.act_channel_abs[r].iter().fold(0.0f32, |a, &b| a.max(b));
+                    act_group_max_q[g] = act_params.quantize(m).unsigned_abs();
+                }
+            } else {
+                // No per-channel data (layer never calibrated): assume the
+                // full 8-bit range so lowering degrades to naive.
+                act_group_max_q.fill(QuantBits::B8.qmax() as u32);
+            }
+
+            let w_group_max_q = weight_group_maxima(&view, &w_q, groups);
+            layers.push(LayerQuant {
+                c_in,
+                c_out,
+                w_q,
+                w_scales: pc.scales().to_vec(),
+                act_scale,
+                act_group_max_q,
+                w_group_max_q,
+            });
+        }
+        Ok(QuantizedModel { layers, groups })
+    }
+
+    /// Number of quantizable layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Feature groups of each layer.
+    pub fn groups_per_layer(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.num_groups()).collect()
+    }
+
+    /// Total weight parameters.
+    pub fn total_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w_q.numel()).sum()
+    }
+}
+
+/// Per-feature-group, per-output-channel maxima of the quantized weights.
+fn weight_group_maxima(view: &LayerView<'_>, w_q: &I8Tensor, groups: GroupSpec) -> Vec<Vec<u32>> {
+    match view {
+        LayerView::Linear(lin) => {
+            let (c_out, c_in) = (lin.c_out(), lin.c_in());
+            let n_groups = groups.num_groups(c_in);
+            let mut out = vec![vec![0u32; c_out]; n_groups];
+            for o in 0..c_out {
+                for c in 0..c_in {
+                    let g = groups.group_of(c);
+                    let v = w_q.data()[o * c_in + c].unsigned_abs() as u32;
+                    if v > out[g][o] {
+                        out[g][o] = v;
+                    }
+                }
+            }
+            out
+        }
+        LayerView::Conv(conv) => {
+            let (c_out, c_in) = (conv.c_out(), conv.c_in());
+            let c_in_g = conv.weight.dims()[1];
+            let khkw = conv.kh() * conv.kw();
+            let c_out_g = c_out / conv.groups;
+            let n_groups = groups.num_groups(c_in);
+            let mut out = vec![vec![0u32; c_out]; n_groups];
+            for o in 0..c_out {
+                let cg = o / c_out_g;
+                for cl in 0..c_in_g {
+                    let c = cg * c_in_g + cl; // global feature channel
+                    let g = groups.group_of(c);
+                    for k in 0..khkw {
+                        let v = w_q.data()[(o * c_in_g + cl) * khkw + k].unsigned_abs() as u32;
+                        if v > out[g][o] {
+                            out[g][o] = v;
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Which feature groups run at low bitwidth, per layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedPlan {
+    /// `low_groups[layer][group]` — `true` selects 4-bit computation.
+    pub low_groups: Vec<Vec<bool>>,
+}
+
+impl MixedPlan {
+    /// Plan with every group at 8 bits (equivalent to uniform INT8).
+    pub fn all_high(model: &QuantizedModel) -> Self {
+        MixedPlan {
+            low_groups: model.layers.iter().map(|l| vec![false; l.num_groups()]).collect(),
+        }
+    }
+
+    /// Plan with every group at 4 bits (FlexiQ 100%).
+    pub fn all_low(model: &QuantizedModel) -> Self {
+        MixedPlan {
+            low_groups: model.layers.iter().map(|l| vec![true; l.num_groups()]).collect(),
+        }
+    }
+
+    /// Validates plan dimensions against a model.
+    pub fn validate(&self, model: &QuantizedModel) -> Result<()> {
+        if self.low_groups.len() != model.num_layers() {
+            return Err(NnError::Invalid(format!(
+                "plan covers {} layers, model has {}",
+                self.low_groups.len(),
+                model.num_layers()
+            )));
+        }
+        for (l, groups) in self.low_groups.iter().enumerate() {
+            if groups.len() != model.layers[l].num_groups() {
+                return Err(NnError::Invalid(format!(
+                    "plan layer {l} has {} groups, model has {}",
+                    groups.len(),
+                    model.layers[l].num_groups()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of weight parameters computed at low bitwidth.
+    pub fn low_param_fraction(&self, model: &QuantizedModel) -> f64 {
+        let mut low = 0usize;
+        let mut total = 0usize;
+        for (l, lq) in model.layers.iter().enumerate() {
+            let per_channel = lq.w_q.numel() / lq.c_in.max(1);
+            for g in 0..lq.num_groups() {
+                let channels = model.groups.channel_range(g, lq.c_in).len();
+                let params = channels * per_channel;
+                total += params;
+                if self.low_groups[l][g] {
+                    low += params;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            low as f64 / total as f64
+        }
+    }
+
+    /// Average bitwidth implied by the plan (weights and activations share
+    /// the ratio, so one number covers both — Table 2's header).
+    pub fn avg_bits(&self, model: &QuantizedModel) -> f64 {
+        8.0 - 4.0 * self.low_param_fraction(model)
+    }
+
+    /// Returns `true` if `other` selects a superset of this plan's low
+    /// groups (the nested-ratio invariant of §5).
+    pub fn subset_of(&self, other: &MixedPlan) -> bool {
+        self.low_groups.len() == other.low_groups.len()
+            && self
+                .low_groups
+                .iter()
+                .zip(other.low_groups.iter())
+                .all(|(a, b)| {
+                    a.len() == b.len() && a.iter().zip(b.iter()).all(|(&x, &y)| !x || y)
+                })
+    }
+}
+
+/// Which arithmetic the quantized executor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Exact integer path (band GEMMs + shifted accumulation).
+    Int,
+    /// Float simulation of the same arithmetic (fast).
+    Fake,
+}
+
+/// Options for quantized execution.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantExecOptions {
+    /// Arithmetic path.
+    pub mode: ExecMode,
+    /// Recompute activation extraction positions per call via bitwise OR
+    /// (§4.1 dynamic mode) instead of using calibrated positions.
+    pub dynamic_extract: bool,
+    /// Low bitwidth (4 in the paper; 2 for the NPU extension).
+    pub low_bits: QuantBits,
+    /// Force naive top-bit lowering (ignore calibrated extraction
+    /// positions) — the `Random` baseline of the Table 7 ablation.
+    pub naive_lowering: bool,
+}
+
+impl Default for QuantExecOptions {
+    fn default() -> Self {
+        QuantExecOptions {
+            mode: ExecMode::Fake,
+            dynamic_extract: false,
+            low_bits: QuantBits::B4,
+            naive_lowering: false,
+        }
+    }
+}
+
+/// The quantized compute hook.
+///
+/// Create one per (model, plan) pair; reconstructed weights are cached
+/// across calls, so evaluating many samples under one plan is cheap.
+pub struct QuantCompute<'m> {
+    model: &'m QuantizedModel,
+    plan: MixedPlan,
+    opts: QuantExecOptions,
+    /// Cached effective f32 weights per layer (Fake mode).
+    fake_weights: Vec<Option<Tensor>>,
+}
+
+impl<'m> QuantCompute<'m> {
+    /// Creates a quantized compute hook for the given plan.
+    pub fn new(model: &'m QuantizedModel, plan: MixedPlan, opts: QuantExecOptions) -> Result<Self> {
+        plan.validate(model)?;
+        let n = model.num_layers();
+        Ok(QuantCompute { model, plan, opts, fake_weights: vec![None; n] })
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &MixedPlan {
+        &self.plan
+    }
+
+    /// Effective (reconstructed) f32 weights of a layer under the plan.
+    fn fake_weight(&mut self, l: LayerId) -> Result<&Tensor> {
+        if self.fake_weights[l].is_none() {
+            let lq = &self.model.layers[l];
+            let per_channel = lq.w_q.numel() / lq.c_in.max(1);
+            let _ = per_channel;
+            let dims = lq.w_q.dims().to_vec();
+            let mut data = vec![0.0f32; lq.w_q.numel()];
+            match dims.len() {
+                2 => {
+                    // Linear [C_out, C_in].
+                    let c_in = dims[1];
+                    for o in 0..dims[0] {
+                        for c in 0..c_in {
+                            let g = self.model.groups.group_of(c);
+                            let q = lq.w_q.data()[o * c_in + c];
+                            let v = if self.plan.low_groups[l][g] {
+                                self.w_rule(l, g, o).round_trip(q)
+                            } else {
+                                q as i32
+                            };
+                            data[o * c_in + c] = v as f32 * lq.w_scales[o];
+                        }
+                    }
+                }
+                4 => {
+                    // Conv [C_out, C_in/groups, KH, KW].
+                    let (c_out, c_in_g) = (dims[0], dims[1]);
+                    let khkw = dims[2] * dims[3];
+                    let conv_groups = lq.c_in / c_in_g;
+                    let c_out_g = c_out / conv_groups.max(1);
+                    for o in 0..c_out {
+                        let cg = o / c_out_g.max(1);
+                        for cl in 0..c_in_g {
+                            let c = cg * c_in_g + cl;
+                            let g = self.model.groups.group_of(c);
+                            for k in 0..khkw {
+                                let idx = (o * c_in_g + cl) * khkw + k;
+                                let q = lq.w_q.data()[idx];
+                                let v = if self.plan.low_groups[l][g] {
+                                    self.w_rule(l, g, o).round_trip(q)
+                                } else {
+                                    q as i32
+                                };
+                                data[idx] = v as f32 * lq.w_scales[o];
+                            }
+                        }
+                    }
+                }
+                _ => return Err(NnError::BadLayer(l)),
+            }
+            self.fake_weights[l] = Some(Tensor::from_vec(dims, data)?);
+        }
+        Ok(self.fake_weights[l].as_ref().expect("just inserted"))
+    }
+
+    /// Quantizes an activation tensor to `i8` with the layer's per-tensor
+    /// scale.
+    fn quantize_act(&self, l: LayerId, x: &Tensor) -> Vec<i8> {
+        let p = QParams::new(self.model.layers[l].act_scale, QuantBits::B8)
+            .expect("scale validated at prepare");
+        x.data().iter().map(|&v| p.quantize(v) as i8).collect()
+    }
+
+    /// Activation extraction rule for one group: static position from
+    /// calibration, or dynamic from the live values.
+    fn act_rule(&self, l: LayerId, g: usize, live: &[i8]) -> BitLowering {
+        if self.opts.naive_lowering {
+            BitLowering::naive(QuantBits::B8, self.opts.low_bits)
+        } else if self.opts.dynamic_extract {
+            dynamic_lowering(live, self.opts.low_bits)
+        } else {
+            self.model.layers[l].act_lowering(g, self.opts.low_bits)
+        }
+    }
+
+    /// Weight extraction rule for `(group, out-channel)`.
+    fn w_rule(&self, l: LayerId, g: usize, o: usize) -> BitLowering {
+        if self.opts.naive_lowering {
+            BitLowering::naive(QuantBits::B8, self.opts.low_bits)
+        } else {
+            self.model.layers[l].w_lowering(g, o, self.opts.low_bits)
+        }
+    }
+
+    /// Fake-mode effective activation: per-channel lower + reconstruct.
+    ///
+    /// `gather(c)` yields the indices of `xq` belonging to channel `c`.
+    fn fake_effective_act(
+        &self,
+        l: LayerId,
+        xq: &[i8],
+        c_in: usize,
+        gather: impl Fn(usize) -> Vec<usize>,
+    ) -> Vec<f32> {
+        let lq = &self.model.layers[l];
+        let mut out: Vec<f32> = xq.iter().map(|&q| q as f32 * lq.act_scale).collect();
+        for g in 0..lq.num_groups() {
+            if !self.plan.low_groups[l][g] {
+                continue;
+            }
+            let range = self.model.groups.channel_range(g, c_in);
+            let mut idxs: Vec<usize> = Vec::new();
+            for c in range {
+                idxs.extend(gather(c));
+            }
+            let live: Vec<i8> = idxs.iter().map(|&i| xq[i]).collect();
+            let rule = self.act_rule(l, g, &live);
+            for &i in &idxs {
+                out[i] = rule.round_trip(xq[i]) as f32 * lq.act_scale;
+            }
+        }
+        out
+    }
+
+    fn linear_fake(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        let (t, c_in) = lin.check_input(x)?;
+        let xq = self.quantize_act(l, x);
+        let x_eff = self.fake_effective_act(l, &xq, c_in, |c| {
+            (0..t).map(|ti| ti * c_in + c).collect()
+        });
+        let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
+        let w_eff = self.fake_weight(l)?.clone();
+        let eff = Linear::new(w_eff, lin.bias.clone())?;
+        eff.forward(&x_eff)
+    }
+
+    fn conv_fake(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        let (c_in, h, w) = conv.check_input(x)?;
+        let hw = h * w;
+        let xq = self.quantize_act(l, x);
+        let x_eff =
+            self.fake_effective_act(l, &xq, c_in, |c| (c * hw..(c + 1) * hw).collect());
+        let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
+        let w_eff = self.fake_weight(l)?.clone();
+        let eff = Conv2d::new(w_eff, conv.bias.clone(), conv.stride, conv.pad, conv.groups)?;
+        eff.forward(&x_eff)
+    }
+
+    fn linear_int(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        let (t, c_in) = lin.check_input(x)?;
+        let c_out = lin.c_out();
+        let lq = &self.model.layers[l];
+        let xq = self.quantize_act(l, x);
+        // Transposed weight [C_in, C_out] for row-major band GEMM.
+        let wq = lq.w_q.data();
+        let mut acc = vec![0i32; t * c_out];
+        for g in 0..lq.num_groups() {
+            let range = self.model.groups.channel_range(g, c_in);
+            let bw = range.len();
+            if bw == 0 {
+                continue;
+            }
+            if !self.plan.low_groups[l][g] {
+                // 8-bit band: acc[t,o] += sum_{c in band} xq[t,c] wq[o,c].
+                for ti in 0..t {
+                    for o in 0..c_out {
+                        let mut s = 0i32;
+                        for c in range.clone() {
+                            s += xq[ti * c_in + c] as i32 * wq[o * c_in + c] as i32;
+                        }
+                        acc[ti * c_out + o] += s;
+                    }
+                }
+                continue;
+            }
+            // 4-bit band with bit extraction and shifted accumulation.
+            let live: Vec<i8> = (0..t)
+                .flat_map(|ti| range.clone().map(move |c| (ti, c)))
+                .map(|(ti, c)| xq[ti * c_in + c])
+                .collect();
+            let a_rule = self.act_rule(l, g, &live);
+            let mut xg = vec![0i8; t * bw];
+            for ti in 0..t {
+                for (bi, c) in range.clone().enumerate() {
+                    xg[ti * bw + bi] = a_rule.lower(xq[ti * c_in + c]);
+                }
+            }
+            // Per-output-channel lowered weight block [bw, C_out].
+            let mut w_rules = Vec::with_capacity(c_out);
+            for o in 0..c_out {
+                w_rules.push(self.w_rule(l, g, o));
+            }
+            let mut wg = vec![0i8; bw * c_out];
+            for (bi, c) in range.clone().enumerate() {
+                for o in 0..c_out {
+                    wg[bi * c_out + o] = w_rules[o].lower(wq[o * c_in + c]);
+                }
+            }
+            let mut scratch = vec![0i32; t * c_out];
+            gemm::gemm_i8(t, c_out, bw, &xg, &wg, &mut scratch);
+            for ti in 0..t {
+                for o in 0..c_out {
+                    let shift = a_rule.shift() + w_rules[o].shift();
+                    acc[ti * c_out + o] += scratch[ti * c_out + o] << shift;
+                }
+            }
+        }
+        let mut out = vec![0.0f32; t * c_out];
+        for ti in 0..t {
+            for o in 0..c_out {
+                let mut v = acc[ti * c_out + o] as f32 * lq.act_scale * lq.w_scales[o];
+                if let Some(b) = &lin.bias {
+                    v += b[o];
+                }
+                out[ti * c_out + o] = v;
+            }
+        }
+        if x.dims().len() == 1 {
+            Ok(Tensor::from_vec([c_out], out)?)
+        } else {
+            Ok(Tensor::from_vec([t, c_out], out)?)
+        }
+    }
+
+    fn conv_int(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        let (_c_in, h, w) = conv.check_input(x)?;
+        let lq = &self.model.layers[l];
+        let geom = conv.group_geometry(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let cols = geom.cols();
+        let k = geom.rows();
+        let khkw = conv.kh() * conv.kw();
+        let c_in_g = conv.weight.dims()[1];
+        let c_out = conv.c_out();
+        let c_out_g = c_out / conv.groups;
+        let xq = self.quantize_act(l, x);
+        let wq = lq.w_q.data();
+        let mut out = vec![0.0f32; c_out * cols];
+        for cg in 0..conv.groups {
+            // Quantized input slice for this conv group.
+            let xg: Vec<i8> = xq[cg * c_in_g * h * w..(cg + 1) * c_in_g * h * w].to_vec();
+            let cols_q = im2col_i8(&xg, &geom);
+            let w_base = cg * c_out_g * k;
+            let mut acc = vec![0i32; c_out_g * cols];
+            // Iterate runs of local channels sharing one feature group.
+            let mut cl = 0usize;
+            while cl < c_in_g {
+                let c_global = cg * c_in_g + cl;
+                let g = self.model.groups.group_of(c_global);
+                let g_end = self.model.groups.channel_range(g, lq.c_in).end;
+                let run_end = (g_end - cg * c_in_g).min(c_in_g);
+                let (k0, k1) = (cl * khkw, run_end * khkw);
+                if !self.plan.low_groups[l][g] {
+                    gemm::gemm_i8_band(
+                        c_out_g,
+                        cols,
+                        k,
+                        k0,
+                        k1,
+                        &wq[w_base..w_base + c_out_g * k],
+                        &cols_q,
+                        &mut acc,
+                    );
+                } else {
+                    let bw = k1 - k0;
+                    let live: Vec<i8> =
+                        (k0..k1).flat_map(|r| cols_q[r * cols..(r + 1) * cols].to_vec()).collect();
+                    let a_rule = self.act_rule(l, g, &live);
+                    // Lowered activation band [bw, cols].
+                    let mut xb = vec![0i8; bw * cols];
+                    for r in 0..bw {
+                        for j in 0..cols {
+                            xb[r * cols + j] = a_rule.lower(cols_q[(k0 + r) * cols + j]);
+                        }
+                    }
+                    // Lowered weight band [c_out_g, bw], per-row rules.
+                    let mut rules = Vec::with_capacity(c_out_g);
+                    for ol in 0..c_out_g {
+                        rules.push(self.w_rule(l, g, cg * c_out_g + ol));
+                    }
+                    let mut wb = vec![0i8; c_out_g * bw];
+                    for ol in 0..c_out_g {
+                        for r in 0..bw {
+                            wb[ol * bw + r] = rules[ol].lower(wq[w_base + ol * k + k0 + r]);
+                        }
+                    }
+                    let mut scratch = vec![0i32; c_out_g * cols];
+                    gemm::gemm_i8(c_out_g, cols, bw, &wb, &xb, &mut scratch);
+                    for ol in 0..c_out_g {
+                        let shift = a_rule.shift() + rules[ol].shift();
+                        for j in 0..cols {
+                            acc[ol * cols + j] += scratch[ol * cols + j] << shift;
+                        }
+                    }
+                }
+                cl = run_end;
+            }
+            for ol in 0..c_out_g {
+                let o = cg * c_out_g + ol;
+                let s = lq.act_scale * lq.w_scales[o];
+                for j in 0..cols {
+                    let mut v = acc[ol * cols + j] as f32 * s;
+                    if let Some(b) = &conv.bias {
+                        v += b[o];
+                    }
+                    out[o * cols + j] = v;
+                }
+            }
+        }
+        Ok(Tensor::from_vec([c_out, oh, ow], out)?)
+    }
+}
+
+impl Compute for QuantCompute<'_> {
+    fn conv2d(&mut self, layer: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        match self.opts.mode {
+            ExecMode::Fake => self.conv_fake(layer, conv, x),
+            ExecMode::Int => self.conv_int(layer, conv, x),
+        }
+    }
+
+    fn linear(&mut self, layer: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        match self.opts.mode {
+            ExecMode::Fake => self.linear_fake(layer, lin, x),
+            ExecMode::Int => self.linear_int(layer, lin, x),
+        }
+    }
+}
+
+/// Runs a graph under a mixed-precision plan.
+pub fn run_quantized(
+    graph: &Graph,
+    model: &QuantizedModel,
+    plan: &MixedPlan,
+    opts: QuantExecOptions,
+    input: &Tensor,
+) -> Result<Tensor> {
+    let mut hook = QuantCompute::new(model, plan.clone(), opts)?;
+    crate::exec::run(graph, input, &mut hook)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate_default;
+    use crate::exec::run_f32;
+    use crate::graph::Graph;
+    use flexiq_tensor::rng::seeded;
+    use flexiq_tensor::stats;
+
+    /// A small conv + linear graph with diverse channel ranges.
+    fn build_graph(seed: u64) -> (Graph, Vec<Tensor>) {
+        let mut rng = seeded(seed);
+        let mut g = Graph::new("qtest");
+        let x = g.input();
+        let ch_scales: Vec<f32> =
+            (0..8).map(|i| if i % 4 == 3 { 1.0 } else { 0.05 }).collect();
+        let w1 = Tensor::randn_axis_scaled([8, 4, 3, 3], 1, &ch_scales[..4], &mut rng).unwrap();
+        let c1 = g.conv2d(x, Conv2d::new(w1, Some(vec![0.01; 8]), 1, 1, 1).unwrap()).unwrap();
+        let r1 = g.relu(c1).unwrap();
+        let gp = g.add_node(crate::graph::Op::GlobalAvgPool, vec![r1]).unwrap();
+        let w2 = Tensor::randn_axis_scaled([6, 8], 1, &ch_scales, &mut rng).unwrap();
+        let l1 = g.linear(gp, Linear::new(w2, None).unwrap()).unwrap();
+        g.set_output(l1).unwrap();
+        let samples: Vec<Tensor> =
+            (0..6).map(|_| Tensor::randn([4, 6, 6], 0.0, 1.0, &mut rng)).collect();
+        (g, samples)
+    }
+
+    fn prepared(seed: u64, group: usize) -> (Graph, QuantizedModel, Vec<Tensor>) {
+        let (g, samples) = build_graph(seed);
+        let calib = calibrate_default(&g, &samples).unwrap();
+        let model = QuantizedModel::prepare(&g, &calib, GroupSpec::new(group)).unwrap();
+        (g, model, samples)
+    }
+
+    #[test]
+    fn all_high_plan_matches_int8_closely() {
+        let (g, model, samples) = prepared(131, 2);
+        let plan = MixedPlan::all_high(&model);
+        let y_fp = run_f32(&g, &samples[0]).unwrap();
+        let y_q = run_quantized(&g, &model, &plan, QuantExecOptions::default(), &samples[0])
+            .unwrap();
+        let rel = stats::l2_distance(y_fp.data(), y_q.data())
+            / stats::l2_norm(y_fp.data()).max(1e-6);
+        assert!(rel < 0.05, "INT8 relative error {rel}");
+    }
+
+    #[test]
+    fn int_and_fake_paths_agree() {
+        let (g, model, samples) = prepared(132, 2);
+        for plan in [MixedPlan::all_high(&model), MixedPlan::all_low(&model)] {
+            let fake = run_quantized(
+                &g,
+                &model,
+                &plan,
+                QuantExecOptions { mode: ExecMode::Fake, ..Default::default() },
+                &samples[1],
+            )
+            .unwrap();
+            let int = run_quantized(
+                &g,
+                &model,
+                &plan,
+                QuantExecOptions { mode: ExecMode::Int, ..Default::default() },
+                &samples[1],
+            )
+            .unwrap();
+            let rel = stats::l2_distance(fake.data(), int.data())
+                / stats::l2_norm(int.data()).max(1e-6);
+            assert!(rel < 1e-4, "paths disagree: {rel}");
+        }
+    }
+
+    #[test]
+    fn mixed_plan_interpolates_between_extremes() {
+        let (g, model, samples) = prepared(133, 2);
+        let high = MixedPlan::all_high(&model);
+        let low = MixedPlan::all_low(&model);
+        let y8 = run_quantized(&g, &model, &high, QuantExecOptions::default(), &samples[2])
+            .unwrap();
+        let y4 = run_quantized(&g, &model, &low, QuantExecOptions::default(), &samples[2])
+            .unwrap();
+        // A plan with only some groups low must sit between the extremes
+        // in error vs the 8-bit output.
+        let mut mid = high.clone();
+        mid.low_groups[0][0] = true;
+        let ym = run_quantized(&g, &model, &mid, QuantExecOptions::default(), &samples[2])
+            .unwrap();
+        let e_mid = stats::l2_distance(y8.data(), ym.data());
+        let e_low = stats::l2_distance(y8.data(), y4.data());
+        assert!(e_mid > 0.0);
+        assert!(e_mid <= e_low + 1e-6, "mid {e_mid} vs low {e_low}");
+    }
+
+    #[test]
+    fn plan_accounting() {
+        let (_, model, _) = prepared(134, 2);
+        let high = MixedPlan::all_high(&model);
+        let low = MixedPlan::all_low(&model);
+        assert_eq!(high.low_param_fraction(&model), 0.0);
+        assert_eq!(low.low_param_fraction(&model), 1.0);
+        assert_eq!(high.avg_bits(&model), 8.0);
+        assert_eq!(low.avg_bits(&model), 4.0);
+        assert!(high.subset_of(&low));
+        assert!(!low.subset_of(&high));
+    }
+
+    #[test]
+    fn plan_validation_rejects_mismatches() {
+        let (_, model, _) = prepared(135, 2);
+        let mut plan = MixedPlan::all_high(&model);
+        plan.low_groups.pop();
+        assert!(plan.validate(&model).is_err());
+        let mut plan = MixedPlan::all_high(&model);
+        plan.low_groups[0].pop();
+        assert!(plan.validate(&model).is_err());
+    }
+
+    #[test]
+    fn dynamic_extraction_never_increases_error() {
+        // Dynamic positions adapt to the live input, so the error vs the
+        // f32 output should not exceed the static-position error by more
+        // than noise.
+        let (g, model, samples) = prepared(136, 2);
+        let plan = MixedPlan::all_low(&model);
+        let y_fp = run_f32(&g, &samples[3]).unwrap();
+        let stat = run_quantized(&g, &model, &plan, QuantExecOptions::default(), &samples[3])
+            .unwrap();
+        let dyn_ = run_quantized(
+            &g,
+            &model,
+            &plan,
+            QuantExecOptions { dynamic_extract: true, ..Default::default() },
+            &samples[3],
+        )
+        .unwrap();
+        let e_stat = stats::l2_distance(y_fp.data(), stat.data());
+        let e_dyn = stats::l2_distance(y_fp.data(), dyn_.data());
+        assert!(e_dyn <= e_stat * 1.25 + 1e-5, "dynamic {e_dyn} vs static {e_stat}");
+    }
+
+    #[test]
+    fn depthwise_conv_quantized_path() {
+        let mut rng = seeded(137);
+        let mut g = Graph::new("dw");
+        let x = g.input();
+        let w = Tensor::randn([4, 1, 3, 3], 0.0, 0.4, &mut rng);
+        let c = g.conv2d(x, Conv2d::new(w, None, 1, 1, 4).unwrap()).unwrap();
+        g.set_output(c).unwrap();
+        let samples: Vec<Tensor> =
+            (0..3).map(|_| Tensor::randn([4, 5, 5], 0.0, 1.0, &mut rng)).collect();
+        let calib = calibrate_default(&g, &samples).unwrap();
+        let model = QuantizedModel::prepare(&g, &calib, GroupSpec::new(2)).unwrap();
+        for plan in [MixedPlan::all_high(&model), MixedPlan::all_low(&model)] {
+            let fake = run_quantized(
+                &g,
+                &model,
+                &plan,
+                QuantExecOptions { mode: ExecMode::Fake, ..Default::default() },
+                &samples[0],
+            )
+            .unwrap();
+            let int = run_quantized(
+                &g,
+                &model,
+                &plan,
+                QuantExecOptions { mode: ExecMode::Int, ..Default::default() },
+                &samples[0],
+            )
+            .unwrap();
+            let rel = stats::l2_distance(fake.data(), int.data())
+                / stats::l2_norm(int.data()).max(1e-6);
+            assert!(rel < 1e-4, "depthwise paths disagree: {rel}");
+        }
+    }
+
+    #[test]
+    fn lowering_error_smaller_than_naive_for_small_range_groups() {
+        // The effective-bit extraction must make 100% 4-bit much closer to
+        // the 8-bit output than naive top-bit lowering would be. We check
+        // via the 2-bit mode upper bound: B4 lowering error < B2 error.
+        let (g, model, samples) = prepared(138, 2);
+        let plan = MixedPlan::all_low(&model);
+        let y8 = run_quantized(
+            &g,
+            &model,
+            &MixedPlan::all_high(&model),
+            QuantExecOptions::default(),
+            &samples[4],
+        )
+        .unwrap();
+        let y4 = run_quantized(&g, &model, &plan, QuantExecOptions::default(), &samples[4])
+            .unwrap();
+        let y2 = run_quantized(
+            &g,
+            &model,
+            &plan,
+            QuantExecOptions { low_bits: QuantBits::B2, ..Default::default() },
+            &samples[4],
+        )
+        .unwrap();
+        let e4 = stats::l2_distance(y8.data(), y4.data());
+        let e2 = stats::l2_distance(y8.data(), y2.data());
+        assert!(e4 < e2, "4-bit error {e4} must beat 2-bit error {e2}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Tiny decoder-only language model for the §8.10 case study.
+//!
+//! Embedding → positional embedding → pre-norm causal transformer blocks
+//! → final LN → linear LM head over the vocabulary. Stands in for the
+//! paper's OPT-350m / Qwen2.5-0.5B, with the same activation-outlier
+//! structure the paper observes in those models.
+
+use crate::graph::{Graph, Op};
+use crate::ops::{Attention, Embedding, Linear};
+use crate::zoo::{Init, InitProfile, Scale};
+use crate::Result;
+
+/// Configuration of the tiny LM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TinyLmCfg {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Decoder depth.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Context length.
+    pub context: usize,
+    /// MLP hidden width.
+    pub mlp_hidden: usize,
+}
+
+impl TinyLmCfg {
+    /// Configuration at a scale.
+    pub fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => TinyLmCfg { vocab: 16, dim: 16, depth: 1, heads: 2, context: 8, mlp_hidden: 32 },
+            Scale::Eval => TinyLmCfg { vocab: 32, dim: 32, depth: 3, heads: 4, context: 16, mlp_hidden: 64 },
+        }
+    }
+}
+
+/// Builds the tiny LM graph (`[T]` ids → `[T, vocab]` logits).
+pub fn build(cfg: TinyLmCfg, seed: u64) -> Result<Graph> {
+    let mut init = Init::new(seed, InitProfile::vit());
+    let mut g = Graph::new("tiny_lm");
+    let input = g.input();
+    let table = init.linear_weight(cfg.vocab, cfg.dim).scale(3.0);
+    let emb = Embedding::new(table)?;
+    let e = g.add_node(Op::Embedding(emb), vec![input])?;
+    let pos = init.pos_embedding(cfg.context, cfg.dim);
+    let mut x = g.add_node(Op::AddParam(pos), vec![e])?;
+
+    for _ in 0..cfg.depth {
+        let ln1 = g.layer_norm(x, init.layer_norm(cfg.dim))?;
+        let mk = |init: &mut Init| -> Result<Linear> {
+            Linear::new(init.linear_weight(cfg.dim, cfg.dim), Some(init.bias(cfg.dim)))
+        };
+        let attn = Attention::new(
+            mk(&mut init)?,
+            mk(&mut init)?,
+            mk(&mut init)?,
+            mk(&mut init)?,
+            cfg.heads,
+            true,
+        )?;
+        let a = g.attention(ln1, attn)?;
+        x = g.add(a, x)?;
+        let ln2 = g.layer_norm(x, init.layer_norm(cfg.dim))?;
+        let fc1 = Linear::new(
+            init.linear_weight(cfg.mlp_hidden, cfg.dim),
+            Some(init.bias(cfg.mlp_hidden)),
+        )?;
+        let h = g.linear(ln2, fc1)?;
+        let act = g.gelu(h)?;
+        let fc2 = Linear::new(
+            init.linear_weight(cfg.dim, cfg.mlp_hidden),
+            Some(init.bias(cfg.dim)),
+        )?;
+        let m = g.linear(act, fc2)?;
+        x = g.add(m, x)?;
+    }
+
+    let ln = g.layer_norm(x, init.layer_norm(cfg.dim))?;
+    let head = Linear::new(init.linear_weight(cfg.vocab, cfg.dim), None)?;
+    let logits = g.linear(ln, head)?;
+    g.set_output(logits)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_f32;
+    use flexiq_tensor::Tensor;
+
+    #[test]
+    fn lm_is_causal() {
+        let cfg = TinyLmCfg::at(Scale::Test);
+        let g = build(cfg, 12).unwrap();
+        let ids1 = Tensor::from_vec([cfg.context], vec![1.0; cfg.context]).unwrap();
+        let mut v2 = vec![1.0; cfg.context];
+        *v2.last_mut().unwrap() = 3.0; // change the last token only
+        let ids2 = Tensor::from_vec([cfg.context], v2).unwrap();
+        let y1 = run_f32(&g, &ids1).unwrap();
+        let y2 = run_f32(&g, &ids2).unwrap();
+        // All positions except the last must be unchanged.
+        let v = cfg.vocab;
+        for i in 0..(cfg.context - 1) * v {
+            assert!((y1.data()[i] - y2.data()[i]).abs() < 1e-5, "leak at {i}");
+        }
+    }
+
+    #[test]
+    fn output_shape_is_tokens_by_vocab() {
+        let cfg = TinyLmCfg::at(Scale::Test);
+        let g = build(cfg, 13).unwrap();
+        let ids = Tensor::from_vec([cfg.context], vec![0.0; cfg.context]).unwrap();
+        let y = run_f32(&g, &ids).unwrap();
+        assert_eq!(y.dims(), &[cfg.context, cfg.vocab]);
+    }
+}

@@ -1,0 +1,158 @@
+//! MobileNetV2 builder (inverted residuals with depthwise convolutions).
+//!
+//! Each block expands with a 1×1 convolution, filters with a 3×3
+//! depthwise convolution, and projects back with a 1×1 convolution; a
+//! residual connection joins blocks whose input and output shapes match.
+//! Depthwise convolutions exercise FlexiQ's grouped-convolution quantized
+//! path, where each output channel sees exactly one feature channel.
+
+use crate::graph::{Graph, NodeId, Op};
+use crate::ops::Conv2d;
+use crate::zoo::{Init, InitProfile, Scale};
+use crate::Result;
+
+/// One inverted-residual block: (expansion factor, output channels,
+/// stride).
+pub type BlockSpec = (usize, usize, usize);
+
+/// Configuration of a MobileNetV2 build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MobileNetCfg {
+    /// Stem width.
+    pub stem: usize,
+    /// Inverted-residual block specs.
+    pub blocks: Vec<BlockSpec>,
+    /// Width of the final 1×1 convolution.
+    pub head_width: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl MobileNetCfg {
+    /// Configuration at a scale.
+    pub fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => MobileNetCfg {
+                stem: 8,
+                blocks: vec![(1, 8, 1), (2, 16, 2)],
+                head_width: 16,
+                num_classes: 10,
+            },
+            Scale::Eval => MobileNetCfg {
+                stem: 8,
+                blocks: vec![
+                    (1, 8, 1),
+                    (4, 16, 2),
+                    (4, 16, 1),
+                    (4, 24, 2),
+                    (4, 24, 1),
+                    (4, 32, 2),
+                ],
+                head_width: 64,
+                num_classes: 10,
+            },
+        }
+    }
+}
+
+fn conv_bn_relu(
+    g: &mut Graph,
+    init: &mut Init,
+    x: NodeId,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    groups: usize,
+) -> Result<NodeId> {
+    let pad = k / 2;
+    let w = init.conv_weight(c_out, c_in / groups, k, k);
+    let c = g.conv2d(x, Conv2d::new(w, None, stride, pad, groups)?)?;
+    let bn = init.batch_norm(c_out);
+    let b = g.batch_norm(c, bn)?;
+    g.relu(b)
+}
+
+fn inverted_residual(
+    g: &mut Graph,
+    init: &mut Init,
+    x: NodeId,
+    c_in: usize,
+    spec: BlockSpec,
+) -> Result<(NodeId, usize)> {
+    let (t, c_out, stride) = spec;
+    let hidden = c_in * t;
+    let mut h = x;
+    if t != 1 {
+        h = conv_bn_relu(g, init, h, c_in, hidden, 1, 1, 1)?;
+    }
+    // Depthwise 3x3.
+    h = conv_bn_relu(g, init, h, hidden, hidden, 3, stride, hidden)?;
+    // Linear projection (no activation after, per the paper's design).
+    let w = init.conv_weight(c_out, hidden, 1, 1);
+    let proj = g.conv2d(h, Conv2d::new(w, None, 1, 0, 1)?)?;
+    let bn = init.batch_norm(c_out);
+    let out = g.batch_norm(proj, bn)?;
+    let out = if stride == 1 && c_in == c_out { g.add(out, x)? } else { out };
+    Ok((out, c_out))
+}
+
+/// Builds a MobileNetV2 graph.
+pub fn build(cfg: MobileNetCfg, seed: u64) -> Result<Graph> {
+    let mut init = Init::new(seed, InitProfile::cnn());
+    let mut g = Graph::new("mobilenet_v2");
+    let input = g.input();
+    let mut x = conv_bn_relu(&mut g, &mut init, input, 3, cfg.stem, 3, 1, 1)?;
+    let mut c = cfg.stem;
+    for &spec in &cfg.blocks {
+        let (nx, nc) = inverted_residual(&mut g, &mut init, x, c, spec)?;
+        x = nx;
+        c = nc;
+    }
+    x = conv_bn_relu(&mut g, &mut init, x, c, cfg.head_width, 1, 1, 1)?;
+    let pooled = g.add_node(Op::GlobalAvgPool, vec![x])?;
+    let head = crate::ops::Linear::new(
+        init.linear_weight(cfg.num_classes, cfg.head_width),
+        Some(init.bias(cfg.num_classes)),
+    )?;
+    let logits = g.linear(pooled, head)?;
+    g.set_output(logits)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_f32;
+    use flexiq_tensor::Tensor;
+
+    #[test]
+    fn contains_depthwise_convs() {
+        let g = build(MobileNetCfg::at(Scale::Test), 4).unwrap();
+        let mut depthwise = 0;
+        for node in g.nodes() {
+            if let Op::Conv2d(c) = &node.op {
+                if c.groups > 1 {
+                    depthwise += 1;
+                    assert_eq!(c.groups, c.c_in(), "depthwise groups == channels");
+                }
+            }
+        }
+        assert!(depthwise >= 2);
+    }
+
+    #[test]
+    fn eval_scale_runs() {
+        let g = build(MobileNetCfg::at(Scale::Eval), 5).unwrap();
+        let y = run_f32(&g, &Tensor::ones([3, 16, 16])).unwrap();
+        assert_eq!(y.numel(), 10);
+    }
+
+    #[test]
+    fn residuals_only_on_matching_shapes() {
+        // Block (1, stem, 1) after the stem keeps shape → must carry Add.
+        let g = build(MobileNetCfg::at(Scale::Eval), 6).unwrap();
+        let adds = g.nodes().iter().filter(|n| matches!(n.op, Op::Add)).count();
+        assert!(adds >= 2, "expected residual adds, got {adds}");
+    }
+}

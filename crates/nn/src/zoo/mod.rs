@@ -1,0 +1,405 @@
+//! The model zoo: architecture-faithful, scaled-down builds of the
+//! paper's eleven evaluation models plus a tiny decoder LM (§8.10).
+//!
+//! # Substitution notes (see DESIGN.md §1)
+//!
+//! Pretrained TorchVision / HuggingFace weights are unavailable, so each
+//! model is built with **structured random weights** reproducing the two
+//! statistical properties FlexiQ exploits:
+//!
+//! 1. *Feature-channel range diversity* — per-input-channel log-normal
+//!    magnitude scales on conv/linear weights, and log-normal batch-norm
+//!    gammas, yield the wide unused-bit distributions of paper Fig. 12.
+//! 2. *Activation outlier channels* in transformers — a few layer-norm
+//!    gamma entries are boosted 8–16×, reproducing the outlier phenomenon
+//!    that makes uniform INT4 collapse on ViTs (paper Table 2, where
+//!    ViT-S drops to 0.33%).
+//!
+//! Batch-norm running statistics are calibrated on synthetic data after
+//! construction so the networks operate in realistic activation ranges.
+//! Small/Base variants differ by depth and width with faithful ratios;
+//! DeiT shares the ViT architecture with a milder outlier profile
+//! (their real-world difference — the training recipe — is out of scope).
+
+mod lm;
+mod mobilenet;
+mod resnet;
+mod swin;
+mod vit;
+
+pub use lm::TinyLmCfg;
+pub use mobilenet::MobileNetCfg;
+pub use resnet::ResNetCfg;
+pub use swin::SwinCfg;
+pub use vit::ViTCfg;
+
+use flexiq_tensor::rng::{log_normal, seeded};
+use flexiq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::exec::F32Compute;
+use crate::graph::{Graph, Op};
+use crate::ops::{BatchNorm2d, LayerNorm};
+use crate::Result;
+
+/// Weight-structure parameters used by all builders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InitProfile {
+    /// Log-normal sigma of per-input-channel weight magnitude scales.
+    pub weight_channel_sigma: f32,
+    /// Log-normal sigma of batch-norm gammas (CNNs).
+    pub bn_gamma_sigma: f32,
+    /// Fraction of layer-norm channels boosted into outliers.
+    pub outlier_fraction: f32,
+    /// Gamma multiplier of outlier channels.
+    pub outlier_gain: f32,
+}
+
+impl InitProfile {
+    /// Convolutional-network profile (range diversity, no LN outliers).
+    pub fn cnn() -> Self {
+        InitProfile {
+            weight_channel_sigma: 0.8,
+            bn_gamma_sigma: 0.4,
+            outlier_fraction: 0.0,
+            outlier_gain: 1.0,
+        }
+    }
+
+    /// ViT-like profile: strong activation outliers.
+    pub fn vit() -> Self {
+        InitProfile {
+            weight_channel_sigma: 0.7,
+            bn_gamma_sigma: 0.0,
+            outlier_fraction: 0.06,
+            outlier_gain: 11.0,
+        }
+    }
+
+    /// DeiT-like profile: milder outliers than ViT.
+    pub fn deit() -> Self {
+        InitProfile { outlier_gain: 7.0, ..InitProfile::vit() }
+    }
+
+    /// Swin-like profile.
+    pub fn swin() -> Self {
+        InitProfile { outlier_gain: 9.0, ..InitProfile::vit() }
+    }
+}
+
+/// Shared helpers for structured random initialization.
+pub(crate) struct Init {
+    pub rng: StdRng,
+    pub profile: InitProfile,
+}
+
+impl Init {
+    pub fn new(seed: u64, profile: InitProfile) -> Self {
+        Init { rng: seeded(seed), profile }
+    }
+
+    /// Per-input-channel scales, log-normal, renormalized so the layer's
+    /// overall variance matches `base` (He/Xavier-style).
+    fn channel_scales(&mut self, n: usize, base: f32) -> Vec<f32> {
+        let sigma = self.profile.weight_channel_sigma;
+        let raw: Vec<f32> = (0..n).map(|_| log_normal(&mut self.rng, 0.0, sigma)).collect();
+        let ms = (raw.iter().map(|s| s * s).sum::<f32>() / n.max(1) as f32).sqrt().max(1e-6);
+        raw.iter().map(|s| s * base / ms).collect()
+    }
+
+    /// Convolution weight `[C_out, C_in_g, KH, KW]` with diverse
+    /// input-channel magnitudes.
+    pub fn conv_weight(&mut self, c_out: usize, c_in_g: usize, kh: usize, kw: usize) -> Tensor {
+        let fan_in = (c_in_g * kh * kw).max(1);
+        let base = (2.0 / fan_in as f32).sqrt();
+        let scales = self.channel_scales(c_in_g, base);
+        Tensor::randn_axis_scaled([c_out, c_in_g, kh, kw], 1, &scales, &mut self.rng)
+            .expect("axis/scale lengths are consistent")
+    }
+
+    /// Linear weight `[C_out, C_in]` with diverse input-channel
+    /// magnitudes.
+    pub fn linear_weight(&mut self, c_out: usize, c_in: usize) -> Tensor {
+        let base = (1.0 / c_in.max(1) as f32).sqrt();
+        let scales = self.channel_scales(c_in, base);
+        Tensor::randn_axis_scaled([c_out, c_in], 1, &scales, &mut self.rng)
+            .expect("axis/scale lengths are consistent")
+    }
+
+    /// Small random bias.
+    pub fn bias(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| 0.02 * flexiq_tensor::rng::normal(&mut self.rng)).collect()
+    }
+
+    /// Batch norm with log-normal gammas (identity running stats; the
+    /// stats are calibrated after construction).
+    pub fn batch_norm(&mut self, c: usize) -> BatchNorm2d {
+        let sigma = self.profile.bn_gamma_sigma;
+        let gamma: Vec<f32> =
+            (0..c).map(|_| log_normal(&mut self.rng, 0.0, sigma)).collect();
+        let beta = self.bias(c);
+        BatchNorm2d::new(gamma, beta, vec![0.0; c], vec![1.0; c], 1e-5)
+            .expect("lengths agree by construction")
+    }
+
+    /// Layer norm with outlier channels per the profile.
+    pub fn layer_norm(&mut self, c: usize) -> LayerNorm {
+        let mut gamma: Vec<f32> = (0..c)
+            .map(|_| 1.0 + 0.1 * flexiq_tensor::rng::normal(&mut self.rng))
+            .collect();
+        let n_out = ((c as f32 * self.profile.outlier_fraction).round() as usize)
+            .min(c)
+            .max(if self.profile.outlier_fraction > 0.0 { 1 } else { 0 });
+        for _ in 0..n_out {
+            let idx = self.rng.gen_range(0..c);
+            gamma[idx] = self.profile.outlier_gain
+                * (1.0 + 0.2 * flexiq_tensor::rng::normal(&mut self.rng).abs());
+        }
+        let beta = self.bias(c);
+        LayerNorm::new(gamma, beta, 1e-5).expect("lengths agree by construction")
+    }
+
+    /// Positional-embedding parameter `[T, C]`.
+    pub fn pos_embedding(&mut self, t: usize, c: usize) -> Tensor {
+        Tensor::randn([t, c], 0.0, 0.3, &mut self.rng)
+    }
+}
+
+/// Calibrates batch-norm running statistics on synthetic inputs.
+///
+/// Uses the stepwise executor so each batch norm's statistics are
+/// computed from inputs produced by **already-calibrated** upstream
+/// layers — one pass is exact even for deep residual networks, whose
+/// activations would otherwise explode through the skip-connection
+/// chain before the statistics converge.
+pub fn calibrate_bn_stats(graph: &mut Graph, samples: &[Tensor]) -> Result<()> {
+    crate::exec::run_stepwise(graph, samples, &mut F32Compute, |op, inputs| {
+        if let Op::BatchNorm(bn) = op {
+            let c = bn.channels();
+            let mut sum = vec![0.0f64; c];
+            let mut sumsq = vec![0.0f64; c];
+            let mut count = 0usize;
+            for x in inputs {
+                let hw = x.numel() / c.max(1);
+                for ci in 0..c {
+                    for &v in &x.data()[ci * hw..(ci + 1) * hw] {
+                        sum[ci] += v as f64;
+                        sumsq[ci] += (v as f64) * (v as f64);
+                    }
+                }
+                count += x.numel() / c.max(1);
+            }
+            if count > 0 {
+                for ci in 0..c {
+                    let mean = sum[ci] / count as f64;
+                    let var = (sumsq[ci] / count as f64 - mean * mean).max(1e-6);
+                    bn.mean[ci] = mean as f32;
+                    bn.var[ci] = var as f32;
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// How large the built models are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Minimal models for unit tests.
+    Test,
+    /// Experiment-scale models (the default for the benchmark harness).
+    Eval,
+}
+
+/// The evaluation models of the paper plus the LM case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// ResNet-20 (CIFAR-style).
+    RNet20,
+    /// ResNet-18.
+    RNet18,
+    /// ResNet-34.
+    RNet34,
+    /// ResNet-50 (bottleneck blocks).
+    RNet50,
+    /// MobileNetV2 (inverted residuals, depthwise convs).
+    MNetV2,
+    /// ViT-Small.
+    ViTS,
+    /// ViT-Base.
+    ViTB,
+    /// DeiT-Small.
+    DeiTS,
+    /// DeiT-Base.
+    DeiTB,
+    /// Swin-Small.
+    SwinS,
+    /// Swin-Base.
+    SwinB,
+    /// Tiny decoder-only language model (§8.10 case study).
+    TinyLm,
+}
+
+impl ModelId {
+    /// All eleven vision models of the paper's evaluation.
+    pub const VISION: [ModelId; 11] = [
+        ModelId::RNet20,
+        ModelId::RNet18,
+        ModelId::RNet34,
+        ModelId::RNet50,
+        ModelId::MNetV2,
+        ModelId::ViTS,
+        ModelId::ViTB,
+        ModelId::DeiTS,
+        ModelId::DeiTB,
+        ModelId::SwinS,
+        ModelId::SwinB,
+    ];
+
+    /// The paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::RNet20 => "RNet20",
+            ModelId::RNet18 => "RNet18",
+            ModelId::RNet34 => "RNet34",
+            ModelId::RNet50 => "RNet50",
+            ModelId::MNetV2 => "MNetV2",
+            ModelId::ViTS => "ViT-S",
+            ModelId::ViTB => "ViT-B",
+            ModelId::DeiTS => "DeiT-S",
+            ModelId::DeiTB => "DeiT-B",
+            ModelId::SwinS => "Swin-S",
+            ModelId::SwinB => "Swin-B",
+            ModelId::TinyLm => "TinyLm",
+        }
+    }
+
+    /// Returns `true` for transformer architectures.
+    pub fn is_transformer(&self) -> bool {
+        matches!(
+            self,
+            ModelId::ViTS
+                | ModelId::ViTB
+                | ModelId::DeiTS
+                | ModelId::DeiTB
+                | ModelId::SwinS
+                | ModelId::SwinB
+                | ModelId::TinyLm
+        )
+    }
+
+    /// Input tensor dimensions at a scale.
+    pub fn input_dims(&self, scale: Scale) -> Vec<usize> {
+        match self {
+            ModelId::TinyLm => vec![TinyLmCfg::at(scale).context],
+            _ => {
+                let hw = match scale {
+                    Scale::Test => 8,
+                    Scale::Eval => 16,
+                };
+                vec![3, hw, hw]
+            }
+        }
+    }
+
+    /// Builds the model with deterministic structured weights, including
+    /// batch-norm statistics calibration for CNNs.
+    pub fn build(&self, scale: Scale) -> Result<Graph> {
+        let seed = 0x5EED_0000 + *self as u64;
+        let mut graph = match self {
+            ModelId::RNet20 | ModelId::RNet18 | ModelId::RNet34 | ModelId::RNet50 => {
+                resnet::build(ResNetCfg::of(*self, scale), seed)?
+            }
+            ModelId::MNetV2 => mobilenet::build(MobileNetCfg::at(scale), seed)?,
+            ModelId::ViTS | ModelId::ViTB | ModelId::DeiTS | ModelId::DeiTB => {
+                vit::build(ViTCfg::of(*self, scale), seed)?
+            }
+            ModelId::SwinS | ModelId::SwinB => swin::build(SwinCfg::of(*self, scale), seed)?,
+            ModelId::TinyLm => lm::build(TinyLmCfg::at(scale), seed)?,
+        };
+        if !self.is_transformer() {
+            let dims = self.input_dims(scale);
+            let samples = crate::data::gen_image_inputs(4, &dims, seed ^ 0xB47);
+            calibrate_bn_stats(&mut graph, &samples)?;
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_f32;
+
+    #[test]
+    fn every_model_builds_and_runs_at_test_scale() {
+        for id in ModelId::VISION {
+            let g = id.build(Scale::Test).unwrap();
+            let dims = id.input_dims(Scale::Test);
+            let x = crate::data::gen_image_inputs(1, &dims, 7).remove(0);
+            let y = run_f32(&g, &x).unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+            assert!(y.numel() >= 2, "{} produced {} logits", id.name(), y.numel());
+            assert!(
+                y.data().iter().all(|v| v.is_finite()),
+                "{} produced non-finite logits",
+                id.name()
+            );
+            assert!(g.num_layers() >= 2, "{} registered too few layers", id.name());
+        }
+    }
+
+    #[test]
+    fn lm_builds_and_runs() {
+        let g = ModelId::TinyLm.build(Scale::Test).unwrap();
+        let cfg = TinyLmCfg::at(Scale::Test);
+        let ids = Tensor::from_vec(
+            [cfg.context],
+            (0..cfg.context).map(|i| (i % cfg.vocab) as f32).collect(),
+        )
+        .unwrap();
+        let y = run_f32(&g, &ids).unwrap();
+        assert_eq!(y.dims(), &[cfg.context, cfg.vocab]);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = ModelId::ViTS.build(Scale::Test).unwrap();
+        let b = ModelId::ViTS.build(Scale::Test).unwrap();
+        let wa = a.layer(0).unwrap().weight().data().to_vec();
+        let wb = b.layer(0).unwrap().weight().data().to_vec();
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn transformer_models_have_outlier_gammas() {
+        let g = ModelId::ViTS.build(Scale::Test).unwrap();
+        let mut found = false;
+        for node in g.nodes() {
+            if let Op::LayerNorm(ln) = &node.op {
+                if ln.gamma.iter().any(|&v| v > 8.0) {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "ViT must carry outlier LN gammas");
+    }
+
+    #[test]
+    fn bn_stats_are_calibrated() {
+        let g = ModelId::RNet20.build(Scale::Test).unwrap();
+        // At least one BN should have non-identity running stats after
+        // calibration.
+        let mut calibrated = false;
+        for node in g.nodes() {
+            if let Op::BatchNorm(bn) = &node.op {
+                if bn.mean.iter().any(|&m| m.abs() > 1e-3)
+                    || bn.var.iter().any(|&v| (v - 1.0).abs() > 1e-2)
+                {
+                    calibrated = true;
+                }
+            }
+        }
+        assert!(calibrated, "BN stats were never calibrated");
+    }
+}

@@ -1,0 +1,194 @@
+//! ResNet builders (ResNet-20/18/34/50).
+//!
+//! Architecture-faithful, width-scaled residual networks: basic blocks
+//! (two 3×3 convolutions) for ResNet-20/18/34 and bottleneck blocks
+//! (1×1 → 3×3 → 1×1, expansion 4) for ResNet-50, with strided projection
+//! shortcuts at stage boundaries — the same topology the paper quantizes.
+
+use crate::graph::{Graph, NodeId, Op};
+use crate::ops::Conv2d;
+use crate::zoo::{Init, InitProfile, ModelId, Scale};
+use crate::Result;
+
+/// Configuration of one ResNet build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResNetCfg {
+    /// Stem width.
+    pub stem: usize,
+    /// Base width of each stage (pre-expansion).
+    pub stage_widths: Vec<usize>,
+    /// Residual blocks per stage.
+    pub stage_blocks: Vec<usize>,
+    /// Use bottleneck blocks (expansion 4).
+    pub bottleneck: bool,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl ResNetCfg {
+    /// The configuration of a ResNet family member at a scale.
+    pub fn of(id: ModelId, scale: Scale) -> Self {
+        let test = matches!(scale, Scale::Test);
+        match id {
+            ModelId::RNet20 => ResNetCfg {
+                stem: if test { 8 } else { 16 },
+                stage_widths: if test { vec![8, 16] } else { vec![16, 24, 32] },
+                stage_blocks: if test { vec![1, 1] } else { vec![3, 3, 3] },
+                bottleneck: false,
+                num_classes: 10,
+            },
+            ModelId::RNet18 => ResNetCfg {
+                stem: if test { 8 } else { 16 },
+                stage_widths: if test { vec![8, 16] } else { vec![16, 32, 64, 128] },
+                stage_blocks: if test { vec![1, 1] } else { vec![2, 2, 2, 2] },
+                bottleneck: false,
+                num_classes: 10,
+            },
+            ModelId::RNet34 => ResNetCfg {
+                stem: if test { 8 } else { 16 },
+                stage_widths: if test { vec![8, 16] } else { vec![16, 32, 64, 128] },
+                stage_blocks: if test { vec![1, 1] } else { vec![3, 4, 6, 3] },
+                bottleneck: false,
+                num_classes: 10,
+            },
+            ModelId::RNet50 => ResNetCfg {
+                stem: if test { 8 } else { 16 },
+                stage_widths: if test { vec![8] } else { vec![8, 16, 32, 64] },
+                stage_blocks: if test { vec![2] } else { vec![3, 4, 6, 3] },
+                bottleneck: true,
+                num_classes: 10,
+            },
+            other => panic!("{other:?} is not a ResNet"),
+        }
+    }
+
+    /// Output channels of a stage after expansion.
+    fn stage_out(&self, stage: usize) -> usize {
+        self.stage_widths[stage] * if self.bottleneck { 4 } else { 1 }
+    }
+}
+
+fn conv_bn(
+    g: &mut Graph,
+    init: &mut Init,
+    x: NodeId,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+) -> Result<NodeId> {
+    let pad = k / 2;
+    let w = init.conv_weight(c_out, c_in, k, k);
+    let c = g.conv2d(x, Conv2d::new(w, None, stride, pad, 1)?)?;
+    let bn = init.batch_norm(c_out);
+    g.batch_norm(c, bn)
+}
+
+fn basic_block(
+    g: &mut Graph,
+    init: &mut Init,
+    x: NodeId,
+    c_in: usize,
+    c_out: usize,
+    stride: usize,
+) -> Result<NodeId> {
+    let b1 = conv_bn(g, init, x, c_in, c_out, 3, stride)?;
+    let r1 = g.relu(b1)?;
+    let b2 = conv_bn(g, init, r1, c_out, c_out, 3, 1)?;
+    let skip = if stride != 1 || c_in != c_out {
+        conv_bn(g, init, x, c_in, c_out, 1, stride)?
+    } else {
+        x
+    };
+    let s = g.add(b2, skip)?;
+    g.relu(s)
+}
+
+fn bottleneck_block(
+    g: &mut Graph,
+    init: &mut Init,
+    x: NodeId,
+    c_in: usize,
+    width: usize,
+    stride: usize,
+) -> Result<NodeId> {
+    let c_out = width * 4;
+    let b1 = conv_bn(g, init, x, c_in, width, 1, 1)?;
+    let r1 = g.relu(b1)?;
+    let b2 = conv_bn(g, init, r1, width, width, 3, stride)?;
+    let r2 = g.relu(b2)?;
+    let b3 = conv_bn(g, init, r2, width, c_out, 1, 1)?;
+    let skip = if stride != 1 || c_in != c_out {
+        conv_bn(g, init, x, c_in, c_out, 1, stride)?
+    } else {
+        x
+    };
+    let s = g.add(b3, skip)?;
+    g.relu(s)
+}
+
+/// Builds a ResNet graph.
+pub fn build(cfg: ResNetCfg, seed: u64) -> Result<Graph> {
+    let mut init = Init::new(seed, InitProfile::cnn());
+    let mut g = Graph::new("resnet");
+    let input = g.input();
+    let stem = conv_bn(&mut g, &mut init, input, 3, cfg.stem, 3, 1)?;
+    let mut x = g.relu(stem)?;
+    let mut c_in = cfg.stem;
+    for (stage, (&width, &blocks)) in
+        cfg.stage_widths.iter().zip(cfg.stage_blocks.iter()).enumerate()
+    {
+        for b in 0..blocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            x = if cfg.bottleneck {
+                bottleneck_block(&mut g, &mut init, x, c_in, width, stride)?
+            } else {
+                basic_block(&mut g, &mut init, x, c_in, width, stride)?
+            };
+            c_in = cfg.stage_out(stage);
+        }
+    }
+    let pooled = g.add_node(Op::GlobalAvgPool, vec![x])?;
+    let head = crate::ops::Linear::new(
+        init.linear_weight(cfg.num_classes, c_in),
+        Some(init.bias(cfg.num_classes)),
+    )?;
+    let logits = g.linear(pooled, head)?;
+    g.set_output(logits)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_f32;
+    use flexiq_tensor::Tensor;
+
+    #[test]
+    fn resnet20_eval_has_paper_layer_count() {
+        // ResNet-20: 19 convs + 1 fc quantizable layers, plus projection
+        // shortcuts at two stage boundaries.
+        let g = build(ResNetCfg::of(ModelId::RNet20, Scale::Eval), 1).unwrap();
+        // 1 stem + 18 block convs + 2 downsample projections + 1 head.
+        assert_eq!(g.num_layers(), 22);
+    }
+
+    #[test]
+    fn bottleneck_variant_runs() {
+        let g = build(ResNetCfg::of(ModelId::RNet50, Scale::Test), 2).unwrap();
+        let x = Tensor::ones([3, 8, 8]);
+        let y = run_f32(&g, &x).unwrap();
+        assert_eq!(y.numel(), 10);
+    }
+
+    #[test]
+    fn stage_strides_shrink_spatial_dims() {
+        let g = build(ResNetCfg::of(ModelId::RNet18, Scale::Eval), 3).unwrap();
+        let x = Tensor::ones([3, 16, 16]);
+        assert!(run_f32(&g, &x).is_ok());
+        // Wrong spatial size must still work (fully convolutional until
+        // GAP), wrong channel count must fail.
+        assert!(run_f32(&g, &Tensor::ones([3, 12, 12])).is_ok());
+        assert!(run_f32(&g, &Tensor::ones([4, 16, 16])).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Swin transformer builders (Swin-S / Swin-B).
+//!
+//! Hierarchical windowed transformers: a conv patch embedding, stages of
+//! window-attention blocks alternating between plain and shifted windows,
+//! and patch-merging transitions that halve the grid while doubling the
+//! width — the defining Swin topology, scaled down.
+
+use crate::graph::{Graph, Op};
+use crate::ops::{Attention, Conv2d, Linear, WindowAttention};
+use crate::zoo::{Init, InitProfile, ModelId, Scale};
+use crate::Result;
+
+/// Configuration of a Swin build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwinCfg {
+    /// Patch size.
+    pub patch: usize,
+    /// Initial token-grid side length.
+    pub grid: usize,
+    /// Stage widths (doubling at each merge).
+    pub stage_dims: Vec<usize>,
+    /// Blocks per stage.
+    pub stage_blocks: Vec<usize>,
+    /// Window side length.
+    pub window: usize,
+    /// MLP expansion numerator (hidden = dim * ratio / 2).
+    pub mlp_ratio2: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Weight-structure profile.
+    pub profile: InitProfile,
+}
+
+impl SwinCfg {
+    /// The configuration of a Swin family member at a scale.
+    pub fn of(id: ModelId, scale: Scale) -> Self {
+        let test = matches!(scale, Scale::Test);
+        let base = matches!(id, ModelId::SwinB);
+        if test {
+            SwinCfg {
+                patch: 2,
+                grid: 4,
+                stage_dims: vec![16],
+                stage_blocks: vec![2],
+                window: 2,
+                mlp_ratio2: 4,
+                num_classes: 10,
+                profile: InitProfile::swin(),
+            }
+        } else {
+            SwinCfg {
+                patch: 2,
+                grid: 8,
+                stage_dims: if base { vec![24, 48] } else { vec![16, 32] },
+                stage_blocks: if base { vec![2, 4] } else { vec![2, 2] },
+                window: 4,
+                mlp_ratio2: 4,
+                num_classes: 10,
+                profile: InitProfile::swin(),
+            }
+        }
+    }
+
+    fn heads_for(dim: usize) -> usize {
+        (dim / 8).max(1)
+    }
+}
+
+/// Builds a Swin graph.
+pub fn build(cfg: SwinCfg, seed: u64) -> Result<Graph> {
+    let mut init = Init::new(seed, cfg.profile);
+    let mut g = Graph::new("swin");
+    let input = g.input();
+    let dim0 = cfg.stage_dims[0];
+    let w = init.conv_weight(dim0, 3, cfg.patch, cfg.patch);
+    let pe = g.conv2d(input, Conv2d::new(w, Some(init.bias(dim0)), cfg.patch, 0, 1)?)?;
+    let tok = g.add_node(Op::ToTokens, vec![pe])?;
+    let pos = init.pos_embedding(cfg.grid * cfg.grid, dim0);
+    let mut x = g.add_node(Op::AddParam(pos), vec![tok])?;
+
+    let mut grid = cfg.grid;
+    for (stage, (&dim, &blocks)) in
+        cfg.stage_dims.iter().zip(cfg.stage_blocks.iter()).enumerate()
+    {
+        if stage > 0 {
+            // Patch merging: grid/2, channels ×4, then linear to `dim`.
+            let merged = g.add_node(Op::PatchMerge { h: grid, w: grid }, vec![x])?;
+            grid /= 2;
+            let prev_dim = cfg.stage_dims[stage - 1];
+            let reduce = Linear::new(init.linear_weight(dim, 4 * prev_dim), None)?;
+            x = g.linear(merged, reduce)?;
+        }
+        let heads = SwinCfg::heads_for(dim);
+        let window = cfg.window.min(grid);
+        for b in 0..blocks {
+            let shifted = b % 2 == 1 && window < grid;
+            // Window attention sub-block (pre-norm).
+            let ln1 = g.layer_norm(x, init.layer_norm(dim))?;
+            let mk = |init: &mut Init| -> Result<Linear> {
+                Linear::new(init.linear_weight(dim, dim), Some(init.bias(dim)))
+            };
+            let attn = Attention::new(
+                mk(&mut init)?,
+                mk(&mut init)?,
+                mk(&mut init)?,
+                mk(&mut init)?,
+                heads,
+                false,
+            )?;
+            let wa = WindowAttention::new(attn, grid, grid, window, shifted)?;
+            let a = g.window_attention(ln1, wa)?;
+            x = g.add(a, x)?;
+            // MLP sub-block.
+            let hidden = dim * cfg.mlp_ratio2 / 2;
+            let ln2 = g.layer_norm(x, init.layer_norm(dim))?;
+            let fc1 = Linear::new(init.linear_weight(hidden, dim), Some(init.bias(hidden)))?;
+            let h = g.linear(ln2, fc1)?;
+            let act = g.gelu(h)?;
+            let fc2 = Linear::new(init.linear_weight(dim, hidden), Some(init.bias(dim)))?;
+            let m = g.linear(act, fc2)?;
+            x = g.add(m, x)?;
+        }
+    }
+
+    let final_dim = *cfg.stage_dims.last().expect("at least one stage");
+    let ln = g.layer_norm(x, init.layer_norm(final_dim))?;
+    let pooled = g.add_node(Op::MeanTokens, vec![ln])?;
+    let head = Linear::new(
+        init.linear_weight(cfg.num_classes, final_dim),
+        Some(init.bias(cfg.num_classes)),
+    )?;
+    let logits = g.linear(pooled, head)?;
+    g.set_output(logits)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_f32;
+    use flexiq_tensor::Tensor;
+
+    #[test]
+    fn eval_swin_runs_with_two_stages() {
+        let cfg = SwinCfg::of(ModelId::SwinS, Scale::Eval);
+        let g = build(cfg.clone(), 11).unwrap();
+        let hw = cfg.patch * cfg.grid;
+        let y = run_f32(&g, &Tensor::ones([3, hw, hw])).unwrap();
+        assert_eq!(y.numel(), cfg.num_classes);
+        // Must contain at least one shifted window-attention node.
+        let shifted = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(&n.op, Op::WindowAttention(w) if w.shifted))
+            .count();
+        assert!(shifted >= 1, "no shifted windows found");
+        // And a patch-merge transition.
+        assert!(g.nodes().iter().any(|n| matches!(n.op, Op::PatchMerge { .. })));
+    }
+
+    #[test]
+    fn base_is_deeper_and_wider_than_small() {
+        let s = SwinCfg::of(ModelId::SwinS, Scale::Eval);
+        let b = SwinCfg::of(ModelId::SwinB, Scale::Eval);
+        assert!(b.stage_dims.iter().sum::<usize>() > s.stage_dims.iter().sum::<usize>());
+        assert!(b.stage_blocks.iter().sum::<usize>() > s.stage_blocks.iter().sum::<usize>());
+    }
+}

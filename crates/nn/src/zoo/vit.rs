@@ -1,0 +1,170 @@
+//! ViT / DeiT builders.
+//!
+//! Pre-norm vision transformers: conv patch embedding, learned positional
+//! embeddings, `depth` encoder blocks (LN → MHA → residual, LN → MLP →
+//! residual), final LN, mean pooling and a linear head. DeiT shares the
+//! architecture with a milder activation-outlier profile (see
+//! [`crate::zoo`] docs).
+
+use crate::graph::{Graph, Op};
+use crate::ops::{Attention, Conv2d, Linear};
+use crate::zoo::{Init, InitProfile, ModelId, Scale};
+use crate::Result;
+
+/// Configuration of a ViT-family build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViTCfg {
+    /// Patch size (patch-embed conv kernel and stride).
+    pub patch: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Encoder depth.
+    pub depth: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP hidden width.
+    pub mlp_hidden: usize,
+    /// Token-grid side length (input 16×16 with patch 4 → 4).
+    pub grid: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Weight-structure profile.
+    pub profile: InitProfile,
+}
+
+impl ViTCfg {
+    /// The configuration of a ViT-family member at a scale.
+    pub fn of(id: ModelId, scale: Scale) -> Self {
+        let test = matches!(scale, Scale::Test);
+        let profile = match id {
+            ModelId::DeiTS | ModelId::DeiTB => InitProfile::deit(),
+            _ => InitProfile::vit(),
+        };
+        let small = matches!(id, ModelId::ViTS | ModelId::DeiTS);
+        if test {
+            ViTCfg {
+                patch: 4,
+                dim: 16,
+                depth: 2,
+                heads: 2,
+                mlp_hidden: 32,
+                grid: 2,
+                num_classes: 10,
+                profile,
+            }
+        } else if small {
+            ViTCfg {
+                patch: 4,
+                dim: 32,
+                depth: 4,
+                heads: 4,
+                mlp_hidden: 64,
+                grid: 4,
+                num_classes: 10,
+                profile,
+            }
+        } else {
+            ViTCfg {
+                patch: 4,
+                dim: 48,
+                depth: 6,
+                heads: 4,
+                mlp_hidden: 96,
+                grid: 4,
+                num_classes: 10,
+                profile,
+            }
+        }
+    }
+
+    /// Number of tokens.
+    pub fn tokens(&self) -> usize {
+        self.grid * self.grid
+    }
+}
+
+/// Builds a ViT/DeiT graph.
+pub fn build(cfg: ViTCfg, seed: u64) -> Result<Graph> {
+    let mut init = Init::new(seed, cfg.profile);
+    let mut g = Graph::new("vit");
+    let input = g.input();
+    // Patch embedding: conv with kernel = stride = patch.
+    let w = init.conv_weight(cfg.dim, 3, cfg.patch, cfg.patch);
+    let pe = g.conv2d(input, Conv2d::new(w, Some(init.bias(cfg.dim)), cfg.patch, 0, 1)?)?;
+    let tok = g.add_node(Op::ToTokens, vec![pe])?;
+    let pos = init.pos_embedding(cfg.tokens(), cfg.dim);
+    let mut x = g.add_node(Op::AddParam(pos), vec![tok])?;
+
+    for _ in 0..cfg.depth {
+        // Attention sub-block (pre-norm).
+        let ln1 = g.layer_norm(x, init.layer_norm(cfg.dim))?;
+        let mk = |init: &mut Init| -> Result<Linear> {
+            Linear::new(init.linear_weight(cfg.dim, cfg.dim), Some(init.bias(cfg.dim)))
+        };
+        let attn = Attention::new(
+            mk(&mut init)?,
+            mk(&mut init)?,
+            mk(&mut init)?,
+            mk(&mut init)?,
+            cfg.heads,
+            false,
+        )?;
+        let a = g.attention(ln1, attn)?;
+        x = g.add(a, x)?;
+        // MLP sub-block.
+        let ln2 = g.layer_norm(x, init.layer_norm(cfg.dim))?;
+        let fc1 = Linear::new(
+            init.linear_weight(cfg.mlp_hidden, cfg.dim),
+            Some(init.bias(cfg.mlp_hidden)),
+        )?;
+        let h = g.linear(ln2, fc1)?;
+        let act = g.gelu(h)?;
+        let fc2 = Linear::new(
+            init.linear_weight(cfg.dim, cfg.mlp_hidden),
+            Some(init.bias(cfg.dim)),
+        )?;
+        let m = g.linear(act, fc2)?;
+        x = g.add(m, x)?;
+    }
+
+    let ln = g.layer_norm(x, init.layer_norm(cfg.dim))?;
+    let pooled = g.add_node(Op::MeanTokens, vec![ln])?;
+    let head = Linear::new(
+        init.linear_weight(cfg.num_classes, cfg.dim),
+        Some(init.bias(cfg.num_classes)),
+    )?;
+    let logits = g.linear(pooled, head)?;
+    g.set_output(logits)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_f32;
+    use flexiq_tensor::Tensor;
+
+    #[test]
+    fn layer_count_matches_architecture() {
+        let cfg = ViTCfg::of(ModelId::ViTS, Scale::Eval);
+        let g = build(cfg, 9).unwrap();
+        // patch embed + depth*(4 attention proj + 2 mlp) + head.
+        assert_eq!(g.num_layers(), 1 + cfg.depth * 6 + 1);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let cfg = ViTCfg::of(ModelId::ViTB, Scale::Test);
+        let g = build(cfg, 10).unwrap();
+        let hw = cfg.patch * cfg.grid;
+        let y = run_f32(&g, &Tensor::ones([3, hw, hw])).unwrap();
+        assert_eq!(y.numel(), cfg.num_classes);
+    }
+
+    #[test]
+    fn deit_profile_is_milder() {
+        let v = ViTCfg::of(ModelId::ViTS, Scale::Eval);
+        let d = ViTCfg::of(ModelId::DeiTS, Scale::Eval);
+        assert!(d.profile.outlier_gain < v.profile.outlier_gain);
+    }
+}

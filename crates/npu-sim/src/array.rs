@@ -1,0 +1,289 @@
+//! The functional, cycle-counted systolic array (paper Fig. 5).
+
+use flexiq_quant::lowering::BitLowering;
+use flexiq_quant::QuantBits;
+
+/// Compute precision of a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 8-bit: one MAC per PE per cycle (all four 4-bit units combined).
+    Int8,
+    /// 4-bit: two parallel MACs per PE per cycle.
+    Int4,
+    /// 2-bit extension: four parallel MACs per PE per cycle.
+    Int2,
+}
+
+impl Precision {
+    /// Input channels mapped onto one PE row in this mode.
+    pub fn channels_per_row(self) -> usize {
+        match self {
+            Precision::Int8 => 1,
+            Precision::Int4 => 2,
+            Precision::Int2 => 4,
+        }
+    }
+
+    /// The operand bitwidth.
+    pub fn bits(self) -> QuantBits {
+        match self {
+            Precision::Int8 => QuantBits::B8,
+            Precision::Int4 => QuantBits::B4,
+            Precision::Int2 => QuantBits::B2,
+        }
+    }
+}
+
+/// Architectural parameters of the NPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpuConfig {
+    /// PE rows (input-channel dimension).
+    pub rows: usize,
+    /// PE columns (output-channel dimension).
+    pub cols: usize,
+    /// Clock frequency in MHz (latency conversions).
+    pub freq_mhz: f64,
+    /// Bytes deliverable per cycle from on-chip memory.
+    pub mem_bytes_per_cycle: usize,
+    /// Cycles to load one weight tile into the array.
+    pub weight_load_cycles: usize,
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        // 32x32 PEs as in the paper; 200 MHz is typical for the
+        // DNNWeaver-class FPGA prototype the paper extends.
+        NpuConfig {
+            rows: 32,
+            cols: 32,
+            freq_mhz: 200.0,
+            mem_bytes_per_cycle: 64,
+            weight_load_cycles: 32,
+        }
+    }
+}
+
+impl NpuConfig {
+    /// Input channels one tile covers in a precision mode.
+    pub fn tile_channels(&self, p: Precision) -> usize {
+        self.rows * p.channels_per_row()
+    }
+
+    /// The channel-group granularity required for full utilization —
+    /// 64 for 4-bit mode on the 32×32 array (§7).
+    pub fn group_size(&self, p: Precision) -> usize {
+        self.tile_channels(p)
+    }
+}
+
+/// Result of executing one tile.
+#[derive(Debug, Clone)]
+pub struct TileResult {
+    /// Partial sums `[cols_out × n]`, already bit-shift-aligned to the
+    /// 8-bit accumulator domain.
+    pub partials: Vec<i32>,
+    /// Cycles consumed (weight load + pipeline fill + streaming).
+    pub cycles: u64,
+}
+
+/// The weight-stationary systolic array.
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    /// Architectural configuration.
+    pub cfg: NpuConfig,
+}
+
+impl SystolicArray {
+    /// Creates an array with the given configuration.
+    pub fn new(cfg: NpuConfig) -> Self {
+        SystolicArray { cfg }
+    }
+
+    /// Executes one weight-stationary tile.
+    ///
+    /// * `weights` — `[c_out_tile][k_tile]` 8-bit master weights;
+    /// * `acts` — `[k_tile][n]` 8-bit activations;
+    /// * `w_rules`/`a_rule` — extraction rules applied in low-precision
+    ///   modes (`None` in 8-bit mode);
+    /// * In 4-/2-bit mode the tile covers `rows × channels_per_row`
+    ///   channels; two (four) MAC results per PE are accumulated and
+    ///   bit-aligned before joining the 8-bit accumulator (§7).
+    ///
+    /// Returns bit-exact partial sums plus the cycle count.
+    pub fn run_tile(
+        &self,
+        precision: Precision,
+        weights: &[Vec<i8>],
+        acts: &[Vec<i8>],
+        w_rules: Option<&[BitLowering]>,
+        a_rule: Option<BitLowering>,
+    ) -> TileResult {
+        let c_out_tile = weights.len();
+        let k_tile = acts.len();
+        let n = acts.first().map_or(0, |row| row.len());
+        assert!(c_out_tile <= self.cfg.cols, "tile exceeds array columns");
+        assert!(
+            k_tile <= self.cfg.tile_channels(precision),
+            "tile exceeds array rows for {precision:?}"
+        );
+        let mut partials = vec![0i32; c_out_tile * n];
+        match precision {
+            Precision::Int8 => {
+                for (o, wrow) in weights.iter().enumerate() {
+                    for (k, arow) in acts.iter().enumerate() {
+                        let w = wrow[k] as i32;
+                        if w == 0 {
+                            continue;
+                        }
+                        for j in 0..n {
+                            partials[o * n + j] += w * arow[j] as i32;
+                        }
+                    }
+                }
+            }
+            Precision::Int4 | Precision::Int2 => {
+                let w_rules = w_rules.expect("low-precision tiles need weight rules");
+                let a_rule = a_rule.expect("low-precision tiles need an activation rule");
+                for (o, wrow) in weights.iter().enumerate() {
+                    let rule = w_rules[o];
+                    let shift = rule.shift() + a_rule.shift();
+                    for (k, arow) in acts.iter().enumerate() {
+                        let w_low = rule.lower(wrow[k]) as i32;
+                        if w_low == 0 {
+                            continue;
+                        }
+                        for j in 0..n {
+                            // MAC in low precision, then bit-aligned
+                            // accumulation into the 8-bit domain.
+                            let a_low = a_rule.lower(arow[j]) as i32;
+                            partials[o * n + j] += (w_low * a_low) << shift;
+                        }
+                    }
+                }
+            }
+        }
+        // Cycle model: load weights, fill the pipeline diagonally, then
+        // stream one activation column per cycle. Mixed precision adds no
+        // bubbles (§7): 4-bit mode moves the same operand bytes per cycle.
+        let fill = self.cfg.rows + self.cfg.cols;
+        let cycles = (self.cfg.weight_load_cycles + fill + n) as u64;
+        TileResult { partials, cycles }
+    }
+
+    /// Cycles for an idealized tile without running the arithmetic
+    /// (used by the latency-only model paths).
+    pub fn tile_cycles(&self, n: usize) -> u64 {
+        (self.cfg.weight_load_cycles + self.cfg.rows + self.cfg.cols + n) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::gemm::gemm_i8;
+    use flexiq_tensor::rng::seeded;
+    use rand::Rng;
+
+    fn random_tile(rows: usize, cols: usize, n: usize, seed: u64) -> (Vec<Vec<i8>>, Vec<Vec<i8>>) {
+        let mut rng = seeded(seed);
+        let w = (0..cols)
+            .map(|_| (0..rows).map(|_| rng.gen_range(-40i16..=40) as i8).collect())
+            .collect();
+        let a = (0..rows)
+            .map(|_| (0..n).map(|_| rng.gen_range(-40i16..=40) as i8).collect())
+            .collect();
+        (w, a)
+    }
+
+    #[test]
+    fn int8_tile_matches_reference_gemm() {
+        let arr = SystolicArray::new(NpuConfig::default());
+        let (w, a) = random_tile(16, 8, 5, 281);
+        let res = arr.run_tile(Precision::Int8, &w, &a, None, None);
+        let w_flat: Vec<i8> = w.iter().flatten().copied().collect();
+        let a_flat: Vec<i8> = a.iter().flatten().copied().collect();
+        let mut expect = vec![0i32; 8 * 5];
+        gemm_i8(8, 5, 16, &w_flat, &a_flat, &mut expect);
+        assert_eq!(res.partials, expect);
+    }
+
+    #[test]
+    fn int4_tile_matches_lowered_reference() {
+        let arr = SystolicArray::new(NpuConfig::default());
+        let (w, a) = random_tile(8, 4, 6, 282);
+        let w_rules: Vec<BitLowering> = (0..4)
+            .map(|o| {
+                let m = w[o].iter().map(|&v| v.unsigned_abs() as u32).max().unwrap_or(0);
+                BitLowering::for_max_abs(m, QuantBits::B4)
+            })
+            .collect();
+        let a_max = a
+            .iter()
+            .flatten()
+            .map(|&v| v.unsigned_abs() as u32)
+            .max()
+            .unwrap_or(0);
+        let a_rule = BitLowering::for_max_abs(a_max, QuantBits::B4);
+        let res = arr.run_tile(Precision::Int4, &w, &a, Some(&w_rules), Some(a_rule));
+        // Reference: lower both operands, multiply, shift.
+        for o in 0..4 {
+            for j in 0..6 {
+                let mut acc = 0i32;
+                for k in 0..8 {
+                    let wl = w_rules[o].lower(w[o][k]) as i32;
+                    let al = a_rule.lower(a[k][j]) as i32;
+                    acc += (wl * al) << (w_rules[o].shift() + a_rule.shift());
+                }
+                assert_eq!(res.partials[o * 6 + j], acc, "o={o} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn int4_with_small_ranges_approximates_int8() {
+        // When every operand fits in 4 bits the lowered tile is exact.
+        let arr = SystolicArray::new(NpuConfig::default());
+        let mut rng = seeded(283);
+        let w: Vec<Vec<i8>> =
+            (0..4).map(|_| (0..8).map(|_| rng.gen_range(-7i16..=7) as i8).collect()).collect();
+        let a: Vec<Vec<i8>> =
+            (0..8).map(|_| (0..3).map(|_| rng.gen_range(-7i16..=7) as i8).collect()).collect();
+        let rules = vec![BitLowering::for_max_abs(7, QuantBits::B4); 4];
+        let a_rule = BitLowering::for_max_abs(7, QuantBits::B4);
+        let low = arr.run_tile(Precision::Int4, &w, &a, Some(&rules), Some(a_rule));
+        let high = arr.run_tile(Precision::Int8, &w, &a, None, None);
+        assert_eq!(low.partials, high.partials);
+    }
+
+    #[test]
+    fn cycles_are_independent_of_precision() {
+        // The paper's key property: precision switches add no bubbles —
+        // a tile of the same streaming length costs the same cycles.
+        let arr = SystolicArray::new(NpuConfig::default());
+        let (w, a) = random_tile(8, 4, 10, 284);
+        let rules = vec![BitLowering::for_max_abs(127, QuantBits::B4); 4];
+        let a_rule = BitLowering::for_max_abs(127, QuantBits::B4);
+        let c8 = arr.run_tile(Precision::Int8, &w, &a, None, None).cycles;
+        let c4 = arr.run_tile(Precision::Int4, &w, &a, Some(&rules), Some(a_rule)).cycles;
+        assert_eq!(c8, c4);
+    }
+
+    #[test]
+    fn tile_channel_capacity_scales_with_precision() {
+        let cfg = NpuConfig::default();
+        assert_eq!(cfg.tile_channels(Precision::Int8), 32);
+        assert_eq!(cfg.tile_channels(Precision::Int4), 64);
+        assert_eq!(cfg.tile_channels(Precision::Int2), 128);
+        // §7: "a group of sixty-four input channels is required to fully
+        // utilize all the PEs" in 4-bit mode.
+        assert_eq!(cfg.group_size(Precision::Int4), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array rows")]
+    fn oversized_tiles_rejected() {
+        let arr = SystolicArray::new(NpuConfig::default());
+        let (w, a) = random_tile(40, 4, 2, 285);
+        let _ = arr.run_tile(Precision::Int8, &w, &a, None, None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Cycle-level simulator of the paper's custom mixed-precision NPU (§7).
+//!
+//! The paper extends DNNWeaver v2 with 4-/8-bit mixed computation: a
+//! 32×32 weight-stationary systolic array whose processing elements each
+//! hold four 4-bit MAC units. In 8-bit mode all four units combine into
+//! one 8-bit MAC; in 4-bit mode two run in parallel (so a column group of
+//! 64 input channels fills the array); a 2-bit extension runs four in
+//! parallel (group size 128). Precision switches insert no pipeline
+//! bubbles because 4-bit mode consumes the same operand bandwidth as
+//! 8-bit mode.
+//!
+//! This crate provides:
+//!
+//! * [`array`] — a functional systolic array whose tile results are
+//!   bit-exact against the reference integer GEMM, plus per-tile cycle
+//!   accounting (weight load, pipeline fill, streaming).
+//! * [`isa`] — the small instruction set and instruction memory whose
+//!   reload time bounds the ratio-switch latency (§8.5: < 0.3 µs).
+//! * [`program`] — compiles a layer GEMM with a `max_4bit_ch` boundary
+//!   into tiles, and whole-model latency with the §5 residual-reorder
+//!   store overhead (~3%) and 8-bit-tensor load overhead (1–2%, §8.3).
+
+pub mod array;
+pub mod isa;
+pub mod program;
+
+pub use array::{NpuConfig, Precision, SystolicArray, TileResult};
+pub use isa::{Instr, InstructionMemory};
+pub use program::{GemmSpec, LayerLatency, NpuModelLatency};

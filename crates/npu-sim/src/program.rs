@@ -1,0 +1,311 @@
+//! Layer → tile compilation and whole-model NPU latency.
+//!
+//! A layer's GEMM is decomposed over output-channel tiles (32 array
+//! columns) and reduction tiles (32 rows in 8-bit mode, 64 channels in
+//! 4-bit mode): the leading `low_channels` feature channels — the
+//! `max_4bit_ch` boundary after §5's layout pass — run in 4-bit mode,
+//! the rest in 8-bit mode. Layers with an outgoing residual connection
+//! pay the §5 reordered-store overhead (~3%); serving at a 4-bit ratio
+//! still loads 8-bit tensors, which adds the 1–2% bandwidth overhead the
+//! paper measures (§8.3).
+
+use flexiq_nn::exec::{run_traced, F32Compute};
+use flexiq_nn::graph::{Graph, Op};
+use flexiq_nn::NnError;
+use flexiq_tensor::Tensor;
+
+use crate::array::{NpuConfig, Precision, SystolicArray};
+use crate::isa::Instr;
+
+/// One layer's GEMM workload on the NPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmSpec {
+    /// Output channels.
+    pub c_out: usize,
+    /// Feature (input) channels.
+    pub c_in: usize,
+    /// Reduction elements per channel (KH·KW for convs, 1 for linears).
+    pub k_per_channel: usize,
+    /// Output positions (OH·OW for convs, tokens for linears).
+    pub n: usize,
+    /// Leading channels computed at 4 bits (`max_4bit_ch`).
+    pub low_channels: usize,
+    /// Output additionally stored reordered (residual fix, §5).
+    pub residual_store: bool,
+}
+
+impl GemmSpec {
+    /// Multiply–accumulate count of this layer.
+    pub fn macs(&self) -> u64 {
+        (self.c_out * self.c_in * self.k_per_channel * self.n) as u64
+    }
+}
+
+/// Latency breakdown of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerLatency {
+    /// Compute cycles (tiles).
+    pub compute_cycles: u64,
+    /// Extra cycles for the reordered residual store.
+    pub reorder_cycles: u64,
+    /// Extra cycles from loading 8-bit master tensors for 4-bit bands.
+    pub mem_overhead_cycles: u64,
+}
+
+impl LayerLatency {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.compute_cycles + self.reorder_cycles + self.mem_overhead_cycles
+    }
+}
+
+/// Compiles one layer and counts its cycles.
+pub fn compile_layer(cfg: &NpuConfig, spec: &GemmSpec) -> (Vec<Instr>, LayerLatency) {
+    let array = SystolicArray::new(*cfg);
+    let mut program = Vec::new();
+    let mut compute_cycles = 0u64;
+    let low = spec.low_channels.min(spec.c_in);
+    let high = spec.c_in - low;
+    let out_tiles = spec.c_out.div_ceil(cfg.cols);
+
+    // Reduction rows per tile: channels/row × rows, measured in channels.
+    let tile4 = cfg.tile_channels(Precision::Int4);
+    let tile8 = cfg.tile_channels(Precision::Int8);
+    let k_tiles_low = low.div_ceil(tile4) * spec.k_per_channel;
+    let k_tiles_high = high.div_ceil(tile8) * spec.k_per_channel;
+
+    let mut tile_id = 0u32;
+    for _ in 0..out_tiles {
+        if k_tiles_low > 0 {
+            program.push(Instr::SetPrecision(Precision::Int4));
+            for _ in 0..k_tiles_low {
+                program.push(Instr::LoadWeights { tile: tile_id });
+                program.push(Instr::Gemm { n: spec.n as u32 });
+                compute_cycles += array.tile_cycles(spec.n);
+                tile_id += 1;
+            }
+        }
+        if k_tiles_high > 0 {
+            program.push(Instr::SetPrecision(Precision::Int8));
+            for _ in 0..k_tiles_high {
+                program.push(Instr::LoadWeights { tile: tile_id });
+                program.push(Instr::Gemm { n: spec.n as u32 });
+                compute_cycles += array.tile_cycles(spec.n);
+                tile_id += 1;
+            }
+        }
+        program.push(if spec.residual_store {
+            Instr::StoreReordered { dst: 0 }
+        } else {
+            Instr::Store { dst: 0 }
+        });
+    }
+
+    // The reordered store re-writes the output to a second location: the
+    // paper measures ~3% of total execution (§5).
+    let reorder_cycles = if spec.residual_store { compute_cycles * 3 / 100 } else { 0 };
+    // Loading 8-bit tensors for the 4-bit bands moves twice the bytes a
+    // native 4-bit tensor would: 1–2% of total at the memory interface
+    // (§8.3), scaled by the low fraction.
+    let low_frac = low as f64 / spec.c_in.max(1) as f64;
+    let mem_overhead_cycles = (compute_cycles as f64 * 0.02 * low_frac) as u64;
+    (program, LayerLatency { compute_cycles, reorder_cycles, mem_overhead_cycles })
+}
+
+/// Whole-model latency on the NPU.
+#[derive(Debug, Clone)]
+pub struct NpuModelLatency {
+    /// Per-layer breakdown.
+    pub layers: Vec<LayerLatency>,
+    /// The compiled programs' total instruction count.
+    pub instructions: usize,
+}
+
+impl NpuModelLatency {
+    /// Total cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.total()).sum()
+    }
+
+    /// Total milliseconds at the configured clock.
+    pub fn total_ms(&self, cfg: &NpuConfig) -> f64 {
+        self.total_cycles() as f64 / (cfg.freq_mhz * 1e3)
+    }
+}
+
+/// Derives per-layer GEMM specs from a graph by tracing one input.
+///
+/// `low_channels[l]` gives each layer's `max_4bit_ch` boundary;
+/// `skip_layers` lists layers that run elsewhere (the paper excludes
+/// ResNet's 3-channel stem from the weight-stationary array, §8.3).
+pub fn specs_from_graph(
+    graph: &Graph,
+    input: &Tensor,
+    low_channels: &[usize],
+    skip_layers: &[usize],
+) -> flexiq_nn::Result<Vec<GemmSpec>> {
+    if low_channels.len() != graph.num_layers() {
+        return Err(NnError::Invalid(format!(
+            "boundaries cover {} layers, graph has {}",
+            low_channels.len(),
+            graph.num_layers()
+        )));
+    }
+    let trace = run_traced(graph, input, &mut F32Compute)?;
+    // Which compute nodes ultimately feed an Add (outgoing residual)?
+    // Walk back through parameter-free/normalization ops: on the NPU the
+    // conv's store is what gets duplicated to the reordered location.
+    let mut feeds_add = vec![false; graph.nodes().len()];
+    for node in graph.nodes() {
+        if matches!(node.op, Op::Add) {
+            for &i in &node.inputs {
+                let mut cur = i;
+                loop {
+                    let n = &graph.nodes()[cur];
+                    match n.op {
+                        Op::BatchNorm(_)
+                        | Op::LayerNorm(_)
+                        | Op::Relu
+                        | Op::Gelu
+                        | Op::Reorder(_)
+                        | Op::AddParam(_) => cur = n.inputs[0],
+                        _ => break,
+                    }
+                }
+                feeds_add[cur] = true;
+            }
+        }
+    }
+    let mut specs = Vec::new();
+    for l in 0..graph.num_layers() {
+        if skip_layers.contains(&l) {
+            continue;
+        }
+        let (node, _slot) = graph.layer_location(l)?;
+        let x = trace[graph.nodes()[node].inputs[0]]
+            .as_ref()
+            .ok_or_else(|| NnError::Invalid(format!("no traced input for layer {l}")))?;
+        let view = graph.layer(l)?;
+        let (k_per_channel, n) = match &graph.nodes()[node].op {
+            Op::Conv2d(c) => {
+                let dims = x.dims();
+                let g = c.group_geometry(dims[1], dims[2]);
+                (c.kh() * c.kw(), g.out_h() * g.out_w())
+            }
+            _ => {
+                // Linear (standalone or attention projection): tokens.
+                let t = if x.dims().len() == 2 { x.dims()[0] } else { 1 };
+                (1, t)
+            }
+        };
+        specs.push(GemmSpec {
+            c_out: view.c_out(),
+            c_in: view.c_in(),
+            k_per_channel,
+            n,
+            low_channels: low_channels[l].min(view.c_in()),
+            residual_store: feeds_add[node],
+        });
+    }
+    Ok(specs)
+}
+
+/// Compiles a model and returns its latency.
+pub fn model_latency(cfg: &NpuConfig, specs: &[GemmSpec]) -> NpuModelLatency {
+    let mut layers = Vec::with_capacity(specs.len());
+    let mut instructions = 0usize;
+    for s in specs {
+        let (p, lat) = compile_layer(cfg, s);
+        instructions += p.len();
+        layers.push(lat);
+    }
+    NpuModelLatency { layers, instructions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(c_in: usize, low: usize) -> GemmSpec {
+        GemmSpec {
+            c_out: 64,
+            c_in,
+            k_per_channel: 9,
+            n: 64,
+            low_channels: low,
+            residual_store: false,
+        }
+    }
+
+    #[test]
+    fn full_4bit_roughly_halves_compute_cycles() {
+        let cfg = NpuConfig::default();
+        let (_, l8) = compile_layer(&cfg, &spec(128, 0));
+        let (_, l4) = compile_layer(&cfg, &spec(128, 128));
+        let ratio = l4.compute_cycles as f64 / l8.compute_cycles as f64;
+        assert!(
+            (0.45..=0.62).contains(&ratio),
+            "4-bit/8-bit cycle ratio {ratio} outside the expected band"
+        );
+    }
+
+    #[test]
+    fn latency_decreases_monotonically_with_ratio() {
+        let cfg = NpuConfig::default();
+        let mut prev = u64::MAX;
+        for low in [0usize, 64, 128, 192, 256] {
+            let (_, lat) = compile_layer(&cfg, &spec(256, low));
+            assert!(lat.total() <= prev, "cycles rose at low={low}");
+            prev = lat.total();
+        }
+    }
+
+    #[test]
+    fn residual_store_costs_about_three_percent() {
+        let cfg = NpuConfig::default();
+        let mut s = spec(128, 64);
+        s.residual_store = true;
+        let (prog, lat) = compile_layer(&cfg, &s);
+        let frac = lat.reorder_cycles as f64 / lat.compute_cycles as f64;
+        assert!((0.02..=0.04).contains(&frac), "reorder overhead {frac}");
+        assert!(prog.iter().any(|i| matches!(i, Instr::StoreReordered { .. })));
+    }
+
+    #[test]
+    fn mem_overhead_in_paper_band() {
+        let cfg = NpuConfig::default();
+        let (_, lat) = compile_layer(&cfg, &spec(128, 128));
+        let frac = lat.mem_overhead_cycles as f64 / lat.compute_cycles as f64;
+        assert!((0.01..=0.025).contains(&frac), "memory overhead {frac}");
+    }
+
+    #[test]
+    fn specs_from_graph_covers_layers() {
+        use flexiq_nn::zoo::{ModelId, Scale};
+        let id = ModelId::RNet20;
+        let graph = id.build(Scale::Test).unwrap();
+        let input = flexiq_nn::data::gen_image_inputs(1, &id.input_dims(Scale::Test), 291)
+            .remove(0);
+        let low = vec![0usize; graph.num_layers()];
+        let specs = specs_from_graph(&graph, &input, &low, &[0]).unwrap();
+        assert_eq!(specs.len(), graph.num_layers() - 1);
+        // Residual stores must be detected on some conv outputs.
+        assert!(specs.iter().any(|s| s.residual_store));
+        let lat = model_latency(&NpuConfig::default(), &specs);
+        assert!(lat.total_cycles() > 0);
+        assert!(lat.total_ms(&NpuConfig::default()) > 0.0);
+    }
+
+    #[test]
+    fn program_switches_precision_between_bands() {
+        let cfg = NpuConfig::default();
+        let (prog, _) = compile_layer(&cfg, &spec(128, 64));
+        let p4 = prog
+            .iter()
+            .any(|i| matches!(i, Instr::SetPrecision(Precision::Int4)));
+        let p8 = prog
+            .iter()
+            .any(|i| matches!(i, Instr::SetPrecision(Precision::Int8)));
+        assert!(p4 && p8, "mixed layer must program both precisions");
+    }
+}

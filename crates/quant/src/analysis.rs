@@ -1,0 +1,271 @@
+//! Used/unused-bit and saturation analysis (paper Figs. 1, 12, 13).
+
+use flexiq_tensor::{stats, Tensor};
+
+use crate::error::QuantError;
+use crate::group::GroupSpec;
+use crate::lowering::{unused_bits, BitLowering};
+use crate::params::{QParams, QuantBits};
+use crate::quantize::RANGE_EPS;
+use crate::Result;
+
+/// Histogram of channels by unused-bit count (buckets 0, 1, 2, 3, 4+).
+///
+/// Reproduces the quantity plotted in paper Fig. 12: the share of feature
+/// channels whose 8-bit representation leaves 0–4 high bits unused.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UnusedBitsHistogram {
+    /// `counts[u]` = channels with exactly `u` unused bits; index 4 pools
+    /// every channel with 4 or more.
+    pub counts: [usize; 5],
+}
+
+impl UnusedBitsHistogram {
+    /// Builds the histogram from per-channel maximum absolute quantized
+    /// values.
+    pub fn from_max_abs_q(max_abs_q: &[u32]) -> Self {
+        let mut counts = [0usize; 5];
+        for &m in max_abs_q {
+            let u = unused_bits(m, QuantBits::B8).min(4) as usize;
+            counts[u] += 1;
+        }
+        UnusedBitsHistogram { counts }
+    }
+
+    /// Total number of channels.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of channels with at least one unused bit.
+    pub fn fraction_with_unused(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.counts[0]) as f64 / total as f64
+    }
+
+    /// Per-bucket fractions (0..=4+ unused bits).
+    pub fn fractions(&self) -> [f64; 5] {
+        let total = self.total().max(1) as f64;
+        let mut out = [0.0; 5];
+        for (i, &c) in self.counts.iter().enumerate() {
+            out[i] = c as f64 / total;
+        }
+        out
+    }
+}
+
+/// Per-feature-group maximum absolute values of a weight tensor.
+///
+/// `axis` selects the feature-channel dimension (1 for conv weights
+/// `[C_out, C_in, KH, KW]`, 1 for linear weights `[C_out, C_in]`).
+pub fn group_abs_max(w: &Tensor, axis: usize, groups: GroupSpec) -> Result<Vec<f32>> {
+    let per_channel = stats::channel_abs_max(w, axis)?;
+    Ok(group_reduce_max(&per_channel, groups))
+}
+
+/// Reduces per-channel values to per-group maxima.
+pub fn group_reduce_max(per_channel: &[f32], groups: GroupSpec) -> Vec<f32> {
+    let n = groups.num_groups(per_channel.len());
+    (0..n)
+        .map(|g| {
+            let r = groups.channel_range(g, per_channel.len());
+            per_channel[r].iter().fold(0.0f32, |m, &v| m.max(v))
+        })
+        .collect()
+}
+
+/// Quantizes per-group real ranges into maximum absolute integer values
+/// under shared parameters `p`.
+pub fn ranges_to_max_abs_q(ranges: &[f32], p: &QParams) -> Vec<u32> {
+    ranges.iter().map(|&r| p.quantize(r).unsigned_abs()).collect()
+}
+
+/// Result of comparing FlexiQ's bit extraction against naive lowering on
+/// one layer (paper Fig. 1 right).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractionErrorReport {
+    /// Mean squared quantization error of 50% 4-bit computation using
+    /// effective-bit extraction, relative to the fp32 values.
+    pub with_extraction: f64,
+    /// Same, using naive top-bits lowering.
+    pub without_extraction: f64,
+    /// MSE of the full 8-bit baseline, for reference.
+    pub int8_baseline: f64,
+}
+
+/// Measures quantization error of lowering the smallest-range half of the
+/// feature groups to 4 bits, with and without effective-bit extraction.
+///
+/// `weight` has its feature channels on `axis`; errors are measured
+/// against the original f32 values, in absolute (squared) units.
+pub fn extraction_error_report(
+    weight: &Tensor,
+    axis: usize,
+    groups: GroupSpec,
+    low_ratio: f64,
+) -> Result<ExtractionErrorReport> {
+    if !(0.0..=1.0).contains(&low_ratio) {
+        return Err(QuantError::Invalid(format!("low_ratio {low_ratio} outside [0, 1]")));
+    }
+    let abs_max = stats::abs_max(weight.data()).max(RANGE_EPS);
+    let p8 = QParams::from_abs_max(abs_max, QuantBits::B8)?;
+    let group_ranges = group_abs_max(weight, axis, groups)?;
+    let n_groups = group_ranges.len();
+
+    // Pick the smallest-range groups for 4-bit computation.
+    let mut order: Vec<usize> = (0..n_groups).collect();
+    order.sort_by(|&a, &b| {
+        group_ranges[a].partial_cmp(&group_ranges[b]).expect("ranges are finite")
+    });
+    let n_low = ((n_groups as f64) * low_ratio).round() as usize;
+    let mut is_low = vec![false; n_groups];
+    for &g in order.iter().take(n_low) {
+        is_low[g] = true;
+    }
+
+    let max_abs_q = ranges_to_max_abs_q(&group_ranges, &p8);
+    let dims = weight.dims();
+    let channels = dims[axis];
+    let strides = weight.shape().strides();
+
+    let mut se_extract = 0.0f64;
+    let mut se_naive = 0.0f64;
+    let mut se_int8 = 0.0f64;
+    let naive = BitLowering::naive(QuantBits::B8, QuantBits::B4);
+    for (flat, &x) in weight.data().iter().enumerate() {
+        let c = (flat / strides[axis]) % channels;
+        let g = groups.group_of(c);
+        let q = p8.quantize(x) as i8;
+        let d8 = p8.dequantize(q as i32);
+        se_int8 += ((x - d8) as f64).powi(2);
+        if is_low[g] {
+            let extract = BitLowering::for_max_abs(max_abs_q[g], QuantBits::B4);
+            let de = p8.dequantize(extract.round_trip(q));
+            let dn = p8.dequantize(naive.round_trip(q));
+            se_extract += ((x - de) as f64).powi(2);
+            se_naive += ((x - dn) as f64).powi(2);
+        } else {
+            se_extract += ((x - d8) as f64).powi(2);
+            se_naive += ((x - d8) as f64).powi(2);
+        }
+    }
+    let n = weight.numel().max(1) as f64;
+    Ok(ExtractionErrorReport {
+        with_extraction: se_extract / n,
+        without_extraction: se_naive / n,
+        int8_baseline: se_int8 / n,
+    })
+}
+
+/// Saturation statistics for one layer under static extraction positions
+/// (paper Fig. 13).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SaturationStats {
+    /// Groups whose live data fits the static window.
+    pub non_saturated: usize,
+    /// Groups where at least one live value clamps, keyed by how many
+    /// bits the optimal window is above the static one (1, 2, 3+).
+    pub saturated_by_margin: [usize; 3],
+}
+
+impl SaturationStats {
+    /// Total groups inspected.
+    pub fn total(&self) -> usize {
+        self.non_saturated + self.saturated_by_margin.iter().sum::<usize>()
+    }
+
+    /// Fraction of saturated groups.
+    pub fn saturated_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.saturated_by_margin.iter().sum::<usize>() as f64 / t as f64
+    }
+
+    /// Classifies one group given its static rule and live values.
+    pub fn record(&mut self, rule: BitLowering, live: &[i8]) {
+        let optimal = crate::dynamic::dynamic_lowering(live, rule.low_bits());
+        if optimal.shift() > rule.shift() {
+            let margin = (optimal.shift() - rule.shift()).min(3) as usize;
+            self.saturated_by_margin[margin - 1] += 1;
+        } else {
+            self.non_saturated += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::rng::seeded;
+
+    #[test]
+    fn histogram_buckets() {
+        // max_abs_q of 127 → 0 unused; 31 → 2; 7 → 4; 1 → 6 (pooled to 4+).
+        let h = UnusedBitsHistogram::from_max_abs_q(&[127, 31, 7, 1]);
+        assert_eq!(h.counts, [1, 0, 1, 0, 2]);
+        assert_eq!(h.total(), 4);
+        assert!((h.fraction_with_unused() - 0.75).abs() < 1e-9);
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_reduce_max_takes_group_maxima() {
+        let per_channel = [1.0, 3.0, 0.5, 2.0, 9.0];
+        let g = GroupSpec::new(2);
+        assert_eq!(group_reduce_max(&per_channel, g), vec![3.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn extraction_beats_naive_on_diverse_channels() {
+        // Weight with wildly diverse feature-channel ranges: extraction
+        // should cut the error of 50% 4-bit computation dramatically.
+        let mut rng = seeded(71);
+        let scales: Vec<f32> = (0..8)
+            .map(|i| if i < 6 { 0.02 } else { 1.0 })
+            .collect();
+        let w = Tensor::randn_axis_scaled([4, 8, 3, 3], 1, &scales, &mut rng).unwrap();
+        let rep =
+            extraction_error_report(&w, 1, GroupSpec::new(2), 0.5).unwrap();
+        assert!(
+            rep.with_extraction < rep.without_extraction * 0.5,
+            "extraction {} vs naive {}",
+            rep.with_extraction,
+            rep.without_extraction
+        );
+        assert!(rep.int8_baseline <= rep.with_extraction);
+    }
+
+    #[test]
+    fn extraction_report_zero_ratio_equals_int8() {
+        let mut rng = seeded(72);
+        let w = Tensor::randn([4, 8], 0.0, 1.0, &mut rng);
+        let rep = extraction_error_report(&w, 1, GroupSpec::new(4), 0.0).unwrap();
+        assert!((rep.with_extraction - rep.int8_baseline).abs() < 1e-12);
+        assert!((rep.without_extraction - rep.int8_baseline).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extraction_report_validates_ratio() {
+        let w = Tensor::zeros([2, 2]);
+        assert!(extraction_error_report(&w, 1, GroupSpec::new(2), 1.5).is_err());
+    }
+
+    #[test]
+    fn saturation_stats_classify_margins() {
+        let mut s = SaturationStats::default();
+        let rule = BitLowering::for_max_abs(15, QuantBits::B4); // shift 1
+        s.record(rule, &[10, -14]); // fits
+        s.record(rule, &[31]); // needs shift 2 → margin 1
+        s.record(rule, &[120]); // needs shift 4 → margin 3 (pooled)
+        assert_eq!(s.non_saturated, 1);
+        assert_eq!(s.saturated_by_margin, [1, 0, 1]);
+        assert_eq!(s.total(), 3);
+        assert!((s.saturated_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for quantization operations.
+
+use std::fmt;
+
+/// Errors produced by quantizer construction and application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// Requested bitwidth outside the supported 2..=8 range.
+    UnsupportedBits(u8),
+    /// A scale factor was zero, negative, or non-finite.
+    BadScale(f32),
+    /// The number of per-channel parameters does not match the tensor.
+    ChannelCountMismatch {
+        /// Channels expected from the tensor shape.
+        expected: usize,
+        /// Parameters supplied.
+        actual: usize,
+    },
+    /// Propagated tensor error.
+    Tensor(flexiq_tensor::TensorError),
+    /// Generic invalid-argument error with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::UnsupportedBits(b) => {
+                write!(f, "unsupported bitwidth {b} (supported: 2..=8)")
+            }
+            QuantError::BadScale(s) => write!(f, "scale factor {s} must be finite and positive"),
+            QuantError::ChannelCountMismatch { expected, actual } => {
+                write!(f, "channel count mismatch: expected {expected}, got {actual}")
+            }
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+            QuantError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flexiq_tensor::TensorError> for QuantError {
+    fn from(e: flexiq_tensor::TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(QuantError::UnsupportedBits(16).to_string().contains("16"));
+        assert!(QuantError::BadScale(0.0).to_string().contains("0"));
+        let e = QuantError::ChannelCountMismatch { expected: 4, actual: 2 };
+        assert!(e.to_string().contains("expected 4"));
+    }
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = flexiq_tensor::TensorError::Invalid("x".into());
+        let qe: QuantError = te.into();
+        assert!(matches!(qe, QuantError::Tensor(_)));
+    }
+}

@@ -1,0 +1,101 @@
+//! Feature-channel grouping (§7).
+//!
+//! FlexiQ never toggles precision per individual channel: to keep the
+//! systolic array and the tensor cores fully utilized, channels are
+//! processed in groups — 32 per 4-bit MMA tile on GPUs, 64 per column
+//! block on the NPU — and the whole group shares one bitwidth and one bit
+//! extraction position. Channel selection, layout optimization and the
+//! runtime all operate at this granularity.
+
+use std::ops::Range;
+
+/// Partition of a layer's feature channels into fixed-size groups.
+///
+/// The last group may be smaller when the channel count is not a multiple
+/// of the group size (the model zoo avoids this, but the library tolerates
+/// it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupSpec {
+    group_size: usize,
+}
+
+impl GroupSpec {
+    /// Hardware granularity of the paper's GPU kernel (one 4-bit MMA tile
+    /// covers 32 feature channels).
+    pub const GPU: GroupSpec = GroupSpec { group_size: 32 };
+    /// Hardware granularity of the paper's NPU (64 input channels fill
+    /// the 32×32 array in 4-bit mode).
+    pub const NPU: GroupSpec = GroupSpec { group_size: 64 };
+
+    /// Creates a grouping with the given group size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero.
+    pub fn new(group_size: usize) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        GroupSpec { group_size }
+    }
+
+    /// Channels per group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of groups needed to cover `channels` channels.
+    pub fn num_groups(&self, channels: usize) -> usize {
+        channels.div_ceil(self.group_size)
+    }
+
+    /// Channel range of group `g` within a layer of `channels` channels.
+    pub fn channel_range(&self, g: usize, channels: usize) -> Range<usize> {
+        let start = g * self.group_size;
+        let end = ((g + 1) * self.group_size).min(channels);
+        start..end
+    }
+
+    /// Group index containing channel `c`.
+    pub fn group_of(&self, c: usize) -> usize {
+        c / self.group_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_partition() {
+        let g = GroupSpec::new(32);
+        assert_eq!(g.num_groups(128), 4);
+        assert_eq!(g.channel_range(0, 128), 0..32);
+        assert_eq!(g.channel_range(3, 128), 96..128);
+        assert_eq!(g.group_of(95), 2);
+    }
+
+    #[test]
+    fn ragged_tail_group() {
+        let g = GroupSpec::new(32);
+        assert_eq!(g.num_groups(40), 2);
+        assert_eq!(g.channel_range(1, 40), 32..40);
+    }
+
+    #[test]
+    fn hardware_presets() {
+        assert_eq!(GroupSpec::GPU.group_size(), 32);
+        assert_eq!(GroupSpec::NPU.group_size(), 64);
+    }
+
+    #[test]
+    fn singleton_groups() {
+        let g = GroupSpec::new(1);
+        assert_eq!(g.num_groups(5), 5);
+        assert_eq!(g.channel_range(4, 5), 4..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be positive")]
+    fn zero_group_size_rejected() {
+        let _ = GroupSpec::new(0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Quantization primitives and FlexiQ's effective-bit extraction.
+//!
+//! This crate implements everything the paper calls "quantization":
+//!
+//! * [`params`] — symmetric uniform quantization (paper Eq. 1) with
+//!   per-tensor and per-output-channel scale factors.
+//! * [`quantize`] — tensor-level quantize / dequantize / fake-quantize.
+//! * [`observer`] — range estimation: min–max, exponential moving average
+//!   (momentum 0.99, §8.1) and coverage-percentile observers (§8.6).
+//! * [`lowering`] — **the paper's core trick (§4.1)**: lowering an 8-bit
+//!   value to 4 bits by extracting its *effective* bits. Channels whose
+//!   calibrated ranges leave high bits unused keep those bits out of the
+//!   4-bit representation, raising effective precision from 4 to
+//!   `4 + shift` bits.
+//! * [`dynamic`] — runtime extraction-position discovery via a bitwise OR
+//!   over a channel group's live values (§4.1, "Optionally, ...").
+//! * [`group`] — feature-channel grouping at the hardware granularity
+//!   (32 channels per GPU warp tile, 64 per NPU column group; §7).
+//! * [`analysis`] — unused-bit histograms (Fig. 12), extraction-vs-naive
+//!   error (Fig. 1) and saturation statistics (Fig. 13).
+
+pub mod analysis;
+pub mod dynamic;
+pub mod error;
+pub mod group;
+pub mod lowering;
+pub mod observer;
+pub mod params;
+pub mod quantize;
+
+pub use error::QuantError;
+pub use group::GroupSpec;
+pub use lowering::BitLowering;
+pub use params::{QParams, QuantBits};
+
+/// Result alias for fallible quantization operations.
+pub type Result<T> = std::result::Result<T, QuantError>;

@@ -1,0 +1,311 @@
+//! Effective-bit extraction (the paper's bit-lowering method, §4.1).
+//!
+//! Lowering an 8-bit quantized value to 4 bits naively keeps the top four
+//! bits — equivalent to re-quantizing with a 16× larger step. FlexiQ
+//! instead observes that channels with small calibrated ranges leave their
+//! high bits *unused* (they merely replicate the sign bit), and extracts
+//! the four bits starting right below the highest *used* bit.
+//!
+//! Worked example from paper Fig. 3: the value `0.957` quantizes to `29`
+//! (`0001_1101`) under 8 bits. Its channel's maximum is below 32, so bits
+//! 6 and 5 replicate the sign bit. Naive lowering keeps bits `[7:4]`
+//! (→ `32` after reconstruction, ~10% error); FlexiQ extracts bits `[5:2]`
+//! (→ `28`, <4% error), because the dropped high bits carried no
+//! information. The extracted value still reconstructs by a plain left
+//! shift, so mixed-precision GEMMs only need *bit-shifted accumulation*.
+//!
+//! A [`BitLowering`] is fully described by the number of low bits dropped
+//! (`shift`) and the target width (`low_bits`); `effective_bits = low_bits
+//! + shift` matches the paper's "six effective bits instead of four".
+
+use crate::params::QuantBits;
+
+/// Number of magnitude bits required to represent `q` in two's complement
+/// (excluding the sign bit).
+///
+/// Uses the one's-complement trick `q ^ (q >> 7)`: for negative values
+/// this is `|q| - 1`, which correctly accounts for two's-complement
+/// asymmetry (e.g. `-16` fits in 4 magnitude bits, `+16` needs 5).
+pub fn magnitude_bits(q: i8) -> u8 {
+    let mag = (q ^ (q >> 7)) as u8;
+    (8 - mag.leading_zeros()) as u8
+}
+
+/// Magnitude bits needed for a non-negative maximum absolute value.
+pub fn magnitude_bits_for_abs(max_abs_q: u32) -> u8 {
+    (32 - max_abs_q.leading_zeros()) as u8
+}
+
+/// Unused high bits (below the sign bit) of an `src_bits`-wide value whose
+/// channel maximum absolute value is `max_abs_q`.
+///
+/// For 8-bit storage there are 7 magnitude bits; a channel with
+/// `max_abs_q = 29` uses 5 of them, leaving 2 unused (paper Fig. 1).
+pub fn unused_bits(max_abs_q: u32, src_bits: QuantBits) -> u8 {
+    let available = src_bits.bits() - 1;
+    available.saturating_sub(magnitude_bits_for_abs(max_abs_q))
+}
+
+/// A bit-extraction rule lowering `src_bits`-wide integers to `low_bits`.
+///
+/// The rule drops `shift` low bits (with round-half-away-from-zero) and
+/// clamps into the `low_bits` range; reconstruction is `q_low << shift`.
+/// `shift` is chosen from the channel group's calibrated range so that the
+/// highest *used* bit survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitLowering {
+    shift: u8,
+    low_bits: QuantBits,
+}
+
+impl BitLowering {
+    /// Builds the extraction rule for a channel group whose maximum
+    /// absolute quantized value is `max_abs_q`.
+    ///
+    /// `shift = max(0, magnitude_bits(max_abs_q) - (low_bits - 1))`: the
+    /// extracted window keeps the top `low_bits - 1` magnitude bits plus
+    /// the sign.
+    pub fn for_max_abs(max_abs_q: u32, low_bits: QuantBits) -> Self {
+        let b = magnitude_bits_for_abs(max_abs_q);
+        let shift = b.saturating_sub(low_bits.bits() - 1);
+        BitLowering { shift, low_bits }
+    }
+
+    /// Builds an extraction rule with an explicit shift.
+    pub fn with_shift(shift: u8, low_bits: QuantBits) -> Self {
+        BitLowering { shift, low_bits }
+    }
+
+    /// The naive lowering used by uniform re-quantization: always keep the
+    /// top `low_bits` of the full `src_bits` representation.
+    pub fn naive(src_bits: QuantBits, low_bits: QuantBits) -> Self {
+        BitLowering { shift: src_bits.bits() - low_bits.bits(), low_bits }
+    }
+
+    /// Bits dropped from the bottom (= extraction position offset).
+    pub fn shift(&self) -> u8 {
+        self.shift
+    }
+
+    /// Target bitwidth.
+    pub fn low_bits(&self) -> QuantBits {
+        self.low_bits
+    }
+
+    /// Effective precision of the lowered representation in bits.
+    ///
+    /// `low_bits + shift`: a 4-bit extraction at shift 2 spans a 6-bit
+    /// signed range at step 4 — the paper's "six effective bits".
+    pub fn effective_bits(&self) -> u8 {
+        self.low_bits.bits() + self.shift
+    }
+
+    /// Lowers one value with rounding, clamping into the low range.
+    pub fn lower(&self, q: i8) -> i8 {
+        let shifted = if self.shift == 0 {
+            q as i32
+        } else {
+            let bias = 1i32 << (self.shift - 1);
+            let v = q as i32;
+            if v >= 0 {
+                (v + bias) >> self.shift
+            } else {
+                -((-v + bias) >> self.shift)
+            }
+        };
+        shifted.clamp(self.low_bits.qmin(), self.low_bits.qmax()) as i8
+    }
+
+    /// Lowers one value by pure truncating bit extraction (arithmetic
+    /// shift), exactly as drawn in paper Fig. 3.
+    ///
+    /// [`BitLowering::lower`] adds rounding, which hardware implements
+    /// with one extra adder; both are exposed so the ablation can measure
+    /// the difference.
+    pub fn lower_trunc(&self, q: i8) -> i8 {
+        let shifted = (q as i32) >> self.shift;
+        shifted.clamp(self.low_bits.qmin(), self.low_bits.qmax()) as i8
+    }
+
+    /// Reconstructs the original-scale integer from a lowered value.
+    pub fn reconstruct(&self, q_low: i8) -> i32 {
+        (q_low as i32) << self.shift
+    }
+
+    /// Round-trips a value through lowering and reconstruction.
+    pub fn round_trip(&self, q: i8) -> i32 {
+        self.reconstruct(self.lower(q))
+    }
+
+    /// Returns `true` if `q` exceeds the window's design capacity — i.e.
+    /// the value *saturates* the statically chosen extraction window
+    /// (paper §8.6, Fig. 13).
+    ///
+    /// A window with `shift` dropped bits and `low_bits` kept bits covers
+    /// values with up to `low_bits - 1 + shift` magnitude bits. Values at
+    /// the top of that capacity clamp by less than one extraction step,
+    /// which is ordinary truncation error, not saturation; values beyond
+    /// it lose their high bits.
+    pub fn saturates(&self, q: i8) -> bool {
+        magnitude_bits(q) > self.low_bits.bits() - 1 + self.shift
+    }
+
+    /// Lowers a slice of values.
+    pub fn lower_slice(&self, qs: &[i8]) -> Vec<i8> {
+        qs.iter().map(|&q| self.lower(q)).collect()
+    }
+
+    /// Sum of squared reconstruction errors over a slice, in units of the
+    /// source quantization step.
+    pub fn sq_error(&self, qs: &[i8]) -> f64 {
+        qs.iter()
+            .map(|&q| {
+                let e = (q as i32 - self.round_trip(q)) as f64;
+                e * e
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_bits_handles_asymmetry() {
+        assert_eq!(magnitude_bits(0), 0);
+        assert_eq!(magnitude_bits(1), 1);
+        assert_eq!(magnitude_bits(-1), 0); // -1 = all ones, fits 0 magnitude bits
+        assert_eq!(magnitude_bits(15), 4);
+        assert_eq!(magnitude_bits(-16), 4); // two's complement asymmetry
+        assert_eq!(magnitude_bits(16), 5);
+        assert_eq!(magnitude_bits(127), 7);
+        assert_eq!(magnitude_bits(-128), 7);
+    }
+
+    #[test]
+    fn unused_bits_matches_paper_fig1() {
+        // Channel max 29 under 8-bit: 5 magnitude bits used, 2 unused.
+        assert_eq!(unused_bits(29, QuantBits::B8), 2);
+        assert_eq!(unused_bits(127, QuantBits::B8), 0);
+        assert_eq!(unused_bits(7, QuantBits::B8), 4);
+        assert_eq!(unused_bits(0, QuantBits::B8), 7);
+    }
+
+    #[test]
+    fn paper_fig3_positive_example() {
+        // Channel max < 32 → shift 2; value 29 extracts to 7, reconstructs
+        // to 28: |29-28|/29 ≈ 3.4% < 4% as the paper states.
+        let l = BitLowering::for_max_abs(31, QuantBits::B4);
+        assert_eq!(l.shift(), 2);
+        assert_eq!(l.effective_bits(), 6);
+        assert_eq!(l.lower(29), 7);
+        assert_eq!(l.round_trip(29), 28);
+        let rel_err = (29.0 - 28.0) / 29.0;
+        assert!(rel_err < 0.04);
+
+        // Naive conversion keeps the top 4 bits: 29 → 2 → 32, ~10% error.
+        let naive = BitLowering::naive(QuantBits::B8, QuantBits::B4);
+        assert_eq!(naive.shift(), 4);
+        assert_eq!(naive.round_trip(29), 32);
+        let naive_err = (32.0 - 29.0) / 29.0;
+        assert!(naive_err > 0.09);
+    }
+
+    #[test]
+    fn paper_fig3_negative_example() {
+        // Channel min > -16 → values fit 4 magnitude bits → shift 1.
+        // Value -9 lowers to round(-9/2) = -5 (away from zero) → -10.
+        let l = BitLowering::for_max_abs(15, QuantBits::B4);
+        assert_eq!(l.shift(), 1);
+        assert_eq!(l.effective_bits(), 5);
+        assert_eq!(l.lower(-9), -5);
+        assert_eq!(l.round_trip(-9), -10);
+        assert!(!l.saturates(-9));
+    }
+
+    #[test]
+    fn zero_shift_is_lossless() {
+        let l = BitLowering::for_max_abs(7, QuantBits::B4);
+        assert_eq!(l.shift(), 0);
+        for q in -8..=7i8 {
+            assert_eq!(l.round_trip(q), q as i32);
+            assert!(!l.saturates(q));
+        }
+    }
+
+    #[test]
+    fn saturation_detection() {
+        // Window calibrated for |q| <= 31 (shift 2): representable range
+        // after rounding is about [-34, 30].
+        let l = BitLowering::for_max_abs(31, QuantBits::B4);
+        assert!(!l.saturates(29));
+        assert!(!l.saturates(-31));
+        assert!(l.saturates(127));
+        assert!(l.saturates(40));
+        assert!(l.saturates(-128));
+    }
+
+    #[test]
+    fn rounding_beats_truncation_on_average() {
+        let l = BitLowering::for_max_abs(63, QuantBits::B4);
+        let values: Vec<i8> = (-63..=63).collect();
+        let rounded: f64 = l.sq_error(&values);
+        let trunc: f64 = values
+            .iter()
+            .map(|&q| {
+                let e = (q as i32 - l.reconstruct(l.lower_trunc(q))) as f64;
+                e * e
+            })
+            .sum();
+        assert!(rounded <= trunc, "rounded {rounded} vs trunc {trunc}");
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_within_capacity() {
+        // Within the window's design capacity the error of lowering is
+        // below one extraction step (2^shift); interior values stay within
+        // half a step, the clamped top edge within a full step.
+        for max_abs in [7u32, 15, 31, 63, 127] {
+            let l = BitLowering::for_max_abs(max_abs, QuantBits::B4);
+            let step = 1i32 << l.shift();
+            for q in -(max_abs as i32)..=(max_abs as i32) {
+                let q = q as i8;
+                assert!(!l.saturates(q), "q={q} within calibrated range must not saturate");
+                let err = (q as i32 - l.round_trip(q)).abs();
+                assert!(err < step, "q={q} max_abs={max_abs} err={err} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_bits_progression() {
+        // Smaller ranges → fewer dropped bits → the effective bitwidth
+        // degrades gracefully from 8 (lossless window) down to 4 (naive).
+        let cases = [(7u32, 4u8), (15, 5), (31, 6), (63, 7), (127, 8)];
+        for (max_abs, eff) in cases {
+            let l = BitLowering::for_max_abs(max_abs, QuantBits::B4);
+            assert_eq!(l.effective_bits(), eff, "max_abs={max_abs}");
+        }
+    }
+
+    #[test]
+    fn lower_slice_matches_scalar() {
+        let l = BitLowering::for_max_abs(31, QuantBits::B4);
+        let qs: Vec<i8> = (-32..32).collect();
+        let lowered = l.lower_slice(&qs);
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(lowered[i], l.lower(q));
+        }
+    }
+
+    #[test]
+    fn two_bit_lowering() {
+        // The NPU extension (§7) lowers to 2 bits; window keeps sign + 1
+        // magnitude bit.
+        let l = BitLowering::for_max_abs(31, QuantBits::B2);
+        assert_eq!(l.shift(), 4);
+        assert_eq!(l.lower(29), 1);
+        assert_eq!(l.round_trip(29), 16);
+    }
+}

@@ -1,0 +1,280 @@
+//! Activation-range observers for calibration.
+//!
+//! Weights are static, but activation ranges must be estimated from data.
+//! The paper determines activation quantization ranges "using the
+//! exponential moving average with the momentum of 0.99 across batches"
+//! (§8.1) and, for the used/unused-bit analysis, presumes ranges that
+//! "cover 99% of neuron values" (§8.6). Both estimators live here, plus a
+//! plain min–max observer used in tests and by the weight path.
+
+use flexiq_tensor::stats;
+
+/// An online estimator of a value stream's quantization range.
+pub trait RangeObserver {
+    /// Feeds one batch of values.
+    fn observe(&mut self, values: &[f32]);
+
+    /// Current estimate of the maximum absolute value, or `None` before
+    /// any data has been observed.
+    fn abs_max(&self) -> Option<f32>;
+
+    /// Resets the observer to its initial state.
+    fn reset(&mut self);
+}
+
+/// Tracks the global minimum/maximum ever seen.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxObserver {
+    lo: Option<f32>,
+    hi: Option<f32>,
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The observed minimum, if any.
+    pub fn min(&self) -> Option<f32> {
+        self.lo
+    }
+
+    /// The observed maximum, if any.
+    pub fn max(&self) -> Option<f32> {
+        self.hi
+    }
+}
+
+impl RangeObserver for MinMaxObserver {
+    fn observe(&mut self, values: &[f32]) {
+        if values.is_empty() {
+            return;
+        }
+        let (lo, hi) = stats::min_max(values);
+        self.lo = Some(self.lo.map_or(lo, |v| v.min(lo)));
+        self.hi = Some(self.hi.map_or(hi, |v| v.max(hi)));
+    }
+
+    fn abs_max(&self) -> Option<f32> {
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) => Some(l.abs().max(h.abs())),
+            _ => None,
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Exponential-moving-average range observer (momentum 0.99, §8.1),
+/// with bias correction.
+///
+/// Each batch contributes its absolute maximum; the running estimate is
+/// `m * prev + (1 - m) * batch`, divided by `1 - m^n` (Adam-style bias
+/// correction). The paper streams hundreds of batches, where correction
+/// is negligible; on short calibration sets the uncorrected estimate
+/// would be dominated by its initialization and systematically
+/// underestimate the range, clipping exactly the outlier channels
+/// FlexiQ's analysis depends on.
+#[derive(Debug, Clone)]
+pub struct EmaObserver {
+    momentum: f32,
+    est: f32,
+    batches: u32,
+}
+
+impl EmaObserver {
+    /// Creates an EMA observer; the paper uses `momentum = 0.99`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    pub fn new(momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        EmaObserver { momentum, est: 0.0, batches: 0 }
+    }
+
+    /// The paper's default configuration.
+    pub fn paper_default() -> Self {
+        EmaObserver::new(0.99)
+    }
+}
+
+impl RangeObserver for EmaObserver {
+    fn observe(&mut self, values: &[f32]) {
+        if values.is_empty() {
+            return;
+        }
+        let batch = stats::abs_max(values);
+        self.est = self.momentum * self.est + (1.0 - self.momentum) * batch;
+        self.batches += 1;
+    }
+
+    fn abs_max(&self) -> Option<f32> {
+        if self.batches == 0 {
+            None
+        } else {
+            let correction = 1.0 - self.momentum.powi(self.batches as i32);
+            Some(self.est / correction.max(1e-12))
+        }
+    }
+
+    fn reset(&mut self) {
+        self.est = 0.0;
+        self.batches = 0;
+    }
+}
+
+/// Coverage-percentile observer: estimates the range that covers a `p`
+/// fraction of absolute values (the paper's 99% coverage, §8.6).
+///
+/// Keeps the running mean of per-batch percentiles, which is robust to
+/// outlier batches without storing the full value stream.
+#[derive(Debug, Clone)]
+pub struct PercentileObserver {
+    p: f64,
+    sum: f64,
+    batches: usize,
+}
+
+impl PercentileObserver {
+    /// Creates an observer for coverage fraction `p` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "coverage must be in (0, 1]");
+        PercentileObserver { p, sum: 0.0, batches: 0 }
+    }
+}
+
+impl RangeObserver for PercentileObserver {
+    fn observe(&mut self, values: &[f32]) {
+        if values.is_empty() {
+            return;
+        }
+        self.sum += stats::percentile_abs(values, self.p) as f64;
+        self.batches += 1;
+    }
+
+    fn abs_max(&self) -> Option<f32> {
+        if self.batches == 0 {
+            None
+        } else {
+            Some((self.sum / self.batches as f64) as f32)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.batches = 0;
+    }
+}
+
+/// One observer per feature channel.
+#[derive(Debug, Clone)]
+pub struct PerChannelObserver<O> {
+    observers: Vec<O>,
+}
+
+impl<O: RangeObserver + Clone> PerChannelObserver<O> {
+    /// Creates `channels` clones of a prototype observer.
+    pub fn new(prototype: O, channels: usize) -> Self {
+        PerChannelObserver { observers: vec![prototype; channels] }
+    }
+
+    /// Number of channels tracked.
+    pub fn channels(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Feeds the values of channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn observe_channel(&mut self, c: usize, values: &[f32]) {
+        self.observers[c].observe(values);
+    }
+
+    /// Per-channel absolute-maximum estimates; unobserved channels report
+    /// 0.0.
+    pub fn abs_max_per_channel(&self) -> Vec<f32> {
+        self.observers.iter().map(|o| o.abs_max().unwrap_or(0.0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_tracks_extremes() {
+        let mut o = MinMaxObserver::new();
+        assert_eq!(o.abs_max(), None);
+        o.observe(&[1.0, -3.0]);
+        o.observe(&[2.0]);
+        assert_eq!(o.min(), Some(-3.0));
+        assert_eq!(o.max(), Some(2.0));
+        assert_eq!(o.abs_max(), Some(3.0));
+        o.reset();
+        assert_eq!(o.abs_max(), None);
+    }
+
+    #[test]
+    fn empty_batches_are_ignored() {
+        let mut o = MinMaxObserver::new();
+        o.observe(&[]);
+        assert_eq!(o.abs_max(), None);
+        let mut e = EmaObserver::paper_default();
+        e.observe(&[]);
+        assert_eq!(e.abs_max(), None);
+    }
+
+    #[test]
+    fn ema_converges_toward_steady_state() {
+        let mut o = EmaObserver::new(0.9);
+        o.observe(&[10.0]);
+        for _ in 0..200 {
+            o.observe(&[1.0]);
+        }
+        let est = o.abs_max().unwrap();
+        assert!(est < 1.1, "EMA should forget the initial spike, got {est}");
+    }
+
+    #[test]
+    fn ema_first_batch_initializes() {
+        let mut o = EmaObserver::paper_default();
+        o.observe(&[5.0, -2.0]);
+        assert_eq!(o.abs_max(), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_ignores_tail_outliers() {
+        let mut o = PercentileObserver::new(0.9);
+        // 100 values: 99 small, 1 huge outlier.
+        let mut batch = vec![1.0f32; 99];
+        batch.push(1000.0);
+        o.observe(&batch);
+        let est = o.abs_max().unwrap();
+        assert!(est < 2.0, "90% coverage must exclude the outlier, got {est}");
+    }
+
+    #[test]
+    fn per_channel_tracks_independently() {
+        let mut pc = PerChannelObserver::new(MinMaxObserver::new(), 3);
+        pc.observe_channel(0, &[0.1]);
+        pc.observe_channel(2, &[-7.0]);
+        assert_eq!(pc.abs_max_per_channel(), vec![0.1, 0.0, 7.0]);
+        assert_eq!(pc.channels(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn ema_validates_momentum() {
+        let _ = EmaObserver::new(1.0);
+    }
+}

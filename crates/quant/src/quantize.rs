@@ -1,0 +1,242 @@
+//! Tensor-level quantization: per-tensor and per-channel.
+
+use flexiq_tensor::{stats, I8Tensor, Tensor};
+
+use crate::error::QuantError;
+use crate::params::{QParams, QuantBits};
+use crate::Result;
+
+/// Smallest representable channel range; all-zero channels get this floor
+/// so their scale stays positive.
+pub const RANGE_EPS: f32 = 1e-8;
+
+/// Quantizes a tensor with one shared scale (per-tensor quantization).
+///
+/// Values are stored as `i8` regardless of bitwidth; widths below 8 use a
+/// subrange of `i8`.
+pub fn quantize_tensor(t: &Tensor, p: &QParams) -> I8Tensor {
+    let data = t.data().iter().map(|&x| p.quantize(x) as i8).collect();
+    I8Tensor::from_vec(t.dims().to_vec(), data).expect("same element count")
+}
+
+/// Dequantizes an integer tensor with one shared scale.
+pub fn dequantize_tensor(t: &I8Tensor, p: &QParams) -> Tensor {
+    t.dequantize(p.scale())
+}
+
+/// Round-trips a tensor through per-tensor quantization.
+pub fn fake_quant_tensor(t: &Tensor, p: &QParams) -> Tensor {
+    t.map(|x| p.fake(x))
+}
+
+/// Per-output-channel quantization parameters for a weight tensor.
+///
+/// Channel-wise quantization assigns each output channel its own scale,
+/// which the paper adopts for all weights (§8.1) and which FlexiQ's
+/// feature-channel bit-lowering is explicitly compatible with (Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerChannelQ {
+    scales: Vec<f32>,
+    bits: QuantBits,
+}
+
+impl PerChannelQ {
+    /// Builds per-channel parameters from explicit scales.
+    pub fn new(scales: Vec<f32>, bits: QuantBits) -> Result<Self> {
+        for &s in &scales {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(QuantError::BadScale(s));
+            }
+        }
+        Ok(PerChannelQ { scales, bits })
+    }
+
+    /// Calibrates per-channel scales from a weight tensor whose axis 0 is
+    /// the output-channel dimension.
+    pub fn calibrate_axis0(weight: &Tensor, bits: QuantBits) -> Result<Self> {
+        let ranges = stats::channel_abs_max(weight, 0)?;
+        let scales = ranges
+            .iter()
+            .map(|&r| r.max(RANGE_EPS) / bits.qmax() as f32)
+            .collect();
+        PerChannelQ::new(scales, bits)
+    }
+
+    /// Per-channel scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The bitwidth.
+    pub fn bits(&self) -> QuantBits {
+        self.bits
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Scalar parameters for one channel.
+    pub fn channel_params(&self, c: usize) -> QParams {
+        QParams::new(self.scales[c], self.bits).expect("validated at construction")
+    }
+
+    /// Returns a copy at a different bitwidth covering the same ranges.
+    pub fn with_bits(&self, bits: QuantBits) -> PerChannelQ {
+        let scales = self
+            .scales
+            .iter()
+            .map(|&s| s * self.bits.qmax() as f32 / bits.qmax() as f32)
+            .collect();
+        PerChannelQ { scales, bits }
+    }
+
+    /// Quantizes a weight tensor (axis 0 = channels) to integers.
+    pub fn quantize_axis0(&self, weight: &Tensor) -> Result<I8Tensor> {
+        self.check_channels(weight)?;
+        let per = weight.numel() / self.channels().max(1);
+        let data = weight
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| self.channel_params(i / per).quantize(x) as i8)
+            .collect();
+        Ok(I8Tensor::from_vec(weight.dims().to_vec(), data)?)
+    }
+
+    /// Dequantizes an integer weight tensor (axis 0 = channels).
+    pub fn dequantize_axis0(&self, weight: &I8Tensor) -> Result<Tensor> {
+        if weight.dims().first().copied().unwrap_or(0) != self.channels() {
+            return Err(QuantError::ChannelCountMismatch {
+                expected: weight.dims().first().copied().unwrap_or(0),
+                actual: self.channels(),
+            });
+        }
+        let per = weight.numel() / self.channels().max(1);
+        let data = weight
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| q as f32 * self.scales[i / per])
+            .collect();
+        Ok(Tensor::from_vec(weight.dims().to_vec(), data)?)
+    }
+
+    /// Round-trips a weight tensor through per-channel quantization.
+    pub fn fake_axis0(&self, weight: &Tensor) -> Result<Tensor> {
+        self.check_channels(weight)?;
+        let per = weight.numel() / self.channels().max(1);
+        let data = weight
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| self.channel_params(i / per).fake(x))
+            .collect();
+        Ok(Tensor::from_vec(weight.dims().to_vec(), data)?)
+    }
+
+    fn check_channels(&self, weight: &Tensor) -> Result<()> {
+        let c = weight.dims().first().copied().unwrap_or(0);
+        if c != self.channels() {
+            return Err(QuantError::ChannelCountMismatch {
+                expected: c,
+                actual: self.channels(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::rng::seeded;
+
+    #[test]
+    fn per_tensor_round_trip_error_is_bounded() {
+        let mut rng = seeded(51);
+        let t = Tensor::rand_uniform([64], -2.0, 2.0, &mut rng);
+        let p = QParams::from_abs_max(2.0, QuantBits::B8).unwrap();
+        let q = quantize_tensor(&t, &p);
+        let d = dequantize_tensor(&q, &p);
+        for (a, b) in t.data().iter().zip(d.data().iter()) {
+            assert!((a - b).abs() <= p.scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn fake_quant_equals_quant_dequant() {
+        let mut rng = seeded(52);
+        let t = Tensor::rand_uniform([32], -1.0, 1.0, &mut rng);
+        let p = QParams::from_abs_max(1.0, QuantBits::B4).unwrap();
+        let fake = fake_quant_tensor(&t, &p);
+        let hard = dequantize_tensor(&quantize_tensor(&t, &p), &p);
+        assert_eq!(fake.data(), hard.data());
+    }
+
+    #[test]
+    fn per_channel_calibration_uses_each_channels_range() {
+        // Channel 0 small, channel 1 large: per-channel scales must differ
+        // by the same factor.
+        let w = Tensor::from_vec([2, 4], vec![0.01, -0.02, 0.015, 0.0, 1.0, -2.0, 1.5, 0.5])
+            .unwrap();
+        let pc = PerChannelQ::calibrate_axis0(&w, QuantBits::B8).unwrap();
+        assert_eq!(pc.channels(), 2);
+        assert!((pc.scales()[0] - 0.02 / 127.0).abs() < 1e-9);
+        assert!((pc.scales()[1] - 2.0 / 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_channel_round_trip() {
+        let mut rng = seeded(53);
+        let w = Tensor::randn_axis_scaled([4, 8], 0, &[0.01, 0.1, 1.0, 10.0], &mut rng).unwrap();
+        let pc = PerChannelQ::calibrate_axis0(&w, QuantBits::B8).unwrap();
+        let q = pc.quantize_axis0(&w).unwrap();
+        let d = pc.dequantize_axis0(&q).unwrap();
+        for c in 0..4 {
+            let step = pc.scales()[c];
+            for i in 0..8 {
+                let a = w.data()[c * 8 + i];
+                let b = d.data()[c * 8 + i];
+                assert!((a - b).abs() <= step * 0.5 + 1e-6, "c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_fake_matches_hard_path() {
+        let mut rng = seeded(54);
+        let w = Tensor::randn([3, 5], 0.0, 1.0, &mut rng);
+        let pc = PerChannelQ::calibrate_axis0(&w, QuantBits::B4).unwrap();
+        let fake = pc.fake_axis0(&w).unwrap();
+        let hard = pc.dequantize_axis0(&pc.quantize_axis0(&w).unwrap()).unwrap();
+        assert_eq!(fake.data(), hard.data());
+    }
+
+    #[test]
+    fn all_zero_channel_gets_epsilon_range() {
+        let w = Tensor::zeros([2, 3]);
+        let pc = PerChannelQ::calibrate_axis0(&w, QuantBits::B8).unwrap();
+        assert!(pc.scales().iter().all(|&s| s > 0.0));
+        let q = pc.quantize_axis0(&w).unwrap();
+        assert!(q.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let w = Tensor::zeros([4, 2]);
+        let pc = PerChannelQ::new(vec![0.1, 0.1], QuantBits::B8).unwrap();
+        assert!(pc.quantize_axis0(&w).is_err());
+        assert!(pc.fake_axis0(&w).is_err());
+    }
+
+    #[test]
+    fn with_bits_preserves_ranges() {
+        let pc = PerChannelQ::new(vec![0.1, 0.2], QuantBits::B8).unwrap();
+        let pc4 = pc.with_bits(QuantBits::B4);
+        // Range of channel 0: 0.1 * 127 = 12.7; at 4 bits scale = 12.7/7.
+        assert!((pc4.scales()[0] - 12.7 / 7.0).abs() < 1e-6);
+        assert_eq!(pc4.bits(), QuantBits::B4);
+    }
+}

@@ -1,0 +1,103 @@
+//! Request-arrival generators.
+
+use flexiq_tensor::rng::{exponential, seeded};
+
+/// Homogeneous Poisson arrivals at `rate` requests/second over
+/// `duration` seconds. Returns sorted arrival timestamps.
+pub fn poisson(rate: f64, duration: f64, seed: u64) -> Vec<f64> {
+    assert!(rate > 0.0 && duration > 0.0, "rate and duration must be positive");
+    let mut rng = seeded(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity((rate * duration * 1.1) as usize);
+    loop {
+        t += exponential(&mut rng, rate);
+        if t >= duration {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Piecewise-constant-rate Poisson arrivals: `segments` is a list of
+/// `(duration_seconds, rate_rps)`.
+pub fn piecewise_poisson(segments: &[(f64, f64)], seed: u64) -> Vec<f64> {
+    let mut rng = seeded(seed);
+    let mut out = Vec::new();
+    let mut base = 0.0f64;
+    for &(dur, rate) in segments {
+        assert!(rate > 0.0 && dur > 0.0, "segment rate/duration must be positive");
+        let mut t = 0.0f64;
+        loop {
+            t += exponential(&mut rng, rate);
+            if t >= dur {
+                break;
+            }
+            out.push(base + t);
+        }
+        base += dur;
+    }
+    out
+}
+
+/// A fluctuating trace following the Azure-pattern of §8.3: the request
+/// rate wanders between `min_rate` and `3 × min_rate` (the paper sets the
+/// peak to three times the minimum), changing every `segment_s` seconds.
+///
+/// Returns `(arrivals, segments)` so experiments can plot the offered
+/// rate alongside the measured latency (Fig. 9).
+pub fn azure_like_trace(
+    min_rate: f64,
+    segment_s: f64,
+    num_segments: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<(f64, f64)>) {
+    use rand::Rng;
+    let mut rng = seeded(seed ^ 0xA2u64);
+    // A daily-cycle-like shape: ramp up to the 3x peak, dip, second peak.
+    let shape = [1.0, 1.25, 1.7, 2.3, 3.0, 2.6, 1.9, 1.4, 1.1, 1.6, 2.4, 3.0, 2.2, 1.5, 1.0];
+    let segments: Vec<(f64, f64)> = (0..num_segments)
+        .map(|i| {
+            let base = shape[i % shape.len()];
+            let jitter = 1.0 + 0.08 * (rng.gen::<f64>() - 0.5);
+            (segment_s, (min_rate * base * jitter).max(min_rate * 0.9))
+        })
+        .collect();
+    (piecewise_poisson(&segments, seed), segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_matches() {
+        let a = poisson(500.0, 10.0, 401);
+        let measured = a.len() as f64 / 10.0;
+        assert!((measured - 500.0).abs() < 30.0, "rate {measured}");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    }
+
+    #[test]
+    fn piecewise_changes_density() {
+        let a = piecewise_poisson(&[(5.0, 100.0), (5.0, 1000.0)], 402);
+        let first = a.iter().filter(|&&t| t < 5.0).count();
+        let second = a.len() - first;
+        assert!(second > first * 5, "{first} vs {second}");
+    }
+
+    #[test]
+    fn azure_trace_peak_is_about_three_times_min() {
+        let (_, segments) = azure_like_trace(500.0, 2.0, 15, 403);
+        let min = segments.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+        let max = segments.iter().map(|s| s.1).fold(0.0f64, f64::max);
+        let ratio = max / min;
+        assert!((2.4..=3.7).contains(&ratio), "peak/min {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_rejected() {
+        let _ = poisson(0.0, 1.0, 404);
+    }
+}

@@ -1,0 +1,215 @@
+//! The adaptive ratio controller (§8.3, "Adapting to Workload
+//! Fluctuation").
+//!
+//! "At runtime, FlexiQ monitors the request rate and increases the 4-bit
+//! ratio by 25% whenever the profiled latency (in Figure 8) corresponding
+//! to the current rate exceeds a predefined threshold." The profile is a
+//! per-level latency-vs-rate table measured offline; the controller also
+//! steps back down when the lower level's profiled latency regains
+//! comfortable headroom, so accuracy recovers after bursts.
+
+/// Decides the ratio level for the next batch.
+pub trait Controller {
+    /// Returns the level to serve at, given the current time and the
+    /// observed arrival rate (requests/second).
+    fn level(&mut self, now: f64, rate: f64) -> usize;
+}
+
+/// A constant level (the INT8/INT4/fixed-ratio baselines of Figs. 8/9).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLevel(pub usize);
+
+impl Controller for FixedLevel {
+    fn level(&mut self, _now: f64, _rate: f64) -> usize {
+        self.0
+    }
+}
+
+/// Offline-profiled median latency per (level, rate) — Fig. 8's curves.
+#[derive(Debug, Clone)]
+pub struct ProfiledLatency {
+    /// Probed request rates, ascending.
+    pub rates: Vec<f64>,
+    /// `median_s[level][rate_idx]` — profiled median latency in seconds.
+    pub median_s: Vec<Vec<f64>>,
+}
+
+impl ProfiledLatency {
+    /// Interpolated profiled latency of `level` at `rate`.
+    ///
+    /// Rates beyond the probed range clamp to the nearest endpoint.
+    pub fn lookup(&self, level: usize, rate: f64) -> f64 {
+        let row = &self.median_s[level];
+        if rate <= self.rates[0] {
+            return row[0];
+        }
+        if rate >= *self.rates.last().expect("non-empty profile") {
+            return *row.last().expect("non-empty profile");
+        }
+        let hi = self.rates.partition_point(|&r| r < rate);
+        let lo = hi - 1;
+        let f = (rate - self.rates[lo]) / (self.rates[hi] - self.rates[lo]);
+        row[lo] + f * (row[hi] - row[lo])
+    }
+
+    /// Number of levels in the profile.
+    pub fn levels(&self) -> usize {
+        self.median_s.len()
+    }
+}
+
+/// The paper's reactive controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    /// The offline profile.
+    pub profile: ProfiledLatency,
+    /// Latency threshold, seconds.
+    pub threshold_s: f64,
+    /// Hysteresis factor for stepping back down (< 1.0).
+    pub down_margin: f64,
+    current: usize,
+}
+
+impl AdaptiveController {
+    /// Creates a controller starting at level 0 (pure 8-bit).
+    pub fn new(profile: ProfiledLatency, threshold_s: f64) -> Self {
+        AdaptiveController { profile, threshold_s, down_margin: 0.7, current: 0 }
+    }
+
+    /// The current level (for telemetry).
+    pub fn current(&self) -> usize {
+        self.current
+    }
+}
+
+impl Controller for AdaptiveController {
+    fn level(&mut self, _now: f64, rate: f64) -> usize {
+        let max = self.profile.levels() - 1;
+        // Raise the ratio while the profiled latency at this rate
+        // exceeds the threshold (one 25% step per decision in the paper;
+        // the loop converges within a dispatch or two either way).
+        while self.current < max
+            && self.profile.lookup(self.current, rate) > self.threshold_s
+        {
+            self.current += 1;
+        }
+        // Step down when the next-lower level has comfortable headroom.
+        while self.current > 0
+            && self.profile.lookup(self.current - 1, rate)
+                < self.threshold_s * self.down_margin
+        {
+            self.current -= 1;
+        }
+        self.current
+    }
+}
+
+/// Builds a [`ProfiledLatency`] by simulating each level at each rate —
+/// the offline profiling run behind Fig. 8.
+pub fn profile_offline(
+    service: &dyn crate::sim::ServiceModel,
+    rates: &[f64],
+    duration_s: f64,
+    cfg: crate::sim::SimConfig,
+    seed: u64,
+) -> ProfiledLatency {
+    let mut median_s = Vec::with_capacity(service.levels());
+    for level in 0..service.levels() {
+        let mut row = Vec::with_capacity(rates.len());
+        for (i, &rate) in rates.iter().enumerate() {
+            let arrivals = crate::arrivals::poisson(rate, duration_s, seed + i as u64);
+            let res =
+                crate::sim::simulate(&arrivals, service, &mut FixedLevel(level), cfg);
+            row.push(crate::stats::median(&res.latencies()));
+        }
+        median_s.push(row);
+    }
+    ProfiledLatency { rates: rates.to_vec(), median_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::piecewise_poisson;
+    use crate::sim::{simulate, SimConfig, TableService};
+    use crate::stats::median;
+
+    fn svc() -> TableService {
+        TableService {
+            per_request_s: vec![1.0e-3, 0.9e-3, 0.82e-3, 0.75e-3, 0.7e-3],
+            batch_overhead_s: 0.5e-3,
+        }
+    }
+
+    fn profile() -> ProfiledLatency {
+        profile_offline(
+            &svc(),
+            &[100.0, 400.0, 700.0, 900.0, 1000.0, 1100.0, 1200.0, 1300.0],
+            4.0,
+            SimConfig::default(),
+            421,
+        )
+    }
+
+    #[test]
+    fn profile_latency_grows_with_rate_and_falls_with_level() {
+        let p = profile();
+        for level in 0..p.levels() {
+            assert!(
+                p.lookup(level, 1300.0) >= p.lookup(level, 100.0),
+                "latency must grow with rate at level {level}"
+            );
+        }
+        // Near INT8 saturation the faster levels are clearly better.
+        assert!(p.lookup(4, 1100.0) < p.lookup(0, 1100.0));
+    }
+
+    #[test]
+    fn lookup_interpolates_and_clamps() {
+        let p = ProfiledLatency {
+            rates: vec![100.0, 200.0],
+            median_s: vec![vec![1.0, 3.0]],
+        };
+        assert_eq!(p.lookup(0, 50.0), 1.0);
+        assert_eq!(p.lookup(0, 150.0), 2.0);
+        assert_eq!(p.lookup(0, 500.0), 3.0);
+    }
+
+    #[test]
+    fn controller_raises_level_under_load_and_recovers() {
+        let p = profile();
+        let threshold = p.lookup(0, 400.0) * 4.0; // comfortable at low rate
+        let mut c = AdaptiveController::new(p, threshold);
+        let low = c.level(0.0, 200.0);
+        let high = c.level(1.0, 1250.0);
+        assert!(high > low, "controller must raise the ratio: {low} -> {high}");
+        let back = c.level(2.0, 150.0);
+        assert!(back <= low + 1, "controller must step back down: {back}");
+    }
+
+    #[test]
+    fn adaptive_beats_int8_on_fluctuating_trace() {
+        // Fig. 9's headline: under a fluctuating trace the adaptive
+        // policy keeps median latency near INT4 while INT8 blows up at
+        // the peaks.
+        let svc = svc();
+        let segments =
+            [(2.0f64, 500.0f64), (2.0, 1000.0), (2.0, 1150.0), (2.0, 800.0), (2.0, 500.0)];
+        let arrivals = piecewise_poisson(&segments, 422);
+        let p = profile();
+        let threshold = 0.02; // 20 ms
+        let mut adaptive = AdaptiveController::new(p, threshold);
+        let res_a = simulate(&arrivals, &svc, &mut adaptive, SimConfig::default());
+        let res_8 = simulate(&arrivals, &svc, &mut FixedLevel(0), SimConfig::default());
+        let med_a = median(&res_a.latencies());
+        let med_8 = median(&res_8.latencies());
+        assert!(
+            med_a < med_8,
+            "adaptive median {med_a} should beat INT8 {med_8} under bursts"
+        );
+        // The controller actually moved.
+        assert!(res_a.level_changes.len() >= 2, "no level changes recorded");
+        // And it did not just pin 100% 4-bit the whole time.
+        assert!(res_a.mean_level() < 4.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Inference-serving simulation (§8.3, Figs. 8 and 9).
+//!
+//! A discrete-event model of the paper's serving setup: requests arrive
+//! as a (possibly non-homogeneous) Poisson process, a single GPU worker
+//! serves FIFO batches whose service times come from the
+//! `flexiq-gpu-sim` latency model, and per-request response times include
+//! queueing delay. FlexiQ's runtime knob appears as the *level* the
+//! server computes each batch at; the [`controller`] raises the 4-bit
+//! ratio by 25% whenever the profiled latency at the observed request
+//! rate exceeds a threshold, and lowers it when headroom returns.
+
+pub mod arrivals;
+pub mod controller;
+pub mod sim;
+pub mod stats;
+
+pub use arrivals::{azure_like_trace, piecewise_poisson, poisson};
+pub use controller::{AdaptiveController, Controller, FixedLevel, ProfiledLatency};
+pub use sim::{simulate, RequestRecord, ServiceModel, SimConfig, SimResult};

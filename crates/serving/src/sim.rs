@@ -1,0 +1,216 @@
+//! The discrete-event batching server.
+
+use crate::controller::Controller;
+
+/// Service-time model: seconds to process a batch at a ratio level.
+pub trait ServiceModel {
+    /// Seconds to serve `batch` requests at `level`.
+    fn service_s(&self, batch: usize, level: usize) -> f64;
+
+    /// Number of supported levels (level 0 = 0% 4-bit ... max = 100%).
+    fn levels(&self) -> usize;
+}
+
+/// A simple table-backed service model (also handy in tests).
+#[derive(Debug, Clone)]
+pub struct TableService {
+    /// `per_request_s[level]` — marginal seconds per request in a batch.
+    pub per_request_s: Vec<f64>,
+    /// Fixed per-batch overhead, seconds.
+    pub batch_overhead_s: f64,
+}
+
+impl ServiceModel for TableService {
+    fn service_s(&self, batch: usize, level: usize) -> f64 {
+        self.batch_overhead_s + self.per_request_s[level] * batch as f64
+    }
+
+    fn levels(&self) -> usize {
+        self.per_request_s.len()
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Maximum batch size per dispatch.
+    pub max_batch: usize,
+    /// Sliding window for the controller's rate estimate, seconds.
+    pub rate_window_s: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_batch: 16, rate_window_s: 1.0 }
+    }
+}
+
+/// One served request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestRecord {
+    /// Arrival timestamp, seconds.
+    pub arrival: f64,
+    /// Completion timestamp, seconds.
+    pub done: f64,
+    /// Level the batch ran at.
+    pub level: usize,
+}
+
+impl RequestRecord {
+    /// End-to-end response time (queueing + service), seconds.
+    pub fn latency(&self) -> f64 {
+        self.done - self.arrival
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Every request in completion order.
+    pub records: Vec<RequestRecord>,
+    /// `(time, level)` level-change events.
+    pub level_changes: Vec<(f64, usize)>,
+}
+
+impl SimResult {
+    /// All response times in seconds.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.latency()).collect()
+    }
+
+    /// `(completion time, latency)` pairs for windowed series.
+    pub fn time_series(&self) -> Vec<(f64, f64)> {
+        self.records.iter().map(|r| (r.done, r.latency())).collect()
+    }
+
+    /// Mean level weighted by served requests.
+    pub fn mean_level(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.level as f64).sum::<f64>() / self.records.len() as f64
+    }
+}
+
+/// Runs the FIFO batching server over sorted arrivals.
+pub fn simulate(
+    arrivals: &[f64],
+    service: &dyn ServiceModel,
+    controller: &mut dyn Controller,
+    cfg: SimConfig,
+) -> SimResult {
+    let n = arrivals.len();
+    let mut records = Vec::with_capacity(n);
+    let mut level_changes = Vec::new();
+    let mut i = 0usize; // next arrival to admit
+    let mut head = 0usize; // next queued request to serve
+    let mut t_free = 0.0f64;
+    let mut last_level = usize::MAX;
+    while head < n {
+        // If the queue is empty at t_free, jump to the next arrival.
+        let now = if i == head && arrivals[head] > t_free {
+            arrivals[head]
+        } else {
+            t_free
+        };
+        // Admit everything that has arrived by `now`.
+        while i < n && arrivals[i] <= now {
+            i += 1;
+        }
+        let queued = i - head;
+        if queued == 0 {
+            // Numerical guard: move time to the next arrival.
+            t_free = arrivals[head];
+            continue;
+        }
+        let batch = queued.min(cfg.max_batch);
+        // Rate estimate over the trailing window.
+        let w0 = now - cfg.rate_window_s;
+        let recent = arrivals[..i].partition_point(|&a| a <= w0);
+        let rate = (i - recent) as f64 / cfg.rate_window_s;
+        let level = controller.level(now, rate).min(service.levels() - 1);
+        if level != last_level {
+            level_changes.push((now, level));
+            last_level = level;
+        }
+        let done = now + service.service_s(batch, level);
+        for r in head..head + batch {
+            records.push(RequestRecord { arrival: arrivals[r], done, level });
+        }
+        head += batch;
+        t_free = done;
+    }
+    SimResult { records, level_changes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::poisson;
+    use crate::controller::FixedLevel;
+    use crate::stats::{median, p90};
+
+    fn svc() -> TableService {
+        // Level 0 = INT8 (slow) .. level 4 = 100% 4-bit (fast).
+        TableService {
+            per_request_s: vec![1.0e-3, 0.92e-3, 0.84e-3, 0.76e-3, 0.7e-3],
+            batch_overhead_s: 0.5e-3,
+        }
+    }
+
+    #[test]
+    fn low_load_latency_is_service_time() {
+        let arrivals = poisson(20.0, 5.0, 411);
+        let res = simulate(&arrivals, &svc(), &mut FixedLevel(0), SimConfig::default());
+        let med = median(&res.latencies());
+        // Mostly batch-of-1: ~1.5 ms.
+        assert!((0.001..0.004).contains(&med), "median {med}");
+        assert_eq!(res.records.len(), arrivals.len());
+    }
+
+    #[test]
+    fn saturation_produces_hockey_stick() {
+        // Capacity at level 0 and batch 16: 16 / (0.5ms + 16ms) ≈ 970 rps.
+        let svc = svc();
+        let lat_at = |rate: f64| {
+            let arrivals = poisson(rate, 5.0, 412);
+            let res = simulate(&arrivals, &svc, &mut FixedLevel(0), SimConfig::default());
+            p90(&res.latencies())
+        };
+        let low = lat_at(200.0);
+        let mid = lat_at(800.0);
+        let high = lat_at(1200.0);
+        assert!(mid < high, "p90 must explode past saturation: {mid} vs {high}");
+        assert!(low < high / 10.0, "hockey stick missing: {low} vs {high}");
+    }
+
+    #[test]
+    fn faster_levels_sustain_higher_rates() {
+        let svc = svc();
+        let p90_at = |rate: f64, level: usize| {
+            let arrivals = poisson(rate, 5.0, 413);
+            let res =
+                simulate(&arrivals, &svc, &mut FixedLevel(level), SimConfig::default());
+            p90(&res.latencies())
+        };
+        // At a rate past INT8 saturation, the 100% 4-bit level is fine.
+        let rate = 1150.0;
+        let slow = p90_at(rate, 0);
+        let fast = p90_at(rate, 4);
+        assert!(fast < slow / 3.0, "level 4 {fast} should beat level 0 {slow}");
+    }
+
+    #[test]
+    fn fifo_order_and_conservation() {
+        let arrivals = poisson(500.0, 3.0, 414);
+        let res = simulate(&arrivals, &svc(), &mut FixedLevel(2), SimConfig::default());
+        assert_eq!(res.records.len(), arrivals.len());
+        for w in res.records.windows(2) {
+            assert!(w[0].done <= w[1].done, "completion order violated");
+            assert!(w[0].arrival <= w[1].arrival, "FIFO violated");
+        }
+        for r in &res.records {
+            assert!(r.latency() > 0.0);
+        }
+    }
+}

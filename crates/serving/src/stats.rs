@@ -1,0 +1,75 @@
+//! Latency statistics: percentiles and time-bucketed series.
+
+/// The `p`-quantile (0..=1) of a latency sample, in the sample's units.
+///
+/// Returns 0.0 for empty samples.
+pub fn percentile(latencies: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut v = latencies.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let idx = ((v.len() - 1) as f64 * p).round() as usize;
+    v[idx]
+}
+
+/// Median (p50).
+pub fn median(latencies: &[f64]) -> f64 {
+    percentile(latencies, 0.5)
+}
+
+/// 90th percentile.
+pub fn p90(latencies: &[f64]) -> f64 {
+    percentile(latencies, 0.9)
+}
+
+/// Buckets `(time, latency)` pairs into windows of `window` seconds and
+/// returns each window's median — the Fig. 9 time series.
+pub fn windowed_median(samples: &[(f64, f64)], window: f64) -> Vec<(f64, f64)> {
+    assert!(window > 0.0, "window must be positive");
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let t_end = samples.iter().map(|s| s.0).fold(0.0f64, f64::max);
+    let buckets = (t_end / window).ceil() as usize + 1;
+    let mut per: Vec<Vec<f64>> = vec![Vec::new(); buckets];
+    for &(t, l) in samples {
+        per[(t / window) as usize].push(l);
+    }
+    per.into_iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(i, v)| ((i as f64 + 0.5) * window, median(&v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_data() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(median(&v), 51.0); // nearest-rank, round-half-up
+        assert!((p90(&v) - 90.0).abs() <= 1.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn windowed_median_buckets_by_time() {
+        let samples = vec![(0.5, 10.0), (0.6, 20.0), (1.5, 100.0)];
+        let series = windowed_median(&samples, 1.0);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1, 20.0); // nearest-rank median of {10, 20}
+        assert_eq!(series[1].1, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn bad_percentile_rejected() {
+        let _ = percentile(&[1.0], 1.2);
+    }
+}

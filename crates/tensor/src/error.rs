@@ -1,0 +1,73 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes were expected to match (elementwise ops, reshape, ...).
+    ShapeMismatch {
+        /// Human-readable name of the failing operation.
+        op: &'static str,
+        /// Left-hand / expected shape.
+        lhs: Vec<usize>,
+        /// Right-hand / actual shape.
+        rhs: Vec<usize>,
+    },
+    /// The number of elements does not match the requested shape.
+    LengthMismatch {
+        /// Expected element count derived from the shape.
+        expected: usize,
+        /// Actual element count supplied.
+        actual: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// Generic invalid-argument error with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: vec![2, 3],
+            rhs: vec![3, 2],
+        };
+        assert_eq!(e.to_string(), "shape mismatch in `add`: [2, 3] vs [3, 2]");
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains("expected 6"));
+        let e = TensorError::AxisOutOfRange { axis: 4, rank: 2 };
+        assert!(e.to_string().contains("axis 4"));
+        let e = TensorError::Invalid("negative stride".into());
+        assert!(e.to_string().contains("negative stride"));
+    }
+}

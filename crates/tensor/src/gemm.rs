@@ -1,0 +1,190 @@
+//! Reference GEMM kernels (f32 and integer).
+//!
+//! These kernels are the ground truth for the functional GPU/NPU simulator
+//! kernels in `flexiq-gpu-sim` and `flexiq-npu-sim`: every mixed-precision
+//! result produced there must match the plain integer GEMM of the
+//! dequantization-equivalent operands computed here.
+//!
+//! The f32 kernel uses the classic i-k-j loop order so the innermost loop
+//! streams both `b` and `c` rows; the integer kernels accumulate into
+//! `i32`, matching the accumulator width of both the NPU's MAC tree and
+//! the GPU's MMA instructions.
+
+/// `c[m,n] += a[m,k] * b[k,n]` in f32.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m*k` / `k*n` / `m*n` extent.
+pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..p * n + n];
+            let crow = &mut c[i * n..i * n + n];
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+}
+
+/// `c[m,n] += a[m,k] * b[k,n]` with `i8` operands and `i32` accumulation.
+pub fn gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p] as i32;
+            if aip == 0 {
+                continue;
+            }
+            let brow = &b[p * n..p * n + n];
+            let crow = &mut c[i * n..i * n + n];
+            for j in 0..n {
+                crow[j] += aip * brow[j] as i32;
+            }
+        }
+    }
+}
+
+/// Partial integer GEMM over a contiguous band of the reduction dimension.
+///
+/// Computes `c[m,n] += a[m, k0..k1] * b[k0..k1, n]` where `a` is `[m,k]`
+/// and `b` is `[k,n]`. The mixed-precision engines call this once per
+/// feature-channel group so that each group's partial sum can be
+/// bit-shifted before accumulation (paper §7, "bit-shifted accumulation").
+pub fn gemm_i8_band(
+    m: usize,
+    n: usize,
+    k: usize,
+    k0: usize,
+    k1: usize,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+) {
+    assert!(k0 <= k1 && k1 <= k, "invalid band [{k0}, {k1}) for k={k}");
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    for i in 0..m {
+        for p in k0..k1 {
+            let aip = a[i * k + p] as i32;
+            if aip == 0 {
+                continue;
+            }
+            let brow = &b[p * n..p * n + n];
+            let crow = &mut c[i * n..i * n + n];
+            for j in 0..n {
+                crow[j] += aip * brow[j] as i32;
+            }
+        }
+    }
+}
+
+/// Dot product of two `i8` slices with `i32` accumulation.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot operands must have equal length");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use rand::Rng;
+
+    fn naive_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn f32_matches_naive() {
+        let mut rng = seeded(21);
+        let (m, n, k) = (5, 7, 11);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm_f32(m, n, k, &a, &b, &mut c);
+        let expect = naive_f32(m, n, k, &a, &b);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn i8_is_exact() {
+        let mut rng = seeded(22);
+        let (m, n, k) = (4, 6, 9);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-128i16..=127) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-128i16..=127) as i8).collect();
+        let mut c = vec![0i32; m * n];
+        gemm_i8(m, n, k, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for p in 0..k {
+                    acc += a[i * k + p] as i32 * b[p * n + j] as i32;
+                }
+                assert_eq!(c[i * n + j], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_sums_to_full() {
+        let mut rng = seeded(23);
+        let (m, n, k) = (3, 4, 16);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+        let mut full = vec![0i32; m * n];
+        gemm_i8(m, n, k, &a, &b, &mut full);
+        let mut banded = vec![0i32; m * n];
+        gemm_i8_band(m, n, k, 0, 5, &a, &b, &mut banded);
+        gemm_i8_band(m, n, k, 5, 12, &a, &b, &mut banded);
+        gemm_i8_band(m, n, k, 12, 16, &a, &b, &mut banded);
+        assert_eq!(full, banded);
+    }
+
+    #[test]
+    fn empty_band_is_noop() {
+        let a = vec![1i8; 4];
+        let b = vec![1i8; 4];
+        let mut c = vec![0i32; 4];
+        gemm_i8_band(2, 2, 2, 1, 1, &a, &b, &mut c);
+        assert_eq!(c, vec![0; 4]);
+    }
+
+    #[test]
+    fn dot_i8_extremes() {
+        let a = vec![-128i8; 8];
+        let b = vec![-128i8; 8];
+        assert_eq!(dot_i8(&a, &b), 128 * 128 * 8);
+        let b = vec![127i8; 8];
+        assert_eq!(dot_i8(&a, &b), -128 * 127 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid band")]
+    fn band_bounds_are_checked() {
+        let a = vec![0i8; 4];
+        let b = vec![0i8; 4];
+        let mut c = vec![0i32; 4];
+        gemm_i8_band(2, 2, 2, 2, 1, &a, &b, &mut c);
+    }
+}

@@ -1,0 +1,209 @@
+//! Integer tensor storage: plain `i8` and packed signed 4-bit.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+
+/// A dense, row-major `i8` tensor.
+///
+/// This is the master storage format of a FlexiQ model: the paper keeps
+/// 8-bit parameters resident and derives 4-bit operands from them at
+/// runtime via bit extraction (§7, "Resource Consumption").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct I8Tensor {
+    shape: Shape,
+    data: Vec<i8>,
+}
+
+impl I8Tensor {
+    /// Creates a zero-filled `i8` tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        I8Tensor { shape, data: vec![0; n] }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<i8>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.numel() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
+        }
+        Ok(I8Tensor { shape, data })
+    }
+
+    /// Returns the tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Returns the number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns the underlying buffer.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Returns the underlying buffer mutably.
+    pub fn data_mut(&mut self) -> &mut [i8] {
+        &mut self.data
+    }
+
+    /// Converts to f32 by multiplying each element with `scale`.
+    pub fn dequantize(&self, scale: f32) -> crate::Tensor {
+        let data = self.data.iter().map(|&q| q as f32 * scale).collect();
+        crate::Tensor::from_vec(self.shape.dims().to_vec(), data)
+            .expect("shape/data lengths match by construction")
+    }
+}
+
+/// Signed 4-bit values packed two per byte (low nibble first).
+///
+/// Mirrors the operand layout fed to 4-bit MMA tiles on the GPU: values at
+/// even logical indices occupy bits `[3:0]`, odd indices bits `[7:4]`. An
+/// odd element count leaves the final high nibble zero.
+///
+/// # Examples
+///
+/// ```
+/// use flexiq_tensor::I4Packed;
+/// let p = I4Packed::pack(&[-8, 7, 3]).unwrap();
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.unpack(), vec![-8, 7, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct I4Packed {
+    len: usize,
+    bytes: Vec<u8>,
+}
+
+impl I4Packed {
+    /// Packs a slice of values, each of which must lie in `[-8, 7]`.
+    pub fn pack(values: &[i8]) -> Result<Self> {
+        let mut bytes = vec![0u8; values.len().div_ceil(2)];
+        for (i, &v) in values.iter().enumerate() {
+            if !(-8..=7).contains(&v) {
+                return Err(TensorError::Invalid(format!(
+                    "value {v} at index {i} out of int4 range [-8, 7]"
+                )));
+            }
+            let nibble = (v as u8) & 0x0F;
+            if i % 2 == 0 {
+                bytes[i / 2] |= nibble;
+            } else {
+                bytes[i / 2] |= nibble << 4;
+            }
+        }
+        Ok(I4Packed { len: values.len(), bytes })
+    }
+
+    /// Number of logical 4-bit elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw packed bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Storage size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Reads the sign-extended value at logical index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> i8 {
+        assert!(i < self.len, "index {i} out of bounds for len {}", self.len);
+        let byte = self.bytes[i / 2];
+        let nibble = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+        // Sign-extend the 4-bit value: shift into the top nibble and back.
+        ((nibble << 4) as i8) >> 4
+    }
+
+    /// Unpacks all values with sign extension.
+    pub fn unpack(&self) -> Vec<i8> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i8_tensor_dequantizes() {
+        let t = I8Tensor::from_vec([2, 2], vec![-128, 0, 1, 127]).unwrap();
+        let f = t.dequantize(0.5);
+        assert_eq!(f.data(), &[-64.0, 0.0, 0.5, 63.5]);
+    }
+
+    #[test]
+    fn i8_tensor_validates_length() {
+        assert!(I8Tensor::from_vec([3], vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_all_values() {
+        let all: Vec<i8> = (-8..=7).collect();
+        let p = I4Packed::pack(&all).unwrap();
+        assert_eq!(p.unpack(), all);
+        assert_eq!(p.byte_len(), 8);
+    }
+
+    #[test]
+    fn odd_length_packs() {
+        let vals = [1i8, -2, 3];
+        let p = I4Packed::pack(&vals).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.byte_len(), 2);
+        assert_eq!(p.unpack(), vals);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(I4Packed::pack(&[8]).is_err());
+        assert!(I4Packed::pack(&[-9]).is_err());
+    }
+
+    #[test]
+    fn empty_pack() {
+        let p = I4Packed::pack(&[]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.byte_len(), 0);
+        assert_eq!(p.unpack(), Vec::<i8>::new());
+    }
+
+    #[test]
+    fn nibble_layout_is_low_first() {
+        let p = I4Packed::pack(&[1, 2]).unwrap();
+        assert_eq!(p.bytes(), &[0x21]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let p = I4Packed::pack(&[0]).unwrap();
+        let _ = p.get(1);
+    }
+}

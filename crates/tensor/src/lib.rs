@@ -1,0 +1,41 @@
+//! Dense tensor substrate for the FlexiQ reproduction.
+//!
+//! This crate provides the minimal numerical foundation that every other
+//! crate in the workspace builds on:
+//!
+//! * [`Tensor`] — a dense, row-major, contiguous `f32` tensor with shape
+//!   arithmetic, elementwise/matrix operations and structured random
+//!   initialization.
+//! * [`I8Tensor`] / [`I4Packed`] — integer tensor storage used by the
+//!   quantized execution paths. `I4Packed` stores two signed nibbles per
+//!   byte exactly like the packed operand layout of 4-bit MMA tiles.
+//! * [`gemm`] — reference f32 and integer GEMM kernels (`i8×i8→i32` with
+//!   optional packed-i4 operands) that the functional GPU/NPU simulators
+//!   are validated against.
+//! * [`im2col`] — convolution lowering used by both the inference engine
+//!   and the autograd engine.
+//! * [`stats`] — reductions (per-channel ranges, norms, percentiles) used
+//!   by calibration and by the paper's analysis figures.
+//!
+//! The crate is deliberately free of `unsafe` code: the workloads in this
+//! reproduction are small enough that clarity and testability dominate raw
+//! throughput, and the hot integer kernels are still structured the way the
+//! paper's CUDA kernel is (tiles over feature-channel groups) so that the
+//! Criterion benches expose the same relative costs.
+
+pub mod error;
+pub mod gemm;
+pub mod im2col;
+pub mod int;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use int::{I4Packed, I8Tensor};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

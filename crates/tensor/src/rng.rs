@@ -1,0 +1,102 @@
+//! Deterministic random-number helpers.
+//!
+//! All stochastic pieces of the reproduction (weight initialization,
+//! synthetic datasets, the evolutionary algorithm, Poisson arrivals) draw
+//! from explicitly seeded generators so every experiment is reproducible
+//! bit-for-bit. `rand` 0.8 does not ship Gaussian sampling (that lives in
+//! the separate `rand_distr` crate, which is not on the approved
+//! dependency list), so we provide a Box–Muller implementation here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one sample from the standard normal distribution N(0, 1).
+///
+/// Uses the Box–Muller transform; consumes two uniform samples per call in
+/// the worst case but caches nothing, which keeps callers stateless.
+pub fn normal<R: Rng>(rng: &mut R) -> f32 {
+    // Avoid `ln(0)` by sampling the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos()) as f32
+}
+
+/// Draws a sample from N(mean, std^2).
+pub fn normal_with<R: Rng>(rng: &mut R, mean: f32, std: f32) -> f32 {
+    mean + std * normal(rng)
+}
+
+/// Draws a sample from a log-normal distribution with the given parameters
+/// of the underlying normal.
+///
+/// Used to synthesize the wide per-feature-channel magnitude diversity the
+/// paper observes in real vision models (Fig. 1 / Fig. 12).
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f32, sigma: f32) -> f32 {
+    normal_with(rng, mu, sigma).exp()
+}
+
+/// Draws an exponentially distributed sample with the given rate.
+///
+/// Inter-arrival times of a Poisson process; used by the serving
+/// simulator's request generators.
+pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = seeded(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = seeded(9);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = seeded(11);
+        let rate = 4.0;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_nonpositive_rate() {
+        let mut rng = seeded(1);
+        let _ = exponential(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Reductions and distance metrics used by calibration and analysis.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Minimum and maximum of a slice. Returns `(0.0, 0.0)` for empty input.
+pub fn min_max(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// Maximum absolute value of a slice (0.0 for empty input).
+pub fn abs_max(values: &[f32]) -> f32 {
+    values.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Per-slice maximum absolute value along `axis`.
+///
+/// Returns one value per index of `axis`, reducing over all other axes.
+/// For a weight tensor `[C_out, C_in, KH, KW]`, `axis = 1` yields the
+/// per-feature-channel ranges the paper's channel selection relies on.
+pub fn channel_abs_max(t: &Tensor, axis: usize) -> Result<Vec<f32>> {
+    let rank = t.shape().rank();
+    if axis >= rank {
+        return Err(TensorError::AxisOutOfRange { axis, rank });
+    }
+    let dim = t.shape().dim(axis);
+    let strides = t.shape().strides();
+    let mut out = vec![0.0f32; dim];
+    for (flat, &v) in t.data().iter().enumerate() {
+        let coord = (flat / strides[axis]) % dim;
+        let a = v.abs();
+        if a > out[coord] {
+            out[coord] = a;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-slice `(min, max)` along `axis`, reducing over all other axes.
+pub fn channel_min_max(t: &Tensor, axis: usize) -> Result<Vec<(f32, f32)>> {
+    let rank = t.shape().rank();
+    if axis >= rank {
+        return Err(TensorError::AxisOutOfRange { axis, rank });
+    }
+    let dim = t.shape().dim(axis);
+    let strides = t.shape().strides();
+    let mut out = vec![(f32::INFINITY, f32::NEG_INFINITY); dim];
+    for (flat, &v) in t.data().iter().enumerate() {
+        let coord = (flat / strides[axis]) % dim;
+        let e = &mut out[coord];
+        e.0 = e.0.min(v);
+        e.1 = e.1.max(v);
+    }
+    // Empty slices (zero-sized other axes) normalize to (0, 0).
+    for e in &mut out {
+        if e.0 > e.1 {
+            *e = (0.0, 0.0);
+        }
+    }
+    Ok(out)
+}
+
+/// Euclidean (L2) norm of a slice.
+pub fn l2_norm(values: &[f32]) -> f32 {
+    values.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt() as f32
+}
+
+/// L2 distance between two equal-length slices.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_distance operands must match");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+/// L1 (mean absolute) distance between two equal-length slices.
+pub fn l1_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l1_distance operands must match");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| ((x - y) as f64).abs()).sum();
+    (sum / a.len() as f64) as f32
+}
+
+/// Mean squared error between two equal-length slices.
+pub fn mse(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "mse operands must match");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    (sum / a.len() as f64) as f32
+}
+
+/// The `p`-quantile (0.0..=1.0) of the absolute values of a slice.
+///
+/// Used for coverage-based range estimation: the paper's analysis presumes
+/// "value ranges of the channels to cover 99% of neuron values" (§8.6),
+/// which is `percentile_abs(values, 0.99)`.
+pub fn percentile_abs(values: &[f32], p: f64) -> f32 {
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut abs: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in calibration data"));
+    let idx = ((abs.len() - 1) as f64 * p).round() as usize;
+    abs[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max(&[3.0, -1.0, 2.0]), (-1.0, 3.0));
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn abs_max_basic() {
+        assert_eq!(abs_max(&[-5.0, 4.0]), 5.0);
+        assert_eq!(abs_max(&[]), 0.0);
+    }
+
+    #[test]
+    fn channel_abs_max_reduces_other_axes() {
+        // Shape [2, 3]: reduce along axis 1 keeps 3 values.
+        let t = Tensor::from_vec([2, 3], vec![1.0, -4.0, 2.0, -3.0, 1.0, 0.5]).unwrap();
+        assert_eq!(channel_abs_max(&t, 1).unwrap(), vec![3.0, 4.0, 2.0]);
+        assert_eq!(channel_abs_max(&t, 0).unwrap(), vec![4.0, 3.0]);
+        assert!(channel_abs_max(&t, 2).is_err());
+    }
+
+    #[test]
+    fn channel_min_max_matches_abs_max() {
+        let t = Tensor::from_vec([2, 2], vec![1.0, -4.0, -3.0, 2.0]).unwrap();
+        let mm = channel_min_max(&t, 1).unwrap();
+        assert_eq!(mm, vec![(-3.0, 1.0), (-4.0, 2.0)]);
+    }
+
+    #[test]
+    fn channel_min_max_on_conv_weight_axis1() {
+        // [C_out=2, C_in=2, KH=1, KW=2].
+        let t = Tensor::from_vec(
+            [2, 2, 1, 2],
+            vec![0.1, -0.2, 5.0, 6.0, 0.3, 0.0, -7.0, 2.0],
+        )
+        .unwrap();
+        let per_cin = channel_abs_max(&t, 1).unwrap();
+        assert_eq!(per_cin, vec![0.3, 7.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 5.0];
+        assert!((l2_distance(&a, &b) - 2.0).abs() < 1e-6);
+        assert!((l1_distance(&a, &b) - 2.0 / 3.0).abs() < 1e-6);
+        assert!((mse(&a, &b) - 4.0 / 3.0).abs() < 1e-6);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_abs_covers_distribution() {
+        let values: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        assert_eq!(percentile_abs(&values, 1.0), 99.0);
+        assert_eq!(percentile_abs(&values, 0.0), 0.0);
+        let p99 = percentile_abs(&values, 0.99);
+        assert!((97.0..=99.0).contains(&p99));
+        assert_eq!(percentile_abs(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_bounds_checked() {
+        let _ = percentile_abs(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,35 @@
+//! Training substrate: reverse-mode autodiff and the §6 finetuning loop.
+//!
+//! The paper finetunes quantized models with a specialized loss (Eqs. 2–3)
+//! that runs **two forward passes per step** — one at low bitwidth, one at
+//! high — and mixes their losses with λ, each loss combining hard-label
+//! cross entropy and distillation against the full-precision teacher.
+//!
+//! This crate implements that end to end, PyTorch-free:
+//!
+//! * [`ste`] — fake quantization with straight-through-estimator masks:
+//!   per-channel 8-bit weights, per-tensor 8-bit activations, and the
+//!   FlexiQ 4-bit mode that applies the effective-bit extraction of
+//!   `flexiq-quant` inside the training forward pass.
+//! * [`diff`] — a tape-based differentiable executor over the same
+//!   [`flexiq_nn::Graph`] the inference engine runs, with gradients for
+//!   every operator the zoo uses (conv with groups, linear, norms,
+//!   attention, window attention, pooling, token reshapes).
+//! * [`loss`] — cross entropy with hard and soft labels and the paper's
+//!   combined objective.
+//! * [`sgd`] — SGD with momentum, weight decay and step-decay LR, the
+//!   paper's §8.1 training setup.
+//! * [`finetune`] — the dual-bitwidth finetuning driver.
+
+pub mod diff;
+pub mod finetune;
+pub mod loss;
+pub mod sgd;
+pub mod ste;
+
+pub use diff::{backward, forward, Grads, Tape};
+pub use finetune::{finetune, FinetuneConfig, FinetuneReport};
+pub use ste::QuantMode;
+
+/// Result alias shared with the NN substrate.
+pub type Result<T> = flexiq_nn::Result<T>;

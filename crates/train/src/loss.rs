@@ -1,0 +1,140 @@
+//! Loss functions: hard-label CE, soft-label distillation, and the
+//! paper's combined objective (Eqs. 2–3).
+
+use flexiq_nn::ops::act::{log_softmax_lastdim, softmax_lastdim};
+use flexiq_nn::NnError;
+use flexiq_tensor::Tensor;
+
+use crate::Result;
+
+/// Cross-entropy with a hard label; returns `(loss, dlogits)`.
+pub fn cross_entropy(logits: &Tensor, label: usize) -> Result<(f32, Tensor)> {
+    let c = logits.numel();
+    if label >= c {
+        return Err(NnError::Invalid(format!("label {label} out of range {c}")));
+    }
+    let logp = log_softmax_lastdim(logits)?;
+    let loss = -logp.data()[label];
+    // dL/dlogits = softmax - onehot.
+    let p = softmax_lastdim(logits)?;
+    let mut d = p.data().to_vec();
+    d[label] -= 1.0;
+    Ok((loss, Tensor::from_vec(logits.dims().to_vec(), d)?))
+}
+
+/// Cross-entropy with soft targets (distillation); returns
+/// `(loss, dlogits)`.
+///
+/// The target distribution is `softmax(teacher_logits)`; the loss is
+/// `-Σ t_i log p_i`, the paper's second term of Eq. 2.
+pub fn distillation(logits: &Tensor, teacher_logits: &Tensor) -> Result<(f32, Tensor)> {
+    if logits.dims() != teacher_logits.dims() {
+        return Err(NnError::Invalid(format!(
+            "logit shapes differ: {:?} vs {:?}",
+            logits.dims(),
+            teacher_logits.dims()
+        )));
+    }
+    let t = softmax_lastdim(teacher_logits)?;
+    let logp = log_softmax_lastdim(logits)?;
+    let loss: f32 = -t
+        .data()
+        .iter()
+        .zip(logp.data().iter())
+        .map(|(&ti, &lp)| ti * lp)
+        .sum::<f32>();
+    let p = softmax_lastdim(logits)?;
+    let d = p.sub(&t)?;
+    Ok((loss, d))
+}
+
+/// One bitwidth's loss `L_k` (paper Eq. 2): hard CE plus distillation
+/// against the full-precision teacher.
+pub fn paper_loss_k(
+    logits: &Tensor,
+    label: usize,
+    teacher_logits: &Tensor,
+) -> Result<(f32, Tensor)> {
+    let (l_hard, d_hard) = cross_entropy(logits, label)?;
+    let (l_soft, d_soft) = distillation(logits, teacher_logits)?;
+    Ok((l_hard + l_soft, d_hard.add(&d_soft)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_matches_closed_form() {
+        let logits = Tensor::from_vec([3], vec![1.0, 2.0, 0.5]).unwrap();
+        let (loss, d) = cross_entropy(&logits, 1).unwrap();
+        // loss = -log softmax_1.
+        let p = softmax_lastdim(&logits).unwrap();
+        assert!((loss + p.data()[1].ln()).abs() < 1e-5);
+        // Gradient sums to zero.
+        assert!(d.data().iter().sum::<f32>().abs() < 1e-6);
+        assert!(d.data()[1] < 0.0);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec([4], vec![0.3, -0.7, 1.1, 0.2]).unwrap();
+        let (_, d) = cross_entropy(&logits, 2).unwrap();
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = cross_entropy(&lp, 2).unwrap();
+            let (fm, _) = cross_entropy(&lm, 2).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - d.data()[i]).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn distillation_is_zero_at_teacher_only_up_to_entropy() {
+        // CE with soft targets equals the teacher's entropy when student
+        // == teacher, and its gradient vanishes there.
+        let t = Tensor::from_vec([3], vec![0.5, 1.5, -0.2]).unwrap();
+        let (_, d) = distillation(&t, &t).unwrap();
+        for &v in d.data() {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn distillation_gradient_matches_finite_difference() {
+        let teacher = Tensor::from_vec([3], vec![2.0, 0.0, -1.0]).unwrap();
+        let logits = Tensor::from_vec([3], vec![0.1, 0.4, 0.2]).unwrap();
+        let (_, d) = distillation(&logits, &teacher).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = distillation(&lp, &teacher).unwrap();
+            let (fm, _) = distillation(&lm, &teacher).unwrap();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - d.data()[i]).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn paper_loss_combines_terms() {
+        let teacher = Tensor::from_vec([3], vec![2.0, 0.0, -1.0]).unwrap();
+        let logits = Tensor::from_vec([3], vec![0.1, 0.4, 0.2]).unwrap();
+        let (l, _) = paper_loss_k(&logits, 0, &teacher).unwrap();
+        let (lh, _) = cross_entropy(&logits, 0).unwrap();
+        let (ls, _) = distillation(&logits, &teacher).unwrap();
+        assert!((l - lh - ls).abs() < 1e-6);
+    }
+
+    #[test]
+    fn label_bounds_checked() {
+        let logits = Tensor::from_vec([2], vec![0.0, 1.0]).unwrap();
+        assert!(cross_entropy(&logits, 2).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Adaptive serving: FlexiQ's runtime ratio controller under a
+//! fluctuating request trace (the Fig. 9 scenario).
+//!
+//! A single simulated A6000 serves ViT-Base; requests arrive as a
+//! non-homogeneous Poisson process whose rate swings 3× (Azure-like).
+//! The controller watches the observed rate and raises the 4-bit ratio
+//! by 25% whenever the profiled latency at that rate exceeds a
+//! threshold, stepping back down when headroom returns.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_serving
+//! ```
+
+use flexiq::gpu::cost::{KernelKind, LatencyModel};
+use flexiq::gpu::models::{vit_base, TransformerWorkload};
+use flexiq::gpu::profiles::GpuProfile;
+use flexiq::serving::controller::{profile_offline, AdaptiveController};
+use flexiq::serving::sim::{simulate, ServiceModel, SimConfig};
+use flexiq::serving::stats::{median, p90, windowed_median};
+use flexiq::serving::{azure_like_trace, FixedLevel};
+
+struct GpuService {
+    workload: TransformerWorkload,
+    model: LatencyModel,
+}
+
+impl ServiceModel for GpuService {
+    fn service_s(&self, batch: usize, level: usize) -> f64 {
+        let kind = match level {
+            0 => KernelKind::UniformInt8,
+            l => KernelKind::FlexiQ { low_fraction: 0.25 * l as f64, dynamic_extract: false },
+        };
+        self.workload.model_latency_us(&self.model, batch.max(1), kind) / 1e6
+    }
+
+    fn levels(&self) -> usize {
+        5 // INT8 + 25/50/75/100% 4-bit
+    }
+}
+
+fn main() {
+    let svc = GpuService { workload: vit_base(), model: LatencyModel::new(GpuProfile::A6000) };
+    let cfg = SimConfig { max_batch: 32, ..Default::default() };
+
+    // Offline profiling pass (the Fig. 8 curves the controller consults).
+    println!("profiling latency vs rate per ratio level...");
+    let profile =
+        profile_offline(&svc, &[200.0, 600.0, 1000.0, 1200.0, 1400.0, 1600.0], 3.0, cfg, 7);
+
+    // A 30-second trace fluctuating between ~500 and ~1500 rps.
+    let (arrivals, segments) = azure_like_trace(500.0, 2.0, 15, 8);
+    println!("trace: {} requests over {} segments\n", arrivals.len(), segments.len());
+
+    let mut adaptive = AdaptiveController::new(profile, 0.15);
+    let res_adaptive = simulate(&arrivals, &svc, &mut adaptive, cfg);
+    let res_int8 = simulate(&arrivals, &svc, &mut FixedLevel(0), cfg);
+
+    println!("windowed median latency (ms):  [rate rps | INT8 | adaptive | level]");
+    let m8 = windowed_median(&res_int8.time_series(), 2.0);
+    let ma = windowed_median(&res_adaptive.time_series(), 2.0);
+    for (i, &(t, v8)) in m8.iter().enumerate() {
+        let rate = segments.get((t / 2.0) as usize).map(|s| s.1).unwrap_or(0.0);
+        let va = ma.get(i).map(|x| x.1 * 1e3).unwrap_or(f64::NAN);
+        let level = res_adaptive
+            .level_changes
+            .iter()
+            .rev()
+            .find(|(tt, _)| *tt <= t)
+            .map(|(_, l)| *l)
+            .unwrap_or(0);
+        println!("t={t:5.1}s  {rate:7.0}  {:8.1}  {va:8.1}  level {level}", v8 * 1e3);
+    }
+    println!(
+        "\noverall: INT8 median {:.1} ms / p90 {:.1} ms;  adaptive median {:.1} ms / p90 {:.1} ms",
+        median(&res_int8.latencies()) * 1e3,
+        p90(&res_int8.latencies()) * 1e3,
+        median(&res_adaptive.latencies()) * 1e3,
+        p90(&res_adaptive.latencies()) * 1e3,
+    );
+    println!(
+        "adaptive mean level: {:.2} (0 = pure INT8 accuracy, 4 = 100% 4-bit latency)",
+        res_adaptive.mean_level()
+    );
+}

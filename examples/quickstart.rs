@@ -1,0 +1,62 @@
+//! Quickstart: quantize a model with FlexiQ and serve it at runtime-
+//! adjustable 4-bit ratios.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flexiq::core::pipeline::{prepare, FlexiQConfig};
+use flexiq::core::selection::Strategy;
+use flexiq::nn::data::{gen_image_inputs, teacher_dataset_filtered};
+use flexiq::nn::zoo::{ModelId, Scale};
+
+fn main() {
+    // 1. A model. The zoo builds architecture-faithful scaled-down
+    //    versions of the paper's eleven evaluation networks.
+    let model = ModelId::ViTS;
+    let graph = model.build(Scale::Eval).expect("build model");
+    println!("model: {} ({} quantizable layers)", model.name(), graph.num_layers());
+
+    // 2. Calibration data and an evaluation set labelled by the FP32
+    //    model itself (accuracy = agreement with full precision).
+    let dims = model.input_dims(Scale::Eval);
+    let calib = gen_image_inputs(32, &dims, 1);
+    let eval_pool = gen_image_inputs(160, &dims, 2);
+    let data = teacher_dataset_filtered(&graph, eval_pool, 0.3).expect("teacher labels");
+
+    // 3. One call runs the whole FlexiQ pipeline: calibrate → quantize to
+    //    8-bit → score feature channels → select nested 25/50/75/100%
+    //    plans (evolutionary algorithm) → reorder channels for contiguous
+    //    layouts → build the servable runtime.
+    let cfg = FlexiQConfig::new(8, Strategy::Greedy);
+    let prepared = prepare(&graph, &calib, &cfg).expect("pipeline");
+    let rt = &prepared.runtime;
+    println!(
+        "prepared {} ratio levels; layout pass inserted {} reorder ops",
+        rt.num_levels(),
+        prepared.inserted_reorders
+    );
+
+    // 4. Serve. Switching the ratio is one atomic update (the paper's
+    //    `max_4bit_ch` mechanism) — same weights, new latency/accuracy
+    //    trade-off.
+    rt.set_ratio(0.0).expect("int8 level");
+    println!("INT8 (0% 4-bit)   accuracy: {:5.1}%", rt.accuracy(&data).unwrap());
+    for level in 0..rt.num_levels() {
+        rt.set_level(level).expect("valid level");
+        println!(
+            "FlexiQ {:3.0}% 4-bit accuracy: {:5.1}%  (avg {:.1} bits)",
+            rt.current_ratio() * 100.0,
+            rt.accuracy(&data).unwrap(),
+            8.0 - 4.0 * rt.current_ratio(),
+        );
+    }
+
+    // 5. Single inference at the active ratio.
+    let logits = rt.infer(&data.inputs[0]).expect("inference");
+    println!(
+        "sample 0 → class {} (label {})",
+        logits.argmax().unwrap(),
+        data.labels[0]
+    );
+}

@@ -1,0 +1,42 @@
+//! # FlexiQ
+//!
+//! A from-scratch Rust reproduction of **FlexiQ: Adaptive Mixed-Precision
+//! Quantization for Latency/Accuracy Trade-Offs in Deep Neural Networks**
+//! (EuroSys '26).
+//!
+//! FlexiQ quantizes a neural network once at 8 bits and then serves it at
+//! any 4-bit/8-bit mix, selected **at runtime** with a single variable per
+//! layer. Feature channels whose values occupy few bits are computed at
+//! 4 bits using *effective-bit extraction* — their 4-bit operands are
+//! carved out of the live bits of the 8-bit representation, so lowering
+//! the bitwidth costs far less accuracy than uniform 4-bit quantization.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`tensor`] | dense f32 / int8 / packed-int4 tensors, GEMM, im2col |
+//! | [`quant`] | quantizers, calibration observers, bit-lowering (§4.1) |
+//! | [`nn`] | inference graph, layers, the 11-model zoo, synthetic data |
+//! | [`train`] | reverse-mode autograd, STE fake-quant, finetuning (§6) |
+//! | [`core`] | channel selection (Alg. 1), layout optimization (§5), the mixed-precision runtime (§7) |
+//! | [`npu`] | cycle-level 32×32 systolic-array NPU simulator (Fig. 5) |
+//! | [`gpu`] | functional mixed-precision GEMM kernel + GPU cost model |
+//! | [`serving`] | discrete-event serving simulator + adaptive controller (§8.3) |
+//! | [`baselines`] | HAWQ-, RobustQuant-, AnyPrecision-, PTMQ-style schemes (Table 5) |
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow: build a model,
+//! calibrate, run the evolutionary channel selection, and serve the same
+//! weights at 0–100% 4-bit ratios.
+
+pub use flexiq_baselines as baselines;
+pub use flexiq_core as core;
+pub use flexiq_gpu_sim as gpu;
+pub use flexiq_nn as nn;
+pub use flexiq_npu_sim as npu;
+pub use flexiq_quant as quant;
+pub use flexiq_serving as serving;
+pub use flexiq_tensor as tensor;
+pub use flexiq_train as train;

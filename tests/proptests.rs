@@ -1,0 +1,135 @@
+//! Property-based tests over the core invariants.
+
+use flexiq::gpu::kernel::{MixedGemm, TILE_K};
+use flexiq::nn::ops::tokens::{invert_perm, reorder_channels};
+use flexiq::quant::dynamic::dynamic_lowering;
+use flexiq::quant::lowering::{magnitude_bits, BitLowering};
+use flexiq::quant::{QParams, QuantBits};
+use flexiq::tensor::{I4Packed, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// int4 packing round-trips every representable value sequence.
+    #[test]
+    fn i4_pack_unpack_roundtrip(values in prop::collection::vec(-8i8..=7, 0..64)) {
+        let packed = I4Packed::pack(&values).unwrap();
+        prop_assert_eq!(packed.unpack(), values);
+    }
+
+    /// Quantize→dequantize error is bounded by half a step for in-range
+    /// values.
+    #[test]
+    fn quantize_error_bounded(x in -10.0f32..10.0, abs_max in 0.1f32..20.0) {
+        let p = QParams::from_abs_max(abs_max, QuantBits::B8).unwrap();
+        let y = p.fake(x);
+        if x.abs() <= abs_max {
+            prop_assert!((x - y).abs() <= p.scale() * 0.5 + 1e-6);
+        } else {
+            // Out-of-range values clamp to the representable extreme.
+            prop_assert!(y.abs() <= abs_max + p.scale());
+        }
+    }
+
+    /// Bit lowering never loses more than one extraction step within the
+    /// window's design capacity, and saturation is exactly the capacity
+    /// predicate.
+    #[test]
+    fn lowering_error_and_saturation(q in -128i16..=127, max_abs in 1u32..=127) {
+        let q = q as i8;
+        let rule = BitLowering::for_max_abs(max_abs, QuantBits::B4);
+        let err = (q as i32 - rule.round_trip(q)).abs();
+        let step = 1i32 << rule.shift();
+        if !rule.saturates(q) {
+            prop_assert!(err < step, "q={q} err={err} step={step}");
+        }
+        let capacity = rule.low_bits().bits() - 1 + rule.shift();
+        prop_assert_eq!(rule.saturates(q), magnitude_bits(q) > capacity);
+    }
+
+    /// Dynamic extraction windows never saturate the group they were
+    /// derived from.
+    #[test]
+    fn dynamic_window_covers_its_group(values in prop::collection::vec(-128i16..=127, 1..64)) {
+        let values: Vec<i8> = values.into_iter().map(|v| v as i8).collect();
+        let rule = dynamic_lowering(&values, QuantBits::B4);
+        for &v in &values {
+            prop_assert!(!rule.saturates(v), "v={v} shift={}", rule.shift());
+        }
+    }
+
+    /// The packed mixed GEMM equals its scalar reference at every tile
+    /// boundary.
+    #[test]
+    fn mixed_gemm_matches_reference(
+        seed in 0u64..1000,
+        boundary_tiles in 0usize..=2,
+    ) {
+        use flexiq::tensor::rng::seeded;
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        let (m, n, k) = (3usize, 4usize, 2 * TILE_K);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+        let w: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+        let act_max = vec![127u32; 2];
+        let kern = MixedGemm::new(&w, n, k, boundary_tiles * TILE_K, &act_max);
+        prop_assert_eq!(kern.run(&a, &w, m), kern.run_reference(&a, &w, m));
+    }
+
+    /// Channel reorder by a permutation then its inverse is the identity
+    /// on every supported layout.
+    #[test]
+    fn reorder_roundtrip(perm_seed in 0u64..500, c in 2usize..12) {
+        use flexiq::tensor::rng::seeded;
+        use rand::seq::SliceRandom;
+        let mut rng = seeded(perm_seed);
+        let mut perm: Vec<usize> = (0..c).collect();
+        perm.shuffle(&mut rng);
+        let x = Tensor::rand_uniform([c, 3, 2], -1.0, 1.0, &mut rng);
+        let y = reorder_channels(&x, &perm).unwrap();
+        let z = reorder_channels(&y, &invert_perm(&perm)).unwrap();
+        prop_assert_eq!(x.data(), z.data());
+        let t = Tensor::rand_uniform([5, c], -1.0, 1.0, &mut rng);
+        let y = reorder_channels(&t, &perm).unwrap();
+        let z = reorder_channels(&y, &invert_perm(&perm)).unwrap();
+        prop_assert_eq!(t.data(), z.data());
+    }
+
+    /// Effective bits grow monotonically with the calibrated range and
+    /// never exceed the source width.
+    #[test]
+    fn effective_bits_monotone(a in 0u32..=127, b in 0u32..=127) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let rl = BitLowering::for_max_abs(lo, QuantBits::B4);
+        let rh = BitLowering::for_max_abs(hi, QuantBits::B4);
+        prop_assert!(rl.effective_bits() <= rh.effective_bits());
+        prop_assert!(rh.effective_bits() <= 8);
+    }
+}
+
+#[test]
+fn nested_schedules_hold_for_random_strategies() {
+    // Deterministic-seed property sweep over the schedule builder.
+    use flexiq::core::pipeline::{prepare, FlexiQConfig};
+    use flexiq::core::selection::Strategy;
+    use flexiq::nn::data::gen_image_inputs;
+    use flexiq::nn::zoo::{ModelId, Scale};
+    let graph = ModelId::RNet20.build(Scale::Test).unwrap();
+    let calib = gen_image_inputs(3, &ModelId::RNet20.input_dims(Scale::Test), 9301);
+    for seed in 0..5u64 {
+        let mut cfg = FlexiQConfig::new(4, Strategy::Random);
+        cfg.seed = seed;
+        let prepared = prepare(&graph, &calib, &cfg).unwrap();
+        prepared.runtime.schedule().check_nested().unwrap();
+        let model = prepared.runtime.model();
+        let fr: Vec<f64> = prepared
+            .runtime
+            .schedule()
+            .plans
+            .iter()
+            .map(|p| p.low_param_fraction(model))
+            .collect();
+        for w in fr.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "seed {seed}: fractions {fr:?}");
+        }
+    }
+}
