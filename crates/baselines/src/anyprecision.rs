@@ -77,21 +77,31 @@ pub fn evaluate(graph: &Graph, data: &Dataset, bits: QuantBits) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexiq_nn::data::{gen_image_inputs, teacher_dataset};
+    use flexiq_nn::data::{gen_image_inputs, teacher_dataset_filtered};
     use flexiq_nn::zoo::{ModelId, Scale};
 
     #[test]
     fn joint_training_serves_all_widths() {
         let id = ModelId::RNet20;
         let mut graph = id.build(Scale::Test).unwrap();
-        let inputs = gen_image_inputs(12, &id.input_dims(Scale::Test), 471);
-        let data = teacher_dataset(&graph, inputs).unwrap();
-        let cfg = AnyPrecisionConfig { epochs: 2, batch: 6, ..Default::default() };
+        // Margin-filtered teacher labels: unfiltered labels on a random-init
+        // model have near-zero margins, so agreement after training measures
+        // label-flip noise rather than whether joint training preserved the
+        // function. A gentle single-epoch run keeps the check about "training
+        // at all widths jointly does not break any width".
+        let inputs = gen_image_inputs(32, &id.input_dims(Scale::Test), 471);
+        let data = teacher_dataset_filtered(&graph, inputs, 0.5).unwrap();
+        let cfg = AnyPrecisionConfig {
+            epochs: 1,
+            batch: 6,
+            lr: 5e-4,
+            ..Default::default()
+        };
         train(&mut graph, &data, &cfg).unwrap();
         let a4 = evaluate(&graph, &data, QuantBits::B4).unwrap();
         let a6 = evaluate(&graph, &data, QuantBits::B6).unwrap();
         let a8 = evaluate(&graph, &data, QuantBits::B8).unwrap();
-        assert!(a8 >= 60.0, "8-bit {a8}");
+        assert!(a8 >= 80.0, "8-bit {a8}");
         assert!(a6 >= a4 - 15.0, "6-bit {a6} vs 4-bit {a4}");
     }
 }

@@ -20,17 +20,15 @@ use crate::Result;
 
 /// Per-layer sensitivity: logits-space L2 perturbation from quantizing
 /// only that layer to `bits`.
-pub fn layer_sensitivities(
-    graph: &Graph,
-    samples: &[Tensor],
-    bits: QuantBits,
-) -> Result<Vec<f64>> {
+pub fn layer_sensitivities(graph: &Graph, samples: &[Tensor], bits: QuantBits) -> Result<Vec<f64>> {
     let reference = soft_labels(&graph.clone(), &mut F32Compute, samples)?;
     let n = graph.num_layers();
     let mut out = Vec::with_capacity(n);
     for l in 0..n {
         let mut hook = LayerWiseQuant {
-            bits: (0..n).map(|i| if i == l { bits } else { QuantBits::B8 }).collect(),
+            bits: (0..n)
+                .map(|i| if i == l { bits } else { QuantBits::B8 })
+                .collect(),
             scale_mult: vec![1.0; n],
         };
         // 8-bit elsewhere approximates "full precision elsewhere" while
@@ -54,14 +52,11 @@ pub struct HawqAssignment {
 
 /// Builds the assignment: lower the least-sensitive layers to 4 bits
 /// (per unit of parameter count) until the average hits `avg_bits`.
-pub fn assign(
-    graph: &Graph,
-    sensitivities: &[f64],
-    avg_bits: f64,
-) -> Result<HawqAssignment> {
+pub fn assign(graph: &Graph, sensitivities: &[f64], avg_bits: f64) -> Result<HawqAssignment> {
     let n = graph.num_layers();
-    let params: Vec<f64> =
-        (0..n).map(|l| graph.layer(l).map(|v| v.num_params()).unwrap_or(0) as f64).collect();
+    let params: Vec<f64> = (0..n)
+        .map(|l| graph.layer(l).map(|v| v.num_params()).unwrap_or(0) as f64)
+        .collect();
     // Sensitivity per parameter: lowering cheap-but-insensitive layers
     // first maximizes budget use (HAWQv3's ILP reduces to this greedy in
     // the two-level case).
@@ -117,11 +112,14 @@ mod tests {
         // generous budget.
         let a7 = assign(&graph, &sens, 7.5).unwrap();
         let n = graph.num_layers();
-        let params: Vec<f64> =
-            (0..n).map(|l| graph.layer(l).unwrap().num_params() as f64).collect();
+        let params: Vec<f64> = (0..n)
+            .map(|l| graph.layer(l).unwrap().num_params() as f64)
+            .collect();
         let most_sensitive = (0..n)
             .max_by(|&a, &b| {
-                (sens[a] / params[a]).partial_cmp(&(sens[b] / params[b])).unwrap()
+                (sens[a] / params[a])
+                    .partial_cmp(&(sens[b] / params[b]))
+                    .unwrap()
             })
             .unwrap();
         assert_eq!(a7.plan.bits[most_sensitive], QuantBits::B8);

@@ -47,7 +47,10 @@ pub fn calibrate(graph: &Graph, widths: &[QuantBits]) -> Result<PtmqModel> {
         }
         scale_mult.push(row);
     }
-    Ok(PtmqModel { widths: widths.to_vec(), scale_mult })
+    Ok(PtmqModel {
+        widths: widths.to_vec(),
+        scale_mult,
+    })
 }
 
 impl PtmqModel {
@@ -80,8 +83,7 @@ mod tests {
     #[test]
     fn refined_scales_do_not_hurt_weight_mse() {
         let graph = ModelId::RNet20.build(Scale::Test).unwrap();
-        let model =
-            calibrate(&graph, &[QuantBits::B4, QuantBits::B6, QuantBits::B8]).unwrap();
+        let model = calibrate(&graph, &[QuantBits::B4, QuantBits::B6, QuantBits::B8]).unwrap();
         // At 4 bits the best multiplier is often < 1 (clipping outliers
         // trades range for resolution); at 8 bits ~1.0 wins.
         for l in 0..graph.num_layers() {

@@ -86,17 +86,25 @@ pub fn evaluate(graph: &Graph, data: &Dataset, bits: QuantBits) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexiq_nn::data::{gen_image_inputs, teacher_dataset};
+    use flexiq_nn::data::{gen_image_inputs, teacher_dataset_filtered};
     use flexiq_nn::zoo::{ModelId, Scale};
 
     #[test]
     fn training_does_not_break_high_bits_and_helps_low_bits() {
         let id = ModelId::RNet20;
         let mut graph = id.build(Scale::Test).unwrap();
-        let inputs = gen_image_inputs(16, &id.input_dims(Scale::Test), 461);
-        let data = teacher_dataset(&graph, inputs).unwrap();
+        // Margin-filtered labels and a gentle lr for the same reason as the
+        // anyprecision test: keep the assertion about training health, not
+        // about near-zero-margin label flips.
+        let inputs = gen_image_inputs(32, &id.input_dims(Scale::Test), 461);
+        let data = teacher_dataset_filtered(&graph, inputs, 0.5).unwrap();
         let before4 = evaluate(&graph, &data, QuantBits::B4).unwrap();
-        let cfg = RobustTrainConfig { epochs: 2, batch: 8, ..Default::default() };
+        let cfg = RobustTrainConfig {
+            epochs: 1,
+            batch: 8,
+            lr: 5e-4,
+            ..Default::default()
+        };
         train(&mut graph, &data, &cfg).unwrap();
         let after4 = evaluate(&graph, &data, QuantBits::B4).unwrap();
         let after8 = evaluate(&graph, &data, QuantBits::B8).unwrap();

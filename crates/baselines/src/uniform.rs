@@ -130,7 +130,10 @@ mod tests {
         // At Test scale (2 blocks, 12 samples) the collapse is muted but
         // INT4 must clearly trail INT8; the full effect shows at Eval
         // scale (exp_table2_accuracy: ViT INT4 in the teens).
-        assert!(a4 <= a8 - 8.0, "uniform INT4 should trail INT8: {a4} vs {a8}");
+        assert!(
+            a4 <= a8 - 8.0,
+            "uniform INT4 should trail INT8: {a4} vs {a8}"
+        );
     }
 
     #[test]

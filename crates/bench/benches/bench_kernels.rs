@@ -22,8 +22,12 @@ fn bench_reference_gemms(c: &mut Criterion) {
     let (m, n, k) = (32, 64, 256);
     let af: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let bf: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let ai: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
-    let bi: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+    let ai: Vec<i8> = (0..m * k)
+        .map(|_| rng.gen_range(-100i16..=100) as i8)
+        .collect();
+    let bi: Vec<i8> = (0..k * n)
+        .map(|_| rng.gen_range(-100i16..=100) as i8)
+        .collect();
     let mut g = c.benchmark_group("reference_gemm_32x64x256");
     g.bench_function("f32", |bch| {
         bch.iter(|| {
@@ -45,8 +49,12 @@ fn bench_reference_gemms(c: &mut Criterion) {
 fn bench_mixed_gemm_boundaries(c: &mut Criterion) {
     let mut rng = seeded(2002);
     let (m, n, k) = (16, 64, 256);
-    let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
-    let w: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+    let a: Vec<i8> = (0..m * k)
+        .map(|_| rng.gen_range(-100i16..=100) as i8)
+        .collect();
+    let w: Vec<i8> = (0..n * k)
+        .map(|_| rng.gen_range(-100i16..=100) as i8)
+        .collect();
     let act_max = vec![100u32; k / 32];
     let mut g = c.benchmark_group("mixed_gemm_16x64x256");
     for boundary in [0usize, 64, 128, 192, 256] {
@@ -62,7 +70,9 @@ fn bench_mixed_gemm_boundaries(c: &mut Criterion) {
 
 fn bench_bit_extraction(c: &mut Criterion) {
     let mut rng = seeded(2003);
-    let values: Vec<i8> = (0..4096).map(|_| rng.gen_range(-64i16..=63) as i8).collect();
+    let values: Vec<i8> = (0..4096)
+        .map(|_| rng.gen_range(-64i16..=63) as i8)
+        .collect();
     let rule = BitLowering::for_max_abs(63, QuantBits::B4);
     let mut g = c.benchmark_group("bit_extraction_4096");
     g.bench_function("static_lower", |bch| {

@@ -22,7 +22,13 @@ fn bench_ratio_switch(c: &mut Criterion) {
 
 fn bench_instruction_reload(c: &mut Criterion) {
     let program: Vec<Instr> = (0..64)
-        .map(|i| if i % 2 == 0 { Instr::LoadWeights { tile: i } } else { Instr::Gemm { n: 196 } })
+        .map(|i| {
+            if i % 2 == 0 {
+                Instr::LoadWeights { tile: i }
+            } else {
+                Instr::Gemm { n: 196 }
+            }
+        })
         .collect();
     c.bench_function("npu_instruction_reload_64", |b| {
         b.iter(|| {
@@ -36,10 +42,18 @@ fn bench_npu_tile(c: &mut Criterion) {
     let mut rng = seeded(2101);
     let arr = SystolicArray::new(NpuConfig::default());
     let w: Vec<Vec<i8>> = (0..32)
-        .map(|_| (0..32).map(|_| rng.gen_range(-100i16..=100) as i8).collect())
+        .map(|_| {
+            (0..32)
+                .map(|_| rng.gen_range(-100i16..=100) as i8)
+                .collect()
+        })
         .collect();
     let a: Vec<Vec<i8>> = (0..32)
-        .map(|_| (0..64).map(|_| rng.gen_range(-100i16..=100) as i8).collect())
+        .map(|_| {
+            (0..64)
+                .map(|_| rng.gen_range(-100i16..=100) as i8)
+                .collect()
+        })
         .collect();
     c.bench_function("npu_tile_int8_32x32x64", |b| {
         b.iter(|| arr.run_tile(Precision::Int8, black_box(&w), black_box(&a), None, None))
@@ -60,7 +74,9 @@ fn bench_quantized_inference(c: &mut Criterion) {
     prepared.runtime.set_ratio(0.0).unwrap();
     g.bench_function("int8", |b| b.iter(|| prepared.runtime.infer(black_box(x))));
     prepared.runtime.set_ratio(1.0).unwrap();
-    g.bench_function("flexiq_100", |b| b.iter(|| prepared.runtime.infer(black_box(x))));
+    g.bench_function("flexiq_100", |b| {
+        b.iter(|| prepared.runtime.infer(black_box(x)))
+    });
     g.finish();
 }
 

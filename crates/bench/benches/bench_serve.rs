@@ -1,0 +1,122 @@
+//! Criterion benches for the live serving stack: served throughput at
+//! fixed ratio levels vs. under the measured-latency adaptive
+//! controller, plus the admission queue's raw dispatch cost.
+//!
+//! Each serving benchmark times one closed-loop wave of requests against
+//! a running server (the server itself is started once per benchmark,
+//! outside the timed region), so an iteration's cost is dominated by
+//! real `FlexiRuntime` forward passes dispatched batch-wise (the graph
+//! executor itself is single-sample; see `flexiq-serve`'s worker docs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use flexiq_core::pipeline::{prepare, FlexiQConfig};
+use flexiq_core::runtime::LEVEL_INT8;
+use flexiq_core::selection::Strategy;
+use flexiq_core::FlexiRuntime;
+use flexiq_nn::data::gen_image_inputs;
+use flexiq_nn::zoo::{ModelId, Scale};
+use flexiq_serve::{closed_loop, ServeConfig, Server};
+use flexiq_tensor::Tensor;
+
+fn runtime_and_inputs() -> (Arc<FlexiRuntime>, Vec<Tensor>) {
+    let id = ModelId::RNet20;
+    let graph = id.build(Scale::Test).unwrap();
+    let calib = gen_image_inputs(8, &id.input_dims(Scale::Test), 8801);
+    let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    (Arc::new(prepared.runtime), calib)
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 8,
+        batch_timeout: Duration::from_millis(1),
+        queue_capacity: 1024,
+        ..Default::default()
+    }
+}
+
+/// One closed-loop wave: 8 clients × 8 requests.
+fn wave(server: &Server, inputs: &[Tensor]) -> u64 {
+    let report = closed_loop(server, inputs, 8, 8);
+    assert_eq!(
+        report.failed + report.exec_failed,
+        0,
+        "bench wave must not fail"
+    );
+    report.completed
+}
+
+fn bench_fixed_levels(c: &mut Criterion) {
+    let (rt, inputs) = runtime_and_inputs();
+    let mut g = c.benchmark_group("served_wave_64req");
+    // Pure INT8 plus every schedule level.
+    let mut levels = vec![(LEVEL_INT8, "int8".to_string())];
+    for (i, r) in rt.schedule().ratios.iter().enumerate() {
+        levels.push((i, format!("flexiq_{:.0}", r * 100.0)));
+    }
+    for (level, name) in levels {
+        rt.set_level(level).unwrap();
+        let server = Server::start_fixed(Arc::clone(&rt), serve_cfg()).unwrap();
+        g.bench_with_input(BenchmarkId::new("fixed", &name), &name, |b, _| {
+            b.iter(|| wave(&server, &inputs))
+        });
+        server.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let (rt, inputs) = runtime_and_inputs();
+    rt.set_level(LEVEL_INT8).unwrap();
+    let server = Server::start_adaptive(Arc::clone(&rt), serve_cfg()).unwrap();
+    c.bench_function("served_wave_64req/adaptive", |b| {
+        b.iter(|| wave(&server, &inputs))
+    });
+    server.shutdown();
+}
+
+fn bench_queue_dispatch(c: &mut Criterion) {
+    use flexiq_serve::queue::AdmissionQueue;
+    use flexiq_serve::request::QueuedRequest;
+    use std::time::Instant;
+    let mut g = c.benchmark_group("admission_queue");
+    g.bench_function("push_pop_batch_64", |b| {
+        let q = AdmissionQueue::new(1024);
+        b.iter(|| {
+            let mut rxs = Vec::with_capacity(64);
+            for i in 0..64u64 {
+                let (tx, rx) = std::sync::mpsc::channel();
+                rxs.push(rx);
+                q.try_push(QueuedRequest {
+                    id: i,
+                    input: Tensor::zeros([1]),
+                    enqueued_at: Instant::now(),
+                    deadline: None,
+                    reply: tx,
+                })
+                .unwrap();
+            }
+            let mut popped = 0;
+            while popped < 64 {
+                popped += q
+                    .pop_batch(16, Duration::from_micros(1))
+                    .map(|(b, _)| b.len())
+                    .unwrap_or(0);
+            }
+            popped
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    serve,
+    bench_fixed_levels,
+    bench_adaptive,
+    bench_queue_dispatch
+);
+criterion_main!(serve);

@@ -41,13 +41,19 @@ fn main() {
 
     // Right panel: 50% 4-bit error with/without extraction.
     let rep = extraction_error_report(&w, 1, groups, 0.5).unwrap();
-    let mut right = ResultTable::new(
-        "Fig. 1 (right) — 50% 4-bit weight MSE",
-        &["Config", "MSE"],
-    );
-    right.row(vec!["INT8 floor".into(), format!("{:.3e}", rep.int8_baseline)]);
-    right.row(vec!["with extraction".into(), format!("{:.3e}", rep.with_extraction)]);
-    right.row(vec!["without extraction".into(), format!("{:.3e}", rep.without_extraction)]);
+    let mut right = ResultTable::new("Fig. 1 (right) — 50% 4-bit weight MSE", &["Config", "MSE"]);
+    right.row(vec![
+        "INT8 floor".into(),
+        format!("{:.3e}", rep.int8_baseline),
+    ]);
+    right.row(vec![
+        "with extraction".into(),
+        format!("{:.3e}", rep.with_extraction),
+    ]);
+    right.row(vec![
+        "without extraction".into(),
+        format!("{:.3e}", rep.without_extraction),
+    ]);
     right.emit("fig01_extraction_error");
     println!(
         "extraction reduces the 50% 4-bit error by {:.1}x",

@@ -50,7 +50,10 @@ fn main() {
     );
     let int4_model = w.model_latency_us(&m, 16, KernelKind::UniformInt4) / 1e3;
     for r in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let kind = KernelKind::FlexiQ { low_fraction: r, dynamic_extract: false };
+        let kind = KernelKind::FlexiQ {
+            low_fraction: r,
+            dynamic_extract: false,
+        };
         gpu.row(vec![
             format!("{:.0}", r * 100.0),
             f2(w.gemm_latency_us(&m, 16, kind) / 1e3),

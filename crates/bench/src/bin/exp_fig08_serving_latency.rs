@@ -32,7 +32,9 @@ impl ServiceModel for GpuService {
                 dynamic_extract: false,
             },
         };
-        self.workload.model_latency_us(&self.model, batch.max(1), kind) / 1e6
+        self.workload
+            .model_latency_us(&self.model, batch.max(1), kind)
+            / 1e6
     }
 
     fn levels(&self) -> usize {
@@ -43,16 +45,25 @@ impl ServiceModel for GpuService {
 fn main() {
     for workload in [vit_base(), swin_small()] {
         let name = workload.name;
-        let svc = GpuService { workload, model: LatencyModel::new(GpuProfile::A6000) };
+        let svc = GpuService {
+            workload,
+            model: LatencyModel::new(GpuProfile::A6000),
+        };
         let labels = ["INT8", "F25", "F50", "F75", "F100", "INT4"];
-        let rates = [100.0, 300.0, 600.0, 900.0, 1200.0, 1500.0, 2000.0, 2500.0, 3000.0];
+        let rates = [
+            100.0, 300.0, 600.0, 900.0, 1200.0, 1500.0, 2000.0, 2500.0, 3000.0,
+        ];
         let mut med_t = ResultTable::new(
             format!("Fig. 8 — {name}: median latency (ms) vs request rate"),
-            &["Config", "100", "300", "600", "900", "1200", "1500", "2000", "2500", "3000"],
+            &[
+                "Config", "100", "300", "600", "900", "1200", "1500", "2000", "2500", "3000",
+            ],
         );
         let mut p90_t = ResultTable::new(
             format!("Fig. 8 — {name}: p90 latency (ms) vs request rate"),
-            &["Config", "100", "300", "600", "900", "1200", "1500", "2000", "2500", "3000"],
+            &[
+                "Config", "100", "300", "600", "900", "1200", "1500", "2000", "2500", "3000",
+            ],
         );
         for (level, label) in labels.iter().enumerate() {
             let mut med_row = vec![label.to_string()];
@@ -63,7 +74,10 @@ fn main() {
                     &arrivals,
                     &svc,
                     &mut FixedLevel(level),
-                    SimConfig { max_batch: 32, ..Default::default() },
+                    SimConfig {
+                        max_batch: 32,
+                        ..Default::default()
+                    },
                 );
                 let lat = res.latencies();
                 med_row.push(f2(median(&lat) * 1e3));
@@ -86,7 +100,10 @@ fn main() {
                     &arrivals,
                     &svc,
                     &mut FixedLevel(level),
-                    SimConfig { max_batch: 32, ..Default::default() },
+                    SimConfig {
+                        max_batch: 32,
+                        ..Default::default()
+                    },
                 );
                 if p90(&res.latencies()) < 0.25 {
                     best = rate;
@@ -95,6 +112,9 @@ fn main() {
             best
         };
         let (r8, rf) = (knee(0), knee(4));
-        println!("{name}: FlexiQ-100% sustains {:.2}x the INT8 rate at iso-p90\n", rf / r8.max(1.0));
+        println!(
+            "{name}: FlexiQ-100% sustains {:.2}x the INT8 rate at iso-p90\n",
+            rf / r8.max(1.0)
+        );
     }
 }

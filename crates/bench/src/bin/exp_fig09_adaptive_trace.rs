@@ -24,9 +24,14 @@ impl ServiceModel for GpuService {
     fn service_s(&self, batch: usize, level: usize) -> f64 {
         let kind = match level {
             0 => KernelKind::UniformInt8,
-            l => KernelKind::FlexiQ { low_fraction: 0.25 * l as f64, dynamic_extract: false },
+            l => KernelKind::FlexiQ {
+                low_fraction: 0.25 * l as f64,
+                dynamic_extract: false,
+            },
         };
-        self.workload.model_latency_us(&self.model, batch.max(1), kind) / 1e6
+        self.workload
+            .model_latency_us(&self.model, batch.max(1), kind)
+            / 1e6
     }
 
     fn levels(&self) -> usize {
@@ -35,8 +40,14 @@ impl ServiceModel for GpuService {
 }
 
 fn main() {
-    let svc = GpuService { workload: vit_base(), model: LatencyModel::new(GpuProfile::A6000) };
-    let cfg = SimConfig { max_batch: 32, ..Default::default() };
+    let svc = GpuService {
+        workload: vit_base(),
+        model: LatencyModel::new(GpuProfile::A6000),
+    };
+    let cfg = SimConfig {
+        max_batch: 32,
+        ..Default::default()
+    };
     let (arrivals, segments) = azure_like_trace(500.0, 2.0, 15, 901);
 
     // Offline profile (Fig. 8) drives the controller.
@@ -56,7 +67,14 @@ fn main() {
 
     let mut table = ResultTable::new(
         "Fig. 9 — ViT-B under a fluctuating trace: windowed median latency (ms)",
-        &["t(s)", "rate(rps)", "INT8", "FlexiQ-adaptive", "INT4", "level"],
+        &[
+            "t(s)",
+            "rate(rps)",
+            "INT8",
+            "FlexiQ-adaptive",
+            "INT4",
+            "level",
+        ],
     );
     let w = 2.0;
     let m8 = windowed_median(&res_int8.time_series(), w);

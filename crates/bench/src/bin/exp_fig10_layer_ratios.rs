@@ -32,6 +32,9 @@ fn main() {
             }
             table.row(row);
         }
-        table.emit(&format!("fig10_layer_ratios_{}", id.name().to_lowercase().replace('-', "_")));
+        table.emit(&format!(
+            "fig10_layer_ratios_{}",
+            id.name().to_lowercase().replace('-', "_")
+        ));
     }
 }

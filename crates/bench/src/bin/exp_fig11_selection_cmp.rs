@@ -16,7 +16,12 @@ fn main() {
         "Fig. 11 — selection strategies, accuracy (%) per 4-bit ratio",
         &["Model", "Strategy", "25%", "50%", "75%", "100%"],
     );
-    for id in [ModelId::RNet18, ModelId::ViTS, ModelId::SwinS, ModelId::MNetV2] {
+    for id in [
+        ModelId::RNet18,
+        ModelId::ViTS,
+        ModelId::SwinS,
+        ModelId::MNetV2,
+    ] {
         let fx = Fixture::new(id, scale);
         for (name, strategy) in [
             ("random", Strategy::Random),

@@ -17,7 +17,7 @@ fn main() {
         let model = prepared.runtime.model();
         let mut table = ResultTable::new(
             format!("Fig. 12 — {}: % of channels with N unused bits", id.name()),
-            &["Layer", "w:0", "w:1", "w:2", "w:3", "w:4+", "a:1+", ],
+            &["Layer", "w:0", "w:1", "w:2", "w:3", "w:4+", "a:1+"],
         );
         let mut any_unused = 0usize;
         for (l, lq) in model.layers.iter().enumerate() {

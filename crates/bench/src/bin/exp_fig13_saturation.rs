@@ -30,18 +30,29 @@ impl SatProbe<'_> {
         let per_channel: Vec<Vec<i8>> = if dims.len() == 3 && dims[0] == c_in {
             let hw = dims[1] * dims[2];
             (0..c_in)
-                .map(|c| x.data()[c * hw..(c + 1) * hw].iter().map(|&v| p.quantize(v) as i8).collect())
+                .map(|c| {
+                    x.data()[c * hw..(c + 1) * hw]
+                        .iter()
+                        .map(|&v| p.quantize(v) as i8)
+                        .collect()
+                })
                 .collect()
         } else {
             let t = x.numel() / c_in.max(1);
             (0..c_in)
-                .map(|c| (0..t).map(|ti| p.quantize(x.data()[ti * c_in + c]) as i8).collect())
+                .map(|c| {
+                    (0..t)
+                        .map(|ti| p.quantize(x.data()[ti * c_in + c]) as i8)
+                        .collect()
+                })
                 .collect()
         };
         for g in 0..lq.num_groups() {
             let range = self.model.groups.channel_range(g, c_in);
-            let live: Vec<i8> =
-                range.clone().flat_map(|c| per_channel[c].iter().copied()).collect();
+            let live: Vec<i8> = range
+                .clone()
+                .flat_map(|c| per_channel[c].iter().copied())
+                .collect();
             let rule = lq.act_lowering(g, QuantBits::B4);
             self.stats[layer].record(rule, &live);
         }
@@ -66,13 +77,17 @@ fn main() {
         "Fig. 13 — saturated activation groups under static windows (%)",
         &["Model", "NonSat", "Sat+1bit", "Sat+2bit", "Sat+3bit"],
     );
-    for id in [ModelId::ViTS, ModelId::RNet50, ModelId::RNet18, ModelId::SwinS] {
+    for id in [
+        ModelId::ViTS,
+        ModelId::RNet50,
+        ModelId::RNet18,
+        ModelId::SwinS,
+    ] {
         let fx = Fixture::new(id, scale);
         // The paper presumes ranges covering 99% of values (§8.6);
         // min-max calibration would never saturate by construction.
         let mut cfg = flexiq_core::pipeline::FlexiQConfig::new(8, Strategy::Greedy);
-        cfg.calib.channel_ranges =
-            flexiq_nn::calibrate::ChannelRangeKind::Percentile(0.99);
+        cfg.calib.channel_ranges = flexiq_nn::calibrate::ChannelRangeKind::Percentile(0.99);
         let prepared = flexiq_core::pipeline::prepare(&fx.graph, &fx.calib, &cfg).unwrap();
         let model = prepared.runtime.model();
         let mut probe = SatProbe {

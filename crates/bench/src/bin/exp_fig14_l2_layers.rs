@@ -32,8 +32,10 @@ fn main() {
         &["Layer", "INT4", "Flexi25", "Flexi50", "Flexi75", "Flexi100"],
     );
     for l in 0..fx.graph.num_layers() {
-        let mut row =
-            vec![fx.graph.layer_label(l), format!("{:.4}", per_level[0][l].uniform_int4)];
+        let mut row = vec![
+            fx.graph.layer_label(l),
+            format!("{:.4}", per_level[0][l].uniform_int4),
+        ];
         for lv in &per_level {
             row.push(format!("{:.4}", lv[l].flexiq));
         }
@@ -43,8 +45,7 @@ fn main() {
 
     // Aggregate shape check.
     let n = fx.graph.num_layers() as f64;
-    let mean_int4: f64 =
-        per_level[0].iter().map(|e| e.uniform_int4).sum::<f64>() / n;
+    let mean_int4: f64 = per_level[0].iter().map(|e| e.uniform_int4).sum::<f64>() / n;
     let mean_f50: f64 = per_level[1].iter().map(|e| e.flexiq).sum::<f64>() / n;
     println!(
         "mean INT4 error {:.4} vs FlexiQ-50% {:.4} (paper: 12.5% vs <7.4%)",

@@ -56,10 +56,18 @@ fn train_lm(graph: &mut flexiq_nn::Graph, seqs: &[flexiq_tensor::Tensor], epochs
 fn main() {
     let mut graph = ModelId::TinyLm.build(Scale::Eval).unwrap();
     let cfg = TinyLmCfg::at(Scale::Eval);
-    let calib_seqs = lm_sequences(&gen_token_stream(cfg.vocab, 64 * cfg.context, 1001), cfg.context);
-    let eval_seqs = lm_sequences(&gen_token_stream(cfg.vocab, 96 * cfg.context, 1002), cfg.context);
-    let train_seqs =
-        lm_sequences(&gen_token_stream(cfg.vocab, 192 * cfg.context, 1003), cfg.context);
+    let calib_seqs = lm_sequences(
+        &gen_token_stream(cfg.vocab, 64 * cfg.context, 1001),
+        cfg.context,
+    );
+    let eval_seqs = lm_sequences(
+        &gen_token_stream(cfg.vocab, 96 * cfg.context, 1002),
+        cfg.context,
+    );
+    let train_seqs = lm_sequences(
+        &gen_token_stream(cfg.vocab, 192 * cfg.context, 1003),
+        cfg.context,
+    );
     eprintln!("[training TinyLm on the synthetic stream]");
     train_lm(&mut graph, &train_seqs, 60);
     let graph = graph;
@@ -83,12 +91,18 @@ fn main() {
     };
     table.row(vec![
         "INT8 (FlexiQ 0%)".into(),
-        format!("{:.2}", ppl_at(flexiq_nn::qexec::MixedPlan::all_high(model))),
+        format!(
+            "{:.2}",
+            ppl_at(flexiq_nn::qexec::MixedPlan::all_high(model))
+        ),
     ]);
     for (i, &r) in prepared.runtime.schedule().ratios.iter().enumerate() {
         table.row(vec![
             format!("FlexiQ {:.0}%", r * 100.0),
-            format!("{:.2}", ppl_at(prepared.runtime.schedule().plans[i].clone())),
+            format!(
+                "{:.2}",
+                ppl_at(prepared.runtime.schedule().plans[i].clone())
+            ),
         ]);
     }
     let mut int4 = LayerWiseQuant::uniform(&graph, QuantBits::B4);

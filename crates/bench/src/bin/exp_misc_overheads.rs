@@ -11,8 +11,8 @@ use std::time::Instant;
 use flexiq_bench::{ExpScale, Fixture, ResultTable};
 use flexiq_core::selection::Strategy;
 use flexiq_gpu_sim::switch::RatioSwitch;
-use flexiq_npu_sim::isa::{Instr, InstructionMemory};
 use flexiq_nn::zoo::ModelId;
+use flexiq_npu_sim::isa::{Instr, InstructionMemory};
 use flexiq_quant::dynamic::dynamic_overhead_fraction;
 
 fn main() {
@@ -50,7 +50,13 @@ fn main() {
     // NPU instruction reload.
     let mut im = InstructionMemory::new();
     let program: Vec<Instr> = (0..48)
-        .map(|i| if i % 2 == 0 { Instr::LoadWeights { tile: i } } else { Instr::Gemm { n: 64 } })
+        .map(|i| {
+            if i % 2 == 0 {
+                Instr::LoadWeights { tile: i }
+            } else {
+                Instr::Gemm { n: 64 }
+            }
+        })
         .collect();
     let us = im.load(program, 200.0);
     table.row(vec![
@@ -62,7 +68,10 @@ fn main() {
     for c_out in [64usize, 768, 3072] {
         table.row(vec![
             format!("dynamic extraction overhead (c_out={c_out})"),
-            format!("{:.1} % (paper: 2–5%)", 100.0 * dynamic_overhead_fraction(c_out)),
+            format!(
+                "{:.1} % (paper: 2–5%)",
+                100.0 * dynamic_overhead_fraction(c_out)
+            ),
         ]);
     }
 

@@ -21,8 +21,7 @@ fn main() {
     let mut table = ResultTable::new(
         "Table 2 — FlexiQ 4/8-bit mixed-precision accuracy (%)",
         &[
-            "Model", "INT4", "F100", "F75", "F50", "F25", "INT8", "ft-INT4", "ft-F100",
-            "ft-INT8",
+            "Model", "INT4", "F100", "F75", "F50", "F25", "INT8", "ft-INT4", "ft-F100", "ft-INT8",
         ],
     );
     for id in ModelId::VISION {

@@ -19,10 +19,34 @@ fn main() {
         );
         let kinds: Vec<(String, KernelKind)> = vec![
             ("INT8".into(), KernelKind::UniformInt8),
-            ("FlexiQ 25%".into(), KernelKind::FlexiQ { low_fraction: 0.25, dynamic_extract: false }),
-            ("FlexiQ 50%".into(), KernelKind::FlexiQ { low_fraction: 0.5, dynamic_extract: false }),
-            ("FlexiQ 75%".into(), KernelKind::FlexiQ { low_fraction: 0.75, dynamic_extract: false }),
-            ("FlexiQ 100%".into(), KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false }),
+            (
+                "FlexiQ 25%".into(),
+                KernelKind::FlexiQ {
+                    low_fraction: 0.25,
+                    dynamic_extract: false,
+                },
+            ),
+            (
+                "FlexiQ 50%".into(),
+                KernelKind::FlexiQ {
+                    low_fraction: 0.5,
+                    dynamic_extract: false,
+                },
+            ),
+            (
+                "FlexiQ 75%".into(),
+                KernelKind::FlexiQ {
+                    low_fraction: 0.75,
+                    dynamic_extract: false,
+                },
+            ),
+            (
+                "FlexiQ 100%".into(),
+                KernelKind::FlexiQ {
+                    low_fraction: 1.0,
+                    dynamic_extract: false,
+                },
+            ),
             ("INT4".into(), KernelKind::UniformInt4),
         ];
         for (label, kind) in kinds {
@@ -42,11 +66,19 @@ fn main() {
             / w.model_latency_us(
                 &m,
                 128,
-                KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+                KernelKind::FlexiQ {
+                    low_fraction: 1.0,
+                    dynamic_extract: false,
+                },
             )
     };
     println!("FlexiQ-100% speedup over INT8 at batch 128:");
     for gpu in GpuProfile::ALL {
-        println!("  {:6} {:.2}x (cuda/tensor ratio {:.3})", gpu.name, speedup(gpu), gpu.cuda_tensor_ratio());
+        println!(
+            "  {:6} {:.2}x (cuda/tensor ratio {:.3})",
+            gpu.name,
+            speedup(gpu),
+            gpu.cuda_tensor_ratio()
+        );
     }
 }

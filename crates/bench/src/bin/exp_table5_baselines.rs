@@ -19,7 +19,12 @@ fn main() {
         "Table 5 — multi-precision schemes, relative accuracy (Δ% vs FP)",
         &["Model", "Method", "4-bit", "6-bit", "8-bit"],
     );
-    for id in [ModelId::RNet18, ModelId::RNet50, ModelId::ViTB, ModelId::DeiTS] {
+    for id in [
+        ModelId::RNet18,
+        ModelId::RNet50,
+        ModelId::ViTB,
+        ModelId::DeiTS,
+    ] {
         let fx = Fixture::new(id, scale);
         let fp = 100.0; // teacher agreement of the FP32 model
 
@@ -38,9 +43,7 @@ fn main() {
         ]);
 
         // HAWQ-style static layer-wise assignment.
-        let h = |bits: f64| {
-            hawq::evaluate(&fx.graph, &fx.data, bits, &fx.calib[..4]).unwrap() - fp
-        };
+        let h = |bits: f64| hawq::evaluate(&fx.graph, &fx.data, bits, &fx.calib[..4]).unwrap() - fp;
         table.row(vec![
             id.name().into(),
             "HAWQ-style".into(),
@@ -50,11 +53,8 @@ fn main() {
         ]);
 
         // PTMQ-style multi-bit scale sets.
-        let ptmq_model = ptmq::calibrate(
-            &fx.graph,
-            &[QuantBits::B4, QuantBits::B6, QuantBits::B8],
-        )
-        .unwrap();
+        let ptmq_model =
+            ptmq::calibrate(&fx.graph, &[QuantBits::B4, QuantBits::B6, QuantBits::B8]).unwrap();
         let p = |b: QuantBits| ptmq_model.evaluate(&fx.graph, &fx.data, b).unwrap() - fp;
         table.row(vec![
             id.name().into(),

@@ -11,7 +11,12 @@ use flexiq_nn::zoo::ModelId;
 
 fn main() {
     let scale = ExpScale::from_env();
-    let models = [ModelId::RNet18, ModelId::RNet50, ModelId::ViTS, ModelId::SwinS];
+    let models = [
+        ModelId::RNet18,
+        ModelId::RNet50,
+        ModelId::ViTS,
+        ModelId::SwinS,
+    ];
     let mut table = ResultTable::new(
         "Table 7 — ablation at 75% 4-bit / 25% 8-bit (accuracy %)",
         &["Optimization", "RNet18", "RNet50", "ViT-S", "Swin-S"],
@@ -24,7 +29,11 @@ fn main() {
         cfg.finetune.epochs = scale.finetune_epochs.max(1);
         cfg.calib_samples = 8;
         let rows = run_ablation(&fx.graph, &fx.data, &cfg).unwrap();
-        columns.push(rows.into_iter().map(|(s, a)| (s.label().to_string(), a)).collect());
+        columns.push(
+            rows.into_iter()
+                .map(|(s, a)| (s.label().to_string(), a))
+                .collect(),
+        );
         eprintln!("[{} done]", id.name());
     }
     for stage in 0..columns[0].len() {

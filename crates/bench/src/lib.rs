@@ -37,7 +37,10 @@ impl ExpScale {
     /// Reads the scale from the environment (with defaults).
     pub fn from_env() -> Self {
         let get = |k: &str, d: usize| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         ExpScale {
             eval_samples: get("FLEXIQ_SAMPLES", 48),
@@ -67,7 +70,12 @@ impl Fixture {
         let pool = gen_image_inputs(scale.eval_samples * 4, &dims, 0xDA7A ^ id as u64);
         let data = teacher_dataset_filtered(&graph, pool, 0.25).expect("teacher labelling");
         let calib = gen_image_inputs(scale.calib_samples, &dims, 0xCA11B ^ id as u64);
-        Fixture { id, graph, data, calib }
+        Fixture {
+            id,
+            graph,
+            data,
+            calib,
+        }
     }
 
     /// Runs the FlexiQ pipeline with a strategy.
@@ -80,7 +88,12 @@ impl Fixture {
     /// The harness default evolutionary configuration (reduced from the
     /// paper's 50×50 to stay CPU-friendly; see DESIGN.md §3).
     pub fn evolution() -> EvolutionConfig {
-        EvolutionConfig { population: 8, generations: 6, parents: 4, ..Default::default() }
+        EvolutionConfig {
+            population: 8,
+            generations: 6,
+            parents: 4,
+            ..Default::default()
+        }
     }
 }
 
@@ -123,7 +136,10 @@ impl ResultTable {
         let line = |cells: &[String], out: &mut String| {
             let mut parts = Vec::new();
             for (i, c) in cells.iter().enumerate() {
-                parts.push(format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)));
+                parts.push(format!(
+                    "{c:>width$}",
+                    width = widths.get(i).copied().unwrap_or(8)
+                ));
             }
             let _ = writeln!(out, "{}", parts.join("  "));
         };

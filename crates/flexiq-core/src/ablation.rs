@@ -91,7 +91,10 @@ impl AblationConfig {
             ratio: 0.75,
             group_size,
             evolution: EvolutionConfig::fast(),
-            finetune: FinetuneConfig { epochs: 2, ..FinetuneConfig::paper_default(group_size) },
+            finetune: FinetuneConfig {
+                epochs: 2,
+                ..FinetuneConfig::paper_default(group_size)
+            },
             calib_samples: 4,
             fitness_samples: 4,
             seed: 0xAB1A,
@@ -127,29 +130,68 @@ pub fn run_ablation(
         accuracy(graph, &mut hook, data)
     };
 
-    let naive = QuantExecOptions { naive_lowering: true, ..Default::default() };
-    let dynamic = QuantExecOptions { dynamic_extract: true, ..Default::default() };
+    let naive = QuantExecOptions {
+        naive_lowering: true,
+        ..Default::default()
+    };
+    let dynamic = QuantExecOptions {
+        dynamic_extract: true,
+        ..Default::default()
+    };
     let mut rows = vec![
         (AblationStage::Random, eval_stage(&random_mask, naive)?),
-        (AblationStage::StaticExtract, eval_stage(&random_mask, Default::default())?),
-        (AblationStage::GreedySelection, eval_stage(&greedy_mask, Default::default())?),
-        (AblationStage::EvolutionarySelection, eval_stage(&evo_mask, Default::default())?),
-        (AblationStage::DynamicExtract, eval_stage(&evo_mask, dynamic)?),
+        (
+            AblationStage::StaticExtract,
+            eval_stage(&random_mask, Default::default())?,
+        ),
+        (
+            AblationStage::GreedySelection,
+            eval_stage(&greedy_mask, Default::default())?,
+        ),
+        (
+            AblationStage::EvolutionarySelection,
+            eval_stage(&evo_mask, Default::default())?,
+        ),
+        (
+            AblationStage::DynamicExtract,
+            eval_stage(&evo_mask, dynamic)?,
+        ),
     ];
 
     // Stage 6: finetune a copy, rebuild the quantized state, re-select.
     let mut ft_graph = graph.clone();
     let teacher = soft_labels(&ft_graph, &mut F32Compute, &data.inputs)?;
-    finetune(&mut ft_graph, &data.inputs, &data.labels, &teacher, &cfg.finetune)?;
+    finetune(
+        &mut ft_graph,
+        &data.inputs,
+        &data.labels,
+        &teacher,
+        &cfg.finetune,
+    )?;
     let calib_ft = calibrate_default(&ft_graph, calib_inputs)?;
     let model_ft = QuantizedModel::prepare(&ft_graph, &calib_ft, group)?;
     let scores_ft = GroupScores::compute(&model_ft);
     let ctx_ft = SelectionContext::build(&ft_graph, &model_ft, &scores_ft, &exclude, true)?;
-    let eval_ft = FitnessEval::new(&ft_graph, &model_ft, fit_inputs, QuantExecOptions::default())?;
-    let evo_ft = evolve(&ctx_ft, &eval_ft, target, &ctx_ft.empty_mask(), &cfg.evolution)?.mask;
+    let eval_ft = FitnessEval::new(
+        &ft_graph,
+        &model_ft,
+        fit_inputs,
+        QuantExecOptions::default(),
+    )?;
+    let evo_ft = evolve(
+        &ctx_ft,
+        &eval_ft,
+        target,
+        &ctx_ft.empty_mask(),
+        &cfg.evolution,
+    )?
+    .mask;
     let plan_ft = ctx_ft.mask_to_plan(&evo_ft, &model_ft);
     let mut hook = QuantCompute::new(&model_ft, plan_ft, dynamic)?;
-    rows.push((AblationStage::Finetuned, accuracy(&ft_graph, &mut hook, data)?));
+    rows.push((
+        AblationStage::Finetuned,
+        accuracy(&ft_graph, &mut hook, data)?,
+    ));
     Ok(rows)
 }
 
@@ -172,7 +214,12 @@ mod tests {
         let data = ablation_dataset(&graph, inputs).unwrap();
         let mut cfg = AblationConfig::fast(4);
         cfg.finetune.epochs = 1;
-        cfg.evolution = EvolutionConfig { population: 4, generations: 3, parents: 2, ..Default::default() };
+        cfg.evolution = EvolutionConfig {
+            population: 4,
+            generations: 3,
+            parents: 2,
+            ..Default::default()
+        };
         let rows = run_ablation(&graph, &data, &cfg).unwrap();
         assert_eq!(rows.len(), 6);
         // The headline claim of Table 7: range-based extraction recovers

@@ -56,7 +56,12 @@ impl EvolutionConfig {
     /// A reduced configuration for experiments and CI (the library
     /// supports the paper's full size; the harness defaults to this).
     pub fn fast() -> Self {
-        EvolutionConfig { population: 10, generations: 8, parents: 4, ..Default::default() }
+        EvolutionConfig {
+            population: 10,
+            generations: 8,
+            parents: 4,
+            ..Default::default()
+        }
     }
 }
 
@@ -83,7 +88,13 @@ impl<'a> FitnessEval<'a> {
             .iter()
             .map(|x| run_quantized(graph, model, &high, opts, x))
             .collect::<Result<Vec<_>>>()?;
-        Ok(FitnessEval { graph, model, inputs, reference, opts })
+        Ok(FitnessEval {
+            graph,
+            model,
+            inputs,
+            reference,
+            opts,
+        })
     }
 
     /// Mean L2 distance to the 8-bit soft labels (lower is better).
@@ -198,27 +209,50 @@ pub fn evolve(
         }
 
         // Elites carry over; parents breed the rest (Alg. 1 lines 5–9).
-        let elites: Vec<Mask> =
-            scored.iter().take(cfg.elites.max(1)).map(|(_, m)| m.clone()).collect();
-        let parents: Vec<&Mask> =
-            scored.iter().take(cfg.parents.max(2)).map(|(_, m)| m).collect();
+        let elites: Vec<Mask> = scored
+            .iter()
+            .take(cfg.elites.max(1))
+            .map(|(_, m)| m.clone())
+            .collect();
+        let parents: Vec<&Mask> = scored
+            .iter()
+            .take(cfg.parents.max(2))
+            .map(|(_, m)| m)
+            .collect();
         let mut next = elites;
         while next.len() < cfg.population.max(2) {
             let pa = parents[rng.gen_range(0..parents.len())];
             let pb = parents[rng.gen_range(0..parents.len())];
             let cut = rng.gen_range(1..ctx.units.len().max(2));
             let (mut c1, mut c2) = crossover(pa, pb, cut);
-            mutate(ctx, &mut c1, target_params, frozen, cfg.mutation_p, &mut rng);
+            mutate(
+                ctx,
+                &mut c1,
+                target_params,
+                frozen,
+                cfg.mutation_p,
+                &mut rng,
+            );
             next.push(c1);
             if next.len() < cfg.population.max(2) {
-                mutate(ctx, &mut c2, target_params, frozen, cfg.mutation_p, &mut rng);
+                mutate(
+                    ctx,
+                    &mut c2,
+                    target_params,
+                    frozen,
+                    cfg.mutation_p,
+                    &mut rng,
+                );
                 next.push(c2);
             }
         }
         population = next;
     }
 
-    Ok(EvolutionResult { mask: scored[0].1.clone(), best_per_generation })
+    Ok(EvolutionResult {
+        mask: scored[0].1.clone(),
+        best_per_generation,
+    })
 }
 
 fn model_of<'a>(eval: &FitnessEval<'a>) -> &'a QuantizedModel {
@@ -246,7 +280,11 @@ mod tests {
         let inputs = gen_image_inputs(4, &id.input_dims(Scale::Test), 211);
         let calib = calibrate_default(&graph, &inputs).unwrap();
         let model = QuantizedModel::prepare(&graph, &calib, GroupSpec::new(4)).unwrap();
-        Fixture { graph, model, inputs }
+        Fixture {
+            graph,
+            model,
+            inputs,
+        }
     }
 
     #[test]
@@ -255,13 +293,21 @@ mod tests {
         let scores = GroupScores::compute(&f.model);
         let excl = default_exclusions(&f.graph);
         let ctx = SelectionContext::build(&f.graph, &f.model, &scores, &excl, true).unwrap();
-        let eval =
-            FitnessEval::new(&f.graph, &f.model, &f.inputs, Default::default()).unwrap();
-        let cfg = EvolutionConfig { population: 6, generations: 5, parents: 3, ..Default::default() };
+        let eval = FitnessEval::new(&f.graph, &f.model, &f.inputs, Default::default()).unwrap();
+        let cfg = EvolutionConfig {
+            population: 6,
+            generations: 5,
+            parents: 3,
+            ..Default::default()
+        };
         let target = ctx.eligible_params() / 2;
         let res = evolve(&ctx, &eval, target, &ctx.empty_mask(), &cfg).unwrap();
         for w in res.best_per_generation.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "fitness rose: {:?}", res.best_per_generation);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "fitness rose: {:?}",
+                res.best_per_generation
+            );
         }
         let got = ctx.mask_params(&res.mask);
         assert!(got >= target, "result under target: {got} < {target}");
@@ -273,14 +319,20 @@ mod tests {
         let scores = GroupScores::compute(&f.model);
         let excl = default_exclusions(&f.graph);
         let ctx = SelectionContext::build(&f.graph, &f.model, &scores, &excl, true).unwrap();
-        let eval =
-            FitnessEval::new(&f.graph, &f.model, &f.inputs, Default::default()).unwrap();
+        let eval = FitnessEval::new(&f.graph, &f.model, &f.inputs, Default::default()).unwrap();
         let target = ctx.eligible_params() / 2;
-        let cfg = EvolutionConfig { population: 8, generations: 6, parents: 4, ..Default::default() };
+        let cfg = EvolutionConfig {
+            population: 8,
+            generations: 6,
+            parents: 4,
+            ..Default::default()
+        };
         let res = evolve(&ctx, &eval, target, &ctx.empty_mask(), &cfg).unwrap();
         let evo_fit = *res.best_per_generation.last().unwrap();
         let rand_mask = ctx.random_mask(target, &ctx.empty_mask(), &mut seeded(212));
-        let rand_fit = eval.fitness(&ctx.mask_to_plan(&rand_mask, &f.model)).unwrap();
+        let rand_fit = eval
+            .fitness(&ctx.mask_to_plan(&rand_mask, &f.model))
+            .unwrap();
         assert!(
             evo_fit <= rand_fit * 1.001,
             "evolution {evo_fit} worse than random {rand_fit}"
@@ -293,11 +345,15 @@ mod tests {
         let scores = GroupScores::compute(&f.model);
         let excl = default_exclusions(&f.graph);
         let ctx = SelectionContext::build(&f.graph, &f.model, &scores, &excl, true).unwrap();
-        let eval =
-            FitnessEval::new(&f.graph, &f.model, &f.inputs, Default::default()).unwrap();
+        let eval = FitnessEval::new(&f.graph, &f.model, &f.inputs, Default::default()).unwrap();
         let quarter = ctx.eligible_params() / 4;
         let frozen = ctx.greedy_mask(quarter, &ctx.empty_mask());
-        let cfg = EvolutionConfig { population: 4, generations: 3, parents: 2, ..Default::default() };
+        let cfg = EvolutionConfig {
+            population: 4,
+            generations: 3,
+            parents: 2,
+            ..Default::default()
+        };
         let res = evolve(&ctx, &eval, quarter * 2, &frozen, &cfg).unwrap();
         for (u, row) in frozen.iter().enumerate() {
             for (g, &fz) in row.iter().enumerate() {

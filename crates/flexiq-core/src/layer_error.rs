@@ -62,7 +62,8 @@ fn layer_output(
     match (&graph.nodes()[node].op, slot) {
         (Op::Conv2d(c), 0) => hook.conv2d(layer, c, x),
         (Op::Linear(l), 0) => hook.linear(layer, l, x),
-        (Op::Attention(a), s) | (Op::WindowAttention(flexiq_nn::ops::WindowAttention { attn: a, .. }), s) => {
+        (Op::Attention(a), s)
+        | (Op::WindowAttention(flexiq_nn::ops::WindowAttention { attn: a, .. }), s) => {
             let lin = match s {
                 0 => &a.q,
                 1 => &a.k,
@@ -90,7 +91,9 @@ pub fn isolated_layer_errors(
     let mut acc_flexi = vec![0.0f64; n];
     for sample in inputs {
         // Capture f32 inputs of every layer.
-        let mut cap = InputCapture { inputs: vec![None; n] };
+        let mut cap = InputCapture {
+            inputs: vec![None; n],
+        };
         flexiq_nn::exec::run(graph, sample, &mut cap)?;
         let mut int8 = QuantCompute::new(model, MixedPlan::all_high(model), opts)?;
         let mut int4 = QuantCompute::new(model, MixedPlan::all_low(model), opts)?;
@@ -211,8 +214,7 @@ mod tests {
         // Averaged across layers, the 50% plan must have clearly less
         // isolated error than uniform INT4 (paper Fig. 14: <7.4% vs 12.5%).
         let mean_f: f64 = errs.iter().map(|e| e.flexiq).sum::<f64>() / errs.len() as f64;
-        let mean_4: f64 =
-            errs.iter().map(|e| e.uniform_int4).sum::<f64>() / errs.len() as f64;
+        let mean_4: f64 = errs.iter().map(|e| e.uniform_int4).sum::<f64>() / errs.len() as f64;
         assert!(
             mean_f < mean_4 * 0.8,
             "flexiq mean {mean_f} should beat int4 mean {mean_4}"
@@ -240,7 +242,10 @@ mod tests {
         .unwrap();
         let s25: f64 = e25.iter().sum();
         let s75: f64 = e75.iter().sum();
-        assert!(s75 >= s25, "errors should grow with the 4-bit ratio: {s25} vs {s75}");
+        assert!(
+            s75 >= s25,
+            "errors should grow with the 4-bit ratio: {s25} vs {s75}"
+        );
     }
 
     #[test]

@@ -62,11 +62,7 @@ fn perm_or_identity(p: &Perm, n: usize) -> Vec<usize> {
 /// Desired input permutation of a layer: channels stably sorted by the
 /// tier of their group, with a ragged tail group pinned in place so group
 /// boundaries stay aligned.
-fn desired_perm(
-    schedule: &RatioSchedule,
-    model: &QuantizedModel,
-    layer: LayerId,
-) -> Perm {
+fn desired_perm(schedule: &RatioSchedule, model: &QuantizedModel, layer: LayerId) -> Perm {
     let lq = &model.layers[layer];
     let n_g = lq.num_groups();
     let g_size = model.groups.group_size();
@@ -139,8 +135,9 @@ pub fn optimize_layout(
 
     // Desired input perms per quantizable layer (identity for excluded /
     // uniform-tier layers).
-    let desired_of_layer: Vec<Perm> =
-        (0..num_layers).map(|l| desired_perm(schedule, model, l)).collect();
+    let desired_of_layer: Vec<Perm> = (0..num_layers)
+        .map(|l| desired_perm(schedule, model, l))
+        .collect();
 
     // Pass 1 (reverse topological): desired output perm per node.
     // Builders append nodes in topological order, so index order works.
@@ -355,7 +352,11 @@ pub fn optimize_layout(
         inserted += 1;
     }
 
-    Ok(LayoutResult { graph: g, layer_perms, inserted_reorders: inserted })
+    Ok(LayoutResult {
+        graph: g,
+        layer_perms,
+        inserted_reorders: inserted,
+    })
 }
 
 /// Length of the channel dimension carried on an edge.
@@ -399,12 +400,19 @@ pub fn remap_schedule(
     let mut plans = Vec::with_capacity(schedule.ratios.len());
     for level in 0..schedule.ratios.len() {
         let plan = MixedPlan {
-            low_groups: tiers.iter().map(|t| t.iter().map(|&x| x <= level).collect()).collect(),
+            low_groups: tiers
+                .iter()
+                .map(|t| t.iter().map(|&x| x <= level).collect())
+                .collect(),
         };
         plan.validate(model)?;
         plans.push(plan);
     }
-    let out = RatioSchedule { ratios: schedule.ratios.clone(), plans, tiers };
+    let out = RatioSchedule {
+        ratios: schedule.ratios.clone(),
+        plans,
+        tiers,
+    };
     out.check_nested()?;
     Ok(out)
 }
@@ -432,7 +440,14 @@ mod tests {
     use flexiq_quant::GroupSpec;
     use flexiq_tensor::stats;
 
-    fn pipeline(id: ModelId) -> (flexiq_nn::Graph, QuantizedModel, RatioSchedule, Vec<flexiq_tensor::Tensor>) {
+    fn pipeline(
+        id: ModelId,
+    ) -> (
+        flexiq_nn::Graph,
+        QuantizedModel,
+        RatioSchedule,
+        Vec<flexiq_tensor::Tensor>,
+    ) {
         let graph = id.build(Scale::Test).unwrap();
         let inputs = gen_image_inputs(3, &id.input_dims(Scale::Test), 231);
         let calib = calibrate_default(&graph, &inputs).unwrap();
@@ -459,32 +474,38 @@ mod tests {
         for x in &inputs {
             let y0 = run_f32(&graph, x).unwrap();
             let y1 = run_f32(&layout.graph, x).unwrap();
-            let rel = stats::l2_distance(y0.data(), y1.data())
-                / stats::l2_norm(y0.data()).max(1e-6);
+            let rel =
+                stats::l2_distance(y0.data(), y1.data()) / stats::l2_norm(y0.data()).max(1e-6);
             assert!(rel < 1e-4, "layout changed f32 semantics: {rel}");
         }
     }
 
     #[test]
     fn layout_preserves_f32_outputs_all_test_models() {
-        for id in [ModelId::MNetV2, ModelId::ViTS, ModelId::SwinS, ModelId::RNet50] {
+        for id in [
+            ModelId::MNetV2,
+            ModelId::ViTS,
+            ModelId::SwinS,
+            ModelId::RNet50,
+        ] {
             let (graph, model, schedule, inputs) = pipeline(id);
             let layout = optimize_layout(&graph, &model, &schedule).unwrap();
             let y0 = run_f32(&graph, &inputs[0]).unwrap();
             let y1 = run_f32(&layout.graph, &inputs[0]).unwrap();
-            let rel = stats::l2_distance(y0.data(), y1.data())
-                / stats::l2_norm(y0.data()).max(1e-6);
+            let rel =
+                stats::l2_distance(y0.data(), y1.data()) / stats::l2_norm(y0.data()).max(1e-6);
             assert!(rel < 1e-4, "{}: layout changed semantics: {rel}", id.name());
         }
     }
 
     #[test]
     fn residual_mismatches_insert_reorders() {
-        let (graph, model, schedule, _) = pipeline(ModelId::RNet20);
+        // RNet50's bottleneck blocks have downsample branches whose two
+        // convs get independently sorted layouts, forcing at least one
+        // residual reorder. (RNet20's identity skips legitimately align
+        // with the consumer-driven desired perms and may need none.)
+        let (graph, model, schedule, _) = pipeline(ModelId::RNet50);
         let layout = optimize_layout(&graph, &model, &schedule).unwrap();
-        // ResNet has residual Adds whose branches get different desired
-        // layouts; at least one reorder is expected unless every layer
-        // happened to sort identically.
         let any_perm = layout.layer_perms.iter().any(|p| p.is_some());
         if any_perm {
             assert!(
@@ -500,8 +521,7 @@ mod tests {
         let layout = optimize_layout(&graph, &model, &schedule).unwrap();
         // Re-prepare the quantized model on the transformed graph.
         let calib2 = calibrate_default(&layout.graph, &inputs).unwrap();
-        let model2 =
-            QuantizedModel::prepare(&layout.graph, &calib2, GroupSpec::new(4)).unwrap();
+        let model2 = QuantizedModel::prepare(&layout.graph, &calib2, GroupSpec::new(4)).unwrap();
         let schedule2 = remap_schedule(&schedule, &layout, &model2).unwrap();
         schedule2.check_nested().unwrap();
         for level in 0..schedule.len() {
@@ -521,12 +541,9 @@ mod tests {
                 &inputs[0],
             )
             .unwrap();
-            let rel = stats::l2_distance(y0.data(), y1.data())
-                / stats::l2_norm(y0.data()).max(1e-6);
-            assert!(
-                rel < 0.02,
-                "level {level}: remapped plan diverges ({rel})"
-            );
+            let rel =
+                stats::l2_distance(y0.data(), y1.data()) / stats::l2_norm(y0.data()).max(1e-6);
+            assert!(rel < 0.02, "level {level}: remapped plan diverges ({rel})");
         }
     }
 

@@ -89,9 +89,7 @@ pub fn prepare(graph: &Graph, calib_samples: &[Tensor], cfg: &FlexiQConfig) -> R
     let ctx = SelectionContext::build(graph, &model, &scores, &exclude, cfg.tie_qkv)?;
     let fit_inputs = &calib_samples[..cfg.fitness_samples.min(calib_samples.len())];
     let eval = match &cfg.strategy {
-        Strategy::Evolutionary(_) => {
-            Some(FitnessEval::new(graph, &model, fit_inputs, cfg.exec)?)
-        }
+        Strategy::Evolutionary(_) => Some(FitnessEval::new(graph, &model, fit_inputs, cfg.exec)?),
         _ => None,
     };
     let schedule = RatioSchedule::build(
@@ -154,9 +152,11 @@ mod tests {
         let calib = gen_image_inputs(4, &id.input_dims(Scale::Test), 261);
         let cfg = FlexiQConfig::new(4, Strategy::Greedy);
         let prepared = prepare(&graph, &calib, &cfg).unwrap();
-        let data =
-            teacher_dataset(&graph, gen_image_inputs(8, &id.input_dims(Scale::Test), 262))
-                .unwrap();
+        let data = teacher_dataset(
+            &graph,
+            gen_image_inputs(8, &id.input_dims(Scale::Test), 262),
+        )
+        .unwrap();
         prepared.runtime.set_ratio(0.0).unwrap();
         let a8 = prepared.runtime.accuracy(&data).unwrap();
         prepared.runtime.set_ratio(0.5).unwrap();
@@ -202,8 +202,7 @@ mod tests {
             ..flexiq_train::finetune::FinetuneConfig::paper_default(4)
         };
         let (g2, prepared) =
-            finetune_then_prepare(graph, &data.inputs, &data.labels, &calib, &ft, &cfg)
-                .unwrap();
+            finetune_then_prepare(graph, &data.inputs, &data.labels, &calib, &ft, &cfg).unwrap();
         assert_eq!(g2.num_layers(), prepared.runtime.model().num_layers());
     }
 }

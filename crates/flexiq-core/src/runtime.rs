@@ -137,19 +137,34 @@ impl FlexiRuntime {
         self.max_low_group.get(level).map(|v| v.as_slice())
     }
 
-    /// The plan for the active level.
-    pub fn current_plan(&self) -> MixedPlan {
-        match self.level() {
+    /// The plan of a specific level (the single source of the
+    /// level-to-plan dispatch).
+    fn plan_at(&self, level: usize) -> MixedPlan {
+        match level {
             LEVEL_INT8 => MixedPlan::all_high(&self.model),
             l => self.schedule.plans[l].clone(),
         }
     }
 
+    /// The plan for the active level.
+    pub fn current_plan(&self) -> MixedPlan {
+        self.plan_at(self.level())
+    }
+
     /// Runs inference at the active ratio.
     pub fn infer(&self, input: &Tensor) -> Result<Tensor> {
-        let plan = self.current_plan();
-        let mut hook = QuantCompute::new(&self.model, plan, self.opts)?;
-        exec::run(&self.graph, input, &mut hook)
+        self.infer_traced(input).map(|(y, _)| y)
+    }
+
+    /// Runs inference and reports the level it actually executed at.
+    ///
+    /// The level is read exactly once and the whole forward pass uses
+    /// that level's plan, so the returned value is authoritative even
+    /// while a serving thread is concurrently flipping levels.
+    pub fn infer_traced(&self, input: &Tensor) -> Result<(Tensor, usize)> {
+        let level = self.level();
+        let mut hook = QuantCompute::new(&self.model, self.plan_at(level), self.opts)?;
+        Ok((exec::run(&self.graph, input, &mut hook)?, level))
     }
 
     /// Top-1 agreement with a teacher-labelled dataset at the active
@@ -192,11 +207,13 @@ mod tests {
         .unwrap();
         let layout = optimize_layout(&graph, &model, &schedule).unwrap();
         let calib2 = calibrate_default(&layout.graph, &inputs).unwrap();
-        let model2 =
-            QuantizedModel::prepare(&layout.graph, &calib2, GroupSpec::new(4)).unwrap();
+        let model2 = QuantizedModel::prepare(&layout.graph, &calib2, GroupSpec::new(4)).unwrap();
         let schedule2 = remap_schedule(&schedule, &layout, &model2).unwrap();
-        let data = teacher_dataset(&graph, gen_image_inputs(8, &id.input_dims(Scale::Test), 242))
-            .unwrap();
+        let data = teacher_dataset(
+            &graph,
+            gen_image_inputs(8, &id.input_dims(Scale::Test), 242),
+        )
+        .unwrap();
         let rt = FlexiRuntime::new(layout.graph, model2, schedule2, Default::default()).unwrap();
         (rt, data)
     }

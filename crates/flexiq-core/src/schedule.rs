@@ -63,7 +63,10 @@ impl RatioSchedule {
                     let eval = eval.ok_or_else(|| {
                         NnError::Invalid("evolutionary strategy needs a fitness evaluator".into())
                     })?;
-                    let cfg = EvolutionConfig { seed: cfg.seed ^ (i as u64), ..cfg.clone() };
+                    let cfg = EvolutionConfig {
+                        seed: cfg.seed ^ (i as u64),
+                        ..cfg.clone()
+                    };
                     evolve(ctx, eval, target, &frozen, &cfg)?.mask
                 }
             };
@@ -86,7 +89,11 @@ impl RatioSchedule {
                 }
             }
         }
-        let schedule = RatioSchedule { ratios: sorted, plans, tiers };
+        let schedule = RatioSchedule {
+            ratios: sorted,
+            plans,
+            tiers,
+        };
         schedule.check_nested()?;
         Ok(schedule)
     }
@@ -170,7 +177,11 @@ mod tests {
         .unwrap();
         assert_eq!(s.len(), 4);
         s.check_nested().unwrap();
-        let fr: Vec<f64> = s.plans.iter().map(|p| p.low_param_fraction(&model)).collect();
+        let fr: Vec<f64> = s
+            .plans
+            .iter()
+            .map(|p| p.low_param_fraction(&model))
+            .collect();
         for w in fr.windows(2) {
             assert!(w[0] <= w[1] + 1e-9, "fractions not ascending: {fr:?}");
         }
@@ -181,15 +192,8 @@ mod tests {
     #[test]
     fn tiers_match_plans() {
         let (_, model, ctx) = setup();
-        let s = RatioSchedule::build(
-            &ctx,
-            &model,
-            None,
-            &[0.5, 1.0],
-            &Strategy::Greedy,
-            2,
-        )
-        .unwrap();
+        let s =
+            RatioSchedule::build(&ctx, &model, None, &[0.5, 1.0], &Strategy::Greedy, 2).unwrap();
         for (l, groups) in s.tiers.iter().enumerate() {
             for (g, &t) in groups.iter().enumerate() {
                 let in0 = s.plans[0].low_groups[l][g];
@@ -207,15 +211,8 @@ mod tests {
     #[test]
     fn random_schedule_is_nested_too() {
         let (_, model, ctx) = setup();
-        let s = RatioSchedule::build(
-            &ctx,
-            &model,
-            None,
-            &[0.25, 0.75],
-            &Strategy::Random,
-            3,
-        )
-        .unwrap();
+        let s =
+            RatioSchedule::build(&ctx, &model, None, &[0.25, 0.75], &Strategy::Random, 3).unwrap();
         s.check_nested().unwrap();
         assert!(s.plans[0].subset_of(&s.plans[1]));
     }

@@ -69,14 +69,14 @@ impl SelectionContext {
         exclude: &[LayerId],
         tie_qkv: bool,
     ) -> Result<Self> {
-        if model.num_layers() != graph.num_layers() || scores.num_layers() != graph.num_layers()
-        {
-            return Err(NnError::Invalid("model/scores do not match the graph".into()));
+        if model.num_layers() != graph.num_layers() || scores.num_layers() != graph.num_layers() {
+            return Err(NnError::Invalid(
+                "model/scores do not match the graph".into(),
+            ));
         }
         let mut units = Vec::new();
         let mut claimed = vec![false; graph.num_layers()];
-        let is_excluded =
-            |layers: &[LayerId]| layers.iter().any(|l| exclude.contains(l));
+        let is_excluded = |layers: &[LayerId]| layers.iter().any(|l| exclude.contains(l));
 
         for node in graph.nodes() {
             match &node.op {
@@ -105,7 +105,10 @@ impl SelectionContext {
                 }
             }
         }
-        Ok(SelectionContext { units, num_layers: graph.num_layers() })
+        Ok(SelectionContext {
+            units,
+            num_layers: graph.num_layers(),
+        })
     }
 
     fn make_unit(
@@ -117,7 +120,9 @@ impl SelectionContext {
         let n_groups = model.layers[layers[0]].num_groups();
         for &l in &layers[1..] {
             if model.layers[l].num_groups() != n_groups {
-                return Err(NnError::Invalid("tied layers have different group counts".into()));
+                return Err(NnError::Invalid(
+                    "tied layers have different group counts".into(),
+                ));
             }
         }
         let mut group_params = vec![0usize; n_groups];
@@ -132,7 +137,13 @@ impl SelectionContext {
             }
         }
         let excluded = is_excluded(&layers);
-        Ok(Unit { layers, n_groups, group_params, scores: score, excluded })
+        Ok(Unit {
+            layers,
+            n_groups,
+            group_params,
+            scores: score,
+            excluded,
+        })
     }
 
     /// Total parameters of units eligible for low-bitwidth computation.
@@ -182,13 +193,7 @@ impl SelectionContext {
     /// of Alg. 1): adds lowest-score groups while under target, removes
     /// highest-score groups while over, never touching excluded units or
     /// `frozen` groups.
-    pub fn repair(
-        &self,
-        mask: &mut Mask,
-        target_params: usize,
-        frozen: &Mask,
-        rng: &mut StdRng,
-    ) {
+    pub fn repair(&self, mask: &mut Mask, target_params: usize, frozen: &Mask, rng: &mut StdRng) {
         // Grow while strictly below target.
         loop {
             let current = self.mask_params(mask);
@@ -296,9 +301,7 @@ impl SelectionContext {
             let unit_total: usize = unit.group_params.iter().sum();
             let target = (unit_total as f64 * ratio).round() as usize;
             let mut order: Vec<usize> = (0..unit.n_groups).collect();
-            order.sort_by(|&a, &b| {
-                unit.scores[a].partial_cmp(&unit.scores[b]).expect("finite")
-            });
+            order.sort_by(|&a, &b| unit.scores[a].partial_cmp(&unit.scores[b]).expect("finite"));
             let mut got: usize = unit
                 .group_params
                 .iter()
@@ -428,7 +431,12 @@ mod tests {
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(mean(&sel) < mean(&unsel), "{} vs {}", mean(&sel), mean(&unsel));
+        assert!(
+            mean(&sel) < mean(&unsel),
+            "{} vs {}",
+            mean(&sel),
+            mean(&unsel)
+        );
     }
 
     #[test]

@@ -70,7 +70,12 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// Model calibrated to the paper's A6000 ViT-Base measurements.
     pub fn new(gpu: GpuProfile) -> Self {
-        LatencyModel { gpu, utilization: 0.25, elementwise_bw_frac: 0.12, launch_us: 5.0 }
+        LatencyModel {
+            gpu,
+            utilization: 0.25,
+            elementwise_bw_frac: 0.12,
+            launch_us: 5.0,
+        }
     }
 
     /// Latency of one GEMM under a kernel, in microseconds.
@@ -101,7 +106,12 @@ impl LatencyModel {
                 let cc = (shape.m * shape.n) as f64 * (1.0 * tiles + 1.0);
                 // Master weights stay 8-bit regardless of the ratio
                 // (§7 "Resource Consumption").
-                (tc, cc, (shape.n * shape.k) as f64, (shape.m * shape.k) as f64)
+                (
+                    tc,
+                    cc,
+                    (shape.n * shape.k) as f64,
+                    (shape.m * shape.k) as f64,
+                )
             }
             KernelKind::Fp16 => (
                 ops / (g.fp16_tflops * 1e12 * util),
@@ -114,7 +124,11 @@ impl LatencyModel {
         let out_bytes = (shape.m * shape.n) as f64 * 2.0; // fp16 results
         let mem_s = (w_bytes + a_bytes + out_bytes) / (g.mem_gbs * 1e9);
         let mut us = tc_s.max(cc_s).max(mem_s) * 1e6 + self.launch_us;
-        if let KernelKind::FlexiQ { dynamic_extract: true, low_fraction } = kind {
+        if let KernelKind::FlexiQ {
+            dynamic_extract: true,
+            low_fraction,
+        } = kind
+        {
             let frac = flexiq_quant::dynamic::dynamic_overhead_fraction(shape.n);
             us *= 1.0 + frac * low_fraction.clamp(0.0, 1.0);
         }
@@ -136,7 +150,11 @@ impl LatencyModel {
 mod tests {
     use super::*;
 
-    const SHAPE: GemmShape = GemmShape { m: 3152, n: 768, k: 768 };
+    const SHAPE: GemmShape = GemmShape {
+        m: 3152,
+        n: 768,
+        k: 768,
+    };
 
     #[test]
     fn int4_is_faster_than_int8() {
@@ -153,7 +171,10 @@ mod tests {
         for lf in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let t = m.gemm_us(
                 SHAPE,
-                KernelKind::FlexiQ { low_fraction: lf, dynamic_extract: false },
+                KernelKind::FlexiQ {
+                    low_fraction: lf,
+                    dynamic_extract: false,
+                },
             );
             assert!(t <= prev + 1e-9, "latency rose at lf={lf}");
             prev = t;
@@ -168,7 +189,10 @@ mod tests {
         let t4 = m.gemm_us(SHAPE, KernelKind::UniformInt4);
         let tf = m.gemm_us(
             SHAPE,
-            KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+            KernelKind::FlexiQ {
+                low_fraction: 1.0,
+                dynamic_extract: false,
+            },
         );
         let slowdown = tf / t4 - 1.0;
         assert!(
@@ -185,7 +209,13 @@ mod tests {
         let l40s = LatencyModel::new(GpuProfile::L40S);
         let speedup = |m: &LatencyModel| {
             m.gemm_us(SHAPE, KernelKind::UniformInt8)
-                / m.gemm_us(SHAPE, KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false })
+                / m.gemm_us(
+                    SHAPE,
+                    KernelKind::FlexiQ {
+                        low_fraction: 1.0,
+                        dynamic_extract: false,
+                    },
+                )
         };
         assert!(
             speedup(&a100) < speedup(&l40s),
@@ -200,11 +230,17 @@ mod tests {
         let m = LatencyModel::new(GpuProfile::A6000);
         let stat = m.gemm_us(
             SHAPE,
-            KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+            KernelKind::FlexiQ {
+                low_fraction: 1.0,
+                dynamic_extract: false,
+            },
         );
         let dynamic = m.gemm_us(
             SHAPE,
-            KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: true },
+            KernelKind::FlexiQ {
+                low_fraction: 1.0,
+                dynamic_extract: true,
+            },
         );
         let over = dynamic / stat - 1.0;
         assert!((0.01..=0.06).contains(&over), "dynamic overhead {over}");

@@ -67,7 +67,10 @@ impl Framework {
             Framework::FlexiQ100 => w.model_latency_us(
                 model,
                 batch,
-                KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+                KernelKind::FlexiQ {
+                    low_fraction: 1.0,
+                    dynamic_extract: false,
+                },
             ),
             Framework::TensorRtInt8 => {
                 // Slightly worse kernel selection than a tuned kernel.

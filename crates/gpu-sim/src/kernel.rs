@@ -44,7 +44,10 @@ impl MixedGemm {
         assert_eq!(w_q.len(), n * k, "weight buffer size");
         let max4 = max_4bit_ch.min(k);
         let tiles = max4.div_ceil(TILE_K);
-        assert!(act_tile_max.len() >= tiles, "need one activation max per 4-bit tile");
+        assert!(
+            act_tile_max.len() >= tiles,
+            "need one activation max per 4-bit tile"
+        );
         let mut rules = Vec::with_capacity(tiles);
         for t in 0..tiles {
             let k0 = t * TILE_K;
@@ -64,7 +67,12 @@ impl MixedGemm {
                 weight,
             });
         }
-        MixedGemm { k, n, max_4bit_ch: max4, rules }
+        MixedGemm {
+            k,
+            n,
+            max_4bit_ch: max4,
+            rules,
+        }
     }
 
     /// Runs the kernel: activations `[m][k]`, weights `[n][k]`, output
@@ -88,14 +96,14 @@ impl MixedGemm {
             // shared-memory staging would.
             let mut a_pack: Vec<I4Packed> = Vec::with_capacity(m);
             for i in 0..m {
-                let lowered: Vec<i8> =
-                    (k0..k1).map(|c| rules.act.lower(a_q[i * self.k + c])).collect();
+                let lowered: Vec<i8> = (k0..k1)
+                    .map(|c| rules.act.lower(a_q[i * self.k + c]))
+                    .collect();
                 a_pack.push(I4Packed::pack(&lowered).expect("lowered values fit int4"));
             }
             for o in 0..self.n {
                 let wrule = rules.weight[o];
-                let lowered: Vec<i8> =
-                    (k0..k1).map(|c| wrule.lower(w_q[o * self.k + c])).collect();
+                let lowered: Vec<i8> = (k0..k1).map(|c| wrule.lower(w_q[o * self.k + c])).collect();
                 let w_pack = I4Packed::pack(&lowered).expect("lowered values fit int4");
                 let shift = rules.act.shift() + wrule.shift();
                 for i in 0..m {
@@ -153,15 +161,14 @@ mod tests {
     use flexiq_tensor::rng::seeded;
     use rand::Rng;
 
-    fn random_setup(
-        m: usize,
-        n: usize,
-        k: usize,
-        seed: u64,
-    ) -> (Vec<i8>, Vec<i8>, Vec<u32>) {
+    fn random_setup(m: usize, n: usize, k: usize, seed: u64) -> (Vec<i8>, Vec<i8>, Vec<u32>) {
         let mut rng = seeded(seed);
-        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
-        let w: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+        let a: Vec<i8> = (0..m * k)
+            .map(|_| rng.gen_range(-100i16..=100) as i8)
+            .collect();
+        let w: Vec<i8> = (0..n * k)
+            .map(|_| rng.gen_range(-100i16..=100) as i8)
+            .collect();
         let tiles = k.div_ceil(TILE_K);
         // Activation tile maxima from the actual data (never saturating).
         let mut act_max = vec![0u32; tiles];
@@ -217,15 +224,21 @@ mod tests {
         let mut prev_err = 0u64;
         for boundary in [32usize, 64, 96, 128] {
             let y = MixedGemm::new(&w, n, k, boundary, &act_max).run(&a, &w, m);
-            let err: u64 =
-                y.iter().zip(full8.iter()).map(|(x, y)| x.abs_diff(*y) as u64).sum();
+            let err: u64 = y
+                .iter()
+                .zip(full8.iter())
+                .map(|(x, y)| x.abs_diff(*y) as u64)
+                .sum();
             assert!(
                 err + 1 >= prev_err / 2,
                 "error should broadly grow with the boundary"
             );
             prev_err = err;
         }
-        assert!(prev_err > 0, "full 4-bit must differ from 8-bit on random data");
+        assert!(
+            prev_err > 0,
+            "full 4-bit must differ from 8-bit on random data"
+        );
     }
 
     #[test]

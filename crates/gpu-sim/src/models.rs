@@ -27,7 +27,11 @@ pub fn vit_base() -> TransformerWorkload {
     let (layers, t, d, mlp) = (12usize, 197usize, 768usize, 3072usize);
     let mut gemms = Vec::new();
     // Patch embedding as a GEMM: 196 patches × (3·16·16) → d.
-    gemms.push(GemmShape { m: 196, n: d, k: 3 * 16 * 16 });
+    gemms.push(GemmShape {
+        m: 196,
+        n: d,
+        k: 3 * 16 * 16,
+    });
     for _ in 0..layers {
         for _ in 0..3 {
             gemms.push(GemmShape { m: t, n: d, k: d }); // Q, K, V
@@ -36,12 +40,21 @@ pub fn vit_base() -> TransformerWorkload {
         gemms.push(GemmShape { m: t, n: mlp, k: d }); // MLP fc1
         gemms.push(GemmShape { m: t, n: d, k: mlp }); // MLP fc2
     }
-    gemms.push(GemmShape { m: 1, n: 1000, k: d }); // classifier head
-    // Eight elementwise passes of [t, d] fp16 per layer (norms, GELU,
-    // residuals, softmax I/O).
+    gemms.push(GemmShape {
+        m: 1,
+        n: 1000,
+        k: d,
+    }); // classifier head
+        // Eight elementwise passes of [t, d] fp16 per layer (norms, GELU,
+        // residuals, softmax I/O).
     let elementwise_bytes = (layers * 8 * t * d * 2) as f64;
     let attn_fp16_flops = (layers * 2 * 2 * t * t * d) as f64;
-    TransformerWorkload { name: "ViT-B", gemms, elementwise_bytes, attn_fp16_flops }
+    TransformerWorkload {
+        name: "ViT-B",
+        gemms,
+        elementwise_bytes,
+        attn_fp16_flops,
+    }
 }
 
 /// Swin-Small: stages of widths 96/192/384/768 with depths 2/2/18/2 over
@@ -51,30 +64,55 @@ pub fn swin_small() -> TransformerWorkload {
     let depths = [2usize, 2, 18, 2];
     let tokens = [3136usize, 784, 196, 49];
     let mut gemms = Vec::new();
-    gemms.push(GemmShape { m: 3136, n: 96, k: 3 * 4 * 4 }); // patch embed
+    gemms.push(GemmShape {
+        m: 3136,
+        n: 96,
+        k: 3 * 4 * 4,
+    }); // patch embed
     let mut elementwise_bytes = 0f64;
     let mut attn_fp16_flops = 0f64;
     for s in 0..4 {
         let (d, t) = (dims[s], tokens[s]);
         if s > 0 {
             // Patch merging reduction: 4·d_prev → d.
-            gemms.push(GemmShape { m: t, n: d, k: 4 * dims[s - 1] });
+            gemms.push(GemmShape {
+                m: t,
+                n: d,
+                k: 4 * dims[s - 1],
+            });
         }
         for _ in 0..depths[s] {
             for _ in 0..3 {
                 gemms.push(GemmShape { m: t, n: d, k: d });
             }
             gemms.push(GemmShape { m: t, n: d, k: d });
-            gemms.push(GemmShape { m: t, n: 4 * d, k: d });
-            gemms.push(GemmShape { m: t, n: d, k: 4 * d });
+            gemms.push(GemmShape {
+                m: t,
+                n: 4 * d,
+                k: d,
+            });
+            gemms.push(GemmShape {
+                m: t,
+                n: d,
+                k: 4 * d,
+            });
             elementwise_bytes += (8 * t * d * 2) as f64;
             // Window attention: each token attends within a 49-token
             // window.
             attn_fp16_flops += (2 * 2 * t * 49 * d) as f64;
         }
     }
-    gemms.push(GemmShape { m: 1, n: 1000, k: 768 });
-    TransformerWorkload { name: "Swin-S", gemms, elementwise_bytes, attn_fp16_flops }
+    gemms.push(GemmShape {
+        m: 1,
+        n: 1000,
+        k: 768,
+    });
+    TransformerWorkload {
+        name: "Swin-S",
+        gemms,
+        elementwise_bytes,
+        attn_fp16_flops,
+    }
 }
 
 impl TransformerWorkload {
@@ -88,7 +126,10 @@ impl TransformerWorkload {
         self.gemms
             .iter()
             .map(|g| {
-                let shape = GemmShape { m: g.m * batch, ..*g };
+                let shape = GemmShape {
+                    m: g.m * batch,
+                    ..*g
+                };
                 model.gemm_us(shape, kind)
             })
             .sum()
@@ -141,10 +182,16 @@ mod tests {
         let tf = w.model_latency_us(
             &m,
             16,
-            KernelKind::FlexiQ { low_fraction: 1.0, dynamic_extract: false },
+            KernelKind::FlexiQ {
+                low_fraction: 1.0,
+                dynamic_extract: false,
+            },
         );
         let speedup = t8 / tf;
-        assert!((1.2..=1.75).contains(&speedup), "end-to-end speedup {speedup}");
+        assert!(
+            (1.2..=1.75).contains(&speedup),
+            "end-to-end speedup {speedup}"
+        );
     }
 
     #[test]

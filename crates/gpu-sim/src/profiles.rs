@@ -74,8 +74,12 @@ impl GpuProfile {
     };
 
     /// The Table 4 device list.
-    pub const ALL: [GpuProfile; 4] =
-        [GpuProfile::RTX3090, GpuProfile::A6000, GpuProfile::A100, GpuProfile::L40S];
+    pub const ALL: [GpuProfile; 4] = [
+        GpuProfile::RTX3090,
+        GpuProfile::A6000,
+        GpuProfile::A100,
+        GpuProfile::L40S,
+    ];
 
     /// CUDA-to-tensor-core throughput ratio (the anomaly predictor).
     pub fn cuda_tensor_ratio(&self) -> f64 {

@@ -17,7 +17,9 @@ pub struct RatioSwitch {
 impl RatioSwitch {
     /// Creates the switch for `layers` layers, all at 0 (pure 8-bit).
     pub fn new(layers: usize) -> Self {
-        RatioSwitch { bounds: (0..layers).map(|_| AtomicUsize::new(0)).collect() }
+        RatioSwitch {
+            bounds: (0..layers).map(|_| AtomicUsize::new(0)).collect(),
+        }
     }
 
     /// Number of layers.
@@ -41,7 +43,10 @@ impl RatioSwitch {
 
     /// Snapshot of all boundaries.
     pub fn snapshot(&self) -> Vec<usize> {
-        self.bounds.iter().map(|b| b.load(Ordering::Acquire)).collect()
+        self.bounds
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .collect()
     }
 }
 

@@ -39,7 +39,10 @@ pub struct CalibConfig {
 
 impl Default for CalibConfig {
     fn default() -> Self {
-        CalibConfig { ema_momentum: 0.99, channel_ranges: ChannelRangeKind::MinMax }
+        CalibConfig {
+            ema_momentum: 0.99,
+            channel_ranges: ChannelRangeKind::MinMax,
+        }
     }
 }
 
@@ -85,7 +88,10 @@ struct CalibCompute {
 impl CalibCompute {
     fn new(cfg: CalibConfig, num_layers: usize) -> Self {
         let per_layer = (0..num_layers)
-            .map(|_| LayerObservers { tensor: EmaObserver::new(cfg.ema_momentum), channels: None })
+            .map(|_| LayerObservers {
+                tensor: EmaObserver::new(cfg.ema_momentum),
+                channels: None,
+            })
             .collect();
         CalibCompute { cfg, per_layer }
     }
@@ -93,9 +99,7 @@ impl CalibCompute {
     fn ensure_channels(&mut self, layer: LayerId, c: usize) {
         if self.per_layer[layer].channels.is_none() {
             let obs = match self.cfg.channel_ranges {
-                ChannelRangeKind::MinMax => {
-                    ChannelObs::MinMax(vec![MinMaxObserver::new(); c])
-                }
+                ChannelRangeKind::MinMax => ChannelObs::MinMax(vec![MinMaxObserver::new(); c]),
                 ChannelRangeKind::Percentile(p) => {
                     ChannelObs::Percentile(vec![PercentileObserver::new(p); c])
                 }
@@ -111,7 +115,10 @@ impl CalibCompute {
         self.ensure_channels(layer, c_in);
         let dims = x.dims();
         let mut scratch: Vec<f32> = Vec::new();
-        let obs = self.per_layer[layer].channels.as_mut().expect("just ensured");
+        let obs = self.per_layer[layer]
+            .channels
+            .as_mut()
+            .expect("just ensured");
         let mut feed = |c: usize, values: &[f32]| match obs {
             ChannelObs::MinMax(v) => v[c].observe(values),
             ChannelObs::Percentile(v) => v[c].observe(values),
@@ -151,7 +158,10 @@ impl CalibCompute {
                     }
                     None => Vec::new(),
                 };
-                LayerCalib { act_abs_max, act_channel_abs }
+                LayerCalib {
+                    act_abs_max,
+                    act_channel_abs,
+                }
             })
             .collect();
         CalibrationRecord { layers }
@@ -193,11 +203,19 @@ mod tests {
         let mut rng = seeded(121);
         let mut g = Graph::new("tiny");
         let x = g.input();
-        let conv = Conv2d::new(Tensor::randn([4, 2, 3, 3], 0.0, 0.3, &mut rng), None, 1, 1, 1)
-            .unwrap();
+        let conv = Conv2d::new(
+            Tensor::randn([4, 2, 3, 3], 0.0, 0.3, &mut rng),
+            None,
+            1,
+            1,
+            1,
+        )
+        .unwrap();
         let c = g.conv2d(x, conv).unwrap();
         let r = g.relu(c).unwrap();
-        let gp = g.add_node(crate::graph::Op::GlobalAvgPool, vec![r]).unwrap();
+        let gp = g
+            .add_node(crate::graph::Op::GlobalAvgPool, vec![r])
+            .unwrap();
         let lin = Linear::new(Tensor::randn([3, 4], 0.0, 0.3, &mut rng), None).unwrap();
         let l = g.linear(gp, lin).unwrap();
         g.set_output(l).unwrap();
@@ -208,8 +226,9 @@ mod tests {
     fn calibration_covers_every_layer() {
         let g = tiny_graph();
         let mut rng = seeded(122);
-        let samples: Vec<Tensor> =
-            (0..4).map(|_| Tensor::randn([2, 5, 5], 0.0, 1.0, &mut rng)).collect();
+        let samples: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::randn([2, 5, 5], 0.0, 1.0, &mut rng))
+            .collect();
         let rec = calibrate_default(&g, &samples).unwrap();
         assert_eq!(rec.num_layers(), 2);
         assert!(rec.layers[0].act_abs_max > 0.0);
@@ -225,9 +244,7 @@ mod tests {
         let g = tiny_graph();
         let mut rng = seeded(123);
         let samples: Vec<Tensor> = (0..4)
-            .map(|_| {
-                Tensor::randn_axis_scaled([2, 5, 5], 0, &[0.01, 1.0], &mut rng).unwrap()
-            })
+            .map(|_| Tensor::randn_axis_scaled([2, 5, 5], 0, &[0.01, 1.0], &mut rng).unwrap())
             .collect();
         let rec = calibrate_default(&g, &samples).unwrap();
         let ch = &rec.layers[0].act_channel_abs;
@@ -238,13 +255,17 @@ mod tests {
     fn percentile_calibration_is_tighter_than_minmax() {
         let g = tiny_graph();
         let mut rng = seeded(124);
-        let samples: Vec<Tensor> =
-            (0..4).map(|_| Tensor::randn([2, 8, 8], 0.0, 1.0, &mut rng)).collect();
+        let samples: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::randn([2, 8, 8], 0.0, 1.0, &mut rng))
+            .collect();
         let mm = calibrate(&g, &samples, CalibConfig::default()).unwrap();
         let pc = calibrate(
             &g,
             &samples,
-            CalibConfig { channel_ranges: ChannelRangeKind::Percentile(0.9), ..Default::default() },
+            CalibConfig {
+                channel_ranges: ChannelRangeKind::Percentile(0.9),
+                ..Default::default()
+            },
         )
         .unwrap();
         for (a, b) in mm.layers[0]

@@ -43,7 +43,9 @@ impl Dataset {
 /// Generates `n` synthetic image inputs of the given dimensions.
 pub fn gen_image_inputs(n: usize, dims: &[usize], seed: u64) -> Vec<Tensor> {
     let mut rng = seeded(seed);
-    (0..n).map(|_| Tensor::randn(dims.to_vec(), 0.0, 1.0, &mut rng)).collect()
+    (0..n)
+        .map(|_| Tensor::randn(dims.to_vec(), 0.0, 1.0, &mut rng))
+        .collect()
 }
 
 /// Labels inputs with the FP32 model's argmax (the teacher task).
@@ -76,7 +78,9 @@ pub fn teacher_dataset_filtered(
     keep: f64,
 ) -> Result<Dataset> {
     if !(0.0 < keep && keep <= 1.0) {
-        return Err(NnError::Invalid(format!("keep fraction {keep} outside (0, 1]")));
+        return Err(NnError::Invalid(format!(
+            "keep fraction {keep} outside (0, 1]"
+        )));
     }
     let mut scored: Vec<(f64, Tensor, usize)> = Vec::with_capacity(candidates.len());
     for x in candidates {
@@ -190,7 +194,9 @@ pub fn perplexity(graph: &Graph, compute: &mut dyn Compute, seqs: &[Tensor]) -> 
         for i in 0..seq.numel() - 1 {
             let target = seq.data()[i + 1] as usize;
             if target >= vocab {
-                return Err(NnError::Invalid(format!("target {target} outside vocab {vocab}")));
+                return Err(NnError::Invalid(format!(
+                    "target {target} outside vocab {vocab}"
+                )));
             }
             nll -= logp.data()[i * vocab + target] as f64;
             count += 1;
@@ -214,7 +220,10 @@ mod tests {
         let mut g = Graph::new("clf");
         let x = g.input();
         let l = g
-            .linear(x, Linear::new(Tensor::randn([4, 8], 0.0, 1.0, &mut r), None).unwrap())
+            .linear(
+                x,
+                Linear::new(Tensor::randn([4, 8], 0.0, 1.0, &mut r), None).unwrap(),
+            )
             .unwrap();
         g.set_output(l).unwrap();
         g
@@ -259,7 +268,10 @@ mod tests {
             .windows(2)
             .filter(|w| w[1] == (w[0] + 1) % 16)
             .count();
-        assert!(sequential > 500, "stream lost its structure: {sequential}/999");
+        assert!(
+            sequential > 500,
+            "stream lost its structure: {sequential}/999"
+        );
     }
 
     #[test]
@@ -277,8 +289,12 @@ mod tests {
         let mut g = Graph::new("lm0");
         let x = g.input();
         let emb = crate::ops::Embedding::new(Tensor::zeros([8, 4])).unwrap();
-        let e = g.add_node(crate::graph::Op::Embedding(emb), vec![x]).unwrap();
-        let l = g.linear(e, Linear::new(Tensor::zeros([8, 4]), None).unwrap()).unwrap();
+        let e = g
+            .add_node(crate::graph::Op::Embedding(emb), vec![x])
+            .unwrap();
+        let l = g
+            .linear(e, Linear::new(Tensor::zeros([8, 4]), None).unwrap())
+            .unwrap();
         g.set_output(l).unwrap();
         let seqs = lm_sequences(&gen_token_stream(8, 64, 147), 8);
         let ppl = perplexity(&g, &mut F32Compute, &seqs).unwrap();
@@ -288,7 +304,10 @@ mod tests {
     #[test]
     fn empty_dataset_rejected() {
         let g = toy_classifier(148);
-        let data = Dataset { inputs: vec![], labels: vec![] };
+        let data = Dataset {
+            inputs: vec![],
+            labels: vec![],
+        };
         assert!(accuracy(&g, &mut F32Compute, &data).is_err());
     }
 }

@@ -78,7 +78,11 @@ mod tests {
     fn displays_mention_key_facts() {
         let e = NnError::DanglingInput { node: 3, input: 9 };
         assert!(e.to_string().contains("node 3"));
-        let e = NnError::BadActivation { op: "conv2d", expected: "[C,H,W]".into(), got: vec![4] };
+        let e = NnError::BadActivation {
+            op: "conv2d",
+            expected: "[C,H,W]".into(),
+            got: vec![4],
+        };
         assert!(e.to_string().contains("conv2d"));
     }
 

@@ -75,7 +75,7 @@ fn eval(
     id: NodeId,
     input: &Tensor,
     compute: &mut dyn Compute,
-    memo: &mut Vec<Option<Tensor>>,
+    memo: &mut [Option<Tensor>],
 ) -> Result<()> {
     if memo[id].is_some() {
         return Ok(());
@@ -99,9 +99,11 @@ fn eval(
         }
         let mut resolved = Vec::with_capacity(node.inputs.len());
         for (slot, &inp) in node.inputs.iter().enumerate() {
-            resolved.push(memo[inp].clone().ok_or_else(|| {
-                NnError::Invalid(format!("input {slot} of node {nid} missing"))
-            })?);
+            resolved.push(
+                memo[inp].clone().ok_or_else(|| {
+                    NnError::Invalid(format!("input {slot} of node {nid} missing"))
+                })?,
+            );
         }
         memo[nid] = Some(apply_node(node, &resolved, input, compute)?);
     }
@@ -116,7 +118,9 @@ pub fn apply_node(
     compute: &mut dyn Compute,
 ) -> Result<Tensor> {
     let get = |slot: usize| -> Result<&Tensor> {
-        inputs.get(slot).ok_or_else(|| NnError::Invalid(format!("missing input {slot}")))
+        inputs
+            .get(slot)
+            .ok_or_else(|| NnError::Invalid(format!("missing input {slot}")))
     };
     Ok(match &node.op {
         Op::Input => graph_input.clone(),
@@ -232,7 +236,12 @@ impl crate::graph::Node {
                 self.layers.len()
             )));
         }
-        Ok([self.layers[0], self.layers[1], self.layers[2], self.layers[3]])
+        Ok([
+            self.layers[0],
+            self.layers[1],
+            self.layers[2],
+            self.layers[3],
+        ])
     }
 }
 
@@ -303,9 +312,15 @@ mod tests {
         }
         let mut rng = seeded(111);
         let mk = |rng: &mut _| Linear::new(Tensor::randn([4, 4], 0.0, 0.3, rng), None).unwrap();
-        let attn =
-            Attention::new(mk(&mut rng), mk(&mut rng), mk(&mut rng), mk(&mut rng), 2, false)
-                .unwrap();
+        let attn = Attention::new(
+            mk(&mut rng),
+            mk(&mut rng),
+            mk(&mut rng),
+            mk(&mut rng),
+            2,
+            false,
+        )
+        .unwrap();
         let mut g = Graph::new("attn");
         let x = g.input();
         let a = g.attention(x, attn).unwrap();
@@ -320,9 +335,15 @@ mod tests {
     fn window_attention_matches_manual_path() {
         let mut rng = seeded(112);
         let mk = |rng: &mut _| Linear::new(Tensor::randn([4, 4], 0.0, 0.3, rng), None).unwrap();
-        let attn =
-            Attention::new(mk(&mut rng), mk(&mut rng), mk(&mut rng), mk(&mut rng), 2, false)
-                .unwrap();
+        let attn = Attention::new(
+            mk(&mut rng),
+            mk(&mut rng),
+            mk(&mut rng),
+            mk(&mut rng),
+            2,
+            false,
+        )
+        .unwrap();
         let wa = crate::ops::WindowAttention::new(attn.clone(), 4, 4, 2, false).unwrap();
         let mut g = Graph::new("swinblock");
         let x = g.input();
@@ -335,8 +356,11 @@ mod tests {
         let q = attn.q.forward(&input).unwrap();
         let k = attn.k.forward(&input).unwrap();
         let v = attn.v.forward(&input).unwrap();
-        let (qw, kw, vw) =
-            (wa.partition(&q).unwrap(), wa.partition(&k).unwrap(), wa.partition(&v).unwrap());
+        let (qw, kw, vw) = (
+            wa.partition(&q).unwrap(),
+            wa.partition(&k).unwrap(),
+            wa.partition(&v).unwrap(),
+        );
         let outs: Vec<Tensor> = qw
             .iter()
             .zip(kw.iter())

@@ -212,7 +212,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with a human-readable name.
     pub fn new(name: impl Into<String>) -> Self {
-        Graph { name: name.into(), ..Default::default() }
+        Graph {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// The graph's name (model identifier).
@@ -227,12 +230,15 @@ impl Graph {
 
     /// A single node.
     pub fn node(&self, id: NodeId) -> Result<&Node> {
-        self.nodes.get(id).ok_or(NnError::Invalid(format!("no node {id}")))
+        self.nodes
+            .get(id)
+            .ok_or(NnError::Invalid(format!("no node {id}")))
     }
 
     /// The designated output node.
     pub fn output(&self) -> Result<NodeId> {
-        self.output.ok_or_else(|| NnError::Invalid("graph has no output set".into()))
+        self.output
+            .ok_or_else(|| NnError::Invalid("graph has no output set".into()))
     }
 
     /// Marks a node as the graph output.
@@ -272,7 +278,8 @@ impl Graph {
 
     /// Adds the graph input node.
     pub fn input(&mut self) -> NodeId {
-        self.add_node(Op::Input, vec![]).expect("input has no inputs to validate")
+        self.add_node(Op::Input, vec![])
+            .expect("input has no inputs to validate")
     }
 
     /// Adds a convolution node; returns its node id.
@@ -327,7 +334,10 @@ impl Graph {
 
     /// The node owning a layer and the layer's slot within it.
     pub fn layer_location(&self, layer: LayerId) -> Result<(NodeId, usize)> {
-        self.layer_refs.get(layer).copied().ok_or(NnError::BadLayer(layer))
+        self.layer_refs
+            .get(layer)
+            .copied()
+            .ok_or(NnError::BadLayer(layer))
     }
 
     /// Immutable view of a quantizable layer.
@@ -391,7 +401,9 @@ impl Graph {
     /// Replaces one input edge of a node (layout pass rewiring).
     pub fn reroute_input(&mut self, node: NodeId, slot: usize, new_input: NodeId) -> Result<()> {
         if new_input >= self.nodes.len() {
-            return Err(NnError::Invalid(format!("new input {new_input} does not exist")));
+            return Err(NnError::Invalid(format!(
+                "new input {new_input} does not exist"
+            )));
         }
         let n = self
             .nodes

@@ -32,15 +32,33 @@ pub struct Attention {
 
 impl Attention {
     /// Creates an attention block, validating head/width compatibility.
-    pub fn new(q: Linear, k: Linear, v: Linear, o: Linear, heads: usize, causal: bool) -> Result<Self> {
+    pub fn new(
+        q: Linear,
+        k: Linear,
+        v: Linear,
+        o: Linear,
+        heads: usize,
+        causal: bool,
+    ) -> Result<Self> {
         let c = q.c_out();
         if heads == 0 || c % heads != 0 {
-            return Err(NnError::Invalid(format!("heads {heads} must divide width {c}")));
+            return Err(NnError::Invalid(format!(
+                "heads {heads} must divide width {c}"
+            )));
         }
         if k.c_out() != c || v.c_out() != c || o.c_in() != c {
-            return Err(NnError::Invalid("attention projection widths disagree".into()));
+            return Err(NnError::Invalid(
+                "attention projection widths disagree".into(),
+            ));
         }
-        Ok(Attention { q, k, v, o, heads, causal })
+        Ok(Attention {
+            q,
+            k,
+            v,
+            o,
+            heads,
+            causal,
+        })
     }
 
     /// Model width.
@@ -132,7 +150,13 @@ impl WindowAttention {
                 "window {window} must tile grid {grid_h}x{grid_w}"
             )));
         }
-        Ok(WindowAttention { attn, grid_h, grid_w, window, shifted })
+        Ok(WindowAttention {
+            attn,
+            grid_h,
+            grid_w,
+            window,
+            shifted,
+        })
     }
 
     /// Number of windows.
@@ -220,11 +244,16 @@ mod tests {
 
     fn toy_attention(c: usize, heads: usize, causal: bool, seed: u64) -> Attention {
         let mut rng = seeded(seed);
-        let lin = |rng: &mut _| {
-            Linear::new(Tensor::randn([c, c], 0.0, 0.2, rng), None).unwrap()
-        };
-        Attention::new(lin(&mut rng), lin(&mut rng), lin(&mut rng), lin(&mut rng), heads, causal)
-            .unwrap()
+        let lin = |rng: &mut _| Linear::new(Tensor::randn([c, c], 0.0, 0.2, rng), None).unwrap();
+        Attention::new(
+            lin(&mut rng),
+            lin(&mut rng),
+            lin(&mut rng),
+            lin(&mut rng),
+            heads,
+            causal,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -234,13 +263,8 @@ mod tests {
         let c = 4;
         let zeros = Linear::new(Tensor::zeros([c, c]), None).unwrap();
         let ident = Linear::new(Tensor::eye(c), None).unwrap();
-        let attn =
-            Attention::new(zeros.clone(), zeros, ident.clone(), ident, 2, false).unwrap();
-        let x = Tensor::from_vec(
-            [2, 4],
-            vec![1.0, 2.0, 3.0, 4.0, 3.0, 4.0, 5.0, 6.0],
-        )
-        .unwrap();
+        let attn = Attention::new(zeros.clone(), zeros, ident.clone(), ident, 2, false).unwrap();
+        let x = Tensor::from_vec([2, 4], vec![1.0, 2.0, 3.0, 4.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let q = attn.q.forward(&x).unwrap();
         let k = attn.k.forward(&x).unwrap();
         let v = attn.v.forward(&x).unwrap();
@@ -271,10 +295,15 @@ mod tests {
         let y1 = run(&x1);
         let y2 = run(&x2);
         for i in 0..3 * 8 {
-            assert!((y1.data()[i] - y2.data()[i]).abs() < 1e-5, "token leak at {i}");
+            assert!(
+                (y1.data()[i] - y2.data()[i]).abs() < 1e-5,
+                "token leak at {i}"
+            );
         }
         // The last token must differ (it sees itself).
-        let diff: f32 = (0..8).map(|i| (y1.data()[24 + i] - y2.data()[24 + i]).abs()).sum();
+        let diff: f32 = (0..8)
+            .map(|i| (y1.data()[24 + i] - y2.data()[24 + i]).abs())
+            .sum();
         assert!(diff > 1e-3);
     }
 
@@ -282,8 +311,9 @@ mod tests {
     fn heads_must_divide_width() {
         let c = 6;
         let lin = Linear::new(Tensor::zeros([c, c]), None).unwrap();
-        assert!(Attention::new(lin.clone(), lin.clone(), lin.clone(), lin.clone(), 4, false)
-            .is_err());
+        assert!(
+            Attention::new(lin.clone(), lin.clone(), lin.clone(), lin.clone(), 4, false).is_err()
+        );
         assert!(Attention::new(lin.clone(), lin.clone(), lin.clone(), lin, 0, false).is_err());
     }
 

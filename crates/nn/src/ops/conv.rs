@@ -60,7 +60,13 @@ impl Conv2d {
         if stride == 0 {
             return Err(NnError::Invalid("stride must be positive".into()));
         }
-        Ok(Conv2d { weight, bias, stride, pad, groups })
+        Ok(Conv2d {
+            weight,
+            bias,
+            stride,
+            pad,
+            groups,
+        })
     }
 
     /// Output channels.
@@ -122,8 +128,7 @@ impl Conv2d {
         let cols = g.cols();
         let mut out = vec![0.0f32; c_out * cols];
         for grp in 0..self.groups {
-            let x_slice =
-                &x.data()[grp * c_in_g * h * w..(grp + 1) * c_in_g * h * w];
+            let x_slice = &x.data()[grp * c_in_g * h * w..(grp + 1) * c_in_g * h * w];
             let cols_mat = im2col(x_slice, &g);
             let w_slice = &self.weight.data()[grp * c_out_g * k..(grp + 1) * c_out_g * k];
             gemm::gemm_f32(
@@ -214,8 +219,8 @@ mod tests {
             )
             .unwrap();
             let sub = Conv2d::new(wg, None, 1, 1, 1).unwrap();
-            let xg = Tensor::from_vec([2, 5, 5], x.data()[grp * 50..(grp + 1) * 50].to_vec())
-                .unwrap();
+            let xg =
+                Tensor::from_vec([2, 5, 5], x.data()[grp * 50..(grp + 1) * 50].to_vec()).unwrap();
             let yg = sub.forward(&xg).unwrap();
             for (i, &v) in yg.data().iter().enumerate() {
                 assert!((v - y.data()[grp * 50 + i]).abs() < 1e-5);

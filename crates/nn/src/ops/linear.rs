@@ -163,8 +163,7 @@ impl Embedding {
                     self.vocab()
                 )));
             }
-            out[ti * c..(ti + 1) * c]
-                .copy_from_slice(&self.table.data()[id * c..(id + 1) * c]);
+            out[ti * c..(ti + 1) * c].copy_from_slice(&self.table.data()[id * c..(id + 1) * c]);
         }
         Ok(Tensor::from_vec([t, c], out)?)
     }
@@ -178,8 +177,11 @@ mod tests {
     #[test]
     fn vector_and_token_inputs_agree() {
         let mut rng = seeded(91);
-        let lin = Linear::new(Tensor::randn([3, 4], 0.0, 1.0, &mut rng), Some(vec![0.1, 0.2, 0.3]))
-            .unwrap();
+        let lin = Linear::new(
+            Tensor::randn([3, 4], 0.0, 1.0, &mut rng),
+            Some(vec![0.1, 0.2, 0.3]),
+        )
+        .unwrap();
         let x = Tensor::randn([4], 0.0, 1.0, &mut rng);
         let y_vec = lin.forward(&x).unwrap();
         let x2 = x.reshape([1, 4]).unwrap();
@@ -225,9 +227,15 @@ mod tests {
     #[test]
     fn embedding_rejects_invalid_ids() {
         let emb = Embedding::new(Tensor::zeros([3, 2])).unwrap();
-        assert!(emb.forward(&Tensor::from_vec([1], vec![3.0]).unwrap()).is_err());
-        assert!(emb.forward(&Tensor::from_vec([1], vec![-1.0]).unwrap()).is_err());
-        assert!(emb.forward(&Tensor::from_vec([1], vec![0.5]).unwrap()).is_err());
+        assert!(emb
+            .forward(&Tensor::from_vec([1], vec![3.0]).unwrap())
+            .is_err());
+        assert!(emb
+            .forward(&Tensor::from_vec([1], vec![-1.0]).unwrap())
+            .is_err());
+        assert!(emb
+            .forward(&Tensor::from_vec([1], vec![0.5]).unwrap())
+            .is_err());
         assert!(emb.forward(&Tensor::zeros([1, 1])).is_err());
     }
 }

@@ -44,7 +44,13 @@ impl BatchNorm2d {
         if var.iter().any(|&v| v < 0.0) {
             return Err(NnError::Invalid("negative running variance".into()));
         }
-        Ok(BatchNorm2d { gamma, beta, mean, var, eps })
+        Ok(BatchNorm2d {
+            gamma,
+            beta,
+            mean,
+            var,
+            eps,
+        })
     }
 
     /// Identity batch norm for `c` channels.
@@ -121,7 +127,11 @@ impl LayerNorm {
 
     /// Identity layer norm for `c` features.
     pub fn identity(c: usize) -> Self {
-        LayerNorm { gamma: vec![1.0; c], beta: vec![0.0; c], eps: 1e-5 }
+        LayerNorm {
+            gamma: vec![1.0; c],
+            beta: vec![0.0; c],
+            eps: 1e-5,
+        }
     }
 
     /// Number of features.
@@ -225,7 +235,12 @@ mod tests {
         let x = Tensor::from_vec([1, 8], (0..8).map(|i| i as f32).collect()).unwrap();
         let y = ln.forward(&x).unwrap();
         let out3 = y.data()[3].abs();
-        let others = y.data().iter().enumerate().filter(|(i, _)| *i != 3).map(|(_, v)| v.abs())
+        let others = y
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3)
+            .map(|(_, v)| v.abs())
             .fold(0.0f32, f32::max);
         assert!(out3 > 5.0 * others);
     }

@@ -22,9 +22,14 @@ fn check_chw<'a>(op: &'static str, x: &'a Tensor) -> Result<(&'a [usize], usize,
 pub fn max_pool2d(x: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
     let (_, c, h, w) = check_chw("max_pool2d", x)?;
     if k == 0 || stride == 0 || k > h || k > w {
-        return Err(NnError::Invalid(format!("bad pool window k={k} stride={stride} for {h}x{w}")));
+        return Err(NnError::Invalid(format!(
+            "bad pool window k={k} stride={stride} for {h}x{w}"
+        )));
     }
-    let (oh, ow) = (conv_out_size(h, k, stride, 0), conv_out_size(w, k, stride, 0));
+    let (oh, ow) = (
+        conv_out_size(h, k, stride, 0),
+        conv_out_size(w, k, stride, 0),
+    );
     let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
     for ci in 0..c {
         for oy in 0..oh {
@@ -46,9 +51,14 @@ pub fn max_pool2d(x: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
 pub fn avg_pool2d(x: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
     let (_, c, h, w) = check_chw("avg_pool2d", x)?;
     if k == 0 || stride == 0 || k > h || k > w {
-        return Err(NnError::Invalid(format!("bad pool window k={k} stride={stride} for {h}x{w}")));
+        return Err(NnError::Invalid(format!(
+            "bad pool window k={k} stride={stride} for {h}x{w}"
+        )));
     }
-    let (oh, ow) = (conv_out_size(h, k, stride, 0), conv_out_size(w, k, stride, 0));
+    let (oh, ow) = (
+        conv_out_size(h, k, stride, 0),
+        conv_out_size(w, k, stride, 0),
+    );
     let norm = 1.0 / (k * k) as f32;
     let mut out = vec![0.0f32; c * oh * ow];
     for ci in 0..c {

@@ -57,7 +57,9 @@ pub fn patch_merge(x: &Tensor, h: usize, w: usize) -> Result<Tensor> {
         });
     }
     if h % 2 != 0 || w % 2 != 0 {
-        return Err(NnError::Invalid(format!("patch_merge needs even grid, got {h}x{w}")));
+        return Err(NnError::Invalid(format!(
+            "patch_merge needs even grid, got {h}x{w}"
+        )));
     }
     let c = dims[1];
     let (oh, ow) = (h / 2, w / 2);
@@ -69,8 +71,7 @@ pub fn patch_merge(x: &Tensor, h: usize, w: usize) -> Result<Tensor> {
             let quad = [(0, 0), (1, 0), (0, 1), (1, 1)];
             for (qi, (dy, dx)) in quad.iter().enumerate() {
                 let src = ((2 * oy + dy) * w + 2 * ox + dx) * c;
-                out[dst + qi * c..dst + (qi + 1) * c]
-                    .copy_from_slice(&x.data()[src..src + c]);
+                out[dst + qi * c..dst + (qi + 1) * c].copy_from_slice(&x.data()[src..src + c]);
             }
         }
     }

@@ -31,8 +31,22 @@ impl TinyLmCfg {
     /// Configuration at a scale.
     pub fn at(scale: Scale) -> Self {
         match scale {
-            Scale::Test => TinyLmCfg { vocab: 16, dim: 16, depth: 1, heads: 2, context: 8, mlp_hidden: 32 },
-            Scale::Eval => TinyLmCfg { vocab: 32, dim: 32, depth: 3, heads: 4, context: 16, mlp_hidden: 64 },
+            Scale::Test => TinyLmCfg {
+                vocab: 16,
+                dim: 16,
+                depth: 1,
+                heads: 2,
+                context: 8,
+                mlp_hidden: 32,
+            },
+            Scale::Eval => TinyLmCfg {
+                vocab: 32,
+                dim: 32,
+                depth: 3,
+                heads: 4,
+                context: 16,
+                mlp_hidden: 64,
+            },
         }
     }
 }
@@ -51,7 +65,10 @@ pub fn build(cfg: TinyLmCfg, seed: u64) -> Result<Graph> {
     for _ in 0..cfg.depth {
         let ln1 = g.layer_norm(x, init.layer_norm(cfg.dim))?;
         let mk = |init: &mut Init| -> Result<Linear> {
-            Linear::new(init.linear_weight(cfg.dim, cfg.dim), Some(init.bias(cfg.dim)))
+            Linear::new(
+                init.linear_weight(cfg.dim, cfg.dim),
+                Some(init.bias(cfg.dim)),
+            )
         };
         let attn = Attention::new(
             mk(&mut init)?,

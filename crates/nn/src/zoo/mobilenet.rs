@@ -93,7 +93,11 @@ fn inverted_residual(
     let proj = g.conv2d(h, Conv2d::new(w, None, 1, 0, 1)?)?;
     let bn = init.batch_norm(c_out);
     let out = g.batch_norm(proj, bn)?;
-    let out = if stride == 1 && c_in == c_out { g.add(out, x)? } else { out };
+    let out = if stride == 1 && c_in == c_out {
+        g.add(out, x)?
+    } else {
+        out
+    };
     Ok((out, c_out))
 }
 

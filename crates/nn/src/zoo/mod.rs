@@ -79,12 +79,18 @@ impl InitProfile {
 
     /// DeiT-like profile: milder outliers than ViT.
     pub fn deit() -> Self {
-        InitProfile { outlier_gain: 7.0, ..InitProfile::vit() }
+        InitProfile {
+            outlier_gain: 7.0,
+            ..InitProfile::vit()
+        }
     }
 
     /// Swin-like profile.
     pub fn swin() -> Self {
-        InitProfile { outlier_gain: 9.0, ..InitProfile::vit() }
+        InitProfile {
+            outlier_gain: 9.0,
+            ..InitProfile::vit()
+        }
     }
 }
 
@@ -96,15 +102,22 @@ pub(crate) struct Init {
 
 impl Init {
     pub fn new(seed: u64, profile: InitProfile) -> Self {
-        Init { rng: seeded(seed), profile }
+        Init {
+            rng: seeded(seed),
+            profile,
+        }
     }
 
     /// Per-input-channel scales, log-normal, renormalized so the layer's
     /// overall variance matches `base` (He/Xavier-style).
     fn channel_scales(&mut self, n: usize, base: f32) -> Vec<f32> {
         let sigma = self.profile.weight_channel_sigma;
-        let raw: Vec<f32> = (0..n).map(|_| log_normal(&mut self.rng, 0.0, sigma)).collect();
-        let ms = (raw.iter().map(|s| s * s).sum::<f32>() / n.max(1) as f32).sqrt().max(1e-6);
+        let raw: Vec<f32> = (0..n)
+            .map(|_| log_normal(&mut self.rng, 0.0, sigma))
+            .collect();
+        let ms = (raw.iter().map(|s| s * s).sum::<f32>() / n.max(1) as f32)
+            .sqrt()
+            .max(1e-6);
         raw.iter().map(|s| s * base / ms).collect()
     }
 
@@ -129,15 +142,18 @@ impl Init {
 
     /// Small random bias.
     pub fn bias(&mut self, n: usize) -> Vec<f32> {
-        (0..n).map(|_| 0.02 * flexiq_tensor::rng::normal(&mut self.rng)).collect()
+        (0..n)
+            .map(|_| 0.02 * flexiq_tensor::rng::normal(&mut self.rng))
+            .collect()
     }
 
     /// Batch norm with log-normal gammas (identity running stats; the
     /// stats are calibrated after construction).
     pub fn batch_norm(&mut self, c: usize) -> BatchNorm2d {
         let sigma = self.profile.bn_gamma_sigma;
-        let gamma: Vec<f32> =
-            (0..c).map(|_| log_normal(&mut self.rng, 0.0, sigma)).collect();
+        let gamma: Vec<f32> = (0..c)
+            .map(|_| log_normal(&mut self.rng, 0.0, sigma))
+            .collect();
         let beta = self.bias(c);
         BatchNorm2d::new(gamma, beta, vec![0.0; c], vec![1.0; c], 1e-5)
             .expect("lengths agree by construction")
@@ -150,7 +166,11 @@ impl Init {
             .collect();
         let n_out = ((c as f32 * self.profile.outlier_fraction).round() as usize)
             .min(c)
-            .max(if self.profile.outlier_fraction > 0.0 { 1 } else { 0 });
+            .max(if self.profile.outlier_fraction > 0.0 {
+                1
+            } else {
+                0
+            });
         for _ in 0..n_out {
             let idx = self.rng.gen_range(0..c);
             gamma[idx] = self.profile.outlier_gain
@@ -339,13 +359,22 @@ mod tests {
             let dims = id.input_dims(Scale::Test);
             let x = crate::data::gen_image_inputs(1, &dims, 7).remove(0);
             let y = run_f32(&g, &x).unwrap_or_else(|e| panic!("{}: {e}", id.name()));
-            assert!(y.numel() >= 2, "{} produced {} logits", id.name(), y.numel());
+            assert!(
+                y.numel() >= 2,
+                "{} produced {} logits",
+                id.name(),
+                y.numel()
+            );
             assert!(
                 y.data().iter().all(|v| v.is_finite()),
                 "{} produced non-finite logits",
                 id.name()
             );
-            assert!(g.num_layers() >= 2, "{} registered too few layers", id.name());
+            assert!(
+                g.num_layers() >= 2,
+                "{} registered too few layers",
+                id.name()
+            );
         }
     }
 

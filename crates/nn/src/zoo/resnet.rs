@@ -39,14 +39,22 @@ impl ResNetCfg {
             },
             ModelId::RNet18 => ResNetCfg {
                 stem: if test { 8 } else { 16 },
-                stage_widths: if test { vec![8, 16] } else { vec![16, 32, 64, 128] },
+                stage_widths: if test {
+                    vec![8, 16]
+                } else {
+                    vec![16, 32, 64, 128]
+                },
                 stage_blocks: if test { vec![1, 1] } else { vec![2, 2, 2, 2] },
                 bottleneck: false,
                 num_classes: 10,
             },
             ModelId::RNet34 => ResNetCfg {
                 stem: if test { 8 } else { 16 },
-                stage_widths: if test { vec![8, 16] } else { vec![16, 32, 64, 128] },
+                stage_widths: if test {
+                    vec![8, 16]
+                } else {
+                    vec![16, 32, 64, 128]
+                },
                 stage_blocks: if test { vec![1, 1] } else { vec![3, 4, 6, 3] },
                 bottleneck: false,
                 num_classes: 10,
@@ -135,8 +143,11 @@ pub fn build(cfg: ResNetCfg, seed: u64) -> Result<Graph> {
     let stem = conv_bn(&mut g, &mut init, input, 3, cfg.stem, 3, 1)?;
     let mut x = g.relu(stem)?;
     let mut c_in = cfg.stem;
-    for (stage, (&width, &blocks)) in
-        cfg.stage_widths.iter().zip(cfg.stage_blocks.iter()).enumerate()
+    for (stage, (&width, &blocks)) in cfg
+        .stage_widths
+        .iter()
+        .zip(cfg.stage_blocks.iter())
+        .enumerate()
     {
         for b in 0..blocks {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };

@@ -73,14 +73,20 @@ pub fn build(cfg: SwinCfg, seed: u64) -> Result<Graph> {
     let input = g.input();
     let dim0 = cfg.stage_dims[0];
     let w = init.conv_weight(dim0, 3, cfg.patch, cfg.patch);
-    let pe = g.conv2d(input, Conv2d::new(w, Some(init.bias(dim0)), cfg.patch, 0, 1)?)?;
+    let pe = g.conv2d(
+        input,
+        Conv2d::new(w, Some(init.bias(dim0)), cfg.patch, 0, 1)?,
+    )?;
     let tok = g.add_node(Op::ToTokens, vec![pe])?;
     let pos = init.pos_embedding(cfg.grid * cfg.grid, dim0);
     let mut x = g.add_node(Op::AddParam(pos), vec![tok])?;
 
     let mut grid = cfg.grid;
-    for (stage, (&dim, &blocks)) in
-        cfg.stage_dims.iter().zip(cfg.stage_blocks.iter()).enumerate()
+    for (stage, (&dim, &blocks)) in cfg
+        .stage_dims
+        .iter()
+        .zip(cfg.stage_blocks.iter())
+        .enumerate()
     {
         if stage > 0 {
             // Patch merging: grid/2, channels ×4, then linear to `dim`.
@@ -155,7 +161,10 @@ mod tests {
             .count();
         assert!(shifted >= 1, "no shifted windows found");
         // And a patch-merge transition.
-        assert!(g.nodes().iter().any(|n| matches!(n.op, Op::PatchMerge { .. })));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::PatchMerge { .. })));
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub fn build(cfg: ViTCfg, seed: u64) -> Result<Graph> {
     let input = g.input();
     // Patch embedding: conv with kernel = stride = patch.
     let w = init.conv_weight(cfg.dim, 3, cfg.patch, cfg.patch);
-    let pe = g.conv2d(input, Conv2d::new(w, Some(init.bias(cfg.dim)), cfg.patch, 0, 1)?)?;
+    let pe = g.conv2d(
+        input,
+        Conv2d::new(w, Some(init.bias(cfg.dim)), cfg.patch, 0, 1)?,
+    )?;
     let tok = g.add_node(Op::ToTokens, vec![pe])?;
     let pos = init.pos_embedding(cfg.tokens(), cfg.dim);
     let mut x = g.add_node(Op::AddParam(pos), vec![tok])?;
@@ -99,7 +102,10 @@ pub fn build(cfg: ViTCfg, seed: u64) -> Result<Graph> {
         // Attention sub-block (pre-norm).
         let ln1 = g.layer_norm(x, init.layer_norm(cfg.dim))?;
         let mk = |init: &mut Init| -> Result<Linear> {
-            Linear::new(init.linear_weight(cfg.dim, cfg.dim), Some(init.bias(cfg.dim)))
+            Linear::new(
+                init.linear_weight(cfg.dim, cfg.dim),
+                Some(init.bias(cfg.dim)),
+            )
         };
         let attn = Attention::new(
             mk(&mut init)?,

@@ -187,7 +187,11 @@ mod tests {
     fn random_tile(rows: usize, cols: usize, n: usize, seed: u64) -> (Vec<Vec<i8>>, Vec<Vec<i8>>) {
         let mut rng = seeded(seed);
         let w = (0..cols)
-            .map(|_| (0..rows).map(|_| rng.gen_range(-40i16..=40) as i8).collect())
+            .map(|_| {
+                (0..rows)
+                    .map(|_| rng.gen_range(-40i16..=40) as i8)
+                    .collect()
+            })
             .collect();
         let a = (0..rows)
             .map(|_| (0..n).map(|_| rng.gen_range(-40i16..=40) as i8).collect())
@@ -213,7 +217,11 @@ mod tests {
         let (w, a) = random_tile(8, 4, 6, 282);
         let w_rules: Vec<BitLowering> = (0..4)
             .map(|o| {
-                let m = w[o].iter().map(|&v| v.unsigned_abs() as u32).max().unwrap_or(0);
+                let m = w[o]
+                    .iter()
+                    .map(|&v| v.unsigned_abs() as u32)
+                    .max()
+                    .unwrap_or(0);
                 BitLowering::for_max_abs(m, QuantBits::B4)
             })
             .collect();
@@ -244,10 +252,12 @@ mod tests {
         // When every operand fits in 4 bits the lowered tile is exact.
         let arr = SystolicArray::new(NpuConfig::default());
         let mut rng = seeded(283);
-        let w: Vec<Vec<i8>> =
-            (0..4).map(|_| (0..8).map(|_| rng.gen_range(-7i16..=7) as i8).collect()).collect();
-        let a: Vec<Vec<i8>> =
-            (0..8).map(|_| (0..3).map(|_| rng.gen_range(-7i16..=7) as i8).collect()).collect();
+        let w: Vec<Vec<i8>> = (0..4)
+            .map(|_| (0..8).map(|_| rng.gen_range(-7i16..=7) as i8).collect())
+            .collect();
+        let a: Vec<Vec<i8>> = (0..8)
+            .map(|_| (0..3).map(|_| rng.gen_range(-7i16..=7) as i8).collect())
+            .collect();
         let rules = vec![BitLowering::for_max_abs(7, QuantBits::B4); 4];
         let a_rule = BitLowering::for_max_abs(7, QuantBits::B4);
         let low = arr.run_tile(Precision::Int4, &w, &a, Some(&rules), Some(a_rule));
@@ -264,7 +274,9 @@ mod tests {
         let rules = vec![BitLowering::for_max_abs(127, QuantBits::B4); 4];
         let a_rule = BitLowering::for_max_abs(127, QuantBits::B4);
         let c8 = arr.run_tile(Precision::Int8, &w, &a, None, None).cycles;
-        let c4 = arr.run_tile(Precision::Int4, &w, &a, Some(&rules), Some(a_rule)).cycles;
+        let c4 = arr
+            .run_tile(Precision::Int4, &w, &a, Some(&rules), Some(a_rule))
+            .cycles;
         assert_eq!(c8, c4);
     }
 

@@ -105,7 +105,13 @@ mod tests {
         // must land under the paper's 0.3 µs bound.
         let mut im = InstructionMemory::new();
         let program: Vec<Instr> = (0..48)
-            .map(|i| if i % 2 == 0 { Instr::LoadWeights { tile: i } } else { Instr::Gemm { n: 64 } })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Instr::LoadWeights { tile: i }
+                } else {
+                    Instr::Gemm { n: 64 }
+                }
+            })
             .collect();
         let t = im.load(program, 200.0);
         assert!(t < 0.3, "reload {t} µs exceeds the paper's bound");
@@ -114,7 +120,13 @@ mod tests {
     #[test]
     fn program_is_stored() {
         let mut im = InstructionMemory::new();
-        im.load(vec![Instr::SetPrecision(Precision::Int4), Instr::Store { dst: 1 }], 200.0);
+        im.load(
+            vec![
+                Instr::SetPrecision(Precision::Int4),
+                Instr::Store { dst: 1 },
+            ],
+            200.0,
+        );
         assert_eq!(im.program().len(), 2);
     }
 }

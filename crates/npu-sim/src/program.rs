@@ -103,13 +103,24 @@ pub fn compile_layer(cfg: &NpuConfig, spec: &GemmSpec) -> (Vec<Instr>, LayerLate
 
     // The reordered store re-writes the output to a second location: the
     // paper measures ~3% of total execution (§5).
-    let reorder_cycles = if spec.residual_store { compute_cycles * 3 / 100 } else { 0 };
+    let reorder_cycles = if spec.residual_store {
+        compute_cycles * 3 / 100
+    } else {
+        0
+    };
     // Loading 8-bit tensors for the 4-bit bands moves twice the bytes a
     // native 4-bit tensor would: 1–2% of total at the memory interface
     // (§8.3), scaled by the low fraction.
     let low_frac = low as f64 / spec.c_in.max(1) as f64;
     let mem_overhead_cycles = (compute_cycles as f64 * 0.02 * low_frac) as u64;
-    (program, LayerLatency { compute_cycles, reorder_cycles, mem_overhead_cycles })
+    (
+        program,
+        LayerLatency {
+            compute_cycles,
+            reorder_cycles,
+            mem_overhead_cycles,
+        },
+    )
 }
 
 /// Whole-model latency on the NPU.
@@ -219,7 +230,10 @@ pub fn model_latency(cfg: &NpuConfig, specs: &[GemmSpec]) -> NpuModelLatency {
         instructions += p.len();
         layers.push(lat);
     }
-    NpuModelLatency { layers, instructions }
+    NpuModelLatency {
+        layers,
+        instructions,
+    }
 }
 
 #[cfg(test)]
@@ -268,7 +282,9 @@ mod tests {
         let (prog, lat) = compile_layer(&cfg, &s);
         let frac = lat.reorder_cycles as f64 / lat.compute_cycles as f64;
         assert!((0.02..=0.04).contains(&frac), "reorder overhead {frac}");
-        assert!(prog.iter().any(|i| matches!(i, Instr::StoreReordered { .. })));
+        assert!(prog
+            .iter()
+            .any(|i| matches!(i, Instr::StoreReordered { .. })));
     }
 
     #[test]
@@ -284,8 +300,8 @@ mod tests {
         use flexiq_nn::zoo::{ModelId, Scale};
         let id = ModelId::RNet20;
         let graph = id.build(Scale::Test).unwrap();
-        let input = flexiq_nn::data::gen_image_inputs(1, &id.input_dims(Scale::Test), 291)
-            .remove(0);
+        let input =
+            flexiq_nn::data::gen_image_inputs(1, &id.input_dims(Scale::Test), 291).remove(0);
         let low = vec![0usize; graph.num_layers()];
         let specs = specs_from_graph(&graph, &input, &low, &[0]).unwrap();
         assert_eq!(specs.len(), graph.num_layers() - 1);

@@ -80,7 +80,10 @@ pub fn group_reduce_max(per_channel: &[f32], groups: GroupSpec) -> Vec<f32> {
 /// Quantizes per-group real ranges into maximum absolute integer values
 /// under shared parameters `p`.
 pub fn ranges_to_max_abs_q(ranges: &[f32], p: &QParams) -> Vec<u32> {
-    ranges.iter().map(|&r| p.quantize(r).unsigned_abs()).collect()
+    ranges
+        .iter()
+        .map(|&r| p.quantize(r).unsigned_abs())
+        .collect()
 }
 
 /// Result of comparing FlexiQ's bit extraction against naive lowering on
@@ -108,7 +111,9 @@ pub fn extraction_error_report(
     low_ratio: f64,
 ) -> Result<ExtractionErrorReport> {
     if !(0.0..=1.0).contains(&low_ratio) {
-        return Err(QuantError::Invalid(format!("low_ratio {low_ratio} outside [0, 1]")));
+        return Err(QuantError::Invalid(format!(
+            "low_ratio {low_ratio} outside [0, 1]"
+        )));
     }
     let abs_max = stats::abs_max(weight.data()).max(RANGE_EPS);
     let p8 = QParams::from_abs_max(abs_max, QuantBits::B8)?;
@@ -118,7 +123,9 @@ pub fn extraction_error_report(
     // Pick the smallest-range groups for 4-bit computation.
     let mut order: Vec<usize> = (0..n_groups).collect();
     order.sort_by(|&a, &b| {
-        group_ranges[a].partial_cmp(&group_ranges[b]).expect("ranges are finite")
+        group_ranges[a]
+            .partial_cmp(&group_ranges[b])
+            .expect("ranges are finite")
     });
     let n_low = ((n_groups as f64) * low_ratio).round() as usize;
     let mut is_low = vec![false; n_groups];
@@ -226,12 +233,9 @@ mod tests {
         // Weight with wildly diverse feature-channel ranges: extraction
         // should cut the error of 50% 4-bit computation dramatically.
         let mut rng = seeded(71);
-        let scales: Vec<f32> = (0..8)
-            .map(|i| if i < 6 { 0.02 } else { 1.0 })
-            .collect();
+        let scales: Vec<f32> = (0..8).map(|i| if i < 6 { 0.02 } else { 1.0 }).collect();
         let w = Tensor::randn_axis_scaled([4, 8, 3, 3], 1, &scales, &mut rng).unwrap();
-        let rep =
-            extraction_error_report(&w, 1, GroupSpec::new(2), 0.5).unwrap();
+        let rep = extraction_error_report(&w, 1, GroupSpec::new(2), 0.5).unwrap();
         assert!(
             rep.with_extraction < rep.without_extraction * 0.5,
             "extraction {} vs naive {}",

@@ -21,7 +21,9 @@ use crate::params::QuantBits;
 /// Every bit set in the result is used by at least one value; the highest
 /// set bit therefore determines the minimal extraction window.
 pub fn or_magnitude(values: &[i8]) -> u8 {
-    values.iter().fold(0u8, |acc, &q| acc | (q ^ (q >> 7)) as u8)
+    values
+        .iter()
+        .fold(0u8, |acc, &q| acc | (q ^ (q >> 7)) as u8)
 }
 
 /// Computes the optimal extraction rule for a live value group.

@@ -30,7 +30,10 @@ impl fmt::Display for QuantError {
             }
             QuantError::BadScale(s) => write!(f, "scale factor {s} must be finite and positive"),
             QuantError::ChannelCountMismatch { expected, actual } => {
-                write!(f, "channel count mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "channel count mismatch: expected {expected}, got {actual}"
+                )
             }
             QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
             QuantError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
@@ -61,7 +64,10 @@ mod tests {
     fn displays_are_informative() {
         assert!(QuantError::UnsupportedBits(16).to_string().contains("16"));
         assert!(QuantError::BadScale(0.0).to_string().contains("0"));
-        let e = QuantError::ChannelCountMismatch { expected: 4, actual: 2 };
+        let e = QuantError::ChannelCountMismatch {
+            expected: 4,
+            actual: 2,
+        };
         assert!(e.to_string().contains("expected 4"));
     }
 

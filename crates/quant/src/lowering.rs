@@ -79,7 +79,10 @@ impl BitLowering {
     /// The naive lowering used by uniform re-quantization: always keep the
     /// top `low_bits` of the full `src_bits` representation.
     pub fn naive(src_bits: QuantBits, low_bits: QuantBits) -> Self {
-        BitLowering { shift: src_bits.bits() - low_bits.bits(), low_bits }
+        BitLowering {
+            shift: src_bits.bits() - low_bits.bits(),
+            low_bits,
+        }
     }
 
     /// Bits dropped from the bottom (= extraction position offset).
@@ -271,7 +274,10 @@ mod tests {
             let step = 1i32 << l.shift();
             for q in -(max_abs as i32)..=(max_abs as i32) {
                 let q = q as i8;
-                assert!(!l.saturates(q), "q={q} within calibrated range must not saturate");
+                assert!(
+                    !l.saturates(q),
+                    "q={q} within calibrated range must not saturate"
+                );
                 let err = (q as i32 - l.round_trip(q)).abs();
                 assert!(err < step, "q={q} max_abs={max_abs} err={err} step={step}");
             }

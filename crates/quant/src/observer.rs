@@ -93,7 +93,11 @@ impl EmaObserver {
     /// Panics if `momentum` is outside `[0, 1)`.
     pub fn new(momentum: f32) -> Self {
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        EmaObserver { momentum, est: 0.0, batches: 0 }
+        EmaObserver {
+            momentum,
+            est: 0.0,
+            batches: 0,
+        }
     }
 
     /// The paper's default configuration.
@@ -147,7 +151,11 @@ impl PercentileObserver {
     /// Panics if `p` is outside `(0, 1]`.
     pub fn new(p: f64) -> Self {
         assert!(p > 0.0 && p <= 1.0, "coverage must be in (0, 1]");
-        PercentileObserver { p, sum: 0.0, batches: 0 }
+        PercentileObserver {
+            p,
+            sum: 0.0,
+            batches: 0,
+        }
     }
 }
 
@@ -183,7 +191,9 @@ pub struct PerChannelObserver<O> {
 impl<O: RangeObserver + Clone> PerChannelObserver<O> {
     /// Creates `channels` clones of a prototype observer.
     pub fn new(prototype: O, channels: usize) -> Self {
-        PerChannelObserver { observers: vec![prototype; channels] }
+        PerChannelObserver {
+            observers: vec![prototype; channels],
+        }
     }
 
     /// Number of channels tracked.
@@ -203,7 +213,10 @@ impl<O: RangeObserver + Clone> PerChannelObserver<O> {
     /// Per-channel absolute-maximum estimates; unobserved channels report
     /// 0.0.
     pub fn abs_max_per_channel(&self) -> Vec<f32> {
-        self.observers.iter().map(|o| o.abs_max().unwrap_or(0.0)).collect()
+        self.observers
+            .iter()
+            .map(|o| o.abs_max().unwrap_or(0.0))
+            .collect()
     }
 }
 
@@ -260,7 +273,10 @@ mod tests {
         batch.push(1000.0);
         o.observe(&batch);
         let est = o.abs_max().unwrap();
-        assert!(est < 2.0, "90% coverage must exclude the outlier, got {est}");
+        assert!(
+            est < 2.0,
+            "90% coverage must exclude the outlier, got {est}"
+        );
     }
 
     #[test]

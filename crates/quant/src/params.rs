@@ -133,7 +133,10 @@ impl QParams {
     /// extraction is compared.
     pub fn with_bits(&self, bits: QuantBits) -> QParams {
         let abs_max = self.scale * self.bits.qmax() as f32;
-        QParams { scale: abs_max / bits.qmax() as f32, bits }
+        QParams {
+            scale: abs_max / bits.qmax() as f32,
+            bits,
+        }
     }
 }
 

@@ -179,8 +179,8 @@ mod tests {
     fn per_channel_calibration_uses_each_channels_range() {
         // Channel 0 small, channel 1 large: per-channel scales must differ
         // by the same factor.
-        let w = Tensor::from_vec([2, 4], vec![0.01, -0.02, 0.015, 0.0, 1.0, -2.0, 1.5, 0.5])
-            .unwrap();
+        let w =
+            Tensor::from_vec([2, 4], vec![0.01, -0.02, 0.015, 0.0, 1.0, -2.0, 1.5, 0.5]).unwrap();
         let pc = PerChannelQ::calibrate_axis0(&w, QuantBits::B8).unwrap();
         assert_eq!(pc.channels(), 2);
         assert!((pc.scales()[0] - 0.02 / 127.0).abs() < 1e-9);
@@ -210,7 +210,9 @@ mod tests {
         let w = Tensor::randn([3, 5], 0.0, 1.0, &mut rng);
         let pc = PerChannelQ::calibrate_axis0(&w, QuantBits::B4).unwrap();
         let fake = pc.fake_axis0(&w).unwrap();
-        let hard = pc.dequantize_axis0(&pc.quantize_axis0(&w).unwrap()).unwrap();
+        let hard = pc
+            .dequantize_axis0(&pc.quantize_axis0(&w).unwrap())
+            .unwrap();
         assert_eq!(fake.data(), hard.data());
     }
 

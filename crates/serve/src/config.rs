@@ -1,0 +1,160 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+use crate::error::{Result, ServeError};
+
+/// Dynamic-batching and admission parameters of a [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// How long a partially filled batch may wait for more arrivals
+    /// before dispatching anyway.
+    pub batch_timeout: Duration,
+    /// Admission-queue capacity; submissions beyond it are rejected with
+    /// [`ServeError::QueueFull`] (counted, never silently dropped).
+    pub queue_capacity: usize,
+    /// Worker threads running [`flexiq_core::FlexiRuntime`] forward
+    /// passes. Each worker assembles its own batches, so batching and
+    /// execution overlap across workers.
+    pub workers: usize,
+    /// Default per-request deadline measured from admission; `None`
+    /// means requests never expire. Individual submissions can override
+    /// it.
+    pub default_deadline: Option<Duration>,
+    /// Feedback-control parameters.
+    pub control: ControlConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            batch_timeout: Duration::from_millis(2),
+            queue_capacity: 1024,
+            workers: 2,
+            default_deadline: None,
+            control: ControlConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be positive".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config("queue_capacity must be positive".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::Config("workers must be positive".into()));
+        }
+        self.control.validate()
+    }
+}
+
+/// Parameters of the measured-latency feedback controller.
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// Latency target: the controller raises the 4-bit ratio while the
+    /// sliding-window percentile exceeds this.
+    pub target: Duration,
+    /// Which percentile of the window the controller tracks (0..=1,
+    /// e.g. 0.95).
+    pub percentile: f64,
+    /// Sliding window over completed requests.
+    pub window: Duration,
+    /// Hysteresis: step back down only when the tracked percentile falls
+    /// below `target × down_margin` (must be < 1.0).
+    pub down_margin: f64,
+    /// Minimum completed requests in the window before the controller
+    /// acts (avoids deciding on noise after idle periods).
+    pub min_samples: usize,
+    /// How often the control loop re-evaluates the level.
+    pub tick: Duration,
+    /// Minimum time between level changes (cooldown), so one burst does
+    /// not thrash the level up and down within a single window.
+    pub hold: Duration,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            target: Duration::from_millis(50),
+            percentile: 0.95,
+            window: Duration::from_secs(1),
+            down_margin: 0.5,
+            min_samples: 8,
+            tick: Duration::from_millis(20),
+            hold: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ControlConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.percentile) {
+            return Err(ServeError::Config(format!(
+                "percentile {} outside [0, 1]",
+                self.percentile
+            )));
+        }
+        if !(0.0..1.0).contains(&self.down_margin) {
+            return Err(ServeError::Config(format!(
+                "down_margin {} outside [0, 1)",
+                self.down_margin
+            )));
+        }
+        if self.target.is_zero() {
+            return Err(ServeError::Config("target latency must be positive".into()));
+        }
+        if self.window.is_zero() {
+            return Err(ServeError::Config("window must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        let c = ServeConfig {
+            max_batch: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            control: ControlConfig {
+                down_margin: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            control: ControlConfig {
+                percentile: 1.5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

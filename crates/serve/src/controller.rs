@@ -1,0 +1,252 @@
+//! Measured-latency feedback control of the 4-bit ratio.
+//!
+//! The discrete-event simulator's [`flexiq_serving::AdaptiveController`]
+//! consults an *offline* latency-vs-rate profile (Fig. 8). The live
+//! server replaces the profile with feedback from its own metrics: the
+//! controller tracks a percentile of the end-to-end latency over a
+//! sliding window of *measured* completions and ratchets the ratio level
+//! one 25% step at a time — up while the percentile exceeds the target,
+//! down once it falls below `target × down_margin` (hysteresis), with a
+//! cooldown between switches so a single burst cannot thrash the level
+//! within one window.
+//!
+//! Both controllers implement the same [`Controller`] trait, so the live
+//! server can also run a [`flexiq_serving::FixedLevel`] baseline or the
+//! profile-driven controller unchanged — and the measured controller's
+//! decision core ([`FeedbackController`]) is a pure function of
+//! `(time, observation)`, which is what the deterministic tests drive.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use flexiq_serving::Controller;
+
+use crate::config::ControlConfig;
+use crate::metrics::MetricsHub;
+
+/// Pure ratchet logic of the measured controller.
+///
+/// Level space is the controller convention shared with
+/// `flexiq-serving`: `0` = pure INT8, `k` = 4-bit ratio level `k-1` of
+/// the runtime's schedule, up to `max_level`.
+#[derive(Debug, Clone)]
+pub struct FeedbackController {
+    target_s: f64,
+    down_margin: f64,
+    hold_s: f64,
+    min_samples: usize,
+    max_level: usize,
+    current: usize,
+    last_change_s: f64,
+}
+
+impl FeedbackController {
+    /// Creates a controller starting at level 0 (pure INT8).
+    pub fn new(cfg: &ControlConfig, max_level: usize) -> Self {
+        FeedbackController {
+            target_s: cfg.target.as_secs_f64(),
+            down_margin: cfg.down_margin,
+            hold_s: cfg.hold.as_secs_f64(),
+            min_samples: cfg.min_samples,
+            max_level,
+            current: 0,
+            last_change_s: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The current level (for telemetry).
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// One control decision.
+    ///
+    /// `observation` is `(samples in window, measured percentile in
+    /// seconds)`, or `None` when the window is empty. The returned level
+    /// moves at most one step per call. Three regimes:
+    ///
+    /// * **Enough samples** (`n ≥ min_samples`): normal ratchet — up
+    ///   over target, down under the hysteresis margin.
+    /// * **Some samples, fewer than `min_samples`**: hold. The traffic
+    ///   is too sparse to decide confidently in either direction — a
+    ///   slow trickle of over-target requests must not decay, and a few
+    ///   lucky fast ones must not ratchet.
+    /// * **Empty window**: decay one step toward INT8 per hold period.
+    ///   Nothing is being served, so there is no latency pressure, and
+    ///   sticking at a burst's final level would pin the server at the
+    ///   lowest-accuracy ratio indefinitely.
+    pub fn decide(&mut self, now_s: f64, observation: Option<(usize, f64)>) -> usize {
+        if now_s - self.last_change_s < self.hold_s {
+            return self.current;
+        }
+        match observation {
+            Some((n, p)) if n >= self.min_samples => {
+                if p > self.target_s && self.current < self.max_level {
+                    self.current += 1;
+                    self.last_change_s = now_s;
+                } else if p < self.target_s * self.down_margin && self.current > 0 {
+                    self.current -= 1;
+                    self.last_change_s = now_s;
+                }
+            }
+            Some(_) => {} // sparse: hold
+            None => {
+                // Idle: recover accuracy.
+                if self.current > 0 {
+                    self.current -= 1;
+                    self.last_change_s = now_s;
+                }
+            }
+        }
+        self.current
+    }
+}
+
+/// The hub-backed measured controller the live server runs by default.
+///
+/// Implements [`Controller`] so it is interchangeable with the
+/// simulator's profile-driven and fixed-level policies; the `rate`
+/// argument is ignored — this controller reacts to what latency *is*,
+/// not to what the profile predicts it will be.
+pub struct MeasuredController {
+    hub: Arc<MetricsHub>,
+    percentile: f64,
+    inner: FeedbackController,
+}
+
+impl MeasuredController {
+    /// Creates a controller reading `hub`'s sliding window.
+    pub fn new(hub: Arc<MetricsHub>, cfg: &ControlConfig, max_level: usize) -> Self {
+        MeasuredController {
+            hub,
+            percentile: cfg.percentile,
+            inner: FeedbackController::new(cfg, max_level),
+        }
+    }
+
+    /// The current level (for telemetry).
+    pub fn current(&self) -> usize {
+        self.inner.current()
+    }
+}
+
+impl Controller for MeasuredController {
+    fn level(&mut self, now: f64, _rate: f64) -> usize {
+        let obs = self
+            .hub
+            .window
+            .percentile_s(Instant::now(), self.percentile);
+        self.inner.decide(now, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cfg() -> ControlConfig {
+        ControlConfig {
+            target: Duration::from_millis(100),
+            percentile: 0.95,
+            window: Duration::from_secs(1),
+            down_margin: 0.5,
+            min_samples: 4,
+            tick: Duration::from_millis(10),
+            hold: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn converges_up_under_a_load_step_and_recovers() {
+        let mut c = FeedbackController::new(&cfg(), 4);
+        // Comfortable latency: stays at INT8.
+        for i in 0..10 {
+            assert_eq!(c.decide(i as f64, Some((32, 0.030))), 0);
+        }
+        // Step change: measured p95 jumps over the target. The level
+        // ratchets one step per hold period until the ceiling.
+        let mut t = 10.0;
+        let mut seen = vec![c.current()];
+        while c.current() < 4 {
+            let l = c.decide(t, Some((32, 0.250)));
+            if *seen.last().unwrap() != l {
+                seen.push(l);
+            }
+            t += 0.06; // > hold
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "must ratchet one step at a time");
+        // Saturated: further high readings keep it pinned at max.
+        assert_eq!(c.decide(t + 1.0, Some((32, 0.250))), 4);
+        // Load drops: recovery only below the hysteresis margin.
+        t += 2.0;
+        assert_eq!(
+            c.decide(t, Some((32, 0.080))),
+            4,
+            "inside hysteresis band: hold"
+        );
+        let mut levels = Vec::new();
+        for k in 0..10 {
+            levels.push(c.decide(t + 0.06 * (k + 1) as f64, Some((32, 0.020))));
+        }
+        assert_eq!(levels[..5], [3, 2, 1, 0, 0], "must step back down to INT8");
+    }
+
+    #[test]
+    fn holds_level_without_enough_samples() {
+        let mut c = FeedbackController::new(&cfg(), 4);
+        assert_eq!(c.decide(0.0, Some((3, 9.9))), 0, "below min_samples");
+        assert_eq!(c.decide(1.0, None), 0, "empty window");
+        assert_eq!(c.decide(2.0, Some((4, 9.9))), 1, "enough samples now");
+        // Sparse traffic at an elevated level must hold — not decay
+        // (the few samples are over target) and not ratchet further.
+        assert_eq!(c.decide(3.0, Some((2, 9.9))), 1, "sparse over-target: hold");
+        assert_eq!(
+            c.decide(4.0, Some((2, 0.001))),
+            1,
+            "sparse under-target: hold"
+        );
+    }
+
+    #[test]
+    fn idle_window_decays_back_to_int8() {
+        let mut c = FeedbackController::new(&cfg(), 4);
+        // Drive to the top.
+        let mut t = 0.0;
+        while c.current() < 4 {
+            c.decide(t, Some((32, 9.9)));
+            t += 0.06;
+        }
+        // Traffic stops entirely: the empty window must not pin the
+        // server at the lowest-accuracy level — it decays one step per
+        // hold period back to INT8.
+        let mut levels = Vec::new();
+        for k in 0..6 {
+            levels.push(c.decide(t + 0.06 * (k + 1) as f64, None));
+        }
+        assert_eq!(levels[..5], [3, 2, 1, 0, 0], "idle must decay to INT8");
+    }
+
+    #[test]
+    fn cooldown_limits_switch_rate() {
+        let mut c = FeedbackController::new(&cfg(), 4);
+        assert_eq!(c.decide(0.0, Some((8, 1.0))), 1);
+        // 10ms later: within the 50ms hold, no further change.
+        assert_eq!(c.decide(0.010, Some((8, 1.0))), 1);
+        assert_eq!(c.decide(0.060, Some((8, 1.0))), 2);
+    }
+
+    #[test]
+    fn measured_controller_reads_the_hub_window() {
+        let hub = Arc::new(MetricsHub::new(Duration::from_secs(10)));
+        let now = Instant::now();
+        for _ in 0..8 {
+            hub.on_completed(now, Duration::from_millis(400), Duration::from_millis(1));
+        }
+        let mut c = MeasuredController::new(Arc::clone(&hub), &cfg(), 4);
+        // Measured p95 (400ms) is over target (100ms): first decision
+        // raises the ratio regardless of the (ignored) rate argument.
+        assert_eq!(c.level(0.0, 0.0), 1);
+        assert_eq!(c.current(), 1);
+    }
+}

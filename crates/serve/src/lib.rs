@@ -1,0 +1,67 @@
+//! Live threaded batching inference serving on top of
+//! [`flexiq_core::FlexiRuntime`] (§8.3, executed for real).
+//!
+//! Where `flexiq-serving` *simulates* the paper's serving experiment
+//! with a discrete-event model and a latency table, this crate runs it:
+//! real requests carry real tensors through a bounded admission queue,
+//! a dynamic batcher, and a worker pool executing quantized forward
+//! passes on one shared set of 8-bit master weights — while a feedback
+//! controller adapts the 4-bit ratio from *measured* sliding-window
+//! latency percentiles and flips it with the runtime's one-atomic-store
+//! [`flexiq_core::FlexiRuntime::set_level`] switch.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`config`] | [`ServeConfig`] / [`ControlConfig`] knobs |
+//! | [`queue`] | bounded admission queue: backpressure + dynamic batching policy |
+//! | [`request`] | request/response/ticket types, per-request deadlines |
+//! | [`worker`] | worker pool running real `FlexiRuntime` inference |
+//! | [`controller`] | measured-latency feedback controller (extends the `flexiq-serving` [`Controller`] trait) |
+//! | [`metrics`] | latency histograms, p50/p95/p99, throughput, queue depth, level-switch trace |
+//! | [`server`] | the assembled [`Server`] |
+//! | [`loadgen`] | open-loop trace replay and closed-loop capacity probes |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use flexiq_core::pipeline::{prepare, FlexiQConfig};
+//! use flexiq_core::selection::Strategy;
+//! use flexiq_nn::data::gen_image_inputs;
+//! use flexiq_nn::zoo::{ModelId, Scale};
+//! use flexiq_serve::{ServeConfig, Server};
+//!
+//! let id = ModelId::RNet20;
+//! let graph = id.build(Scale::Test).unwrap();
+//! let calib = gen_image_inputs(4, &id.input_dims(Scale::Test), 7);
+//! let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+//! let server = Server::start_adaptive(Arc::new(prepared.runtime), ServeConfig::default()).unwrap();
+//! let response = server.submit(calib[0].clone()).unwrap().wait().unwrap();
+//! println!("served at level {:?} in {:?}", response.level, response.latency);
+//! server.shutdown();
+//! ```
+//!
+//! See `examples/live_serving.rs` for the full bursty-trace demo with
+//! the level trace and percentile report.
+
+pub mod config;
+pub mod controller;
+pub mod error;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod worker;
+
+pub use config::{ControlConfig, ServeConfig};
+pub use controller::{FeedbackController, MeasuredController};
+pub use error::{Result, ServeError};
+pub use loadgen::{closed_loop, open_loop, LoadReport};
+pub use metrics::{LatencyHistogram, LevelSwitch, MetricsHub, Snapshot};
+pub use request::{InferResponse, RequestId, Ticket};
+pub use server::{to_runtime_level, Server};
+
+// Re-exported so downstream code can name the controller trait without
+// depending on flexiq-serving directly.
+pub use flexiq_serving::Controller;

@@ -1,0 +1,408 @@
+//! Serving metrics: latency histograms, counters, queue-depth gauge and
+//! the level-switch trace.
+//!
+//! The histogram is log-bucketed (≈8% resolution from 1 µs to ~20 min),
+//! lock-free on the record path, and supports percentile queries by
+//! cumulative scan — the live counterpart of the simulator's exact
+//! [`flexiq_serving::stats`] helpers. A separate bounded sliding window
+//! keeps exact recent samples for the feedback controller, which needs
+//! percentiles *of the last second*, not of all time.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Lower edge of the first histogram bucket.
+const HIST_MIN_S: f64 = 1e-6;
+/// Geometric growth factor between bucket edges.
+const HIST_GROWTH: f64 = 1.08;
+/// Bucket count: covers 1 µs .. ~1300 s.
+const HIST_BUCKETS: usize = 273;
+
+/// A log-bucketed latency histogram with atomic counters.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum in nanoseconds, for mean latency.
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(seconds: f64) -> usize {
+        if seconds <= HIST_MIN_S {
+            return 0;
+        }
+        let idx = (seconds / HIST_MIN_S).ln() / HIST_GROWTH.ln();
+        (idx as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Upper edge of bucket `i`, in seconds.
+    fn bucket_upper(i: usize) -> f64 {
+        HIST_MIN_S * HIST_GROWTH.powi(i as i32 + 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let s = latency.as_secs_f64();
+        self.buckets[Self::bucket_of(s)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9 / n as f64
+    }
+
+    /// The `p`-quantile (0..=1) in seconds, resolved to the containing
+    /// bucket's upper edge. Returns 0.0 when empty.
+    pub fn percentile_s(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        // Nearest-rank on the cumulative distribution.
+        let rank = ((total as f64 * p).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(HIST_BUCKETS - 1)
+    }
+}
+
+/// An exact sliding window of `(completion instant, latency)` samples.
+pub struct LatencyWindow {
+    samples: Mutex<VecDeque<(Instant, f64)>>,
+    span: Duration,
+    max_samples: usize,
+}
+
+impl LatencyWindow {
+    /// Creates a window spanning `span`, bounded to `max_samples` to cap
+    /// memory under extreme throughput.
+    pub fn new(span: Duration, max_samples: usize) -> Self {
+        LatencyWindow {
+            samples: Mutex::new(VecDeque::new()),
+            span,
+            max_samples,
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, at: Instant, latency: Duration) {
+        let mut w = self.samples.lock().expect("window lock");
+        w.push_back((at, latency.as_secs_f64()));
+        let horizon = at.checked_sub(self.span);
+        while let Some(&(t, _)) = w.front() {
+            let stale = horizon.is_some_and(|h| t < h);
+            if stale || w.len() > self.max_samples {
+                w.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// `(sample count, percentile seconds)` of the samples still inside
+    /// the window at `now`. `None` when the window is empty.
+    pub fn percentile_s(&self, now: Instant, p: f64) -> Option<(usize, f64)> {
+        // Copy the live samples out, then release the lock before the
+        // O(n log n) selection: workers record completions under the
+        // same mutex, and the control loop must not stall the latencies
+        // it is measuring.
+        let mut vals: Vec<f64> = {
+            let w = self.samples.lock().expect("window lock");
+            let horizon = now.checked_sub(self.span);
+            w.iter()
+                .filter(|(t, _)| horizon.is_none_or(|h| *t >= h))
+                .map(|&(_, l)| l)
+                .collect()
+        };
+        if vals.is_empty() {
+            return None;
+        }
+        let n = vals.len();
+        let idx = ((n - 1) as f64 * p).round() as usize;
+        let (_, v, _) = vals
+            .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Some((n, *v))
+    }
+}
+
+/// One entry of the level-switch trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelSwitch {
+    /// Seconds since server start.
+    pub at_s: f64,
+    /// The level switched to (`usize::MAX` = pure INT8).
+    pub level: usize,
+}
+
+/// All counters and instruments of one server.
+pub struct MetricsHub {
+    started_at: Instant,
+    /// End-to-end latency of every completed request.
+    pub latency: LatencyHistogram,
+    /// Queueing delay (admission → dispatch) of every completed request.
+    pub queue_delay: LatencyHistogram,
+    /// Recent completions, for the feedback controller.
+    pub window: LatencyWindow,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    queue_depth: AtomicUsize,
+    level_trace: Mutex<Vec<LevelSwitch>>,
+}
+
+impl MetricsHub {
+    /// Creates a hub whose controller window spans `window`.
+    pub fn new(window: Duration) -> Self {
+        MetricsHub {
+            started_at: Instant::now(),
+            latency: LatencyHistogram::new(),
+            queue_delay: LatencyHistogram::new(),
+            window: LatencyWindow::new(window, 65_536),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            level_trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Seconds since the hub (server) was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.started_at.elapsed().as_secs_f64()
+    }
+
+    /// Instant the hub was created (the trace's time origin).
+    pub fn started_at(&self) -> Instant {
+        self.started_at
+    }
+
+    /// Counts one admission.
+    pub fn on_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one backpressure rejection.
+    pub fn on_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one deadline expiry.
+    pub fn on_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one dispatched batch of `size` requests.
+    pub fn on_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// Records one completed request.
+    pub fn on_completed(&self, done_at: Instant, latency: Duration, queue_delay: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+        self.queue_delay.record(queue_delay);
+        self.window.record(done_at, latency);
+    }
+
+    /// Publishes the current queue depth.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Appends to the level-switch trace.
+    pub fn on_level_switch(&self, level: usize) {
+        let at_s = self.uptime_s();
+        self.level_trace
+            .lock()
+            .expect("trace lock")
+            .push(LevelSwitch { at_s, level });
+    }
+
+    /// The level-switch trace so far.
+    pub fn level_trace(&self) -> Vec<LevelSwitch> {
+        self.level_trace.lock().expect("trace lock").clone()
+    }
+
+    /// A point-in-time summary.
+    pub fn snapshot(&self) -> Snapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let uptime = self.uptime_s().max(1e-9);
+        Snapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            throughput_rps: completed as f64 / uptime,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            p50_s: self.latency.percentile_s(0.50),
+            p95_s: self.latency.percentile_s(0.95),
+            p99_s: self.latency.percentile_s(0.99),
+            mean_s: self.latency.mean_s(),
+            queue_delay_p95_s: self.queue_delay.percentile_s(0.95),
+            level_switches: self.level_trace.lock().expect("trace lock").len(),
+        }
+    }
+}
+
+/// A point-in-time metrics summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Requests dropped at dispatch for missed deadlines.
+    pub expired: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Completed requests per second of uptime.
+    pub throughput_rps: f64,
+    /// Last published queue depth.
+    pub queue_depth: usize,
+    /// Median end-to-end latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub p99_s: f64,
+    /// Mean end-to-end latency, seconds.
+    pub mean_s: f64,
+    /// 95th-percentile queueing delay, seconds.
+    pub queue_delay_p95_s: f64,
+    /// Entries in the level-switch trace.
+    pub level_switches: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 100 samples: 1ms .. 100ms.
+        for i in 1..=100u64 {
+            h.record(Duration::from_millis(i));
+        }
+        let p50 = h.percentile_s(0.50);
+        let p95 = h.percentile_s(0.95);
+        let p99 = h.percentile_s(0.99);
+        // Log-bucketed: answers land within one growth factor of truth.
+        assert!((0.045..=0.06).contains(&p50), "p50 {p50}");
+        assert!((0.085..=0.11).contains(&p95), "p95 {p95}");
+        assert!((0.09..=0.115).contains(&p99), "p99 {p99}");
+        assert!((h.mean_s() - 0.0505).abs() < 1e-3);
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_s(0.99), 0.0);
+        assert_eq!(h.mean_s(), 0.0);
+    }
+
+    #[test]
+    fn window_prunes_old_samples() {
+        let w = LatencyWindow::new(Duration::from_millis(100), 1024);
+        let t0 = Instant::now();
+        w.record(t0, Duration::from_millis(10));
+        let late = t0 + Duration::from_millis(300);
+        w.record(late, Duration::from_millis(20));
+        // At `late`, the first sample is outside the 100ms span.
+        let (n, p) = w.percentile_s(late, 0.5).unwrap();
+        assert_eq!(n, 1);
+        assert!((p - 0.020).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_caps_sample_count() {
+        let w = LatencyWindow::new(Duration::from_secs(3600), 16);
+        let t0 = Instant::now();
+        for i in 0..100 {
+            w.record(t0 + Duration::from_micros(i), Duration::from_millis(1));
+        }
+        let (n, _) = w.percentile_s(t0 + Duration::from_millis(1), 0.5).unwrap();
+        assert!(n <= 16, "window exceeded its bound: {n}");
+    }
+
+    #[test]
+    fn hub_counters_and_trace() {
+        let m = MetricsHub::new(Duration::from_secs(1));
+        m.on_submitted();
+        m.on_submitted();
+        m.on_rejected();
+        m.on_expired();
+        m.on_batch(4);
+        let now = Instant::now();
+        m.on_completed(now, Duration::from_millis(5), Duration::from_millis(1));
+        m.on_level_switch(2);
+        m.set_queue_depth(7);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.mean_batch, 4.0);
+        assert_eq!(s.queue_depth, 7);
+        assert_eq!(s.level_switches, 1);
+        assert_eq!(m.level_trace()[0].level, 2);
+        assert!(s.p50_s > 0.0);
+    }
+}

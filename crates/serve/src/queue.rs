@@ -1,0 +1,244 @@
+//! Bounded admission queue with backpressure.
+//!
+//! The queue is the server's single admission point: submissions beyond
+//! `capacity` are rejected immediately ([`ServeError::QueueFull`]) so
+//! overload surfaces as counted backpressure instead of unbounded memory
+//! growth and silent latency collapse. Workers drain it through
+//! [`AdmissionQueue::pop_batch`], which implements the dynamic batching
+//! policy: dispatch as soon as `max_batch` requests are waiting, or when
+//! `batch_timeout` has elapsed since the batch's first request was
+//! picked up — whichever comes first.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::{Result, ServeError};
+use crate::request::QueuedRequest;
+
+struct Inner {
+    deque: VecDeque<QueuedRequest>,
+    closed: bool,
+}
+
+/// The bounded MPMC admission queue.
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    /// Signalled on push and close.
+    arrived: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue holding at most `capacity` requests.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                deque: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            arrived: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits a request, or rejects it when the queue is full or the
+    /// server is shutting down. Never blocks.
+    ///
+    /// Returns the queue depth right after the push, so the admission
+    /// path need not re-take the lock just to publish a gauge.
+    pub fn try_push(&self, req: QueuedRequest) -> Result<usize> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.deque.len() >= self.capacity {
+            // Rejections are counted once, by the server's MetricsHub —
+            // the queue just reports the condition.
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        inner.deque.push_back(req);
+        let depth = inner.deque.len();
+        drop(inner);
+        self.arrived.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next batch.
+    ///
+    /// Waits (indefinitely) for a first request, then keeps collecting
+    /// until `max_batch` requests are in hand or `batch_timeout` has
+    /// elapsed since the first was taken. Returns the batch plus the
+    /// depth left behind (for the worker's gauge, measured while the
+    /// lock is still held), or `None` once the queue is closed *and*
+    /// drained — the worker's signal to exit.
+    pub fn pop_batch(
+        &self,
+        max_batch: usize,
+        batch_timeout: Duration,
+    ) -> Option<(Vec<QueuedRequest>, usize)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        // Phase 1: wait for the first request.
+        loop {
+            if let Some(first) = inner.deque.pop_front() {
+                let mut batch = Vec::with_capacity(max_batch);
+                batch.push(first);
+                // Phase 2: fill until full or the batching window closes.
+                let t0 = Instant::now();
+                loop {
+                    while batch.len() < max_batch {
+                        match inner.deque.pop_front() {
+                            Some(r) => batch.push(r),
+                            None => break,
+                        }
+                    }
+                    if batch.len() >= max_batch || inner.closed {
+                        return Some((batch, inner.deque.len()));
+                    }
+                    let elapsed = t0.elapsed();
+                    if elapsed >= batch_timeout {
+                        return Some((batch, inner.deque.len()));
+                    }
+                    let (guard, _timeout) = self
+                        .arrived
+                        .wait_timeout(inner, batch_timeout - elapsed)
+                        .expect("queue lock");
+                    inner = guard;
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.arrived.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Requests currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").deque.len()
+    }
+
+    /// Stops admission and wakes all waiting workers. Queued requests
+    /// are still drained by subsequent `pop_batch` calls.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.arrived.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexiq_tensor::Tensor;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn req(id: u64) -> QueuedRequest {
+        let (tx, _rx) = mpsc::channel();
+        // Leak the receiver so sends don't error in tests that execute.
+        std::mem::forget(_rx);
+        QueuedRequest {
+            id,
+            input: Tensor::zeros([1]),
+            enqueued_at: Instant::now(),
+            deadline: None,
+            reply: tx,
+        }
+    }
+
+    #[test]
+    fn full_batch_dispatches_immediately() {
+        let q = AdmissionQueue::new(64);
+        for i in 0..8 {
+            q.try_push(req(i)).unwrap();
+        }
+        let t0 = Instant::now();
+        // Generous timeout: a full batch must not wait for it.
+        let (batch, depth_left) = q.pop_batch(8, Duration::from_secs(5)).unwrap();
+        assert_eq!(batch.len(), 8);
+        assert_eq!(depth_left, 0);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "full batch waited for timeout"
+        );
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn partial_batch_dispatches_on_timeout() {
+        let q = AdmissionQueue::new(64);
+        for i in 0..3 {
+            q.try_push(req(i)).unwrap();
+        }
+        let t0 = Instant::now();
+        let (batch, _) = q.pop_batch(8, Duration::from_millis(30)).unwrap();
+        assert_eq!(batch.len(), 3, "partial batch should flush on timeout");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "partial batch flushed before the batching window closed"
+        );
+    }
+
+    #[test]
+    fn late_arrivals_join_the_open_batch() {
+        let q = Arc::new(AdmissionQueue::new(64));
+        q.try_push(req(0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            for i in 1..4 {
+                q2.try_push(req(i)).unwrap();
+            }
+        });
+        let (batch, _) = q.pop_batch(4, Duration::from_millis(500)).unwrap();
+        pusher.join().unwrap();
+        assert_eq!(
+            batch.len(),
+            4,
+            "late arrivals should complete the batch early"
+        );
+    }
+
+    #[test]
+    fn overflow_is_rejected_not_queued() {
+        let q = AdmissionQueue::new(2);
+        q.try_push(req(0)).unwrap();
+        q.try_push(req(1)).unwrap();
+        let e = q.try_push(req(2)).unwrap_err();
+        assert_eq!(e, ServeError::QueueFull { capacity: 2 });
+        assert!(q.try_push(req(3)).is_err(), "still full");
+        assert_eq!(
+            q.depth(),
+            2,
+            "rejected requests must not displace queued ones"
+        );
+    }
+
+    #[test]
+    fn close_rejects_new_and_drains_old() {
+        let q = AdmissionQueue::new(8);
+        q.try_push(req(0)).unwrap();
+        q.close();
+        assert_eq!(q.try_push(req(1)).unwrap_err(), ServeError::ShuttingDown);
+        let (batch, _) = q.pop_batch(4, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(q.pop_batch(4, Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_first_arrival() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.try_push(req(7)).unwrap();
+        });
+        let t0 = Instant::now();
+        let (batch, _) = q.pop_batch(4, Duration::from_millis(1)).unwrap();
+        pusher.join().unwrap();
+        assert_eq!(batch[0].id, 7);
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,120 @@
+//! Request/response types flowing through the server.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use flexiq_tensor::Tensor;
+
+use crate::error::{Result, ServeError};
+
+/// Monotonically increasing request identifier.
+pub type RequestId = u64;
+
+/// A queued inference request.
+pub struct QueuedRequest {
+    /// Identifier assigned at admission.
+    pub id: RequestId,
+    /// Model input.
+    pub input: Tensor,
+    /// When the request was admitted.
+    pub enqueued_at: Instant,
+    /// Absolute expiry; expired requests are dropped at dispatch and
+    /// answered with [`ServeError::DeadlineExpired`].
+    pub deadline: Option<Instant>,
+    /// Where the worker sends the outcome.
+    pub reply: mpsc::Sender<Result<InferResponse>>,
+}
+
+impl QueuedRequest {
+    /// Whether the deadline has passed at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// Identifier assigned at admission.
+    pub id: RequestId,
+    /// Model output.
+    pub output: Tensor,
+    /// Ratio level the batch executed at
+    /// ([`flexiq_core::runtime::LEVEL_INT8`] for pure 8-bit).
+    pub level: usize,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// Queueing delay (admission → dispatch).
+    pub queue_delay: Duration,
+    /// End-to-end latency (admission → response).
+    pub latency: Duration,
+}
+
+/// The caller's handle to a pending response.
+///
+/// Dropping the ticket abandons the request: the worker still executes
+/// it (it may already be mid-batch), but the response is discarded.
+pub struct Ticket {
+    pub(crate) id: RequestId,
+    pub(crate) rx: mpsc::Receiver<Result<InferResponse>>,
+}
+
+impl Ticket {
+    /// The admitted request's id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<InferResponse> {
+        self.rx.recv().map_err(|_| ServeError::ReplyDropped)?
+    }
+
+    /// Blocks up to `timeout` for the response.
+    ///
+    /// `Ok(None)` means the timeout elapsed with the request still in
+    /// flight; the ticket remains usable.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Option<InferResponse>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(res) => res.map(Some),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::ReplyDropped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(deadline: Option<Instant>) -> (QueuedRequest, mpsc::Receiver<Result<InferResponse>>) {
+        let (tx, rx) = mpsc::channel();
+        let req = QueuedRequest {
+            id: 1,
+            input: Tensor::zeros([1]),
+            enqueued_at: Instant::now(),
+            deadline,
+            reply: tx,
+        };
+        (req, rx)
+    }
+
+    #[test]
+    fn expiry_respects_deadline() {
+        let now = Instant::now();
+        let (fresh, _rx1) = dummy(Some(now + Duration::from_secs(60)));
+        assert!(!fresh.expired(now));
+        let (stale, _rx2) = dummy(Some(now));
+        assert!(stale.expired(now + Duration::from_millis(1)));
+        let (immortal, _rx3) = dummy(None);
+        assert!(!immortal.expired(now + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn ticket_reports_dropped_reply() {
+        let (req, rx) = dummy(None);
+        let ticket = Ticket { id: req.id, rx };
+        drop(req); // sender gone, nothing ever sent
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::ReplyDropped);
+    }
+}

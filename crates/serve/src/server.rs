@@ -1,0 +1,347 @@
+//! The assembled server: admission → batching → workers → feedback.
+//!
+//! ```text
+//!  submit() ──► AdmissionQueue ──► worker pool ──► FlexiRuntime.infer
+//!     │   (bounded, rejects)  (dynamic batches)        │
+//!     │                                                ▼
+//!     ◄───────────── Ticket ◄──────────────── reply channels
+//!
+//!  control loop:  MetricsHub.window ──► Controller ──► set_level
+//! ```
+//!
+//! The control loop is the live realization of §8.3: instead of flipping
+//! the level from an offline latency profile, it reads the measured
+//! sliding-window percentile and calls [`FlexiRuntime::set_level`] —
+//! exactly the one-atomic-store switch the runtime was designed around —
+//! while inference threads keep executing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use flexiq_core::runtime::LEVEL_INT8;
+use flexiq_core::FlexiRuntime;
+use flexiq_serving::Controller;
+use flexiq_tensor::Tensor;
+
+use crate::config::ServeConfig;
+use crate::controller::MeasuredController;
+use crate::error::Result;
+use crate::metrics::{MetricsHub, Snapshot};
+use crate::queue::AdmissionQueue;
+use crate::request::{QueuedRequest, Ticket};
+use crate::worker::spawn_workers;
+
+/// Maps a controller-space level (0 = pure INT8, `k` = schedule level
+/// `k-1`) onto the runtime's level encoding.
+pub fn to_runtime_level(controller_level: usize) -> usize {
+    if controller_level == 0 {
+        LEVEL_INT8
+    } else {
+        controller_level - 1
+    }
+}
+
+/// Inverse of [`to_runtime_level`].
+pub fn from_runtime_level(runtime_level: usize) -> usize {
+    if runtime_level == LEVEL_INT8 {
+        0
+    } else {
+        runtime_level + 1
+    }
+}
+
+/// A running threaded batching inference server.
+pub struct Server {
+    cfg: ServeConfig,
+    queue: Arc<AdmissionQueue>,
+    metrics: Arc<MetricsHub>,
+    runtime: Arc<FlexiRuntime>,
+    workers: Vec<JoinHandle<()>>,
+    control: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    next_id: AtomicU64,
+}
+
+impl Server {
+    /// Starts a server with the hub-backed measured-latency controller.
+    pub fn start_adaptive(runtime: Arc<FlexiRuntime>, cfg: ServeConfig) -> Result<Server> {
+        cfg.validate()?;
+        let metrics = Arc::new(MetricsHub::new(cfg.control.window));
+        let controller =
+            MeasuredController::new(Arc::clone(&metrics), &cfg.control, runtime.num_levels());
+        Self::start_inner(runtime, cfg, metrics, Some(Box::new(controller)))
+    }
+
+    /// Starts a server driven by any [`Controller`] — e.g. the
+    /// simulator's [`flexiq_serving::FixedLevel`] baseline or its
+    /// profile-driven adaptive policy. The controller's level space is
+    /// `0 = INT8, k = schedule level k-1`; outputs are clamped to the
+    /// runtime's schedule.
+    pub fn start_with_controller(
+        runtime: Arc<FlexiRuntime>,
+        cfg: ServeConfig,
+        controller: Box<dyn Controller + Send>,
+    ) -> Result<Server> {
+        cfg.validate()?;
+        let metrics = Arc::new(MetricsHub::new(cfg.control.window));
+        Self::start_inner(runtime, cfg, metrics, Some(controller))
+    }
+
+    /// Starts a server with no control loop: the level is whatever the
+    /// caller sets on the runtime (useful for fixed-level baselines and
+    /// benches with zero controller overhead).
+    pub fn start_fixed(runtime: Arc<FlexiRuntime>, cfg: ServeConfig) -> Result<Server> {
+        cfg.validate()?;
+        let metrics = Arc::new(MetricsHub::new(cfg.control.window));
+        Self::start_inner(runtime, cfg, metrics, None)
+    }
+
+    fn start_inner(
+        runtime: Arc<FlexiRuntime>,
+        cfg: ServeConfig,
+        metrics: Arc<MetricsHub>,
+        controller: Option<Box<dyn Controller + Send>>,
+    ) -> Result<Server> {
+        let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity));
+        let workers = spawn_workers(
+            cfg.workers,
+            Arc::clone(&queue),
+            Arc::clone(&runtime),
+            Arc::clone(&metrics),
+            cfg.max_batch,
+            cfg.batch_timeout,
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let control = controller.map(|ctl| {
+            spawn_control_loop(
+                ctl,
+                Arc::clone(&runtime),
+                Arc::clone(&metrics),
+                Arc::clone(&stop),
+                cfg.control.tick,
+            )
+        });
+        Ok(Server {
+            cfg,
+            queue,
+            metrics,
+            runtime,
+            workers,
+            control,
+            stop,
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Submits a request under the configured default deadline.
+    pub fn submit(&self, input: Tensor) -> Result<Ticket> {
+        self.submit_with_deadline(input, self.cfg.default_deadline)
+    }
+
+    /// Submits a request with an explicit deadline (`None` = never
+    /// expires). Returns backpressure errors immediately; a returned
+    /// [`Ticket`] means the request is queued.
+    pub fn submit_with_deadline(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let now = Instant::now();
+        let req = QueuedRequest {
+            id,
+            input,
+            enqueued_at: now,
+            deadline: deadline.map(|d| now + d),
+            reply: tx,
+        };
+        match self.queue.try_push(req) {
+            Ok(depth) => {
+                self.metrics.on_submitted();
+                self.metrics.set_queue_depth(depth);
+                Ok(Ticket { id, rx })
+            }
+            Err(e) => {
+                self.metrics.on_rejected();
+                Err(e)
+            }
+        }
+    }
+
+    /// The server's metrics hub.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// A shared handle to the metrics hub, e.g. for a monitoring thread
+    /// that outlives individual borrows of the server.
+    pub fn metrics_handle(&self) -> Arc<MetricsHub> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The shared runtime (e.g. to pin a level on a fixed server).
+    pub fn runtime(&self) -> &FlexiRuntime {
+        &self.runtime
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Stops admission, drains queued work, joins every thread, and
+    /// returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> Snapshot {
+        self.stop.store(true, Ordering::Release);
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(c) = self.control.take() {
+            let _ = c.join();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+fn spawn_control_loop(
+    controller: Box<dyn Controller + Send>,
+    runtime: Arc<FlexiRuntime>,
+    metrics: Arc<MetricsHub>,
+    stop: Arc<AtomicBool>,
+    tick: Duration,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("flexiq-control".into())
+        .spawn(move || {
+            let mut controller = controller;
+            let mut last_offered = 0u64;
+            let mut last_tick = Instant::now();
+            // Read the runtime's actual level — the caller may have set
+            // one before starting the server, and assuming INT8 here
+            // would leave that level in place, uncorrected, for as long
+            // as the controller keeps returning it.
+            let mut current = from_runtime_level(runtime.level());
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(tick);
+                let now = Instant::now();
+                let dt = now.duration_since(last_tick).as_secs_f64().max(1e-9);
+                last_tick = now;
+                let snap = metrics.snapshot();
+                // Offered rate = admissions + rejections: a rate-driven
+                // controller (e.g. the simulator's profile-based policy)
+                // must see the overload, not just what the bounded queue
+                // let through.
+                let offered = snap.submitted + snap.rejected;
+                let rate = (offered.saturating_sub(last_offered)) as f64 / dt;
+                last_offered = offered;
+                let max = runtime.num_levels();
+                let level = controller.level(metrics.uptime_s(), rate).min(max);
+                if level != current && runtime.set_level(to_runtime_level(level)).is_ok() {
+                    metrics.on_level_switch(level);
+                    current = level;
+                }
+            }
+        })
+        .expect("spawn control thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::tests::tiny_runtime;
+    use flexiq_serving::FixedLevel;
+
+    #[test]
+    fn serves_requests_end_to_end_with_real_inference() {
+        let (rt, inputs) = tiny_runtime();
+        let cfg = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            batch_timeout: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        let tickets: Vec<_> = (0..12)
+            .map(|i| server.submit(inputs[i % inputs.len()].clone()).unwrap())
+            .collect();
+        for t in tickets {
+            let r = t.wait().unwrap();
+            assert!(r.output.data().iter().all(|v| v.is_finite()));
+            assert!(r.latency >= r.queue_delay);
+            assert!(r.batch_size >= 1);
+        }
+        let s = server.shutdown();
+        assert_eq!(s.completed, 12);
+        assert_eq!(s.rejected, 0);
+        assert!(
+            s.batches >= 3,
+            "12 requests / max_batch 4 needs ≥ 3 batches"
+        );
+        assert!(s.p50_s > 0.0 && s.p50_s <= s.p95_s && s.p95_s <= s.p99_s);
+    }
+
+    #[test]
+    fn fixed_controller_pins_the_level() {
+        let (rt, inputs) = tiny_runtime();
+        let cfg = ServeConfig {
+            workers: 1,
+            control: crate::config::ControlConfig {
+                tick: Duration::from_millis(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let max = rt.num_levels();
+        let server =
+            Server::start_with_controller(Arc::clone(&rt), cfg, Box::new(FixedLevel(max))).unwrap();
+        // Give the control loop a tick to act, then serve.
+        std::thread::sleep(Duration::from_millis(20));
+        let r = server.submit(inputs[0].clone()).unwrap().wait().unwrap();
+        assert_eq!(
+            r.level,
+            max - 1,
+            "batch must run at the pinned top schedule level"
+        );
+        let snap = server.shutdown();
+        assert_eq!(
+            snap.level_switches, 1,
+            "exactly one switch: INT8 → pinned level"
+        );
+    }
+
+    #[test]
+    fn backpressure_is_reported_not_dropped() {
+        let (rt, inputs) = tiny_runtime();
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            queue_capacity: 2,
+            batch_timeout: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        let mut accepted = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..64 {
+            match server.submit(inputs[i % inputs.len()].clone()) {
+                Ok(t) => accepted.push(t),
+                Err(crate::error::ServeError::QueueFull { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        for t in accepted {
+            t.wait().unwrap();
+        }
+        let s = server.shutdown();
+        assert!(
+            rejected > 0,
+            "tiny queue must reject under a 64-request blast"
+        );
+        assert_eq!(s.rejected, rejected, "every rejection must be counted");
+        assert_eq!(s.completed + s.rejected, 64, "no request may vanish");
+    }
+}

@@ -1,0 +1,149 @@
+//! The worker pool: real `FlexiRuntime` execution of dispatched batches.
+//!
+//! Each worker thread owns nothing but an `Arc` of the shared runtime —
+//! the paper's point is precisely that one set of 8-bit master weights
+//! serves every ratio, so workers never copy weights. Workers assemble
+//! their own batches straight from the admission queue (see
+//! [`crate::queue::AdmissionQueue::pop_batch`]), which lets batch
+//! assembly overlap with execution across workers without a dedicated
+//! batcher thread in the hot path.
+//!
+//! **Batch execution model:** the underlying graph executor is
+//! single-sample, so a dispatched batch runs as sequential forward
+//! passes on its worker. Batching still amortizes queue/dispatch
+//! overhead and scopes level reporting per dispatch, but there is no
+//! stacked-tensor batched GEMM yet — keep `batch_timeout` small (its
+//! wait is pure latency until true batched execution lands; see
+//! ROADMAP).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use flexiq_core::FlexiRuntime;
+
+use crate::error::ServeError;
+use crate::metrics::MetricsHub;
+use crate::queue::AdmissionQueue;
+use crate::request::{InferResponse, QueuedRequest};
+
+/// Executes one dispatched batch on `runtime`, answering every request.
+///
+/// Expired requests are answered with [`ServeError::DeadlineExpired`]
+/// and counted — never silently dropped. Send failures (caller dropped
+/// its ticket) are ignored: the work is already done and the caller
+/// opted out of the answer.
+pub fn run_batch(runtime: &FlexiRuntime, metrics: &MetricsHub, batch: Vec<QueuedRequest>) {
+    let size = batch.len();
+    metrics.on_batch(size);
+    for req in batch {
+        let dispatched = Instant::now();
+        if req.expired(dispatched) {
+            metrics.on_expired();
+            let _ = req.reply.send(Err(ServeError::DeadlineExpired));
+            continue;
+        }
+        let queue_delay = dispatched.duration_since(req.enqueued_at);
+        // `infer_traced` reports the level the pass actually ran at —
+        // the control loop may switch levels mid-batch.
+        match runtime.infer_traced(&req.input) {
+            Ok((output, level)) => {
+                let done = Instant::now();
+                let latency = done.duration_since(req.enqueued_at);
+                metrics.on_completed(done, latency, queue_delay);
+                let _ = req.reply.send(Ok(InferResponse {
+                    id: req.id,
+                    output,
+                    level,
+                    batch_size: size,
+                    queue_delay,
+                    latency,
+                }));
+            }
+            Err(e) => {
+                let _ = req.reply.send(Err(ServeError::Nn(e)));
+            }
+        }
+    }
+}
+
+/// Spawns `workers` threads draining `queue` until it is closed and
+/// empty.
+pub fn spawn_workers(
+    workers: usize,
+    queue: Arc<AdmissionQueue>,
+    runtime: Arc<FlexiRuntime>,
+    metrics: Arc<MetricsHub>,
+    max_batch: usize,
+    batch_timeout: Duration,
+) -> Vec<JoinHandle<()>> {
+    (0..workers)
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let runtime = Arc::clone(&runtime);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name(format!("flexiq-worker-{i}"))
+                .spawn(move || {
+                    while let Some((batch, depth_left)) = queue.pop_batch(max_batch, batch_timeout)
+                    {
+                        metrics.set_queue_depth(depth_left);
+                        run_batch(&runtime, &metrics, batch);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::request::Ticket;
+    use flexiq_core::pipeline::{prepare, FlexiQConfig};
+    use flexiq_core::selection::Strategy;
+    use flexiq_nn::data::gen_image_inputs;
+    use flexiq_nn::zoo::{ModelId, Scale};
+    use std::sync::mpsc;
+
+    /// A tiny real runtime shared by the serving tests.
+    pub(crate) fn tiny_runtime() -> (Arc<FlexiRuntime>, Vec<flexiq_tensor::Tensor>) {
+        let id = ModelId::RNet20;
+        let graph = id.build(Scale::Test).unwrap();
+        let calib = gen_image_inputs(4, &id.input_dims(Scale::Test), 7101);
+        let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+        (Arc::new(prepared.runtime), calib)
+    }
+
+    #[test]
+    fn batch_execution_answers_every_request() {
+        let (rt, inputs) = tiny_runtime();
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let mut tickets = Vec::new();
+        let mut batch = Vec::new();
+        let now = Instant::now();
+        for (i, x) in inputs.iter().enumerate().take(3) {
+            let (tx, rx) = mpsc::channel();
+            batch.push(QueuedRequest {
+                id: i as u64,
+                input: x.clone(),
+                enqueued_at: now,
+                // One request is already expired at dispatch.
+                deadline: if i == 1 { Some(now) } else { None },
+                reply: tx,
+            });
+            tickets.push(Ticket { id: i as u64, rx });
+        }
+        run_batch(&rt, &metrics, batch);
+        let r0 = tickets.remove(0).wait().unwrap();
+        assert_eq!(r0.batch_size, 3);
+        assert!(r0.output.data().iter().all(|v| v.is_finite()));
+        assert_eq!(
+            tickets.remove(0).wait().unwrap_err(),
+            ServeError::DeadlineExpired
+        );
+        assert!(tickets.remove(0).wait().is_ok());
+        let s = metrics.snapshot();
+        assert_eq!((s.completed, s.expired, s.batches), (2, 1, 1));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests over the metrics subsystem.
+
+use std::time::{Duration, Instant};
+
+use flexiq_serve::metrics::{LatencyHistogram, LatencyWindow};
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram percentiles are monotone in `p` for any sample set:
+    /// p50 ≤ p95 ≤ p99, and more generally every ordered pair agrees.
+    #[test]
+    fn histogram_percentiles_are_monotone(
+        samples in prop::collection::vec(1u64..120_000_000, 1..256),
+    ) {
+        let h = LatencyHistogram::new();
+        for &us in &samples {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.percentile_s(0.50);
+        let p95 = h.percentile_s(0.95);
+        let p99 = h.percentile_s(0.99);
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        for w in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0].windows(2) {
+            let lo = h.percentile_s(w[0]);
+            let hi = h.percentile_s(w[1]);
+            prop_assert!(lo <= hi, "percentile_s({}) = {lo} > percentile_s({}) = {hi}", w[0], w[1]);
+        }
+    }
+
+    /// Every percentile lies within the recorded sample range (after
+    /// accounting for the histogram's one-bucket resolution).
+    #[test]
+    fn histogram_percentiles_bracket_samples(
+        samples in prop::collection::vec(1u64..120_000_000, 1..256),
+    ) {
+        let h = LatencyHistogram::new();
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for &us in &samples {
+            h.record(Duration::from_micros(us));
+            lo = lo.min(us);
+            hi = hi.max(us);
+        }
+        let p50 = h.percentile_s(0.50);
+        // Buckets grow by 8%: the reported edge can overshoot the true
+        // value by at most one growth factor (plus float slack).
+        let upper = hi as f64 / 1e6 * 1.09;
+        let lower = lo as f64 / 1e6;
+        prop_assert!(p50 >= lower && p50 <= upper, "p50 {p50} outside [{lower}, {upper}]");
+    }
+
+    /// The sliding window's exact percentiles are monotone too.
+    #[test]
+    fn window_percentiles_are_monotone(
+        samples in prop::collection::vec(1u64..10_000_000, 1..128),
+    ) {
+        let w = LatencyWindow::new(Duration::from_secs(3600), 4096);
+        let t0 = Instant::now();
+        for (i, &us) in samples.iter().enumerate() {
+            w.record(t0 + Duration::from_nanos(i as u64), Duration::from_micros(us));
+        }
+        let now = t0 + Duration::from_millis(1);
+        let (n50, p50) = w.percentile_s(now, 0.50).unwrap();
+        let (_, p95) = w.percentile_s(now, 0.95).unwrap();
+        let (_, p99) = w.percentile_s(now, 0.99).unwrap();
+        prop_assert!(n50 == samples.len());
+        prop_assert!(p50 <= p95 && p95 <= p99, "window: {p50} / {p95} / {p99}");
+    }
+}

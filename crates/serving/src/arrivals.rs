@@ -5,7 +5,10 @@ use flexiq_tensor::rng::{exponential, seeded};
 /// Homogeneous Poisson arrivals at `rate` requests/second over
 /// `duration` seconds. Returns sorted arrival timestamps.
 pub fn poisson(rate: f64, duration: f64, seed: u64) -> Vec<f64> {
-    assert!(rate > 0.0 && duration > 0.0, "rate and duration must be positive");
+    assert!(
+        rate > 0.0 && duration > 0.0,
+        "rate and duration must be positive"
+    );
     let mut rng = seeded(seed);
     let mut t = 0.0f64;
     let mut out = Vec::with_capacity((rate * duration * 1.1) as usize);
@@ -26,7 +29,10 @@ pub fn piecewise_poisson(segments: &[(f64, f64)], seed: u64) -> Vec<f64> {
     let mut out = Vec::new();
     let mut base = 0.0f64;
     for &(dur, rate) in segments {
-        assert!(rate > 0.0 && dur > 0.0, "segment rate/duration must be positive");
+        assert!(
+            rate > 0.0 && dur > 0.0,
+            "segment rate/duration must be positive"
+        );
         let mut t = 0.0f64;
         loop {
             t += exponential(&mut rng, rate);
@@ -55,7 +61,9 @@ pub fn azure_like_trace(
     use rand::Rng;
     let mut rng = seeded(seed ^ 0xA2u64);
     // A daily-cycle-like shape: ramp up to the 3x peak, dip, second peak.
-    let shape = [1.0, 1.25, 1.7, 2.3, 3.0, 2.6, 1.9, 1.4, 1.1, 1.6, 2.4, 3.0, 2.2, 1.5, 1.0];
+    let shape = [
+        1.0, 1.25, 1.7, 2.3, 3.0, 2.6, 1.9, 1.4, 1.1, 1.6, 2.4, 3.0, 2.2, 1.5, 1.0,
+    ];
     let segments: Vec<(f64, f64)> = (0..num_segments)
         .map(|i| {
             let base = shape[i % shape.len()];
@@ -75,7 +83,10 @@ mod tests {
         let a = poisson(500.0, 10.0, 401);
         let measured = a.len() as f64 / 10.0;
         assert!((measured - 500.0).abs() < 30.0, "rate {measured}");
-        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be sorted"
+        );
     }
 
     #[test]

@@ -25,6 +25,52 @@ impl Controller for FixedLevel {
     }
 }
 
+/// Ways a [`ProfiledLatency`] can be unusable for a lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The profile has no probed rates at all.
+    Empty,
+    /// The requested level is not in the profile.
+    LevelOutOfRange {
+        /// Requested level.
+        level: usize,
+        /// Levels the profile holds.
+        levels: usize,
+    },
+    /// A level's latency row does not match the rate axis.
+    MalformedRow {
+        /// The offending level.
+        level: usize,
+        /// Expected entries (the number of probed rates).
+        expected: usize,
+        /// Entries actually present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Empty => write!(f, "latency profile has no probed rates"),
+            ProfileError::LevelOutOfRange { level, levels } => {
+                write!(f, "level {level} out of range 0..{levels}")
+            }
+            ProfileError::MalformedRow {
+                level,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "profile row for level {level} has {got} entries, expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 /// Offline-profiled median latency per (level, rate) — Fig. 8's curves.
 #[derive(Debug, Clone)]
 pub struct ProfiledLatency {
@@ -38,18 +84,37 @@ impl ProfiledLatency {
     /// Interpolated profiled latency of `level` at `rate`.
     ///
     /// Rates beyond the probed range clamp to the nearest endpoint.
-    pub fn lookup(&self, level: usize, rate: f64) -> f64 {
-        let row = &self.median_s[level];
-        if rate <= self.rates[0] {
-            return row[0];
+    /// Empty or degenerate profiles (no rates, a missing level, or a
+    /// latency row that does not match the rate axis) produce a
+    /// [`ProfileError`] instead of panicking.
+    pub fn lookup(&self, level: usize, rate: f64) -> Result<f64, ProfileError> {
+        if self.rates.is_empty() {
+            return Err(ProfileError::Empty);
         }
-        if rate >= *self.rates.last().expect("non-empty profile") {
-            return *row.last().expect("non-empty profile");
+        let row = self
+            .median_s
+            .get(level)
+            .ok_or(ProfileError::LevelOutOfRange {
+                level,
+                levels: self.median_s.len(),
+            })?;
+        if row.len() != self.rates.len() {
+            return Err(ProfileError::MalformedRow {
+                level,
+                expected: self.rates.len(),
+                got: row.len(),
+            });
+        }
+        if rate <= self.rates[0] {
+            return Ok(row[0]);
+        }
+        if rate >= self.rates[self.rates.len() - 1] {
+            return Ok(row[row.len() - 1]);
         }
         let hi = self.rates.partition_point(|&r| r < rate);
         let lo = hi - 1;
         let f = (rate - self.rates[lo]) / (self.rates[hi] - self.rates[lo]);
-        row[lo] + f * (row[hi] - row[lo])
+        Ok(row[lo] + f * (row[hi] - row[lo]))
     }
 
     /// Number of levels in the profile.
@@ -70,10 +135,39 @@ pub struct AdaptiveController {
     current: usize,
 }
 
+/// Default hysteresis factor for stepping back down.
+pub const DEFAULT_DOWN_MARGIN: f64 = 0.7;
+
 impl AdaptiveController {
-    /// Creates a controller starting at level 0 (pure 8-bit).
+    /// Creates a controller starting at level 0 (pure 8-bit) with the
+    /// default [`DEFAULT_DOWN_MARGIN`] hysteresis.
     pub fn new(profile: ProfiledLatency, threshold_s: f64) -> Self {
-        AdaptiveController { profile, threshold_s, down_margin: 0.7, current: 0 }
+        AdaptiveController {
+            profile,
+            threshold_s,
+            down_margin: DEFAULT_DOWN_MARGIN,
+            current: 0,
+        }
+    }
+
+    /// Sets the down-step hysteresis factor (builder style).
+    ///
+    /// The controller steps back down only when the next-lower level's
+    /// profiled latency is below `threshold × down_margin`; smaller
+    /// values mean stickier high ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < down_margin < 1` (a value ≥ 1 would oscillate:
+    /// the step-down condition would hold the instant the step-up one
+    /// stopped).
+    pub fn with_down_margin(mut self, down_margin: f64) -> Self {
+        assert!(
+            0.0 < down_margin && down_margin < 1.0,
+            "down_margin must be in (0, 1), got {down_margin}"
+        );
+        self.down_margin = down_margin;
+        self
     }
 
     /// The current level (for telemetry).
@@ -84,19 +178,25 @@ impl AdaptiveController {
 
 impl Controller for AdaptiveController {
     fn level(&mut self, _now: f64, rate: f64) -> usize {
-        let max = self.profile.levels() - 1;
+        let max = self.profile.levels().saturating_sub(1);
         // Raise the ratio while the profiled latency at this rate
         // exceeds the threshold (one 25% step per decision in the paper;
-        // the loop converges within a dispatch or two either way).
+        // the loop converges within a dispatch or two either way). A
+        // degenerate profile cannot steer: hold the current level.
         while self.current < max
-            && self.profile.lookup(self.current, rate) > self.threshold_s
+            && self
+                .profile
+                .lookup(self.current, rate)
+                .is_ok_and(|l| l > self.threshold_s)
         {
             self.current += 1;
         }
         // Step down when the next-lower level has comfortable headroom.
         while self.current > 0
-            && self.profile.lookup(self.current - 1, rate)
-                < self.threshold_s * self.down_margin
+            && self
+                .profile
+                .lookup(self.current - 1, rate)
+                .is_ok_and(|l| l < self.threshold_s * self.down_margin)
         {
             self.current -= 1;
         }
@@ -118,13 +218,15 @@ pub fn profile_offline(
         let mut row = Vec::with_capacity(rates.len());
         for (i, &rate) in rates.iter().enumerate() {
             let arrivals = crate::arrivals::poisson(rate, duration_s, seed + i as u64);
-            let res =
-                crate::sim::simulate(&arrivals, service, &mut FixedLevel(level), cfg);
+            let res = crate::sim::simulate(&arrivals, service, &mut FixedLevel(level), cfg);
             row.push(crate::stats::median(&res.latencies()));
         }
         median_s.push(row);
     }
-    ProfiledLatency { rates: rates.to_vec(), median_s }
+    ProfiledLatency {
+        rates: rates.to_vec(),
+        median_s,
+    }
 }
 
 #[cfg(test)]
@@ -156,12 +258,12 @@ mod tests {
         let p = profile();
         for level in 0..p.levels() {
             assert!(
-                p.lookup(level, 1300.0) >= p.lookup(level, 100.0),
+                p.lookup(level, 1300.0).unwrap() >= p.lookup(level, 100.0).unwrap(),
                 "latency must grow with rate at level {level}"
             );
         }
         // Near INT8 saturation the faster levels are clearly better.
-        assert!(p.lookup(4, 1100.0) < p.lookup(0, 1100.0));
+        assert!(p.lookup(4, 1100.0).unwrap() < p.lookup(0, 1100.0).unwrap());
     }
 
     #[test]
@@ -170,19 +272,95 @@ mod tests {
             rates: vec![100.0, 200.0],
             median_s: vec![vec![1.0, 3.0]],
         };
-        assert_eq!(p.lookup(0, 50.0), 1.0);
-        assert_eq!(p.lookup(0, 150.0), 2.0);
-        assert_eq!(p.lookup(0, 500.0), 3.0);
+        assert_eq!(p.lookup(0, 50.0), Ok(1.0));
+        assert_eq!(p.lookup(0, 150.0), Ok(2.0));
+        assert_eq!(p.lookup(0, 500.0), Ok(3.0));
+    }
+
+    #[test]
+    fn degenerate_profiles_error_instead_of_panicking() {
+        let empty = ProfiledLatency {
+            rates: vec![],
+            median_s: vec![vec![]],
+        };
+        assert_eq!(empty.lookup(0, 100.0), Err(ProfileError::Empty));
+        let p = ProfiledLatency {
+            rates: vec![100.0, 200.0],
+            median_s: vec![vec![1.0, 3.0]],
+        };
+        assert_eq!(
+            p.lookup(3, 100.0),
+            Err(ProfileError::LevelOutOfRange {
+                level: 3,
+                levels: 1
+            })
+        );
+        let ragged = ProfiledLatency {
+            rates: vec![100.0, 200.0],
+            median_s: vec![vec![1.0]],
+        };
+        assert_eq!(
+            ragged.lookup(0, 100.0),
+            Err(ProfileError::MalformedRow {
+                level: 0,
+                expected: 2,
+                got: 1
+            })
+        );
+        // A controller over a degenerate profile holds its level rather
+        // than panicking mid-serving.
+        let mut c = AdaptiveController::new(
+            ProfiledLatency {
+                rates: vec![],
+                median_s: vec![vec![], vec![]],
+            },
+            0.01,
+        );
+        assert_eq!(c.level(0.0, 1000.0), 0);
+    }
+
+    #[test]
+    fn down_margin_is_builder_configurable() {
+        let p = profile();
+        let threshold = p.lookup(0, 1000.0).unwrap() * 0.9; // over threshold at 1000 rps
+        let sticky = AdaptiveController::new(p.clone(), threshold).with_down_margin(1e-6);
+        let mut loose = AdaptiveController::new(p, threshold).with_down_margin(0.95);
+        let mut sticky = sticky;
+        let up_s = sticky.level(0.0, 1000.0);
+        let up_l = loose.level(0.0, 1000.0);
+        assert!(up_s > 0 && up_l > 0, "both must raise under load");
+        // After the burst, the loose margin steps down readily; the
+        // sticky one holds its elevated ratio.
+        let down_l = loose.level(1.0, 150.0);
+        let down_s = sticky.level(1.0, 150.0);
+        assert!(
+            down_l < up_l,
+            "loose margin must recover: {up_l} -> {down_l}"
+        );
+        assert_eq!(down_s, up_s, "near-zero margin must hold the level");
+    }
+
+    #[test]
+    #[should_panic(expected = "down_margin must be in (0, 1)")]
+    fn invalid_down_margin_rejected() {
+        let p = ProfiledLatency {
+            rates: vec![1.0],
+            median_s: vec![vec![1.0]],
+        };
+        let _ = AdaptiveController::new(p, 1.0).with_down_margin(1.0);
     }
 
     #[test]
     fn controller_raises_level_under_load_and_recovers() {
         let p = profile();
-        let threshold = p.lookup(0, 400.0) * 4.0; // comfortable at low rate
+        let threshold = p.lookup(0, 400.0).unwrap() * 4.0; // comfortable at low rate
         let mut c = AdaptiveController::new(p, threshold);
         let low = c.level(0.0, 200.0);
         let high = c.level(1.0, 1250.0);
-        assert!(high > low, "controller must raise the ratio: {low} -> {high}");
+        assert!(
+            high > low,
+            "controller must raise the ratio: {low} -> {high}"
+        );
         let back = c.level(2.0, 150.0);
         assert!(back <= low + 1, "controller must step back down: {back}");
     }
@@ -193,8 +371,13 @@ mod tests {
         // policy keeps median latency near INT4 while INT8 blows up at
         // the peaks.
         let svc = svc();
-        let segments =
-            [(2.0f64, 500.0f64), (2.0, 1000.0), (2.0, 1150.0), (2.0, 800.0), (2.0, 500.0)];
+        let segments = [
+            (2.0f64, 500.0f64),
+            (2.0, 1000.0),
+            (2.0, 1150.0),
+            (2.0, 800.0),
+            (2.0, 500.0),
+        ];
         let arrivals = piecewise_poisson(&segments, 422);
         let p = profile();
         let threshold = 0.02; // 20 ms

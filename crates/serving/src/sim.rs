@@ -41,7 +41,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_batch: 16, rate_window_s: 1.0 }
+        SimConfig {
+            max_batch: 16,
+            rate_window_s: 1.0,
+        }
     }
 }
 
@@ -135,12 +138,19 @@ pub fn simulate(
         }
         let done = now + service.service_s(batch, level);
         for r in head..head + batch {
-            records.push(RequestRecord { arrival: arrivals[r], done, level });
+            records.push(RequestRecord {
+                arrival: arrivals[r],
+                done,
+                level,
+            });
         }
         head += batch;
         t_free = done;
     }
-    SimResult { records, level_changes }
+    SimResult {
+        records,
+        level_changes,
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +190,10 @@ mod tests {
         let low = lat_at(200.0);
         let mid = lat_at(800.0);
         let high = lat_at(1200.0);
-        assert!(mid < high, "p90 must explode past saturation: {mid} vs {high}");
+        assert!(
+            mid < high,
+            "p90 must explode past saturation: {mid} vs {high}"
+        );
         assert!(low < high / 10.0, "hockey stick missing: {low} vs {high}");
     }
 
@@ -189,15 +202,22 @@ mod tests {
         let svc = svc();
         let p90_at = |rate: f64, level: usize| {
             let arrivals = poisson(rate, 5.0, 413);
-            let res =
-                simulate(&arrivals, &svc, &mut FixedLevel(level), SimConfig::default());
+            let res = simulate(
+                &arrivals,
+                &svc,
+                &mut FixedLevel(level),
+                SimConfig::default(),
+            );
             p90(&res.latencies())
         };
         // At a rate past INT8 saturation, the 100% 4-bit level is fine.
         let rate = 1150.0;
         let slow = p90_at(rate, 0);
         let fast = p90_at(rate, 4);
-        assert!(fast < slow / 3.0, "level 4 {fast} should beat level 0 {slow}");
+        assert!(
+            fast < slow / 3.0,
+            "level 4 {fast} should beat level 0 {slow}"
+        );
     }
 
     #[test]

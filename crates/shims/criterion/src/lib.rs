@@ -1,0 +1,170 @@
+//! A minimal, self-contained stand-in for the slice of `criterion` this
+//! workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a small wall-clock benchmark harness with criterion's call surface:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. There is no
+//! statistical analysis — each benchmark is timed over an adaptive number
+//! of iterations and reported as mean ns/iter on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers also resolve.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// Iteration driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count that fills the
+    /// measurement window, then reporting the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find how many iterations fit the target window.
+        let start = Instant::now();
+        std_black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A parameterized benchmark label (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(name, b.mean_ns);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.mean_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.mean_ns);
+        self
+    }
+
+    /// Ends the group (formatting only in this shim).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, mean_ns: f64) {
+    if mean_ns >= 1e6 {
+        println!("{name:<55} {:>12.3} ms/iter", mean_ns / 1e6);
+    } else if mean_ns >= 1e3 {
+        println!("{name:<55} {:>12.3} µs/iter", mean_ns / 1e3);
+    } else {
+        println!("{name:<55} {:>12.1} ns/iter", mean_ns);
+    }
+}
+
+/// Declares a benchmark group runner function, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion.
+///
+/// When invoked by `cargo test` (which passes `--test` to bench targets
+/// built with `harness = false`), the benchmarks are skipped so the test
+/// run stays fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_accum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("group");
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("max_4bit_ch", 128);
+        assert_eq!(id.id, "max_4bit_ch/128");
+    }
+}

@@ -1,0 +1,198 @@
+//! A minimal, self-contained stand-in for the slice of `proptest` this
+//! workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! just enough of proptest's surface to run its property tests: the
+//! [`proptest!`] macro, range strategies over the numeric primitives,
+//! [`collection::vec`], and the `prop_assert*` macros. Each property runs
+//! a fixed number of cases (`PROPTEST_CASES` overrides it) drawn from a
+//! deterministic per-test seed; there is **no shrinking** — a failing case
+//! reports its inputs via the panic message of the underlying assert.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// How values are drawn for a property parameter.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Lengths accepted by [`vec`]: a fixed size or a size range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    /// Vectors of values drawn from `element`, sized by `size`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Default number of cases per property.
+    pub const DEFAULT_CASES: usize = 64;
+
+    /// Cases per property; `PROPTEST_CASES` overrides the default.
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+    }
+
+    /// A deterministic generator derived from the property's name, so
+    /// every test function gets a distinct but reproducible stream.
+    pub fn rng_for(name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Declares property tests: each function runs [`test_runner::cases`]
+/// times with its parameters drawn fresh from their strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng = $crate::test_runner::rng_for(stringify!($name));
+            for __proptest_case in 0..$crate::test_runner::cases() {
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+    () => {};
+}
+
+/// Asserts a condition inside a property (no shrinking; panics directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Range strategies stay in bounds and the runner is exercised.
+        #[test]
+        fn ranges_in_bounds(x in -5i16..=5, y in 0usize..10, f in 0.5f32..2.0) {
+            prop_assert!((-5..=5).contains(&x));
+            prop_assert!(y < 10);
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        /// Vec strategy respects its size range.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(-8i8..=7, 0..64)) {
+            prop_assert!(v.len() < 64);
+            prop_assert!(v.iter().all(|&b| (-8..=7).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn per_test_rngs_differ() {
+        use super::test_runner::rng_for;
+        use rand::Rng;
+        let mut a = rng_for("alpha");
+        let mut b = rng_for("beta");
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -39,7 +39,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} elements, got {actual}"
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank-{rank} tensor")
@@ -63,7 +66,10 @@ mod tests {
             rhs: vec![3, 2],
         };
         assert_eq!(e.to_string(), "shape mismatch in `add`: [2, 3] vs [3, 2]");
-        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
         assert!(e.to_string().contains("expected 6"));
         let e = TensorError::AxisOutOfRange { axis: 4, rank: 2 };
         assert!(e.to_string().contains("axis 4"));

@@ -92,7 +92,10 @@ pub fn gemm_i8_band(
 /// Dot product of two `i8` slices with `i32` accumulation.
 pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     assert_eq!(a.len(), b.len(), "dot operands must have equal length");
-    a.iter().zip(b.iter()).map(|(&x, &y)| x as i32 * y as i32).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x as i32 * y as i32)
+        .sum()
 }
 
 #[cfg(test)]
@@ -131,8 +134,12 @@ mod tests {
     fn i8_is_exact() {
         let mut rng = seeded(22);
         let (m, n, k) = (4, 6, 9);
-        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-128i16..=127) as i8).collect();
-        let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-128i16..=127) as i8).collect();
+        let a: Vec<i8> = (0..m * k)
+            .map(|_| rng.gen_range(-128i16..=127) as i8)
+            .collect();
+        let b: Vec<i8> = (0..k * n)
+            .map(|_| rng.gen_range(-128i16..=127) as i8)
+            .collect();
         let mut c = vec![0i32; m * n];
         gemm_i8(m, n, k, &a, &b, &mut c);
         for i in 0..m {
@@ -150,8 +157,12 @@ mod tests {
     fn banded_sums_to_full() {
         let mut rng = seeded(23);
         let (m, n, k) = (3, 4, 16);
-        let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
-        let b: Vec<i8> = (0..k * n).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+        let a: Vec<i8> = (0..m * k)
+            .map(|_| rng.gen_range(-100i16..=100) as i8)
+            .collect();
+        let b: Vec<i8> = (0..k * n)
+            .map(|_| rng.gen_range(-100i16..=100) as i8)
+            .collect();
         let mut full = vec![0i32; m * n];
         gemm_i8(m, n, k, &a, &b, &mut full);
         let mut banded = vec![0i32; m * n];

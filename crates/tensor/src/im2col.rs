@@ -123,7 +123,11 @@ fn fill_im2col<T: Copy>(
 pub fn col2im(cols_mat: &[f32], g: &Conv2dGeometry) -> Vec<f32> {
     let (oh, ow) = (g.out_h(), g.out_w());
     let cols = oh * ow;
-    assert_eq!(cols_mat.len(), g.rows() * cols, "col matrix length mismatch");
+    assert_eq!(
+        cols_mat.len(),
+        g.rows() * cols,
+        "col matrix length mismatch"
+    );
     let mut input = vec![0.0f32; g.c_in * g.h * g.w];
     for c in 0..g.c_in {
         for kh in 0..g.kh {
@@ -154,12 +158,7 @@ mod tests {
     use super::*;
     use crate::gemm::gemm_f32;
 
-    fn naive_conv(
-        input: &[f32],
-        weight: &[f32],
-        g: &Conv2dGeometry,
-        c_out: usize,
-    ) -> Vec<f32> {
+    fn naive_conv(input: &[f32], weight: &[f32], g: &Conv2dGeometry, c_out: usize) -> Vec<f32> {
         let (oh, ow) = (g.out_h(), g.out_w());
         let mut out = vec![0.0f32; c_out * oh * ow];
         for co in 0..c_out {
@@ -200,11 +199,22 @@ mod tests {
         use rand::Rng;
         let mut rng = seeded(31);
         for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
-            let g = Conv2dGeometry { c_in: 3, h: 6, w: 5, kh: 3, kw: 3, stride, pad };
+            let g = Conv2dGeometry {
+                c_in: 3,
+                h: 6,
+                w: 5,
+                kh: 3,
+                kw: 3,
+                stride,
+                pad,
+            };
             let c_out = 4;
-            let input: Vec<f32> = (0..g.c_in * g.h * g.w).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let weight: Vec<f32> =
-                (0..c_out * g.rows()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let input: Vec<f32> = (0..g.c_in * g.h * g.w)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let weight: Vec<f32> = (0..c_out * g.rows())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
             let cols = im2col(&input, &g);
             let mut out = vec![0.0f32; c_out * g.cols()];
             gemm_f32(c_out, g.cols(), g.rows(), &weight, &cols, &mut out);
@@ -220,8 +230,18 @@ mod tests {
         use crate::rng::seeded;
         use rand::Rng;
         let mut rng = seeded(32);
-        let g = Conv2dGeometry { c_in: 2, h: 4, w: 4, kh: 3, kw: 3, stride: 1, pad: 1 };
-        let input_i: Vec<i8> = (0..g.c_in * g.h * g.w).map(|_| rng.gen_range(-50i16..=50) as i8).collect();
+        let g = Conv2dGeometry {
+            c_in: 2,
+            h: 4,
+            w: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let input_i: Vec<i8> = (0..g.c_in * g.h * g.w)
+            .map(|_| rng.gen_range(-50i16..=50) as i8)
+            .collect();
         let input_f: Vec<f32> = input_i.iter().map(|&x| x as f32).collect();
         let ci = im2col_i8(&input_i, &g);
         let cf = im2col(&input_f, &g);
@@ -237,9 +257,21 @@ mod tests {
         use crate::rng::seeded;
         use rand::Rng;
         let mut rng = seeded(33);
-        let g = Conv2dGeometry { c_in: 2, h: 5, w: 4, kh: 3, kw: 2, stride: 2, pad: 1 };
-        let x: Vec<f32> = (0..g.c_in * g.h * g.w).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let y: Vec<f32> = (0..g.rows() * g.cols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let g = Conv2dGeometry {
+            c_in: 2,
+            h: 5,
+            w: 4,
+            kh: 3,
+            kw: 2,
+            stride: 2,
+            pad: 1,
+        };
+        let x: Vec<f32> = (0..g.c_in * g.h * g.w)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let y: Vec<f32> = (0..g.rows() * g.cols())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let ax: Vec<f32> = im2col(&x, &g);
         let aty: Vec<f32> = col2im(&y, &g);
         let lhs: f32 = ax.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
@@ -250,7 +282,15 @@ mod tests {
     #[test]
     fn feature_group_rows_are_contiguous() {
         // Rows belonging to input channel c occupy [c*kh*kw, (c+1)*kh*kw).
-        let g = Conv2dGeometry { c_in: 4, h: 3, w: 3, kh: 2, kw: 2, stride: 1, pad: 0 };
+        let g = Conv2dGeometry {
+            c_in: 4,
+            h: 3,
+            w: 3,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        };
         let mut input = vec![0.0f32; g.c_in * g.h * g.w];
         // Mark channel 2 with a sentinel value.
         for i in 0..g.h * g.w {
@@ -259,7 +299,7 @@ mod tests {
         let cols = im2col(&input, &g);
         let band = 2 * g.kh * g.kw..3 * g.kh * g.kw;
         for row in 0..g.rows() {
-            let has_sentinel = cols[row * g.cols()..(row + 1) * g.cols()].iter().any(|&v| v == 7.0);
+            let has_sentinel = cols[row * g.cols()..(row + 1) * g.cols()].contains(&7.0);
             assert_eq!(has_sentinel, band.contains(&row), "row {row}");
         }
     }

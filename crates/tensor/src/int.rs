@@ -20,7 +20,10 @@ impl I8Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        I8Tensor { shape, data: vec![0; n] }
+        I8Tensor {
+            shape,
+            data: vec![0; n],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -105,7 +108,10 @@ impl I4Packed {
                 bytes[i / 2] |= nibble << 4;
             }
         }
-        Ok(I4Packed { len: values.len(), bytes })
+        Ok(I4Packed {
+            len: values.len(),
+            bytes,
+        })
     }
 
     /// Number of logical 4-bit elements.

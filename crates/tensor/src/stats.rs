@@ -72,7 +72,11 @@ pub fn channel_min_max(t: &Tensor, axis: usize) -> Result<Vec<(f32, f32)>> {
 
 /// Euclidean (L2) norm of a slice.
 pub fn l2_norm(values: &[f32]) -> f32 {
-    values.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt() as f32
+    values
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt() as f32
 }
 
 /// L2 distance between two equal-length slices.
@@ -94,7 +98,11 @@ pub fn l1_distance(a: &[f32], b: &[f32]) -> f32 {
     if a.is_empty() {
         return 0.0;
     }
-    let sum: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| ((x - y) as f64).abs()).sum();
+    let sum: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| ((x - y) as f64).abs())
+        .sum();
     (sum / a.len() as f64) as f32
 }
 
@@ -166,11 +174,8 @@ mod tests {
     #[test]
     fn channel_min_max_on_conv_weight_axis1() {
         // [C_out=2, C_in=2, KH=1, KW=2].
-        let t = Tensor::from_vec(
-            [2, 2, 1, 2],
-            vec![0.1, -0.2, 5.0, 6.0, 0.3, 0.0, -7.0, 2.0],
-        )
-        .unwrap();
+        let t =
+            Tensor::from_vec([2, 2, 1, 2], vec![0.1, -0.2, 5.0, 6.0, 0.3, 0.0, -7.0, 2.0]).unwrap();
         let per_cin = channel_abs_max(&t, 1).unwrap();
         assert_eq!(per_cin, vec![0.3, 7.0]);
     }

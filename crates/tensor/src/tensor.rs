@@ -35,7 +35,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -47,12 +50,18 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Creates a rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(vec![]), data: vec![value] }
+        Tensor {
+            shape: Shape::new(vec![]),
+            data: vec![value],
+        }
     }
 
     /// Creates the `n`×`n` identity matrix.
@@ -111,7 +120,10 @@ impl Tensor {
     ) -> Result<Self> {
         let shape = shape.into();
         if axis >= shape.rank() {
-            return Err(TensorError::AxisOutOfRange { axis, rank: shape.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: shape.rank(),
+            });
         }
         if scales.len() != shape.dim(axis) {
             return Err(TensorError::LengthMismatch {
@@ -292,7 +304,10 @@ impl Tensor {
                 actual: self.numel(),
             });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Transposes a rank-2 tensor, materializing the result.
@@ -365,7 +380,10 @@ impl Tensor {
         }
         let inner: usize = self.dims()[1..].iter().product();
         let data = self.data[i * inner..(i + 1) * inner].to_vec();
-        Ok(Tensor { shape: Shape::new(self.dims()[1..].to_vec()), data })
+        Ok(Tensor {
+            shape: Shape::new(self.dims()[1..].to_vec()),
+            data,
+        })
     }
 
     /// Stacks same-shaped tensors along a new leading axis.
@@ -386,7 +404,10 @@ impl Tensor {
         }
         let mut dims = vec![tensors.len()];
         dims.extend_from_slice(first.dims());
-        Ok(Tensor { shape: Shape::new(dims), data })
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
     }
 
     /// Index of the maximum element in the flattened buffer.

@@ -72,7 +72,11 @@ pub fn finetune(
     cfg: &FinetuneConfig,
 ) -> NnResult<FinetuneReport> {
     assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
-    assert_eq!(inputs.len(), teacher_logits.len(), "inputs/teacher length mismatch");
+    assert_eq!(
+        inputs.len(),
+        teacher_logits.len(),
+        "inputs/teacher length mismatch"
+    );
     let mut opt = Sgd::new(graph, cfg.lr);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut steps = 0usize;
@@ -82,8 +86,7 @@ pub fn finetune(
         let mut in_batch = 0usize;
         for i in 0..inputs.len() {
             // Low-bitwidth forward/backward, weighted by λ.
-            let (y_low, tape_low) =
-                forward(graph, &inputs[i], cfg.low_mode, &cfg.exempt_layers)?;
+            let (y_low, tape_low) = forward(graph, &inputs[i], cfg.low_mode, &cfg.exempt_layers)?;
             let (l_low, mut d_low) = paper_loss_k(&y_low, labels[i], &teacher_logits[i])?;
             d_low.map_inplace(|v| v * cfg.lambda);
             let g_low = backward(graph, &tape_low, d_low)?;
@@ -109,7 +112,10 @@ pub fn finetune(
         }
         epoch_losses.push((epoch_loss / inputs.len() as f64) as f32);
     }
-    Ok(FinetuneReport { epoch_losses, steps })
+    Ok(FinetuneReport {
+        epoch_losses,
+        steps,
+    })
 }
 
 #[cfg(test)]
@@ -127,13 +133,19 @@ mod tests {
         let l1 = g
             .linear(
                 x,
-                Linear::new(Tensor::randn([8, 6], 0.0, 0.5, &mut rng), Some(vec![0.0; 8]))
-                    .unwrap(),
+                Linear::new(
+                    Tensor::randn([8, 6], 0.0, 0.5, &mut rng),
+                    Some(vec![0.0; 8]),
+                )
+                .unwrap(),
             )
             .unwrap();
         let r = g.relu(l1).unwrap();
         let l2 = g
-            .linear(r, Linear::new(Tensor::randn([4, 8], 0.0, 0.5, &mut rng), None).unwrap())
+            .linear(
+                r,
+                Linear::new(Tensor::randn([4, 8], 0.0, 0.5, &mut rng), None).unwrap(),
+            )
             .unwrap();
         g.set_output(l2).unwrap();
         g
@@ -151,8 +163,7 @@ mod tests {
             batch: 4,
             ..FinetuneConfig::paper_default(4)
         };
-        let report =
-            finetune(&mut g, &data.inputs, &data.labels, &teacher, &cfg).unwrap();
+        let report = finetune(&mut g, &data.inputs, &data.labels, &teacher, &cfg).unwrap();
         assert_eq!(report.epoch_losses.len(), 6);
         assert!(report.steps >= 6);
         let first = report.epoch_losses[0];
@@ -172,8 +183,8 @@ mod tests {
         let low_acc = |g: &Graph| -> f64 {
             let mut correct = 0;
             for (x, &lbl) in data.inputs.iter().zip(data.labels.iter()) {
-                let (y, _) = forward(g, x, QuantMode::Uniform(flexiq_quant::QuantBits::B4), &[])
-                    .unwrap();
+                let (y, _) =
+                    forward(g, x, QuantMode::Uniform(flexiq_quant::QuantBits::B4), &[]).unwrap();
                 if y.argmax() == Some(lbl) {
                     correct += 1;
                 }

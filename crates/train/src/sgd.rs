@@ -133,7 +133,10 @@ mod tests {
         let mut g = Graph::new("q");
         let xin = g.input();
         let l = g
-            .linear(xin, Linear::new(Tensor::randn([3, 3], 0.0, 1.0, &mut rng), None).unwrap())
+            .linear(
+                xin,
+                Linear::new(Tensor::randn([3, 3], 0.0, 1.0, &mut rng), None).unwrap(),
+            )
             .unwrap();
         g.set_output(l).unwrap();
         let x = Tensor::randn([3], 0.0, 1.0, &mut rng);

@@ -34,7 +34,10 @@ pub enum QuantMode {
 impl QuantMode {
     /// The paper's low-bitwidth training mode.
     pub fn flexi4(group: usize) -> Self {
-        QuantMode::Flexi { low_bits: QuantBits::B4, group }
+        QuantMode::Flexi {
+            low_bits: QuantBits::B4,
+            group,
+        }
     }
 }
 
@@ -68,7 +71,10 @@ pub fn fake_weight(w: &Tensor, mode: QuantMode, group: GroupSpec, c_in: usize) -
         QuantMode::Fp32 => FakeQuant::identity(w.clone()),
         QuantMode::Int8 => per_channel_fake(w, QuantBits::B8),
         QuantMode::Uniform(bits) => per_channel_fake(w, bits),
-        QuantMode::Flexi { low_bits, group: gsz } => {
+        QuantMode::Flexi {
+            low_bits,
+            group: gsz,
+        } => {
             let group = GroupSpec::new(gsz.max(group.group_size().min(gsz.max(1))));
             flexi_weight_fake(w, low_bits, group, c_in)
         }
@@ -82,7 +88,10 @@ pub fn fake_act(x: &Tensor, mode: QuantMode, group: GroupSpec, c_in: usize) -> F
         QuantMode::Fp32 => FakeQuant::identity(x.clone()),
         QuantMode::Int8 => per_tensor_fake(x, QuantBits::B8),
         QuantMode::Uniform(bits) => per_tensor_fake(x, bits),
-        QuantMode::Flexi { low_bits, group: gsz } => {
+        QuantMode::Flexi {
+            low_bits,
+            group: gsz,
+        } => {
             let _ = group;
             flexi_act_fake(x, low_bits, GroupSpec::new(gsz.max(1)), c_in)
         }
@@ -203,8 +212,10 @@ fn flexi_act_fake(x: &Tensor, low_bits: QuantBits, group: GroupSpec, c_in: usize
             gmax[g] = m;
         }
     }
-    let rules: Vec<BitLowering> =
-        gmax.iter().map(|&m| BitLowering::for_max_abs(m, low_bits)).collect();
+    let rules: Vec<BitLowering> = gmax
+        .iter()
+        .map(|&m| BitLowering::for_max_abs(m, low_bits))
+        .collect();
     let value: Vec<f32> = q
         .iter()
         .enumerate()
@@ -277,7 +288,10 @@ mod tests {
         // Overall, flexi must not be meaningfully worse than uniform.
         let t_uni = stats::l2_distance(uni.value.data(), w.data());
         let t_flexi = stats::l2_distance(flexi.value.data(), w.data());
-        assert!(t_flexi < t_uni * 1.2, "overall {t_flexi} vs uniform {t_uni}");
+        assert!(
+            t_flexi < t_uni * 1.2,
+            "overall {t_flexi} vs uniform {t_uni}"
+        );
     }
 
     #[test]

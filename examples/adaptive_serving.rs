@@ -28,9 +28,14 @@ impl ServiceModel for GpuService {
     fn service_s(&self, batch: usize, level: usize) -> f64 {
         let kind = match level {
             0 => KernelKind::UniformInt8,
-            l => KernelKind::FlexiQ { low_fraction: 0.25 * l as f64, dynamic_extract: false },
+            l => KernelKind::FlexiQ {
+                low_fraction: 0.25 * l as f64,
+                dynamic_extract: false,
+            },
         };
-        self.workload.model_latency_us(&self.model, batch.max(1), kind) / 1e6
+        self.workload
+            .model_latency_us(&self.model, batch.max(1), kind)
+            / 1e6
     }
 
     fn levels(&self) -> usize {
@@ -39,17 +44,32 @@ impl ServiceModel for GpuService {
 }
 
 fn main() {
-    let svc = GpuService { workload: vit_base(), model: LatencyModel::new(GpuProfile::A6000) };
-    let cfg = SimConfig { max_batch: 32, ..Default::default() };
+    let svc = GpuService {
+        workload: vit_base(),
+        model: LatencyModel::new(GpuProfile::A6000),
+    };
+    let cfg = SimConfig {
+        max_batch: 32,
+        ..Default::default()
+    };
 
     // Offline profiling pass (the Fig. 8 curves the controller consults).
     println!("profiling latency vs rate per ratio level...");
-    let profile =
-        profile_offline(&svc, &[200.0, 600.0, 1000.0, 1200.0, 1400.0, 1600.0], 3.0, cfg, 7);
+    let profile = profile_offline(
+        &svc,
+        &[200.0, 600.0, 1000.0, 1200.0, 1400.0, 1600.0],
+        3.0,
+        cfg,
+        7,
+    );
 
     // A 30-second trace fluctuating between ~500 and ~1500 rps.
     let (arrivals, segments) = azure_like_trace(500.0, 2.0, 15, 8);
-    println!("trace: {} requests over {} segments\n", arrivals.len(), segments.len());
+    println!(
+        "trace: {} requests over {} segments\n",
+        arrivals.len(),
+        segments.len()
+    );
 
     let mut adaptive = AdaptiveController::new(profile, 0.15);
     let res_adaptive = simulate(&arrivals, &svc, &mut adaptive, cfg);
@@ -68,7 +88,10 @@ fn main() {
             .find(|(tt, _)| *tt <= t)
             .map(|(_, l)| *l)
             .unwrap_or(0);
-        println!("t={t:5.1}s  {rate:7.0}  {:8.1}  {va:8.1}  level {level}", v8 * 1e3);
+        println!(
+            "t={t:5.1}s  {rate:7.0}  {:8.1}  {va:8.1}  level {level}",
+            v8 * 1e3
+        );
     }
     println!(
         "\noverall: INT8 median {:.1} ms / p90 {:.1} ms;  adaptive median {:.1} ms / p90 {:.1} ms",

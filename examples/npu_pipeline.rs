@@ -37,8 +37,7 @@ fn main() {
     let input = &calib[0];
     println!("\nratio  cycles      ms     vs INT8");
     let boundaries_int8 = vec![0usize; rt.graph().num_layers()];
-    let specs8 =
-        specs_from_graph(rt.graph(), input, &boundaries_int8, &[0]).expect("specs");
+    let specs8 = specs_from_graph(rt.graph(), input, &boundaries_int8, &[0]).expect("specs");
     let base = model_latency(&cfg, &specs8).total_cycles();
     for level in 0..rt.num_levels() {
         let group = rt.model().groups.group_size();

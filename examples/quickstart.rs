@@ -15,7 +15,11 @@ fn main() {
     //    versions of the paper's eleven evaluation networks.
     let model = ModelId::ViTS;
     let graph = model.build(Scale::Eval).expect("build model");
-    println!("model: {} ({} quantizable layers)", model.name(), graph.num_layers());
+    println!(
+        "model: {} ({} quantizable layers)",
+        model.name(),
+        graph.num_layers()
+    );
 
     // 2. Calibration data and an evaluation set labelled by the FP32
     //    model itself (accuracy = agreement with full precision).
@@ -41,7 +45,10 @@ fn main() {
     //    `max_4bit_ch` mechanism) — same weights, new latency/accuracy
     //    trade-off.
     rt.set_ratio(0.0).expect("int8 level");
-    println!("INT8 (0% 4-bit)   accuracy: {:5.1}%", rt.accuracy(&data).unwrap());
+    println!(
+        "INT8 (0% 4-bit)   accuracy: {:5.1}%",
+        rt.accuracy(&data).unwrap()
+    );
     for level in 0..rt.num_levels() {
         rt.set_level(level).expect("valid level");
         println!(

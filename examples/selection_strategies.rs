@@ -20,8 +20,14 @@ fn main() {
     let data = teacher_dataset_filtered(&graph, gen_image_inputs(160, &dims, 32), 0.3)
         .expect("teacher labels");
 
-    println!("{}: accuracy (%) by selection strategy and 4-bit ratio\n", id.name());
-    println!("{:14} {:>6} {:>6} {:>6} {:>6}", "strategy", "25%", "50%", "75%", "100%");
+    println!(
+        "{}: accuracy (%) by selection strategy and 4-bit ratio\n",
+        id.name()
+    );
+    println!(
+        "{:14} {:>6} {:>6} {:>6} {:>6}",
+        "strategy", "25%", "50%", "75%", "100%"
+    );
     for (name, strategy) in [
         ("random", Strategy::Random),
         ("greedy", Strategy::Greedy),
@@ -35,12 +41,14 @@ fn main() {
             }),
         ),
     ] {
-        let prepared = prepare(&graph, &calib, &FlexiQConfig::new(8, strategy))
-            .expect("pipeline");
+        let prepared = prepare(&graph, &calib, &FlexiQConfig::new(8, strategy)).expect("pipeline");
         print!("{name:14}");
         for level in 0..prepared.runtime.num_levels() {
             prepared.runtime.set_level(level).expect("level");
-            print!(" {:6.1}", prepared.runtime.accuracy(&data).expect("accuracy"));
+            print!(
+                " {:6.1}",
+                prepared.runtime.accuracy(&data).expect("accuracy")
+            );
         }
         println!();
     }

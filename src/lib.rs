@@ -23,6 +23,7 @@
 //! | [`npu`] | cycle-level 32×32 systolic-array NPU simulator (Fig. 5) |
 //! | [`gpu`] | functional mixed-precision GEMM kernel + GPU cost model |
 //! | [`serving`] | discrete-event serving simulator + adaptive controller (§8.3) |
+//! | [`serve`] | live threaded batching server: real `FlexiRuntime` execution, measured-latency control |
 //! | [`baselines`] | HAWQ-, RobustQuant-, AnyPrecision-, PTMQ-style schemes (Table 5) |
 //!
 //! # Quickstart
@@ -37,6 +38,7 @@ pub use flexiq_gpu_sim as gpu;
 pub use flexiq_nn as nn;
 pub use flexiq_npu_sim as npu;
 pub use flexiq_quant as quant;
+pub use flexiq_serve as serve;
 pub use flexiq_serving as serving;
 pub use flexiq_tensor as tensor;
 pub use flexiq_train as train;

@@ -14,8 +14,12 @@ use rand::Rng;
 fn npu_and_gpu_kernels_agree_with_reference_in_8bit_mode() {
     let mut rng = seeded(9101);
     let (m, n, k) = (8, 16, 32);
-    let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
-    let w: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-100i16..=100) as i8).collect();
+    let a: Vec<i8> = (0..m * k)
+        .map(|_| rng.gen_range(-100i16..=100) as i8)
+        .collect();
+    let w: Vec<i8> = (0..n * k)
+        .map(|_| rng.gen_range(-100i16..=100) as i8)
+        .collect();
 
     // Reference: out[i, o] = sum_c a[i, c] * w[o, c].
     let mut w_t = vec![0i8; k * n];
@@ -35,8 +39,9 @@ fn npu_and_gpu_kernels_agree_with_reference_in_8bit_mode() {
     // NPU tile: weights [n][k], activations [k][m-columns].
     let arr = SystolicArray::new(NpuConfig::default());
     let w_rows: Vec<Vec<i8>> = (0..n).map(|o| w[o * k..(o + 1) * k].to_vec()).collect();
-    let a_cols: Vec<Vec<i8>> =
-        (0..k).map(|c| (0..m).map(|i| a[i * k + c]).collect()).collect();
+    let a_cols: Vec<Vec<i8>> = (0..k)
+        .map(|c| (0..m).map(|i| a[i * k + c]).collect())
+        .collect();
     let tile = arr.run_tile(Precision::Int8, &w_rows, &a_cols, None, None);
     for o in 0..n {
         for i in 0..m {
@@ -53,11 +58,19 @@ fn npu_and_gpu_kernels_agree_with_reference_in_8bit_mode() {
 fn npu_and_gpu_agree_in_4bit_mode_with_shared_extraction_rules() {
     let mut rng = seeded(9102);
     let (m, n, k) = (4, 8, TILE_K);
-    let a: Vec<i8> = (0..m * k).map(|_| rng.gen_range(-60i16..=60) as i8).collect();
-    let w: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-60i16..=60) as i8).collect();
+    let a: Vec<i8> = (0..m * k)
+        .map(|_| rng.gen_range(-60i16..=60) as i8)
+        .collect();
+    let w: Vec<i8> = (0..n * k)
+        .map(|_| rng.gen_range(-60i16..=60) as i8)
+        .collect();
     // One shared activation rule per tile, per-row weight rules — both
     // devices must implement identical lowering + shifted accumulation.
-    let act_abs = a.iter().map(|&v| (v ^ (v >> 7)) as u8 as u32).max().unwrap_or(0);
+    let act_abs = a
+        .iter()
+        .map(|&v| (v ^ (v >> 7)) as u8 as u32)
+        .max()
+        .unwrap_or(0);
     let act_max = vec![act_abs];
     let gpu = MixedGemm::new(&w, n, k, k, &act_max).run(&a, &w, m);
 
@@ -74,9 +87,16 @@ fn npu_and_gpu_agree_in_4bit_mode_with_shared_extraction_rules() {
         .collect();
     let arr = SystolicArray::new(NpuConfig::default());
     let w_rows: Vec<Vec<i8>> = (0..n).map(|o| w[o * k..(o + 1) * k].to_vec()).collect();
-    let a_cols: Vec<Vec<i8>> =
-        (0..k).map(|c| (0..m).map(|i| a[i * k + c]).collect()).collect();
-    let tile = arr.run_tile(Precision::Int4, &w_rows, &a_cols, Some(&w_rules), Some(a_rule));
+    let a_cols: Vec<Vec<i8>> = (0..k)
+        .map(|c| (0..m).map(|i| a[i * k + c]).collect())
+        .collect();
+    let tile = arr.run_tile(
+        Precision::Int4,
+        &w_rows,
+        &a_cols,
+        Some(&w_rules),
+        Some(a_rule),
+    );
     for o in 0..n {
         for i in 0..m {
             assert_eq!(
@@ -104,8 +124,9 @@ fn quantized_executor_int_path_matches_gpu_kernel_for_a_linear_layer() {
     let w = Tensor::randn([c_out, c_in], 0.0, 0.4, &mut rng);
     let l = g.linear(x, Linear::new(w.clone(), None).unwrap()).unwrap();
     g.set_output(l).unwrap();
-    let samples: Vec<Tensor> =
-        (0..4).map(|_| Tensor::randn([c_in], 0.0, 1.0, &mut rng)).collect();
+    let samples: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::randn([c_in], 0.0, 1.0, &mut rng))
+        .collect();
     let calib = calibrate_default(&g, &samples).unwrap();
     let model = QuantizedModel::prepare(&g, &calib, GroupSpec::new(TILE_K)).unwrap();
 

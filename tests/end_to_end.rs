@@ -6,8 +6,13 @@ use flexiq::nn::data::{gen_image_inputs, teacher_dataset_filtered};
 use flexiq::nn::zoo::{ModelId, Scale};
 use flexiq::quant::QuantBits;
 
-fn pipeline(id: ModelId) -> (flexiq::nn::Graph, flexiq::core::Prepared, flexiq::nn::data::Dataset)
-{
+fn pipeline(
+    id: ModelId,
+) -> (
+    flexiq::nn::Graph,
+    flexiq::core::Prepared,
+    flexiq::nn::data::Dataset,
+) {
     let graph = id.build(Scale::Test).expect("zoo model builds");
     let dims = id.input_dims(Scale::Test);
     let calib = gen_image_inputs(6, &dims, 9001);
@@ -20,16 +25,27 @@ fn pipeline(id: ModelId) -> (flexiq::nn::Graph, flexiq::core::Prepared, flexiq::
 
 #[test]
 fn every_architecture_family_survives_the_full_pipeline() {
-    for id in [ModelId::RNet20, ModelId::MNetV2, ModelId::ViTS, ModelId::SwinS] {
+    for id in [
+        ModelId::RNet20,
+        ModelId::MNetV2,
+        ModelId::ViTS,
+        ModelId::SwinS,
+    ] {
         let (_graph, prepared, data) = pipeline(id);
         let rt = &prepared.runtime;
         assert_eq!(rt.num_levels(), 4, "{}", id.name());
-        rt.schedule().check_nested().unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+        rt.schedule()
+            .check_nested()
+            .unwrap_or_else(|e| panic!("{}: {e}", id.name()));
         // All levels produce finite logits and sane accuracy.
         for level in 0..rt.num_levels() {
             rt.set_level(level).expect("level");
             let acc = rt.accuracy(&data).expect("accuracy");
-            assert!((0.0..=100.0).contains(&acc), "{} level {level}: {acc}", id.name());
+            assert!(
+                (0.0..=100.0).contains(&acc),
+                "{} level {level}: {acc}",
+                id.name()
+            );
             let y = rt.infer(&data.inputs[0]).expect("inference");
             assert!(
                 y.data().iter().all(|v| v.is_finite()),
@@ -50,7 +66,10 @@ fn int8_beats_full_low_which_beats_uniform_int4_on_transformers() {
     let a_flexi = rt.accuracy(&data).expect("accuracy");
     let a_int4 =
         flexiq::baselines::uniform_accuracy(&graph, &data, QuantBits::B4).expect("uniform");
-    assert!(a_int8 + 1e-9 >= a_flexi - 25.0, "INT8 {a_int8} vs FlexiQ-100 {a_flexi}");
+    assert!(
+        a_int8 + 1e-9 >= a_flexi - 25.0,
+        "INT8 {a_int8} vs FlexiQ-100 {a_flexi}"
+    );
     assert!(
         a_flexi >= a_int4 - 10.0,
         "FlexiQ-100 {a_flexi} should not lose to uniform INT4 {a_int4}"
@@ -83,10 +102,14 @@ fn finetuning_integrates_with_the_pipeline() {
     let id = ModelId::RNet20;
     let graph = id.build(Scale::Test).expect("build");
     let dims = id.input_dims(Scale::Test);
-    let data = teacher_dataset_filtered(&graph, gen_image_inputs(16, &dims, 9003), 0.8)
-        .expect("labels");
+    let data =
+        teacher_dataset_filtered(&graph, gen_image_inputs(16, &dims, 9003), 0.8).expect("labels");
     let calib = gen_image_inputs(4, &dims, 9004);
-    let ft = FinetuneConfig { epochs: 1, batch: 4, ..FinetuneConfig::paper_default(4) };
+    let ft = FinetuneConfig {
+        epochs: 1,
+        batch: 4,
+        ..FinetuneConfig::paper_default(4)
+    };
     let (ft_graph, prepared) = flexiq::core::pipeline::finetune_then_prepare(
         graph,
         &data.inputs,
@@ -109,10 +132,13 @@ fn lm_pipeline_and_perplexity() {
     use flexiq::nn::zoo::TinyLmCfg;
     let graph = ModelId::TinyLm.build(Scale::Test).expect("build");
     let cfg = TinyLmCfg::at(Scale::Test);
-    let seqs = lm_sequences(&gen_token_stream(cfg.vocab, 16 * cfg.context, 9005), cfg.context);
+    let seqs = lm_sequences(
+        &gen_token_stream(cfg.vocab, 16 * cfg.context, 9005),
+        cfg.context,
+    );
     let calib = seqs[..4].to_vec();
-    let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy))
-        .expect("LM pipeline");
+    let prepared =
+        prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).expect("LM pipeline");
     let ppl_fp = perplexity(&graph, &mut F32Compute, &seqs).expect("fp ppl");
     prepared.runtime.set_ratio(0.0).expect("level");
     assert!(ppl_fp.is_finite() && ppl_fp > 1.0);
