@@ -1,8 +1,9 @@
 //! Criterion benches for the runtime pieces: the `max_4bit_ch` ratio
 //! switch (§8.5: "less than a few microseconds"), NPU tile execution,
-//! NPU instruction reload, and one evolutionary generation.
+//! NPU instruction reload, quantized inference, and the stacked
+//! `infer_batch` scaling sweep (N ∈ {1, 4, 16, 64}).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use flexiq_gpu_sim::switch::RatioSwitch;
@@ -80,11 +81,41 @@ fn bench_quantized_inference(c: &mut Criterion) {
     g.finish();
 }
 
+/// Stacked-batch scaling: one `infer_batch` pass at N ∈ {1, 4, 16, 64}.
+/// Per-sample latency must fall with N (per-layer quantization and
+/// bit-lowering amortize across the batch); `exp_batch_scaling` emits the
+/// same sweep as `BENCH_batch.json` with a pass/fail verdict.
+fn bench_batch_scaling(c: &mut Criterion) {
+    use flexiq_core::pipeline::{prepare, FlexiQConfig};
+    use flexiq_core::selection::Strategy;
+    use flexiq_nn::data::gen_image_inputs;
+    use flexiq_nn::zoo::{ModelId, Scale};
+    let id = ModelId::RNet20;
+    let graph = id.build(Scale::Test).unwrap();
+    let calib = gen_image_inputs(4, &id.input_dims(Scale::Test), 2103);
+    let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    let inputs = gen_image_inputs(64, &id.input_dims(Scale::Test), 2104);
+    let mut g = c.benchmark_group("rnet20_infer_batch_scaling");
+    prepared.runtime.set_ratio(1.0).unwrap();
+    for n in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("flexiq_100", n), &n, |b, &n| {
+            b.iter(|| {
+                prepared
+                    .runtime
+                    .infer_batch(black_box(&inputs[..n]))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     runtime,
     bench_ratio_switch,
     bench_instruction_reload,
     bench_npu_tile,
-    bench_quantized_inference
+    bench_quantized_inference,
+    bench_batch_scaling
 );
 criterion_main!(runtime);

@@ -5,8 +5,9 @@
 //! Each serving benchmark times one closed-loop wave of requests against
 //! a running server (the server itself is started once per benchmark,
 //! outside the timed region), so an iteration's cost is dominated by
-//! real `FlexiRuntime` forward passes dispatched batch-wise (the graph
-//! executor itself is single-sample; see `flexiq-serve`'s worker docs).
+//! real `FlexiRuntime` forward passes: each dispatched batch executes as
+//! one stacked `[N, …]` pass (see `flexiq-serve`'s worker docs), which
+//! the `max_batch` sweep below exercises at N ∈ {1, 4, 16, 64}.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
@@ -79,6 +80,27 @@ fn bench_adaptive(c: &mut Criterion) {
     server.shutdown();
 }
 
+/// Batch-scaling sweep through the whole server: same offered wave, the
+/// dispatcher capped at `max_batch` ∈ {1, 4, 16, 64}. Larger caps mean
+/// larger stacked passes per dispatch.
+fn bench_batch_sweep(c: &mut Criterion) {
+    let (rt, inputs) = runtime_and_inputs();
+    rt.set_level(LEVEL_INT8).unwrap();
+    let mut g = c.benchmark_group("served_wave_batch_sweep");
+    for mb in [1usize, 4, 16, 64] {
+        let cfg = ServeConfig {
+            max_batch: mb,
+            ..serve_cfg()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        g.bench_with_input(BenchmarkId::new("max_batch", mb), &mb, |b, _| {
+            b.iter(|| wave(&server, &inputs))
+        });
+        server.shutdown();
+    }
+    g.finish();
+}
+
 fn bench_queue_dispatch(c: &mut Criterion) {
     use flexiq_serve::queue::AdmissionQueue;
     use flexiq_serve::request::QueuedRequest;
@@ -117,6 +139,7 @@ criterion_group!(
     serve,
     bench_fixed_levels,
     bench_adaptive,
+    bench_batch_sweep,
     bench_queue_dispatch
 );
 criterion_main!(serve);

@@ -1,0 +1,141 @@
+//! Batch-scaling sweep of the stacked execution path (ISSUE 2).
+//!
+//! Measures `FlexiRuntime::infer_batch` per-sample latency at
+//! N ∈ {1, 4, 16, 64} for the INT8 and 100%-4-bit configurations, plus a
+//! sequential (per-sample `infer`) baseline at N = 16, and emits
+//! `BENCH_batch.json` at the workspace root (and a CSV under `results/`).
+//! The batched path amortizes per-layer work — activation quantization,
+//! weight bit-lowering, kernel setup — across the batch, so per-sample
+//! latency must fall as N grows (the acceptance criterion is
+//! N=16 strictly below N=1).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_core::pipeline::{prepare, FlexiQConfig};
+use flexiq_core::runtime::LEVEL_INT8;
+use flexiq_core::selection::Strategy;
+use flexiq_core::FlexiRuntime;
+use flexiq_nn::data::gen_image_inputs;
+use flexiq_nn::zoo::{ModelId, Scale};
+use flexiq_tensor::Tensor;
+
+const BATCHES: [usize; 4] = [1, 4, 16, 64];
+
+/// Times `reps` stacked passes over `inputs`, returning seconds/pass.
+fn time_batch(rt: &FlexiRuntime, inputs: &[Tensor], reps: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let ys = rt.infer_batch(inputs).expect("batched inference");
+        std::hint::black_box(ys);
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Times sequential per-sample inference over `inputs`, seconds/wave.
+fn time_sequential(rt: &FlexiRuntime, inputs: &[Tensor], reps: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for x in inputs {
+            std::hint::black_box(rt.infer(x).expect("inference"));
+        }
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let id = ModelId::RNet20;
+    println!(
+        "preparing {} (test scale) for the batch-scaling sweep...",
+        id.name()
+    );
+    let graph = id.build(Scale::Test).unwrap();
+    let calib = gen_image_inputs(8, &id.input_dims(Scale::Test), 0xBA7C11);
+    let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    let rt = prepared.runtime;
+    let inputs = gen_image_inputs(64, &id.input_dims(Scale::Test), 0xBA7C12);
+
+    // Calibrate a repetition count from a single warm N=1 pass (~0.3 s of
+    // measurement per point).
+    rt.set_level(LEVEL_INT8).unwrap();
+    let once = time_batch(&rt, &inputs[..1], 3);
+    let reps = ((0.3 / once.max(1e-6)) as usize).clamp(5, 2000);
+
+    let mut table = ResultTable::new(
+        "Batch scaling: per-sample latency (ms) of one stacked pass",
+        &["level", "N", "total_ms", "per_sample_ms", "speedup_vs_N1"],
+    );
+    let mut json = String::from("{\n  \"model\": \"rnet20\",\n  \"scale\": \"test\",\n");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"levels\": [\n");
+
+    let mut all_pass = true;
+    let levels: [(usize, &str); 2] = [(LEVEL_INT8, "int8"), (rt.num_levels() - 1, "flexiq_100")];
+    for (li, (level, name)) in levels.iter().enumerate() {
+        rt.set_level(*level).unwrap();
+        // Warm-up.
+        let _ = time_batch(&rt, &inputs[..4], 2);
+        let mut per_sample = Vec::new();
+        let _ = writeln!(json, "    {{\"level\": \"{name}\", \"points\": [");
+        for (bi, &n) in BATCHES.iter().enumerate() {
+            let r = (reps / n).max(3);
+            let total = time_batch(&rt, &inputs[..n], r);
+            let ps = total / n as f64;
+            per_sample.push(ps);
+            table.row(vec![
+                name.to_string(),
+                n.to_string(),
+                f2(total * 1e3),
+                format!("{:.4}", ps * 1e3),
+                f2(per_sample[0] / ps),
+            ]);
+            let comma = if bi + 1 < BATCHES.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {{\"batch\": {n}, \"total_ms\": {:.6}, \"per_sample_ms\": {:.6}}}{comma}",
+                total * 1e3,
+                ps * 1e3
+            );
+        }
+        let seq16 = time_sequential(&rt, &inputs[..16], (reps / 16).max(3)) / 16.0;
+        let _ = writeln!(
+            json,
+            "    ], \"sequential_16_per_sample_ms\": {:.6}}}{}",
+            seq16 * 1e3,
+            if li + 1 < levels.len() { "," } else { "" }
+        );
+        table.row(vec![
+            name.to_string(),
+            "16 (seq)".into(),
+            f2(seq16 * 16.0 * 1e3),
+            format!("{:.4}", seq16 * 1e3),
+            f2(per_sample[0] / seq16),
+        ]);
+        let n16 = per_sample[BATCHES.iter().position(|&n| n == 16).unwrap()];
+        let pass = n16 < per_sample[0];
+        all_pass &= pass;
+        println!(
+            "[{name}] per-sample: N=1 {:.4} ms, N=16 {:.4} ms ({}: batched GEMM amortizes)",
+            per_sample[0] * 1e3,
+            n16 * 1e3,
+            if pass { "PASS" } else { "FAIL" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    table.emit("batch_scaling");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_batch.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    // The acceptance criterion is enforced, not just printed: a CI run
+    // where batching stops amortizing (N=16 per-sample >= N=1) fails.
+    if !all_pass {
+        eprintln!("FAIL: batched per-sample latency did not amortize at N=16");
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,11 @@
 //! switch is a single atomic level index plus precomputed per-layer
 //! boundaries, and [`FlexiRuntime::set_level`] is safe to call from a
 //! serving thread while inference threads read the current level.
+//!
+//! Inference comes in two shapes: [`FlexiRuntime::infer`] for one sample
+//! and [`FlexiRuntime::infer_batch`] for a stacked batch executed as one
+//! forward pass (one level read, one quantization and bit-lowering per
+//! layer per batch) — the serving worker's dispatch unit.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -167,6 +172,43 @@ impl FlexiRuntime {
         Ok((exec::run(&self.graph, input, &mut hook)?, level))
     }
 
+    /// Runs a batch of same-shaped inputs as **one** stacked forward pass.
+    ///
+    /// See [`FlexiRuntime::infer_batch_traced`]; this drops the level.
+    pub fn infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.infer_batch_traced(inputs).map(|(ys, _)| ys)
+    }
+
+    /// Runs a batch of same-shaped inputs as one stacked `[N, …]` forward
+    /// pass and reports the level the whole batch executed at.
+    ///
+    /// The level is read exactly once: quantization parameters, the
+    /// mixed-precision plan, and any concurrent [`FlexiRuntime::set_level`]
+    /// switch are shared across the batch, so every sample of a dispatch
+    /// runs the same configuration (the §7 switching model). Activations
+    /// are quantized and per-layer bit-lowering applied once per layer
+    /// per batch, and with static extraction positions each sample's
+    /// output is bit-exact with a standalone [`FlexiRuntime::infer`] call
+    /// at the same level.
+    ///
+    /// Inputs must share one shape (mixed-shape dispatch is the caller's
+    /// concern — see `flexiq-serve`'s worker, which groups by shape). An
+    /// empty batch returns no outputs.
+    pub fn infer_batch_traced(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, usize)> {
+        let level = self.level();
+        if inputs.is_empty() {
+            return Ok((Vec::new(), level));
+        }
+        let stacked = Tensor::stack(inputs).map_err(NnError::from)?;
+        let mut hook = QuantCompute::new(&self.model, self.plan_at(level), self.opts)?;
+        let y = exec::run_batch(&self.graph, &stacked, &mut hook)?;
+        let mut outs = Vec::with_capacity(inputs.len());
+        for i in 0..inputs.len() {
+            outs.push(y.index_axis0(i).map_err(NnError::from)?);
+        }
+        Ok((outs, level))
+    }
+
     /// Top-1 agreement with a teacher-labelled dataset at the active
     /// ratio, in percent.
     pub fn accuracy(&self, data: &Dataset) -> Result<f64> {
@@ -260,6 +302,37 @@ mod tests {
         for (i, &a) in accs.iter().enumerate() {
             assert!(a >= 0.0 && a <= 100.0, "acc[{i}]={a}");
         }
+    }
+
+    #[test]
+    fn infer_batch_is_bit_exact_with_per_sample_infer() {
+        let (rt, data) = runtime();
+        let inputs = &data.inputs[..5];
+        let mut levels = vec![LEVEL_INT8];
+        levels.extend(0..rt.num_levels());
+        for level in levels {
+            rt.set_level(level).unwrap();
+            let (ys, ran_at) = rt.infer_batch_traced(inputs).unwrap();
+            assert_eq!(ran_at, level);
+            assert_eq!(ys.len(), inputs.len());
+            for (i, x) in inputs.iter().enumerate() {
+                let yi = rt.infer(x).unwrap();
+                assert_eq!(ys[i].dims(), yi.dims());
+                for (a, b) in ys[i].data().iter().zip(yi.data().iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "level {level} sample {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infer_batch_handles_empty_and_mismatched_batches() {
+        let (rt, data) = runtime();
+        let (ys, level) = rt.infer_batch_traced(&[]).unwrap();
+        assert!(ys.is_empty());
+        assert_eq!(level, rt.level());
+        let bad = [data.inputs[0].clone(), Tensor::zeros([1, 2, 2])];
+        assert!(rt.infer_batch(&bad).is_err());
     }
 
     #[test]

@@ -7,6 +7,17 @@
 //! everything else — normalization, activations, attention cores, pooling
 //! — executes in floating point, matching the paper's execution model
 //! (§8.2: integer compute for conv/linear, 16-bit float for the rest).
+//!
+//! # Batched execution
+//!
+//! [`run_batch`] walks the same graph with **stacked** `[N, …]`
+//! activations: quantizable layers go through the batched [`Compute`]
+//! hooks ([`Compute::conv2d_batch`] / [`Compute::linear_batch`], with
+//! per-sample fallbacks for hooks that do not override them), and every
+//! other operator has a batch-aware forward. Per-sample outputs are
+//! bit-exact with [`run`] — the batched kernels preserve each output
+//! element's reduction order — which is what lets the serving stack batch
+//! freely without perturbing the mixed-precision arithmetic.
 
 use flexiq_tensor::Tensor;
 
@@ -22,6 +33,55 @@ pub trait Compute {
 
     /// Computes a linear layer (standalone or attention projection).
     fn linear(&mut self, layer: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor>;
+
+    /// Computes a convolution over a stacked batch `[N, C, H, W]`.
+    ///
+    /// The default runs the single-sample hook per slice; engines with a
+    /// real batched kernel (the f32 reference, the quantized engines)
+    /// override it.
+    fn conv2d_batch(
+        &mut self,
+        layer: LayerId,
+        conv: &Conv2d,
+        x: &Tensor,
+        n: usize,
+    ) -> Result<Tensor> {
+        map_samples(x, n, |xi| self.conv2d(layer, conv, xi))
+    }
+
+    /// Computes a linear layer over a stacked batch (`[N, C]` or
+    /// `[N, T, C]`). Default: per-sample fallback.
+    fn linear_batch(
+        &mut self,
+        layer: LayerId,
+        lin: &Linear,
+        x: &Tensor,
+        n: usize,
+    ) -> Result<Tensor> {
+        map_samples(x, n, |xi| self.linear(layer, lin, xi))
+    }
+}
+
+/// Applies `f` to every sample slice of a stacked `[N, …]` tensor and
+/// restacks the results — the generic per-sample fallback for operators
+/// without a dedicated batched kernel.
+pub fn map_samples(
+    x: &Tensor,
+    n: usize,
+    mut f: impl FnMut(&Tensor) -> Result<Tensor>,
+) -> Result<Tensor> {
+    if n == 0 || x.dims().first() != Some(&n) {
+        return Err(NnError::BadActivation {
+            op: "batch",
+            expected: format!("non-empty stacked activation [{n}, …]"),
+            got: x.dims().to_vec(),
+        });
+    }
+    let mut outs = Vec::with_capacity(n);
+    for s in 0..n {
+        outs.push(f(&x.index_axis0(s)?)?);
+    }
+    Ok(Tensor::stack(&outs)?)
 }
 
 /// Reference f32 compute: every layer runs at full precision.
@@ -36,13 +96,33 @@ impl Compute for F32Compute {
     fn linear(&mut self, _layer: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
         lin.forward(x)
     }
+
+    fn conv2d_batch(
+        &mut self,
+        _layer: LayerId,
+        conv: &Conv2d,
+        x: &Tensor,
+        _n: usize,
+    ) -> Result<Tensor> {
+        conv.forward_batch(x)
+    }
+
+    fn linear_batch(
+        &mut self,
+        _layer: LayerId,
+        lin: &Linear,
+        x: &Tensor,
+        _n: usize,
+    ) -> Result<Tensor> {
+        lin.forward_batch(x)
+    }
 }
 
 /// Runs the graph on one input through the given compute hook.
 pub fn run(graph: &Graph, input: &Tensor, compute: &mut dyn Compute) -> Result<Tensor> {
     let output = graph.output()?;
     let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
-    eval(graph, output, input, compute, &mut memo)?;
+    eval(graph, output, input, compute, &mut memo, None, false)?;
     memo[output]
         .take()
         .ok_or_else(|| NnError::Invalid("output was not computed".into()))
@@ -51,6 +131,27 @@ pub fn run(graph: &Graph, input: &Tensor, compute: &mut dyn Compute) -> Result<T
 /// Runs the graph at full f32 precision.
 pub fn run_f32(graph: &Graph, input: &Tensor) -> Result<Tensor> {
     run(graph, input, &mut F32Compute)
+}
+
+/// Runs the graph on a stacked `[N, …]` batch in **one** pass.
+///
+/// Quantizable layers execute through the batched [`Compute`] hooks, so
+/// an engine quantizes activations and lowers weights once per layer per
+/// batch rather than once per sample. The output keeps the leading batch
+/// axis; slice it with [`Tensor::index_axis0`].
+pub fn run_batch(graph: &Graph, input: &Tensor, compute: &mut dyn Compute) -> Result<Tensor> {
+    let n = batch_size(input)?;
+    let output = graph.output()?;
+    let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
+    eval(graph, output, input, compute, &mut memo, Some(n), false)?;
+    memo[output]
+        .take()
+        .ok_or_else(|| NnError::Invalid("output was not computed".into()))
+}
+
+/// Runs a stacked batch at full f32 precision.
+pub fn run_batch_f32(graph: &Graph, input: &Tensor) -> Result<Tensor> {
+    run_batch(graph, input, &mut F32Compute)
 }
 
 /// Runs the graph and returns **every** node's output.
@@ -66,19 +167,58 @@ pub fn run_traced(
 ) -> Result<Vec<Option<Tensor>>> {
     let output = graph.output()?;
     let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
-    eval(graph, output, input, compute, &mut memo)?;
+    eval(graph, output, input, compute, &mut memo, None, true)?;
     Ok(memo)
 }
 
+/// Batched [`run_traced`]: every node's stacked `[N, …]` output.
+pub fn run_batch_traced(
+    graph: &Graph,
+    input: &Tensor,
+    compute: &mut dyn Compute,
+) -> Result<Vec<Option<Tensor>>> {
+    let n = batch_size(input)?;
+    let output = graph.output()?;
+    let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
+    eval(graph, output, input, compute, &mut memo, Some(n), true)?;
+    Ok(memo)
+}
+
+fn batch_size(input: &Tensor) -> Result<usize> {
+    match input.dims().first() {
+        Some(&n) if n > 0 => Ok(n),
+        _ => Err(NnError::BadActivation {
+            op: "batch",
+            expected: "non-empty stacked input [N, …]".into(),
+            got: input.dims().to_vec(),
+        }),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn eval(
     graph: &Graph,
     id: NodeId,
     input: &Tensor,
     compute: &mut dyn Compute,
     memo: &mut [Option<Tensor>],
+    batch: Option<usize>,
+    retain_all: bool,
 ) -> Result<()> {
     if memo[id].is_some() {
         return Ok(());
+    }
+    // Remaining-consumer counts over the whole graph: once a node's last
+    // consumer has resolved, its memoized activation can be **moved** out
+    // instead of cloned. Only activations feeding several consumers (the
+    // shared trunk of a residual block, say) pay for a clone; on a linear
+    // chain nothing is copied. `retain_all` (tracing/calibration) keeps
+    // every activation alive instead.
+    let mut remaining = vec![0usize; graph.nodes().len()];
+    for node in graph.nodes() {
+        for &inp in &node.inputs {
+            remaining[inp] += 1;
+        }
     }
     // Iterative post-order traversal: deep residual chains would otherwise
     // exhaust the stack on large graphs.
@@ -99,13 +239,23 @@ fn eval(
         }
         let mut resolved = Vec::with_capacity(node.inputs.len());
         for (slot, &inp) in node.inputs.iter().enumerate() {
-            resolved.push(
-                memo[inp].clone().ok_or_else(|| {
-                    NnError::Invalid(format!("input {slot} of node {nid} missing"))
-                })?,
-            );
+            if memo[inp].is_none() {
+                return Err(NnError::Invalid(format!(
+                    "input {slot} of node {nid} missing"
+                )));
+            }
+            remaining[inp] = remaining[inp].saturating_sub(1);
+            let value = if !retain_all && remaining[inp] == 0 && inp != id {
+                memo[inp].take().expect("checked above")
+            } else {
+                memo[inp].clone().expect("checked above")
+            };
+            resolved.push(value);
         }
-        memo[nid] = Some(apply_node(node, &resolved, input, compute)?);
+        memo[nid] = Some(match batch {
+            None => apply_node(node, &resolved, input, compute)?,
+            Some(n) => apply_node_batch(node, &resolved, input, n, compute)?,
+        });
     }
     Ok(())
 }
@@ -160,6 +310,78 @@ pub fn apply_node(
         Op::Reorder(perm) => tokens::reorder_channels(get(0)?, perm)?,
         Op::AddParam(p) => get(0)?.add(p)?,
         Op::Embedding(emb) => emb.forward(get(0)?)?,
+    })
+}
+
+/// Applies one node's operator to resolved **stacked** `[N, …]` input
+/// activations (the batched counterpart of [`apply_node`]).
+///
+/// Quantizable operators route through the batched [`Compute`] hooks;
+/// token-mixing cores (attention, window attention) run per sample, since
+/// attention never mixes tokens across samples; everything else uses the
+/// batch-aware op forwards.
+pub fn apply_node_batch(
+    node: &crate::graph::Node,
+    inputs: &[Tensor],
+    graph_input: &Tensor,
+    n: usize,
+    compute: &mut dyn Compute,
+) -> Result<Tensor> {
+    let get = |slot: usize| -> Result<&Tensor> {
+        inputs
+            .get(slot)
+            .ok_or_else(|| NnError::Invalid(format!("missing input {slot}")))
+    };
+    Ok(match &node.op {
+        Op::Input => graph_input.clone(),
+        Op::Conv2d(conv) => compute.conv2d_batch(node.layers[0], conv, get(0)?, n)?,
+        Op::Linear(lin) => compute.linear_batch(node.layers[0], lin, get(0)?, n)?,
+        Op::BatchNorm(bn) => bn.forward_batch(get(0)?)?,
+        Op::LayerNorm(ln) => ln.forward_batch(get(0)?)?,
+        Op::Relu => act::relu(get(0)?),
+        Op::Gelu => act::gelu(get(0)?),
+        Op::Add => get(0)?.add(get(1)?)?,
+        Op::MaxPool { k, stride } => pool::max_pool2d_batch(get(0)?, *k, *stride)?,
+        Op::AvgPool { k, stride } => pool::avg_pool2d_batch(get(0)?, *k, *stride)?,
+        Op::GlobalAvgPool => pool::global_avg_pool_batch(get(0)?)?,
+        Op::ToTokens => tokens::to_tokens_batch(get(0)?)?,
+        Op::MeanTokens => tokens::mean_tokens_batch(get(0)?)?,
+        Op::PatchMerge { h, w } => tokens::patch_merge_batch(get(0)?, *h, *w)?,
+        Op::Attention(attn) => {
+            let lids = node.layers_array()?;
+            let x = get(0)?;
+            let q = compute.linear_batch(lids[0], &attn.q, x, n)?;
+            let k = compute.linear_batch(lids[1], &attn.k, x, n)?;
+            let v = compute.linear_batch(lids[2], &attn.v, x, n)?;
+            let core = attn.core_batch(&q, &k, &v)?;
+            compute.linear_batch(lids[3], &attn.o, &core, n)?
+        }
+        Op::WindowAttention(wa) => {
+            let x = get(0)?;
+            let lids = node.layers_array()?;
+            // Projections are per-token, so they run batched on the full
+            // stack; the window cores run per sample.
+            let q = compute.linear_batch(lids[0], &wa.attn.q, x, n)?;
+            let k = compute.linear_batch(lids[1], &wa.attn.k, x, n)?;
+            let v = compute.linear_batch(lids[2], &wa.attn.v, x, n)?;
+            let mut merged = Vec::with_capacity(n);
+            for s in 0..n {
+                let (qs, ks, vs) = (q.index_axis0(s)?, k.index_axis0(s)?, v.index_axis0(s)?);
+                let qw = wa.partition(&qs)?;
+                let kw = wa.partition(&ks)?;
+                let vw = wa.partition(&vs)?;
+                let mut outs = Vec::with_capacity(qw.len());
+                for ((qi, ki), vi) in qw.iter().zip(kw.iter()).zip(vw.iter()) {
+                    outs.push(wa.attn.core(qi, ki, vi)?);
+                }
+                merged.push(wa.merge(&outs)?);
+            }
+            let merged = Tensor::stack(&merged)?;
+            compute.linear_batch(lids[3], &wa.attn.o, &merged, n)?
+        }
+        Op::Reorder(perm) => tokens::reorder_channels_batch(get(0)?, perm)?,
+        Op::AddParam(p) => get(0)?.add_bcast0(p)?,
+        Op::Embedding(emb) => map_samples(get(0)?, n, |ids| emb.forward(ids))?,
     })
 }
 
@@ -378,5 +600,98 @@ mod tests {
         let mut g = Graph::new("none");
         let _ = g.input();
         assert!(run_f32(&g, &Tensor::zeros([1])).is_err());
+    }
+
+    #[test]
+    fn run_batch_matches_per_sample_run_on_residual_graph() {
+        let mut rng = seeded(113);
+        let mut g = Graph::new("resblock");
+        let x = g.input();
+        let w = Tensor::randn([2, 2, 3, 3], 0.0, 0.3, &mut rng);
+        let c = g.conv2d(x, Conv2d::new(w, None, 1, 1, 1).unwrap()).unwrap();
+        let b = g.batch_norm(c, BatchNorm2d::identity(2)).unwrap();
+        let s = g.add(b, x).unwrap();
+        let r = g.relu(s).unwrap();
+        let p = g.add_node(Op::GlobalAvgPool, vec![r]).unwrap();
+        g.set_output(p).unwrap();
+        let samples: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::randn([2, 5, 5], 0.0, 1.0, &mut rng))
+            .collect();
+        let yb = run_batch_f32(&g, &Tensor::stack(&samples).unwrap()).unwrap();
+        assert_eq!(yb.dims(), &[4, 2]);
+        for (i, s) in samples.iter().enumerate() {
+            let yi = run_f32(&g, s).unwrap();
+            for (a, b) in yb.index_axis0(i).unwrap().data().iter().zip(yi.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_per_sample_run_on_window_attention() {
+        let mut rng = seeded(114);
+        let mk = |rng: &mut _| Linear::new(Tensor::randn([4, 4], 0.0, 0.3, rng), None).unwrap();
+        let attn = Attention::new(
+            mk(&mut rng),
+            mk(&mut rng),
+            mk(&mut rng),
+            mk(&mut rng),
+            2,
+            false,
+        )
+        .unwrap();
+        let wa = crate::ops::WindowAttention::new(attn, 4, 4, 2, true).unwrap();
+        let mut g = Graph::new("swinblock");
+        let x = g.input();
+        let a = g.window_attention(x, wa).unwrap();
+        g.set_output(a).unwrap();
+        let samples: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn([16, 4], 0.0, 1.0, &mut rng))
+            .collect();
+        let yb = run_batch_f32(&g, &Tensor::stack(&samples).unwrap()).unwrap();
+        for (i, s) in samples.iter().enumerate() {
+            let yi = run_f32(&g, s).unwrap();
+            for (a, b) in yb.index_axis0(i).unwrap().data().iter().zip(yi.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_hooks_fall_back_per_sample_by_default() {
+        // A hook that only implements the single-sample methods still
+        // serves batched runs through the default fallback.
+        struct Minimal {
+            calls: usize,
+        }
+        impl Compute for Minimal {
+            fn conv2d(&mut self, _l: LayerId, c: &Conv2d, x: &Tensor) -> Result<Tensor> {
+                self.calls += 1;
+                c.forward(x)
+            }
+            fn linear(&mut self, _l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+                lin.forward(x)
+            }
+        }
+        let mut g = Graph::new("fallback");
+        let x = g.input();
+        let w = Tensor::eye(2).reshape([2, 2, 1, 1]).unwrap();
+        let c = g.conv2d(x, Conv2d::new(w, None, 1, 0, 1).unwrap()).unwrap();
+        g.set_output(c).unwrap();
+        let stacked = Tensor::ones([3, 2, 2, 2]);
+        let mut hook = Minimal { calls: 0 };
+        let y = run_batch(&g, &stacked, &mut hook).unwrap();
+        assert_eq!(y.dims(), &[3, 2, 2, 2]);
+        assert_eq!(hook.calls, 3, "fallback must run once per sample");
+    }
+
+    #[test]
+    fn run_batch_rejects_empty_batch() {
+        let mut g = Graph::new("empty");
+        let x = g.input();
+        let r = g.relu(x).unwrap();
+        g.set_output(r).unwrap();
+        assert!(run_batch_f32(&g, &Tensor::zeros([0, 2])).is_err());
+        assert!(run_batch_f32(&g, &Tensor::scalar(1.0)).is_err());
     }
 }

@@ -12,11 +12,15 @@
 //!   window attention (Swin), patch merging, token reshapes.
 //! * [`exec`] — the reference f32 executor. Quantized execution reuses the
 //!   same walker through a [`exec::Compute`] hook, so the float and the
-//!   mixed-precision paths cannot drift structurally.
+//!   mixed-precision paths cannot drift structurally. [`exec::run_batch`]
+//!   walks the same graph with stacked `[N, …]` activations through the
+//!   batched hook methods — per-sample bit-exact with [`exec::run`].
 //! * [`qexec`] — mixed-precision execution: 8-bit master weights,
 //!   per-output-channel scales, per-tensor activation scales and
 //!   per-feature-group bit-lowering, with both an exact integer path and a
-//!   numerically equivalent (but faster) float simulation.
+//!   numerically equivalent (but faster) float simulation; both implement
+//!   the batched hooks (one quantization + weight lowering per layer per
+//!   batch).
 //! * [`calibrate`] — runs calibration batches and records the per-layer,
 //!   per-feature-channel ranges every downstream component needs.
 //! * [`zoo`] — scaled-down, architecture-faithful builds of ResNet-20/18/

@@ -113,6 +113,28 @@ impl Attention {
         }
         Ok(Tensor::from_vec([t, c], out)?)
     }
+
+    /// Batched attention core over stacked `[N, T, C]` projections.
+    ///
+    /// Attention mixes tokens only **within** a sample, so the core runs
+    /// per sample (softmax rows never cross samples); projections are
+    /// batched by the executor. Bit-exact per sample with
+    /// [`Attention::core`].
+    pub fn core_batch(&self, q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
+        if q.dims().len() != 3 || q.dims() != k.dims() || q.dims() != v.dims() {
+            return Err(NnError::BadActivation {
+                op: "attention_core",
+                expected: "matching [N, T, C] projections".into(),
+                got: q.dims().to_vec(),
+            });
+        }
+        let n = q.dims()[0];
+        let mut outs = Vec::with_capacity(n);
+        for s in 0..n {
+            outs.push(self.core(&q.index_axis0(s)?, &k.index_axis0(s)?, &v.index_axis0(s)?)?);
+        }
+        Ok(Tensor::stack(&outs)?)
+    }
 }
 
 /// Swin-style window attention over a `[h*w, C]` token grid.

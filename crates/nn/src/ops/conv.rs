@@ -1,6 +1,6 @@
 //! 2-D convolution with optional channel groups (depthwise support).
 
-use flexiq_tensor::im2col::{im2col, Conv2dGeometry};
+use flexiq_tensor::im2col::{im2col, im2col_batch, Conv2dGeometry};
 use flexiq_tensor::{gemm, Tensor};
 
 use crate::error::NnError;
@@ -9,9 +9,10 @@ use crate::Result;
 /// A 2-D convolution layer.
 ///
 /// Weights follow the `[C_out, C_in / groups, KH, KW]` layout. Inputs and
-/// outputs are single-sample `[C, H, W]` tensors; batching is handled by
-/// the callers (the serving path models batches analytically, the
-/// accuracy path iterates samples).
+/// outputs are single-sample `[C, H, W]` tensors through [`Conv2d::forward`];
+/// [`Conv2d::forward_batch`] runs a stacked `[N, C, H, W]` batch through
+/// one column-batched GEMM per channel group (im2col amortized across the
+/// batch), bit-exact per sample with the single-sample path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Conv2d {
     /// Kernel weights `[C_out, C_in / groups, KH, KW]`.
@@ -149,6 +150,72 @@ impl Conv2d {
         }
         Ok(Tensor::from_vec([c_out, oh, ow], out)?)
     }
+
+    /// Validates a stacked batch activation and returns `(N, H, W)`.
+    pub fn check_input_batch(&self, x: &Tensor) -> Result<(usize, usize, usize)> {
+        let dims = x.dims();
+        if dims.len() != 4 || dims[1] != self.c_in() || dims[0] == 0 {
+            return Err(NnError::BadActivation {
+                op: "conv2d",
+                expected: format!("non-empty [N, {}, H, W]", self.c_in()),
+                got: dims.to_vec(),
+            });
+        }
+        Ok((dims[0], dims[2], dims[3]))
+    }
+
+    /// Batched f32 forward pass over a stacked `[N, C_in, H, W]` input.
+    ///
+    /// Each channel group is lowered once for the whole batch
+    /// ([`im2col_batch`]) and multiplied in one column-batched GEMM, so
+    /// the weight rows stream across all `N` samples. Per-sample results
+    /// are bit-exact with [`Conv2d::forward`].
+    pub fn forward_batch(&self, x: &Tensor) -> Result<Tensor> {
+        let (n, h, w) = self.check_input_batch(x)?;
+        let g = self.group_geometry(h, w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let cols = g.cols();
+        let k = g.rows();
+        let c_out = self.c_out();
+        let c_out_g = c_out / self.groups;
+        let c_in_g = self.weight.dims()[1];
+        let chw = self.c_in() * h * w;
+        let ncols = n * cols;
+        let mut out = vec![0.0f32; n * c_out * cols];
+        let mut big = vec![0.0f32; c_out_g * ncols];
+        for grp in 0..self.groups {
+            let cols_mat = im2col_batch(&x.data()[grp * c_in_g * h * w..], n, chw, &g);
+            big.fill(0.0);
+            gemm::gemm_f32_colbatch(
+                n,
+                c_out_g,
+                cols,
+                k,
+                &self.weight.data()[grp * c_out_g * k..(grp + 1) * c_out_g * k],
+                &cols_mat,
+                &mut big,
+            );
+            // Scatter [c_out_g, N*cols] back to sample-major [N, C_out, OH*OW].
+            for ol in 0..c_out_g {
+                let o = grp * c_out_g + ol;
+                for s in 0..n {
+                    let src = ol * ncols + s * cols;
+                    let dst = (s * c_out + o) * cols;
+                    out[dst..dst + cols].copy_from_slice(&big[src..src + cols]);
+                }
+            }
+        }
+        if let Some(bias) = &self.bias {
+            for s in 0..n {
+                for (co, &b) in bias.iter().enumerate() {
+                    for v in &mut out[(s * c_out + co) * cols..(s * c_out + co + 1) * cols] {
+                        *v += b;
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec([n, c_out, oh, ow], out)?)
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +293,49 @@ mod tests {
                 assert!((v - y.data()[grp * 50 + i]).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn batched_forward_is_bit_exact_with_per_sample() {
+        let mut rng = seeded(84);
+        // Plain, strided+padded, grouped and depthwise configurations.
+        let cases = [
+            (
+                Tensor::randn([4, 3, 3, 3], 0.0, 0.3, &mut rng),
+                1usize,
+                1usize,
+                1usize,
+                3usize,
+            ),
+            (Tensor::randn([4, 3, 3, 3], 0.0, 0.3, &mut rng), 2, 1, 1, 3),
+            (Tensor::randn([4, 2, 3, 3], 0.0, 0.3, &mut rng), 1, 1, 2, 4),
+            (Tensor::randn([3, 1, 1, 1], 0.0, 0.5, &mut rng), 1, 0, 3, 3),
+        ];
+        for (wt, stride, pad, groups, c_in) in cases {
+            let bias: Vec<f32> = (0..wt.dims()[0]).map(|i| 0.1 * i as f32 - 0.2).collect();
+            let conv = Conv2d::new(wt, Some(bias), stride, pad, groups).unwrap();
+            let samples: Vec<Tensor> = (0..3)
+                .map(|_| Tensor::randn([c_in, 6, 5], 0.0, 1.0, &mut rng))
+                .collect();
+            let stacked = Tensor::stack(&samples).unwrap();
+            let yb = conv.forward_batch(&stacked).unwrap();
+            for (i, s) in samples.iter().enumerate() {
+                let yi = conv.forward(s).unwrap();
+                let ybi = yb.index_axis0(i).unwrap();
+                assert_eq!(ybi.dims(), yi.dims());
+                for (a, b) in ybi.data().iter().zip(yi.data().iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "batched conv diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_validates_input() {
+        let conv = Conv2d::new(Tensor::zeros([2, 3, 1, 1]), None, 1, 0, 1).unwrap();
+        assert!(conv.forward_batch(&Tensor::zeros([3, 2, 2])).is_err());
+        assert!(conv.forward_batch(&Tensor::zeros([2, 4, 2, 2])).is_err());
+        assert!(conv.forward_batch(&Tensor::zeros([0, 3, 2, 2])).is_err());
     }
 
     #[test]

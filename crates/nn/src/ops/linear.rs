@@ -108,6 +108,47 @@ impl Linear {
             Ok(Tensor::from_vec([t, c_out], out)?)
         }
     }
+
+    /// Interprets a stacked batch activation as `(N, tokens, features)`.
+    ///
+    /// Accepts `[N, C_in]` (vector samples, one token each) and
+    /// `[N, T, C_in]` (token-matrix samples).
+    pub fn check_input_batch(&self, x: &Tensor) -> Result<(usize, usize, usize)> {
+        let dims = x.dims();
+        let (n, t, c) = match dims.len() {
+            2 => (dims[0], 1, dims[1]),
+            3 => (dims[0], dims[1], dims[2]),
+            _ => {
+                return Err(NnError::BadActivation {
+                    op: "linear",
+                    expected: "rank-2 or rank-3 batched activation".into(),
+                    got: dims.to_vec(),
+                })
+            }
+        };
+        if c != self.c_in() || n == 0 {
+            return Err(NnError::BadActivation {
+                op: "linear",
+                expected: format!("non-empty batch with last dim {}", self.c_in()),
+                got: dims.to_vec(),
+            });
+        }
+        Ok((n, t, c))
+    }
+
+    /// Batched forward pass: the whole batch's tokens run through one
+    /// row-matrix transform (`[N*T, C_in] → [N*T, C_out]`), bit-exact per
+    /// sample with [`Linear::forward`].
+    pub fn forward_batch(&self, x: &Tensor) -> Result<Tensor> {
+        let (n, t, c) = self.check_input_batch(x)?;
+        let flat = x.reshape([n * t, c])?;
+        let y = self.forward(&flat)?;
+        if x.dims().len() == 2 {
+            Ok(y.reshape([n, self.c_out()])?)
+        } else {
+            Ok(y.reshape([n, t, self.c_out()])?)
+        }
+    }
 }
 
 /// A token-embedding table for the language-model case study (§8.10).
@@ -204,6 +245,41 @@ mod tests {
         let y = lin.forward(&x).unwrap();
         // Token 0 picks column 0 of Wᵀ = first weights of each row.
         assert_eq!(y.data(), &[1., 4., 2., 5.]);
+    }
+
+    #[test]
+    fn batched_forward_is_bit_exact_with_per_sample() {
+        let mut rng = seeded(92);
+        let lin = Linear::new(
+            Tensor::randn([3, 4], 0.0, 0.5, &mut rng),
+            Some(vec![0.1, -0.2, 0.3]),
+        )
+        .unwrap();
+        // Vector samples [N, C] and token samples [N, T, C].
+        let vecs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn([4], 0.0, 1.0, &mut rng))
+            .collect();
+        let yb = lin.forward_batch(&Tensor::stack(&vecs).unwrap()).unwrap();
+        assert_eq!(yb.dims(), &[3, 3]);
+        for (i, v) in vecs.iter().enumerate() {
+            let yi = lin.forward(v).unwrap();
+            for (a, b) in yb.index_axis0(i).unwrap().data().iter().zip(yi.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let toks: Vec<Tensor> = (0..2)
+            .map(|_| Tensor::randn([5, 4], 0.0, 1.0, &mut rng))
+            .collect();
+        let yb = lin.forward_batch(&Tensor::stack(&toks).unwrap()).unwrap();
+        assert_eq!(yb.dims(), &[2, 5, 3]);
+        for (i, tm) in toks.iter().enumerate() {
+            let yi = lin.forward(tm).unwrap();
+            for (a, b) in yb.index_axis0(i).unwrap().data().iter().zip(yi.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!(lin.forward_batch(&Tensor::zeros([4])).is_err());
+        assert!(lin.forward_batch(&Tensor::zeros([0, 4])).is_err());
     }
 
     #[test]

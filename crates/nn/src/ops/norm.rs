@@ -91,6 +91,31 @@ impl BatchNorm2d {
         Ok(Tensor::from_vec(dims.to_vec(), out)?)
     }
 
+    /// Batched forward pass over a stacked `[N, C, H, W]` activation;
+    /// bit-exact per sample with [`BatchNorm2d::forward`].
+    pub fn forward_batch(&self, x: &Tensor) -> Result<Tensor> {
+        let dims = x.dims();
+        if dims.len() != 4 || dims[1] != self.channels() {
+            return Err(NnError::BadActivation {
+                op: "batch_norm",
+                expected: format!("[N, {}, H, W]", self.channels()),
+                got: dims.to_vec(),
+            });
+        }
+        let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
+        let mut out = x.data().to_vec();
+        for s in 0..n {
+            for ch in 0..c {
+                let inv = self.gamma[ch] / (self.var[ch] + self.eps).sqrt();
+                let shift = self.beta[ch] - self.mean[ch] * inv;
+                for v in &mut out[(s * c + ch) * hw..(s * c + ch + 1) * hw] {
+                    *v = *v * inv + shift;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(dims.to_vec(), out)?)
+    }
+
     /// Applies a permutation to the channel dimension (layout pass, §5).
     pub fn permute_channels(&mut self, perm: &[usize]) {
         debug_assert_eq!(perm.len(), self.channels());
@@ -171,6 +196,25 @@ impl LayerNorm {
             }
         }
         Ok(Tensor::from_vec(dims.to_vec(), out)?)
+    }
+
+    /// Batched forward pass over `[N, T, C]` or `[N, C]`; every token row
+    /// normalizes independently, bit-exact with [`LayerNorm::forward`].
+    pub fn forward_batch(&self, x: &Tensor) -> Result<Tensor> {
+        let dims = x.dims();
+        let (rows, c) = match dims.len() {
+            2 => (dims[0], dims[1]),
+            3 => (dims[0] * dims[1], dims[2]),
+            _ => {
+                return Err(NnError::BadActivation {
+                    op: "layer_norm",
+                    expected: "rank-2 or rank-3 batched activation".into(),
+                    got: dims.to_vec(),
+                })
+            }
+        };
+        let y = self.forward(&x.reshape([rows, c])?)?;
+        Ok(y.reshape(dims.to_vec())?)
     }
 
     /// Applies a permutation to the feature dimension (layout pass, §5).

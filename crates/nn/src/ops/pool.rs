@@ -88,6 +88,44 @@ pub fn global_avg_pool(x: &Tensor) -> Result<Tensor> {
     Ok(Tensor::from_vec([c], out)?)
 }
 
+fn check_nchw(op: &'static str, x: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    let dims = x.dims();
+    if dims.len() != 4 {
+        return Err(NnError::BadActivation {
+            op,
+            expected: "[N, C, H, W]".into(),
+            got: dims.to_vec(),
+        });
+    }
+    Ok((dims[0], dims[1], dims[2], dims[3]))
+}
+
+/// Batched [`max_pool2d`] over `[N, C, H, W]`.
+///
+/// Pooling treats channels independently, so the batch folds into the
+/// channel axis; bit-exact per sample with the single-sample op.
+pub fn max_pool2d_batch(x: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw("max_pool2d", x)?;
+    let y = max_pool2d(&x.reshape([n * c, h, w])?, k, stride)?;
+    let (oh, ow) = (y.dims()[1], y.dims()[2]);
+    Ok(y.reshape([n, c, oh, ow])?)
+}
+
+/// Batched [`avg_pool2d`] over `[N, C, H, W]`.
+pub fn avg_pool2d_batch(x: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw("avg_pool2d", x)?;
+    let y = avg_pool2d(&x.reshape([n * c, h, w])?, k, stride)?;
+    let (oh, ow) = (y.dims()[1], y.dims()[2]);
+    Ok(y.reshape([n, c, oh, ow])?)
+}
+
+/// Batched [`global_avg_pool`]: `[N, C, H, W]` → `[N, C]`.
+pub fn global_avg_pool_batch(x: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw("global_avg_pool", x)?;
+    let y = global_avg_pool(&x.reshape([n * c, h, w])?)?;
+    Ok(y.reshape([n, c])?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +158,36 @@ mod tests {
         let y = global_avg_pool(&x).unwrap();
         assert_eq!(y.dims(), &[2]);
         assert_eq!(y.data(), &[2.0, -3.0]);
+    }
+
+    #[test]
+    fn batched_pools_match_per_sample() {
+        use flexiq_tensor::rng::seeded;
+        let mut rng = seeded(85);
+        let samples: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn([2, 6, 6], 0.0, 1.0, &mut rng))
+            .collect();
+        let stacked = Tensor::stack(&samples).unwrap();
+        let mb = max_pool2d_batch(&stacked, 2, 2).unwrap();
+        let ab = avg_pool2d_batch(&stacked, 3, 1).unwrap();
+        let gb = global_avg_pool_batch(&stacked).unwrap();
+        assert_eq!(mb.dims(), &[3, 2, 3, 3]);
+        assert_eq!(gb.dims(), &[3, 2]);
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(
+                mb.index_axis0(i).unwrap().data(),
+                max_pool2d(s, 2, 2).unwrap().data()
+            );
+            assert_eq!(
+                ab.index_axis0(i).unwrap().data(),
+                avg_pool2d(s, 3, 1).unwrap().data()
+            );
+            assert_eq!(
+                gb.index_axis0(i).unwrap().data(),
+                global_avg_pool(s).unwrap().data()
+            );
+        }
+        assert!(max_pool2d_batch(&Tensor::zeros([2, 2, 2]), 2, 2).is_err());
     }
 
     #[test]

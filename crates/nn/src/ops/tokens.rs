@@ -43,6 +43,92 @@ pub fn mean_tokens(x: &Tensor) -> Result<Tensor> {
     Ok(Tensor::from_vec([c], out)?)
 }
 
+/// Batched [`to_tokens`]: `[N, C, H, W]` → `[N, H*W, C]` (pure data
+/// movement, bit-exact per sample).
+pub fn to_tokens_batch(x: &Tensor) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 4 {
+        return Err(NnError::BadActivation {
+            op: "to_tokens",
+            expected: "[N, C, H, W]".into(),
+            got: dims.to_vec(),
+        });
+    }
+    let (n, c, hw) = (dims[0], dims[1], dims[2] * dims[3]);
+    let mut out = vec![0.0f32; n * hw * c];
+    for s in 0..n {
+        for ch in 0..c {
+            for p in 0..hw {
+                out[(s * hw + p) * c + ch] = x.data()[(s * c + ch) * hw + p];
+            }
+        }
+    }
+    Ok(Tensor::from_vec([n, hw, c], out)?)
+}
+
+/// Batched [`mean_tokens`]: `[N, T, C]` → `[N, C]`, summing tokens in the
+/// same order as the single-sample op (bit-exact per sample).
+pub fn mean_tokens_batch(x: &Tensor) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 3 || dims[1] == 0 {
+        return Err(NnError::BadActivation {
+            op: "mean_tokens",
+            expected: "non-empty [N, T, C]".into(),
+            got: dims.to_vec(),
+        });
+    }
+    let (n, t, c) = (dims[0], dims[1], dims[2]);
+    let mut out = vec![0.0f32; n * c];
+    for s in 0..n {
+        for ti in 0..t {
+            for ci in 0..c {
+                out[s * c + ci] += x.data()[(s * t + ti) * c + ci];
+            }
+        }
+        for v in &mut out[s * c..(s + 1) * c] {
+            *v /= t as f32;
+        }
+    }
+    Ok(Tensor::from_vec([n, c], out)?)
+}
+
+/// Batched [`patch_merge`]: applies the 2×2 merge to every sample of an
+/// `[N, h*w, C]` stack.
+pub fn patch_merge_batch(x: &Tensor, h: usize, w: usize) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 3 {
+        return Err(NnError::BadActivation {
+            op: "patch_merge",
+            expected: "[N, T, C] batch".into(),
+            got: dims.to_vec(),
+        });
+    }
+    let mut outs = Vec::with_capacity(dims[0]);
+    for s in 0..dims[0] {
+        outs.push(patch_merge(&x.index_axis0(s)?, h, w)?);
+    }
+    Ok(Tensor::stack(&outs)?)
+}
+
+/// Batched [`reorder_channels`]: applies the permutation to every sample
+/// of a stacked activation (the sample rank decides the channel axis,
+/// exactly as in the single-sample op).
+pub fn reorder_channels_batch(x: &Tensor, perm: &[usize]) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() < 2 {
+        return Err(NnError::BadActivation {
+            op: "reorder",
+            expected: "batched activation of rank >= 2".into(),
+            got: dims.to_vec(),
+        });
+    }
+    let mut outs = Vec::with_capacity(dims[0]);
+    for s in 0..dims[0] {
+        outs.push(reorder_channels(&x.index_axis0(s)?, perm)?);
+    }
+    Ok(Tensor::stack(&outs)?)
+}
+
 /// Swin-style patch merging: a `[h*w, C]` token grid becomes
 /// `[(h/2)*(w/2), 4C]` by concatenating each 2×2 neighbourhood.
 ///
@@ -198,6 +284,42 @@ mod tests {
         let v = Tensor::from_vec([3], vec![5.0, 6.0, 7.0]).unwrap();
         let y = reorder_channels(&v, &[2, 0, 1]).unwrap();
         assert_eq!(y.data(), &[7.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn batched_token_ops_match_per_sample() {
+        use flexiq_tensor::rng::seeded;
+        let mut rng = seeded(86);
+        let imgs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn([2, 4, 4], 0.0, 1.0, &mut rng))
+            .collect();
+        let tb = to_tokens_batch(&Tensor::stack(&imgs).unwrap()).unwrap();
+        assert_eq!(tb.dims(), &[3, 16, 2]);
+        let toks: Vec<Tensor> = imgs.iter().map(|s| to_tokens(s).unwrap()).collect();
+        for (i, t) in toks.iter().enumerate() {
+            assert_eq!(tb.index_axis0(i).unwrap().data(), t.data());
+        }
+        let stacked_toks = Tensor::stack(&toks).unwrap();
+        let mb = mean_tokens_batch(&stacked_toks).unwrap();
+        let pb = patch_merge_batch(&stacked_toks, 4, 4).unwrap();
+        let rb = reorder_channels_batch(&stacked_toks, &[1, 0]).unwrap();
+        for (i, t) in toks.iter().enumerate() {
+            assert_eq!(
+                mb.index_axis0(i).unwrap().data(),
+                mean_tokens(t).unwrap().data()
+            );
+            assert_eq!(
+                pb.index_axis0(i).unwrap().data(),
+                patch_merge(t, 4, 4).unwrap().data()
+            );
+            assert_eq!(
+                rb.index_axis0(i).unwrap().data(),
+                reorder_channels(t, &[1, 0]).unwrap().data()
+            );
+        }
+        assert!(to_tokens_batch(&Tensor::zeros([2, 4, 4])).is_err());
+        assert!(mean_tokens_batch(&Tensor::zeros([2, 0, 4])).is_err());
+        assert!(reorder_channels_batch(&Tensor::zeros([4]), &[0]).is_err());
     }
 
     #[test]

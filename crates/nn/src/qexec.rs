@@ -18,12 +18,28 @@
 //!   and the layer runs in f32. Produces the same results up to f32
 //!   summation order; used for accuracy experiments and fitness
 //!   evaluation in the channel-selection loop.
+//!
+//! # Batched execution
+//!
+//! Both paths implement the batched [`Compute`] hooks: a stacked
+//! `[N, …]` activation is quantized **once per layer per batch**, the
+//! per-group bit-lowered weight blocks are built once per batch (instead
+//! of once per sample), and the band GEMMs run column-batched across all
+//! samples. With calibrated (static) extraction positions the batched
+//! integer path is **bit-exact** per sample with the single-sample path —
+//! the equivalence tests in `tests/batch_equivalence.rs` pin this down at
+//! every ratio level. The one intentional divergence: with
+//! [`QuantExecOptions::dynamic_extract`], extraction positions derive
+//! from the *live* values, and a batched call computes them over the
+//! whole batch's activations rather than per sample (the batch shares
+//! one plan, one scale, and one extraction rule per group — §7's premise
+//! that a batch executes one configuration).
 
 use flexiq_quant::dynamic::dynamic_lowering;
 use flexiq_quant::lowering::BitLowering;
 use flexiq_quant::quantize::{PerChannelQ, RANGE_EPS};
 use flexiq_quant::{GroupSpec, QParams, QuantBits};
-use flexiq_tensor::im2col::im2col_i8;
+use flexiq_tensor::im2col::{im2col_i8, im2col_i8_batch};
 use flexiq_tensor::{gemm, I8Tensor, Tensor};
 
 use crate::calibrate::CalibrationRecord;
@@ -644,6 +660,222 @@ impl<'m> QuantCompute<'m> {
         }
         Ok(Tensor::from_vec([c_out, oh, ow], out)?)
     }
+
+    /// Whether an extraction rule needs the live quantized values (only
+    /// dynamic mode does; static/naive rules come from calibration).
+    fn needs_live(&self) -> bool {
+        self.opts.dynamic_extract && !self.opts.naive_lowering
+    }
+
+    fn linear_fake_batch(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        let (n, t, c_in) = lin.check_input_batch(x)?;
+        let rows = n * t;
+        let xq = self.quantize_act(l, x);
+        let x_eff =
+            self.fake_effective_act(l, &xq, c_in, |c| (0..rows).map(|r| r * c_in + c).collect());
+        let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
+        let w_eff = self.fake_weight(l)?.clone();
+        let eff = Linear::new(w_eff, lin.bias.clone())?;
+        eff.forward_batch(&x_eff)
+    }
+
+    fn conv_fake_batch(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        let (n, h, w) = conv.check_input_batch(x)?;
+        let c_in = conv.c_in();
+        let hw = h * w;
+        let chw = c_in * hw;
+        let xq = self.quantize_act(l, x);
+        let x_eff = self.fake_effective_act(l, &xq, c_in, |c| {
+            (0..n)
+                .flat_map(|s| s * chw + c * hw..s * chw + (c + 1) * hw)
+                .collect()
+        });
+        let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
+        let w_eff = self.fake_weight(l)?.clone();
+        let eff = Conv2d::new(w_eff, conv.bias.clone(), conv.stride, conv.pad, conv.groups)?;
+        eff.forward_batch(&x_eff)
+    }
+
+    /// Batched integer linear: one quantization, one weight lowering and
+    /// one band GEMM per group for the whole `[N(,T), C]` stack.
+    fn linear_int_batch(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
+        let (n, t, c_in) = lin.check_input_batch(x)?;
+        let rows = n * t;
+        let c_out = lin.c_out();
+        let lq = &self.model.layers[l];
+        let xq = self.quantize_act(l, x);
+        let wq = lq.w_q.data();
+        let mut acc = vec![0i32; rows * c_out];
+        for g in 0..lq.num_groups() {
+            let range = self.model.groups.channel_range(g, c_in);
+            let bw = range.len();
+            if bw == 0 {
+                continue;
+            }
+            if !self.plan.low_groups[l][g] {
+                for ti in 0..rows {
+                    for o in 0..c_out {
+                        let mut s = 0i32;
+                        for c in range.clone() {
+                            s += xq[ti * c_in + c] as i32 * wq[o * c_in + c] as i32;
+                        }
+                        acc[ti * c_out + o] += s;
+                    }
+                }
+                continue;
+            }
+            let live: Vec<i8> = if self.needs_live() {
+                let xq = &xq;
+                (0..rows)
+                    .flat_map(|ti| range.clone().map(move |c| xq[ti * c_in + c]))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let a_rule = self.act_rule(l, g, &live);
+            let mut xg = vec![0i8; rows * bw];
+            for ti in 0..rows {
+                for (bi, c) in range.clone().enumerate() {
+                    xg[ti * bw + bi] = a_rule.lower(xq[ti * c_in + c]);
+                }
+            }
+            // One lowered weight block [bw, C_out] for the whole batch.
+            let mut w_rules = Vec::with_capacity(c_out);
+            for o in 0..c_out {
+                w_rules.push(self.w_rule(l, g, o));
+            }
+            let mut wg = vec![0i8; bw * c_out];
+            for (bi, c) in range.clone().enumerate() {
+                for o in 0..c_out {
+                    wg[bi * c_out + o] = w_rules[o].lower(wq[o * c_in + c]);
+                }
+            }
+            let mut scratch = vec![0i32; rows * c_out];
+            gemm::gemm_i8(rows, c_out, bw, &xg, &wg, &mut scratch);
+            for ti in 0..rows {
+                for o in 0..c_out {
+                    let shift = a_rule.shift() + w_rules[o].shift();
+                    acc[ti * c_out + o] += scratch[ti * c_out + o] << shift;
+                }
+            }
+        }
+        let mut out = vec![0.0f32; rows * c_out];
+        for ti in 0..rows {
+            for o in 0..c_out {
+                let mut v = acc[ti * c_out + o] as f32 * lq.act_scale * lq.w_scales[o];
+                if let Some(b) = &lin.bias {
+                    v += b[o];
+                }
+                out[ti * c_out + o] = v;
+            }
+        }
+        if x.dims().len() == 2 {
+            Ok(Tensor::from_vec([n, c_out], out)?)
+        } else {
+            Ok(Tensor::from_vec([n, t, c_out], out)?)
+        }
+    }
+
+    /// Batched integer convolution: per conv group, one batched im2col
+    /// (`[K, N*cols]`), one lowered weight band per feature group for the
+    /// whole batch, and column-batched band GEMMs.
+    fn conv_int_batch(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
+        let (n, h, w) = conv.check_input_batch(x)?;
+        let lq = &self.model.layers[l];
+        let geom = conv.group_geometry(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let cols = geom.cols();
+        let ncols = n * cols;
+        let k = geom.rows();
+        let khkw = conv.kh() * conv.kw();
+        let c_in_g = conv.weight.dims()[1];
+        let c_out = conv.c_out();
+        let c_out_g = c_out / conv.groups;
+        let chw = conv.c_in() * h * w;
+        let xq = self.quantize_act(l, x);
+        let wq = lq.w_q.data();
+        let mut out = vec![0.0f32; n * c_out * cols];
+        for cg in 0..conv.groups {
+            // One column-batched lowering of this conv group's channels
+            // across the whole batch (strided view into the stack).
+            let cols_q = im2col_i8_batch(&xq[cg * c_in_g * h * w..], n, chw, &geom);
+            let w_base = cg * c_out_g * k;
+            let mut acc = vec![0i32; c_out_g * ncols];
+            // Iterate runs of local channels sharing one feature group.
+            let mut cl = 0usize;
+            while cl < c_in_g {
+                let c_global = cg * c_in_g + cl;
+                let g = self.model.groups.group_of(c_global);
+                let g_end = self.model.groups.channel_range(g, lq.c_in).end;
+                let run_end = (g_end - cg * c_in_g).min(c_in_g);
+                let (k0, k1) = (cl * khkw, run_end * khkw);
+                if !self.plan.low_groups[l][g] {
+                    gemm::gemm_i8_band_colbatch(
+                        n,
+                        c_out_g,
+                        cols,
+                        k,
+                        k0,
+                        k1,
+                        &wq[w_base..w_base + c_out_g * k],
+                        &cols_q,
+                        &mut acc,
+                    );
+                } else {
+                    let bw = k1 - k0;
+                    let live: Vec<i8> = if self.needs_live() {
+                        cols_q[k0 * ncols..k1 * ncols].to_vec()
+                    } else {
+                        Vec::new()
+                    };
+                    let a_rule = self.act_rule(l, g, &live);
+                    // Lowered activation band [bw, N*cols].
+                    let mut xb = vec![0i8; bw * ncols];
+                    for r in 0..bw {
+                        for j in 0..ncols {
+                            xb[r * ncols + j] = a_rule.lower(cols_q[(k0 + r) * ncols + j]);
+                        }
+                    }
+                    // Lowered weight band [c_out_g, bw], built once per
+                    // batch (this is the per-sample cost the batched path
+                    // amortizes away).
+                    let mut rules = Vec::with_capacity(c_out_g);
+                    for ol in 0..c_out_g {
+                        rules.push(self.w_rule(l, g, cg * c_out_g + ol));
+                    }
+                    let mut wb = vec![0i8; c_out_g * bw];
+                    for ol in 0..c_out_g {
+                        for r in 0..bw {
+                            wb[ol * bw + r] = rules[ol].lower(wq[w_base + ol * k + k0 + r]);
+                        }
+                    }
+                    let mut scratch = vec![0i32; c_out_g * ncols];
+                    gemm::gemm_i8_colbatch(n, c_out_g, cols, bw, &wb, &xb, &mut scratch);
+                    for ol in 0..c_out_g {
+                        let shift = a_rule.shift() + rules[ol].shift();
+                        for j in 0..ncols {
+                            acc[ol * ncols + j] += scratch[ol * ncols + j] << shift;
+                        }
+                    }
+                }
+                cl = run_end;
+            }
+            for ol in 0..c_out_g {
+                let o = cg * c_out_g + ol;
+                let s = lq.act_scale * lq.w_scales[o];
+                for smp in 0..n {
+                    for j in 0..cols {
+                        let mut v = acc[ol * ncols + smp * cols + j] as f32 * s;
+                        if let Some(b) = &conv.bias {
+                            v += b[o];
+                        }
+                        out[(smp * c_out + o) * cols + j] = v;
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec([n, c_out, oh, ow], out)?)
+    }
 }
 
 impl Compute for QuantCompute<'_> {
@@ -660,6 +892,32 @@ impl Compute for QuantCompute<'_> {
             ExecMode::Int => self.linear_int(layer, lin, x),
         }
     }
+
+    fn conv2d_batch(
+        &mut self,
+        layer: LayerId,
+        conv: &Conv2d,
+        x: &Tensor,
+        _n: usize,
+    ) -> Result<Tensor> {
+        match self.opts.mode {
+            ExecMode::Fake => self.conv_fake_batch(layer, conv, x),
+            ExecMode::Int => self.conv_int_batch(layer, conv, x),
+        }
+    }
+
+    fn linear_batch(
+        &mut self,
+        layer: LayerId,
+        lin: &Linear,
+        x: &Tensor,
+        _n: usize,
+    ) -> Result<Tensor> {
+        match self.opts.mode {
+            ExecMode::Fake => self.linear_fake_batch(layer, lin, x),
+            ExecMode::Int => self.linear_int_batch(layer, lin, x),
+        }
+    }
 }
 
 /// Runs a graph under a mixed-precision plan.
@@ -672,6 +930,19 @@ pub fn run_quantized(
 ) -> Result<Tensor> {
     let mut hook = QuantCompute::new(model, plan.clone(), opts)?;
     crate::exec::run(graph, input, &mut hook)
+}
+
+/// Runs a stacked `[N, …]` batch under a mixed-precision plan in one
+/// pass (the batched counterpart of [`run_quantized`]).
+pub fn run_quantized_batch(
+    graph: &Graph,
+    model: &QuantizedModel,
+    plan: &MixedPlan,
+    opts: QuantExecOptions,
+    input: &Tensor,
+) -> Result<Tensor> {
+    let mut hook = QuantCompute::new(model, plan.clone(), opts)?;
+    crate::exec::run_batch(graph, input, &mut hook)
 }
 
 #[cfg(test)]
@@ -873,6 +1144,71 @@ mod tests {
             let rel =
                 stats::l2_distance(fake.data(), int.data()) / stats::l2_norm(int.data()).max(1e-6);
             assert!(rel < 1e-4, "depthwise paths disagree: {rel}");
+        }
+    }
+
+    #[test]
+    fn batched_run_is_bit_exact_with_per_sample_in_both_modes() {
+        let (g, model, samples) = prepared(139, 2);
+        let stacked = Tensor::stack(&samples[..4]).unwrap();
+        let mut mixed = MixedPlan::all_high(&model);
+        mixed.low_groups[0][1] = true;
+        mixed.low_groups[1][0] = true;
+        for plan in [
+            MixedPlan::all_high(&model),
+            MixedPlan::all_low(&model),
+            mixed,
+        ] {
+            for mode in [ExecMode::Fake, ExecMode::Int] {
+                let opts = QuantExecOptions {
+                    mode,
+                    ..Default::default()
+                };
+                let yb = run_quantized_batch(&g, &model, &plan, opts, &stacked).unwrap();
+                for (i, s) in samples[..4].iter().enumerate() {
+                    let yi = run_quantized(&g, &model, &plan, opts, s).unwrap();
+                    let ybi = yb.index_axis0(i).unwrap();
+                    assert_eq!(ybi.dims(), yi.dims());
+                    for (a, b) in ybi.data().iter().zip(yi.data().iter()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{mode:?} batched diverged at sample {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_depthwise_conv_is_bit_exact() {
+        let mut rng = seeded(140);
+        let mut g = Graph::new("dw_batch");
+        let x = g.input();
+        let w = Tensor::randn([4, 1, 3, 3], 0.0, 0.4, &mut rng);
+        let c = g.conv2d(x, Conv2d::new(w, None, 1, 1, 4).unwrap()).unwrap();
+        g.set_output(c).unwrap();
+        let samples: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn([4, 5, 5], 0.0, 1.0, &mut rng))
+            .collect();
+        let calib = calibrate_default(&g, &samples).unwrap();
+        let model = QuantizedModel::prepare(&g, &calib, GroupSpec::new(2)).unwrap();
+        let stacked = Tensor::stack(&samples).unwrap();
+        for plan in [MixedPlan::all_high(&model), MixedPlan::all_low(&model)] {
+            for mode in [ExecMode::Fake, ExecMode::Int] {
+                let opts = QuantExecOptions {
+                    mode,
+                    ..Default::default()
+                };
+                let yb = run_quantized_batch(&g, &model, &plan, opts, &stacked).unwrap();
+                for (i, s) in samples.iter().enumerate() {
+                    let yi = run_quantized(&g, &model, &plan, opts, s).unwrap();
+                    for (a, b) in yb.index_axis0(i).unwrap().data().iter().zip(yi.data()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{mode:?} depthwise sample {i}");
+                    }
+                }
+            }
         }
     }
 

@@ -8,13 +8,17 @@
 //! assembly overlap with execution across workers without a dedicated
 //! batcher thread in the hot path.
 //!
-//! **Batch execution model:** the underlying graph executor is
-//! single-sample, so a dispatched batch runs as sequential forward
-//! passes on its worker. Batching still amortizes queue/dispatch
-//! overhead and scopes level reporting per dispatch, but there is no
-//! stacked-tensor batched GEMM yet — keep `batch_timeout` small (its
-//! wait is pure latency until true batched execution lands; see
-//! ROADMAP).
+//! **Batch execution model:** a dispatched batch runs as **one stacked
+//! `[N, …]` forward pass** through the graph executor
+//! (`FlexiRuntime::infer_batch_traced`): deadline-expired requests are
+//! filtered out first, the survivors are stacked per input shape, each
+//! shape class executes a single batched pass (activations quantized and
+//! per-layer bit-lowering applied once per layer per batch), and results
+//! fan back out to their reply channels. The whole batch runs at one
+//! ratio level (read once at dispatch), so the reported level is
+//! authoritative per dispatch even while the controller is switching.
+//! `batch_timeout` is therefore a genuine throughput/latency knob: a
+//! longer wait buys larger stacked GEMMs, not just amortized dispatch.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,41 +31,65 @@ use crate::metrics::MetricsHub;
 use crate::queue::AdmissionQueue;
 use crate::request::{InferResponse, QueuedRequest};
 
-/// Executes one dispatched batch on `runtime`, answering every request.
+/// Executes one dispatched batch on `runtime` as stacked forward passes,
+/// answering every request.
 ///
 /// Expired requests are answered with [`ServeError::DeadlineExpired`]
-/// and counted — never silently dropped. Send failures (caller dropped
-/// its ticket) are ignored: the work is already done and the caller
-/// opted out of the answer.
+/// and counted — never silently dropped — and are filtered out *before*
+/// stacking, so they cost no model time. Requests with differing input
+/// shapes are grouped and each shape class runs one stacked pass. Send
+/// failures (caller dropped its ticket) are ignored: the work is already
+/// done and the caller opted out of the answer.
 pub fn run_batch(runtime: &FlexiRuntime, metrics: &MetricsHub, batch: Vec<QueuedRequest>) {
     let size = batch.len();
     metrics.on_batch(size);
+    let dispatched = Instant::now();
+    let mut live: Vec<QueuedRequest> = Vec::with_capacity(size);
     for req in batch {
-        let dispatched = Instant::now();
         if req.expired(dispatched) {
             metrics.on_expired();
             let _ = req.reply.send(Err(ServeError::DeadlineExpired));
-            continue;
+        } else {
+            live.push(req);
         }
-        let queue_delay = dispatched.duration_since(req.enqueued_at);
-        // `infer_traced` reports the level the pass actually ran at —
-        // the control loop may switch levels mid-batch.
-        match runtime.infer_traced(&req.input) {
-            Ok((output, level)) => {
+    }
+    // One stacked pass per input-shape class (normally exactly one).
+    while !live.is_empty() {
+        let dims = live[0].input.dims().to_vec();
+        let (group, rest): (Vec<_>, Vec<_>) =
+            live.into_iter().partition(|r| r.input.dims() == dims);
+        live = rest;
+        // Move the inputs out of the requests (no clone on the hot path);
+        // the stack inside `infer_batch_traced` is the single copy.
+        let mut inputs = Vec::with_capacity(group.len());
+        let mut metas = Vec::with_capacity(group.len());
+        for req in group {
+            inputs.push(req.input);
+            metas.push((req.id, req.enqueued_at, req.reply));
+        }
+        // `infer_batch_traced` reads the level once: the whole stacked
+        // pass — and therefore every response below — ran at that level.
+        match runtime.infer_batch_traced(&inputs) {
+            Ok((outputs, level)) => {
                 let done = Instant::now();
-                let latency = done.duration_since(req.enqueued_at);
-                metrics.on_completed(done, latency, queue_delay);
-                let _ = req.reply.send(Ok(InferResponse {
-                    id: req.id,
-                    output,
-                    level,
-                    batch_size: size,
-                    queue_delay,
-                    latency,
-                }));
+                for ((id, enqueued_at, reply), output) in metas.into_iter().zip(outputs) {
+                    let queue_delay = dispatched.duration_since(enqueued_at);
+                    let latency = done.duration_since(enqueued_at);
+                    metrics.on_completed(done, latency, queue_delay);
+                    let _ = reply.send(Ok(InferResponse {
+                        id,
+                        output,
+                        level,
+                        batch_size: size,
+                        queue_delay,
+                        latency,
+                    }));
+                }
             }
             Err(e) => {
-                let _ = req.reply.send(Err(ServeError::Nn(e)));
+                for (_, _, reply) in metas {
+                    let _ = reply.send(Err(ServeError::Nn(e.clone())));
+                }
             }
         }
     }
@@ -145,5 +173,67 @@ pub(crate) mod tests {
         assert!(tickets.remove(0).wait().is_ok());
         let s = metrics.snapshot();
         assert_eq!((s.completed, s.expired, s.batches), (2, 1, 1));
+    }
+
+    #[test]
+    fn stacked_batch_matches_single_sample_inference() {
+        // The dispatched batch must produce byte-identical outputs to
+        // per-request `infer` calls at the same level.
+        let (rt, inputs) = tiny_runtime();
+        rt.set_level(0).unwrap();
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let now = Instant::now();
+        let mut tickets = Vec::new();
+        let mut batch = Vec::new();
+        for (i, x) in inputs.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            batch.push(QueuedRequest {
+                id: i as u64,
+                input: x.clone(),
+                enqueued_at: now,
+                deadline: None,
+                reply: tx,
+            });
+            tickets.push(Ticket { id: i as u64, rx });
+        }
+        run_batch(&rt, &metrics, batch);
+        for (i, (t, x)) in tickets.into_iter().zip(inputs.iter()).enumerate() {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.level, 0, "batch must report the dispatch level");
+            let expect = rt.infer(x).unwrap();
+            for (a, b) in resp.output.data().iter().zip(expect.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "request {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_shape_batch_splits_into_shape_groups() {
+        // Requests with different input shapes in one dispatch each get a
+        // stacked pass for their shape class; a shape the model rejects
+        // answers with an error instead of poisoning the others.
+        let (rt, inputs) = tiny_runtime();
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let now = Instant::now();
+        let mk = |id: u64, input: flexiq_tensor::Tensor| {
+            let (tx, rx) = mpsc::channel();
+            (
+                QueuedRequest {
+                    id,
+                    input,
+                    enqueued_at: now,
+                    deadline: None,
+                    reply: tx,
+                },
+                Ticket { id, rx },
+            )
+        };
+        let (r0, t0) = mk(0, inputs[0].clone());
+        let (r1, t1) = mk(1, flexiq_tensor::Tensor::zeros([1, 2, 2]));
+        let (r2, t2) = mk(2, inputs[1].clone());
+        run_batch(&rt, &metrics, vec![r0, r1, r2]);
+        assert!(t0.wait().is_ok());
+        assert!(matches!(t1.wait().unwrap_err(), ServeError::Nn(_)));
+        assert!(t2.wait().is_ok());
     }
 }

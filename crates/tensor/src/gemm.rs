@@ -9,6 +9,26 @@
 //! streams both `b` and `c` rows; the integer kernels accumulate into
 //! `i32`, matching the accumulator width of both the NPU's MAC tree and
 //! the GPU's MMA instructions.
+//!
+//! # Zero-skip semantics
+//!
+//! The **integer** kernels skip reduction steps whose lhs element is zero:
+//! `0 * b == 0` holds exactly in integer arithmetic, so the skip is a pure
+//! optimization. The f32 kernel must **not** skip — `0.0 * NaN` is `NaN`
+//! and `0.0 * inf` is `NaN`, so skipping would silently suppress NaN/Inf
+//! propagation from the rhs (a real hazard: a poisoned activation would
+//! vanish wherever a weight happens to be zero instead of surfacing in
+//! the output).
+//!
+//! # Batched layout
+//!
+//! The `*_colbatch` variants run one GEMM whose rhs stacks a batch of
+//! `nb` sample matrices **column-wise**: `b` is `[k, nb*n]` with sample
+//! `s` occupying columns `[s*n, (s+1)*n)`, and `c` is `[m, nb*n]` in the
+//! same layout. Each output element's reduction order is identical to a
+//! per-sample call, so batched results are bit-exact with single-sample
+//! results while the lhs row (the weights) is streamed across the whole
+//! batch — this is the amortization the batched execution path relies on.
 
 /// `c[m,n] += a[m,k] * b[k,n]` in f32.
 ///
@@ -21,10 +41,9 @@ pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert!(c.len() >= m * n, "out buffer too small");
     for i in 0..m {
         for p in 0..k {
+            // No zero-skip here: f32 must propagate NaN/Inf from `b`
+            // (see the module docs); skipping is integer-kernel-only.
             let aip = a[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
             let brow = &b[p * n..p * n + n];
             let crow = &mut c[i * n..i * n + n];
             for j in 0..n {
@@ -34,7 +53,24 @@ pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     }
 }
 
+/// Batched [`gemm_f32`]: shared lhs `a [m,k]`, column-stacked rhs
+/// `b [k, nb*n]`, output `c [m, nb*n]` (see the module docs for the
+/// layout). Bit-exact with `nb` independent [`gemm_f32`] calls.
+pub fn gemm_f32_colbatch(
+    nb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    gemm_f32(m, nb * n, k, a, b, c)
+}
+
 /// `c[m,n] += a[m,k] * b[k,n]` with `i8` operands and `i32` accumulation.
+///
+/// Zero lhs elements are skipped — exact in integer arithmetic.
 pub fn gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
@@ -89,6 +125,37 @@ pub fn gemm_i8_band(
     }
 }
 
+/// Batched [`gemm_i8`]: shared lhs `a [m,k]`, column-stacked rhs
+/// `b [k, nb*n]`, output `c [m, nb*n]`. Exact (integer arithmetic).
+pub fn gemm_i8_colbatch(
+    nb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+) {
+    gemm_i8(m, nb * n, k, a, b, c)
+}
+
+/// Batched [`gemm_i8_band`]: the band GEMM over a column-stacked rhs
+/// `b [k, nb*n]`, output `c [m, nb*n]`. Exact (integer arithmetic).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_band_colbatch(
+    nb: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    k0: usize,
+    k1: usize,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+) {
+    gemm_i8_band(m, nb * n, k, k0, k1, a, b, c)
+}
+
 /// Dot product of two `i8` slices with `i32` accumulation.
 pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     assert_eq!(a.len(), b.len(), "dot operands must have equal length");
@@ -127,6 +194,94 @@ mod tests {
         let expect = naive_f32(m, n, k, &a, &b);
         for (x, y) in c.iter().zip(expect.iter()) {
             assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn f32_propagates_nan_and_inf_through_zero_lhs() {
+        // A zero weight must not mask a poisoned activation: 0 * NaN = NaN
+        // and 0 * inf = NaN. The old zero-skip silently dropped both.
+        let a = vec![0.0f32, 1.0]; // [1, 2]
+        let b = vec![f32::NAN, 2.0]; // [2, 1]
+        let mut c = vec![0.0f32; 1];
+        gemm_f32(1, 1, 2, &a, &b, &mut c);
+        assert!(c[0].is_nan(), "NaN suppressed by zero-skip: {}", c[0]);
+
+        let b = vec![f32::INFINITY, 2.0];
+        let mut c = vec![0.0f32; 1];
+        gemm_f32(1, 1, 2, &a, &b, &mut c);
+        assert!(c[0].is_nan(), "0*inf must poison the output: {}", c[0]);
+    }
+
+    #[test]
+    fn colbatch_matches_per_sample_calls_bitwise() {
+        let mut rng = seeded(24);
+        let (nb, m, n, k) = (3usize, 4usize, 5usize, 7usize);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let samples: Vec<Vec<f32>> = (0..nb)
+            .map(|_| (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        // Column-stacked rhs [k, nb*n].
+        let mut b = vec![0.0f32; k * nb * n];
+        for p in 0..k {
+            for (s, sm) in samples.iter().enumerate() {
+                b[p * nb * n + s * n..p * nb * n + (s + 1) * n]
+                    .copy_from_slice(&sm[p * n..(p + 1) * n]);
+            }
+        }
+        let mut c = vec![0.0f32; m * nb * n];
+        gemm_f32_colbatch(nb, m, n, k, &a, &b, &mut c);
+        for (s, sm) in samples.iter().enumerate() {
+            let mut cs = vec![0.0f32; m * n];
+            gemm_f32(m, n, k, &a, sm, &mut cs);
+            for i in 0..m {
+                for j in 0..n {
+                    // Bit-exact, not approximately equal.
+                    assert_eq!(
+                        c[i * nb * n + s * n + j].to_bits(),
+                        cs[i * n + j].to_bits(),
+                        "sample {s} element ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_colbatch_matches_per_sample_calls() {
+        let mut rng = seeded(25);
+        let (nb, m, n, k) = (2usize, 3usize, 4usize, 6usize);
+        let a: Vec<i8> = (0..m * k)
+            .map(|_| rng.gen_range(-128i16..=127) as i8)
+            .collect();
+        let samples: Vec<Vec<i8>> = (0..nb)
+            .map(|_| {
+                (0..k * n)
+                    .map(|_| rng.gen_range(-128i16..=127) as i8)
+                    .collect()
+            })
+            .collect();
+        let mut b = vec![0i8; k * nb * n];
+        for p in 0..k {
+            for (s, sm) in samples.iter().enumerate() {
+                b[p * nb * n + s * n..p * nb * n + (s + 1) * n]
+                    .copy_from_slice(&sm[p * n..(p + 1) * n]);
+            }
+        }
+        let mut c = vec![0i32; m * nb * n];
+        gemm_i8_colbatch(nb, m, n, k, &a, &b, &mut c);
+        let mut banded = vec![0i32; m * nb * n];
+        gemm_i8_band_colbatch(nb, m, n, k, 0, 2, &a, &b, &mut banded);
+        gemm_i8_band_colbatch(nb, m, n, k, 2, k, &a, &b, &mut banded);
+        assert_eq!(c, banded);
+        for (s, sm) in samples.iter().enumerate() {
+            let mut cs = vec![0i32; m * n];
+            gemm_i8(m, n, k, &a, sm, &mut cs);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(c[i * nb * n + s * n + j], cs[i * n + j]);
+                }
+            }
         }
     }
 

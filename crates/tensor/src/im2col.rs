@@ -67,11 +67,9 @@ impl Conv2dGeometry {
 /// Out-of-bounds taps read as zero (zero padding).
 pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Vec<f32> {
     assert_eq!(input.len(), g.c_in * g.h * g.w, "input length mismatch");
-    let (oh, ow) = (g.out_h(), g.out_w());
-    let cols = oh * ow;
+    let cols = g.cols();
     let mut out = vec![0.0f32; g.rows() * cols];
-    fill_im2col(input, g, &mut out, |x| x, 0.0);
-    let _ = (oh, ow);
+    fill_im2col(input, g, &mut out, cols, 0);
     out
 }
 
@@ -79,19 +77,79 @@ pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Vec<f32> {
 pub fn im2col_i8(input: &[i8], g: &Conv2dGeometry) -> Vec<i8> {
     assert_eq!(input.len(), g.c_in * g.h * g.w, "input length mismatch");
     let mut out = vec![0i8; g.rows() * g.cols()];
-    fill_im2col(input, g, &mut out, |x| x, 0);
+    fill_im2col(input, g, &mut out, g.cols(), 0);
     out
 }
 
+/// Batched im2col: lowers `nb` samples into **one** column-stacked matrix
+/// `[C_in*KH*KW, nb*OH*OW]`, with sample `s` occupying columns
+/// `[s*OH*OW, (s+1)*OH*OW)`.
+///
+/// Sample `s` reads `input[s*sample_stride .. s*sample_stride + C_in*H*W]`,
+/// so a strided view into a larger stacked activation (e.g. one channel
+/// group of a `[N, C, H, W]` batch with `sample_stride = C*H*W`) lowers
+/// without an intermediate copy. The result feeds the `*_colbatch` GEMMs
+/// in [`crate::gemm`]: one lowering + one GEMM per layer per batch instead
+/// of per sample.
+pub fn im2col_batch(
+    input: &[f32],
+    nb: usize,
+    sample_stride: usize,
+    g: &Conv2dGeometry,
+) -> Vec<f32> {
+    batch_lowering(input, nb, sample_stride, g, 0.0)
+}
+
+/// Integer variant of [`im2col_batch`] for the quantized execution path.
+pub fn im2col_i8_batch(
+    input: &[i8],
+    nb: usize,
+    sample_stride: usize,
+    g: &Conv2dGeometry,
+) -> Vec<i8> {
+    batch_lowering(input, nb, sample_stride, g, 0)
+}
+
+/// Shared worker behind the batched lowerings: validates the strided
+/// batch layout once and fills each sample's column block.
+fn batch_lowering<T: Copy>(
+    input: &[T],
+    nb: usize,
+    sample_stride: usize,
+    g: &Conv2dGeometry,
+    zero: T,
+) -> Vec<T> {
+    let chw = g.c_in * g.h * g.w;
+    assert!(nb > 0, "empty batch");
+    assert!(
+        input.len() >= (nb - 1) * sample_stride + chw,
+        "batched input too short"
+    );
+    let cols = g.cols();
+    let total = nb * cols;
+    let mut out = vec![zero; g.rows() * total];
+    for s in 0..nb {
+        fill_im2col(
+            &input[s * sample_stride..s * sample_stride + chw],
+            g,
+            &mut out,
+            total,
+            s * cols,
+        );
+    }
+    out
+}
+
+/// Writes one sample's lowering into `out`, whose rows are `total_cols`
+/// wide, starting at column `col_off` (zero-padding taps stay zero).
 fn fill_im2col<T: Copy>(
     input: &[T],
     g: &Conv2dGeometry,
     out: &mut [T],
-    id: impl Fn(T) -> T,
-    _zero: T,
+    total_cols: usize,
+    col_off: usize,
 ) {
     let (oh, ow) = (g.out_h(), g.out_w());
-    let cols = oh * ow;
     for c in 0..g.c_in {
         for kh in 0..g.kh {
             for kw in 0..g.kw {
@@ -106,8 +164,8 @@ fn fill_im2col<T: Copy>(
                         if ix < 0 || ix >= g.w as isize {
                             continue;
                         }
-                        out[row * cols + oy * ow + ox] =
-                            id(input[(c * g.h + iy as usize) * g.w + ix as usize]);
+                        out[row * total_cols + col_off + oy * ow + ox] =
+                            input[(c * g.h + iy as usize) * g.w + ix as usize];
                     }
                 }
             }
@@ -247,6 +305,49 @@ mod tests {
         let cf = im2col(&input_f, &g);
         for (a, b) in ci.iter().zip(cf.iter()) {
             assert_eq!(*a as f32, *b);
+        }
+    }
+
+    #[test]
+    fn batched_im2col_matches_per_sample() {
+        use crate::rng::seeded;
+        use rand::Rng;
+        let mut rng = seeded(34);
+        let g = Conv2dGeometry {
+            c_in: 2,
+            h: 5,
+            w: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let nb = 3;
+        let chw = g.c_in * g.h * g.w;
+        // Strided layout: each sample sits inside a wider activation.
+        let stride = chw + 10;
+        let input_f: Vec<f32> = (0..(nb - 1) * stride + chw)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let input_i: Vec<i8> = input_f.iter().map(|&v| (v * 50.0) as i8).collect();
+        let big_f = im2col_batch(&input_f, nb, stride, &g);
+        let big_i = im2col_i8_batch(&input_i, nb, stride, &g);
+        let cols = g.cols();
+        for s in 0..nb {
+            let single_f = im2col(&input_f[s * stride..s * stride + chw], &g);
+            let single_i = im2col_i8(&input_i[s * stride..s * stride + chw], &g);
+            for row in 0..g.rows() {
+                for j in 0..cols {
+                    assert_eq!(
+                        big_f[row * nb * cols + s * cols + j].to_bits(),
+                        single_f[row * cols + j].to_bits()
+                    );
+                    assert_eq!(
+                        big_i[row * nb * cols + s * cols + j],
+                        single_i[row * cols + j]
+                    );
+                }
+            }
         }
     }
 

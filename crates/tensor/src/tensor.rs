@@ -386,6 +386,32 @@ impl Tensor {
         })
     }
 
+    /// Adds `other` to every slice along axis 0 (batch broadcast).
+    ///
+    /// `self` is `[N, d…]`, `other` is `[d…]`; returns `[N, d…]`. This is
+    /// the batched form of [`Tensor::add`] for per-sample parameters
+    /// (e.g. positional embeddings applied to a stacked batch).
+    pub fn add_bcast0(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape.rank() == 0 || &self.dims()[1..] != other.dims() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_bcast0",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let inner = other.numel();
+        let mut data = self.data.clone();
+        for chunk in data.chunks_mut(inner.max(1)) {
+            for (a, &b) in chunk.iter_mut().zip(other.data.iter()) {
+                *a += b;
+            }
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
     /// Stacks same-shaped tensors along a new leading axis.
     pub fn stack(tensors: &[Tensor]) -> Result<Tensor> {
         let first = tensors
@@ -519,6 +545,16 @@ mod tests {
         assert_eq!(s.index_axis0(0).unwrap(), a);
         assert_eq!(s.index_axis0(1).unwrap(), b);
         assert!(s.index_axis0(2).is_err());
+    }
+
+    #[test]
+    fn add_bcast0_broadcasts_over_batch() {
+        let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let p = Tensor::from_vec([3], vec![10., 20., 30.]).unwrap();
+        let y = x.add_bcast0(&p).unwrap();
+        assert_eq!(y.data(), &[11., 22., 33., 14., 25., 36.]);
+        assert!(x.add_bcast0(&Tensor::zeros([2])).is_err());
+        assert!(Tensor::scalar(1.0).add_bcast0(&p).is_err());
     }
 
     #[test]

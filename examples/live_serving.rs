@@ -14,6 +14,10 @@
 //! ```sh
 //! cargo run --release --example live_serving
 //! ```
+//!
+//! Setting `FLEXIQ_SMOKE=1` replays a much shorter trace (sub-second
+//! segments, smaller probe) — the CI smoke mode that exercises the
+//! batched server path on every PR without burning minutes.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -39,6 +43,12 @@ fn level_name(runtime_level: usize, ratios: &[f64]) -> String {
 }
 
 fn main() {
+    // CI smoke mode: same code path end to end, sub-second trace.
+    let smoke = std::env::var("FLEXIQ_SMOKE").is_ok_and(|v| v != "0");
+    if smoke {
+        println!("FLEXIQ_SMOKE set: running the short CI trace");
+    }
+
     // ── 1. Prepare a real runtime on a small zoo model ───────────────
     println!("preparing RNet20 (test scale): calibrate → select → layout → runtime...");
     let id = ModelId::RNet20;
@@ -73,7 +83,9 @@ fn main() {
     // Enough concurrent clients to keep batches full, enough requests
     // for ~half a second of steady state.
     let probe_clients = 4 * probe_server.config().max_batch;
-    let probe_total = ((0.8 / t_infer) as usize).clamp(400, 16_000);
+    let probe_budget = if smoke { 0.15 } else { 0.8 };
+    let probe_total =
+        ((probe_budget / t_infer) as usize).clamp(if smoke { 64 } else { 400 }, 16_000);
     let probe = flexiq::serve::closed_loop(
         &probe_server,
         &calib,
@@ -114,10 +126,11 @@ fn main() {
     let server = Server::start_adaptive(Arc::clone(&runtime), cfg).unwrap();
 
     // ── 4. A bursty open-loop trace: calm → 1.8× capacity → calm ─────
+    let seg_scale = if smoke { 0.2 } else { 1.0 };
     let segments = [
-        (1.2f64, 0.5 * capacity_rps),
-        (1.5, 1.8 * capacity_rps),
-        (1.8, 0.4 * capacity_rps),
+        (1.2f64 * seg_scale, 0.5 * capacity_rps),
+        (1.5 * seg_scale, 1.8 * capacity_rps),
+        (1.8 * seg_scale, 0.4 * capacity_rps),
     ];
     let arrivals = piecewise_poisson(&segments, 4242);
     println!(
@@ -160,7 +173,7 @@ fn main() {
     let report = open_loop(&server, &calib, &arrivals, 1.0);
 
     // Let the queue drain and the controller step back down.
-    std::thread::sleep(Duration::from_millis(1200));
+    std::thread::sleep(Duration::from_millis(if smoke { 400 } else { 1200 }));
     stop.store(true, Ordering::Release);
     monitor.join().unwrap();
 
