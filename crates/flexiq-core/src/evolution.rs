@@ -13,7 +13,9 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use flexiq_nn::graph::Graph;
-use flexiq_nn::qexec::{run_quantized, MixedPlan, QuantExecOptions, QuantizedModel};
+use flexiq_nn::qexec::{
+    run_quantized, run_quantized_batch, MixedPlan, QuantExecOptions, QuantizedModel,
+};
 use flexiq_tensor::rng::seeded;
 use flexiq_tensor::{stats, Tensor};
 use rand::rngs::StdRng;
@@ -67,10 +69,22 @@ impl EvolutionConfig {
 
 /// Fitness evaluator: L2 distance of a plan's logits to the 8-bit
 /// reference on a fixed sample set.
+///
+/// When the samples share one shape and the execution options are
+/// batch-invariant (static extraction — the default), every candidate
+/// evaluation runs as **one** stacked pass via
+/// [`flexiq_nn::qexec::run_quantized_batch`]: activation quantization
+/// and weight bit-lowering amortize across the whole fitness set, which
+/// is where the evolutionary search spends nearly all of its time. The
+/// batched executor is bit-exact per sample, so fitness values — and
+/// therefore the selected masks — are identical to the per-sample walk.
 pub struct FitnessEval<'a> {
     graph: &'a Graph,
     model: &'a QuantizedModel,
     inputs: &'a [Tensor],
+    /// The fitness set stacked `[N, …]`; `None` when sample shapes
+    /// differ or the opts make batching non-invariant.
+    stacked: Option<Tensor>,
     reference: Vec<Tensor>,
     opts: QuantExecOptions,
 }
@@ -83,15 +97,30 @@ impl<'a> FitnessEval<'a> {
         inputs: &'a [Tensor],
         opts: QuantExecOptions,
     ) -> Result<Self> {
+        let same_shape = inputs.windows(2).all(|w| w[0].dims() == w[1].dims());
+        let stacked = if opts.batch_invariant() && same_shape && inputs.len() > 1 {
+            Some(Tensor::stack(inputs).map_err(flexiq_nn::NnError::from)?)
+        } else {
+            None
+        };
         let high = MixedPlan::all_high(model);
-        let reference = inputs
-            .iter()
-            .map(|x| run_quantized(graph, model, &high, opts, x))
-            .collect::<Result<Vec<_>>>()?;
+        let reference = match &stacked {
+            Some(st) => {
+                let y = run_quantized_batch(graph, model, &high, opts, st)?;
+                (0..inputs.len())
+                    .map(|s| y.index_axis0(s).map_err(flexiq_nn::NnError::from))
+                    .collect::<std::result::Result<Vec<_>, _>>()?
+            }
+            None => inputs
+                .iter()
+                .map(|x| run_quantized(graph, model, &high, opts, x))
+                .collect::<Result<Vec<_>>>()?,
+        };
         Ok(FitnessEval {
             graph,
             model,
             inputs,
+            stacked,
             reference,
             opts,
         })
@@ -100,9 +129,20 @@ impl<'a> FitnessEval<'a> {
     /// Mean L2 distance to the 8-bit soft labels (lower is better).
     pub fn fitness(&self, plan: &MixedPlan) -> Result<f64> {
         let mut total = 0.0f64;
-        for (x, r) in self.inputs.iter().zip(self.reference.iter()) {
-            let y = run_quantized(self.graph, self.model, plan, self.opts, x)?;
-            total += stats::l2_distance(y.data(), r.data()) as f64;
+        match &self.stacked {
+            Some(st) => {
+                let y = run_quantized_batch(self.graph, self.model, plan, self.opts, st)?;
+                for (s, r) in self.reference.iter().enumerate() {
+                    let ys = y.index_axis0(s).map_err(flexiq_nn::NnError::from)?;
+                    total += stats::l2_distance(ys.data(), r.data()) as f64;
+                }
+            }
+            None => {
+                for (x, r) in self.inputs.iter().zip(self.reference.iter()) {
+                    let y = run_quantized(self.graph, self.model, plan, self.opts, x)?;
+                    total += stats::l2_distance(y.data(), r.data()) as f64;
+                }
+            }
         }
         Ok(total / self.inputs.len().max(1) as f64)
     }

@@ -14,14 +14,27 @@
 //! and [`FlexiRuntime::infer_batch`] for a stacked batch executed as one
 //! forward pass (one level read, one quantization and bit-lowering per
 //! layer per batch) — the serving worker's dispatch unit.
+//!
+//! A dispatch is also internally parallel: the execution stack fans
+//! per-sample attention cores, conv channel groups, and GEMM row bands
+//! across a [`flexiq_parallel::ThreadPool`]. By default the runtime uses
+//! the ambient pool (a [`flexiq_parallel::with_pool`] scope installed by
+//! the embedder — e.g. the serve worker — or else the global
+//! `FLEXIQ_THREADS`-sized pool); [`FlexiRuntime::with_pool`] pins an
+//! explicit pool instead, which then takes precedence over the ambient
+//! one for every inference entry point. Parallel execution is bit-exact
+//! with serial at every level and thread count (outputs partition along
+//! independent ranges only).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use flexiq_nn::data::Dataset;
 use flexiq_nn::exec;
 use flexiq_nn::graph::Graph;
 use flexiq_nn::qexec::{MixedPlan, QuantCompute, QuantExecOptions, QuantizedModel};
 use flexiq_nn::NnError;
+use flexiq_parallel::ThreadPool;
 use flexiq_tensor::Tensor;
 
 use crate::schedule::RatioSchedule;
@@ -39,6 +52,8 @@ pub struct FlexiRuntime {
     /// all-8-bit configuration.
     level: AtomicUsize,
     opts: QuantExecOptions,
+    /// Explicit intra-batch pool; `None` uses the ambient pool.
+    pool: Option<Arc<ThreadPool>>,
 }
 
 /// Level index denoting the pure 8-bit configuration (0% 4-bit).
@@ -72,7 +87,30 @@ impl FlexiRuntime {
             max_low_group,
             level: AtomicUsize::new(LEVEL_INT8),
             opts,
+            pool: None,
         })
+    }
+
+    /// Pins an explicit intra-batch thread pool: every inference entry
+    /// point then runs inside it, regardless of the ambient pool. Without
+    /// this, the runtime inherits whatever pool the calling scope
+    /// installed (see the module docs).
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The explicitly pinned pool, if any.
+    pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Runs `f` under the pinned pool (or unchanged when none is set).
+    fn scoped<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => flexiq_parallel::with_pool(pool, f),
+            None => f(),
+        }
     }
 
     /// The layout-optimized graph.
@@ -169,7 +207,10 @@ impl FlexiRuntime {
     pub fn infer_traced(&self, input: &Tensor) -> Result<(Tensor, usize)> {
         let level = self.level();
         let mut hook = QuantCompute::new(&self.model, self.plan_at(level), self.opts)?;
-        Ok((exec::run(&self.graph, input, &mut hook)?, level))
+        Ok((
+            self.scoped(|| exec::run(&self.graph, input, &mut hook))?,
+            level,
+        ))
     }
 
     /// Runs a batch of same-shaped inputs as **one** stacked forward pass.
@@ -201,7 +242,7 @@ impl FlexiRuntime {
         }
         let stacked = Tensor::stack(inputs).map_err(NnError::from)?;
         let mut hook = QuantCompute::new(&self.model, self.plan_at(level), self.opts)?;
-        let y = exec::run_batch(&self.graph, &stacked, &mut hook)?;
+        let y = self.scoped(|| exec::run_batch(&self.graph, &stacked, &mut hook))?;
         let mut outs = Vec::with_capacity(inputs.len());
         for i in 0..inputs.len() {
             outs.push(y.index_axis0(i).map_err(NnError::from)?);
@@ -214,7 +255,7 @@ impl FlexiRuntime {
     pub fn accuracy(&self, data: &Dataset) -> Result<f64> {
         let plan = self.current_plan();
         let mut hook = QuantCompute::new(&self.model, plan, self.opts)?;
-        flexiq_nn::data::accuracy(&self.graph, &mut hook, data)
+        self.scoped(|| flexiq_nn::data::accuracy(&self.graph, &mut hook, data))
     }
 }
 
@@ -333,6 +374,34 @@ mod tests {
         assert_eq!(level, rt.level());
         let bad = [data.inputs[0].clone(), Tensor::zeros([1, 2, 2])];
         assert!(rt.infer_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn pinned_pool_keeps_inference_bit_exact() {
+        let (rt, data) = runtime();
+        let inputs = &data.inputs[..4];
+        let par = FlexiRuntime::new(
+            rt.graph().clone(),
+            rt.model().clone(),
+            rt.schedule().clone(),
+            Default::default(),
+        )
+        .unwrap()
+        .with_pool(flexiq_parallel::ThreadPool::new(3));
+        assert_eq!(par.pool().unwrap().threads(), 3);
+        let mut levels = vec![LEVEL_INT8];
+        levels.extend(0..rt.num_levels());
+        for level in levels {
+            rt.set_level(level).unwrap();
+            par.set_level(level).unwrap();
+            let serial = rt.infer_batch(inputs).unwrap();
+            let parallel = par.infer_batch(inputs).unwrap();
+            for (i, (a, b)) in serial.iter().zip(parallel.iter()).enumerate() {
+                for (x, y) in a.data().iter().zip(b.data().iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "level {level} sample {i}");
+                }
+            }
+        }
     }
 
     #[test]

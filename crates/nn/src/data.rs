@@ -14,7 +14,7 @@ use flexiq_tensor::Tensor;
 use rand::Rng;
 
 use crate::error::NnError;
-use crate::exec::{run, run_f32, Compute};
+use crate::exec::{run, run_batch, Compute, F32Compute};
 use crate::graph::Graph;
 use crate::ops::act::log_softmax_lastdim;
 use crate::Result;
@@ -48,11 +48,58 @@ pub fn gen_image_inputs(n: usize, dims: &[usize], seed: u64) -> Vec<Tensor> {
         .collect()
 }
 
+/// Maximum stacked batch a samplewise driver assembles: big enough to
+/// amortize per-layer work, small enough to bound peak activation
+/// memory on wide layers.
+const DRIVER_MAX_BATCH: usize = 32;
+
+/// Runs every input through the graph, returning one output per input.
+///
+/// Consecutive same-shaped inputs are stacked into batched passes (at
+/// most [`DRIVER_MAX_BATCH`] samples each), so per-layer work —
+/// activation quantization, weight bit-lowering, kernel setup —
+/// amortizes across samples exactly as in the serving path. Because the
+/// batched executor is bit-exact per sample, outputs are identical to N
+/// independent [`run`] calls; a hook whose batching is *not* invariant
+/// (dynamic extraction — see [`Compute::batch_invariant`]) runs
+/// per-sample instead, so this is always safe to call.
+pub fn forward_all(
+    graph: &Graph,
+    compute: &mut dyn Compute,
+    inputs: &[Tensor],
+) -> Result<Vec<Tensor>> {
+    let mut outs = Vec::with_capacity(inputs.len());
+    if !compute.batch_invariant() {
+        for x in inputs {
+            outs.push(run(graph, x, compute)?);
+        }
+        return Ok(outs);
+    }
+    let mut i = 0usize;
+    while i < inputs.len() {
+        let dims = inputs[i].dims();
+        let mut j = i + 1;
+        while j < inputs.len() && j - i < DRIVER_MAX_BATCH && inputs[j].dims() == dims {
+            j += 1;
+        }
+        if j - i == 1 {
+            outs.push(run(graph, &inputs[i], compute)?);
+        } else {
+            let stacked = Tensor::stack(&inputs[i..j])?;
+            let y = run_batch(graph, &stacked, compute)?;
+            for s in 0..j - i {
+                outs.push(y.index_axis0(s)?);
+            }
+        }
+        i = j;
+    }
+    Ok(outs)
+}
+
 /// Labels inputs with the FP32 model's argmax (the teacher task).
 pub fn teacher_dataset(graph: &Graph, inputs: Vec<Tensor>) -> Result<Dataset> {
     let mut labels = Vec::with_capacity(inputs.len());
-    for x in &inputs {
-        let logits = run_f32(graph, x)?;
+    for logits in forward_all(graph, &mut F32Compute, &inputs)? {
         labels.push(
             logits
                 .argmax()
@@ -83,8 +130,8 @@ pub fn teacher_dataset_filtered(
         )));
     }
     let mut scored: Vec<(f64, Tensor, usize)> = Vec::with_capacity(candidates.len());
-    for x in candidates {
-        let logits = run_f32(graph, &x)?;
+    let all_logits = forward_all(graph, &mut F32Compute, &candidates)?;
+    for (x, logits) in candidates.into_iter().zip(all_logits) {
         let label = logits
             .argmax()
             .ok_or_else(|| NnError::Invalid("empty logits".into()))?;
@@ -112,14 +159,18 @@ pub fn teacher_dataset_filtered(
     Ok(Dataset { inputs, labels })
 }
 
-/// Top-1 agreement of a compute hook with the dataset labels, in percent.
+/// Top-1 agreement of a compute hook with the dataset labels, in
+/// percent. Evaluation runs in stacked batches (see [`forward_all`]),
+/// bit-exact with per-sample inference.
 pub fn accuracy(graph: &Graph, compute: &mut dyn Compute, data: &Dataset) -> Result<f64> {
     if data.is_empty() {
         return Err(NnError::Invalid("empty dataset".into()));
     }
     let mut correct = 0usize;
-    for (x, &label) in data.inputs.iter().zip(data.labels.iter()) {
-        let logits = run(graph, x, compute)?;
+    for (logits, &label) in forward_all(graph, compute, &data.inputs)?
+        .iter()
+        .zip(data.labels.iter())
+    {
         if logits.argmax() == Some(label) {
             correct += 1;
         }
@@ -128,13 +179,14 @@ pub fn accuracy(graph: &Graph, compute: &mut dyn Compute, data: &Dataset) -> Res
 }
 
 /// Collects output logits for a set of inputs (soft labels for fitness
-/// evaluation and distillation).
+/// evaluation and distillation). Runs in stacked batches (see
+/// [`forward_all`]), bit-exact with per-sample inference.
 pub fn soft_labels(
     graph: &Graph,
     compute: &mut dyn Compute,
     inputs: &[Tensor],
 ) -> Result<Vec<Tensor>> {
-    inputs.iter().map(|x| run(graph, x, compute)).collect()
+    forward_all(graph, compute, inputs)
 }
 
 /// Generates a synthetic token stream with local structure (a noisy ramp
@@ -299,6 +351,32 @@ mod tests {
         let seqs = lm_sequences(&gen_token_stream(8, 64, 147), 8);
         let ppl = perplexity(&g, &mut F32Compute, &seqs).unwrap();
         assert!((ppl - 8.0).abs() < 1e-3, "uniform ppl {ppl}");
+    }
+
+    #[test]
+    fn forward_all_matches_per_sample_runs_across_shape_groups() {
+        // Mixed shapes: [T, C] token matrices of two lengths interleaved
+        // with single [C] vectors — forward_all must batch the runs it
+        // can and still return outputs identical to per-sample `run`.
+        let g = toy_classifier(149);
+        let mut r = rng::seeded(150);
+        let mut inputs = Vec::new();
+        for i in 0..11 {
+            let dims: Vec<usize> = match i % 3 {
+                0 => vec![3, 8],
+                1 => vec![3, 8],
+                _ => vec![8],
+            };
+            inputs.push(Tensor::randn(dims, 0.0, 1.0, &mut r));
+        }
+        let batched = forward_all(&g, &mut F32Compute, &inputs).unwrap();
+        for (i, x) in inputs.iter().enumerate() {
+            let single = run(&g, x, &mut F32Compute).unwrap();
+            assert_eq!(batched[i].dims(), single.dims());
+            for (a, b) in batched[i].data().iter().zip(single.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "input {i} diverged");
+            }
+        }
     }
 
     #[test]

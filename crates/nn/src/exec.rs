@@ -18,6 +18,13 @@
 //! bit-exact with [`run`] — the batched kernels preserve each output
 //! element's reduction order — which is what lets the serving stack batch
 //! freely without perturbing the mixed-precision arithmetic.
+//!
+//! A stacked pass also parallelizes **within** a dispatch: per-sample
+//! attention cores and window cores fan across the ambient
+//! [`flexiq_parallel`] pool, and the kernels underneath (GEMM row bands,
+//! batched im2col, conv channel groups) band their own disjoint output
+//! ranges. No float reduction is reordered anywhere, so parallel output
+//! is bit-exact with serial at every thread count.
 
 use flexiq_tensor::Tensor;
 
@@ -59,6 +66,18 @@ pub trait Compute {
         n: usize,
     ) -> Result<Tensor> {
         map_samples(x, n, |xi| self.linear(layer, lin, xi))
+    }
+
+    /// Whether this hook's batched execution is bit-exact, per sample,
+    /// with running each sample alone. True for almost every hook (the
+    /// per-sample fallback trivially, the reference kernels by the
+    /// banded-GEMM construction); the quantized engine returns false
+    /// under *dynamic* extraction, whose rules derive from the live batch
+    /// rather than per sample. Sample-iterating drivers
+    /// ([`crate::data::forward_all`], [`run_stepwise`]) consult this
+    /// before stacking, so batching never silently changes results.
+    fn batch_invariant(&self) -> bool {
+        true
     }
 }
 
@@ -360,22 +379,27 @@ pub fn apply_node_batch(
             let x = get(0)?;
             let lids = node.layers_array()?;
             // Projections are per-token, so they run batched on the full
-            // stack; the window cores run per sample.
+            // stack; the window cores run per sample, fanned across the
+            // ambient pool (samples are independent, so parallel output
+            // is bit-exact with the serial loop).
             let q = compute.linear_batch(lids[0], &wa.attn.q, x, n)?;
             let k = compute.linear_batch(lids[1], &wa.attn.k, x, n)?;
             let v = compute.linear_batch(lids[2], &wa.attn.v, x, n)?;
-            let mut merged = Vec::with_capacity(n);
-            for s in 0..n {
-                let (qs, ks, vs) = (q.index_axis0(s)?, k.index_axis0(s)?, v.index_axis0(s)?);
-                let qw = wa.partition(&qs)?;
-                let kw = wa.partition(&ks)?;
-                let vw = wa.partition(&vs)?;
-                let mut outs = Vec::with_capacity(qw.len());
-                for ((qi, ki), vi) in qw.iter().zip(kw.iter()).zip(vw.iter()) {
-                    outs.push(wa.attn.core(qi, ki, vi)?);
-                }
-                merged.push(wa.merge(&outs)?);
-            }
+            let pool = flexiq_parallel::current();
+            let merged = pool
+                .map(n, |s| -> Result<Tensor> {
+                    let (qs, ks, vs) = (q.index_axis0(s)?, k.index_axis0(s)?, v.index_axis0(s)?);
+                    let qw = wa.partition(&qs)?;
+                    let kw = wa.partition(&ks)?;
+                    let vw = wa.partition(&vs)?;
+                    let mut outs = Vec::with_capacity(qw.len());
+                    for ((qi, ki), vi) in qw.iter().zip(kw.iter()).zip(vw.iter()) {
+                        outs.push(wa.attn.core(qi, ki, vi)?);
+                    }
+                    wa.merge(&outs)
+                })
+                .into_iter()
+                .collect::<Result<Vec<_>>>()?;
             let merged = Tensor::stack(&merged)?;
             compute.linear_batch(lids[3], &wa.attn.o, &merged, n)?
         }
@@ -393,7 +417,65 @@ pub fn apply_node_batch(
 /// This is what batch-norm statistics calibration needs: each BN sees
 /// inputs produced by already-calibrated upstream BNs, so one pass
 /// suffices even for very deep residual networks.
+///
+/// When all samples share one shape (the common case — calibration
+/// sets are homogeneous) and the hook's batching is invariant
+/// ([`Compute::batch_invariant`]), each node executes as **one**
+/// stacked `[N, …]` pass instead of N per-sample calls; the visitor
+/// still receives per-sample activations, sliced from the stack, whose
+/// values are bit-exact with the per-sample walk.
 pub fn run_stepwise(
+    graph: &mut Graph,
+    samples: &[Tensor],
+    compute: &mut dyn Compute,
+    mut visit: impl FnMut(&mut Op, &[Tensor]) -> Result<()>,
+) -> Result<()> {
+    if samples.is_empty() {
+        return Ok(());
+    }
+    let same_shape = samples.windows(2).all(|w| w[0].dims() == w[1].dims());
+    if !(same_shape && compute.batch_invariant()) {
+        return run_stepwise_per_sample(graph, samples, compute, visit);
+    }
+    let n = samples.len();
+    let stacked = Tensor::stack(samples)?;
+    let n_nodes = graph.nodes().len();
+    let mut memo: Vec<Option<Tensor>> = vec![None; n_nodes];
+    for nid in 0..n_nodes {
+        // Gather every sample's first-input activation for the visitor.
+        let node_inputs = graph.node(nid)?.inputs.clone();
+        let first_inputs: Vec<Tensor> = if node_inputs.is_empty() {
+            Vec::new()
+        } else {
+            let stack = memo[node_inputs[0]].as_ref().ok_or_else(|| {
+                NnError::Invalid(format!(
+                    "node {nid} executed before its input {} (graph not in topological index order)",
+                    node_inputs[0]
+                ))
+            })?;
+            (0..n)
+                .map(|s| Ok(stack.index_axis0(s)?))
+                .collect::<Result<Vec<_>>>()?
+        };
+        visit(graph.op_mut(nid)?, &first_inputs)?;
+        let node = graph.node(nid)?.clone();
+        let resolved: Vec<Tensor> = node
+            .inputs
+            .iter()
+            .map(|&i| {
+                memo[i]
+                    .clone()
+                    .ok_or_else(|| NnError::Invalid(format!("missing memo {i}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        memo[nid] = Some(apply_node_batch(&node, &resolved, &stacked, n, compute)?);
+    }
+    Ok(())
+}
+
+/// Per-sample fallback of [`run_stepwise`] for heterogeneous sample
+/// shapes or non-batch-invariant hooks.
+fn run_stepwise_per_sample(
     graph: &mut Graph,
     samples: &[Tensor],
     compute: &mut dyn Compute,
@@ -402,7 +484,6 @@ pub fn run_stepwise(
     let n_nodes = graph.nodes().len();
     let mut memos: Vec<Vec<Option<Tensor>>> = vec![vec![None; n_nodes]; samples.len()];
     for nid in 0..n_nodes {
-        // Gather every sample's first-input activation for the visitor.
         let node_inputs = graph.node(nid)?.inputs.clone();
         let first_inputs: Vec<Tensor> = if node_inputs.is_empty() {
             Vec::new()

@@ -117,9 +117,12 @@ impl Attention {
     /// Batched attention core over stacked `[N, T, C]` projections.
     ///
     /// Attention mixes tokens only **within** a sample, so the core runs
-    /// per sample (softmax rows never cross samples); projections are
-    /// batched by the executor. Bit-exact per sample with
-    /// [`Attention::core`].
+    /// per sample (softmax rows never cross samples) — which also makes
+    /// samples embarrassingly parallel: the cores fan out across the
+    /// ambient thread pool, and because each sample's arithmetic is
+    /// untouched the result is bit-exact with serial execution.
+    /// Projections are batched by the executor. Bit-exact per sample
+    /// with [`Attention::core`].
     pub fn core_batch(&self, q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
         if q.dims().len() != 3 || q.dims() != k.dims() || q.dims() != v.dims() {
             return Err(NnError::BadActivation {
@@ -129,10 +132,13 @@ impl Attention {
             });
         }
         let n = q.dims()[0];
-        let mut outs = Vec::with_capacity(n);
-        for s in 0..n {
-            outs.push(self.core(&q.index_axis0(s)?, &k.index_axis0(s)?, &v.index_axis0(s)?)?);
-        }
+        let pool = flexiq_parallel::current();
+        let outs = pool
+            .map(n, |s| -> Result<Tensor> {
+                self.core(&q.index_axis0(s)?, &k.index_axis0(s)?, &v.index_axis0(s)?)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
         Ok(Tensor::stack(&outs)?)
     }
 }

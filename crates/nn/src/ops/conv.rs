@@ -168,8 +168,11 @@ impl Conv2d {
     ///
     /// Each channel group is lowered once for the whole batch
     /// ([`im2col_batch`]) and multiplied in one column-batched GEMM, so
-    /// the weight rows stream across all `N` samples. Per-sample results
-    /// are bit-exact with [`Conv2d::forward`].
+    /// the weight rows stream across all `N` samples. Channel groups are
+    /// independent, so grouped/depthwise convolutions fan their groups
+    /// across the ambient thread pool (single-group convolutions
+    /// parallelize inside the GEMM instead); per-sample results are
+    /// bit-exact with [`Conv2d::forward`] at any thread count.
     pub fn forward_batch(&self, x: &Tensor) -> Result<Tensor> {
         let (n, h, w) = self.check_input_batch(x)?;
         let g = self.group_geometry(h, w);
@@ -182,10 +185,11 @@ impl Conv2d {
         let chw = self.c_in() * h * w;
         let ncols = n * cols;
         let mut out = vec![0.0f32; n * c_out * cols];
-        let mut big = vec![0.0f32; c_out_g * ncols];
-        for grp in 0..self.groups {
+        // Lower + multiply one group: returns the column-batched GEMM
+        // output [c_out_g, N*cols] for that group.
+        let group_gemm = |grp: usize| -> Vec<f32> {
             let cols_mat = im2col_batch(&x.data()[grp * c_in_g * h * w..], n, chw, &g);
-            big.fill(0.0);
+            let mut big = vec![0.0f32; c_out_g * ncols];
             gemm::gemm_f32_colbatch(
                 n,
                 c_out_g,
@@ -195,13 +199,32 @@ impl Conv2d {
                 &cols_mat,
                 &mut big,
             );
-            // Scatter [c_out_g, N*cols] back to sample-major [N, C_out, OH*OW].
+            big
+        };
+        // Scatter [c_out_g, N*cols] back to sample-major [N, C_out, OH*OW].
+        let scatter = |grp: usize, big: &[f32], out: &mut [f32]| {
             for ol in 0..c_out_g {
                 let o = grp * c_out_g + ol;
                 for s in 0..n {
                     let src = ol * ncols + s * cols;
                     let dst = (s * c_out + o) * cols;
                     out[dst..dst + cols].copy_from_slice(&big[src..src + cols]);
+                }
+            }
+        };
+        let pool = (self.groups >= 2 && !flexiq_parallel::in_task())
+            .then(flexiq_parallel::current)
+            .filter(|p| p.threads() >= 2);
+        match pool {
+            Some(pool) => {
+                for (grp, big) in pool.map(self.groups, group_gemm).iter().enumerate() {
+                    scatter(grp, big, &mut out);
+                }
+            }
+            // Serial: one group's GEMM buffer alive at a time.
+            None => {
+                for grp in 0..self.groups {
+                    scatter(grp, &group_gemm(grp), &mut out);
                 }
             }
         }

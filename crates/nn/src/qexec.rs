@@ -34,6 +34,13 @@
 //! whole batch's activations rather than per sample (the batch shares
 //! one plan, one scale, and one extraction rule per group — §7's premise
 //! that a batch executes one configuration).
+//!
+//! Batched quantized layers are also internally parallel: activation
+//! quantization chunks, the 8-bit linear bands, the band GEMMs, and —
+//! for grouped/depthwise convolutions — whole conv groups fan across
+//! the ambient [`flexiq_parallel`] pool. Work is partitioned strictly
+//! along independent output ranges, so the parallel integer path stays
+//! bit-exact with serial execution at every thread count.
 
 use flexiq_quant::dynamic::dynamic_lowering;
 use flexiq_quant::lowering::BitLowering;
@@ -329,6 +336,19 @@ impl Default for QuantExecOptions {
     }
 }
 
+impl QuantExecOptions {
+    /// Whether batched execution under these options is bit-exact, per
+    /// sample, with running each sample alone. False exactly when live
+    /// (dynamic) extraction is in effect: its rules derive from the
+    /// whole batch's values (see the module docs). The single source of
+    /// this predicate — the engine's [`Compute::batch_invariant`] and
+    /// every samplewise driver that pre-stacks (e.g. the selection
+    /// loop's fitness evaluator) must route through it.
+    pub fn batch_invariant(&self) -> bool {
+        !self.dynamic_extract || self.naive_lowering
+    }
+}
+
 /// The quantized compute hook.
 ///
 /// Create one per (model, plan) pair; reconstructed weights are cached
@@ -416,11 +436,26 @@ impl<'m> QuantCompute<'m> {
     }
 
     /// Quantizes an activation tensor to `i8` with the layer's per-tensor
-    /// scale.
+    /// scale. Elements are independent, so large activations quantize in
+    /// parallel chunks (bit-exact: each element's rounding is untouched).
     fn quantize_act(&self, l: LayerId, x: &Tensor) -> Vec<i8> {
         let p = QParams::new(self.model.layers[l].act_scale, QuantBits::B8)
             .expect("scale validated at prepare");
-        x.data().iter().map(|&v| p.quantize(v) as i8).collect()
+        let data = x.data();
+        if !flexiq_parallel::in_task() && data.len() >= 16 * 1024 {
+            let pool = flexiq_parallel::current();
+            if pool.threads() >= 2 {
+                let mut out = vec![0i8; data.len()];
+                let ranges = flexiq_parallel::chunk_ranges(data.len(), pool.threads() * 4);
+                pool.run_disjoint_mut(&mut out, &ranges, |bi, chunk| {
+                    for (dst, &v) in chunk.iter_mut().zip(&data[ranges[bi].clone()]) {
+                        *dst = p.quantize(v) as i8;
+                    }
+                });
+                return out;
+            }
+        }
+        data.iter().map(|&v| p.quantize(v) as i8).collect()
     }
 
     /// Activation extraction rule for one group: static position from
@@ -664,7 +699,7 @@ impl<'m> QuantCompute<'m> {
     /// Whether an extraction rule needs the live quantized values (only
     /// dynamic mode does; static/naive rules come from calibration).
     fn needs_live(&self) -> bool {
-        self.opts.dynamic_extract && !self.opts.naive_lowering
+        !self.opts.batch_invariant()
     }
 
     fn linear_fake_batch(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
@@ -713,14 +748,37 @@ impl<'m> QuantCompute<'m> {
                 continue;
             }
             if !self.plan.low_groups[l][g] {
-                for ti in 0..rows {
-                    for o in 0..c_out {
-                        let mut s = 0i32;
-                        for c in range.clone() {
-                            s += xq[ti * c_in + c] as i32 * wq[o * c_in + c] as i32;
+                // 8-bit band over the whole stack; token rows are
+                // independent, so they band across the pool (integer
+                // adds in unchanged per-element order — bit-exact).
+                let band_rows = |trange: std::ops::Range<usize>, accband: &mut [i32]| {
+                    let t0 = trange.start;
+                    for ti in trange {
+                        for o in 0..c_out {
+                            let mut s = 0i32;
+                            for c in range.clone() {
+                                s += xq[ti * c_in + c] as i32 * wq[o * c_in + c] as i32;
+                            }
+                            accband[(ti - t0) * c_out + o] += s;
                         }
-                        acc[ti * c_out + o] += s;
                     }
+                };
+                let worth_it = !flexiq_parallel::in_task()
+                    && rows >= 2
+                    && rows * c_out * bw >= gemm::PAR_MIN_WORK;
+                let pool = worth_it.then(flexiq_parallel::current);
+                match pool {
+                    Some(pool) if pool.threads() >= 2 => {
+                        let bands = flexiq_parallel::chunk_ranges(rows, pool.threads() * 4);
+                        let elems: Vec<std::ops::Range<usize>> = bands
+                            .iter()
+                            .map(|r| r.start * c_out..r.end * c_out)
+                            .collect();
+                        pool.run_disjoint_mut(&mut acc, &elems, |bi, chunk| {
+                            band_rows(bands[bi].clone(), chunk)
+                        });
+                    }
+                    _ => band_rows(0..rows, &mut acc),
                 }
                 continue;
             }
@@ -779,6 +837,13 @@ impl<'m> QuantCompute<'m> {
     /// Batched integer convolution: per conv group, one batched im2col
     /// (`[K, N*cols]`), one lowered weight band per feature group for the
     /// whole batch, and column-batched band GEMMs.
+    ///
+    /// Conv groups are independent (each reads its own channel slice and
+    /// produces its own output channels), so grouped/depthwise layers fan
+    /// their groups across the ambient thread pool; single-group layers
+    /// parallelize inside the band GEMMs instead. Either way each
+    /// accumulator element keeps its serial reduction order — bit-exact
+    /// at any thread count.
     fn conv_int_batch(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
         let (n, h, w) = conv.check_input_batch(x)?;
         let lq = &self.model.layers[l];
@@ -794,8 +859,8 @@ impl<'m> QuantCompute<'m> {
         let chw = conv.c_in() * h * w;
         let xq = self.quantize_act(l, x);
         let wq = lq.w_q.data();
-        let mut out = vec![0.0f32; n * c_out * cols];
-        for cg in 0..conv.groups {
+        // Integer accumulator [c_out_g, N*cols] of one conv group.
+        let group_acc = |cg: usize| -> Vec<i32> {
             // One column-batched lowering of this conv group's channels
             // across the whole batch (strided view into the stack).
             let cols_q = im2col_i8_batch(&xq[cg * c_in_g * h * w..], n, chw, &geom);
@@ -860,6 +925,10 @@ impl<'m> QuantCompute<'m> {
                 }
                 cl = run_end;
             }
+            acc
+        };
+        let mut out = vec![0.0f32; n * c_out * cols];
+        let scatter = |cg: usize, acc: &[i32], out: &mut [f32]| {
             for ol in 0..c_out_g {
                 let o = cg * c_out_g + ol;
                 let s = lq.act_scale * lq.w_scales[o];
@@ -871,6 +940,24 @@ impl<'m> QuantCompute<'m> {
                         }
                         out[(smp * c_out + o) * cols + j] = v;
                     }
+                }
+            }
+        };
+        let pool = (conv.groups >= 2 && !flexiq_parallel::in_task())
+            .then(flexiq_parallel::current)
+            .filter(|p| p.threads() >= 2);
+        match pool {
+            Some(pool) => {
+                for (cg, acc) in pool.map(conv.groups, group_acc).iter().enumerate() {
+                    scatter(cg, acc, &mut out);
+                }
+            }
+            // Serial: compute and scatter one group at a time so peak
+            // scratch stays one group's accumulator (matters for
+            // depthwise layers, where groups == C_in).
+            None => {
+                for cg in 0..conv.groups {
+                    scatter(cg, &group_acc(cg), &mut out);
                 }
             }
         }
@@ -917,6 +1004,13 @@ impl Compute for QuantCompute<'_> {
             ExecMode::Fake => self.linear_fake_batch(layer, lin, x),
             ExecMode::Int => self.linear_int_batch(layer, lin, x),
         }
+    }
+
+    fn batch_invariant(&self) -> bool {
+        // Dynamic extraction derives positions from the live batch (the
+        // documented intentional divergence in the module docs), so
+        // samplewise drivers must not silently stack under it.
+        !self.needs_live()
     }
 }
 

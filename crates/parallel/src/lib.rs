@@ -1,0 +1,578 @@
+//! Vendored scoped thread pool for intra-batch data parallelism.
+//!
+//! The execution stack partitions work **only along independent output
+//! ranges** (GEMM row bands, im2col row chunks, per-sample attention
+//! cores, per-channel-group conv GEMMs), so every task writes a disjoint
+//! region and the parallel result is bit-exact with serial execution —
+//! no float reduction is ever reordered. This crate provides the pool
+//! those callers share; it is vendored because the build environment has
+//! no registry access (rayon cannot be a dependency).
+//!
+//! # Architecture
+//!
+//! A [`ThreadPool`] owns `threads - 1` persistent helper threads parked
+//! on a condvar; the thread that calls [`ThreadPool::run`] is the
+//! remaining executor, so a pool of size `T` never runs more than `T`
+//! tasks of one job concurrently. Jobs are published to a shared
+//! injector queue; helpers and the caller claim task indices from an
+//! atomic cursor (chunked self-scheduling — the work-stealing analogue
+//! for the indexed-task shape every caller here has), so load balances
+//! even when task costs are skewed. [`ThreadPool::run`] returns only
+//! after every task completed, which is what makes borrowing stack data
+//! (`Fn(usize) + Sync` closures over `&`-captures) sound.
+//!
+//! # Nesting and oversubscription
+//!
+//! A task that submits a nested job runs it **inline on its own thread**
+//! (serially): kernels deep in the stack can call the pool
+//! unconditionally while an outer fan-out (per-sample cores, conv
+//! groups, serve workers) already owns the threads. One shared pool
+//! therefore composes across layers without oversubscription, and the
+//! serve worker pool simply installs the shared pool around each
+//! dispatch (see [`with_pool`]).
+//!
+//! # Configuration
+//!
+//! The ambient pool used by kernels ([`current`]) resolves, in order:
+//! a scope-installed pool ([`with_pool`]), then the process-global pool
+//! ([`global`]), which is sized from `FLEXIQ_THREADS` or, absent that,
+//! the machine's available parallelism. `threads = 1` is the graceful
+//! serial fallback: no helper threads exist and every job runs inline.
+//!
+//! # Panics
+//!
+//! A panicking task poisons its job: remaining unclaimed tasks are
+//! skipped, every in-flight task drains, and the first panic payload is
+//! re-raised on the thread that called [`ThreadPool::run`].
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One published parallel-for: `n_tasks` indexed calls into a borrowed
+/// closure. The closure pointer is only dereferenced for claimed indices
+/// `< n_tasks`, all of which complete before `run` returns — that is the
+/// entire safety argument for the borrow.
+struct Job {
+    n_tasks: usize,
+    /// Next unclaimed task index (may overshoot `n_tasks`).
+    next: AtomicUsize,
+    /// Completed (or skipped-after-panic) task count.
+    done: AtomicUsize,
+    /// Borrowed task body (type-erased); valid until `done == n_tasks`.
+    data: *const (),
+    /// Monomorphized trampoline re-typing `data` back to the closure.
+    call: unsafe fn(*const (), usize),
+    /// Set once a task panicked: unclaimed tasks are then skipped.
+    poisoned: AtomicBool,
+    /// First panic payload, re-raised by the submitting thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion latch.
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced while `run`
+// keeps the closure alive (see `Job` docs); everything else is atomics
+// and locks.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and executes tasks until the cursor is exhausted.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return;
+            }
+            if !self.poisoned.load(Ordering::Relaxed) {
+                let body = IN_TASK.with(|flag| {
+                    let outer = flag.replace(true);
+                    // SAFETY: i < n_tasks, so `run` is still blocked on
+                    // this job and the borrow behind `data` is live.
+                    let r = catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.data, i) }));
+                    flag.set(outer);
+                    r
+                });
+                if let Err(payload) = body {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    let mut slot = self.panic.lock().expect("panic slot");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            self.complete_one();
+        }
+    }
+
+    fn complete_one(&self) {
+        // AcqRel: the final increment must observe every task's writes,
+        // and the waiter acquires them through the finished latch.
+        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n_tasks {
+            *self.finished.lock().expect("finished latch") = true;
+            self.finished_cv.notify_all();
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n_tasks
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    /// True while this thread is executing a pool task: nested submits
+    /// run inline instead of re-entering the scheduler.
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+    /// Scope-installed pools ([`with_pool`]), innermost last.
+    static CURRENT: RefCell<Vec<Arc<ThreadPool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A scoped chunking/work-stealing thread pool (see the crate docs).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    helpers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs jobs on `threads` threads (the caller
+    /// plus `threads - 1` persistent helpers). `threads` is clamped to
+    /// at least 1; a 1-thread pool executes every job inline (the
+    /// serial fallback).
+    pub fn new(threads: usize) -> Arc<ThreadPool> {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let helpers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("flexiq-pool-{i}"))
+                    .spawn(move || helper_loop(&shared))
+                    .expect("spawn pool helper thread")
+            })
+            .collect();
+        Arc::new(ThreadPool {
+            shared,
+            helpers,
+            threads,
+        })
+    }
+
+    /// Number of threads this pool runs jobs on (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), …, f(n_tasks - 1)` across the pool and returns when
+    /// every call finished. Tasks may run in any order and on any pool
+    /// thread, so they must only touch disjoint data (or data safe to
+    /// share); the helpers below ([`ThreadPool::run_disjoint_mut`],
+    /// [`ThreadPool::map`]) encode the disjoint-output patterns the
+    /// execution stack uses.
+    ///
+    /// Runs inline (serially, in index order) when the pool has one
+    /// thread, when `n_tasks <= 1`, or when called from inside another
+    /// pool task (nested submit).
+    pub fn run<F: Fn(usize) + Sync>(&self, n_tasks: usize, f: F) {
+        if n_tasks == 0 {
+            return;
+        }
+        if self.threads == 1 || n_tasks == 1 || IN_TASK.with(|t| t.get()) {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        }
+        unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+            (*data.cast::<F>())(i)
+        }
+        let job = Arc::new(Job {
+            n_tasks,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            data: (&f as *const F).cast::<()>(),
+            call: trampoline::<F>,
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        });
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue");
+            q.push_back(Arc::clone(&job));
+        }
+        self.shared.work_cv.notify_all();
+        // The caller is a full participant in its own job.
+        job.work();
+        self.retire(&job);
+        let mut finished = job.finished.lock().expect("finished latch");
+        while !*finished {
+            finished = job.finished_cv.wait(finished).expect("finished latch wait");
+        }
+        drop(finished);
+        let payload = job.panic.lock().expect("panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Removes an exhausted job from the injector queue.
+    fn retire(&self, job: &Arc<Job>) {
+        let mut q = self.shared.queue.lock().expect("pool queue");
+        q.retain(|j| !Arc::ptr_eq(j, job));
+    }
+
+    /// Runs `f(i, &mut data[ranges[i]])` in parallel. The ranges must be
+    /// pairwise disjoint and within `data` — validated up front — which
+    /// makes handing each task its own `&mut` chunk sound. This is the
+    /// banded-output primitive behind the parallel GEMMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range exceeds `data.len()` or two ranges overlap.
+    pub fn run_disjoint_mut<T, F>(&self, data: &mut [T], ranges: &[Range<usize>], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let mut sorted: Vec<&Range<usize>> = ranges.iter().collect();
+        sorted.sort_by_key(|r| r.start);
+        let mut prev_end = 0usize;
+        for r in sorted {
+            assert!(r.start >= prev_end && r.start <= r.end, "ranges overlap");
+            assert!(r.end <= data.len(), "range {r:?} outside data");
+            prev_end = r.end.max(prev_end);
+        }
+        let base = SendPtr(data.as_mut_ptr());
+        self.run(ranges.len(), |i| {
+            let r = &ranges[i];
+            // SAFETY: ranges are in-bounds and pairwise disjoint
+            // (validated above), so each task gets a unique &mut chunk.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+            f(i, chunk);
+        });
+    }
+
+    /// Parallel map: returns `[f(0), …, f(n - 1)]` in index order.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let ranges: Vec<Range<usize>> = (0..n).map(|i| i..i + 1).collect();
+        self.run_disjoint_mut(&mut slots, &ranges, |i, slot| {
+            slot[0] = Some(f(i));
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every map task completed"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for h in self.helpers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn helper_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue");
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = q.front() {
+                    break Arc::clone(job);
+                }
+                q = shared.work_cv.wait(q).expect("pool queue wait");
+            }
+        };
+        job.work();
+        // The cursor is spent: drop the job from the queue so waiters
+        // park instead of spinning on it (tasks may still be in flight
+        // on other threads; the queue only hands out *claims*).
+        if job.exhausted() {
+            let mut q = shared.queue.lock().expect("pool queue");
+            q.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+    }
+}
+
+/// Raw pointer wrapper that is Send/Sync so banded closures can carve
+/// disjoint `&mut` chunks out of one buffer.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Method receiver forces whole-struct capture in closures (a bare
+    /// field access would capture the raw pointer itself, which is not
+    /// `Sync`).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// True while the calling thread is executing a pool task. Kernels use
+/// this to skip band-planning work (and the [`current`] lookup, which
+/// may lazily spawn the global pool) when a nested submit would run
+/// inline anyway.
+pub fn in_task() -> bool {
+    IN_TASK.with(|t| t.get())
+}
+
+/// Thread count the global pool uses: `FLEXIQ_THREADS` if set (values
+/// `< 1` clamp to 1; an unparsable value warns and falls back), else
+/// the machine's available parallelism.
+pub fn default_threads() -> usize {
+    match std::env::var("FLEXIQ_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(t) => t.max(1),
+            Err(_) => {
+                eprintln!(
+                    "warning: FLEXIQ_THREADS={v:?} is not a thread count; \
+                     using machine parallelism"
+                );
+                machine_threads()
+            }
+        },
+        Err(_) => machine_threads(),
+    }
+}
+
+/// The machine's available parallelism (ignores `FLEXIQ_THREADS`).
+pub fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-global pool, created on first use with
+/// [`default_threads`] threads.
+pub fn global() -> &'static Arc<ThreadPool> {
+    static GLOBAL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// The ambient pool kernels should submit to: the innermost
+/// [`with_pool`] scope on this thread, else the global pool.
+pub fn current() -> Arc<ThreadPool> {
+    CURRENT.with(|stack| {
+        stack
+            .borrow()
+            .last()
+            .cloned()
+            .unwrap_or_else(|| Arc::clone(global()))
+    })
+}
+
+/// Installs `pool` as this thread's ambient pool for the duration of
+/// `f`. Scopes nest (innermost wins) and unwind safely. This is how an
+/// embedder — the serving worker pool, the runtime, a bench — routes
+/// every kernel underneath one shared pool.
+pub fn with_pool<R>(pool: &Arc<ThreadPool>, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CURRENT.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    CURRENT.with(|stack| stack.borrow_mut().push(Arc::clone(pool)));
+    let _guard = Guard;
+    f()
+}
+
+/// Splits `0..total` into at most `max_parts` contiguous, near-equal
+/// ranges (the first `total % parts` ranges are one longer). Returns an
+/// empty vec for `total == 0`; never returns empty ranges.
+pub fn chunk_ranges(total: usize, max_parts: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = max_parts.clamp(1, total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = ThreadPool::new(4);
+        pool.run(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn one_thread_pool_runs_inline_in_order() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let order = Mutex::new(Vec::new());
+        pool.run(8, |i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_submitter() {
+        let pool = ThreadPool::new(4);
+        let executed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, |i| {
+                if i == 5 {
+                    panic!("task 5 exploded");
+                }
+                executed.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "task 5 exploded");
+        // The pool stays usable after a poisoned job.
+        let after = AtomicUsize::new(0);
+        pool.run(16, |_| {
+            after.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn nested_submit_runs_inline_without_deadlock() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicU64::new(0);
+        pool.run(8, |_| {
+            // A task fanning out again must not re-enter the scheduler
+            // (the outer job owns the threads); it runs inline.
+            let inner = current();
+            inner.run(8, |_| {
+                assert!(IN_TASK.with(|t| t.get()), "nested task lost the flag");
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn disjoint_bands_fill_the_whole_buffer() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0usize; 100];
+        let ranges = chunk_ranges(100, 7);
+        pool.run_disjoint_mut(&mut data, &ranges, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        for (i, r) in ranges.iter().enumerate() {
+            assert!(data[r.clone()].iter().all(|&v| v == i + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges overlap")]
+    fn overlapping_ranges_are_rejected() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u8; 10];
+        pool.run_disjoint_mut(&mut data, &[0..6, 5..10], |_, _| {});
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_external_submitters_share_the_pool() {
+        // Several non-pool threads (the serve-worker shape) submit jobs
+        // at once; every job completes and counts exactly its tasks.
+        let pool = ThreadPool::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let count = AtomicUsize::new(0);
+                    pool.run(101, |_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                    assert_eq!(count.load(Ordering::Relaxed), 101);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for total in [0usize, 1, 2, 5, 16, 97] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(total, parts);
+                let mut covered = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "gap at {covered}");
+                    assert!(!r.is_empty());
+                    covered = r.end;
+                }
+                assert_eq!(covered, total);
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn with_pool_installs_and_restores() {
+        let outer = ThreadPool::new(2);
+        let inner = ThreadPool::new(3);
+        with_pool(&outer, || {
+            assert_eq!(current().threads(), 2);
+            with_pool(&inner, || assert_eq!(current().threads(), 3));
+            assert_eq!(current().threads(), 2);
+        });
+    }
+}

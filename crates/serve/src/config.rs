@@ -19,6 +19,17 @@ pub struct ServeConfig {
     /// passes. Each worker assembles its own batches, so batching and
     /// execution overlap across workers.
     pub workers: usize,
+    /// Intra-batch threads of the **one shared**
+    /// [`flexiq_parallel::ThreadPool`] the workers submit their stacked
+    /// passes to. `None` resolves to `FLEXIQ_THREADS` if set, else
+    /// `max(1, cores / workers)` — the documented default that keeps
+    /// `workers × intra-batch threads ≤ cores`, so worker-level and
+    /// intra-batch parallelism compose without oversubscription. (The
+    /// pool is shared and a worker mid-dispatch occupies one of its
+    /// slots itself, so even `Some(cores)` degrades gracefully: the pool
+    /// never runs more than its size in tasks at once, and nested
+    /// submits run inline.)
+    pub pool_threads: Option<usize>,
     /// Default per-request deadline measured from admission; `None`
     /// means requests never expire. Individual submissions can override
     /// it.
@@ -34,6 +45,7 @@ impl Default for ServeConfig {
             batch_timeout: Duration::from_millis(2),
             queue_capacity: 1024,
             workers: 2,
+            pool_threads: None,
             default_deadline: None,
             control: ControlConfig::default(),
         }
@@ -52,7 +64,27 @@ impl ServeConfig {
         if self.workers == 0 {
             return Err(ServeError::Config("workers must be positive".into()));
         }
+        if self.pool_threads == Some(0) {
+            return Err(ServeError::Config(
+                "pool_threads must be positive when set".into(),
+            ));
+        }
         self.control.validate()
+    }
+
+    /// The intra-batch thread count the server will actually use (see
+    /// [`ServeConfig::pool_threads`] for the resolution order).
+    pub fn resolved_pool_threads(&self) -> usize {
+        match self.pool_threads {
+            Some(t) => t.max(1),
+            None => {
+                if std::env::var("FLEXIQ_THREADS").is_ok() {
+                    flexiq_parallel::default_threads()
+                } else {
+                    (flexiq_parallel::machine_threads() / self.workers.max(1)).max(1)
+                }
+            }
+        }
     }
 }
 

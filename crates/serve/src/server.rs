@@ -62,6 +62,7 @@ pub struct Server {
     control: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     next_id: AtomicU64,
+    pool: Arc<flexiq_parallel::ThreadPool>,
 }
 
 impl Server {
@@ -105,6 +106,9 @@ impl Server {
         controller: Option<Box<dyn Controller + Send>>,
     ) -> Result<Server> {
         let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity));
+        // One shared intra-batch pool for the whole worker fleet (see
+        // `ServeConfig::pool_threads` for the sizing rule).
+        let pool = flexiq_parallel::ThreadPool::new(cfg.resolved_pool_threads());
         let workers = spawn_workers(
             cfg.workers,
             Arc::clone(&queue),
@@ -112,6 +116,7 @@ impl Server {
             Arc::clone(&metrics),
             cfg.max_batch,
             cfg.batch_timeout,
+            Arc::clone(&pool),
         );
         let stop = Arc::new(AtomicBool::new(false));
         let control = controller.map(|ctl| {
@@ -132,7 +137,13 @@ impl Server {
             control,
             stop,
             next_id: AtomicU64::new(0),
+            pool,
         })
+    }
+
+    /// Intra-batch threads of the shared worker pool.
+    pub fn pool_threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// Submits a request under the configured default deadline.
@@ -311,6 +322,67 @@ mod tests {
             snap.level_switches, 1,
             "exactly one switch: INT8 → pinned level"
         );
+    }
+
+    #[test]
+    fn composed_worker_and_intra_batch_pools_stay_bit_exact() {
+        // Workers submitting concurrently to one shared multi-thread
+        // intra-batch pool must produce outputs identical to plain
+        // single-threaded `infer` calls at the same level.
+        let (rt, inputs) = tiny_runtime();
+        rt.set_level(0).unwrap();
+        let cfg = ServeConfig {
+            workers: 2,
+            pool_threads: Some(2),
+            max_batch: 4,
+            batch_timeout: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        assert_eq!(server.pool_threads(), 2);
+        let tickets: Vec<_> = (0..16)
+            .map(|i| {
+                let x = inputs[i % inputs.len()].clone();
+                (i % inputs.len(), server.submit(x).unwrap())
+            })
+            .collect();
+        for (src, t) in tickets {
+            let r = t.wait().unwrap();
+            let expect = rt.infer(&inputs[src]).unwrap();
+            for (a, b) in r.output.data().iter().zip(expect.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parallel dispatch diverged");
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_threads_resolution_respects_worker_budget() {
+        let cfg = ServeConfig {
+            workers: 2,
+            pool_threads: None,
+            ..Default::default()
+        };
+        // Explicit setting wins; zero is rejected.
+        let auto = cfg.resolved_pool_threads();
+        assert!(auto >= 1);
+        if std::env::var("FLEXIQ_THREADS").is_err() {
+            assert!(
+                auto * cfg.workers <= flexiq_parallel::machine_threads().max(cfg.workers),
+                "default must keep workers x threads within the core budget"
+            );
+        }
+        let cfg = ServeConfig {
+            pool_threads: Some(3),
+            ..Default::default()
+        };
+        assert_eq!(cfg.resolved_pool_threads(), 3);
+        assert!(ServeConfig {
+            pool_threads: Some(0),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -19,12 +19,23 @@
 //! authoritative per dispatch even while the controller is switching.
 //! `batch_timeout` is therefore a genuine throughput/latency knob: a
 //! longer wait buys larger stacked GEMMs, not just amortized dispatch.
+//!
+//! **Intra-batch parallelism:** every worker installs the server's one
+//! shared [`flexiq_parallel::ThreadPool`] around its dispatch, so a
+//! stacked pass additionally fans per-sample cores and GEMM row bands
+//! across `pool_threads` threads. Workers submitting concurrently share
+//! the same pool (the pool never runs more than its size in tasks at
+//! once, and a task that fans out again runs inline), which is how
+//! worker-level and intra-batch parallelism compose without
+//! oversubscription — see [`crate::ServeConfig::pool_threads`] for the
+//! sizing rule.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use flexiq_core::FlexiRuntime;
+use flexiq_parallel::ThreadPool;
 
 use crate::error::ServeError;
 use crate::metrics::MetricsHub;
@@ -104,19 +115,24 @@ pub fn spawn_workers(
     metrics: Arc<MetricsHub>,
     max_batch: usize,
     batch_timeout: Duration,
+    pool: Arc<ThreadPool>,
 ) -> Vec<JoinHandle<()>> {
     (0..workers)
         .map(|i| {
             let queue = Arc::clone(&queue);
             let runtime = Arc::clone(&runtime);
             let metrics = Arc::clone(&metrics);
+            let pool = Arc::clone(&pool);
             std::thread::Builder::new()
                 .name(format!("flexiq-worker-{i}"))
                 .spawn(move || {
                     while let Some((batch, depth_left)) = queue.pop_batch(max_batch, batch_timeout)
                     {
                         metrics.set_queue_depth(depth_left);
-                        run_batch(&runtime, &metrics, batch);
+                        // One shared pool across all workers: the
+                        // stacked pass underneath parallelizes inside
+                        // it (unless the runtime pinned its own pool).
+                        flexiq_parallel::with_pool(&pool, || run_batch(&runtime, &metrics, batch));
                     }
                 })
                 .expect("spawn worker thread")

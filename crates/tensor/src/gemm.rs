@@ -29,6 +29,47 @@
 //! per-sample call, so batched results are bit-exact with single-sample
 //! results while the lhs row (the weights) is streamed across the whole
 //! batch — this is the amortization the batched execution path relies on.
+//!
+//! # Parallelism
+//!
+//! Large GEMMs split their **output rows** into contiguous bands fanned
+//! across the ambient [`flexiq_parallel`] pool. Bands partition only the
+//! independent `i` dimension: every output element keeps its exact
+//! serial reduction order over `p`, so parallel results are bit-exact
+//! with serial ones at any thread count (f32 included — no float sum is
+//! reordered). Small GEMMs (below [`PAR_MIN_WORK`] multiply-adds) stay
+//! serial; pool dispatch would cost more than the arithmetic.
+
+/// Minimum multiply-add count (`m*n*k`) before a GEMM fans its row
+/// bands across the thread pool.
+pub const PAR_MIN_WORK: usize = 64 * 1024;
+
+/// Row bands to split a `m`-row output over the ambient pool, or `None`
+/// when the GEMM should stay serial (single-thread pool, single row, or
+/// not enough work to amortize dispatch).
+fn row_bands(
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Option<(
+    std::sync::Arc<flexiq_parallel::ThreadPool>,
+    Vec<std::ops::Range<usize>>,
+)> {
+    // Inside a pool task a nested run would inline anyway: skip the
+    // pool lookup (which may lazily spawn the global pool) and the
+    // banding work entirely.
+    if flexiq_parallel::in_task() || m < 2 || m * n * k < PAR_MIN_WORK {
+        return None;
+    }
+    let pool = flexiq_parallel::current();
+    if pool.threads() < 2 {
+        return None;
+    }
+    // Oversplit ~4× the thread count so the pool's dynamic claiming can
+    // balance bands of uneven cost.
+    let bands = flexiq_parallel::chunk_ranges(m, pool.threads() * 4);
+    Some((pool, bands))
+}
 
 /// `c[m,n] += a[m,k] * b[k,n]` in f32.
 ///
@@ -39,13 +80,27 @@ pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    for i in 0..m {
+    if let Some((pool, bands)) = row_bands(m, n, k) {
+        let elems: Vec<std::ops::Range<usize>> =
+            bands.iter().map(|r| r.start * n..r.end * n).collect();
+        pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, cband| {
+            let rows = bands[bi].clone();
+            gemm_f32_rows(rows.start, rows.end, n, k, a, b, cband);
+        });
+        return;
+    }
+    gemm_f32_rows(0, m, n, k, a, b, c);
+}
+
+/// Serial kernel over rows `[i0, i1)`; `c` starts at row `i0`.
+fn gemm_f32_rows(i0: usize, i1: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in i0..i1 {
         for p in 0..k {
             // No zero-skip here: f32 must propagate NaN/Inf from `b`
             // (see the module docs); skipping is integer-kernel-only.
             let aip = a[i * k + p];
             let brow = &b[p * n..p * n + n];
-            let crow = &mut c[i * n..i * n + n];
+            let crow = &mut c[(i - i0) * n..(i - i0) * n + n];
             for j in 0..n {
                 crow[j] += aip * brow[j];
             }
@@ -72,22 +127,7 @@ pub fn gemm_f32_colbatch(
 ///
 /// Zero lhs elements are skipped — exact in integer arithmetic.
 pub fn gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
-    assert!(a.len() >= m * k, "lhs buffer too small");
-    assert!(b.len() >= k * n, "rhs buffer too small");
-    assert!(c.len() >= m * n, "out buffer too small");
-    for i in 0..m {
-        for p in 0..k {
-            let aip = a[i * k + p] as i32;
-            if aip == 0 {
-                continue;
-            }
-            let brow = &b[p * n..p * n + n];
-            let crow = &mut c[i * n..i * n + n];
-            for j in 0..n {
-                crow[j] += aip * brow[j] as i32;
-            }
-        }
-    }
+    gemm_i8_band(m, n, k, 0, k, a, b, c)
 }
 
 /// Partial integer GEMM over a contiguous band of the reduction dimension.
@@ -110,14 +150,39 @@ pub fn gemm_i8_band(
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    for i in 0..m {
+    if let Some((pool, bands)) = row_bands(m, n, k1 - k0) {
+        let elems: Vec<std::ops::Range<usize>> =
+            bands.iter().map(|r| r.start * n..r.end * n).collect();
+        pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, cband| {
+            let rows = bands[bi].clone();
+            gemm_i8_band_rows(rows.start, rows.end, n, k, k0, k1, a, b, cband);
+        });
+        return;
+    }
+    gemm_i8_band_rows(0, m, n, k, k0, k1, a, b, c);
+}
+
+/// Serial band kernel over rows `[i0, i1)`; `c` starts at row `i0`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_i8_band_rows(
+    i0: usize,
+    i1: usize,
+    n: usize,
+    k: usize,
+    k0: usize,
+    k1: usize,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+) {
+    for i in i0..i1 {
         for p in k0..k1 {
             let aip = a[i * k + p] as i32;
             if aip == 0 {
                 continue;
             }
             let brow = &b[p * n..p * n + n];
-            let crow = &mut c[i * n..i * n + n];
+            let crow = &mut c[(i - i0) * n..(i - i0) * n + n];
             for j in 0..n {
                 crow[j] += aip * brow[j] as i32;
             }
@@ -343,6 +408,39 @@ mod tests {
         assert_eq!(dot_i8(&a, &b), 128 * 128 * 8);
         let b = vec![127i8; 8];
         assert_eq!(dot_i8(&a, &b), -128 * 127 * 8);
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_exact_with_serial_at_any_thread_count() {
+        // Sized above PAR_MIN_WORK so the banded path actually engages.
+        let mut rng = seeded(26);
+        let (m, n, k) = (24usize, 96usize, 48usize);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ai: Vec<i8> = (0..m * k)
+            .map(|_| rng.gen_range(-128i16..=127) as i8)
+            .collect();
+        let bi: Vec<i8> = (0..k * n)
+            .map(|_| rng.gen_range(-128i16..=127) as i8)
+            .collect();
+        let serial_pool = flexiq_parallel::ThreadPool::new(1);
+        let (mut c_ref, mut ci_ref) = (vec![0.0f32; m * n], vec![0i32; m * n]);
+        flexiq_parallel::with_pool(&serial_pool, || {
+            gemm_f32(m, n, k, &a, &b, &mut c_ref);
+            gemm_i8_band(m, n, k, 3, k - 5, &ai, &bi, &mut ci_ref);
+        });
+        for threads in [2usize, 3, 4] {
+            let pool = flexiq_parallel::ThreadPool::new(threads);
+            let (mut c, mut ci) = (vec![0.0f32; m * n], vec![0i32; m * n]);
+            flexiq_parallel::with_pool(&pool, || {
+                gemm_f32(m, n, k, &a, &b, &mut c);
+                gemm_i8_band(m, n, k, 3, k - 5, &ai, &bi, &mut ci);
+            });
+            for (x, y) in c.iter().zip(c_ref.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads diverged");
+            }
+            assert_eq!(ci, ci_ref, "{threads} threads diverged (i8)");
+        }
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub fn im2col_i8_batch(
 
 /// Shared worker behind the batched lowerings: validates the strided
 /// batch layout once and fills each sample's column block.
-fn batch_lowering<T: Copy>(
+fn batch_lowering<T: Copy + Send + Sync>(
     input: &[T],
     nb: usize,
     sample_stride: usize,
@@ -127,11 +127,44 @@ fn batch_lowering<T: Copy>(
     );
     let cols = g.cols();
     let total = nb * cols;
-    let mut out = vec![zero; g.rows() * total];
+    let rows = g.rows();
+    let mut out = vec![zero; rows * total];
+    // Output rows are contiguous, so chunks of rows partition the matrix
+    // into disjoint slabs: each task lowers its rows for every sample.
+    // The writes per element are identical to the serial fill, so the
+    // parallel lowering is bit-exact at any thread count.
+    // (The `in_task` check also skips the pool lookup, which may lazily
+    // spawn the global pool, when a nested submit would inline anyway.)
+    let worth_it = !flexiq_parallel::in_task() && rows >= 2 && rows * total >= 32 * 1024;
+    if worth_it {
+        let pool = flexiq_parallel::current();
+        if pool.threads() >= 2 {
+            let bands = flexiq_parallel::chunk_ranges(rows, pool.threads() * 4);
+            let elems: Vec<std::ops::Range<usize>> = bands
+                .iter()
+                .map(|r| r.start * total..r.end * total)
+                .collect();
+            pool.run_disjoint_mut(&mut out, &elems, |bi, slab| {
+                let rows = bands[bi].clone();
+                for s in 0..nb {
+                    fill_im2col_rows(
+                        &input[s * sample_stride..s * sample_stride + chw],
+                        g,
+                        rows.clone(),
+                        slab,
+                        total,
+                        s * cols,
+                    );
+                }
+            });
+            return out;
+        }
+    }
     for s in 0..nb {
-        fill_im2col(
+        fill_im2col_rows(
             &input[s * sample_stride..s * sample_stride + chw],
             g,
+            0..rows,
             &mut out,
             total,
             s * cols,
@@ -149,25 +182,38 @@ fn fill_im2col<T: Copy>(
     total_cols: usize,
     col_off: usize,
 ) {
+    fill_im2col_rows(input, g, 0..g.rows(), out, total_cols, col_off);
+}
+
+/// Fills the lowered rows `[rows.start, rows.end)` of one sample; `out`
+/// starts at row `rows.start`. A row decomposes as
+/// `row = (c * KH + kh) * KW + kw`.
+fn fill_im2col_rows<T: Copy>(
+    input: &[T],
+    g: &Conv2dGeometry,
+    rows: std::ops::Range<usize>,
+    out: &mut [T],
+    total_cols: usize,
+    col_off: usize,
+) {
     let (oh, ow) = (g.out_h(), g.out_w());
-    for c in 0..g.c_in {
-        for kh in 0..g.kh {
-            for kw in 0..g.kw {
-                let row = (c * g.kh + kh) * g.kw + kw;
-                for oy in 0..oh {
-                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
-                    if iy < 0 || iy >= g.h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                        if ix < 0 || ix >= g.w as isize {
-                            continue;
-                        }
-                        out[row * total_cols + col_off + oy * ow + ox] =
-                            input[(c * g.h + iy as usize) * g.w + ix as usize];
-                    }
+    let row0 = rows.start;
+    for row in rows {
+        let kw = row % g.kw;
+        let kh = (row / g.kw) % g.kh;
+        let c = row / (g.kw * g.kh);
+        for oy in 0..oh {
+            let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+            if iy < 0 || iy >= g.h as isize {
+                continue;
+            }
+            for ox in 0..ow {
+                let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                if ix < 0 || ix >= g.w as isize {
+                    continue;
                 }
+                out[(row - row0) * total_cols + col_off + oy * ow + ox] =
+                    input[(c * g.h + iy as usize) * g.w + ix as usize];
             }
         }
     }

@@ -21,7 +21,12 @@
 //! reproduction are small enough that clarity and testability dominate raw
 //! throughput, and the hot integer kernels are still structured the way the
 //! paper's CUDA kernel is (tiles over feature-channel groups) so that the
-//! Criterion benches expose the same relative costs.
+//! Criterion benches expose the same relative costs. Large GEMMs and
+//! batched im2col lowerings fan disjoint output bands across the shared
+//! `flexiq-parallel` pool (the banding keeps every element's reduction
+//! order unchanged, so parallel results are bit-exact with serial); the
+//! pointer plumbing that makes banded writes possible lives entirely in
+//! that crate.
 
 pub mod error;
 pub mod gemm;

@@ -72,14 +72,24 @@ fn main() {
     }
     let t_infer = t0.elapsed().as_secs_f64() / 10.0;
     let workers = 2usize;
+    // Intra-batch threads: explicit here so the smoke run always covers
+    // the composed setup (2 workers × 2 pool threads, one shared pool —
+    // each stacked pass fans sample cores and GEMM bands across it).
+    let pool_threads = Some(2usize);
     let probe_cfg = ServeConfig {
         workers,
+        pool_threads,
         max_batch: 8,
         batch_timeout: Duration::from_millis(2),
         queue_capacity: 512,
         ..Default::default()
     };
     let probe_server = Server::start_fixed(Arc::clone(&runtime), probe_cfg).unwrap();
+    println!(
+        "worker pool: {} workers × {} intra-batch threads (one shared pool)",
+        workers,
+        probe_server.pool_threads()
+    );
     // Enough concurrent clients to keep batches full, enough requests
     // for ~half a second of steady state.
     let probe_clients = 4 * probe_server.config().max_batch;
@@ -105,6 +115,7 @@ fn main() {
     let target = Duration::from_secs_f64((6.0 * t_infer).max(0.02));
     let cfg = ServeConfig {
         workers,
+        pool_threads,
         max_batch: 8,
         batch_timeout: Duration::from_millis(2),
         queue_capacity: 512,

@@ -15,6 +15,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`parallel`] | vendored scoped thread pool for intra-batch data parallelism |
 //! | [`tensor`] | dense f32 / int8 / packed-int4 tensors, GEMM, im2col |
 //! | [`quant`] | quantizers, calibration observers, bit-lowering (§4.1) |
 //! | [`nn`] | inference graph, layers, the 11-model zoo, synthetic data |
@@ -37,6 +38,7 @@ pub use flexiq_core as core;
 pub use flexiq_gpu_sim as gpu;
 pub use flexiq_nn as nn;
 pub use flexiq_npu_sim as npu;
+pub use flexiq_parallel as parallel;
 pub use flexiq_quant as quant;
 pub use flexiq_serve as serve;
 pub use flexiq_serving as serving;
