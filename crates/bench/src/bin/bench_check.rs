@@ -1,0 +1,44 @@
+//! CI bench gate: re-derives the perf acceptance criteria from the
+//! `BENCH_*.json` artifacts and fails (exit 1) on any regression.
+//!
+//! Run after `exp_batch_scaling` and `exp_varlen`:
+//!
+//! ```text
+//! cargo run --release -p flexiq-bench --bin bench_check
+//! ```
+//!
+//! The criteria live in [`flexiq_bench::gate`] (and are unit-tested
+//! there, including on doctored regressions): batched N=16 per-sample
+//! latency below sequential and below N=1; 4-thread total below 1-thread
+//! on multi-core runners; bucketed padded batching below shape-group
+//! splitting on the mixed-length LM trace. A missing or malformed
+//! artifact fails the gate — silence is the failure mode this bin
+//! exists to remove.
+
+use std::path::PathBuf;
+
+use flexiq_bench::gate::run_gate;
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let read = |name: &str| -> Option<String> { std::fs::read_to_string(root.join(name)).ok() };
+    let (checks, all_pass) = run_gate(
+        read("BENCH_batch.json").as_deref(),
+        read("BENCH_parallel.json").as_deref(),
+        read("BENCH_varlen.json").as_deref(),
+    );
+    println!("bench gate: {} checks", checks.len());
+    for c in &checks {
+        println!(
+            "  [{}] {} ({})",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
+    if !all_pass {
+        eprintln!("bench gate FAILED: a benchmark criterion regressed (see above)");
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+}

@@ -146,7 +146,12 @@ fn main() {
     let path = root.join("BENCH_batch.json");
     match std::fs::write(&path, json) {
         Ok(()) => println!("[written {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        // The bench_check gate reads this file: a stale artifact from a
+        // failed write must fail the sweep, not warn and exit 0.
+        Err(e) => {
+            eprintln!("FAIL: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 
     // ── Thread-count sweep: one N=16 stacked pass inside explicit pools ──
@@ -224,7 +229,10 @@ fn main() {
     let ppath = root.join("BENCH_parallel.json");
     match std::fs::write(&ppath, pjson) {
         Ok(()) => println!("[written {}]", ppath.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", ppath.display()),
+        Err(e) => {
+            eprintln!("FAIL: could not write {}: {e}", ppath.display());
+            std::process::exit(1);
+        }
     }
 
     // The acceptance criteria are enforced, not just printed: a CI run

@@ -1,0 +1,213 @@
+//! Variable-length LM dispatch sweep (ISSUE 4): exact shape-group
+//! splitting vs. length-bucketed padded batching on a mixed-length trace.
+//!
+//! Builds the TinyLm runtime, synthesizes a trace of token requests with
+//! uniformly mixed sequence lengths (1..=context), cuts it into
+//! `max_batch`-sized dispatches, and times two dispatch strategies:
+//!
+//! * **grouped** — the worker's old policy: each dispatch splits into
+//!   exact-length groups, one stacked `infer_batch` per group (a
+//!   16-request dispatch with 8 distinct lengths pays 8 passes).
+//! * **bucketed** — the new policy: `plan_buckets` merges power-of-two
+//!   length buckets under the padding-waste cap and each group runs one
+//!   padded masked pass (`infer_batch_varlen_traced`).
+//!
+//! Emits `BENCH_varlen.json` at the workspace root (and a CSV under
+//! `results/`). Bucketed must beat grouped at both the INT8 and
+//! 100%-4-bit levels — enforced here (exit 1) and re-checked by the CI
+//! `bench_check` gate. Outputs of the two strategies are also verified
+//! bit-identical before timing, so the speedup can never come from
+//! skipped or approximated work.
+//!
+//! `FLEXIQ_BENCH_REPS` overrides the auto-calibrated repetition count.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_core::pipeline::{prepare, FlexiQConfig};
+use flexiq_core::runtime::LEVEL_INT8;
+use flexiq_core::selection::Strategy;
+use flexiq_core::FlexiRuntime;
+use flexiq_nn::data::{gen_token_stream, lm_sequences};
+use flexiq_nn::zoo::{ModelId, Scale, TinyLmCfg};
+use flexiq_serve::bucket::plan_buckets;
+use flexiq_tensor::rng::seeded;
+use flexiq_tensor::Tensor;
+use rand::Rng;
+
+const REQUESTS: usize = 64;
+const MAX_BATCH: usize = 16;
+const WASTE_CAP: f64 = 0.5;
+
+/// One dispatch strategy's execution of a whole trace.
+fn run_grouped(rt: &FlexiRuntime, dispatches: &[Vec<Tensor>]) -> (Vec<Tensor>, usize) {
+    let mut outputs = Vec::new();
+    let mut passes = 0usize;
+    for dispatch in dispatches {
+        let mut by_len: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, x) in dispatch.iter().enumerate() {
+            by_len.entry(x.numel()).or_default().push(i);
+        }
+        let mut outs: Vec<Option<Tensor>> = vec![None; dispatch.len()];
+        for (_, members) in by_len {
+            let inputs: Vec<Tensor> = members.iter().map(|&i| dispatch[i].clone()).collect();
+            let ys = rt.infer_batch(&inputs).expect("grouped dispatch");
+            passes += 1;
+            for (&i, y) in members.iter().zip(ys) {
+                outs[i] = Some(y);
+            }
+        }
+        outputs.extend(outs.into_iter().map(|o| o.expect("answered")));
+    }
+    (outputs, passes)
+}
+
+fn run_bucketed(rt: &FlexiRuntime, dispatches: &[Vec<Tensor>]) -> (Vec<Tensor>, usize) {
+    let mut outputs = Vec::new();
+    let mut passes = 0usize;
+    for dispatch in dispatches {
+        let lens: Vec<usize> = dispatch.iter().map(Tensor::numel).collect();
+        let mut outs: Vec<Option<Tensor>> = vec![None; dispatch.len()];
+        for group in plan_buckets(&lens, WASTE_CAP) {
+            let inputs: Vec<Tensor> = group.members.iter().map(|&i| dispatch[i].clone()).collect();
+            let (ys, _) = rt
+                .infer_batch_varlen_traced(&inputs, Some(group.pad_len(&lens)))
+                .expect("bucketed dispatch");
+            passes += 1;
+            for (&i, y) in group.members.iter().zip(ys) {
+                outs[i] = Some(y);
+            }
+        }
+        outputs.extend(outs.into_iter().map(|o| o.expect("answered")));
+    }
+    (outputs, passes)
+}
+
+fn time_strategy(run: impl Fn() -> (Vec<Tensor>, usize), reps: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(run());
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let cfg = TinyLmCfg::at(Scale::Test);
+    println!("preparing TinyLm (test scale) for the varlen dispatch sweep...");
+    let graph = ModelId::TinyLm.build(Scale::Test).unwrap();
+    let seqs = lm_sequences(
+        &gen_token_stream(cfg.vocab, (REQUESTS + 8) * cfg.context, 0x7A12),
+        cfg.context,
+    );
+    let prepared = prepare(&graph, &seqs[..8], &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    let rt = prepared.runtime;
+
+    // Mixed-length trace: uniform lengths over 1..=context, dispatched in
+    // arrival order — the shape-group splitter sees ~context distinct
+    // lengths per 16-request dispatch.
+    let mut rng = seeded(0xBCC7);
+    let requests: Vec<Tensor> = (0..REQUESTS)
+        .map(|i| {
+            let len = rng.gen_range(1..=cfg.context);
+            seqs[8 + (i % (seqs.len() - 8))].slice_axis0(len).unwrap()
+        })
+        .collect();
+    let dispatches: Vec<Vec<Tensor>> = requests.chunks(MAX_BATCH).map(<[Tensor]>::to_vec).collect();
+
+    // Calibrate repetitions off one grouped run (the slower strategy).
+    rt.set_level(LEVEL_INT8).unwrap();
+    let once = time_strategy(|| run_grouped(&rt, &dispatches), 1);
+    let reps = std::env::var("FLEXIQ_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|r| r.max(1))
+        .unwrap_or_else(|| ((0.3 / once.max(1e-6)) as usize).clamp(3, 500));
+
+    let mut table = ResultTable::new(
+        "Varlen dispatch: mixed-length trace total latency (ms) per strategy",
+        &["level", "strategy", "passes", "total_ms", "speedup"],
+    );
+    let mut json = String::from("{\n  \"model\": \"tiny_lm\",\n  \"scale\": \"test\",\n");
+    let _ = writeln!(json, "  \"requests\": {REQUESTS},");
+    let _ = writeln!(json, "  \"max_batch\": {MAX_BATCH},");
+    let _ = writeln!(json, "  \"waste_cap\": {WASTE_CAP},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"levels\": [\n");
+
+    let levels: [(usize, &str); 2] = [(LEVEL_INT8, "int8"), (rt.num_levels() - 1, "flexiq_100")];
+    let mut all_pass = true;
+    for (li, (level, name)) in levels.iter().enumerate() {
+        rt.set_level(*level).unwrap();
+        // Correctness first, at every measured level: both strategies
+        // must produce byte-identical outputs (the mask invariant)
+        // before any timing is trusted — also the warm-up.
+        let (ys_grouped, grouped_passes) = run_grouped(&rt, &dispatches);
+        let (ys_bucketed, bucketed_passes) = run_bucketed(&rt, &dispatches);
+        for (i, (a, b)) in ys_grouped.iter().zip(ys_bucketed.iter()).enumerate() {
+            assert_eq!(a.dims(), b.dims(), "[{name}] request {i} shape diverged");
+            for (x, y) in a.data().iter().zip(b.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "[{name}] request {i} diverged");
+            }
+        }
+        println!("[{name}: strategies agree bit-for-bit on the whole trace]");
+        let grouped = time_strategy(|| run_grouped(&rt, &dispatches), reps);
+        let bucketed = time_strategy(|| run_bucketed(&rt, &dispatches), reps);
+        let speedup = grouped / bucketed;
+        table.row(vec![
+            name.to_string(),
+            "grouped".into(),
+            grouped_passes.to_string(),
+            f2(grouped * 1e3),
+            "1.00".into(),
+        ]);
+        table.row(vec![
+            name.to_string(),
+            "bucketed".into(),
+            bucketed_passes.to_string(),
+            f2(bucketed * 1e3),
+            f2(speedup),
+        ]);
+        let _ = writeln!(
+            json,
+            "    {{\"level\": \"{name}\", \"grouped_total_ms\": {:.6}, \"bucketed_total_ms\": {:.6}, \"grouped_passes\": {grouped_passes}, \"bucketed_passes\": {bucketed_passes}, \"speedup\": {:.4}}}{}",
+            grouped * 1e3,
+            bucketed * 1e3,
+            speedup,
+            if li + 1 < levels.len() { "," } else { "" }
+        );
+        let pass = bucketed < grouped;
+        all_pass &= pass;
+        println!(
+            "[{name}] trace total: grouped {:.3} ms ({grouped_passes} passes), bucketed {:.3} ms ({bucketed_passes} passes) — {}",
+            grouped * 1e3,
+            bucketed * 1e3,
+            if pass {
+                "PASS: bucketing amortizes mixed lengths"
+            } else {
+                "FAIL"
+            }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    table.emit("varlen_dispatch");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_varlen.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[written {}]", path.display()),
+        // A stale artifact would let the bench_check gate validate old
+        // numbers and silently pass — a failed write must fail the run.
+        Err(e) => {
+            eprintln!("FAIL: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    if !all_pass {
+        eprintln!("FAIL: bucketed padded batching did not beat shape-group splitting");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Performance gate over the `BENCH_*.json` artifacts (`bench_check`).
+//!
+//! CI has always *run* the scaling sweeps but never read their numbers —
+//! a perf regression that still exited 0 (or a sweep quietly downgraded
+//! to unenforced) would merge silently. The gate re-derives the
+//! acceptance criteria from the emitted JSON, so the check is decoupled
+//! from the bench binaries' own exit codes and can be re-run on archived
+//! artifacts:
+//!
+//! * `BENCH_batch.json` — batched N=16 per-sample latency must beat both
+//!   the sequential per-sample baseline and the N=1 stacked pass, per
+//!   level (batching must amortize).
+//! * `BENCH_parallel.json` — on multi-core runners (`enforced: true`),
+//!   the 4-thread N=16 total must beat 1-thread, per level.
+//! * `BENCH_varlen.json` — bucketed padded batching must beat exact
+//!   shape-group splitting on the mixed-length LM trace, per level.
+
+use crate::json::Json;
+
+/// One named pass/fail criterion derived from a bench artifact.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Human-readable criterion, e.g. `batch[int8]: N=16 < sequential`.
+    pub name: String,
+    /// Whether the artifact satisfies it.
+    pub pass: bool,
+    /// The numbers behind the verdict.
+    pub detail: String,
+}
+
+impl GateCheck {
+    fn new(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> Self {
+        GateCheck {
+            name: name.into(),
+            pass,
+            detail: detail.into(),
+        }
+    }
+}
+
+fn levels_of<'j>(doc: &'j Json, file: &str) -> Result<&'j [Json], String> {
+    doc.get("levels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{file}: missing \"levels\" array"))
+}
+
+fn level_name(level: &Json) -> &str {
+    level.get("level").and_then(Json::as_str).unwrap_or("?")
+}
+
+/// Finds the point with `key == want` in a level's `points` array and
+/// reads `field` from it.
+fn point_field(level: &Json, key: &str, want: f64, field: &str) -> Option<f64> {
+    level
+        .get("points")?
+        .as_arr()?
+        .iter()
+        .find(|p| p.num(key) == Some(want))?
+        .num(field)
+}
+
+/// Criteria over `BENCH_batch.json`: batching must amortize per-sample
+/// cost at N=16, against both the sequential baseline and N=1.
+pub fn check_batch(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let mut checks = Vec::new();
+    for level in levels_of(doc, "BENCH_batch.json")? {
+        let name = level_name(level);
+        let n16 = point_field(level, "batch", 16.0, "per_sample_ms")
+            .ok_or_else(|| format!("batch[{name}]: no N=16 point"))?;
+        let n1 = point_field(level, "batch", 1.0, "per_sample_ms")
+            .ok_or_else(|| format!("batch[{name}]: no N=1 point"))?;
+        let seq = level
+            .num("sequential_16_per_sample_ms")
+            .ok_or_else(|| format!("batch[{name}]: no sequential baseline"))?;
+        checks.push(GateCheck::new(
+            format!("batch[{name}]: N=16 per-sample < sequential"),
+            n16 < seq,
+            format!("{n16:.4} ms vs {seq:.4} ms"),
+        ));
+        checks.push(GateCheck::new(
+            format!("batch[{name}]: N=16 per-sample < N=1"),
+            n16 < n1,
+            format!("{n16:.4} ms vs {n1:.4} ms"),
+        ));
+    }
+    if checks.is_empty() {
+        return Err("BENCH_batch.json: no levels".into());
+    }
+    Ok(checks)
+}
+
+/// Criteria over `BENCH_parallel.json`: 4 intra-batch threads must beat
+/// 1 thread wherever the sweep declared itself enforceable (multi-core).
+pub fn check_parallel(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let enforced = doc
+        .get("enforced")
+        .and_then(Json::as_bool)
+        .ok_or("BENCH_parallel.json: missing \"enforced\"")?;
+    let mut checks = Vec::new();
+    for level in levels_of(doc, "BENCH_parallel.json")? {
+        let name = level_name(level);
+        let t1 = point_field(level, "threads", 1.0, "total_ms")
+            .ok_or_else(|| format!("parallel[{name}]: no 1-thread point"))?;
+        let t4 = point_field(level, "threads", 4.0, "total_ms")
+            .ok_or_else(|| format!("parallel[{name}]: no 4-thread point"))?;
+        if enforced {
+            checks.push(GateCheck::new(
+                format!("parallel[{name}]: 4-thread total < 1-thread"),
+                t4 < t1,
+                format!("{t4:.3} ms vs {t1:.3} ms"),
+            ));
+        } else {
+            checks.push(GateCheck::new(
+                format!("parallel[{name}]: not enforced (single-core runner)"),
+                true,
+                format!("{t4:.3} ms vs {t1:.3} ms, informational"),
+            ));
+        }
+    }
+    if checks.is_empty() {
+        return Err("BENCH_parallel.json: no levels".into());
+    }
+    Ok(checks)
+}
+
+/// Criteria over `BENCH_varlen.json`: bucketed padded batching must beat
+/// per-shape-group splitting on the mixed-length trace, per level.
+pub fn check_varlen(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let mut checks = Vec::new();
+    for level in levels_of(doc, "BENCH_varlen.json")? {
+        let name = level_name(level);
+        let grouped = level
+            .num("grouped_total_ms")
+            .ok_or_else(|| format!("varlen[{name}]: no grouped total"))?;
+        let bucketed = level
+            .num("bucketed_total_ms")
+            .ok_or_else(|| format!("varlen[{name}]: no bucketed total"))?;
+        checks.push(GateCheck::new(
+            format!("varlen[{name}]: bucketed total < shape-grouped"),
+            bucketed < grouped,
+            format!("{bucketed:.3} ms vs {grouped:.3} ms"),
+        ));
+    }
+    if checks.is_empty() {
+        return Err("BENCH_varlen.json: no levels".into());
+    }
+    Ok(checks)
+}
+
+/// Runs every gate over artifact texts (missing file = `None` = failed
+/// gate, since CI produces all three right before the check). Returns the
+/// checks and the overall verdict.
+pub fn run_gate(
+    batch: Option<&str>,
+    parallel: Option<&str>,
+    varlen: Option<&str>,
+) -> (Vec<GateCheck>, bool) {
+    let mut checks = Vec::new();
+    for (file, text, check) in [
+        (
+            "BENCH_batch.json",
+            batch,
+            check_batch as fn(&Json) -> Result<Vec<GateCheck>, String>,
+        ),
+        ("BENCH_parallel.json", parallel, check_parallel),
+        ("BENCH_varlen.json", varlen, check_varlen),
+    ] {
+        match text {
+            None => checks.push(GateCheck::new(
+                format!("{file}: present"),
+                false,
+                "artifact missing — did the sweep run?",
+            )),
+            Some(text) => match Json::parse(text)
+                .map_err(|e| format!("{file}: {e}"))
+                .and_then(|doc| check(&doc))
+            {
+                Ok(mut file_checks) => checks.append(&mut file_checks),
+                Err(e) => checks.push(GateCheck::new(format!("{file}: parses"), false, e)),
+            },
+        }
+    }
+    let all_pass = checks.iter().all(|c| c.pass);
+    (checks, all_pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_doc(n16: f64, seq: f64) -> String {
+        format!(
+            "{{\"levels\": [{{\"level\": \"int8\", \"points\": [\
+             {{\"batch\": 1, \"per_sample_ms\": 1.0}}, \
+             {{\"batch\": 16, \"per_sample_ms\": {n16}}}], \
+             \"sequential_16_per_sample_ms\": {seq}}}]}}"
+        )
+    }
+
+    fn parallel_doc(enforced: bool, t1: f64, t4: f64) -> String {
+        format!(
+            "{{\"enforced\": {enforced}, \"levels\": [{{\"level\": \"int8\", \"points\": [\
+             {{\"threads\": 1, \"total_ms\": {t1}}}, \
+             {{\"threads\": 4, \"total_ms\": {t4}}}]}}]}}"
+        )
+    }
+
+    fn varlen_doc(grouped: f64, bucketed: f64) -> String {
+        format!(
+            "{{\"levels\": [{{\"level\": \"int8\", \
+             \"grouped_total_ms\": {grouped}, \"bucketed_total_ms\": {bucketed}}}]}}"
+        )
+    }
+
+    #[test]
+    fn healthy_artifacts_pass() {
+        let (checks, ok) = run_gate(
+            Some(&batch_doc(0.4, 1.0)),
+            Some(&parallel_doc(true, 10.0, 4.0)),
+            Some(&varlen_doc(8.0, 3.0)),
+        );
+        assert!(ok, "checks: {checks:?}");
+        assert_eq!(checks.len(), 4);
+    }
+
+    #[test]
+    fn doctored_batch_regression_fails() {
+        // N=16 slower than sequential: the regression the gate exists for.
+        let doc = Json::parse(&batch_doc(1.2, 1.0)).unwrap();
+        let checks = check_batch(&doc).unwrap();
+        assert!(!checks[0].pass);
+        let (_, ok) = run_gate(
+            Some(&batch_doc(1.2, 1.0)),
+            Some(&parallel_doc(true, 10.0, 4.0)),
+            Some(&varlen_doc(8.0, 3.0)),
+        );
+        assert!(!ok);
+    }
+
+    #[test]
+    fn doctored_parallel_regression_fails_only_when_enforced() {
+        let flat = parallel_doc(true, 5.0, 5.0);
+        let doc = Json::parse(&flat).unwrap();
+        assert!(!check_parallel(&doc).unwrap()[0].pass);
+        // The same flat sweep on a single-core runner is informational.
+        let single = parallel_doc(false, 5.0, 5.0);
+        let doc = Json::parse(&single).unwrap();
+        assert!(check_parallel(&doc).unwrap()[0].pass);
+    }
+
+    #[test]
+    fn doctored_varlen_regression_fails() {
+        let doc = Json::parse(&varlen_doc(3.0, 8.0)).unwrap();
+        assert!(!check_varlen(&doc).unwrap()[0].pass);
+    }
+
+    #[test]
+    fn missing_or_malformed_artifacts_fail() {
+        let (checks, ok) = run_gate(None, Some("{not json"), Some(&varlen_doc(8.0, 3.0)));
+        assert!(!ok);
+        assert!(!checks[0].pass, "missing file must fail");
+        assert!(!checks[1].pass, "malformed file must fail");
+        // Structurally valid JSON missing the expected fields also fails.
+        let (_, ok) = run_gate(
+            Some("{\"levels\": []}"),
+            Some(&parallel_doc(true, 10.0, 4.0)),
+            Some(&varlen_doc(8.0, 3.0)),
+        );
+        assert!(!ok);
+    }
+}

@@ -10,6 +10,9 @@
 //! laptop CPU; the `FLEXIQ_SAMPLES`, `FLEXIQ_CALIB` and `FLEXIQ_EPOCHS`
 //! environment variables scale them up for higher-fidelity runs.
 
+pub mod gate;
+pub mod json;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;

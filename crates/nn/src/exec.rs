@@ -25,8 +25,26 @@
 //! batched im2col, conv channel groups) band their own disjoint output
 //! ranges. No float reduction is reordered anywhere, so parallel output
 //! is bit-exact with serial at every thread count.
+//!
+//! # Variable-length (padded) batches
+//!
+//! [`run_batch_masked`] walks a stacked batch whose samples are
+//! right-padded to a common bucket length, carrying a
+//! [`flexiq_tensor::SeqMask`] of per-sample valid prefixes. The mask
+//! reaches every operator that could otherwise leak padding into valid
+//! outputs: embeddings zero their pad rows without reading them,
+//! attention cores run a masked softmax restricted to valid keys (pad
+//! positions are *skipped*, never multiplied by a zero probability, so
+//! the float arithmetic of valid rows is untouched), token pooling
+//! averages each sample's valid prefix, and `AddParam` positional tables
+//! apply their leading rows. Compute hooks receive the mask through
+//! [`Compute::set_seq_mask`] so engines that inspect live batch values
+//! (dynamic extraction) can exclude pad rows. Everything else is
+//! per-token, which is what makes the invariant hold end to end: a
+//! padded batch's valid region is **bit-exact** with running each
+//! unpadded sample alone (pinned by `tests/varlen_equivalence.rs`).
 
-use flexiq_tensor::Tensor;
+use flexiq_tensor::{SeqMask, Tensor};
 
 use crate::error::NnError;
 use crate::graph::{Graph, LayerId, NodeId, Op};
@@ -79,6 +97,14 @@ pub trait Compute {
     fn batch_invariant(&self) -> bool {
         true
     }
+
+    /// Installs the sequence mask of the current padded batch (`None`
+    /// between masked dispatches). [`run_batch_masked`] calls this around
+    /// its walk; hooks whose arithmetic inspects **live** batch values —
+    /// the quantized engine's dynamic extraction — use it to exclude pad
+    /// rows from those statistics. The default ignores the mask, which is
+    /// correct for every per-element hook.
+    fn set_seq_mask(&mut self, _mask: Option<&SeqMask>) {}
 }
 
 /// Applies `f` to every sample slice of a stacked `[N, …]` tensor and
@@ -141,7 +167,7 @@ impl Compute for F32Compute {
 pub fn run(graph: &Graph, input: &Tensor, compute: &mut dyn Compute) -> Result<Tensor> {
     let output = graph.output()?;
     let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
-    eval(graph, output, input, compute, &mut memo, None, false)?;
+    eval(graph, output, input, compute, &mut memo, None, None, false)?;
     memo[output]
         .take()
         .ok_or_else(|| NnError::Invalid("output was not computed".into()))
@@ -159,10 +185,46 @@ pub fn run_f32(graph: &Graph, input: &Tensor) -> Result<Tensor> {
 /// batch rather than once per sample. The output keeps the leading batch
 /// axis; slice it with [`Tensor::index_axis0`].
 pub fn run_batch(graph: &Graph, input: &Tensor, compute: &mut dyn Compute) -> Result<Tensor> {
+    run_batch_masked(graph, input, None, compute)
+}
+
+/// Runs a **padded** stacked `[N, T, …]` batch in one pass, carrying a
+/// per-sample valid-length mask (see the module docs).
+///
+/// `mask = None` is exactly [`run_batch`]. With a mask, every sample's
+/// valid region of the output is bit-exact with running that sample
+/// unpadded through [`run`]; pad positions hold well-defined (zero or
+/// per-token-computed) values that no valid position ever reads.
+pub fn run_batch_masked(
+    graph: &Graph,
+    input: &Tensor,
+    mask: Option<&SeqMask>,
+    compute: &mut dyn Compute,
+) -> Result<Tensor> {
     let n = batch_size(input)?;
+    if let Some(m) = mask {
+        if m.n() != n {
+            return Err(NnError::Invalid(format!(
+                "sequence mask covers {} samples, batch has {n}",
+                m.n()
+            )));
+        }
+    }
     let output = graph.output()?;
     let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
-    eval(graph, output, input, compute, &mut memo, Some(n), false)?;
+    compute.set_seq_mask(mask);
+    let walked = eval(
+        graph,
+        output,
+        input,
+        compute,
+        &mut memo,
+        Some(n),
+        mask,
+        false,
+    );
+    compute.set_seq_mask(None);
+    walked?;
     memo[output]
         .take()
         .ok_or_else(|| NnError::Invalid("output was not computed".into()))
@@ -186,7 +248,7 @@ pub fn run_traced(
 ) -> Result<Vec<Option<Tensor>>> {
     let output = graph.output()?;
     let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
-    eval(graph, output, input, compute, &mut memo, None, true)?;
+    eval(graph, output, input, compute, &mut memo, None, None, true)?;
     Ok(memo)
 }
 
@@ -199,7 +261,16 @@ pub fn run_batch_traced(
     let n = batch_size(input)?;
     let output = graph.output()?;
     let mut memo: Vec<Option<Tensor>> = vec![None; graph.nodes().len()];
-    eval(graph, output, input, compute, &mut memo, Some(n), true)?;
+    eval(
+        graph,
+        output,
+        input,
+        compute,
+        &mut memo,
+        Some(n),
+        None,
+        true,
+    )?;
     Ok(memo)
 }
 
@@ -222,6 +293,7 @@ fn eval(
     compute: &mut dyn Compute,
     memo: &mut [Option<Tensor>],
     batch: Option<usize>,
+    mask: Option<&SeqMask>,
     retain_all: bool,
 ) -> Result<()> {
     if memo[id].is_some() {
@@ -273,7 +345,7 @@ fn eval(
         }
         memo[nid] = Some(match batch {
             None => apply_node(node, &resolved, input, compute)?,
-            Some(n) => apply_node_batch(node, &resolved, input, n, compute)?,
+            Some(n) => apply_node_batch_masked(node, &resolved, input, n, mask, compute)?,
         });
     }
     Ok(())
@@ -327,9 +399,43 @@ pub fn apply_node(
             compute.linear(lids[3], &wa.attn.o, &merged)?
         }
         Op::Reorder(perm) => tokens::reorder_channels(get(0)?, perm)?,
-        Op::AddParam(p) => get(0)?.add(p)?,
+        Op::AddParam(p) => add_param(get(0)?, p)?,
         Op::Embedding(emb) => emb.forward(get(0)?)?,
     })
+}
+
+/// `AddParam` with the positional-table prefix semantics documented on
+/// [`Op::AddParam`]: a `[T, C]` activation may be shorter than its
+/// `[P, C]` parameter (a variable-length sequence against a full-context
+/// positional table), in which case the parameter's first `T` rows
+/// apply. Every other shape difference — including an activation
+/// *longer* than the table — still fails with the usual shape mismatch
+/// from [`Tensor::add`].
+fn add_param(x: &Tensor, p: &Tensor) -> Result<Tensor> {
+    if x.dims() != p.dims()
+        && x.dims().len() == 2
+        && p.dims().len() == 2
+        && x.dims()[1] == p.dims()[1]
+        && x.dims()[0] < p.dims()[0]
+    {
+        return Ok(x.add(&p.slice_axis0(x.dims()[0])?)?);
+    }
+    Ok(x.add(p)?)
+}
+
+/// Batched [`add_param`]: broadcast over the batch axis, slicing the
+/// parameter's leading rows when the stacked `[N, T, C]` activation is
+/// shorter than the `[P, C]` parameter.
+fn add_param_batch(x: &Tensor, p: &Tensor) -> Result<Tensor> {
+    if x.dims().len() == 3
+        && p.dims().len() == 2
+        && &x.dims()[1..] != p.dims()
+        && x.dims()[2] == p.dims()[1]
+        && x.dims()[1] < p.dims()[0]
+    {
+        return Ok(x.add_bcast0(&p.slice_axis0(x.dims()[1])?)?);
+    }
+    Ok(x.add_bcast0(p)?)
 }
 
 /// Applies one node's operator to resolved **stacked** `[N, …]` input
@@ -346,10 +452,35 @@ pub fn apply_node_batch(
     n: usize,
     compute: &mut dyn Compute,
 ) -> Result<Tensor> {
+    apply_node_batch_masked(node, inputs, graph_input, n, None, compute)
+}
+
+/// [`apply_node_batch`] with a per-sample valid-length mask for padded
+/// variable-length batches.
+///
+/// The mask engages only on the operators where padding could leak:
+/// embeddings, attention cores (masked softmax), token pooling, and
+/// positional `AddParam` tables. It applies to an operator exactly when
+/// the activation is token-shaped for it — `[N, bucket]` ids or
+/// `[N, bucket, C]` tokens matching the mask — so CNN-side operators in
+/// the same graph are untouched.
+pub fn apply_node_batch_masked(
+    node: &crate::graph::Node,
+    inputs: &[Tensor],
+    graph_input: &Tensor,
+    n: usize,
+    mask: Option<&SeqMask>,
+    compute: &mut dyn Compute,
+) -> Result<Tensor> {
     let get = |slot: usize| -> Result<&Tensor> {
         inputs
             .get(slot)
             .ok_or_else(|| NnError::Invalid(format!("missing input {slot}")))
+    };
+    // The mask engages only where the activation is token-shaped for the
+    // operator at hand.
+    let mask_for = |dims: &[usize]| -> Option<&SeqMask> {
+        mask.filter(|m| dims.len() >= 2 && m.matches(dims[0], dims[1]))
     };
     Ok(match &node.op {
         Op::Input => graph_input.clone(),
@@ -364,20 +495,42 @@ pub fn apply_node_batch(
         Op::AvgPool { k, stride } => pool::avg_pool2d_batch(get(0)?, *k, *stride)?,
         Op::GlobalAvgPool => pool::global_avg_pool_batch(get(0)?)?,
         Op::ToTokens => tokens::to_tokens_batch(get(0)?)?,
-        Op::MeanTokens => tokens::mean_tokens_batch(get(0)?)?,
-        Op::PatchMerge { h, w } => tokens::patch_merge_batch(get(0)?, *h, *w)?,
+        Op::MeanTokens => {
+            let x = get(0)?;
+            tokens::mean_tokens_batch_masked(x, mask_for(x.dims()))?
+        }
+        Op::PatchMerge { h, w } => {
+            let x = get(0)?;
+            // PatchMerge mixes tokens across positions with no mask
+            // support: silently running it on a padded batch would leak
+            // pad rows into valid outputs, so a matching mask is a hard
+            // error, not a latent corruption.
+            if mask_for(x.dims()).is_some() {
+                return Err(NnError::Invalid(
+                    "patch_merge is not mask-aware; cannot run it over a padded batch".into(),
+                ));
+            }
+            tokens::patch_merge_batch(x, *h, *w)?
+        }
         Op::Attention(attn) => {
             let lids = node.layers_array()?;
             let x = get(0)?;
             let q = compute.linear_batch(lids[0], &attn.q, x, n)?;
             let k = compute.linear_batch(lids[1], &attn.k, x, n)?;
             let v = compute.linear_batch(lids[2], &attn.v, x, n)?;
-            let core = attn.core_batch(&q, &k, &v)?;
+            let core = attn.core_batch_masked(&q, &k, &v, mask_for(q.dims()))?;
             compute.linear_batch(lids[3], &attn.o, &core, n)?
         }
         Op::WindowAttention(wa) => {
             let x = get(0)?;
             let lids = node.layers_array()?;
+            // Window attention mixes tokens across its (spatial) grid
+            // with no mask support — same hard error as PatchMerge.
+            if mask_for(x.dims()).is_some() {
+                return Err(NnError::Invalid(
+                    "window attention is not mask-aware; cannot run it over a padded batch".into(),
+                ));
+            }
             // Projections are per-token, so they run batched on the full
             // stack; the window cores run per sample, fanned across the
             // ambient pool (samples are independent, so parallel output
@@ -404,8 +557,21 @@ pub fn apply_node_batch(
             compute.linear_batch(lids[3], &wa.attn.o, &merged, n)?
         }
         Op::Reorder(perm) => tokens::reorder_channels_batch(get(0)?, perm)?,
-        Op::AddParam(p) => get(0)?.add_bcast0(p)?,
-        Op::Embedding(emb) => map_samples(get(0)?, n, |ids| emb.forward(ids))?,
+        Op::AddParam(p) => add_param_batch(get(0)?, p)?,
+        Op::Embedding(emb) => {
+            let ids = get(0)?;
+            match mask_for(ids.dims()) {
+                Some(m) => {
+                    let mut s = 0usize;
+                    map_samples(ids, n, |row| {
+                        let y = emb.forward_masked(row, m.len_of(s));
+                        s += 1;
+                        y
+                    })?
+                }
+                None => map_samples(ids, n, |ids| emb.forward(ids))?,
+            }
+        }
     })
 }
 

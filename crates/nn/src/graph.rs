@@ -77,6 +77,12 @@ pub enum Op {
     /// Channel permutation (inserted by the layout pass, §5).
     Reorder(Vec<usize>),
     /// Adds a stored parameter tensor (e.g. positional embeddings).
+    ///
+    /// **Contract:** a rank-2 `[P, C]` parameter is a *positional
+    /// table*: an activation with the same channel count but fewer rows
+    /// (`[T, C]`, `T < P` — a variable-length sequence against a
+    /// full-context table) applies the table's first `T` rows. Any other
+    /// shape difference is an error, exactly as for [`Tensor::add`].
     AddParam(Tensor),
     /// Token-embedding lookup (LM input).
     Embedding(Embedding),

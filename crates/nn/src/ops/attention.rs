@@ -6,7 +6,7 @@
 //! weighted sum) runs in floating point, matching the paper's convention
 //! that only convolutions and linear operations use integer arithmetic.
 
-use flexiq_tensor::Tensor;
+use flexiq_tensor::{SeqMask, Tensor};
 
 use crate::error::NnError;
 use crate::ops::act::softmax_lastdim;
@@ -114,6 +114,71 @@ impl Attention {
         Ok(Tensor::from_vec([t, c], out)?)
     }
 
+    /// Length-masked attention core over `[T, C]` projections padded to
+    /// `T` positions, of which only the first `len` are real.
+    ///
+    /// The masked softmax restricts every score row to the valid keys
+    /// `j < len` (on top of the causal constraint, if any), and pad query
+    /// rows `i >= len` are written as zeros without touching the
+    /// arithmetic of valid rows. The valid region is **bit-exact** with
+    /// [`Attention::core`] on the unpadded `[len, C]` slices: the loops
+    /// below reproduce that call's reduction orders element for element,
+    /// and pad positions are skipped outright (never multiplied by a zero
+    /// probability), so no pad value — however extreme — can perturb a
+    /// valid output.
+    pub fn core_masked(&self, q: &Tensor, k: &Tensor, v: &Tensor, len: usize) -> Result<Tensor> {
+        let t = q.dims().first().copied().unwrap_or(0);
+        let c = self.width();
+        if q.dims() != [t, c] || k.dims() != [t, c] || v.dims() != [t, c] {
+            return Err(NnError::BadActivation {
+                op: "attention_core",
+                expected: format!("[T, {c}] projections"),
+                got: q.dims().to_vec(),
+            });
+        }
+        if len == 0 || len > t {
+            return Err(NnError::Invalid(format!(
+                "attention mask length {len} outside 1..={t}"
+            )));
+        }
+        if len == t {
+            return self.core(q, k, v);
+        }
+        let dh = c / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        // Pad query rows stay exactly zero.
+        let mut out = vec![0.0f32; t * c];
+        for h in 0..self.heads {
+            // Scores over the valid block only: [len, len], laid out and
+            // reduced exactly as `core` would for a [len, C] input.
+            let mut scores = vec![0.0f32; len * len];
+            for i in 0..len {
+                for j in 0..len {
+                    if self.causal && j > i {
+                        scores[i * len + j] = f32::NEG_INFINITY;
+                        continue;
+                    }
+                    let mut acc = 0.0f32;
+                    for d in 0..dh {
+                        acc += q.data()[i * c + h * dh + d] * k.data()[j * c + h * dh + d];
+                    }
+                    scores[i * len + j] = acc * scale;
+                }
+            }
+            let probs = softmax_lastdim(&Tensor::from_vec([len, len], scores)?)?;
+            for i in 0..len {
+                for d in 0..dh {
+                    let mut acc = 0.0f32;
+                    for j in 0..len {
+                        acc += probs.data()[i * len + j] * v.data()[j * c + h * dh + d];
+                    }
+                    out[i * c + h * dh + d] = acc;
+                }
+            }
+        }
+        Ok(Tensor::from_vec([t, c], out)?)
+    }
+
     /// Batched attention core over stacked `[N, T, C]` projections.
     ///
     /// Attention mixes tokens only **within** a sample, so the core runs
@@ -124,6 +189,24 @@ impl Attention {
     /// Projections are batched by the executor. Bit-exact per sample
     /// with [`Attention::core`].
     pub fn core_batch(&self, q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
+        self.core_batch_masked(q, k, v, None)
+    }
+
+    /// Batched attention core with an optional per-sample length mask
+    /// (the padded variable-length path).
+    ///
+    /// With `mask = None` (or a trivial mask) this is [`Attention::core_batch`];
+    /// otherwise each sample runs [`Attention::core_masked`] with its own
+    /// valid length, so one stacked dispatch serves mixed sequence
+    /// lengths while every sample's valid rows stay bit-exact with its
+    /// unpadded single-sample run.
+    pub fn core_batch_masked(
+        &self,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        mask: Option<&SeqMask>,
+    ) -> Result<Tensor> {
         if q.dims().len() != 3 || q.dims() != k.dims() || q.dims() != v.dims() {
             return Err(NnError::BadActivation {
                 op: "attention_core",
@@ -131,11 +214,24 @@ impl Attention {
                 got: q.dims().to_vec(),
             });
         }
-        let n = q.dims()[0];
+        let (n, t) = (q.dims()[0], q.dims()[1]);
+        if let Some(m) = mask {
+            if !m.matches(n, t) {
+                return Err(NnError::Invalid(format!(
+                    "sequence mask for {} x {} does not match [N={n}, T={t}] projections",
+                    m.n(),
+                    m.bucket()
+                )));
+            }
+        }
         let pool = flexiq_parallel::current();
         let outs = pool
             .map(n, |s| -> Result<Tensor> {
-                self.core(&q.index_axis0(s)?, &k.index_axis0(s)?, &v.index_axis0(s)?)
+                let (qs, ks, vs) = (q.index_axis0(s)?, k.index_axis0(s)?, v.index_axis0(s)?);
+                match mask {
+                    Some(m) if m.len_of(s) < t => self.core_masked(&qs, &ks, &vs, m.len_of(s)),
+                    _ => self.core(&qs, &ks, &vs),
+                }
             })
             .into_iter()
             .collect::<Result<Vec<_>>>()?;
@@ -333,6 +429,110 @@ mod tests {
             .map(|i| (y1.data()[24 + i] - y2.data()[24 + i]).abs())
             .sum();
         assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn masked_core_matches_unpadded_core_bit_exactly() {
+        for causal in [false, true] {
+            let attn = toy_attention(8, 2, causal, 201);
+            let mut rng = seeded(202);
+            let x = Tensor::randn([6, 8], 0.0, 1.0, &mut rng);
+            let project = |x: &Tensor| {
+                (
+                    attn.q.forward(x).unwrap(),
+                    attn.k.forward(x).unwrap(),
+                    attn.v.forward(x).unwrap(),
+                )
+            };
+            for len in 1..=5usize {
+                // Padded: full-context projections + mask.
+                let (q, k, v) = project(&x);
+                let masked = attn.core_masked(&q, &k, &v, len).unwrap();
+                // Unpadded: project and run on the [len, C] prefix alone.
+                let xs = x.slice_axis0(len).unwrap();
+                let (qs, ks, vs) = project(&xs);
+                let plain = attn.core(&qs, &ks, &vs).unwrap();
+                for (i, (a, b)) in masked.data()[..len * 8]
+                    .iter()
+                    .zip(plain.data().iter())
+                    .enumerate()
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "causal={causal} len={len} at {i}");
+                }
+                // Pad query rows are exactly zero.
+                assert!(masked.data()[len * 8..].iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn masked_core_ignores_pad_values() {
+        // Poison the pad region with huge values: valid rows must not move.
+        let attn = toy_attention(4, 2, false, 203);
+        let mut rng = seeded(204);
+        let mk = |x: &Tensor| {
+            (
+                attn.q.forward(x).unwrap(),
+                attn.k.forward(x).unwrap(),
+                attn.v.forward(x).unwrap(),
+            )
+        };
+        let x = Tensor::randn([4, 4], 0.0, 1.0, &mut rng);
+        let (q, k, v) = mk(&x);
+        let clean = attn.core_masked(&q, &k, &v, 2).unwrap();
+        let poison = |t: &Tensor| {
+            let mut p = t.clone();
+            for val in &mut p.data_mut()[2 * 4..] {
+                *val = f32::NAN;
+            }
+            p
+        };
+        let dirty = attn
+            .core_masked(&poison(&q), &poison(&k), &poison(&v), 2)
+            .unwrap();
+        for (a, b) in clean.data()[..2 * 4].iter().zip(dirty.data().iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "pad values leaked into valid rows"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_core_batch_handles_mixed_lengths() {
+        use flexiq_tensor::SeqMask;
+        let attn = toy_attention(4, 2, true, 205);
+        let mut rng = seeded(206);
+        let q = Tensor::randn([3, 4, 4], 0.0, 1.0, &mut rng);
+        let k = Tensor::randn([3, 4, 4], 0.0, 1.0, &mut rng);
+        let v = Tensor::randn([3, 4, 4], 0.0, 1.0, &mut rng);
+        let mask = SeqMask::new(vec![1, 4, 2], 4).unwrap();
+        let yb = attn.core_batch_masked(&q, &k, &v, Some(&mask)).unwrap();
+        for s in 0..3 {
+            let yi = attn
+                .core_masked(
+                    &q.index_axis0(s).unwrap(),
+                    &k.index_axis0(s).unwrap(),
+                    &v.index_axis0(s).unwrap(),
+                    mask.len_of(s),
+                )
+                .unwrap();
+            for (a, b) in yb.index_axis0(s).unwrap().data().iter().zip(yi.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {s}");
+            }
+        }
+        // A mask sized for a different batch is rejected.
+        let bad = SeqMask::new(vec![1, 2], 4).unwrap();
+        assert!(attn.core_batch_masked(&q, &k, &v, Some(&bad)).is_err());
+        assert!(attn
+            .core_masked(
+                &q.index_axis0(0).unwrap(),
+                &k.index_axis0(0).unwrap(),
+                &v.index_axis0(0).unwrap(),
+                0
+            )
+            .is_err());
     }
 
     #[test]

@@ -172,6 +172,70 @@ impl Linear {
             Ok(y.reshape([n, t, self.c_out()])?)
         }
     }
+
+    /// [`Linear::forward_batch`] over a padded batch: token rows flagged
+    /// invalid in `valid` (length `N*T`, row-major over the stack) are
+    /// **skipped** — their output rows are exact zeros and cost no
+    /// arithmetic. Valid rows keep the reduction order of
+    /// [`Linear::forward`], so they are bit-exact with the unmasked call;
+    /// this is where padded variable-length batching stops paying compute
+    /// for pad positions.
+    pub fn forward_batch_masked(&self, x: &Tensor, valid: &[bool]) -> Result<Tensor> {
+        let (n, t, c_in) = self.check_input_batch(x)?;
+        let rows = n * t;
+        if valid.len() != rows {
+            return Err(NnError::Invalid(format!(
+                "row mask covers {} rows, batch has {rows}",
+                valid.len()
+            )));
+        }
+        let c_out = self.c_out();
+        let mut out = vec![0.0f32; rows * c_out];
+        let token_rows = |band: std::ops::Range<usize>, chunk: &mut [f32]| {
+            let t0 = band.start;
+            for ti in band {
+                if !valid[ti] {
+                    continue;
+                }
+                let xrow = &x.data()[ti * c_in..(ti + 1) * c_in];
+                let orow = &mut chunk[(ti - t0) * c_out..(ti - t0 + 1) * c_out];
+                for o in 0..c_out {
+                    let wrow = &self.weight.data()[o * c_in..(o + 1) * c_in];
+                    let mut acc = 0.0f32;
+                    for c in 0..c_in {
+                        acc += xrow[c] * wrow[c];
+                    }
+                    orow[o] = acc;
+                }
+                if let Some(bias) = &self.bias {
+                    for (o, &b) in bias.iter().enumerate() {
+                        orow[o] += b;
+                    }
+                }
+            }
+        };
+        let work: usize = valid.iter().filter(|&&v| v).count() * c_out * c_in;
+        let worth_it = !flexiq_parallel::in_task() && rows >= 2 && work >= gemm::PAR_MIN_WORK;
+        let pool = worth_it.then(flexiq_parallel::current);
+        match pool {
+            Some(pool) if pool.threads() >= 2 => {
+                let bands = flexiq_parallel::chunk_ranges(rows, pool.threads() * 4);
+                let elems: Vec<std::ops::Range<usize>> = bands
+                    .iter()
+                    .map(|r| r.start * c_out..r.end * c_out)
+                    .collect();
+                pool.run_disjoint_mut(&mut out, &elems, |bi, chunk| {
+                    token_rows(bands[bi].clone(), chunk)
+                });
+            }
+            _ => token_rows(0..rows, &mut out),
+        }
+        if x.dims().len() == 2 {
+            Ok(Tensor::from_vec([n, c_out], out)?)
+        } else {
+            Ok(Tensor::from_vec([n, t, c_out], out)?)
+        }
+    }
 }
 
 /// A token-embedding table for the language-model case study (§8.10).
@@ -220,6 +284,41 @@ impl Embedding {
         let (t, c) = (ids.numel(), self.dim());
         let mut out = vec![0.0f32; t * c];
         for (ti, &idf) in ids.data().iter().enumerate() {
+            let id = idf as usize;
+            if idf < 0.0 || id >= self.vocab() || idf.fract() != 0.0 {
+                return Err(NnError::Invalid(format!(
+                    "token id {idf} invalid for vocab {}",
+                    self.vocab()
+                )));
+            }
+            out[ti * c..(ti + 1) * c].copy_from_slice(&self.table.data()[id * c..(id + 1) * c]);
+        }
+        Ok(Tensor::from_vec([t, c], out)?)
+    }
+
+    /// Looks up a right-padded id sequence: the first `len` ids are real
+    /// and validated; the padded tail embeds to exact zero rows without
+    /// ever reading the table (pad slots may hold any value).
+    ///
+    /// The valid prefix is bit-exact with [`Embedding::forward`] on the
+    /// unpadded `[len]` ids.
+    pub fn forward_masked(&self, ids: &Tensor, len: usize) -> Result<Tensor> {
+        if ids.shape().rank() != 1 {
+            return Err(NnError::BadActivation {
+                op: "embedding",
+                expected: "rank-1 id tensor [T]".into(),
+                got: ids.dims().to_vec(),
+            });
+        }
+        let t = ids.numel();
+        if len == 0 || len > t {
+            return Err(NnError::Invalid(format!(
+                "embedding mask length {len} outside 1..={t}"
+            )));
+        }
+        let c = self.dim();
+        let mut out = vec![0.0f32; t * c];
+        for (ti, &idf) in ids.data().iter().enumerate().take(len) {
             let id = idf as usize;
             if idf < 0.0 || id >= self.vocab() || idf.fract() != 0.0 {
                 return Err(NnError::Invalid(format!(
@@ -306,6 +405,39 @@ mod tests {
     }
 
     #[test]
+    fn masked_batched_forward_skips_pad_rows_bit_exactly() {
+        let mut rng = seeded(93);
+        let lin = Linear::new(
+            Tensor::randn([3, 4], 0.0, 0.5, &mut rng),
+            Some(vec![0.1, -0.2, 0.3]),
+        )
+        .unwrap();
+        // [2, 3, 4] stack with the last row of each sample padded; pads
+        // hold NaN to prove they are never read.
+        let mut x = Tensor::randn([2, 3, 4], 0.0, 1.0, &mut rng);
+        for s in 0..2 {
+            for v in &mut x.data_mut()[(s * 3 + 2) * 4..(s * 3 + 3) * 4] {
+                *v = f32::NAN;
+            }
+        }
+        let valid = [true, true, false, true, true, false];
+        let y = lin.forward_batch_masked(&x, &valid).unwrap();
+        let y_full = lin.forward_batch(&x).unwrap();
+        for (r, &ok) in valid.iter().enumerate() {
+            let row = &y.data()[r * 3..(r + 1) * 3];
+            if ok {
+                for (a, b) in row.iter().zip(&y_full.data()[r * 3..(r + 1) * 3]) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "valid row {r} diverged");
+                }
+            } else {
+                assert!(row.iter().all(|&v| v == 0.0), "pad row {r} not zeroed");
+            }
+        }
+        // Mask length must match the row count.
+        assert!(lin.forward_batch_masked(&x, &valid[..4]).is_err());
+    }
+
+    #[test]
     fn rejects_bad_inputs() {
         let lin = Linear::new(Tensor::zeros([2, 3]), None).unwrap();
         assert!(lin.forward(&Tensor::zeros([4])).is_err());
@@ -321,6 +453,28 @@ mod tests {
         let ids = Tensor::from_vec([3], vec![2.0, 0.0, 1.0]).unwrap();
         let y = emb.forward(&ids).unwrap();
         assert_eq!(y.data(), &[20., 21., 0., 1., 10., 11.]);
+    }
+
+    #[test]
+    fn masked_embedding_zeroes_pad_rows_without_reading_them() {
+        let table = Tensor::from_vec([3, 2], vec![0., 1., 10., 11., 20., 21.]).unwrap();
+        let emb = Embedding::new(table).unwrap();
+        // Pad slots hold an out-of-vocab id: must not error, must embed
+        // to zeros.
+        let ids = Tensor::from_vec([4], vec![2.0, 1.0, 99.0, -5.0]).unwrap();
+        let y = emb.forward_masked(&ids, 2).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        assert_eq!(&y.data()[..4], &[20., 21., 10., 11.]);
+        assert!(y.data()[4..].iter().all(|&v| v == 0.0));
+        // The valid prefix matches the unpadded lookup bit-exactly.
+        let plain = emb
+            .forward(&Tensor::from_vec([2], vec![2.0, 1.0]).unwrap())
+            .unwrap();
+        assert_eq!(&y.data()[..4], plain.data());
+        // Invalid ids inside the valid prefix still error.
+        assert!(emb.forward_masked(&ids, 3).is_err());
+        assert!(emb.forward_masked(&ids, 0).is_err());
+        assert!(emb.forward_masked(&ids, 5).is_err());
     }
 
     #[test]

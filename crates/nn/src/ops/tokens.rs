@@ -1,6 +1,6 @@
 //! Token-layout operators for transformer models.
 
-use flexiq_tensor::Tensor;
+use flexiq_tensor::{SeqMask, Tensor};
 
 use crate::error::NnError;
 use crate::Result;
@@ -90,6 +90,49 @@ pub fn mean_tokens_batch(x: &Tensor) -> Result<Tensor> {
         }
     }
     Ok(Tensor::from_vec([n, c], out)?)
+}
+
+/// Length-masked [`mean_tokens`]: mean over the first `len` tokens of a
+/// padded `[T, C]` matrix, bit-exact with [`mean_tokens`] on the unpadded
+/// `[len, C]` prefix (pad rows are never read, so their values cannot
+/// shift the sum or the divisor).
+pub fn mean_tokens_masked(x: &Tensor, len: usize) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 2 || dims[0] == 0 {
+        return Err(NnError::BadActivation {
+            op: "mean_tokens",
+            expected: "non-empty [T, C]".into(),
+            got: dims.to_vec(),
+        });
+    }
+    if len == 0 || len > dims[0] {
+        return Err(NnError::Invalid(format!(
+            "mean_tokens mask length {len} outside 1..={}",
+            dims[0]
+        )));
+    }
+    mean_tokens(&x.slice_axis0(len)?)
+}
+
+/// Length-masked [`mean_tokens_batch`]: each sample pools over its own
+/// valid prefix. With `mask = None` this is [`mean_tokens_batch`].
+pub fn mean_tokens_batch_masked(x: &Tensor, mask: Option<&SeqMask>) -> Result<Tensor> {
+    let Some(m) = mask else {
+        return mean_tokens_batch(x);
+    };
+    let dims = x.dims();
+    if dims.len() != 3 || !m.matches(dims[0], dims[1]) {
+        return Err(NnError::BadActivation {
+            op: "mean_tokens",
+            expected: format!("[{}, {}, C] masked batch", m.n(), m.bucket()),
+            got: dims.to_vec(),
+        });
+    }
+    let mut outs = Vec::with_capacity(dims[0]);
+    for s in 0..dims[0] {
+        outs.push(mean_tokens_masked(&x.index_axis0(s)?, m.len_of(s))?);
+    }
+    Ok(Tensor::stack(&outs)?)
 }
 
 /// Batched [`patch_merge`]: applies the 2×2 merge to every sample of an
@@ -320,6 +363,38 @@ mod tests {
         assert!(to_tokens_batch(&Tensor::zeros([2, 4, 4])).is_err());
         assert!(mean_tokens_batch(&Tensor::zeros([2, 0, 4])).is_err());
         assert!(reorder_channels_batch(&Tensor::zeros([4]), &[0]).is_err());
+    }
+
+    #[test]
+    fn masked_mean_tokens_pools_valid_prefix_only() {
+        use flexiq_tensor::rng::seeded;
+        let mut rng = seeded(87);
+        let x = Tensor::randn([4, 3], 0.0, 1.0, &mut rng);
+        for len in 1..=4usize {
+            let masked = mean_tokens_masked(&x, len).unwrap();
+            let plain = mean_tokens(&x.slice_axis0(len).unwrap()).unwrap();
+            for (a, b) in masked.data().iter().zip(plain.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len {len}");
+            }
+        }
+        assert!(mean_tokens_masked(&x, 0).is_err());
+        assert!(mean_tokens_masked(&x, 5).is_err());
+
+        let stack = Tensor::stack(&[x.clone(), x.clone()]).unwrap();
+        let mask = SeqMask::new(vec![2, 4], 4).unwrap();
+        let mb = mean_tokens_batch_masked(&stack, Some(&mask)).unwrap();
+        for (s, len) in [(0usize, 2usize), (1, 4)] {
+            let expect = mean_tokens_masked(&x, len).unwrap();
+            for (a, b) in mb.index_axis0(s).unwrap().data().iter().zip(expect.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {s}");
+            }
+        }
+        // No mask degenerates to the plain batched op.
+        let plain = mean_tokens_batch(&stack).unwrap();
+        let none = mean_tokens_batch_masked(&stack, None).unwrap();
+        assert_eq!(plain.data(), none.data());
+        let bad = SeqMask::new(vec![2], 4).unwrap();
+        assert!(mean_tokens_batch_masked(&stack, Some(&bad)).is_err());
     }
 
     #[test]

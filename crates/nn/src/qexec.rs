@@ -35,6 +35,14 @@
 //! one plan, one scale, and one extraction rule per group — §7's premise
 //! that a batch executes one configuration).
 //!
+//! Padded variable-length batches keep both properties: activation
+//! scales are **calibrated** per tensor, so pad rows cannot pollute
+//! them, and every quantized kernel is per-output-row, so pad rows never
+//! touch a valid row's accumulator. The one live statistic — dynamic
+//! extraction positions — honours the executor-installed
+//! [`crate::exec::Compute::set_seq_mask`] and derives from real rows
+//! only.
+//!
 //! Batched quantized layers are also internally parallel: activation
 //! quantization chunks, the 8-bit linear bands, the band GEMMs, and —
 //! for grouped/depthwise convolutions — whole conv groups fan across
@@ -47,7 +55,7 @@ use flexiq_quant::lowering::BitLowering;
 use flexiq_quant::quantize::{PerChannelQ, RANGE_EPS};
 use flexiq_quant::{GroupSpec, QParams, QuantBits};
 use flexiq_tensor::im2col::{im2col_i8, im2col_i8_batch};
-use flexiq_tensor::{gemm, I8Tensor, Tensor};
+use flexiq_tensor::{gemm, I8Tensor, SeqMask, Tensor};
 
 use crate::calibrate::CalibrationRecord;
 use crate::error::NnError;
@@ -359,6 +367,12 @@ pub struct QuantCompute<'m> {
     opts: QuantExecOptions,
     /// Cached effective f32 weights per layer (Fake mode).
     fake_weights: Vec<Option<Tensor>>,
+    /// Sequence mask of the current padded batch, installed by the
+    /// masked executor. Per-tensor activation scales are calibrated, so
+    /// pad rows never pollute them; the mask matters only for **live**
+    /// statistics — dynamic extraction positions — which must derive
+    /// from real rows alone.
+    seq_mask: Option<SeqMask>,
 }
 
 impl<'m> QuantCompute<'m> {
@@ -371,7 +385,25 @@ impl<'m> QuantCompute<'m> {
             plan,
             opts,
             fake_weights: vec![None; n],
+            seq_mask: None,
         })
+    }
+
+    /// Per-row validity of an `[N, T, C]` token stack under the installed
+    /// sequence mask (`None` when no non-trivial mask applies to this
+    /// shape — then every row is live).
+    fn row_mask(&self, n: usize, t: usize) -> Option<Vec<bool>> {
+        let m = self.seq_mask.as_ref()?;
+        if !m.matches(n, t) || m.is_trivial() {
+            return None;
+        }
+        let mut valid = Vec::with_capacity(n * t);
+        for s in 0..n {
+            for ti in 0..t {
+                valid.push(ti < m.len_of(s));
+            }
+        }
+        Some(valid)
     }
 
     /// The active plan.
@@ -482,12 +514,17 @@ impl<'m> QuantCompute<'m> {
     /// Fake-mode effective activation: per-channel lower + reconstruct.
     ///
     /// `gather(c)` yields the indices of `xq` belonging to channel `c`.
+    /// `live_ok(i)` says whether index `i` may contribute to **live**
+    /// extraction statistics (dynamic mode); pad rows of a masked batch
+    /// are excluded there, though their elements are still round-tripped
+    /// (a per-element operation that cannot affect valid rows).
     fn fake_effective_act(
         &self,
         l: LayerId,
         xq: &[i8],
         c_in: usize,
         gather: impl Fn(usize) -> Vec<usize>,
+        live_ok: impl Fn(usize) -> bool,
     ) -> Vec<f32> {
         let lq = &self.model.layers[l];
         let mut out: Vec<f32> = xq.iter().map(|&q| q as f32 * lq.act_scale).collect();
@@ -500,7 +537,14 @@ impl<'m> QuantCompute<'m> {
             for c in range {
                 idxs.extend(gather(c));
             }
-            let live: Vec<i8> = idxs.iter().map(|&i| xq[i]).collect();
+            let live: Vec<i8> = if self.needs_live() {
+                idxs.iter()
+                    .filter(|&&i| live_ok(i))
+                    .map(|&i| xq[i])
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let rule = self.act_rule(l, g, &live);
             for &i in &idxs {
                 out[i] = rule.round_trip(xq[i]) as f32 * lq.act_scale;
@@ -512,8 +556,13 @@ impl<'m> QuantCompute<'m> {
     fn linear_fake(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
         let (t, c_in) = lin.check_input(x)?;
         let xq = self.quantize_act(l, x);
-        let x_eff =
-            self.fake_effective_act(l, &xq, c_in, |c| (0..t).map(|ti| ti * c_in + c).collect());
+        let x_eff = self.fake_effective_act(
+            l,
+            &xq,
+            c_in,
+            |c| (0..t).map(|ti| ti * c_in + c).collect(),
+            |_| true,
+        );
         let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
         let w_eff = self.fake_weight(l)?.clone();
         let eff = Linear::new(w_eff, lin.bias.clone())?;
@@ -524,7 +573,8 @@ impl<'m> QuantCompute<'m> {
         let (c_in, h, w) = conv.check_input(x)?;
         let hw = h * w;
         let xq = self.quantize_act(l, x);
-        let x_eff = self.fake_effective_act(l, &xq, c_in, |c| (c * hw..(c + 1) * hw).collect());
+        let x_eff =
+            self.fake_effective_act(l, &xq, c_in, |c| (c * hw..(c + 1) * hw).collect(), |_| true);
         let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
         let w_eff = self.fake_weight(l)?.clone();
         let eff = Conv2d::new(w_eff, conv.bias.clone(), conv.stride, conv.pad, conv.groups)?;
@@ -706,12 +756,23 @@ impl<'m> QuantCompute<'m> {
         let (n, t, c_in) = lin.check_input_batch(x)?;
         let rows = n * t;
         let xq = self.quantize_act(l, x);
-        let x_eff =
-            self.fake_effective_act(l, &xq, c_in, |c| (0..rows).map(|r| r * c_in + c).collect());
+        let row_live = self.row_mask(n, t);
+        let x_eff = self.fake_effective_act(
+            l,
+            &xq,
+            c_in,
+            |c| (0..rows).map(|r| r * c_in + c).collect(),
+            |i| row_live.as_ref().is_none_or(|v| v[i / c_in]),
+        );
         let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
         let w_eff = self.fake_weight(l)?.clone();
         let eff = Linear::new(w_eff, lin.bias.clone())?;
-        eff.forward_batch(&x_eff)
+        match &row_live {
+            // Masked batch: pad rows are skipped outright — the padded
+            // pass pays GEMM compute for real tokens only.
+            Some(valid) => eff.forward_batch_masked(&x_eff, valid),
+            None => eff.forward_batch(&x_eff),
+        }
     }
 
     fn conv_fake_batch(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
@@ -720,11 +781,17 @@ impl<'m> QuantCompute<'m> {
         let hw = h * w;
         let chw = c_in * hw;
         let xq = self.quantize_act(l, x);
-        let x_eff = self.fake_effective_act(l, &xq, c_in, |c| {
-            (0..n)
-                .flat_map(|s| s * chw + c * hw..s * chw + (c + 1) * hw)
-                .collect()
-        });
+        let x_eff = self.fake_effective_act(
+            l,
+            &xq,
+            c_in,
+            |c| {
+                (0..n)
+                    .flat_map(|s| s * chw + c * hw..s * chw + (c + 1) * hw)
+                    .collect()
+            },
+            |_| true,
+        );
         let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
         let w_eff = self.fake_weight(l)?.clone();
         let eff = Conv2d::new(w_eff, conv.bias.clone(), conv.stride, conv.pad, conv.groups)?;
@@ -737,6 +804,7 @@ impl<'m> QuantCompute<'m> {
         let (n, t, c_in) = lin.check_input_batch(x)?;
         let rows = n * t;
         let c_out = lin.c_out();
+        let row_live = self.row_mask(n, t);
         let lq = &self.model.layers[l];
         let xq = self.quantize_act(l, x);
         let wq = lq.w_q.data();
@@ -750,10 +818,16 @@ impl<'m> QuantCompute<'m> {
             if !self.plan.low_groups[l][g] {
                 // 8-bit band over the whole stack; token rows are
                 // independent, so they band across the pool (integer
-                // adds in unchanged per-element order — bit-exact).
+                // adds in unchanged per-element order — bit-exact). Pad
+                // rows of a masked batch are skipped: their accumulator
+                // stays zero and they cost no multiplies.
+                let row_live = &row_live;
                 let band_rows = |trange: std::ops::Range<usize>, accband: &mut [i32]| {
                     let t0 = trange.start;
                     for ti in trange {
+                        if row_live.as_ref().is_some_and(|v| !v[ti]) {
+                            continue;
+                        }
                         for o in 0..c_out {
                             let mut s = 0i32;
                             for c in range.clone() {
@@ -783,20 +857,18 @@ impl<'m> QuantCompute<'m> {
                 continue;
             }
             let live: Vec<i8> = if self.needs_live() {
-                let xq = &xq;
+                // Pad rows of a masked batch carry no information about
+                // the real activations; dynamic extraction positions
+                // derive from live rows only.
+                let (xq, row_live) = (&xq, &row_live);
                 (0..rows)
+                    .filter(|&ti| row_live.as_ref().is_none_or(|v| v[ti]))
                     .flat_map(|ti| range.clone().map(move |c| xq[ti * c_in + c]))
                     .collect()
             } else {
                 Vec::new()
             };
             let a_rule = self.act_rule(l, g, &live);
-            let mut xg = vec![0i8; rows * bw];
-            for ti in 0..rows {
-                for (bi, c) in range.clone().enumerate() {
-                    xg[ti * bw + bi] = a_rule.lower(xq[ti * c_in + c]);
-                }
-            }
             // One lowered weight block [bw, C_out] for the whole batch.
             let mut w_rules = Vec::with_capacity(c_out);
             for o in 0..c_out {
@@ -808,12 +880,27 @@ impl<'m> QuantCompute<'m> {
                     wg[bi * c_out + o] = w_rules[o].lower(wq[o * c_in + c]);
                 }
             }
-            let mut scratch = vec![0i32; rows * c_out];
-            gemm::gemm_i8(rows, c_out, bw, &xg, &wg, &mut scratch);
-            for ti in 0..rows {
+            // Masked batches compact to their valid rows before the band
+            // GEMM: pad rows never enter the kernel (their accumulator
+            // stays zero), and each valid row's reduction order is
+            // untouched — bit-exact with the unmasked call.
+            let vrows: Vec<usize> = match &row_live {
+                Some(valid) => (0..rows).filter(|&r| valid[r]).collect(),
+                None => (0..rows).collect(),
+            };
+            let nv = vrows.len();
+            let mut xg = vec![0i8; nv * bw];
+            for (vi, &ti) in vrows.iter().enumerate() {
+                for (bi, c) in range.clone().enumerate() {
+                    xg[vi * bw + bi] = a_rule.lower(xq[ti * c_in + c]);
+                }
+            }
+            let mut scratch = vec![0i32; nv * c_out];
+            gemm::gemm_i8(nv, c_out, bw, &xg, &wg, &mut scratch);
+            for (vi, &ti) in vrows.iter().enumerate() {
                 for o in 0..c_out {
                     let shift = a_rule.shift() + w_rules[o].shift();
-                    acc[ti * c_out + o] += scratch[ti * c_out + o] << shift;
+                    acc[ti * c_out + o] += scratch[vi * c_out + o] << shift;
                 }
             }
         }
@@ -1011,6 +1098,10 @@ impl Compute for QuantCompute<'_> {
         // documented intentional divergence in the module docs), so
         // samplewise drivers must not silently stack under it.
         !self.needs_live()
+    }
+
+    fn set_seq_mask(&mut self, mask: Option<&SeqMask>) {
+        self.seq_mask = mask.cloned();
     }
 }
 

@@ -34,6 +34,25 @@ pub struct ServeConfig {
     /// means requests never expire. Individual submissions can override
     /// it.
     pub default_deadline: Option<Duration>,
+    /// Length-bucketed dispatch of variable-length token (LM) requests.
+    ///
+    /// When set, rank-1 token-id inputs in a dispatched batch are
+    /// planned into power-of-two length buckets, padded (tightly, to
+    /// each group's longest member) and executed as masked stacked
+    /// passes ([`flexiq_core::FlexiRuntime::infer_batch_varlen_traced`])
+    /// instead of being split into exact-shape groups — one dispatch
+    /// serves mixed sequence lengths. Outputs are bit-exact with
+    /// unpadded inference (the mask invariant), so this is purely a
+    /// throughput knob. Non-token inputs keep exact-shape grouping.
+    pub lm_bucketing: bool,
+    /// Padding-waste cap for bucket merging, in `[0, 1)`.
+    ///
+    /// Underfilled buckets merge into the next larger one while the
+    /// merged group's fraction of padded positions stays at or below
+    /// this cap (see [`crate::bucket::plan_buckets`]). `0.0` never
+    /// merges; the default `0.5` merges whenever the group still
+    /// computes more real than pad positions.
+    pub max_padding_waste: f64,
     /// Feedback-control parameters.
     pub control: ControlConfig,
 }
@@ -47,6 +66,8 @@ impl Default for ServeConfig {
             workers: 2,
             pool_threads: None,
             default_deadline: None,
+            lm_bucketing: true,
+            max_padding_waste: 0.5,
             control: ControlConfig::default(),
         }
     }
@@ -68,6 +89,12 @@ impl ServeConfig {
             return Err(ServeError::Config(
                 "pool_threads must be positive when set".into(),
             ));
+        }
+        if !(0.0..1.0).contains(&self.max_padding_waste) {
+            return Err(ServeError::Config(format!(
+                "max_padding_waste {} outside [0, 1)",
+                self.max_padding_waste
+            )));
         }
         self.control.validate()
     }
@@ -177,6 +204,16 @@ mod tests {
                 down_margin: 1.0,
                 ..Default::default()
             },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            max_padding_waste: 1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            max_padding_waste: -0.1,
             ..Default::default()
         };
         assert!(c.validate().is_err());

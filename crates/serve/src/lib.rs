@@ -44,6 +44,7 @@
 //! See `examples/live_serving.rs` for the full bursty-trace demo with
 //! the level trace and percentile report.
 
+pub mod bucket;
 pub mod config;
 pub mod controller;
 pub mod error;

@@ -117,6 +117,7 @@ impl Server {
             cfg.max_batch,
             cfg.batch_timeout,
             Arc::clone(&pool),
+            crate::worker::DispatchPolicy::from_config(&cfg),
         );
         let stop = Arc::new(AtomicBool::new(false));
         let control = controller.map(|ctl| {
@@ -383,6 +384,42 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn server_serves_mixed_length_lm_requests_end_to_end() {
+        // The full admission → bucketed dispatch → reply path on a live
+        // server: mixed-length token requests must come back bit-exact
+        // with unpadded single-sample inference.
+        let (rt, seqs) = crate::worker::tests::tiny_lm_runtime();
+        rt.set_level(0).unwrap();
+        let cfg = ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            batch_timeout: Duration::from_millis(2),
+            ..Default::default()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        let lens = [1usize, 4, 7, 2, 8, 5, 3, 6, 8, 1, 5, 7];
+        let inputs: Vec<Tensor> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| seqs[i % seqs.len()].slice_axis0(l).unwrap())
+            .collect();
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (i, (t, x)) in tickets.into_iter().zip(inputs.iter()).enumerate() {
+            let r = t.wait().unwrap();
+            let expect = rt.infer(x).unwrap();
+            assert_eq!(r.output.dims(), expect.dims(), "request {i} shape");
+            for (a, b) in r.output.data().iter().zip(expect.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "request {i} diverged");
+            }
+        }
+        let s = server.shutdown();
+        assert_eq!(s.completed, lens.len() as u64);
     }
 
     #[test]

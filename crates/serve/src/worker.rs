@@ -11,14 +11,28 @@
 //! **Batch execution model:** a dispatched batch runs as **one stacked
 //! `[N, …]` forward pass** through the graph executor
 //! (`FlexiRuntime::infer_batch_traced`): deadline-expired requests are
-//! filtered out first, the survivors are stacked per input shape, each
-//! shape class executes a single batched pass (activations quantized and
-//! per-layer bit-lowering applied once per layer per batch), and results
-//! fan back out to their reply channels. The whole batch runs at one
-//! ratio level (read once at dispatch), so the reported level is
-//! authoritative per dispatch even while the controller is switching.
-//! `batch_timeout` is therefore a genuine throughput/latency knob: a
-//! longer wait buys larger stacked GEMMs, not just amortized dispatch.
+//! filtered out first, the survivors are stacked, each stack executes a
+//! single batched pass (activations quantized and per-layer bit-lowering
+//! applied once per layer per batch), and results fan back out to their
+//! reply channels. Each stacked pass runs at one ratio level (read once
+//! at dispatch), so the reported level is authoritative per dispatch
+//! even while the controller is switching. `batch_timeout` is therefore
+//! a genuine throughput/latency knob: a longer wait buys larger stacked
+//! GEMMs, not just amortized dispatch.
+//!
+//! **Variable-length LM dispatch:** token-sequence requests (rank-1 id
+//! inputs) of *different* lengths used to be split into exact-shape
+//! groups, which collapses batching under real LM traffic. With
+//! [`crate::ServeConfig::lm_bucketing`] (the default) they are instead
+//! planned into power-of-two length buckets ([`crate::bucket`]), padded,
+//! and executed as masked stacked passes via
+//! [`FlexiRuntime::infer_batch_varlen_traced`] — one pass per bucket
+//! group, regardless of how many distinct lengths it contains. The mask
+//! invariant guarantees every response is bit-exact with unpadded
+//! inference, so bucketing is purely a throughput knob; the
+//! [`crate::ServeConfig::max_padding_waste`] cap bounds how much padded
+//! compute a merged group may carry. Non-token inputs (CNN/ViT images)
+//! keep the exact-shape grouping.
 //!
 //! **Intra-batch parallelism:** every worker installs the server's one
 //! shared [`flexiq_parallel::ThreadPool`] around its dispatch, so a
@@ -30,6 +44,7 @@
 //! oversubscription — see [`crate::ServeConfig::pool_threads`] for the
 //! sizing rule.
 
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,21 +52,87 @@ use std::time::{Duration, Instant};
 use flexiq_core::FlexiRuntime;
 use flexiq_parallel::ThreadPool;
 
-use crate::error::ServeError;
+use crate::bucket::plan_buckets;
+use crate::config::ServeConfig;
+use crate::error::{Result, ServeError};
 use crate::metrics::MetricsHub;
 use crate::queue::AdmissionQueue;
-use crate::request::{InferResponse, QueuedRequest};
+use crate::request::{InferResponse, QueuedRequest, RequestId};
+
+/// How a worker maps one dispatched batch onto stacked passes (the
+/// dispatch-relevant slice of [`ServeConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchPolicy {
+    /// Length-bucketed padded dispatch for rank-1 token inputs.
+    pub lm_bucketing: bool,
+    /// Padding-waste cap for bucket merging (see [`crate::bucket`]).
+    pub max_padding_waste: f64,
+}
+
+impl DispatchPolicy {
+    /// Extracts the dispatch policy from a server configuration.
+    pub fn from_config(cfg: &ServeConfig) -> Self {
+        DispatchPolicy {
+            lm_bucketing: cfg.lm_bucketing,
+            max_padding_waste: cfg.max_padding_waste,
+        }
+    }
+}
+
+type ReplyMeta = (RequestId, Instant, mpsc::Sender<Result<InferResponse>>);
+
+/// Fans one stacked pass's outcome back to its requests' reply channels.
+///
+/// Send failures (caller dropped its ticket) are ignored: the work is
+/// already done and the caller opted out of the answer.
+fn answer(
+    metrics: &MetricsHub,
+    size: usize,
+    dispatched: Instant,
+    metas: Vec<ReplyMeta>,
+    result: flexiq_core::Result<(Vec<flexiq_tensor::Tensor>, usize)>,
+) {
+    match result {
+        Ok((outputs, level)) => {
+            let done = Instant::now();
+            for ((id, enqueued_at, reply), output) in metas.into_iter().zip(outputs) {
+                let queue_delay = dispatched.duration_since(enqueued_at);
+                let latency = done.duration_since(enqueued_at);
+                metrics.on_completed(done, latency, queue_delay);
+                let _ = reply.send(Ok(InferResponse {
+                    id,
+                    output,
+                    level,
+                    batch_size: size,
+                    queue_delay,
+                    latency,
+                }));
+            }
+        }
+        Err(e) => {
+            for (_, _, reply) in metas {
+                let _ = reply.send(Err(ServeError::Nn(e.clone())));
+            }
+        }
+    }
+}
 
 /// Executes one dispatched batch on `runtime` as stacked forward passes,
 /// answering every request.
 ///
 /// Expired requests are answered with [`ServeError::DeadlineExpired`]
 /// and counted — never silently dropped — and are filtered out *before*
-/// stacking, so they cost no model time. Requests with differing input
-/// shapes are grouped and each shape class runs one stacked pass. Send
-/// failures (caller dropped its ticket) are ignored: the work is already
-/// done and the caller opted out of the answer.
-pub fn run_batch(runtime: &FlexiRuntime, metrics: &MetricsHub, batch: Vec<QueuedRequest>) {
+/// stacking, so they cost no model time. Token-sequence requests are
+/// dispatched through the length-bucketed padded path when the policy
+/// enables it; everything else is grouped by exact input shape, one
+/// stacked pass per shape class. Every stacked pass reads the ratio
+/// level once, so each response's reported level is authoritative.
+pub fn run_batch(
+    runtime: &FlexiRuntime,
+    metrics: &MetricsHub,
+    batch: Vec<QueuedRequest>,
+    policy: DispatchPolicy,
+) {
     let size = batch.len();
     metrics.on_batch(size);
     let dispatched = Instant::now();
@@ -64,50 +145,75 @@ pub fn run_batch(runtime: &FlexiRuntime, metrics: &MetricsHub, batch: Vec<Queued
             live.push(req);
         }
     }
+    // Token-sequence (LM) requests: one padded stacked pass per bucket
+    // group, mixed lengths welcome.
+    let tokens: Vec<QueuedRequest>;
+    (tokens, live) = if policy.lm_bucketing {
+        live.into_iter().partition(|r| r.input.dims().len() == 1)
+    } else {
+        (Vec::new(), live)
+    };
+    if !tokens.is_empty() {
+        let lens: Vec<usize> = tokens.iter().map(|r| r.input.numel()).collect();
+        let mut slots: Vec<Option<QueuedRequest>> = tokens.into_iter().map(Some).collect();
+        for group in plan_buckets(&lens, policy.max_padding_waste) {
+            // Move the inputs out of the requests (no clone on the hot
+            // path); the padded stack inside the runtime is the copy.
+            // Groups pad tightly — to the longest member, not the
+            // power-of-two class — so uniform-length groups keep the
+            // unpadded fast path.
+            let mut inputs = Vec::with_capacity(group.members.len());
+            let mut metas = Vec::with_capacity(group.members.len());
+            for &i in &group.members {
+                let req = slots[i]
+                    .take()
+                    .expect("request in exactly one bucket group");
+                inputs.push(req.input);
+                metas.push((req.id, req.enqueued_at, req.reply));
+            }
+            match runtime.infer_batch_varlen_traced(&inputs, Some(group.pad_len(&lens))) {
+                ok @ Ok(_) => answer(metrics, size, dispatched, metas, ok),
+                // Bucketing widens a group beyond one exact shape, so one
+                // malformed request (empty ids, out-of-vocab token) must
+                // not poison its co-bucketed neighbours: retry each
+                // member alone, isolating the failure exactly as the old
+                // per-shape grouping did. Error path only — a healthy
+                // dispatch never pays this.
+                Err(_) if metas.len() > 1 => {
+                    for (input, meta) in inputs.into_iter().zip(metas) {
+                        let single = runtime.infer_batch_varlen_traced(&[input], None);
+                        answer(metrics, size, dispatched, vec![meta], single);
+                    }
+                }
+                err => answer(metrics, size, dispatched, metas, err),
+            }
+        }
+    }
     // One stacked pass per input-shape class (normally exactly one).
     while !live.is_empty() {
         let dims = live[0].input.dims().to_vec();
         let (group, rest): (Vec<_>, Vec<_>) =
             live.into_iter().partition(|r| r.input.dims() == dims);
         live = rest;
-        // Move the inputs out of the requests (no clone on the hot path);
-        // the stack inside `infer_batch_traced` is the single copy.
         let mut inputs = Vec::with_capacity(group.len());
         let mut metas = Vec::with_capacity(group.len());
         for req in group {
             inputs.push(req.input);
             metas.push((req.id, req.enqueued_at, req.reply));
         }
-        // `infer_batch_traced` reads the level once: the whole stacked
-        // pass — and therefore every response below — ran at that level.
-        match runtime.infer_batch_traced(&inputs) {
-            Ok((outputs, level)) => {
-                let done = Instant::now();
-                for ((id, enqueued_at, reply), output) in metas.into_iter().zip(outputs) {
-                    let queue_delay = dispatched.duration_since(enqueued_at);
-                    let latency = done.duration_since(enqueued_at);
-                    metrics.on_completed(done, latency, queue_delay);
-                    let _ = reply.send(Ok(InferResponse {
-                        id,
-                        output,
-                        level,
-                        batch_size: size,
-                        queue_delay,
-                        latency,
-                    }));
-                }
-            }
-            Err(e) => {
-                for (_, _, reply) in metas {
-                    let _ = reply.send(Err(ServeError::Nn(e.clone())));
-                }
-            }
-        }
+        answer(
+            metrics,
+            size,
+            dispatched,
+            metas,
+            runtime.infer_batch_traced(&inputs),
+        );
     }
 }
 
 /// Spawns `workers` threads draining `queue` until it is closed and
 /// empty.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_workers(
     workers: usize,
     queue: Arc<AdmissionQueue>,
@@ -116,6 +222,7 @@ pub fn spawn_workers(
     max_batch: usize,
     batch_timeout: Duration,
     pool: Arc<ThreadPool>,
+    policy: DispatchPolicy,
 ) -> Vec<JoinHandle<()>> {
     (0..workers)
         .map(|i| {
@@ -132,7 +239,9 @@ pub fn spawn_workers(
                         // One shared pool across all workers: the
                         // stacked pass underneath parallelizes inside
                         // it (unless the runtime pinned its own pool).
-                        flexiq_parallel::with_pool(&pool, || run_batch(&runtime, &metrics, batch));
+                        flexiq_parallel::with_pool(&pool, || {
+                            run_batch(&runtime, &metrics, batch, policy)
+                        });
                     }
                 })
                 .expect("spawn worker thread")
@@ -159,6 +268,25 @@ pub(crate) mod tests {
         (Arc::new(prepared.runtime), calib)
     }
 
+    /// A tiny LM runtime plus full-context calibration sequences.
+    pub(crate) fn tiny_lm_runtime() -> (Arc<FlexiRuntime>, Vec<flexiq_tensor::Tensor>) {
+        use flexiq_nn::data::{gen_token_stream, lm_sequences};
+        use flexiq_nn::zoo::TinyLmCfg;
+        let cfg = TinyLmCfg::at(Scale::Test);
+        let graph = ModelId::TinyLm.build(Scale::Test).unwrap();
+        let seqs = lm_sequences(
+            &gen_token_stream(cfg.vocab, 8 * cfg.context, 7103),
+            cfg.context,
+        );
+        let prepared =
+            prepare(&graph, &seqs[..4], &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+        (Arc::new(prepared.runtime), seqs)
+    }
+
+    pub(crate) fn policy() -> DispatchPolicy {
+        DispatchPolicy::from_config(&ServeConfig::default())
+    }
+
     #[test]
     fn batch_execution_answers_every_request() {
         let (rt, inputs) = tiny_runtime();
@@ -178,7 +306,7 @@ pub(crate) mod tests {
             });
             tickets.push(Ticket { id: i as u64, rx });
         }
-        run_batch(&rt, &metrics, batch);
+        run_batch(&rt, &metrics, batch, policy());
         let r0 = tickets.remove(0).wait().unwrap();
         assert_eq!(r0.batch_size, 3);
         assert!(r0.output.data().iter().all(|v| v.is_finite()));
@@ -212,7 +340,7 @@ pub(crate) mod tests {
             });
             tickets.push(Ticket { id: i as u64, rx });
         }
-        run_batch(&rt, &metrics, batch);
+        run_batch(&rt, &metrics, batch, policy());
         for (i, (t, x)) in tickets.into_iter().zip(inputs.iter()).enumerate() {
             let resp = t.wait().unwrap();
             assert_eq!(resp.level, 0, "batch must report the dispatch level");
@@ -247,9 +375,133 @@ pub(crate) mod tests {
         let (r0, t0) = mk(0, inputs[0].clone());
         let (r1, t1) = mk(1, flexiq_tensor::Tensor::zeros([1, 2, 2]));
         let (r2, t2) = mk(2, inputs[1].clone());
-        run_batch(&rt, &metrics, vec![r0, r1, r2]);
+        run_batch(&rt, &metrics, vec![r0, r1, r2], policy());
         assert!(t0.wait().is_ok());
         assert!(matches!(t1.wait().unwrap_err(), ServeError::Nn(_)));
         assert!(t2.wait().is_ok());
+    }
+
+    #[test]
+    fn mixed_length_lm_batch_is_bucketed_and_bit_exact() {
+        // A dispatch with many distinct sequence lengths must answer
+        // every request with output byte-identical to unpadded
+        // single-request inference — the bucketed padded path may change
+        // the grouping, never the arithmetic.
+        let (rt, seqs) = tiny_lm_runtime();
+        rt.set_level(0).unwrap();
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let now = Instant::now();
+        let lens = [1usize, 3, 8, 5, 2, 8, 7];
+        let inputs: Vec<flexiq_tensor::Tensor> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| seqs[i % seqs.len()].slice_axis0(l).unwrap())
+            .collect();
+        let mut tickets = Vec::new();
+        let mut batch = Vec::new();
+        for (i, x) in inputs.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            batch.push(QueuedRequest {
+                id: i as u64,
+                input: x.clone(),
+                enqueued_at: now,
+                deadline: None,
+                reply: tx,
+            });
+            tickets.push(Ticket { id: i as u64, rx });
+        }
+        run_batch(&rt, &metrics, batch, policy());
+        for (i, (t, x)) in tickets.into_iter().zip(inputs.iter()).enumerate() {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.level, 0);
+            let expect = rt.infer(x).unwrap();
+            assert_eq!(resp.output.dims(), expect.dims(), "request {i} shape");
+            for (a, b) in resp.output.data().iter().zip(expect.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "request {i} diverged");
+            }
+        }
+        // With the default 0.5 cap on these lengths the dispatch needs
+        // strictly fewer stacked passes than distinct lengths.
+        let groups = plan_buckets(&lens, policy().max_padding_waste);
+        let distinct: std::collections::BTreeSet<usize> = lens.iter().copied().collect();
+        assert!(groups.len() < distinct.len());
+    }
+
+    #[test]
+    fn malformed_request_does_not_poison_its_bucket_group() {
+        // An empty id tensor co-buckets with valid length-1 requests;
+        // the group pass fails, but the per-request retry isolates the
+        // error to the malformed submission alone.
+        let (rt, seqs) = tiny_lm_runtime();
+        rt.set_level(0).unwrap();
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let now = Instant::now();
+        let inputs = [
+            seqs[0].slice_axis0(1).unwrap(),
+            flexiq_tensor::Tensor::zeros([0]), // malformed: empty ids
+            seqs[1].slice_axis0(1).unwrap(),
+            seqs[2].slice_axis0(2).unwrap(),
+        ];
+        let mut tickets = Vec::new();
+        let mut batch = Vec::new();
+        for (i, x) in inputs.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            batch.push(QueuedRequest {
+                id: i as u64,
+                input: x.clone(),
+                enqueued_at: now,
+                deadline: None,
+                reply: tx,
+            });
+            tickets.push(Ticket { id: i as u64, rx });
+        }
+        run_batch(&rt, &metrics, batch, policy());
+        for (i, (t, x)) in tickets.into_iter().zip(inputs.iter()).enumerate() {
+            if i == 1 {
+                assert!(matches!(t.wait().unwrap_err(), ServeError::Nn(_)));
+                continue;
+            }
+            let resp = t.wait().unwrap();
+            let expect = rt.infer(x).unwrap();
+            for (a, b) in resp.output.data().iter().zip(expect.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "healthy request {i} poisoned");
+            }
+        }
+    }
+
+    #[test]
+    fn bucketing_disabled_falls_back_to_shape_groups() {
+        let (rt, seqs) = tiny_lm_runtime();
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let now = Instant::now();
+        let inputs = [
+            seqs[0].slice_axis0(3).unwrap(),
+            seqs[1].slice_axis0(6).unwrap(),
+        ];
+        let mut tickets = Vec::new();
+        let mut batch = Vec::new();
+        for (i, x) in inputs.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            batch.push(QueuedRequest {
+                id: i as u64,
+                input: x.clone(),
+                enqueued_at: now,
+                deadline: None,
+                reply: tx,
+            });
+            tickets.push(Ticket { id: i as u64, rx });
+        }
+        let off = DispatchPolicy {
+            lm_bucketing: false,
+            max_padding_waste: 0.5,
+        };
+        run_batch(&rt, &metrics, batch, off);
+        for (t, x) in tickets.into_iter().zip(inputs.iter()) {
+            let resp = t.wait().unwrap();
+            let expect = rt.infer(x).unwrap();
+            for (a, b) in resp.output.data().iter().zip(expect.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod error;
 pub mod gemm;
 pub mod im2col;
 pub mod int;
+pub mod mask;
 pub mod rng;
 pub mod shape;
 pub mod stats;
@@ -39,6 +40,7 @@ pub mod tensor;
 
 pub use error::TensorError;
 pub use int::{I4Packed, I8Tensor};
+pub use mask::SeqMask;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -129,6 +129,7 @@ fn main() {
             tick: Duration::from_millis(10),
             hold: Duration::from_millis(150),
         },
+        ..Default::default()
     };
     println!(
         "controller: raise 4-bit ratio while measured p95 > {:.1} ms (window 500 ms)\n",
