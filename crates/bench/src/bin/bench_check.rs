@@ -1,7 +1,7 @@
 //! CI bench gate: re-derives the perf acceptance criteria from the
 //! `BENCH_*.json` artifacts and fails (exit 1) on any regression.
 //!
-//! Run after `exp_batch_scaling` and `exp_varlen`:
+//! Run after `exp_batch_scaling`, `exp_varlen` and `exp_gemm`:
 //!
 //! ```text
 //! cargo run --release -p flexiq-bench --bin bench_check
@@ -11,9 +11,10 @@
 //! there, including on doctored regressions): batched N=16 per-sample
 //! latency below sequential and below N=1; 4-thread total below 1-thread
 //! on multi-core runners; bucketed padded batching below shape-group
-//! splitting on the mixed-length LM trace. A missing or malformed
-//! artifact fails the gate — silence is the failure mode this bin
-//! exists to remove.
+//! splitting on the mixed-length LM trace; blocked+packed GEMM kernels
+//! at least their gated factor over the naive reference. A missing or
+//! malformed artifact fails the gate — silence is the failure mode this
+//! bin exists to remove.
 
 use std::path::PathBuf;
 
@@ -26,6 +27,7 @@ fn main() {
         read("BENCH_batch.json").as_deref(),
         read("BENCH_parallel.json").as_deref(),
         read("BENCH_varlen.json").as_deref(),
+        read("BENCH_gemm.json").as_deref(),
     );
     println!("bench gate: {} checks", checks.len());
     for c in &checks {

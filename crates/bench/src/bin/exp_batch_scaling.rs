@@ -37,7 +37,13 @@ use flexiq_tensor::Tensor;
 const BATCHES: [usize; 4] = [1, 4, 16, 64];
 
 /// Times `reps` stacked passes over `inputs`, returning seconds/pass.
+///
+/// One untimed warm-up pass runs first: the first pass at a new batch
+/// shape grows the per-thread workspace and kernel packing buffers, and
+/// that one-off allocation cost must not leak into the steady-state
+/// numbers the BENCH artifacts gate on.
 fn time_batch(rt: &FlexiRuntime, inputs: &[Tensor], reps: usize) -> f64 {
+    std::hint::black_box(rt.infer_batch(inputs).expect("warm-up inference"));
     let t0 = Instant::now();
     for _ in 0..reps {
         let ys = rt.infer_batch(inputs).expect("batched inference");
@@ -46,8 +52,12 @@ fn time_batch(rt: &FlexiRuntime, inputs: &[Tensor], reps: usize) -> f64 {
     t0.elapsed().as_secs_f64() / reps as f64
 }
 
-/// Times sequential per-sample inference over `inputs`, seconds/wave.
+/// Times sequential per-sample inference over `inputs`, seconds/wave
+/// (with the same untimed warm-up wave as [`time_batch`]).
 fn time_sequential(rt: &FlexiRuntime, inputs: &[Tensor], reps: usize) -> f64 {
+    for x in inputs {
+        std::hint::black_box(rt.infer(x).expect("warm-up inference"));
+    }
     let t0 = Instant::now();
     for _ in 0..reps {
         for x in inputs {
@@ -97,7 +107,12 @@ fn main() {
         let _ = writeln!(json, "    {{\"level\": \"{name}\", \"points\": [");
         for (bi, &n) in BATCHES.iter().enumerate() {
             let r = (reps / n).max(3);
-            let total = time_batch(&rt, &inputs[..n], r);
+            // Best-of-3: the committed artifact feeds the bench gate, and
+            // the minimum is far less sensitive to scheduler jitter on
+            // shared runners than a single measurement.
+            let total = (0..3)
+                .map(|_| time_batch(&rt, &inputs[..n], r))
+                .fold(f64::INFINITY, f64::min);
             let ps = total / n as f64;
             per_sample.push(ps);
             table.row(vec![
@@ -115,7 +130,10 @@ fn main() {
                 ps * 1e3
             );
         }
-        let seq16 = time_sequential(&rt, &inputs[..16], (reps / 16).max(3)) / 16.0;
+        let seq16 = (0..3)
+            .map(|_| time_sequential(&rt, &inputs[..16], (reps / 16).max(3)))
+            .fold(f64::INFINITY, f64::min)
+            / 16.0;
         let _ = writeln!(
             json,
             "    ], \"sequential_16_per_sample_ms\": {:.6}}}{}",

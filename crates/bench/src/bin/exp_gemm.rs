@@ -1,0 +1,288 @@
+//! GEMM kernel sweep (ISSUE 5): naive reference loops vs the blocked,
+//! packed micro-kernels, at shapes representative of the zoo's hot
+//! layers.
+//!
+//! For each shape the blocked kernel's output is first verified
+//! **bit-identical** to the [`flexiq_tensor::gemm::reference`] loop (so
+//! a speedup can never come from skipped or approximated work), then
+//! both are timed single-threaded inside an explicit 1-thread pool —
+//! the sweep measures kernel quality (packing, blocking, register
+//! tiling), not parallel fan-out, and a 1-thread pool is also far less
+//! sensitive to CI runner noise.
+//!
+//! Emits `BENCH_gemm.json` at the workspace root (and a CSV under
+//! `results/`). The shape tagged `min_speedup` — the large int8 GEMM,
+//! where the serving hot path spends its time — is **enforced**: blocked
+//! must be at least that factor over naive (exit 1 here, re-checked by
+//! CI's `bench_check` gate).
+//!
+//! `FLEXIQ_BENCH_REPS` overrides the auto-calibrated repetition count.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_tensor::gemm::{self, reference};
+use flexiq_tensor::rng::seeded;
+use rand::Rng;
+
+/// Factor the gated shape's blocked kernel must beat naive by.
+const MIN_SPEEDUP: f64 = 1.5;
+
+#[derive(Clone, Copy)]
+enum Dtype {
+    F32,
+    I8,
+}
+
+struct Shape {
+    /// Stable identifier in the JSON artifact.
+    name: &'static str,
+    dtype: Dtype,
+    m: usize,
+    n: usize,
+    k: usize,
+    /// Enforce `speedup >= MIN_SPEEDUP` for this shape.
+    gated: bool,
+}
+
+/// Representative hot-layer shapes: an RNet20 conv lowered over a
+/// 16-sample colbatch, a ViTS token-matrix linear, a TinyLm context
+/// linear, the large int8 GEMM the acceptance criterion gates, and a
+/// wide f32 GEMM whose rhs exceeds `BLOCK_MIN_RHS_F32` (the f32 kernels
+/// deliberately stay on the naive loop below that — it already streams
+/// contiguously and vectorizes well, so the small f32 shapes here
+/// measure ≈ 1.0× by construction).
+const SHAPES: [Shape; 6] = [
+    Shape {
+        name: "rnet20_conv_colbatch_f32",
+        dtype: Dtype::F32,
+        m: 32,
+        n: 16 * 64,
+        k: 16 * 9,
+        gated: false,
+    },
+    Shape {
+        name: "rnet20_conv_colbatch_i8",
+        dtype: Dtype::I8,
+        m: 32,
+        n: 16 * 64,
+        k: 16 * 9,
+        gated: false,
+    },
+    Shape {
+        name: "vits_linear_f32",
+        dtype: Dtype::F32,
+        m: 16 * 17,
+        n: 192,
+        k: 48,
+        gated: false,
+    },
+    Shape {
+        name: "tinylm_linear_i8",
+        dtype: Dtype::I8,
+        m: 16 * 12,
+        n: 128,
+        k: 64,
+        gated: false,
+    },
+    Shape {
+        name: "large_i8",
+        dtype: Dtype::I8,
+        m: 192,
+        n: 1024,
+        k: 512,
+        gated: true,
+    },
+    Shape {
+        name: "wide_f32",
+        dtype: Dtype::F32,
+        m: 96,
+        n: 4096,
+        k: 256,
+        gated: false,
+    },
+];
+
+/// Best-of-3 wall time of `reps` calls to `run`, with one untimed
+/// warm-up call first so pack/scratch buffers are allocated before the
+/// clock starts (steady state, not first-iteration cost).
+fn time_best(reps: usize, mut run: impl FnMut()) -> f64 {
+    run();
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                run();
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct Measured {
+    naive_s: f64,
+    blocked_s: f64,
+}
+
+fn measure_f32(m: usize, n: usize, k: usize, reps: usize, rng: &mut impl Rng) -> Measured {
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut c = vec![0.0f32; m * n];
+    let mut expect = vec![0.0f32; m * n];
+    gemm::gemm_f32(m, n, k, &a, &b, &mut c);
+    reference::gemm_f32(m, n, k, &a, &b, &mut expect);
+    for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "blocked f32 diverged at {i}");
+    }
+    let naive_s = time_best(reps, || {
+        expect.fill(0.0);
+        reference::gemm_f32(m, n, k, &a, &b, &mut expect);
+        std::hint::black_box(&expect);
+    });
+    let blocked_s = time_best(reps, || {
+        c.fill(0.0);
+        gemm::gemm_f32(m, n, k, &a, &b, &mut c);
+        std::hint::black_box(&c);
+    });
+    Measured { naive_s, blocked_s }
+}
+
+fn measure_i8(m: usize, n: usize, k: usize, reps: usize, rng: &mut impl Rng) -> Measured {
+    // ~25% zeros in the lhs, the sparsity regime of bit-lowered operands,
+    // so both kernels' zero-skip paths see representative work.
+    let a: Vec<i8> = (0..m * k)
+        .map(|_| {
+            if rng.gen_range(0..4) == 0 {
+                0
+            } else {
+                rng.gen_range(-128i16..=127) as i8
+            }
+        })
+        .collect();
+    let b: Vec<i8> = (0..k * n)
+        .map(|_| rng.gen_range(-128i16..=127) as i8)
+        .collect();
+    let mut c = vec![0i32; m * n];
+    let mut expect = vec![0i32; m * n];
+    gemm::gemm_i8(m, n, k, &a, &b, &mut c);
+    reference::gemm_i8(m, n, k, &a, &b, &mut expect);
+    assert_eq!(c, expect, "blocked i8 diverged");
+    let naive_s = time_best(reps, || {
+        expect.fill(0);
+        reference::gemm_i8(m, n, k, &a, &b, &mut expect);
+        std::hint::black_box(&expect);
+    });
+    let blocked_s = time_best(reps, || {
+        c.fill(0);
+        gemm::gemm_i8(m, n, k, &a, &b, &mut c);
+        std::hint::black_box(&c);
+    });
+    Measured { naive_s, blocked_s }
+}
+
+fn main() {
+    let mut rng = seeded(0x6E77);
+    let pool = flexiq_parallel::ThreadPool::new(1);
+    let mut table = ResultTable::new(
+        "GEMM kernels: naive reference vs blocked+packed (single thread)",
+        &[
+            "shape",
+            "dtype",
+            "m",
+            "n",
+            "k",
+            "naive_ms",
+            "blocked_ms",
+            "naive_gflops",
+            "blocked_gflops",
+            "speedup",
+        ],
+    );
+    let mut json = String::from("{\n  \"threads\": 1,\n");
+    let _ = writeln!(json, "  \"min_speedup\": {MIN_SPEEDUP},");
+    json.push_str("  \"shapes\": [\n");
+
+    let mut all_pass = true;
+    for (si, s) in SHAPES.iter().enumerate() {
+        let madds = s.m * s.n * s.k;
+        // Calibrate reps to ~0.2 s of naive measurement per shape.
+        let reps = std::env::var("FLEXIQ_BENCH_REPS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|r| r.max(1))
+            .unwrap_or_else(|| (40_000_000 / madds).clamp(3, 400));
+        let (dtype, meas) = flexiq_parallel::with_pool(&pool, || match s.dtype {
+            Dtype::F32 => ("f32", measure_f32(s.m, s.n, s.k, reps, &mut rng)),
+            Dtype::I8 => ("i8", measure_i8(s.m, s.n, s.k, reps, &mut rng)),
+        });
+        let gflops = |secs: f64| 2.0 * madds as f64 / secs / 1e9;
+        let speedup = meas.naive_s / meas.blocked_s;
+        table.row(vec![
+            s.name.into(),
+            dtype.into(),
+            s.m.to_string(),
+            s.n.to_string(),
+            s.k.to_string(),
+            format!("{:.4}", meas.naive_s * 1e3),
+            format!("{:.4}", meas.blocked_s * 1e3),
+            f2(gflops(meas.naive_s)),
+            f2(gflops(meas.blocked_s)),
+            f2(speedup),
+        ]);
+        let gate_field = if s.gated {
+            format!(", \"min_speedup\": {MIN_SPEEDUP}")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"dtype\": \"{dtype}\", \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"naive_ms\": {:.6}, \"blocked_ms\": {:.6}, \"naive_gflops\": {:.4}, \
+             \"blocked_gflops\": {:.4}, \"speedup\": {:.4}{gate_field}}}{}",
+            s.name,
+            s.m,
+            s.n,
+            s.k,
+            meas.naive_s * 1e3,
+            meas.blocked_s * 1e3,
+            gflops(meas.naive_s),
+            gflops(meas.blocked_s),
+            speedup,
+            if si + 1 < SHAPES.len() { "," } else { "" }
+        );
+        let verdict = if !s.gated {
+            "informational"
+        } else if speedup >= MIN_SPEEDUP {
+            "PASS"
+        } else {
+            all_pass = false;
+            "FAIL"
+        };
+        println!(
+            "[{}] naive {:.2} GFLOP/s, blocked {:.2} GFLOP/s ({speedup:.2}x, {verdict})",
+            s.name,
+            gflops(meas.naive_s),
+            gflops(meas.blocked_s),
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    table.emit("gemm_kernels");
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_gemm.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[written {}]", path.display()),
+        // A stale artifact would let the bench_check gate validate old
+        // numbers and silently pass — a failed write must fail the run.
+        Err(e) => {
+            eprintln!("FAIL: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if !all_pass {
+        eprintln!("FAIL: blocked kernel below {MIN_SPEEDUP}x naive on a gated shape");
+        std::process::exit(1);
+    }
+}

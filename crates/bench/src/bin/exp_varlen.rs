@@ -86,7 +86,11 @@ fn run_bucketed(rt: &FlexiRuntime, dispatches: &[Vec<Tensor>]) -> (Vec<Tensor>, 
     (outputs, passes)
 }
 
+/// Times `reps` trace executions, seconds/trace. One untimed warm-up
+/// execution runs first so first-iteration workspace/pack-buffer growth
+/// never leaks into the steady-state numbers the artifact gates on.
 fn time_strategy(run: impl Fn() -> (Vec<Tensor>, usize), reps: usize) -> f64 {
+    std::hint::black_box(run());
     let t0 = Instant::now();
     for _ in 0..reps {
         std::hint::black_box(run());

@@ -14,6 +14,9 @@
 //!   the 4-thread N=16 total must beat 1-thread, per level.
 //! * `BENCH_varlen.json` — bucketed padded batching must beat exact
 //!   shape-group splitting on the mixed-length LM trace, per level.
+//! * `BENCH_gemm.json` — the blocked, packed kernels must beat the naive
+//!   reference loops by each gated shape's `min_speedup` factor (the
+//!   large int8 shape at ≥ 1.5×); ungated shapes are informational.
 
 use crate::json::Json;
 
@@ -147,13 +150,51 @@ pub fn check_varlen(doc: &Json) -> Result<Vec<GateCheck>, String> {
     Ok(checks)
 }
 
+/// Criteria over `BENCH_gemm.json`: every shape carrying a
+/// `min_speedup` field must show the blocked kernel at least that factor
+/// over the naive reference; shapes without one are informational.
+pub fn check_gemm(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let shapes = doc
+        .get("shapes")
+        .and_then(Json::as_arr)
+        .ok_or("BENCH_gemm.json: missing \"shapes\" array")?;
+    let mut checks = Vec::new();
+    let mut gated = 0usize;
+    for shape in shapes {
+        let name = shape.get("name").and_then(Json::as_str).unwrap_or("?");
+        let speedup = shape
+            .num("speedup")
+            .ok_or_else(|| format!("gemm[{name}]: no speedup"))?;
+        match shape.num("min_speedup") {
+            Some(min) => {
+                gated += 1;
+                checks.push(GateCheck::new(
+                    format!("gemm[{name}]: blocked >= {min}x naive"),
+                    speedup >= min,
+                    format!("{speedup:.2}x"),
+                ));
+            }
+            None => checks.push(GateCheck::new(
+                format!("gemm[{name}]: informational"),
+                true,
+                format!("{speedup:.2}x"),
+            )),
+        }
+    }
+    if gated == 0 {
+        return Err("BENCH_gemm.json: no gated shape (min_speedup)".into());
+    }
+    Ok(checks)
+}
+
 /// Runs every gate over artifact texts (missing file = `None` = failed
-/// gate, since CI produces all three right before the check). Returns the
+/// gate, since CI produces all four right before the check). Returns the
 /// checks and the overall verdict.
 pub fn run_gate(
     batch: Option<&str>,
     parallel: Option<&str>,
     varlen: Option<&str>,
+    gemm: Option<&str>,
 ) -> (Vec<GateCheck>, bool) {
     let mut checks = Vec::new();
     for (file, text, check) in [
@@ -164,6 +205,7 @@ pub fn run_gate(
         ),
         ("BENCH_parallel.json", parallel, check_parallel),
         ("BENCH_varlen.json", varlen, check_varlen),
+        ("BENCH_gemm.json", gemm, check_gemm),
     ] {
         match text {
             None => checks.push(GateCheck::new(
@@ -212,15 +254,24 @@ mod tests {
         )
     }
 
+    fn gemm_doc(gated_speedup: f64) -> String {
+        format!(
+            "{{\"shapes\": [\
+             {{\"name\": \"vits_linear_f32\", \"speedup\": 1.1}}, \
+             {{\"name\": \"large_i8\", \"speedup\": {gated_speedup}, \"min_speedup\": 1.5}}]}}"
+        )
+    }
+
     #[test]
     fn healthy_artifacts_pass() {
         let (checks, ok) = run_gate(
             Some(&batch_doc(0.4, 1.0)),
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
+            Some(&gemm_doc(2.3)),
         );
         assert!(ok, "checks: {checks:?}");
-        assert_eq!(checks.len(), 4);
+        assert_eq!(checks.len(), 6);
     }
 
     #[test]
@@ -233,8 +284,25 @@ mod tests {
             Some(&batch_doc(1.2, 1.0)),
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
+            Some(&gemm_doc(2.3)),
         );
         assert!(!ok);
+    }
+
+    #[test]
+    fn doctored_gemm_regression_fails_only_on_gated_shapes() {
+        // Gated shape below its factor: fail.
+        let doc = Json::parse(&gemm_doc(1.2)).unwrap();
+        let checks = check_gemm(&doc).unwrap();
+        assert!(checks[0].pass, "ungated shape is informational");
+        assert!(!checks[1].pass, "gated shape below min_speedup must fail");
+        // At the factor exactly: pass.
+        let doc = Json::parse(&gemm_doc(1.5)).unwrap();
+        assert!(check_gemm(&doc).unwrap()[1].pass);
+        // An artifact with no gated shape at all cannot vouch for the
+        // acceptance criterion: structural failure.
+        let doc = Json::parse("{\"shapes\": [{\"name\": \"x\", \"speedup\": 9.0}]}").unwrap();
+        assert!(check_gemm(&doc).is_err());
     }
 
     #[test]
@@ -256,7 +324,12 @@ mod tests {
 
     #[test]
     fn missing_or_malformed_artifacts_fail() {
-        let (checks, ok) = run_gate(None, Some("{not json"), Some(&varlen_doc(8.0, 3.0)));
+        let (checks, ok) = run_gate(
+            None,
+            Some("{not json"),
+            Some(&varlen_doc(8.0, 3.0)),
+            Some(&gemm_doc(2.3)),
+        );
         assert!(!ok);
         assert!(!checks[0].pass, "missing file must fail");
         assert!(!checks[1].pass, "malformed file must fail");
@@ -265,6 +338,7 @@ mod tests {
             Some("{\"levels\": []}"),
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
+            Some(&gemm_doc(2.3)),
         );
         assert!(!ok);
     }

@@ -16,15 +16,27 @@
 //! layer per batch) — the serving worker's dispatch unit.
 //!
 //! A dispatch is also internally parallel: the execution stack fans
-//! per-sample attention cores, conv channel groups, and GEMM row bands
-//! across a [`flexiq_parallel::ThreadPool`]. By default the runtime uses
-//! the ambient pool (a [`flexiq_parallel::with_pool`] scope installed by
-//! the embedder — e.g. the serve worker — or else the global
+//! per-sample attention cores, conv channel groups, and GEMM output
+//! bands (row bands, or column bands for wide-but-short shapes) across a
+//! [`flexiq_parallel::ThreadPool`]. By default the runtime uses the
+//! ambient pool (a [`flexiq_parallel::with_pool`] scope installed by the
+//! embedder — e.g. the serve worker — or else the global
 //! `FLEXIQ_THREADS`-sized pool); [`FlexiRuntime::with_pool`] pins an
 //! explicit pool instead, which then takes precedence over the ambient
 //! one for every inference entry point. Parallel execution is bit-exact
 //! with serial at every level and thread count (outputs partition along
 //! independent ranges only).
+//!
+//! Inference entry points are also **allocation-steady**: the quantized
+//! engines draw their per-layer scratch (activation quantization, im2col
+//! lowering, bit-lowered bands, band accumulators) from a per-thread
+//! [`flexiq_nn::workspace::Workspace`] checked out for each pass, and
+//! the blocked GEMM kernels underneath draw their packing panels from
+//! per-thread scratch pools. A thread that calls `infer`/`infer_batch`
+//! repeatedly — a serve worker, a bench loop — reuses the same buffers
+//! after its first pass: the steady-state linear/conv hot path performs
+//! no heap allocation beyond the output tensors (pinned by
+//! `tests/alloc_steady_state.rs`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -103,6 +115,14 @@ impl FlexiRuntime {
     /// The explicitly pinned pool, if any.
     pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
         self.pool.as_ref()
+    }
+
+    /// Replaces the quantized execution options — e.g. to run the exact
+    /// integer path (`ExecMode::Int`) on a pipeline-prepared runtime,
+    /// which defaults to the fast Fake mode.
+    pub fn with_exec_options(mut self, opts: QuantExecOptions) -> Self {
+        self.opts = opts;
+        self
     }
 
     /// Runs `f` under the pinned pool (or unchanged when none is set).

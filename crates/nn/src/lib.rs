@@ -37,6 +37,7 @@ pub mod exec;
 pub mod graph;
 pub mod ops;
 pub mod qexec;
+pub mod workspace;
 pub mod zoo;
 
 pub use error::NnError;

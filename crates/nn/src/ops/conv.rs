@@ -1,7 +1,7 @@
 //! 2-D convolution with optional channel groups (depthwise support).
 
-use flexiq_tensor::im2col::{im2col, im2col_batch, Conv2dGeometry};
-use flexiq_tensor::{gemm, Tensor};
+use flexiq_tensor::im2col::{im2col_batch_into, im2col_into, Conv2dGeometry};
+use flexiq_tensor::{gemm, scratch, Tensor};
 
 use crate::error::NnError;
 use crate::Result;
@@ -128,9 +128,12 @@ impl Conv2d {
         let k = g.rows();
         let cols = g.cols();
         let mut out = vec![0.0f32; c_out * cols];
+        // The lowering matrix comes from the thread's scratch pool: after
+        // a warm-up pass, repeated forwards allocate only their output.
+        let mut cols_mat = scratch::take_f32();
         for grp in 0..self.groups {
             let x_slice = &x.data()[grp * c_in_g * h * w..(grp + 1) * c_in_g * h * w];
-            let cols_mat = im2col(x_slice, &g);
+            im2col_into(x_slice, &g, &mut cols_mat);
             let w_slice = &self.weight.data()[grp * c_out_g * k..(grp + 1) * c_out_g * k];
             gemm::gemm_f32(
                 c_out_g,
@@ -141,6 +144,7 @@ impl Conv2d {
                 &mut out[grp * c_out_g * cols..(grp + 1) * c_out_g * cols],
             );
         }
+        scratch::put_f32(cols_mat);
         if let Some(bias) = &self.bias {
             for (co, &b) in bias.iter().enumerate() {
                 for v in &mut out[co * cols..(co + 1) * cols] {
@@ -185,21 +189,22 @@ impl Conv2d {
         let chw = self.c_in() * h * w;
         let ncols = n * cols;
         let mut out = vec![0.0f32; n * c_out * cols];
-        // Lower + multiply one group: returns the column-batched GEMM
-        // output [c_out_g, N*cols] for that group.
-        let group_gemm = |grp: usize| -> Vec<f32> {
-            let cols_mat = im2col_batch(&x.data()[grp * c_in_g * h * w..], n, chw, &g);
-            let mut big = vec![0.0f32; c_out_g * ncols];
+        // Lower + multiply one group into `big` ([c_out_g, N*cols]); the
+        // single copy of the per-group algorithm, shared by the parallel
+        // and serial paths (which differ only in buffer lifetime).
+        let group_gemm = |grp: usize, cols_mat: &mut Vec<f32>, big: &mut Vec<f32>| {
+            im2col_batch_into(&x.data()[grp * c_in_g * h * w..], n, chw, &g, cols_mat);
+            big.clear();
+            big.resize(c_out_g * ncols, 0.0);
             gemm::gemm_f32_colbatch(
                 n,
                 c_out_g,
                 cols,
                 k,
                 &self.weight.data()[grp * c_out_g * k..(grp + 1) * c_out_g * k],
-                &cols_mat,
-                &mut big,
+                cols_mat,
+                big,
             );
-            big
         };
         // Scatter [c_out_g, N*cols] back to sample-major [N, C_out, OH*OW].
         let scatter = |grp: usize, big: &[f32], out: &mut [f32]| {
@@ -217,15 +222,31 @@ impl Conv2d {
             .filter(|p| p.threads() >= 2);
         match pool {
             Some(pool) => {
-                for (grp, big) in pool.map(self.groups, group_gemm).iter().enumerate() {
+                // Each task's lowering buffer comes from its executing
+                // thread's scratch pool; the GEMM output is returned.
+                let run = |grp: usize| -> Vec<f32> {
+                    let mut cols_mat = scratch::take_f32();
+                    let mut big = Vec::new();
+                    group_gemm(grp, &mut cols_mat, &mut big);
+                    scratch::put_f32(cols_mat);
+                    big
+                };
+                for (grp, big) in pool.map(self.groups, run).iter().enumerate() {
                     scatter(grp, big, &mut out);
                 }
             }
-            // Serial: one group's GEMM buffer alive at a time.
+            // Serial: one group's buffers alive at a time, drawn from the
+            // thread's scratch pool so steady-state passes do not
+            // re-allocate the lowering or the GEMM output.
             None => {
+                let mut cols_mat = scratch::take_f32();
+                let mut big = scratch::take_f32();
                 for grp in 0..self.groups {
-                    scatter(grp, &group_gemm(grp), &mut out);
+                    group_gemm(grp, &mut cols_mat, &mut big);
+                    scatter(grp, &big, &mut out);
                 }
+                scratch::put_f32(big);
+                scratch::put_f32(cols_mat);
             }
         }
         if let Some(bias) = &self.bias {

@@ -77,53 +77,23 @@ impl Linear {
 
     /// Reference f32 forward pass: `y = x · Wᵀ + b`.
     ///
-    /// Token rows are independent, so large inputs split into contiguous
-    /// row bands across the ambient thread pool; each token's dot
-    /// products keep their serial reduction order, so parallel output is
-    /// bit-exact with serial at any thread count.
+    /// Runs the blocked weight-transposed GEMM ([`gemm::gemm_f32_wt`]):
+    /// the `[C_out, C_in]` weight feeds the packed kernels directly (no
+    /// transpose is materialized), large inputs band across the ambient
+    /// thread pool inside the kernel, and every token's dot products
+    /// keep their in-order reduction over `C_in` — so the output is
+    /// bit-exact with the naive per-token loop at any thread count.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
         let (t, c_in) = self.check_input(x)?;
         let c_out = self.c_out();
-        // y[t_i, o] = sum_c x[t_i, c] * w[o, c]: computed as out = W · Xᵀ
-        // then transposed — but it is cheaper to iterate tokens directly.
         let mut out = vec![0.0f32; t * c_out];
-        let token_rows = |rows: std::ops::Range<usize>, chunk: &mut [f32]| {
-            let t0 = rows.start;
-            for ti in rows {
-                let xrow = &x.data()[ti * c_in..(ti + 1) * c_in];
-                let orow = &mut chunk[(ti - t0) * c_out..(ti - t0 + 1) * c_out];
-                for o in 0..c_out {
-                    let wrow = &self.weight.data()[o * c_in..(o + 1) * c_in];
-                    let mut acc = 0.0f32;
-                    for c in 0..c_in {
-                        acc += xrow[c] * wrow[c];
-                    }
-                    orow[o] = acc;
-                }
-                if let Some(bias) = &self.bias {
-                    for (o, &b) in bias.iter().enumerate() {
-                        orow[o] += b;
-                    }
+        gemm::gemm_f32_wt(t, c_out, c_in, x.data(), self.weight.data(), &mut out);
+        if let Some(bias) = &self.bias {
+            for orow in out.chunks_exact_mut(c_out) {
+                for (o, &b) in bias.iter().enumerate() {
+                    orow[o] += b;
                 }
             }
-        };
-        // The `in_task` check skips band planning (and the pool lookup)
-        // where a nested submit would run inline anyway.
-        let worth_it =
-            !flexiq_parallel::in_task() && t >= 2 && t * c_out * c_in >= gemm::PAR_MIN_WORK;
-        let pool = worth_it.then(flexiq_parallel::current);
-        match pool {
-            Some(pool) if pool.threads() >= 2 => {
-                let bands = flexiq_parallel::chunk_ranges(t, pool.threads() * 4);
-                let elems: Vec<std::ops::Range<usize>> = bands
-                    .iter()
-                    .map(|r| r.start * c_out..r.end * c_out)
-                    .collect();
-                pool.run_disjoint_mut(&mut out, &elems, |bi, chunk| {
-                    token_rows(bands[bi].clone(), chunk)
-                });
-            }
-            _ => token_rows(0..t, &mut out),
         }
         if x.dims().len() == 1 {
             Ok(Tensor::from_vec([c_out], out)?)

@@ -54,7 +54,7 @@ use flexiq_quant::dynamic::dynamic_lowering;
 use flexiq_quant::lowering::BitLowering;
 use flexiq_quant::quantize::{PerChannelQ, RANGE_EPS};
 use flexiq_quant::{GroupSpec, QParams, QuantBits};
-use flexiq_tensor::im2col::{im2col_i8, im2col_i8_batch};
+use flexiq_tensor::im2col::{im2col_i8_batch_fill, im2col_i8_fill};
 use flexiq_tensor::{gemm, I8Tensor, SeqMask, Tensor};
 
 use crate::calibrate::CalibrationRecord;
@@ -62,6 +62,7 @@ use crate::error::NnError;
 use crate::exec::Compute;
 use crate::graph::{Graph, LayerId, LayerView};
 use crate::ops::{Conv2d, Linear};
+use crate::workspace::{self, Buf, Workspace};
 use crate::Result;
 
 /// Static quantization state of one layer.
@@ -357,10 +358,27 @@ impl QuantExecOptions {
     }
 }
 
+/// The per-group scratch one conv band pass needs, borrowed field-wise
+/// from a [`Workspace`] so the caller can keep the quantized activation
+/// and im2col buffers borrowed alongside.
+struct GroupScratch<'a> {
+    low_act: &'a mut Buf<i8>,
+    low_w: &'a mut Buf<i8>,
+    live: &'a mut Buf<i8>,
+    rules: &'a mut Buf<BitLowering>,
+    gemm: &'a mut Buf<i32>,
+}
+
 /// The quantized compute hook.
 ///
 /// Create one per (model, plan) pair; reconstructed weights are cached
 /// across calls, so evaluating many samples under one plan is cheap.
+///
+/// Construction checks the calling thread's parked [`Workspace`] out and
+/// drop parks it again, so consecutive hooks on one thread (a serve
+/// worker's dispatches, a bench loop's `infer` calls) reuse the same
+/// scratch buffers: the steady-state linear/conv hot path allocates
+/// nothing beyond its output tensors.
 pub struct QuantCompute<'m> {
     model: &'m QuantizedModel,
     plan: MixedPlan,
@@ -373,6 +391,16 @@ pub struct QuantCompute<'m> {
     /// statistics — dynamic extraction positions — which must derive
     /// from real rows alone.
     seq_mask: Option<SeqMask>,
+    /// Per-thread scratch, checked out for this hook's lifetime. Taken
+    /// out of `self` (`std::mem::take`) for the duration of each layer
+    /// call so its fields can be borrowed alongside `&self` helpers.
+    ws: Workspace,
+}
+
+impl Drop for QuantCompute<'_> {
+    fn drop(&mut self) {
+        workspace::put(std::mem::take(&mut self.ws));
+    }
 }
 
 impl<'m> QuantCompute<'m> {
@@ -386,7 +414,13 @@ impl<'m> QuantCompute<'m> {
             opts,
             fake_weights: vec![None; n],
             seq_mask: None,
+            ws: workspace::take(),
         })
+    }
+
+    /// This hook's workspace (growth counters are test hooks).
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
     }
 
     /// Per-row validity of an `[N, T, C]` token stack under the installed
@@ -468,26 +502,29 @@ impl<'m> QuantCompute<'m> {
     }
 
     /// Quantizes an activation tensor to `i8` with the layer's per-tensor
-    /// scale. Elements are independent, so large activations quantize in
+    /// scale, into a workspace buffer (no steady-state allocation).
+    /// Elements are independent, so large activations quantize in
     /// parallel chunks (bit-exact: each element's rounding is untouched).
-    fn quantize_act(&self, l: LayerId, x: &Tensor) -> Vec<i8> {
+    fn quantize_act_into(&self, l: LayerId, x: &Tensor, buf: &mut Buf<i8>) {
         let p = QParams::new(self.model.layers[l].act_scale, QuantBits::B8)
             .expect("scale validated at prepare");
         let data = x.data();
+        let out = buf.prep(data.len());
         if !flexiq_parallel::in_task() && data.len() >= 16 * 1024 {
             let pool = flexiq_parallel::current();
             if pool.threads() >= 2 {
-                let mut out = vec![0i8; data.len()];
                 let ranges = flexiq_parallel::chunk_ranges(data.len(), pool.threads() * 4);
-                pool.run_disjoint_mut(&mut out, &ranges, |bi, chunk| {
+                pool.run_disjoint_mut(out, &ranges, |bi, chunk| {
                     for (dst, &v) in chunk.iter_mut().zip(&data[ranges[bi].clone()]) {
                         *dst = p.quantize(v) as i8;
                     }
                 });
-                return out;
+                return;
             }
         }
-        data.iter().map(|&v| p.quantize(v) as i8).collect()
+        for (dst, &v) in out.iter_mut().zip(data.iter()) {
+            *dst = p.quantize(v) as i8;
+        }
     }
 
     /// Activation extraction rule for one group: static position from
@@ -555,14 +592,16 @@ impl<'m> QuantCompute<'m> {
 
     fn linear_fake(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
         let (t, c_in) = lin.check_input(x)?;
-        let xq = self.quantize_act(l, x);
+        let mut ws = std::mem::take(&mut self.ws);
+        self.quantize_act_into(l, x, &mut ws.act_q);
         let x_eff = self.fake_effective_act(
             l,
-            &xq,
+            &ws.act_q,
             c_in,
             |c| (0..t).map(|ti| ti * c_in + c).collect(),
             |_| true,
         );
+        self.ws = ws;
         let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
         let w_eff = self.fake_weight(l)?.clone();
         let eff = Linear::new(w_eff, lin.bias.clone())?;
@@ -572,9 +611,16 @@ impl<'m> QuantCompute<'m> {
     fn conv_fake(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
         let (c_in, h, w) = conv.check_input(x)?;
         let hw = h * w;
-        let xq = self.quantize_act(l, x);
-        let x_eff =
-            self.fake_effective_act(l, &xq, c_in, |c| (c * hw..(c + 1) * hw).collect(), |_| true);
+        let mut ws = std::mem::take(&mut self.ws);
+        self.quantize_act_into(l, x, &mut ws.act_q);
+        let x_eff = self.fake_effective_act(
+            l,
+            &ws.act_q,
+            c_in,
+            |c| (c * hw..(c + 1) * hw).collect(),
+            |_| true,
+        );
+        self.ws = ws;
         let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
         let w_eff = self.fake_weight(l)?.clone();
         let eff = Conv2d::new(w_eff, conv.bias.clone(), conv.stride, conv.pad, conv.groups)?;
@@ -584,11 +630,13 @@ impl<'m> QuantCompute<'m> {
     fn linear_int(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
         let (t, c_in) = lin.check_input(x)?;
         let c_out = lin.c_out();
+        // The workspace is taken out of `self` for the duration of the
+        // layer so its fields can be borrowed alongside `&self` helpers.
+        let mut ws = std::mem::take(&mut self.ws);
+        self.quantize_act_into(l, x, &mut ws.act_q);
         let lq = &self.model.layers[l];
-        let xq = self.quantize_act(l, x);
-        // Transposed weight [C_in, C_out] for row-major band GEMM.
         let wq = lq.w_q.data();
-        let mut acc = vec![0i32; t * c_out];
+        ws.acc.prep(t * c_out);
         for g in 0..lq.num_groups() {
             let range = self.model.groups.channel_range(g, c_in);
             let bw = range.len();
@@ -596,60 +644,71 @@ impl<'m> QuantCompute<'m> {
                 continue;
             }
             if !self.plan.low_groups[l][g] {
-                // 8-bit band: acc[t,o] += sum_{c in band} xq[t,c] wq[o,c].
-                for ti in 0..t {
-                    for o in 0..c_out {
-                        let mut s = 0i32;
-                        for c in range.clone() {
-                            s += xq[ti * c_in + c] as i32 * wq[o * c_in + c] as i32;
-                        }
-                        acc[ti * c_out + o] += s;
-                    }
-                }
+                // 8-bit band: acc[t,o] += sum_{c in band} xq[t,c] wq[o,c],
+                // run as a blocked band GEMM straight off the [C_out,
+                // C_in] master weights (no transposed copy).
+                gemm::gemm_i8_band_wt(
+                    t,
+                    c_out,
+                    c_in,
+                    range.start,
+                    range.end,
+                    &ws.act_q,
+                    wq,
+                    &mut ws.acc,
+                );
                 continue;
             }
             // 4-bit band with bit extraction and shifted accumulation.
-            let live: Vec<i8> = (0..t)
-                .flat_map(|ti| range.clone().map(move |c| (ti, c)))
-                .map(|(ti, c)| xq[ti * c_in + c])
-                .collect();
-            let a_rule = self.act_rule(l, g, &live);
-            let mut xg = vec![0i8; t * bw];
-            for ti in 0..t {
-                for (bi, c) in range.clone().enumerate() {
-                    xg[ti * bw + bi] = a_rule.lower(xq[ti * c_in + c]);
+            let a_rule = {
+                let act_q: &[i8] = &ws.act_q;
+                let live = if self.needs_live() {
+                    ws.live.collect_from(
+                        (0..t).flat_map(|ti| range.clone().map(move |c| act_q[ti * c_in + c])),
+                    )
+                } else {
+                    ws.live.prep(0)
+                };
+                self.act_rule(l, g, live)
+            };
+            {
+                let (xg, act_q) = (ws.low_act.prep(t * bw), &ws.act_q);
+                for ti in 0..t {
+                    for (bi, c) in range.clone().enumerate() {
+                        xg[ti * bw + bi] = a_rule.lower(act_q[ti * c_in + c]);
+                    }
                 }
             }
             // Per-output-channel lowered weight block [bw, C_out].
-            let mut w_rules = Vec::with_capacity(c_out);
-            for o in 0..c_out {
-                w_rules.push(self.w_rule(l, g, o));
-            }
-            let mut wg = vec![0i8; bw * c_out];
-            for (bi, c) in range.clone().enumerate() {
-                for o in 0..c_out {
-                    wg[bi * c_out + o] = w_rules[o].lower(wq[o * c_in + c]);
+            ws.rules.fill_with(c_out, |o| self.w_rule(l, g, o));
+            {
+                let (wg, rules) = (ws.low_w.prep(bw * c_out), &ws.rules);
+                for (bi, c) in range.clone().enumerate() {
+                    for o in 0..c_out {
+                        wg[bi * c_out + o] = rules[o].lower(wq[o * c_in + c]);
+                    }
                 }
             }
-            let mut scratch = vec![0i32; t * c_out];
-            gemm::gemm_i8(t, c_out, bw, &xg, &wg, &mut scratch);
+            ws.group_scratch.prep(t * c_out);
+            gemm::gemm_i8(t, c_out, bw, &ws.low_act, &ws.low_w, &mut ws.group_scratch);
             for ti in 0..t {
                 for o in 0..c_out {
-                    let shift = a_rule.shift() + w_rules[o].shift();
-                    acc[ti * c_out + o] += scratch[ti * c_out + o] << shift;
+                    let shift = a_rule.shift() + ws.rules[o].shift();
+                    ws.acc[ti * c_out + o] += ws.group_scratch[ti * c_out + o] << shift;
                 }
             }
         }
         let mut out = vec![0.0f32; t * c_out];
         for ti in 0..t {
             for o in 0..c_out {
-                let mut v = acc[ti * c_out + o] as f32 * lq.act_scale * lq.w_scales[o];
+                let mut v = ws.acc[ti * c_out + o] as f32 * lq.act_scale * lq.w_scales[o];
                 if let Some(b) = &lin.bias {
                     v += b[o];
                 }
                 out[ti * c_out + o] = v;
             }
         }
+        self.ws = ws;
         if x.dims().len() == 1 {
             Ok(Tensor::from_vec([c_out], out)?)
         } else {
@@ -659,83 +718,39 @@ impl<'m> QuantCompute<'m> {
 
     fn conv_int(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
         let (_c_in, h, w) = conv.check_input(x)?;
-        let lq = &self.model.layers[l];
         let geom = conv.group_geometry(h, w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let cols = geom.cols();
         let k = geom.rows();
-        let khkw = conv.kh() * conv.kw();
         let c_in_g = conv.weight.dims()[1];
         let c_out = conv.c_out();
         let c_out_g = c_out / conv.groups;
-        let xq = self.quantize_act(l, x);
-        let wq = lq.w_q.data();
+        let mut ws = std::mem::take(&mut self.ws);
+        self.quantize_act_into(l, x, &mut ws.act_q);
+        let lq = &self.model.layers[l];
         let mut out = vec![0.0f32; c_out * cols];
         for cg in 0..conv.groups {
-            // Quantized input slice for this conv group.
-            let xg: Vec<i8> = xq[cg * c_in_g * h * w..(cg + 1) * c_in_g * h * w].to_vec();
-            let cols_q = im2col_i8(&xg, &geom);
-            let w_base = cg * c_out_g * k;
-            let mut acc = vec![0i32; c_out_g * cols];
-            // Iterate runs of local channels sharing one feature group.
-            let mut cl = 0usize;
-            while cl < c_in_g {
-                let c_global = cg * c_in_g + cl;
-                let g = self.model.groups.group_of(c_global);
-                let g_end = self.model.groups.channel_range(g, lq.c_in).end;
-                let run_end = (g_end - cg * c_in_g).min(c_in_g);
-                let (k0, k1) = (cl * khkw, run_end * khkw);
-                if !self.plan.low_groups[l][g] {
-                    gemm::gemm_i8_band(
-                        c_out_g,
-                        cols,
-                        k,
-                        k0,
-                        k1,
-                        &wq[w_base..w_base + c_out_g * k],
-                        &cols_q,
-                        &mut acc,
-                    );
-                } else {
-                    let bw = k1 - k0;
-                    let live: Vec<i8> = (k0..k1)
-                        .flat_map(|r| cols_q[r * cols..(r + 1) * cols].to_vec())
-                        .collect();
-                    let a_rule = self.act_rule(l, g, &live);
-                    // Lowered activation band [bw, cols].
-                    let mut xb = vec![0i8; bw * cols];
-                    for r in 0..bw {
-                        for j in 0..cols {
-                            xb[r * cols + j] = a_rule.lower(cols_q[(k0 + r) * cols + j]);
-                        }
-                    }
-                    // Lowered weight band [c_out_g, bw], per-row rules.
-                    let mut rules = Vec::with_capacity(c_out_g);
-                    for ol in 0..c_out_g {
-                        rules.push(self.w_rule(l, g, cg * c_out_g + ol));
-                    }
-                    let mut wb = vec![0i8; c_out_g * bw];
-                    for ol in 0..c_out_g {
-                        for r in 0..bw {
-                            wb[ol * bw + r] = rules[ol].lower(wq[w_base + ol * k + k0 + r]);
-                        }
-                    }
-                    let mut scratch = vec![0i32; c_out_g * cols];
-                    gemm::gemm_i8(c_out_g, cols, bw, &wb, &xb, &mut scratch);
-                    for ol in 0..c_out_g {
-                        let shift = a_rule.shift() + rules[ol].shift();
-                        for j in 0..cols {
-                            acc[ol * cols + j] += scratch[ol * cols + j] << shift;
-                        }
-                    }
-                }
-                cl = run_end;
-            }
+            // Lower this conv group's quantized input slice (borrowed in
+            // place — no per-group copy) into the workspace.
+            im2col_i8_fill(
+                &ws.act_q[cg * c_in_g * h * w..(cg + 1) * c_in_g * h * w],
+                &geom,
+                ws.cols_q.prep(k * cols),
+            );
+            let acc = ws.acc.prep(c_out_g * cols);
+            let scratch = GroupScratch {
+                low_act: &mut ws.low_act,
+                low_w: &mut ws.low_w,
+                live: &mut ws.live,
+                rules: &mut ws.rules,
+                gemm: &mut ws.group_scratch,
+            };
+            self.conv_group_bands(l, conv, cg, 1, cols, &ws.cols_q, scratch, acc);
             for ol in 0..c_out_g {
                 let o = cg * c_out_g + ol;
                 let s = lq.act_scale * lq.w_scales[o];
                 for j in 0..cols {
-                    let mut v = acc[ol * cols + j] as f32 * s;
+                    let mut v = ws.acc[ol * cols + j] as f32 * s;
                     if let Some(b) = &conv.bias {
                         v += b[o];
                     }
@@ -743,6 +758,7 @@ impl<'m> QuantCompute<'m> {
                 }
             }
         }
+        self.ws = ws;
         Ok(Tensor::from_vec([c_out, oh, ow], out)?)
     }
 
@@ -752,18 +768,120 @@ impl<'m> QuantCompute<'m> {
         !self.opts.batch_invariant()
     }
 
+    /// Accumulates one conv group's feature-group bands into `acc`
+    /// (`[c_out_g, nb*cols]`, zeroed by the caller), reading the group's
+    /// already-lowered im2col matrix `cols_q` (`[k, nb*cols]`). This is
+    /// the single copy of the band algorithm — the serial single-sample,
+    /// serial batched, and pool-fanned batched paths all call it, each
+    /// supplying its own [`GroupScratch`] (`nb == 1` for single-sample).
+    #[allow(clippy::too_many_arguments)]
+    fn conv_group_bands(
+        &self,
+        l: LayerId,
+        conv: &Conv2d,
+        cg: usize,
+        nb: usize,
+        cols: usize,
+        cols_q: &[i8],
+        s: GroupScratch<'_>,
+        acc: &mut [i32],
+    ) {
+        let lq = &self.model.layers[l];
+        let wq = lq.w_q.data();
+        let khkw = conv.kh() * conv.kw();
+        let c_in_g = conv.weight.dims()[1];
+        let c_out_g = conv.c_out() / conv.groups;
+        let k = c_in_g * khkw;
+        let ncols = nb * cols;
+        let w_base = cg * c_out_g * k;
+        // Iterate runs of local channels sharing one feature group.
+        let mut cl = 0usize;
+        while cl < c_in_g {
+            let c_global = cg * c_in_g + cl;
+            let g = self.model.groups.group_of(c_global);
+            let g_end = self.model.groups.channel_range(g, lq.c_in).end;
+            let run_end = (g_end - cg * c_in_g).min(c_in_g);
+            let (k0, k1) = (cl * khkw, run_end * khkw);
+            if !self.plan.low_groups[l][g] {
+                gemm::gemm_i8_band_colbatch(
+                    nb,
+                    c_out_g,
+                    cols,
+                    k,
+                    k0,
+                    k1,
+                    &wq[w_base..w_base + c_out_g * k],
+                    cols_q,
+                    acc,
+                );
+            } else {
+                let bw = k1 - k0;
+                let a_rule = {
+                    let live = if self.needs_live() {
+                        s.live
+                            .collect_from(cols_q[k0 * ncols..k1 * ncols].iter().copied())
+                    } else {
+                        s.live.prep(0)
+                    };
+                    self.act_rule(l, g, live)
+                };
+                // Lowered activation band [bw, nb*cols].
+                {
+                    let xb = s.low_act.prep(bw * ncols);
+                    for r in 0..bw {
+                        for j in 0..ncols {
+                            xb[r * ncols + j] = a_rule.lower(cols_q[(k0 + r) * ncols + j]);
+                        }
+                    }
+                }
+                // Lowered weight band [c_out_g, bw], per-row rules, built
+                // once per batch (this is the per-sample cost the batched
+                // path amortizes away).
+                s.rules
+                    .fill_with(c_out_g, |ol| self.w_rule(l, g, cg * c_out_g + ol));
+                {
+                    let wb = s.low_w.prep(c_out_g * bw);
+                    for ol in 0..c_out_g {
+                        for r in 0..bw {
+                            wb[ol * bw + r] = s.rules[ol].lower(wq[w_base + ol * k + k0 + r]);
+                        }
+                    }
+                }
+                s.gemm.prep(c_out_g * ncols);
+                gemm::gemm_i8_colbatch(
+                    nb,
+                    c_out_g,
+                    cols,
+                    bw,
+                    &s.low_w[..],
+                    &s.low_act[..],
+                    &mut s.gemm[..],
+                );
+                for ol in 0..c_out_g {
+                    let shift = a_rule.shift() + s.rules[ol].shift();
+                    for j in 0..ncols {
+                        acc[ol * ncols + j] += s.gemm[ol * ncols + j] << shift;
+                    }
+                }
+            }
+            cl = run_end;
+        }
+    }
+
     fn linear_fake_batch(&mut self, l: LayerId, lin: &Linear, x: &Tensor) -> Result<Tensor> {
         let (n, t, c_in) = lin.check_input_batch(x)?;
         let rows = n * t;
-        let xq = self.quantize_act(l, x);
+        let mut ws = std::mem::take(&mut self.ws);
+        self.quantize_act_into(l, x, &mut ws.act_q);
         let row_live = self.row_mask(n, t);
         let x_eff = self.fake_effective_act(
             l,
-            &xq,
+            &ws.act_q,
             c_in,
             |c| (0..rows).map(|r| r * c_in + c).collect(),
             |i| row_live.as_ref().is_none_or(|v| v[i / c_in]),
         );
+        self.ws = ws;
         let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
         let w_eff = self.fake_weight(l)?.clone();
         let eff = Linear::new(w_eff, lin.bias.clone())?;
@@ -780,10 +898,11 @@ impl<'m> QuantCompute<'m> {
         let c_in = conv.c_in();
         let hw = h * w;
         let chw = c_in * hw;
-        let xq = self.quantize_act(l, x);
+        let mut ws = std::mem::take(&mut self.ws);
+        self.quantize_act_into(l, x, &mut ws.act_q);
         let x_eff = self.fake_effective_act(
             l,
-            &xq,
+            &ws.act_q,
             c_in,
             |c| {
                 (0..n)
@@ -792,6 +911,7 @@ impl<'m> QuantCompute<'m> {
             },
             |_| true,
         );
+        self.ws = ws;
         let x_eff = Tensor::from_vec(x.dims().to_vec(), x_eff)?;
         let w_eff = self.fake_weight(l)?.clone();
         let eff = Conv2d::new(w_eff, conv.bias.clone(), conv.stride, conv.pad, conv.groups)?;
@@ -805,10 +925,11 @@ impl<'m> QuantCompute<'m> {
         let rows = n * t;
         let c_out = lin.c_out();
         let row_live = self.row_mask(n, t);
+        let mut ws = std::mem::take(&mut self.ws);
+        self.quantize_act_into(l, x, &mut ws.act_q);
         let lq = &self.model.layers[l];
-        let xq = self.quantize_act(l, x);
         let wq = lq.w_q.data();
-        let mut acc = vec![0i32; rows * c_out];
+        ws.acc.prep(rows * c_out);
         for g in 0..lq.num_groups() {
             let range = self.model.groups.channel_range(g, c_in);
             let bw = range.len();
@@ -816,12 +937,27 @@ impl<'m> QuantCompute<'m> {
                 continue;
             }
             if !self.plan.low_groups[l][g] {
-                // 8-bit band over the whole stack; token rows are
-                // independent, so they band across the pool (integer
-                // adds in unchanged per-element order — bit-exact). Pad
-                // rows of a masked batch are skipped: their accumulator
+                if row_live.is_none() {
+                    // 8-bit band over the whole stack: one blocked band
+                    // GEMM straight off the [C_out, C_in] master weights.
+                    // Token rows are independent, so the kernel bands
+                    // them across the pool internally (integer adds in
+                    // unchanged per-element order — bit-exact).
+                    gemm::gemm_i8_band_wt(
+                        rows,
+                        c_out,
+                        c_in,
+                        range.start,
+                        range.end,
+                        &ws.act_q,
+                        wq,
+                        &mut ws.acc,
+                    );
+                    continue;
+                }
+                // Masked batch: pad rows are skipped — their accumulator
                 // stays zero and they cost no multiplies.
-                let row_live = &row_live;
+                let (row_live, xq) = (&row_live, &ws.act_q);
                 let band_rows = |trange: std::ops::Range<usize>, accband: &mut [i32]| {
                     let t0 = trange.start;
                     for ti in trange {
@@ -848,72 +984,78 @@ impl<'m> QuantCompute<'m> {
                             .iter()
                             .map(|r| r.start * c_out..r.end * c_out)
                             .collect();
-                        pool.run_disjoint_mut(&mut acc, &elems, |bi, chunk| {
+                        pool.run_disjoint_mut(&mut ws.acc, &elems, |bi, chunk| {
                             band_rows(bands[bi].clone(), chunk)
                         });
                     }
-                    _ => band_rows(0..rows, &mut acc),
+                    _ => band_rows(0..rows, &mut ws.acc),
                 }
                 continue;
             }
-            let live: Vec<i8> = if self.needs_live() {
-                // Pad rows of a masked batch carry no information about
-                // the real activations; dynamic extraction positions
-                // derive from live rows only.
-                let (xq, row_live) = (&xq, &row_live);
-                (0..rows)
-                    .filter(|&ti| row_live.as_ref().is_none_or(|v| v[ti]))
-                    .flat_map(|ti| range.clone().map(move |c| xq[ti * c_in + c]))
-                    .collect()
-            } else {
-                Vec::new()
+            let a_rule = {
+                let (xq, row_live): (&[i8], _) = (&ws.act_q, &row_live);
+                let live = if self.needs_live() {
+                    // Pad rows of a masked batch carry no information
+                    // about the real activations; dynamic extraction
+                    // positions derive from live rows only.
+                    ws.live.collect_from(
+                        (0..rows)
+                            .filter(|&ti| row_live.as_ref().is_none_or(|v| v[ti]))
+                            .flat_map(|ti| range.clone().map(move |c| xq[ti * c_in + c])),
+                    )
+                } else {
+                    ws.live.prep(0)
+                };
+                self.act_rule(l, g, live)
             };
-            let a_rule = self.act_rule(l, g, &live);
             // One lowered weight block [bw, C_out] for the whole batch.
-            let mut w_rules = Vec::with_capacity(c_out);
-            for o in 0..c_out {
-                w_rules.push(self.w_rule(l, g, o));
-            }
-            let mut wg = vec![0i8; bw * c_out];
-            for (bi, c) in range.clone().enumerate() {
-                for o in 0..c_out {
-                    wg[bi * c_out + o] = w_rules[o].lower(wq[o * c_in + c]);
+            ws.rules.fill_with(c_out, |o| self.w_rule(l, g, o));
+            {
+                let (wg, rules) = (ws.low_w.prep(bw * c_out), &ws.rules);
+                for (bi, c) in range.clone().enumerate() {
+                    for o in 0..c_out {
+                        wg[bi * c_out + o] = rules[o].lower(wq[o * c_in + c]);
+                    }
                 }
             }
             // Masked batches compact to their valid rows before the band
             // GEMM: pad rows never enter the kernel (their accumulator
             // stays zero), and each valid row's reduction order is
             // untouched — bit-exact with the unmasked call.
-            let vrows: Vec<usize> = match &row_live {
-                Some(valid) => (0..rows).filter(|&r| valid[r]).collect(),
-                None => (0..rows).collect(),
-            };
-            let nv = vrows.len();
-            let mut xg = vec![0i8; nv * bw];
-            for (vi, &ti) in vrows.iter().enumerate() {
-                for (bi, c) in range.clone().enumerate() {
-                    xg[vi * bw + bi] = a_rule.lower(xq[ti * c_in + c]);
+            {
+                let row_live = &row_live;
+                ws.rows
+                    .collect_from((0..rows).filter(|&r| row_live.as_ref().is_none_or(|v| v[r])));
+            }
+            let nv = ws.rows.len();
+            {
+                let (xg, vrows, xq) = (ws.low_act.prep(nv * bw), &ws.rows, &ws.act_q);
+                for (vi, &ti) in vrows.iter().enumerate() {
+                    for (bi, c) in range.clone().enumerate() {
+                        xg[vi * bw + bi] = a_rule.lower(xq[ti * c_in + c]);
+                    }
                 }
             }
-            let mut scratch = vec![0i32; nv * c_out];
-            gemm::gemm_i8(nv, c_out, bw, &xg, &wg, &mut scratch);
-            for (vi, &ti) in vrows.iter().enumerate() {
+            ws.group_scratch.prep(nv * c_out);
+            gemm::gemm_i8(nv, c_out, bw, &ws.low_act, &ws.low_w, &mut ws.group_scratch);
+            for (vi, &ti) in ws.rows.iter().enumerate() {
                 for o in 0..c_out {
-                    let shift = a_rule.shift() + w_rules[o].shift();
-                    acc[ti * c_out + o] += scratch[vi * c_out + o] << shift;
+                    let shift = a_rule.shift() + ws.rules[o].shift();
+                    ws.acc[ti * c_out + o] += ws.group_scratch[vi * c_out + o] << shift;
                 }
             }
         }
         let mut out = vec![0.0f32; rows * c_out];
         for ti in 0..rows {
             for o in 0..c_out {
-                let mut v = acc[ti * c_out + o] as f32 * lq.act_scale * lq.w_scales[o];
+                let mut v = ws.acc[ti * c_out + o] as f32 * lq.act_scale * lq.w_scales[o];
                 if let Some(b) = &lin.bias {
                     v += b[o];
                 }
                 out[ti * c_out + o] = v;
             }
         }
+        self.ws = ws;
         if x.dims().len() == 2 {
             Ok(Tensor::from_vec([n, c_out], out)?)
         } else {
@@ -933,87 +1075,18 @@ impl<'m> QuantCompute<'m> {
     /// at any thread count.
     fn conv_int_batch(&mut self, l: LayerId, conv: &Conv2d, x: &Tensor) -> Result<Tensor> {
         let (n, h, w) = conv.check_input_batch(x)?;
-        let lq = &self.model.layers[l];
         let geom = conv.group_geometry(h, w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let cols = geom.cols();
         let ncols = n * cols;
         let k = geom.rows();
-        let khkw = conv.kh() * conv.kw();
         let c_in_g = conv.weight.dims()[1];
         let c_out = conv.c_out();
         let c_out_g = c_out / conv.groups;
         let chw = conv.c_in() * h * w;
-        let xq = self.quantize_act(l, x);
-        let wq = lq.w_q.data();
-        // Integer accumulator [c_out_g, N*cols] of one conv group.
-        let group_acc = |cg: usize| -> Vec<i32> {
-            // One column-batched lowering of this conv group's channels
-            // across the whole batch (strided view into the stack).
-            let cols_q = im2col_i8_batch(&xq[cg * c_in_g * h * w..], n, chw, &geom);
-            let w_base = cg * c_out_g * k;
-            let mut acc = vec![0i32; c_out_g * ncols];
-            // Iterate runs of local channels sharing one feature group.
-            let mut cl = 0usize;
-            while cl < c_in_g {
-                let c_global = cg * c_in_g + cl;
-                let g = self.model.groups.group_of(c_global);
-                let g_end = self.model.groups.channel_range(g, lq.c_in).end;
-                let run_end = (g_end - cg * c_in_g).min(c_in_g);
-                let (k0, k1) = (cl * khkw, run_end * khkw);
-                if !self.plan.low_groups[l][g] {
-                    gemm::gemm_i8_band_colbatch(
-                        n,
-                        c_out_g,
-                        cols,
-                        k,
-                        k0,
-                        k1,
-                        &wq[w_base..w_base + c_out_g * k],
-                        &cols_q,
-                        &mut acc,
-                    );
-                } else {
-                    let bw = k1 - k0;
-                    let live: Vec<i8> = if self.needs_live() {
-                        cols_q[k0 * ncols..k1 * ncols].to_vec()
-                    } else {
-                        Vec::new()
-                    };
-                    let a_rule = self.act_rule(l, g, &live);
-                    // Lowered activation band [bw, N*cols].
-                    let mut xb = vec![0i8; bw * ncols];
-                    for r in 0..bw {
-                        for j in 0..ncols {
-                            xb[r * ncols + j] = a_rule.lower(cols_q[(k0 + r) * ncols + j]);
-                        }
-                    }
-                    // Lowered weight band [c_out_g, bw], built once per
-                    // batch (this is the per-sample cost the batched path
-                    // amortizes away).
-                    let mut rules = Vec::with_capacity(c_out_g);
-                    for ol in 0..c_out_g {
-                        rules.push(self.w_rule(l, g, cg * c_out_g + ol));
-                    }
-                    let mut wb = vec![0i8; c_out_g * bw];
-                    for ol in 0..c_out_g {
-                        for r in 0..bw {
-                            wb[ol * bw + r] = rules[ol].lower(wq[w_base + ol * k + k0 + r]);
-                        }
-                    }
-                    let mut scratch = vec![0i32; c_out_g * ncols];
-                    gemm::gemm_i8_colbatch(n, c_out_g, cols, bw, &wb, &xb, &mut scratch);
-                    for ol in 0..c_out_g {
-                        let shift = a_rule.shift() + rules[ol].shift();
-                        for j in 0..ncols {
-                            acc[ol * ncols + j] += scratch[ol * ncols + j] << shift;
-                        }
-                    }
-                }
-                cl = run_end;
-            }
-            acc
-        };
+        let mut ws = std::mem::take(&mut self.ws);
+        self.quantize_act_into(l, x, &mut ws.act_q);
+        let lq = &self.model.layers[l];
         let mut out = vec![0.0f32; n * c_out * cols];
         let scatter = |cg: usize, acc: &[i32], out: &mut [f32]| {
             for ol in 0..c_out_g {
@@ -1035,19 +1108,64 @@ impl<'m> QuantCompute<'m> {
             .filter(|p| p.threads() >= 2);
         match pool {
             Some(pool) => {
+                // Parallel conv-group fan-out. Each executing thread
+                // checks its own parked workspace out for the group's
+                // scratch (helpers are long-lived pool threads, so their
+                // workspaces warm up and stick like the submitter's);
+                // only the returned accumulator is a fresh allocation.
+                let xq: &[i8] = &ws.act_q;
+                let group_acc = |cg: usize| -> Vec<i32> {
+                    let mut tls = workspace::take();
+                    im2col_i8_batch_fill(
+                        &xq[cg * c_in_g * h * w..],
+                        n,
+                        chw,
+                        &geom,
+                        tls.cols_q.prep(k * ncols),
+                    );
+                    let mut acc = vec![0i32; c_out_g * ncols];
+                    let scratch = GroupScratch {
+                        low_act: &mut tls.low_act,
+                        low_w: &mut tls.low_w,
+                        live: &mut tls.live,
+                        rules: &mut tls.rules,
+                        gemm: &mut tls.group_scratch,
+                    };
+                    self.conv_group_bands(l, conv, cg, n, cols, &tls.cols_q, scratch, &mut acc);
+                    workspace::put(tls);
+                    acc
+                };
                 for (cg, acc) in pool.map(conv.groups, group_acc).iter().enumerate() {
                     scatter(cg, acc, &mut out);
                 }
             }
-            // Serial: compute and scatter one group at a time so peak
-            // scratch stays one group's accumulator (matters for
-            // depthwise layers, where groups == C_in).
+            // Serial: compute and scatter one group at a time through the
+            // workspace, so peak scratch stays one group's accumulator
+            // (matters for depthwise layers, where groups == C_in) and
+            // steady-state passes allocate nothing here.
             None => {
                 for cg in 0..conv.groups {
-                    scatter(cg, &group_acc(cg), &mut out);
+                    im2col_i8_batch_fill(
+                        &ws.act_q[cg * c_in_g * h * w..],
+                        n,
+                        chw,
+                        &geom,
+                        ws.cols_q.prep(k * ncols),
+                    );
+                    let acc = ws.acc.prep(c_out_g * ncols);
+                    let scratch = GroupScratch {
+                        low_act: &mut ws.low_act,
+                        low_w: &mut ws.low_w,
+                        live: &mut ws.live,
+                        rules: &mut ws.rules,
+                        gemm: &mut ws.group_scratch,
+                    };
+                    self.conv_group_bands(l, conv, cg, n, cols, &ws.cols_q, scratch, acc);
+                    scatter(cg, &ws.acc, &mut out);
                 }
             }
         }
+        self.ws = ws;
         Ok(Tensor::from_vec([n, c_out, oh, ow], out)?)
     }
 }

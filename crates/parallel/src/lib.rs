@@ -269,6 +269,52 @@ impl ThreadPool {
         });
     }
 
+    /// Runs `f(i, band_i)` in parallel over disjoint **column bands** of a
+    /// row-major `[rows, row_stride]` matrix stored in `data`. Band `i`
+    /// covers columns `bands[i]` of every row; the closure receives a
+    /// [`ColBandMut`] view whose `row(r)` accessor yields that row's band
+    /// columns. This is the sample-axis (column-band) counterpart of
+    /// [`ThreadPool::run_disjoint_mut`], used by wide-but-short GEMMs
+    /// (`m` small, `nb·n` large) where row banding has nothing to split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two bands overlap, a band exceeds `row_stride`, or
+    /// `rows * row_stride` exceeds `data.len()`.
+    pub fn run_col_bands_mut<T, F>(
+        &self,
+        data: &mut [T],
+        rows: usize,
+        row_stride: usize,
+        bands: &[Range<usize>],
+        f: F,
+    ) where
+        T: Send,
+        F: Fn(usize, &mut ColBandMut<'_, T>) + Sync,
+    {
+        assert!(
+            rows * row_stride <= data.len(),
+            "matrix [{rows}, {row_stride}] outside data"
+        );
+        let mut sorted: Vec<&Range<usize>> = bands.iter().collect();
+        sorted.sort_by_key(|r| r.start);
+        let mut prev_end = 0usize;
+        for r in sorted {
+            assert!(r.start >= prev_end && r.start <= r.end, "bands overlap");
+            assert!(r.end <= row_stride, "band {r:?} outside row stride");
+            prev_end = r.end.max(prev_end);
+        }
+        let base = SendPtr(data.as_mut_ptr());
+        self.run(bands.len(), |i| {
+            // SAFETY: bands are in-bounds and pairwise disjoint (validated
+            // above), so each task's view touches a unique column set of
+            // every row; `run` keeps `data` borrowed until all tasks end.
+            let mut band =
+                unsafe { ColBandMut::from_raw(base.get(), rows, row_stride, bands[i].clone()) };
+            f(i, &mut band);
+        });
+    }
+
     /// Parallel map: returns `[f(0), …, f(n - 1)]` in index order.
     pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
@@ -318,6 +364,75 @@ fn helper_loop(shared: &Shared) {
         if job.exhausted() {
             let mut q = shared.queue.lock().expect("pool queue");
             q.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+    }
+}
+
+/// A mutable view of one column band of a row-major `[rows, stride]`
+/// matrix: columns `cols` of every row. Rows are accessed one at a time
+/// through [`ColBandMut::row`], which is what keeps the API safe — two
+/// live `&mut` rows from one view are impossible, and two views from
+/// [`ThreadPool::run_col_bands_mut`] cover disjoint columns.
+pub struct ColBandMut<'a, T> {
+    base: *mut T,
+    rows: usize,
+    stride: usize,
+    cols: Range<usize>,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the view is an exclusive borrow of its (disjoint) column set;
+// moving it across threads moves that exclusivity with it.
+unsafe impl<T: Send> Send for ColBandMut<'_, T> {}
+
+impl<'a, T> ColBandMut<'a, T> {
+    /// A full-width (or sub-column) view over an exclusively borrowed
+    /// buffer — the safe constructor for serial callers that want the
+    /// same row-accessor shape the parallel bands get.
+    pub fn new(data: &'a mut [T], rows: usize, stride: usize, cols: Range<usize>) -> Self {
+        assert!(cols.start <= cols.end && cols.end <= stride, "bad columns");
+        assert!(rows * stride <= data.len(), "matrix outside data");
+        // SAFETY: bounds validated; `data` is exclusively borrowed for 'a.
+        unsafe { ColBandMut::from_raw(data.as_mut_ptr(), rows, stride, cols) }
+    }
+
+    /// # Safety
+    ///
+    /// `base` must point to a live allocation covering `rows * stride`
+    /// elements that no other code mutates for `'a`, except through
+    /// sibling views whose `cols` are disjoint from this one's.
+    unsafe fn from_raw(base: *mut T, rows: usize, stride: usize, cols: Range<usize>) -> Self {
+        ColBandMut {
+            base,
+            rows,
+            stride,
+            cols,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Rows in the view.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns in the view (band width).
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The band's columns of row `r`, as a mutable slice of `width()`
+    /// elements.
+    pub fn row(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} outside view of {} rows", self.rows);
+        // SAFETY: in-bounds by the constructor contract; exclusivity of
+        // the band columns by the view's invariant; no aliasing with
+        // other rows because the returned borrow ties up `&mut self`.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.base.add(r * self.stride + self.cols.start),
+                self.cols.len(),
+            )
         }
     }
 }
@@ -520,6 +635,54 @@ mod tests {
         let pool = ThreadPool::new(2);
         let mut data = vec![0u8; 10];
         pool.run_disjoint_mut(&mut data, &[0..6, 5..10], |_, _| {});
+    }
+
+    #[test]
+    fn col_bands_fill_disjoint_strided_regions() {
+        let pool = ThreadPool::new(3);
+        let (rows, stride) = (5usize, 13usize);
+        let mut data = vec![0usize; rows * stride];
+        let bands = chunk_ranges(stride, 4);
+        pool.run_col_bands_mut(&mut data, rows, stride, &bands, |i, band| {
+            assert_eq!(band.rows(), rows);
+            assert_eq!(band.width(), bands[i].len());
+            for r in 0..rows {
+                for v in band.row(r).iter_mut() {
+                    *v = i + 1;
+                }
+            }
+        });
+        for r in 0..rows {
+            for (i, b) in bands.iter().enumerate() {
+                assert!(data[r * stride..][b.clone()].iter().all(|&v| v == i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn col_band_view_over_borrowed_slice() {
+        let mut data = vec![0u8; 12]; // [3, 4] matrix
+        let mut band = ColBandMut::new(&mut data, 3, 4, 1..3);
+        for r in 0..3 {
+            band.row(r).fill(7);
+        }
+        assert_eq!(data, [0, 7, 7, 0, 0, 7, 7, 0, 0, 7, 7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bands overlap")]
+    fn overlapping_col_bands_are_rejected() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u8; 20];
+        pool.run_col_bands_mut(&mut data, 2, 10, &[0..6, 5..10], |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "outside row stride")]
+    fn col_band_outside_stride_is_rejected() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u8; 20];
+        pool.run_col_bands_mut(&mut data, 2, 10, std::slice::from_ref(&(0..11)), |_, _| {});
     }
 
     #[test]

@@ -36,13 +36,21 @@
 //!
 //! **Intra-batch parallelism:** every worker installs the server's one
 //! shared [`flexiq_parallel::ThreadPool`] around its dispatch, so a
-//! stacked pass additionally fans per-sample cores and GEMM row bands
-//! across `pool_threads` threads. Workers submitting concurrently share
-//! the same pool (the pool never runs more than its size in tasks at
-//! once, and a task that fans out again runs inline), which is how
+//! stacked pass additionally fans per-sample cores and GEMM output
+//! bands across `pool_threads` threads. Workers submitting concurrently
+//! share the same pool (the pool never runs more than its size in tasks
+//! at once, and a task that fans out again runs inline), which is how
 //! worker-level and intra-batch parallelism compose without
 //! oversubscription — see [`crate::ServeConfig::pool_threads`] for the
 //! sizing rule.
+//!
+//! **Steady-state allocation:** worker threads are long-lived, so the
+//! per-thread scratch the execution stack uses underneath — the
+//! quantized engines' `flexiq_nn::workspace::Workspace` and the blocked
+//! GEMM kernels' packing pools — warms up on a worker's first dispatch
+//! and is reused for every dispatch after it. Under sustained load the
+//! linear/conv hot path stops touching the allocator entirely (the
+//! scratch grows to the largest dispatched shape and stays).
 
 use std::sync::mpsc;
 use std::sync::Arc;

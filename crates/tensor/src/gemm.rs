@@ -1,24 +1,53 @@
-//! Reference GEMM kernels (f32 and integer).
+//! Blocked, packed GEMM micro-kernels (f32 and integer).
 //!
 //! These kernels are the ground truth for the functional GPU/NPU simulator
 //! kernels in `flexiq-gpu-sim` and `flexiq-npu-sim`: every mixed-precision
 //! result produced there must match the plain integer GEMM of the
-//! dequantization-equivalent operands computed here.
+//! dequantization-equivalent operands computed here. The naive loops that
+//! used to live here survive in [`reference`] — the blocked kernels are
+//! property-tested bit-exact against them across shapes, bands, layouts,
+//! and thread counts.
 //!
-//! The f32 kernel uses the classic i-k-j loop order so the innermost loop
-//! streams both `b` and `c` rows; the integer kernels accumulate into
-//! `i32`, matching the accumulator width of both the NPU's MAC tree and
-//! the GPU's MMA instructions.
+//! # Blocking and packing
+//!
+//! Large GEMMs run as a cache-blocked micro-kernel family instead of a
+//! naive triple loop:
+//!
+//! * the reduction dimension is split into [`KC`]-step blocks and output
+//!   rows into [`MC`]-step blocks, so the working set of one block pass
+//!   stays cache-resident;
+//! * the rhs is packed **once per call** into column panels of [`NR`]
+//!   lanes (`[panel][p][lane]`, zero-padded tail lanes) and reused by
+//!   every row band and k-block — i8 weight/activation panels therefore
+//!   pack once per layer pass;
+//! * the lhs is packed per (row-block × k-block) into [`MR`]-interleaved
+//!   tiles from a thread-local scratch buffer ([`crate::scratch`]), so
+//!   steady-state calls allocate nothing;
+//! * the inner kernel computes an `MR × NR` output tile in registers.
+//!
+//! Small GEMMs (below a few thousand multiply-adds) skip packing and run
+//! the reference loops — for them the pack traffic would cost more than
+//! the arithmetic.
+//!
+//! # Bit-exactness
+//!
+//! The f32 micro-kernel **loads its accumulator tile from `c` and stores
+//! it back after each k-block, processing k-blocks in ascending order**:
+//! every output element receives exactly the same sequence of rounded
+//! multiply-adds, in the same order, as the naive `i-p-j` loop. Blocked
+//! f32 results are therefore bit-identical to [`reference::gemm_f32`] —
+//! not merely close — and all batched/parallel equivalence guarantees
+//! below hold through the blocked path unchanged. Integer kernels
+//! accumulate into `i32` (the accumulator width of both the NPU's MAC
+//! tree and the GPU's MMA instructions), where order is immaterial.
 //!
 //! # Zero-skip semantics
 //!
 //! The **integer** kernels skip reduction steps whose lhs element is zero:
 //! `0 * b == 0` holds exactly in integer arithmetic, so the skip is a pure
-//! optimization. The f32 kernel must **not** skip — `0.0 * NaN` is `NaN`
-//! and `0.0 * inf` is `NaN`, so skipping would silently suppress NaN/Inf
-//! propagation from the rhs (a real hazard: a poisoned activation would
-//! vanish wherever a weight happens to be zero instead of surfacing in
-//! the output).
+//! optimization (bit-lowered 4-bit operands are sparse). The f32 kernels
+//! must **not** skip — `0.0 * NaN` is `NaN` and `0.0 * inf` is `NaN`, so
+//! skipping would silently suppress NaN/Inf propagation from the rhs.
 //!
 //! # Batched layout
 //!
@@ -28,50 +57,578 @@
 //! same layout. Each output element's reduction order is identical to a
 //! per-sample call, so batched results are bit-exact with single-sample
 //! results while the lhs row (the weights) is streamed across the whole
-//! batch — this is the amortization the batched execution path relies on.
+//! batch.
+//!
+//! The `*_wt` variants take the rhs in **weight layout** `[n, k]`
+//! (row-major, i.e. transposed): rhs column `j` is row `j` of the weight
+//! matrix. This is the natural layout of `Linear` weights (`[C_out,
+//! C_in]`), so the linear layers feed the packed kernels without
+//! materializing a transpose — packing reads the transposed source
+//! directly.
 //!
 //! # Parallelism
 //!
-//! Large GEMMs split their **output rows** into contiguous bands fanned
-//! across the ambient [`flexiq_parallel`] pool. Bands partition only the
-//! independent `i` dimension: every output element keeps its exact
-//! serial reduction order over `p`, so parallel results are bit-exact
-//! with serial ones at any thread count (f32 included — no float sum is
-//! reordered). Small GEMMs (below [`PAR_MIN_WORK`] multiply-adds) stay
-//! serial; pool dispatch would cost more than the arithmetic.
+//! Large GEMMs fan across the ambient [`flexiq_parallel`] pool along
+//! whichever independent output axis can feed it: contiguous **row
+//! bands** when `m` is tall enough, else contiguous **column bands**
+//! (the sample axis of wide-but-short colbatch GEMMs, where row banding
+//! has nothing to split — e.g. depthwise convolutions with one output
+//! row per group). Bands partition only independent output elements:
+//! every element keeps its exact serial reduction order over `p`, so
+//! parallel results are bit-exact with serial ones at any thread count
+//! (f32 included — no float sum is reordered). Small GEMMs (below
+//! [`PAR_MIN_WORK`] multiply-adds) stay serial.
 
-/// Minimum multiply-add count (`m*n*k`) before a GEMM fans its row
+use std::ops::Range;
+use std::sync::Arc;
+
+use flexiq_parallel::{chunk_ranges, ColBandMut, ThreadPool};
+
+use crate::scratch;
+
+/// Minimum multiply-add count (`m*n*k`) before a GEMM fans its output
 /// bands across the thread pool.
 pub const PAR_MIN_WORK: usize = 64 * 1024;
 
-/// Row bands to split a `m`-row output over the ambient pool, or `None`
-/// when the GEMM should stay serial (single-thread pool, single row, or
-/// not enough work to amortize dispatch).
-fn row_bands(
-    m: usize,
-    n: usize,
-    k: usize,
-) -> Option<(
-    std::sync::Arc<flexiq_parallel::ThreadPool>,
-    Vec<std::ops::Range<usize>>,
-)> {
-    // Inside a pool task a nested run would inline anyway: skip the
-    // pool lookup (which may lazily spawn the global pool) and the
-    // banding work entirely.
-    if flexiq_parallel::in_task() || m < 2 || m * n * k < PAR_MIN_WORK {
-        return None;
-    }
-    let pool = flexiq_parallel::current();
-    if pool.threads() < 2 {
-        return None;
-    }
-    // Oversplit ~4× the thread count so the pool's dynamic claiming can
-    // balance bands of uneven cost.
-    let bands = flexiq_parallel::chunk_ranges(m, pool.threads() * 4);
-    Some((pool, bands))
+/// Minimum multiply-add count before packing + blocking pays for itself;
+/// smaller problems run the [`reference`] loops directly.
+pub const BLOCK_MIN_WORK: usize = 8 * 1024;
+
+/// Minimum rhs extent (`kb * n` elements) before the **f32** kernels
+/// block. The naive f32 loop already streams its rhs/output rows
+/// contiguously and vectorizes well; packing only pays once the rhs
+/// stops fitting in cache and naive's `m`-fold re-streaming becomes the
+/// bottleneck (measured crossover ≈ 1 MB). The integer kernels have no
+/// such floor — their win is register tiling around the expensive
+/// widening lane math, which pays even cache-resident.
+pub const BLOCK_MIN_RHS_F32: usize = 256 * 1024;
+
+/// Register-tile rows (lhs values held per micro-kernel step).
+pub const MR: usize = 4;
+
+/// Register-tile columns (rhs panel lane count) of the f32 kernels.
+pub const NR: usize = 8;
+
+/// Rhs panel lane count of the integer kernels. Wider than f32: the
+/// widening `i8×i8→i32` lane math has more per-row overhead (the
+/// zero-skip branch, sign extension), so longer branch-free runs
+/// amortize it better while a `KC × NR_I8` i8 panel segment still sits
+/// comfortably in L1.
+pub const NR_I8: usize = 32;
+
+/// Reduction-dimension block: one lhs tile of `MR * KC` elements streams
+/// against packed rhs panels while the output tile stays in registers.
+pub const KC: usize = 128;
+
+/// Output-row block: rows packed (and kept hot) per k-block pass.
+pub const MC: usize = 64;
+
+/// How a kernel reads its rhs operand.
+#[derive(Clone, Copy)]
+enum Rhs<'a, T> {
+    /// Row-major `[k, n]` — the classic GEMM rhs (and the column-stacked
+    /// batched layout, where `n` counts all stacked columns).
+    Rows { b: &'a [T], n: usize },
+    /// Weight layout `[n, k]` row-major: rhs column `j` is row `j` of
+    /// `w` — the transposed rhs the linear layers hold natively.
+    WeightT { w: &'a [T], k: usize },
 }
 
+/// How a call partitions its output across the pool.
+enum Plan {
+    Serial,
+    Rows(Arc<ThreadPool>, Vec<Range<usize>>),
+    Cols(Arc<ThreadPool>, Vec<Range<usize>>),
+}
+
+/// Picks the parallel partitioning for an `[m, n]` output with a `kb`-step
+/// reduction: row bands when the row axis can feed every thread, else
+/// column bands (the sample axis of wide-but-short colbatch GEMMs), else
+/// serial. Oversplits ~4× the thread count so dynamic claiming balances
+/// bands of uneven cost.
+fn plan_bands(m: usize, n: usize, kb: usize) -> Plan {
+    // Inside a pool task a nested run would inline anyway: skip the pool
+    // lookup (which may lazily spawn the global pool) and band planning.
+    if flexiq_parallel::in_task() || m * n * kb < PAR_MIN_WORK {
+        return Plan::Serial;
+    }
+    let pool = flexiq_parallel::current();
+    let t = pool.threads();
+    if t < 2 {
+        return Plan::Serial;
+    }
+    if m >= 2 * t {
+        let bands = chunk_ranges(m, t * 4);
+        Plan::Rows(pool, bands)
+    } else if n >= 2 * t {
+        // Wide but short: too few rows to feed the pool, so split the
+        // column (sample) axis instead. Column bands of a row-major
+        // output are strided, which is exactly what
+        // `run_col_bands_mut` partitions safely.
+        let bands = chunk_ranges(n, t * 4);
+        Plan::Cols(pool, bands)
+    } else if m >= 2 {
+        let bands = chunk_ranges(m, t * 4);
+        Plan::Rows(pool, bands)
+    } else {
+        Plan::Serial
+    }
+}
+
+/// Whether a problem is worth packing + blocking (vs the reference
+/// loop). `min_rhs` is the per-dtype rhs-extent floor (see
+/// [`BLOCK_MIN_RHS_F32`]).
+fn worth_blocking(m: usize, n: usize, kb: usize, nr: usize, min_rhs: usize) -> bool {
+    m >= 2 && n >= nr && m * n * kb >= BLOCK_MIN_WORK && kb * n >= min_rhs
+}
+
+// ─── Packing ────────────────────────────────────────────────────────────
+
+macro_rules! pack_impl {
+    ($pack_b:ident, $pack_a:ident, $ty:ty, $zero:expr, $nr:expr) => {
+        /// Packs rhs columns `cols` of the reduction band `[k0, k1)` into
+        /// `$nr`-lane column panels: `buf[(jp*kb + p)*$nr + lane]`, with
+        /// tail lanes zero-filled.
+        fn $pack_b(
+            rhs: Rhs<'_, $ty>,
+            k0: usize,
+            k1: usize,
+            cols: Range<usize>,
+            buf: &mut Vec<$ty>,
+        ) {
+            const NR_: usize = $nr;
+            let kb = k1 - k0;
+            let ncols = cols.len();
+            let npan = ncols.div_ceil(NR_);
+            buf.clear();
+            buf.resize(npan * kb * NR_, $zero);
+            match rhs {
+                Rhs::Rows { b, n } => {
+                    for jp in 0..npan {
+                        let j0 = cols.start + jp * NR_;
+                        let w = (cols.end - j0).min(NR_);
+                        let base = jp * kb * NR_;
+                        for p in 0..kb {
+                            buf[base + p * NR_..base + p * NR_ + w]
+                                .copy_from_slice(&b[(k0 + p) * n + j0..(k0 + p) * n + j0 + w]);
+                        }
+                    }
+                }
+                Rhs::WeightT { w, k } => {
+                    for jp in 0..npan {
+                        let j0 = cols.start + jp * NR_;
+                        let lanes = (cols.end - j0).min(NR_);
+                        let base = jp * kb * NR_;
+                        for lane in 0..lanes {
+                            let wrow = &w[(j0 + lane) * k..(j0 + lane) * k + k];
+                            for p in 0..kb {
+                                buf[base + p * NR_ + lane] = wrow[k0 + p];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Packs lhs rows `rows` of the reduction block `kr` into
+        /// `MR`-interleaved tiles: `buf[(it*kcb + p)*MR + r]`, with tail
+        /// rows zero-filled.
+        fn $pack_a(
+            a: &[$ty],
+            lda: usize,
+            rows: Range<usize>,
+            kr: Range<usize>,
+            buf: &mut Vec<$ty>,
+        ) {
+            let kcb = kr.len();
+            let ntiles = rows.len().div_ceil(MR);
+            buf.clear();
+            buf.resize(ntiles * kcb * MR, $zero);
+            for it in 0..ntiles {
+                let base = it * kcb * MR;
+                for r in 0..MR {
+                    let i = rows.start + it * MR + r;
+                    if i >= rows.end {
+                        break;
+                    }
+                    let arow = &a[i * lda + kr.start..i * lda + kr.end];
+                    for (p, &v) in arow.iter().enumerate() {
+                        buf[base + p * MR + r] = v;
+                    }
+                }
+            }
+        }
+    };
+}
+
+pack_impl!(pack_b_f32, pack_a_f32, f32, 0.0f32, NR);
+pack_impl!(pack_b_i8, pack_a_i8, i8, 0i8, NR_I8);
+
+// ─── Micro-kernels ──────────────────────────────────────────────────────
+
+/// One `mr × nrw` f32 output tile: loads the tile from `c`, streams `kc`
+/// packed steps, stores back. Loading from `c` (instead of zeroing) is
+/// what keeps the per-element accumulation order identical to the naive
+/// loop across k-blocks — see the module docs.
+#[inline]
+fn microkernel_f32(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    mr: usize,
+    nrw: usize,
+    c: &mut ColBandMut<'_, f32>,
+    r0: usize,
+    col0: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..mr {
+        acc[r][..nrw].copy_from_slice(&c.row(r0 + r)[col0..col0 + nrw]);
+    }
+    // Pre-slice to the exact step extent so the inner loops carry no
+    // bounds checks.
+    let ap = &ap[..kc * MR];
+    let bp = &bp[..kc * NR];
+    if mr == MR && nrw == NR {
+        // Full tile: fixed-size loops the compiler unrolls and keeps in
+        // registers. No zero-skip — f32 must propagate NaN/Inf.
+        for p in 0..kc {
+            let ar = &ap[p * MR..p * MR + MR];
+            let br = &bp[p * NR..p * NR + NR];
+            for r in 0..MR {
+                let av = ar[r];
+                for j in 0..NR {
+                    acc[r][j] += av * br[j];
+                }
+            }
+        }
+    } else {
+        for p in 0..kc {
+            let ar = &ap[p * MR..p * MR + MR];
+            let br = &bp[p * NR..p * NR + NR];
+            for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                let av = ar[r];
+                for j in 0..nrw {
+                    accr[j] += av * br[j];
+                }
+            }
+        }
+    }
+    for r in 0..mr {
+        c.row(r0 + r)[col0..col0 + nrw].copy_from_slice(&acc[r][..nrw]);
+    }
+}
+
+/// One `mr × nrw` integer output tile (`i8` operands, `i32` accumulators).
+/// Zero lhs lanes are skipped — exact in integer arithmetic, and the
+/// bit-lowered 4-bit operands the mixed-precision engines feed in here
+/// are sparse enough for the branch to pay.
+#[inline]
+fn microkernel_i8(
+    kc: usize,
+    ap: &[i8],
+    bp: &[i8],
+    mr: usize,
+    nrw: usize,
+    c: &mut ColBandMut<'_, i32>,
+    r0: usize,
+    col0: usize,
+) {
+    let mut acc = [[0i32; NR_I8]; MR];
+    for r in 0..mr {
+        acc[r][..nrw].copy_from_slice(&c.row(r0 + r)[col0..col0 + nrw]);
+    }
+    let ap = &ap[..kc * MR];
+    let bp = &bp[..kc * NR_I8];
+    if mr == MR && nrw == NR_I8 {
+        for p in 0..kc {
+            let ar = &ap[p * MR..p * MR + MR];
+            if ar.iter().all(|&v| v == 0) {
+                continue;
+            }
+            let br = &bp[p * NR_I8..p * NR_I8 + NR_I8];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = ar[r] as i32;
+                // The per-row zero branch doubles as the vectorization
+                // boundary: LLVM keeps the lane loop in vector code when
+                // the row body is guarded (measured ~4× over the
+                // unguarded form), and bit-lowered operands are sparse
+                // enough for the skip itself to pay.
+                if av == 0 {
+                    continue;
+                }
+                for j in 0..NR_I8 {
+                    accr[j] += av * br[j] as i32;
+                }
+            }
+        }
+    } else {
+        for p in 0..kc {
+            let ar = &ap[p * MR..p * MR + MR];
+            let br = &bp[p * NR_I8..p * NR_I8 + NR_I8];
+            for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                let av = ar[r] as i32;
+                if av == 0 {
+                    continue;
+                }
+                for j in 0..nrw {
+                    accr[j] += av * br[j] as i32;
+                }
+            }
+        }
+    }
+    for r in 0..mr {
+        c.row(r0 + r)[col0..col0 + nrw].copy_from_slice(&acc[r][..nrw]);
+    }
+}
+
+// ─── Blocked drivers ────────────────────────────────────────────────────
+
+macro_rules! blocked_impl {
+    ($blocked:ident, $naive:ident, $general:ident, $pack_a:ident, $pack_b:ident,
+     $microkernel:ident, $take:ident, $put:ident, $lhs:ty, $out:ty, $nr:expr,
+     $min_rhs:expr) => {
+        /// Blocked pass over lhs/output rows `rows` against a pre-packed
+        /// rhs covering the view's columns. k-blocks run in ascending
+        /// order (load-bearing for f32 bit-exactness).
+        fn $blocked(
+            a: &[$lhs],
+            lda: usize,
+            rows: Range<usize>,
+            k0: usize,
+            k1: usize,
+            bpack: &[$lhs],
+            c: &mut ColBandMut<'_, $out>,
+        ) {
+            const NR_: usize = $nr;
+            let kb = k1 - k0;
+            let ncols = c.width();
+            let npan = ncols.div_ceil(NR_);
+            let mut apack = scratch::$take();
+            let mut pc0 = k0;
+            while pc0 < k1 {
+                let pc1 = (pc0 + KC).min(k1);
+                let kcb = pc1 - pc0;
+                let mut ic0 = rows.start;
+                while ic0 < rows.end {
+                    let ic1 = (ic0 + MC).min(rows.end);
+                    $pack_a(a, lda, ic0..ic1, pc0..pc1, &mut apack);
+                    let ntiles = (ic1 - ic0).div_ceil(MR);
+                    for jp in 0..npan {
+                        let col0 = jp * NR_;
+                        let nrw = (ncols - col0).min(NR_);
+                        let bseg =
+                            &bpack[(jp * kb + (pc0 - k0)) * NR_..(jp * kb + (pc1 - k0)) * NR_];
+                        for it in 0..ntiles {
+                            let tr0 = ic0 - rows.start + it * MR;
+                            let mr = (ic1 - ic0 - it * MR).min(MR);
+                            let aseg = &apack[it * kcb * MR..(it + 1) * kcb * MR];
+                            $microkernel(kcb, aseg, bseg, mr, nrw, c, tr0, col0);
+                        }
+                    }
+                    ic0 = ic1;
+                }
+                pc0 = pc1;
+            }
+            scratch::$put(apack);
+        }
+
+        /// Shared entry point: validates nothing (callers assert), plans
+        /// banding, and dispatches blocked or reference execution.
+        fn $general(
+            m: usize,
+            n: usize,
+            k: usize,
+            k0: usize,
+            k1: usize,
+            a: &[$lhs],
+            rhs: Rhs<'_, $lhs>,
+            c: &mut [$out],
+        ) {
+            const NR_: usize = $nr;
+            let kb = k1 - k0;
+            if m == 0 || n == 0 || kb == 0 {
+                return;
+            }
+            let blocked = worth_blocking(m, n, kb, NR_, $min_rhs);
+            match plan_bands(m, n, kb) {
+                Plan::Rows(pool, bands) => {
+                    let elems: Vec<Range<usize>> =
+                        bands.iter().map(|r| r.start * n..r.end * n).collect();
+                    if blocked {
+                        // Pack the rhs once; every row band reuses it.
+                        let mut bbuf = scratch::$take();
+                        $pack_b(rhs, k0, k1, 0..n, &mut bbuf);
+                        pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
+                            let rows = bands[bi].clone();
+                            let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
+                            $blocked(a, k, rows, k0, k1, &bbuf, &mut view);
+                        });
+                        scratch::$put(bbuf);
+                    } else {
+                        pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
+                            let rows = bands[bi].clone();
+                            let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
+                            $naive(a, k, rhs, rows, k0, k1, 0..n, &mut view);
+                        });
+                    }
+                }
+                Plan::Cols(pool, bands) => {
+                    pool.run_col_bands_mut(&mut c[..m * n], m, n, &bands, |bi, view| {
+                        let cols = bands[bi].clone();
+                        if worth_blocking(m, cols.len(), kb, NR_, $min_rhs) {
+                            // Each band packs its own column slice.
+                            let mut bbuf = scratch::$take();
+                            $pack_b(rhs, k0, k1, cols, &mut bbuf);
+                            $blocked(a, k, 0..m, k0, k1, &bbuf, view);
+                            scratch::$put(bbuf);
+                        } else {
+                            $naive(a, k, rhs, 0..m, k0, k1, cols, view);
+                        }
+                    });
+                }
+                Plan::Serial => {
+                    let mut view = ColBandMut::new(&mut c[..m * n], m, n, 0..n);
+                    if blocked {
+                        let mut bbuf = scratch::$take();
+                        $pack_b(rhs, k0, k1, 0..n, &mut bbuf);
+                        $blocked(a, k, 0..m, k0, k1, &bbuf, &mut view);
+                        scratch::$put(bbuf);
+                    } else {
+                        $naive(a, k, rhs, 0..m, k0, k1, 0..n, &mut view);
+                    }
+                }
+            }
+        }
+    };
+}
+
+blocked_impl!(
+    blocked_f32,
+    naive_f32_view,
+    gemm_f32_general,
+    pack_a_f32,
+    pack_b_f32,
+    microkernel_f32,
+    take_f32,
+    put_f32,
+    f32,
+    f32,
+    NR,
+    BLOCK_MIN_RHS_F32
+);
+blocked_impl!(
+    blocked_i8,
+    naive_i8_view,
+    gemm_i8_general,
+    pack_a_i8,
+    pack_b_i8,
+    microkernel_i8,
+    take_i8,
+    put_i8,
+    i8,
+    i32,
+    NR_I8,
+    0
+);
+
+// ─── Reference-order serial kernels over views ──────────────────────────
+
+/// Naive f32 kernel over a view (small problems / narrow bands). Per
+/// element, terms are added in ascending `p` order to the running value —
+/// exactly the blocked kernel's (and the old `i-p-j` loop's) order.
+fn naive_f32_view(
+    a: &[f32],
+    lda: usize,
+    rhs: Rhs<'_, f32>,
+    rows: Range<usize>,
+    k0: usize,
+    k1: usize,
+    cols: Range<usize>,
+    c: &mut ColBandMut<'_, f32>,
+) {
+    match rhs {
+        Rhs::Rows { b, n } => {
+            for (ri, i) in rows.enumerate() {
+                let crow = c.row(ri);
+                for p in k0..k1 {
+                    // No zero-skip: f32 must propagate NaN/Inf from `b`
+                    // (see the module docs); skipping is integer-only.
+                    let av = a[i * lda + p];
+                    let brow = &b[p * n + cols.start..p * n + cols.end];
+                    for (cj, &bv) in crow.iter_mut().zip(brow) {
+                        *cj += av * bv;
+                    }
+                }
+            }
+        }
+        Rhs::WeightT { w, k } => {
+            for (ri, i) in rows.enumerate() {
+                let arow = &a[i * lda + k0..i * lda + k1];
+                let crow = c.row(ri);
+                for (ji, j) in cols.clone().enumerate() {
+                    let wrow = &w[j * k + k0..j * k + k1];
+                    let mut acc = crow[ji];
+                    for (av, wv) in arow.iter().zip(wrow.iter()) {
+                        acc += av * wv;
+                    }
+                    crow[ji] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Naive integer kernel over a view, with the lhs zero-skip.
+fn naive_i8_view(
+    a: &[i8],
+    lda: usize,
+    rhs: Rhs<'_, i8>,
+    rows: Range<usize>,
+    k0: usize,
+    k1: usize,
+    cols: Range<usize>,
+    c: &mut ColBandMut<'_, i32>,
+) {
+    match rhs {
+        Rhs::Rows { b, n } => {
+            for (ri, i) in rows.enumerate() {
+                let crow = c.row(ri);
+                for p in k0..k1 {
+                    let av = a[i * lda + p] as i32;
+                    if av == 0 {
+                        continue;
+                    }
+                    let brow = &b[p * n + cols.start..p * n + cols.end];
+                    for (cj, &bv) in crow.iter_mut().zip(brow) {
+                        *cj += av * bv as i32;
+                    }
+                }
+            }
+        }
+        Rhs::WeightT { w, k } => {
+            for (ri, i) in rows.enumerate() {
+                let arow = &a[i * lda + k0..i * lda + k1];
+                let crow = c.row(ri);
+                for (ji, j) in cols.clone().enumerate() {
+                    let wrow = &w[j * k + k0..j * k + k1];
+                    let mut acc = crow[ji];
+                    for (av, wv) in arow.iter().zip(wrow.iter()) {
+                        acc += *av as i32 * *wv as i32;
+                    }
+                    crow[ji] = acc;
+                }
+            }
+        }
+    }
+}
+
+// ─── Public API ─────────────────────────────────────────────────────────
+
 /// `c[m,n] += a[m,k] * b[k,n]` in f32.
+///
+/// Bit-identical to [`reference::gemm_f32`] at every size (see the module
+/// docs on accumulation order).
 ///
 /// # Panics
 ///
@@ -80,32 +637,18 @@ pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    if let Some((pool, bands)) = row_bands(m, n, k) {
-        let elems: Vec<std::ops::Range<usize>> =
-            bands.iter().map(|r| r.start * n..r.end * n).collect();
-        pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, cband| {
-            let rows = bands[bi].clone();
-            gemm_f32_rows(rows.start, rows.end, n, k, a, b, cband);
-        });
-        return;
-    }
-    gemm_f32_rows(0, m, n, k, a, b, c);
+    gemm_f32_general(m, n, k, 0, k, a, Rhs::Rows { b, n }, c);
 }
 
-/// Serial kernel over rows `[i0, i1)`; `c` starts at row `i0`.
-fn gemm_f32_rows(i0: usize, i1: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in i0..i1 {
-        for p in 0..k {
-            // No zero-skip here: f32 must propagate NaN/Inf from `b`
-            // (see the module docs); skipping is integer-kernel-only.
-            let aip = a[i * k + p];
-            let brow = &b[p * n..p * n + n];
-            let crow = &mut c[(i - i0) * n..(i - i0) * n + n];
-            for j in 0..n {
-                crow[j] += aip * brow[j];
-            }
-        }
-    }
+/// [`gemm_f32`] with the rhs in weight layout: `c[m,n] += a[m,k] * wᵀ`
+/// where `w` is `[n, k]` row-major (a `Linear` weight `[C_out, C_in]`
+/// with `n = C_out`, `k = C_in`). No transpose is materialized — packing
+/// reads the transposed source directly.
+pub fn gemm_f32_wt(m: usize, n: usize, k: usize, a: &[f32], w: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(w.len() >= n * k, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    gemm_f32_general(m, n, k, 0, k, a, Rhs::WeightT { w, k }, c);
 }
 
 /// Batched [`gemm_f32`]: shared lhs `a [m,k]`, column-stacked rhs
@@ -150,44 +693,29 @@ pub fn gemm_i8_band(
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    if let Some((pool, bands)) = row_bands(m, n, k1 - k0) {
-        let elems: Vec<std::ops::Range<usize>> =
-            bands.iter().map(|r| r.start * n..r.end * n).collect();
-        pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, cband| {
-            let rows = bands[bi].clone();
-            gemm_i8_band_rows(rows.start, rows.end, n, k, k0, k1, a, b, cband);
-        });
-        return;
-    }
-    gemm_i8_band_rows(0, m, n, k, k0, k1, a, b, c);
+    gemm_i8_general(m, n, k, k0, k1, a, Rhs::Rows { b, n }, c);
 }
 
-/// Serial band kernel over rows `[i0, i1)`; `c` starts at row `i0`.
-#[allow(clippy::too_many_arguments)]
-fn gemm_i8_band_rows(
-    i0: usize,
-    i1: usize,
+/// [`gemm_i8_band`] with the rhs in weight layout `[n, k]` row-major:
+/// `c[i,j] += sum_{p in [k0,k1)} a[i,p] * w[j,p]`. This is the 8-bit
+/// feature-group band of a quantized linear layer (`a` the quantized
+/// activation rows, `w` the `[C_out, C_in]` master weights), run without
+/// materializing a transposed weight block.
+pub fn gemm_i8_band_wt(
+    m: usize,
     n: usize,
     k: usize,
     k0: usize,
     k1: usize,
     a: &[i8],
-    b: &[i8],
+    w: &[i8],
     c: &mut [i32],
 ) {
-    for i in i0..i1 {
-        for p in k0..k1 {
-            let aip = a[i * k + p] as i32;
-            if aip == 0 {
-                continue;
-            }
-            let brow = &b[p * n..p * n + n];
-            let crow = &mut c[(i - i0) * n..(i - i0) * n + n];
-            for j in 0..n {
-                crow[j] += aip * brow[j] as i32;
-            }
-        }
-    }
+    assert!(k0 <= k1 && k1 <= k, "invalid band [{k0}, {k1}) for k={k}");
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(w.len() >= n * k, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    gemm_i8_general(m, n, k, k0, k1, a, Rhs::WeightT { w, k }, c);
 }
 
 /// Batched [`gemm_i8`]: shared lhs `a [m,k]`, column-stacked rhs
@@ -206,7 +734,6 @@ pub fn gemm_i8_colbatch(
 
 /// Batched [`gemm_i8_band`]: the band GEMM over a column-stacked rhs
 /// `b [k, nb*n]`, output `c [m, nb*n]`. Exact (integer arithmetic).
-#[allow(clippy::too_many_arguments)]
 pub fn gemm_i8_band_colbatch(
     nb: usize,
     m: usize,
@@ -230,42 +757,189 @@ pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
         .sum()
 }
 
+/// The naive serial loops the blocked kernels replaced. They remain the
+/// executable specification: the property tests pin the blocked kernels
+/// bit-exact against these across random shapes, bands, layouts, and
+/// thread counts, and `exp_gemm` benchmarks blocked-vs-naive throughput.
+pub mod reference {
+    /// Naive `i-p-j` f32 GEMM (no zero-skip — NaN/Inf must propagate).
+    pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                let brow = &b[p * n..p * n + n];
+                let crow = &mut c[i * n..i * n + n];
+                for j in 0..n {
+                    crow[j] += aip * brow[j];
+                }
+            }
+        }
+    }
+
+    /// Naive f32 GEMM with a weight-layout (`[n, k]`) rhs.
+    pub fn gemm_f32_wt(m: usize, n: usize, k: usize, a: &[f32], w: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    acc += a[i * k + p] * w[j * k + p];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// Naive integer band GEMM with the lhs zero-skip.
+    pub fn gemm_i8_band(
+        m: usize,
+        n: usize,
+        k: usize,
+        k0: usize,
+        k1: usize,
+        a: &[i8],
+        b: &[i8],
+        c: &mut [i32],
+    ) {
+        assert!(k0 <= k1 && k1 <= k, "invalid band [{k0}, {k1}) for k={k}");
+        for i in 0..m {
+            for p in k0..k1 {
+                let aip = a[i * k + p] as i32;
+                if aip == 0 {
+                    continue;
+                }
+                let brow = &b[p * n..p * n + n];
+                let crow = &mut c[i * n..i * n + n];
+                for j in 0..n {
+                    crow[j] += aip * brow[j] as i32;
+                }
+            }
+        }
+    }
+
+    /// Naive full-reduction integer GEMM.
+    pub fn gemm_i8(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+        gemm_i8_band(m, n, k, 0, k, a, b, c)
+    }
+
+    /// Naive integer band GEMM with a weight-layout (`[n, k]`) rhs.
+    pub fn gemm_i8_band_wt(
+        m: usize,
+        n: usize,
+        k: usize,
+        k0: usize,
+        k1: usize,
+        a: &[i8],
+        w: &[i8],
+        c: &mut [i32],
+    ) {
+        assert!(k0 <= k1 && k1 <= k, "invalid band [{k0}, {k1}) for k={k}");
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in k0..k1 {
+                    acc += a[i * k + p] as i32 * w[j * k + p] as i32;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rng::seeded;
     use rand::Rng;
 
-    fn naive_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
-        let mut c = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                for p in 0..k {
-                    c[i * n + j] += a[i * k + p] * b[p * n + j];
-                }
-            }
-        }
-        c
+    fn rand_f32(len: usize, rng: &mut impl Rng) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn rand_i8(len: usize, rng: &mut impl Rng) -> Vec<i8> {
+        (0..len)
+            .map(|_| rng.gen_range(-128i16..=127) as i8)
+            .collect()
     }
 
     #[test]
     fn f32_matches_naive() {
         let mut rng = seeded(21);
         let (m, n, k) = (5, 7, 11);
-        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = rand_f32(m * k, &mut rng);
+        let b = rand_f32(k * n, &mut rng);
         let mut c = vec![0.0f32; m * n];
         gemm_f32(m, n, k, &a, &b, &mut c);
-        let expect = naive_f32(m, n, k, &a, &b);
+        let mut expect = vec![0.0f32; m * n];
+        reference::gemm_f32(m, n, k, &a, &b, &mut expect);
         for (x, y) in c.iter().zip(expect.iter()) {
-            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn blocked_f32_is_bit_identical_to_naive_across_blocking_edges() {
+        // Sizes straddling MR/NR/MC/KC boundaries, all above the blocking
+        // threshold: the blocked kernel must reproduce the naive loop's
+        // f32 bits exactly (load-from-C accumulation order).
+        let mut rng = seeded(27);
+        for &(m, n, k) in &[
+            (MC + 3, 3 * NR + 5, KC + 17),
+            (2 * MR + 1, 9 * NR, 33),
+            (MC, NR, BLOCK_MIN_WORK / (MC * NR) + 1),
+        ] {
+            let a = rand_f32(m * k, &mut rng);
+            let b = rand_f32(k * n, &mut rng);
+            let mut c = rand_f32(m * n, &mut rng); // nonzero incoming C
+            let mut expect = c.clone();
+            gemm_f32(m, n, k, &a, &b, &mut c);
+            reference::gemm_f32(m, n, k, &a, &b, &mut expect);
+            for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{n},{k}) elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn wt_variants_match_transposed_rhs() {
+        let mut rng = seeded(28);
+        let (m, n, k) = (13, 27, 70);
+        let a = rand_f32(m * k, &mut rng);
+        let w = rand_f32(n * k, &mut rng);
+        // Materialized transpose b[p*n + j] = w[j*k + p].
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = w[j * k + p];
+            }
+        }
+        let mut c_wt = vec![0.0f32; m * n];
+        gemm_f32_wt(m, n, k, &a, &w, &mut c_wt);
+        let mut c_ref = vec![0.0f32; m * n];
+        reference::gemm_f32_wt(m, n, k, &a, &w, &mut c_ref);
+        for (x, y) in c_wt.iter().zip(c_ref.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Integer wt band: equals the Rows-layout band on the transpose.
+        let ai = rand_i8(m * k, &mut rng);
+        let wi = rand_i8(n * k, &mut rng);
+        let mut bi = vec![0i8; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bi[p * n + j] = wi[j * k + p];
+            }
+        }
+        let (k0, k1) = (3, k - 7);
+        let mut ci = vec![0i32; m * n];
+        gemm_i8_band_wt(m, n, k, k0, k1, &ai, &wi, &mut ci);
+        let mut ci_ref = vec![0i32; m * n];
+        gemm_i8_band(m, n, k, k0, k1, &ai, &bi, &mut ci_ref);
+        assert_eq!(ci, ci_ref);
     }
 
     #[test]
     fn f32_propagates_nan_and_inf_through_zero_lhs() {
         // A zero weight must not mask a poisoned activation: 0 * NaN = NaN
-        // and 0 * inf = NaN. The old zero-skip silently dropped both.
+        // and 0 * inf = NaN. A zero-skip would silently drop both.
         let a = vec![0.0f32, 1.0]; // [1, 2]
         let b = vec![f32::NAN, 2.0]; // [2, 1]
         let mut c = vec![0.0f32; 1];
@@ -279,13 +953,25 @@ mod tests {
     }
 
     #[test]
+    fn blocked_f32_propagates_nan_through_zero_lhs() {
+        // Same hazard, at a size where the packed/blocked path engages.
+        let (m, n, k) = (8usize, 2 * NR, 128usize);
+        let a = vec![0.0f32; m * k]; // all-zero lhs
+        let mut b = vec![1.0f32; k * n];
+        b[5 * n + 3] = f32::NAN;
+        let mut c = vec![0.0f32; m * n];
+        gemm_f32(m, n, k, &a, &b, &mut c);
+        for i in 0..m {
+            assert!(c[i * n + 3].is_nan(), "row {i} lost the NaN");
+        }
+    }
+
+    #[test]
     fn colbatch_matches_per_sample_calls_bitwise() {
         let mut rng = seeded(24);
         let (nb, m, n, k) = (3usize, 4usize, 5usize, 7usize);
-        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let samples: Vec<Vec<f32>> = (0..nb)
-            .map(|_| (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .collect();
+        let a = rand_f32(m * k, &mut rng);
+        let samples: Vec<Vec<f32>> = (0..nb).map(|_| rand_f32(k * n, &mut rng)).collect();
         // Column-stacked rhs [k, nb*n].
         let mut b = vec![0.0f32; k * nb * n];
         for p in 0..k {
@@ -316,16 +1002,8 @@ mod tests {
     fn i8_colbatch_matches_per_sample_calls() {
         let mut rng = seeded(25);
         let (nb, m, n, k) = (2usize, 3usize, 4usize, 6usize);
-        let a: Vec<i8> = (0..m * k)
-            .map(|_| rng.gen_range(-128i16..=127) as i8)
-            .collect();
-        let samples: Vec<Vec<i8>> = (0..nb)
-            .map(|_| {
-                (0..k * n)
-                    .map(|_| rng.gen_range(-128i16..=127) as i8)
-                    .collect()
-            })
-            .collect();
+        let a = rand_i8(m * k, &mut rng);
+        let samples: Vec<Vec<i8>> = (0..nb).map(|_| rand_i8(k * n, &mut rng)).collect();
         let mut b = vec![0i8; k * nb * n];
         for p in 0..k {
             for (s, sm) in samples.iter().enumerate() {
@@ -354,12 +1032,8 @@ mod tests {
     fn i8_is_exact() {
         let mut rng = seeded(22);
         let (m, n, k) = (4, 6, 9);
-        let a: Vec<i8> = (0..m * k)
-            .map(|_| rng.gen_range(-128i16..=127) as i8)
-            .collect();
-        let b: Vec<i8> = (0..k * n)
-            .map(|_| rng.gen_range(-128i16..=127) as i8)
-            .collect();
+        let a = rand_i8(m * k, &mut rng);
+        let b = rand_i8(k * n, &mut rng);
         let mut c = vec![0i32; m * n];
         gemm_i8(m, n, k, &a, &b, &mut c);
         for i in 0..m {
@@ -371,6 +1045,30 @@ mod tests {
                 assert_eq!(c[i * n + j], acc);
             }
         }
+    }
+
+    #[test]
+    fn blocked_i8_matches_naive_at_large_sparse_shapes() {
+        // Above the blocking threshold, with a sparse lhs so the
+        // zero-skip lanes engage.
+        let mut rng = seeded(29);
+        let (m, n, k) = (MC + 5, 4 * NR + 3, KC + 9);
+        let a: Vec<i8> = (0..m * k)
+            .map(|_| {
+                if rng.gen_range(0..4) == 0 {
+                    rng.gen_range(-128i16..=127) as i8
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let b = rand_i8(k * n, &mut rng);
+        let (k0, k1) = (7, k - 13);
+        let mut c = vec![0i32; m * n];
+        gemm_i8_band(m, n, k, k0, k1, &a, &b, &mut c);
+        let mut expect = vec![0i32; m * n];
+        reference::gemm_i8_band(m, n, k, k0, k1, &a, &b, &mut expect);
+        assert_eq!(c, expect);
     }
 
     #[test]
@@ -415,14 +1113,10 @@ mod tests {
         // Sized above PAR_MIN_WORK so the banded path actually engages.
         let mut rng = seeded(26);
         let (m, n, k) = (24usize, 96usize, 48usize);
-        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let ai: Vec<i8> = (0..m * k)
-            .map(|_| rng.gen_range(-128i16..=127) as i8)
-            .collect();
-        let bi: Vec<i8> = (0..k * n)
-            .map(|_| rng.gen_range(-128i16..=127) as i8)
-            .collect();
+        let a = rand_f32(m * k, &mut rng);
+        let b = rand_f32(k * n, &mut rng);
+        let ai = rand_i8(m * k, &mut rng);
+        let bi = rand_i8(k * n, &mut rng);
         let serial_pool = flexiq_parallel::ThreadPool::new(1);
         let (mut c_ref, mut ci_ref) = (vec![0.0f32; m * n], vec![0i32; m * n]);
         flexiq_parallel::with_pool(&serial_pool, || {
@@ -440,6 +1134,36 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads diverged");
             }
             assert_eq!(ci, ci_ref, "{threads} threads diverged (i8)");
+        }
+    }
+
+    #[test]
+    fn wide_but_short_gemm_column_bands_bit_exactly() {
+        // m too small to feed the pool, n wide: the column-band (sample
+        // axis) path engages and must stay bit-exact with serial — the
+        // depthwise colbatch shape (m = 1) included.
+        let mut rng = seeded(30);
+        for &(m, n, k) in &[(1usize, 4096usize, 64usize), (3, 2048, 32), (2, 600, 80)] {
+            let a = rand_f32(m * k, &mut rng);
+            let b = rand_f32(k * n, &mut rng);
+            let ai = rand_i8(m * k, &mut rng);
+            let bi = rand_i8(k * n, &mut rng);
+            let serial_pool = flexiq_parallel::ThreadPool::new(1);
+            let (mut c_ref, mut ci_ref) = (vec![0.0f32; m * n], vec![0i32; m * n]);
+            flexiq_parallel::with_pool(&serial_pool, || {
+                gemm_f32(m, n, k, &a, &b, &mut c_ref);
+                gemm_i8(m, n, k, &ai, &bi, &mut ci_ref);
+            });
+            let pool = flexiq_parallel::ThreadPool::new(4);
+            let (mut c, mut ci) = (vec![0.0f32; m * n], vec![0i32; m * n]);
+            flexiq_parallel::with_pool(&pool, || {
+                gemm_f32(m, n, k, &a, &b, &mut c);
+                gemm_i8(m, n, k, &ai, &bi, &mut ci);
+            });
+            for (x, y) in c.iter().zip(c_ref.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m},{n},{k}) diverged");
+            }
+            assert_eq!(ci, ci_ref, "({m},{n},{k}) diverged (i8)");
         }
     }
 

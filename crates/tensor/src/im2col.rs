@@ -66,19 +66,44 @@ impl Conv2dGeometry {
 ///
 /// Out-of-bounds taps read as zero (zero padding).
 pub fn im2col(input: &[f32], g: &Conv2dGeometry) -> Vec<f32> {
+    let mut out = Vec::new();
+    im2col_into(input, g, &mut out);
+    out
+}
+
+/// [`im2col`] into a caller-provided buffer (cleared and resized to the
+/// lowered extent, reusing its capacity) — the allocation-free variant
+/// the hot path uses with [`crate::scratch`] buffers.
+pub fn im2col_into(input: &[f32], g: &Conv2dGeometry, out: &mut Vec<f32>) {
     assert_eq!(input.len(), g.c_in * g.h * g.w, "input length mismatch");
     let cols = g.cols();
-    let mut out = vec![0.0f32; g.rows() * cols];
-    fill_im2col(input, g, &mut out, cols, 0);
-    out
+    out.clear();
+    out.resize(g.rows() * cols, 0.0);
+    fill_im2col(input, g, out, cols, 0);
 }
 
 /// Integer variant of [`im2col`] for the quantized execution path.
 pub fn im2col_i8(input: &[i8], g: &Conv2dGeometry) -> Vec<i8> {
-    assert_eq!(input.len(), g.c_in * g.h * g.w, "input length mismatch");
-    let mut out = vec![0i8; g.rows() * g.cols()];
-    fill_im2col(input, g, &mut out, g.cols(), 0);
+    let mut out = Vec::new();
+    im2col_i8_into(input, g, &mut out);
     out
+}
+
+/// [`im2col_i8`] into a caller-provided buffer (cleared and resized,
+/// reusing its capacity).
+pub fn im2col_i8_into(input: &[i8], g: &Conv2dGeometry, out: &mut Vec<i8>) {
+    out.clear();
+    out.resize(g.rows() * g.cols(), 0);
+    im2col_i8_fill(input, g, out);
+}
+
+/// [`im2col_i8`] into a caller-managed **pre-zeroed** slice of exactly
+/// `rows() * cols()` elements (padding taps are left untouched, so a
+/// dirty buffer would leak stale values into the padding positions).
+pub fn im2col_i8_fill(input: &[i8], g: &Conv2dGeometry, out: &mut [i8]) {
+    assert_eq!(input.len(), g.c_in * g.h * g.w, "input length mismatch");
+    assert_eq!(out.len(), g.rows() * g.cols(), "output length mismatch");
+    fill_im2col(input, g, out, g.cols(), 0);
 }
 
 /// Batched im2col: lowers `nb` samples into **one** column-stacked matrix
@@ -97,7 +122,9 @@ pub fn im2col_batch(
     sample_stride: usize,
     g: &Conv2dGeometry,
 ) -> Vec<f32> {
-    batch_lowering(input, nb, sample_stride, g, 0.0)
+    let mut out = Vec::new();
+    batch_lowering(input, nb, sample_stride, g, 0.0, &mut out);
+    out
 }
 
 /// Integer variant of [`im2col_batch`] for the quantized execution path.
@@ -107,18 +134,77 @@ pub fn im2col_i8_batch(
     sample_stride: usize,
     g: &Conv2dGeometry,
 ) -> Vec<i8> {
-    batch_lowering(input, nb, sample_stride, g, 0)
+    let mut out = Vec::new();
+    batch_lowering(input, nb, sample_stride, g, 0, &mut out);
+    out
 }
 
-/// Shared worker behind the batched lowerings: validates the strided
-/// batch layout once and fills each sample's column block.
+/// [`im2col_batch`] into a caller-provided buffer (cleared and resized,
+/// reusing its capacity).
+pub fn im2col_batch_into(
+    input: &[f32],
+    nb: usize,
+    sample_stride: usize,
+    g: &Conv2dGeometry,
+    out: &mut Vec<f32>,
+) {
+    batch_lowering(input, nb, sample_stride, g, 0.0, out);
+}
+
+/// [`im2col_i8_batch`] into a caller-provided buffer (cleared and
+/// resized, reusing its capacity).
+pub fn im2col_i8_batch_into(
+    input: &[i8],
+    nb: usize,
+    sample_stride: usize,
+    g: &Conv2dGeometry,
+    out: &mut Vec<i8>,
+) {
+    batch_lowering(input, nb, sample_stride, g, 0, out);
+}
+
+/// [`im2col_i8_batch`] into a caller-managed **pre-zeroed** slice of
+/// exactly `rows() * nb * cols()` elements (padding taps are left
+/// untouched — see [`im2col_i8_fill`]).
+pub fn im2col_i8_batch_fill(
+    input: &[i8],
+    nb: usize,
+    sample_stride: usize,
+    g: &Conv2dGeometry,
+    out: &mut [i8],
+) {
+    assert_eq!(
+        out.len(),
+        g.rows() * nb * g.cols(),
+        "output length mismatch"
+    );
+    batch_fill(input, nb, sample_stride, g, out);
+}
+
+/// Shared worker behind the batched lowerings: resizes the output and
+/// fills each sample's column block.
 fn batch_lowering<T: Copy + Send + Sync>(
     input: &[T],
     nb: usize,
     sample_stride: usize,
     g: &Conv2dGeometry,
     zero: T,
-) -> Vec<T> {
+    out: &mut Vec<T>,
+) {
+    assert!(nb > 0, "empty batch");
+    out.clear();
+    out.resize(g.rows() * nb * g.cols(), zero);
+    batch_fill(input, nb, sample_stride, g, out);
+}
+
+/// Validates the strided batch layout and fills a pre-zeroed slice.
+fn batch_fill<T: Copy + Send + Sync>(
+    input: &[T],
+    nb: usize,
+    sample_stride: usize,
+    g: &Conv2dGeometry,
+    out: &mut [T],
+) {
     let chw = g.c_in * g.h * g.w;
     assert!(nb > 0, "empty batch");
     assert!(
@@ -128,7 +214,6 @@ fn batch_lowering<T: Copy + Send + Sync>(
     let cols = g.cols();
     let total = nb * cols;
     let rows = g.rows();
-    let mut out = vec![zero; rows * total];
     // Output rows are contiguous, so chunks of rows partition the matrix
     // into disjoint slabs: each task lowers its rows for every sample.
     // The writes per element are identical to the serial fill, so the
@@ -144,7 +229,7 @@ fn batch_lowering<T: Copy + Send + Sync>(
                 .iter()
                 .map(|r| r.start * total..r.end * total)
                 .collect();
-            pool.run_disjoint_mut(&mut out, &elems, |bi, slab| {
+            pool.run_disjoint_mut(&mut out[..], &elems, |bi, slab| {
                 let rows = bands[bi].clone();
                 for s in 0..nb {
                     fill_im2col_rows(
@@ -157,7 +242,7 @@ fn batch_lowering<T: Copy + Send + Sync>(
                     );
                 }
             });
-            return out;
+            return;
         }
     }
     for s in 0..nb {
@@ -165,12 +250,11 @@ fn batch_lowering<T: Copy + Send + Sync>(
             &input[s * sample_stride..s * sample_stride + chw],
             g,
             0..rows,
-            &mut out,
+            out,
             total,
             s * cols,
         );
     }
-    out
 }
 
 /// Writes one sample's lowering into `out`, whose rows are `total_cols`

@@ -9,24 +9,30 @@
 //! * [`I8Tensor`] / [`I4Packed`] — integer tensor storage used by the
 //!   quantized execution paths. `I4Packed` stores two signed nibbles per
 //!   byte exactly like the packed operand layout of 4-bit MMA tiles.
-//! * [`gemm`] — reference f32 and integer GEMM kernels (`i8×i8→i32` with
-//!   optional packed-i4 operands) that the functional GPU/NPU simulators
-//!   are validated against.
+//! * [`gemm`] — blocked, packed f32 and integer GEMM micro-kernels
+//!   (`i8×i8→i32` with optional packed-i4 operands) that the functional
+//!   GPU/NPU simulators are validated against; the naive loops survive
+//!   as [`gemm::reference`], the executable specification the blocked
+//!   kernels are property-tested bit-exact against.
 //! * [`im2col`] — convolution lowering used by both the inference engine
 //!   and the autograd engine.
 //! * [`stats`] — reductions (per-channel ranges, norms, percentiles) used
 //!   by calibration and by the paper's analysis figures.
+//! * [`scratch`] — per-thread reusable buffers behind the kernels'
+//!   packing and lowering scratch, so the steady-state hot path performs
+//!   zero heap allocations here.
 //!
-//! The crate is deliberately free of `unsafe` code: the workloads in this
-//! reproduction are small enough that clarity and testability dominate raw
-//! throughput, and the hot integer kernels are still structured the way the
-//! paper's CUDA kernel is (tiles over feature-channel groups) so that the
-//! Criterion benches expose the same relative costs. Large GEMMs and
-//! batched im2col lowerings fan disjoint output bands across the shared
-//! `flexiq-parallel` pool (the banding keeps every element's reduction
-//! order unchanged, so parallel results are bit-exact with serial); the
-//! pointer plumbing that makes banded writes possible lives entirely in
-//! that crate.
+//! The crate is deliberately free of `unsafe` code: the hot kernels get
+//! their throughput from cache blocking, operand packing and register
+//! tiling (see [`gemm`]), not from pointer tricks, and they are still
+//! structured the way the paper's CUDA kernel is (tiles over
+//! feature-channel groups) so that the Criterion benches expose the same
+//! relative costs. Large GEMMs and batched im2col lowerings fan disjoint
+//! output bands — row bands, or column bands for wide-but-short shapes —
+//! across the shared `flexiq-parallel` pool (the banding keeps every
+//! element's reduction order unchanged, so parallel results are bit-exact
+//! with serial); the pointer plumbing that makes banded writes possible
+//! lives entirely in that crate.
 
 pub mod error;
 pub mod gemm;
@@ -34,6 +40,7 @@ pub mod im2col;
 pub mod int;
 pub mod mask;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod stats;
 pub mod tensor;

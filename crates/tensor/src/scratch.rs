@@ -1,0 +1,113 @@
+//! Thread-local scratch buffers for the kernel hot path.
+//!
+//! The blocked GEMM kernels and the convolution lowering need short-lived
+//! buffers (packed operand panels, im2col matrices) on every call. Heap-
+//! allocating them per call would dominate small layers and churn the
+//! allocator under serving load, so each thread keeps a small pool of
+//! typed `Vec`s: [`take_f32`]/[`take_i8`]/[`take_i32`] pop a buffer
+//! (retaining whatever capacity it grew to on earlier calls) and the
+//! matching `put_*` returns it. After a few warm-up passes the pools are
+//! sized for the largest shapes a thread sees and the steady-state hot
+//! path performs **zero** heap allocations here.
+//!
+//! The take/put discipline (rather than a `RefCell` borrow) makes nesting
+//! trivially safe: a re-entrant caller simply takes the next (or a fresh)
+//! buffer, and a panic between take and put only costs the buffer's
+//! capacity, never correctness. Pools are capped at [`POOL_CAP`] buffers
+//! per type so a pathological caller cannot hoard unbounded memory.
+
+use std::cell::RefCell;
+
+/// Buffers retained per thread per element type.
+pub const POOL_CAP: usize = 8;
+
+macro_rules! scratch_pool {
+    ($static_:ident, $ty:ty, $take:ident, $put:ident, $take_doc:expr, $put_doc:expr) => {
+        thread_local! {
+            static $static_: RefCell<Vec<Vec<$ty>>> = const { RefCell::new(Vec::new()) };
+        }
+
+        #[doc = $take_doc]
+        pub fn $take() -> Vec<$ty> {
+            $static_.with(|p| p.borrow_mut().pop().unwrap_or_default())
+        }
+
+        #[doc = $put_doc]
+        pub fn $put(mut buf: Vec<$ty>) {
+            buf.clear();
+            $static_.with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < POOL_CAP {
+                    pool.push(buf);
+                }
+            });
+        }
+    };
+}
+
+scratch_pool!(
+    F32_POOL,
+    f32,
+    take_f32,
+    put_f32,
+    "Pops (or creates) a reusable `f32` scratch buffer for this thread.",
+    "Returns an `f32` scratch buffer to this thread's pool, keeping its capacity."
+);
+scratch_pool!(
+    I8_POOL,
+    i8,
+    take_i8,
+    put_i8,
+    "Pops (or creates) a reusable `i8` scratch buffer for this thread.",
+    "Returns an `i8` scratch buffer to this thread's pool, keeping its capacity."
+);
+scratch_pool!(
+    I32_POOL,
+    i32,
+    take_i32,
+    put_i32,
+    "Pops (or creates) a reusable `i32` scratch buffer for this thread.",
+    "Returns an `i32` scratch buffer to this thread's pool, keeping its capacity."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_retains_capacity() {
+        let mut b = take_f32();
+        b.resize(1024, 0.0);
+        let ptr = b.as_ptr();
+        put_f32(b);
+        let b2 = take_f32();
+        assert_eq!(b2.as_ptr(), ptr, "pool must hand back the same buffer");
+        assert!(b2.capacity() >= 1024);
+        assert!(b2.is_empty(), "put must clear the buffer");
+        put_f32(b2);
+    }
+
+    #[test]
+    fn nested_takes_yield_distinct_buffers() {
+        let a = take_i8();
+        let b = take_i8();
+        // Distinct allocations (or both empty placeholders) — never the
+        // same live buffer twice.
+        assert!(a.as_ptr() != b.as_ptr() || (a.capacity() == 0 && b.capacity() == 0));
+        put_i8(a);
+        put_i8(b);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let bufs: Vec<Vec<i32>> = (0..POOL_CAP + 4).map(|_| Vec::with_capacity(16)).collect();
+        for b in bufs {
+            put_i32(b);
+        }
+        let mut drained = 0;
+        while take_i32().capacity() > 0 {
+            drained += 1;
+            assert!(drained <= POOL_CAP, "pool exceeded its cap");
+        }
+    }
+}

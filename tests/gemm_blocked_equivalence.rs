@@ -1,0 +1,201 @@
+//! Property tests for the blocked, packed GEMM micro-kernels (ISSUE 5).
+//!
+//! The naive loops the blocked kernels replaced survive as
+//! `gemm::reference` — the executable specification. These properties pin
+//! the blocked kernels **bit-exact** against it across random shapes
+//! (straddling the packing/blocking thresholds and tile edges), random
+//! reduction bands `[k0, k1)`, both rhs layouts (row-major and
+//! weight-transposed), column-batched stacking, sparse lhs operands (the
+//! zero-skip case), and thread counts 1/2/4 (exercising serial, row-band
+//! and column-band partitioning).
+//!
+//! f32 comparisons are on exact bits, not tolerances: the blocked kernel
+//! keeps every output element's in-order k-accumulation, so it must
+//! reproduce the naive loop's rounding exactly.
+
+use flexiq::parallel::ThreadPool;
+use flexiq::tensor::gemm::{self, reference};
+use flexiq::tensor::rng::seeded;
+use proptest::prelude::*;
+use rand::Rng;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn rand_f32(len: usize, rng: &mut impl Rng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Random i8 data with the requested per-mille zero rate (sparse lhs
+/// operands exercise the integer kernels' zero-skip).
+fn rand_i8(len: usize, zero_pct: u32, rng: &mut impl Rng) -> Vec<i8> {
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(0..100) < zero_pct {
+                0
+            } else {
+                rng.gen_range(-128i16..=127) as i8
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Blocked f32 == naive f32, bit for bit, at any shape and thread
+    /// count, including nonzero incoming C.
+    #[test]
+    fn f32_blocked_matches_reference_bitwise(
+        m in 1usize..48,
+        n in 1usize..180,
+        k in 1usize..140,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded(seed);
+        let a = rand_f32(m * k, &mut rng);
+        let b = rand_f32(k * n, &mut rng);
+        let c0 = rand_f32(m * n, &mut rng);
+        let mut expect = c0.clone();
+        reference::gemm_f32(m, n, k, &a, &b, &mut expect);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut c = c0.clone();
+            flexiq::parallel::with_pool(&pool, || gemm::gemm_f32(m, n, k, &a, &b, &mut c));
+            for (i, (x, y)) in c.iter().zip(expect.iter()).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "({}, {}, {}) x{} elem {}", m, n, k, threads, i);
+            }
+        }
+    }
+
+    /// Blocked weight-transposed f32 == its reference, bit for bit.
+    #[test]
+    fn f32_wt_matches_reference_bitwise(
+        m in 1usize..40,
+        n in 1usize..120,
+        k in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded(seed ^ 0xA5A5);
+        let a = rand_f32(m * k, &mut rng);
+        let w = rand_f32(n * k, &mut rng);
+        let mut expect = vec![0.0f32; m * n];
+        reference::gemm_f32_wt(m, n, k, &a, &w, &mut expect);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut c = vec![0.0f32; m * n];
+            flexiq::parallel::with_pool(&pool, || gemm::gemm_f32_wt(m, n, k, &a, &w, &mut c));
+            for (x, y) in c.iter().zip(expect.iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Blocked integer band GEMM == reference over random bands and
+    /// sparsity (zero-skip is a pure optimization), at any thread count.
+    #[test]
+    fn i8_band_matches_reference(
+        m in 1usize..48,
+        n in 1usize..180,
+        k in 2usize..140,
+        band in 0.0f64..1.0,
+        zero_pct in 0u32..70,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded(seed ^ 0x17);
+        let k0 = ((k as f64) * band * 0.5) as usize;
+        let k1 = k - ((k as f64) * (1.0 - band) * 0.3) as usize;
+        let (k0, k1) = (k0.min(k), k1.clamp(k0, k));
+        let a = rand_i8(m * k, zero_pct, &mut rng);
+        let b = rand_i8(k * n, 0, &mut rng);
+        let mut expect = vec![0i32; m * n];
+        reference::gemm_i8_band(m, n, k, k0, k1, &a, &b, &mut expect);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut c = vec![0i32; m * n];
+            flexiq::parallel::with_pool(&pool, || {
+                gemm::gemm_i8_band(m, n, k, k0, k1, &a, &b, &mut c)
+            });
+            prop_assert_eq!(&c, &expect, "({}, {}, {}) band [{}, {}) x{}",
+                m, n, k, k0, k1, threads);
+        }
+    }
+
+    /// Blocked weight-transposed integer band == its reference.
+    #[test]
+    fn i8_band_wt_matches_reference(
+        m in 1usize..40,
+        n in 1usize..120,
+        k in 2usize..120,
+        zero_pct in 0u32..70,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded(seed ^ 0x2B);
+        let k0 = rng.gen_range(0..k);
+        let k1 = rng.gen_range(k0..=k);
+        let a = rand_i8(m * k, zero_pct, &mut rng);
+        let w = rand_i8(n * k, 0, &mut rng);
+        let mut expect = vec![0i32; m * n];
+        reference::gemm_i8_band_wt(m, n, k, k0, k1, &a, &w, &mut expect);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut c = vec![0i32; m * n];
+            flexiq::parallel::with_pool(&pool, || {
+                gemm::gemm_i8_band_wt(m, n, k, k0, k1, &a, &w, &mut c)
+            });
+            prop_assert_eq!(&c, &expect);
+        }
+    }
+
+    /// Column-batched layouts (the stacked-batch rhs) stay bit-exact with
+    /// per-sample reference calls — f32 and i8 — including the
+    /// wide-but-short shapes that engage column-band partitioning.
+    #[test]
+    fn colbatch_matches_per_sample_reference(
+        nb in 1usize..6,
+        m in 1usize..12,
+        n in 1usize..80,
+        k in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded(seed ^ 0x3C);
+        let af = rand_f32(m * k, &mut rng);
+        let ai = rand_i8(m * k, 30, &mut rng);
+        let samples_f: Vec<Vec<f32>> = (0..nb).map(|_| rand_f32(k * n, &mut rng)).collect();
+        let samples_i: Vec<Vec<i8>> = (0..nb).map(|_| rand_i8(k * n, 0, &mut rng)).collect();
+        // Column-stacked rhs [k, nb*n].
+        let mut bf = vec![0.0f32; k * nb * n];
+        let mut bi = vec![0i8; k * nb * n];
+        for p in 0..k {
+            for s in 0..nb {
+                bf[p * nb * n + s * n..p * nb * n + (s + 1) * n]
+                    .copy_from_slice(&samples_f[s][p * n..(p + 1) * n]);
+                bi[p * nb * n + s * n..p * nb * n + (s + 1) * n]
+                    .copy_from_slice(&samples_i[s][p * n..(p + 1) * n]);
+            }
+        }
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut cf = vec![0.0f32; m * nb * n];
+            let mut ci = vec![0i32; m * nb * n];
+            flexiq::parallel::with_pool(&pool, || {
+                gemm::gemm_f32_colbatch(nb, m, n, k, &af, &bf, &mut cf);
+                gemm::gemm_i8_colbatch(nb, m, n, k, &ai, &bi, &mut ci);
+            });
+            for s in 0..nb {
+                let mut ef = vec![0.0f32; m * n];
+                let mut ei = vec![0i32; m * n];
+                reference::gemm_f32(m, n, k, &af, &samples_f[s], &mut ef);
+                reference::gemm_i8(m, n, k, &ai, &samples_i[s], &mut ei);
+                for i in 0..m {
+                    for j in 0..n {
+                        prop_assert_eq!(
+                            cf[i * nb * n + s * n + j].to_bits(),
+                            ef[i * n + j].to_bits(),
+                            "f32 sample {} ({}, {}) x{}", s, i, j, threads
+                        );
+                        prop_assert_eq!(ci[i * nb * n + s * n + j], ei[i * n + j]);
+                    }
+                }
+            }
+        }
+    }
+}
