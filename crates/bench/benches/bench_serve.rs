@@ -118,6 +118,7 @@ fn bench_queue_dispatch(c: &mut Criterion) {
                     input: Tensor::zeros([1]),
                     enqueued_at: Instant::now(),
                     deadline: None,
+                    trace: 0,
                     reply: tx,
                 })
                 .unwrap();

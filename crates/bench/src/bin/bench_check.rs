@@ -1,7 +1,8 @@
 //! CI bench gate: re-derives the perf acceptance criteria from the
 //! `BENCH_*.json` artifacts and fails (exit 1) on any regression.
 //!
-//! Run after `exp_batch_scaling`, `exp_varlen` and `exp_gemm`:
+//! Run after `exp_batch_scaling`, `exp_varlen`, `exp_gemm` and
+//! `exp_telemetry`:
 //!
 //! ```text
 //! cargo run --release -p flexiq-bench --bin bench_check
@@ -12,9 +13,10 @@
 //! latency below sequential and below N=1; 4-thread total below 1-thread
 //! on multi-core runners; bucketed padded batching below shape-group
 //! splitting on the mixed-length LM trace; blocked+packed GEMM kernels
-//! at least their gated factor over the naive reference. A missing or
-//! malformed artifact fails the gate — silence is the failure mode this
-//! bin exists to remove.
+//! at least their gated factor over the naive reference; full span
+//! tracing within its declared overhead budget. A missing or malformed
+//! artifact fails the gate — silence is the failure mode this bin
+//! exists to remove.
 
 use std::path::PathBuf;
 
@@ -28,6 +30,7 @@ fn main() {
         read("BENCH_parallel.json").as_deref(),
         read("BENCH_varlen.json").as_deref(),
         read("BENCH_gemm.json").as_deref(),
+        read("BENCH_telemetry.json").as_deref(),
     );
     println!("bench gate: {} checks", checks.len());
     for c in &checks {

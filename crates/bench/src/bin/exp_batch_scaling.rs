@@ -253,6 +253,28 @@ fn main() {
         }
     }
 
+    // ── Traced breakdown: where one N=16 stacked pass spends its time ──
+    // Runs after all timing so span recording cannot touch the gated
+    // numbers above.
+    flexiq_telemetry::set_enabled(true);
+    flexiq_telemetry::reset();
+    std::hint::black_box(rt.infer_batch(&inputs[..16]).expect("traced inference"));
+    let threads = flexiq_telemetry::drain();
+    flexiq_telemetry::set_enabled(false);
+    let mut ttable = ResultTable::new(
+        "Traced N=16 pass: top graph nodes by total time",
+        &["node", "count", "total_ms", "max_ms"],
+    );
+    for agg in flexiq_telemetry::top_spans(&threads, flexiq_telemetry::Cat::Node, 8) {
+        ttable.row(vec![
+            agg.name.to_string(),
+            agg.count.to_string(),
+            format!("{:.4}", agg.total_ns as f64 / 1e6),
+            format!("{:.4}", agg.max_ns as f64 / 1e6),
+        ]);
+    }
+    ttable.emit("batch_scaling_breakdown");
+
     // The acceptance criteria are enforced, not just printed: a CI run
     // where batching stops amortizing (N=16 per-sample >= N=1) or where
     // 4 threads stop beating 1 thread on a multi-core machine fails.

@@ -17,6 +17,9 @@
 //! * `BENCH_gemm.json` — the blocked, packed kernels must beat the naive
 //!   reference loops by each gated shape's `min_speedup` factor (the
 //!   large int8 shape at ≥ 1.5×); ungated shapes are informational.
+//! * `BENCH_telemetry.json` — full span tracing must cost at most its
+//!   declared `max_overhead_pct` over the untraced batch-16 pass, and
+//!   the traced pass must actually record spans.
 
 use crate::json::Json;
 
@@ -187,14 +190,44 @@ pub fn check_gemm(doc: &Json) -> Result<Vec<GateCheck>, String> {
     Ok(checks)
 }
 
+/// Criteria over `BENCH_telemetry.json`: with full span tracing enabled
+/// the traced batch-16 pass must stay within its declared overhead
+/// budget over the untraced pass, and the traced pass must actually
+/// have recorded spans — an empty trace would make the overhead number
+/// vacuous.
+pub fn check_telemetry(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let field = |name: &str| {
+        doc.num(name)
+            .ok_or_else(|| format!("BENCH_telemetry.json: missing \"{name}\""))
+    };
+    let disabled = field("disabled_ms")?;
+    let enabled = field("enabled_ms")?;
+    let overhead = field("overhead_pct")?;
+    let max = field("max_overhead_pct")?;
+    let spans = field("spans_per_pass")?;
+    Ok(vec![
+        GateCheck::new(
+            format!("telemetry: traced overhead <= {max}%"),
+            overhead <= max,
+            format!("{overhead:.2}% ({enabled:.3} ms traced vs {disabled:.3} ms untraced)"),
+        ),
+        GateCheck::new(
+            "telemetry: traced pass records spans",
+            spans > 0.0,
+            format!("{spans:.0} spans/pass"),
+        ),
+    ])
+}
+
 /// Runs every gate over artifact texts (missing file = `None` = failed
-/// gate, since CI produces all four right before the check). Returns the
+/// gate, since CI produces all five right before the check). Returns the
 /// checks and the overall verdict.
 pub fn run_gate(
     batch: Option<&str>,
     parallel: Option<&str>,
     varlen: Option<&str>,
     gemm: Option<&str>,
+    telemetry: Option<&str>,
 ) -> (Vec<GateCheck>, bool) {
     let mut checks = Vec::new();
     for (file, text, check) in [
@@ -206,6 +239,7 @@ pub fn run_gate(
         ("BENCH_parallel.json", parallel, check_parallel),
         ("BENCH_varlen.json", varlen, check_varlen),
         ("BENCH_gemm.json", gemm, check_gemm),
+        ("BENCH_telemetry.json", telemetry, check_telemetry),
     ] {
         match text {
             None => checks.push(GateCheck::new(
@@ -262,6 +296,15 @@ mod tests {
         )
     }
 
+    fn telemetry_doc(overhead_pct: f64, spans: f64) -> String {
+        format!(
+            "{{\"disabled_ms\": 10.0, \"enabled_ms\": {:.4}, \
+             \"overhead_pct\": {overhead_pct}, \"max_overhead_pct\": 3.0, \
+             \"spans_per_pass\": {spans}}}",
+            10.0 * (1.0 + overhead_pct / 100.0)
+        )
+    }
+
     #[test]
     fn healthy_artifacts_pass() {
         let (checks, ok) = run_gate(
@@ -269,9 +312,10 @@ mod tests {
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
             Some(&gemm_doc(2.3)),
+            Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(ok, "checks: {checks:?}");
-        assert_eq!(checks.len(), 6);
+        assert_eq!(checks.len(), 8);
     }
 
     #[test]
@@ -285,8 +329,30 @@ mod tests {
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
             Some(&gemm_doc(2.3)),
+            Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(!ok);
+    }
+
+    #[test]
+    fn doctored_telemetry_regression_fails() {
+        // Overhead above the declared budget: the regression this gate
+        // exists for.
+        let doc = Json::parse(&telemetry_doc(7.5, 120.0)).unwrap();
+        let checks = check_telemetry(&doc).unwrap();
+        assert!(!checks[0].pass, "overhead above budget must fail");
+        assert!(checks[1].pass);
+        // At the budget exactly: pass.
+        let doc = Json::parse(&telemetry_doc(3.0, 120.0)).unwrap();
+        assert!(check_telemetry(&doc).unwrap()[0].pass);
+        // A traced pass that recorded nothing cannot vouch for the
+        // overhead number.
+        let doc = Json::parse(&telemetry_doc(1.0, 0.0)).unwrap();
+        assert!(!check_telemetry(&doc).unwrap()[1].pass);
+        // Structurally missing fields fail.
+        assert!(Json::parse("{\"disabled_ms\": 1.0}")
+            .map(|d| check_telemetry(&d).is_err())
+            .unwrap_or(false));
     }
 
     #[test]
@@ -329,6 +395,7 @@ mod tests {
             Some("{not json"),
             Some(&varlen_doc(8.0, 3.0)),
             Some(&gemm_doc(2.3)),
+            Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(!ok);
         assert!(!checks[0].pass, "missing file must fail");
@@ -339,6 +406,7 @@ mod tests {
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
             Some(&gemm_doc(2.3)),
+            Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(!ok);
     }

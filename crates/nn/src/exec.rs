@@ -343,6 +343,13 @@ fn eval(
             };
             resolved.push(value);
         }
+        // Graph-node span: one per node per pass, named after the op.
+        let _span = flexiq_telemetry::span_full(
+            node.op.name(),
+            flexiq_telemetry::Cat::Node,
+            nid as u32,
+            [batch.unwrap_or(0) as u64, 0, 0, 0],
+        );
         memo[nid] = Some(match batch {
             None => apply_node(node, &resolved, input, compute)?,
             Some(n) => apply_node_batch_masked(node, &resolved, input, n, mask, compute)?,

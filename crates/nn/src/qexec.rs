@@ -54,6 +54,7 @@ use flexiq_quant::dynamic::dynamic_lowering;
 use flexiq_quant::lowering::BitLowering;
 use flexiq_quant::quantize::{PerChannelQ, RANGE_EPS};
 use flexiq_quant::{GroupSpec, QParams, QuantBits};
+use flexiq_telemetry as tel;
 use flexiq_tensor::im2col::{im2col_i8_batch_fill, im2col_i8_fill};
 use flexiq_tensor::{gemm, I8Tensor, SeqMask, Tensor};
 
@@ -506,6 +507,7 @@ impl<'m> QuantCompute<'m> {
     /// Elements are independent, so large activations quantize in
     /// parallel chunks (bit-exact: each element's rounding is untouched).
     fn quantize_act_into(&self, l: LayerId, x: &Tensor, buf: &mut Buf<i8>) {
+        let _span = tel::span("act_quant", tel::Cat::Phase);
         let p = QParams::new(self.model.layers[l].act_scale, QuantBits::B8)
             .expect("scale validated at prepare");
         let data = x.data();
@@ -647,6 +649,7 @@ impl<'m> QuantCompute<'m> {
                 // 8-bit band: acc[t,o] += sum_{c in band} xq[t,c] wq[o,c],
                 // run as a blocked band GEMM straight off the [C_out,
                 // C_in] master weights (no transposed copy).
+                let _band = tel::span("band_gemm", tel::Cat::Phase);
                 gemm::gemm_i8_band_wt(
                     t,
                     c_out,
@@ -660,6 +663,7 @@ impl<'m> QuantCompute<'m> {
                 continue;
             }
             // 4-bit band with bit extraction and shifted accumulation.
+            let lower_span = tel::span("bit_lower", tel::Cat::Phase);
             let a_rule = {
                 let act_q: &[i8] = &ws.act_q;
                 let live = if self.needs_live() {
@@ -689,6 +693,8 @@ impl<'m> QuantCompute<'m> {
                     }
                 }
             }
+            drop(lower_span);
+            let _band = tel::span("band_gemm", tel::Cat::Phase);
             ws.group_scratch.prep(t * c_out);
             gemm::gemm_i8(t, c_out, bw, &ws.low_act, &ws.low_w, &mut ws.group_scratch);
             for ti in 0..t {
@@ -698,6 +704,7 @@ impl<'m> QuantCompute<'m> {
                 }
             }
         }
+        let requant_span = tel::span("requant", tel::Cat::Phase);
         let mut out = vec![0.0f32; t * c_out];
         for ti in 0..t {
             for o in 0..c_out {
@@ -708,6 +715,7 @@ impl<'m> QuantCompute<'m> {
                 out[ti * c_out + o] = v;
             }
         }
+        drop(requant_span);
         self.ws = ws;
         if x.dims().len() == 1 {
             Ok(Tensor::from_vec([c_out], out)?)
@@ -732,11 +740,13 @@ impl<'m> QuantCompute<'m> {
         for cg in 0..conv.groups {
             // Lower this conv group's quantized input slice (borrowed in
             // place — no per-group copy) into the workspace.
+            let im2col_span = tel::span("im2col", tel::Cat::Phase);
             im2col_i8_fill(
                 &ws.act_q[cg * c_in_g * h * w..(cg + 1) * c_in_g * h * w],
                 &geom,
                 ws.cols_q.prep(k * cols),
             );
+            drop(im2col_span);
             let acc = ws.acc.prep(c_out_g * cols);
             let scratch = GroupScratch {
                 low_act: &mut ws.low_act,
@@ -746,6 +756,7 @@ impl<'m> QuantCompute<'m> {
                 gemm: &mut ws.group_scratch,
             };
             self.conv_group_bands(l, conv, cg, 1, cols, &ws.cols_q, scratch, acc);
+            let _requant = tel::span("requant", tel::Cat::Phase);
             for ol in 0..c_out_g {
                 let o = cg * c_out_g + ol;
                 let s = lq.act_scale * lq.w_scales[o];
@@ -803,6 +814,7 @@ impl<'m> QuantCompute<'m> {
             let run_end = (g_end - cg * c_in_g).min(c_in_g);
             let (k0, k1) = (cl * khkw, run_end * khkw);
             if !self.plan.low_groups[l][g] {
+                let _band = tel::span("band_gemm", tel::Cat::Phase);
                 gemm::gemm_i8_band_colbatch(
                     nb,
                     c_out_g,
@@ -816,6 +828,7 @@ impl<'m> QuantCompute<'m> {
                 );
             } else {
                 let bw = k1 - k0;
+                let lower_span = tel::span("bit_lower", tel::Cat::Phase);
                 let a_rule = {
                     let live = if self.needs_live() {
                         s.live
@@ -847,6 +860,8 @@ impl<'m> QuantCompute<'m> {
                         }
                     }
                 }
+                drop(lower_span);
+                let _band = tel::span("band_gemm", tel::Cat::Phase);
                 s.gemm.prep(c_out_g * ncols);
                 gemm::gemm_i8_colbatch(
                     nb,
@@ -937,6 +952,7 @@ impl<'m> QuantCompute<'m> {
                 continue;
             }
             if !self.plan.low_groups[l][g] {
+                let _band = tel::span("band_gemm", tel::Cat::Phase);
                 if row_live.is_none() {
                     // 8-bit band over the whole stack: one blocked band
                     // GEMM straight off the [C_out, C_in] master weights.
@@ -992,6 +1008,7 @@ impl<'m> QuantCompute<'m> {
                 }
                 continue;
             }
+            let lower_span = tel::span("bit_lower", tel::Cat::Phase);
             let a_rule = {
                 let (xq, row_live): (&[i8], _) = (&ws.act_q, &row_live);
                 let live = if self.needs_live() {
@@ -1036,6 +1053,8 @@ impl<'m> QuantCompute<'m> {
                     }
                 }
             }
+            drop(lower_span);
+            let _band = tel::span("band_gemm", tel::Cat::Phase);
             ws.group_scratch.prep(nv * c_out);
             gemm::gemm_i8(nv, c_out, bw, &ws.low_act, &ws.low_w, &mut ws.group_scratch);
             for (vi, &ti) in ws.rows.iter().enumerate() {
@@ -1045,6 +1064,7 @@ impl<'m> QuantCompute<'m> {
                 }
             }
         }
+        let requant_span = tel::span("requant", tel::Cat::Phase);
         let mut out = vec![0.0f32; rows * c_out];
         for ti in 0..rows {
             for o in 0..c_out {
@@ -1055,6 +1075,7 @@ impl<'m> QuantCompute<'m> {
                 out[ti * c_out + o] = v;
             }
         }
+        drop(requant_span);
         self.ws = ws;
         if x.dims().len() == 2 {
             Ok(Tensor::from_vec([n, c_out], out)?)
@@ -1089,6 +1110,7 @@ impl<'m> QuantCompute<'m> {
         let lq = &self.model.layers[l];
         let mut out = vec![0.0f32; n * c_out * cols];
         let scatter = |cg: usize, acc: &[i32], out: &mut [f32]| {
+            let _requant = tel::span("requant", tel::Cat::Phase);
             for ol in 0..c_out_g {
                 let o = cg * c_out_g + ol;
                 let s = lq.act_scale * lq.w_scales[o];
@@ -1116,6 +1138,7 @@ impl<'m> QuantCompute<'m> {
                 let xq: &[i8] = &ws.act_q;
                 let group_acc = |cg: usize| -> Vec<i32> {
                     let mut tls = workspace::take();
+                    let im2col_span = tel::span("im2col", tel::Cat::Phase);
                     im2col_i8_batch_fill(
                         &xq[cg * c_in_g * h * w..],
                         n,
@@ -1123,6 +1146,7 @@ impl<'m> QuantCompute<'m> {
                         &geom,
                         tls.cols_q.prep(k * ncols),
                     );
+                    drop(im2col_span);
                     let mut acc = vec![0i32; c_out_g * ncols];
                     let scratch = GroupScratch {
                         low_act: &mut tls.low_act,
@@ -1145,6 +1169,7 @@ impl<'m> QuantCompute<'m> {
             // steady-state passes allocate nothing here.
             None => {
                 for cg in 0..conv.groups {
+                    let im2col_span = tel::span("im2col", tel::Cat::Phase);
                     im2col_i8_batch_fill(
                         &ws.act_q[cg * c_in_g * h * w..],
                         n,
@@ -1152,6 +1177,7 @@ impl<'m> QuantCompute<'m> {
                         &geom,
                         ws.cols_q.prep(k * ncols),
                     );
+                    drop(im2col_span);
                     let acc = ws.acc.prep(c_out_g * ncols);
                     let scratch = GroupScratch {
                         low_act: &mut ws.low_act,

@@ -48,6 +48,7 @@ impl<T: Clone + Default> Buf<T> {
     pub fn prep(&mut self, len: usize) -> &mut [T] {
         if len > self.data.capacity() {
             self.grown += 1;
+            flexiq_telemetry::count(flexiq_telemetry::Counter::WsBufGrowth, 1);
         }
         self.data.clear();
         self.data.resize(len, T::default());
@@ -77,6 +78,7 @@ impl<T> Buf<T> {
         self.data.extend(iter);
         if self.data.capacity() > cap {
             self.grown += 1;
+            flexiq_telemetry::count(flexiq_telemetry::Counter::WsBufGrowth, 1);
         }
         &mut self.data
     }

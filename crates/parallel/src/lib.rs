@@ -85,11 +85,18 @@ unsafe impl Sync for Job {}
 impl Job {
     /// Claims and executes tasks until the cursor is exhausted.
     fn work(&self) {
+        use flexiq_telemetry as tel;
+        // One clock pair per participation (not per task): busy time and
+        // a per-thread `pool_work` span, recorded only while telemetry is
+        // on so the disabled hot path pays a single relaxed load here.
+        let t0 = tel::recording().then(tel::now_ns);
+        let mut claimed = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.n_tasks {
-                return;
+                break;
             }
+            claimed += 1;
             if !self.poisoned.load(Ordering::Relaxed) {
                 let body = IN_TASK.with(|flag| {
                     let outer = flag.replace(true);
@@ -108,6 +115,23 @@ impl Job {
                 }
             }
             self.complete_one();
+        }
+        if claimed > 0 {
+            tel::count(tel::Counter::PoolTasks, claimed);
+        }
+        if let Some(t0) = t0 {
+            let t1 = tel::now_ns();
+            tel::count(tel::Counter::PoolBusyNs, t1.saturating_sub(t0));
+            if claimed > 0 {
+                tel::record_span(
+                    "pool_work",
+                    tel::Cat::Pool,
+                    0,
+                    t0,
+                    t1,
+                    [claimed, self.n_tasks as u64, 0, 0],
+                );
+            }
         }
     }
 
@@ -344,18 +368,29 @@ impl Drop for ThreadPool {
 }
 
 fn helper_loop(shared: &Shared) {
+    use flexiq_telemetry as tel;
     loop {
         let job = {
             let mut q = shared.queue.lock().expect("pool queue");
-            loop {
+            // Idle accounting: time parked between jobs, counted only
+            // while telemetry is enabled.
+            let idle_t0 = tel::enabled().then(tel::now_ns);
+            let job = loop {
                 if shared.shutdown.load(Ordering::Acquire) {
+                    if let Some(t0) = idle_t0 {
+                        tel::count(tel::Counter::PoolIdleNs, tel::now_ns().saturating_sub(t0));
+                    }
                     return;
                 }
                 if let Some(job) = q.front() {
                     break Arc::clone(job);
                 }
                 q = shared.work_cv.wait(q).expect("pool queue wait");
+            };
+            if let Some(t0) = idle_t0 {
+                tel::count(tel::Counter::PoolIdleNs, tel::now_ns().saturating_sub(t0));
             }
+            job
         };
         job.work();
         // The cursor is spent: drop the job from the queue so waiters

@@ -53,6 +53,17 @@ pub struct ServeConfig {
     /// merges; the default `0.5` merges whenever the group still
     /// computes more real than pad positions.
     pub max_padding_waste: f64,
+    /// Fraction of requests traced end to end (admission → bucket plan
+    /// → dispatch → completion), in `[0, 1]`.
+    ///
+    /// Sampled requests get a nonzero trace id at admission; the worker
+    /// that dispatches a batch containing one records telemetry spans
+    /// for the whole pass (via `flexiq_telemetry::with_trace`), even
+    /// when global telemetry is off. Sampling is deterministic in the
+    /// request id (every `1/rate`-th admission), so traces are
+    /// reproducible. `0.0` (default) never samples; `1.0` traces every
+    /// request.
+    pub trace_sample_rate: f64,
     /// Feedback-control parameters.
     pub control: ControlConfig,
 }
@@ -68,6 +79,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             lm_bucketing: true,
             max_padding_waste: 0.5,
+            trace_sample_rate: 0.0,
             control: ControlConfig::default(),
         }
     }
@@ -94,6 +106,12 @@ impl ServeConfig {
             return Err(ServeError::Config(format!(
                 "max_padding_waste {} outside [0, 1)",
                 self.max_padding_waste
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.trace_sample_rate) || !self.trace_sample_rate.is_finite() {
+            return Err(ServeError::Config(format!(
+                "trace_sample_rate {} outside [0, 1]",
+                self.trace_sample_rate
             )));
         }
         self.control.validate()
@@ -225,5 +243,20 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = ServeConfig {
+            trace_sample_rate: 1.5,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            trace_sample_rate: -0.5,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            trace_sample_rate: 1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
     }
 }

@@ -49,7 +49,20 @@ impl LatencyHistogram {
             return 0;
         }
         let idx = (seconds / HIST_MIN_S).ln() / HIST_GROWTH.ln();
-        (idx as usize).min(HIST_BUCKETS - 1)
+        let mut i = (idx as usize).min(HIST_BUCKETS - 1);
+        // The ln-derived index drifts a few ulps off the powi-derived
+        // edges `bucket_upper` reports, so a sample exactly on an edge
+        // could land one bucket high (and percentile queries would then
+        // overstate it by a full growth factor). Realign against the
+        // authoritative edges: bucket `i` holds
+        // `bucket_upper(i-1) < s <= bucket_upper(i)`.
+        while i > 0 && seconds <= Self::bucket_upper(i - 1) {
+            i -= 1;
+        }
+        while i < HIST_BUCKETS - 1 && seconds > Self::bucket_upper(i) {
+            i += 1;
+        }
+        i
     }
 
     /// Upper edge of bucket `i`, in seconds.
@@ -172,6 +185,11 @@ pub struct LevelSwitch {
 /// All counters and instruments of one server.
 pub struct MetricsHub {
     started_at: Instant,
+    /// `started_at` in the telemetry clock domain
+    /// ([`flexiq_telemetry::now_ns`]), so the level-switch trace (stored
+    /// as seconds since start) can be joined against drained span
+    /// timestamps.
+    started_tel_ns: u64,
     /// End-to-end latency of every completed request.
     pub latency: LatencyHistogram,
     /// Queueing delay (admission → dispatch) of every completed request.
@@ -193,6 +211,7 @@ impl MetricsHub {
     pub fn new(window: Duration) -> Self {
         MetricsHub {
             started_at: Instant::now(),
+            started_tel_ns: flexiq_telemetry::now_ns(),
             latency: LatencyHistogram::new(),
             queue_delay: LatencyHistogram::new(),
             window: LatencyWindow::new(window, 65_536),
@@ -293,6 +312,180 @@ impl MetricsHub {
             level_switches: self.level_trace.lock().expect("trace lock").len(),
         }
     }
+
+    /// Joins the level-switch trace against drained telemetry spans:
+    /// how much graph-node execution time ran at each ratio level.
+    ///
+    /// Each `Node`-category span is attributed to the level active at
+    /// its start instant (`initial_level` before the first recorded
+    /// switch — pass [`flexiq_core::runtime::LEVEL_INT8`]'s runtime
+    /// encoding or the configured start level). Returns one entry per
+    /// level seen, in first-seen order.
+    pub fn level_attribution(
+        &self,
+        threads: &[flexiq_telemetry::ThreadSpans],
+        initial_level: usize,
+    ) -> Vec<LevelAttribution> {
+        // Interval boundaries in the telemetry clock domain.
+        let mut bounds: Vec<(u64, usize)> = vec![(0, initial_level)];
+        for sw in self.level_trace.lock().expect("trace lock").iter() {
+            let at_ns = self.started_tel_ns.saturating_add((sw.at_s * 1e9) as u64);
+            bounds.push((at_ns, sw.level));
+        }
+        let mut out: Vec<LevelAttribution> = Vec::new();
+        for t in threads {
+            for ev in t
+                .spans
+                .iter()
+                .filter(|e| e.cat == flexiq_telemetry::Cat::Node)
+            {
+                let level = bounds
+                    .iter()
+                    .rev()
+                    .find(|&&(at, _)| ev.start_ns >= at)
+                    .map_or(initial_level, |&(_, l)| l);
+                match out.iter_mut().find(|a| a.level == level) {
+                    Some(a) => {
+                        a.node_ns += ev.dur_ns;
+                        a.spans += 1;
+                    }
+                    None => out.push(LevelAttribution {
+                        level,
+                        node_ns: ev.dur_ns,
+                        spans: 1,
+                    }),
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus text exposition: every [`Snapshot`] field plus the
+    /// global telemetry counters
+    /// ([`flexiq_telemetry::prom`]).
+    pub fn prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        fn metric(out: &mut String, name: &str, help: &str, kind: &str, value: f64) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let s = self.snapshot();
+        let mut out = String::with_capacity(2048);
+        metric(
+            &mut out,
+            "flexiq_serve_submitted_total",
+            "Requests admitted.",
+            "counter",
+            s.submitted as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_completed_total",
+            "Requests answered successfully.",
+            "counter",
+            s.completed as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_rejected_total",
+            "Requests rejected by backpressure.",
+            "counter",
+            s.rejected as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_expired_total",
+            "Requests dropped at dispatch for missed deadlines.",
+            "counter",
+            s.expired as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_batches_total",
+            "Batches dispatched.",
+            "counter",
+            s.batches as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_mean_batch",
+            "Mean requests per dispatched batch.",
+            "gauge",
+            s.mean_batch,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_throughput_rps",
+            "Completed requests per second of uptime.",
+            "gauge",
+            s.throughput_rps,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_queue_depth",
+            "Last published admission-queue depth.",
+            "gauge",
+            s.queue_depth as f64,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP flexiq_serve_latency_seconds End-to-end latency quantiles."
+        );
+        let _ = writeln!(out, "# TYPE flexiq_serve_latency_seconds gauge");
+        let _ = writeln!(
+            out,
+            "flexiq_serve_latency_seconds{{quantile=\"0.5\"}} {}",
+            s.p50_s
+        );
+        let _ = writeln!(
+            out,
+            "flexiq_serve_latency_seconds{{quantile=\"0.95\"}} {}",
+            s.p95_s
+        );
+        let _ = writeln!(
+            out,
+            "flexiq_serve_latency_seconds{{quantile=\"0.99\"}} {}",
+            s.p99_s
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_latency_mean_seconds",
+            "Mean end-to-end latency.",
+            "gauge",
+            s.mean_s,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_queue_delay_p95_seconds",
+            "95th-percentile queueing delay.",
+            "gauge",
+            s.queue_delay_p95_s,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_level_switches_total",
+            "Entries in the level-switch trace.",
+            "counter",
+            s.level_switches as f64,
+        );
+        out.push_str(&flexiq_telemetry::prom::render(
+            &flexiq_telemetry::counters(),
+        ));
+        out
+    }
+}
+
+/// Node-execution time attributed to one ratio level (see
+/// [`MetricsHub::level_attribution`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelAttribution {
+    /// Runtime ratio level (`usize::MAX` = pure INT8).
+    pub level: usize,
+    /// Summed graph-node span time at this level, nanoseconds.
+    pub node_ns: u64,
+    /// Node spans attributed to this level.
+    pub spans: usize,
 }
 
 /// A point-in-time metrics summary.
@@ -351,6 +544,33 @@ mod tests {
     }
 
     #[test]
+    fn bucket_of_agrees_with_bucket_upper_edges() {
+        // A sample exactly on bucket i's upper edge must land in bucket
+        // i (edges are inclusive above), and a sample one ulp higher in
+        // bucket i+1 — for every bucket, despite ln/powi float drift.
+        for i in 0..HIST_BUCKETS - 1 {
+            let edge = LatencyHistogram::bucket_upper(i);
+            assert_eq!(
+                LatencyHistogram::bucket_of(edge),
+                i,
+                "sample on upper edge of bucket {i} drifted"
+            );
+            let above = edge * (1.0 + 1e-15);
+            assert_eq!(
+                LatencyHistogram::bucket_of(above),
+                i + 1,
+                "sample just above bucket {i}'s edge drifted"
+            );
+        }
+        // And percentile_s of a single edge-exact sample reports the
+        // edge it landed on, not one growth factor high.
+        let h = LatencyHistogram::new();
+        let edge = LatencyHistogram::bucket_upper(100);
+        h.record(Duration::from_secs_f64(edge));
+        assert!((h.percentile_s(0.5) - edge).abs() / edge < 1e-12);
+    }
+
+    #[test]
     fn empty_histogram_is_zero() {
         let h = LatencyHistogram::new();
         assert_eq!(h.percentile_s(0.99), 0.0);
@@ -404,5 +624,64 @@ mod tests {
         assert_eq!(s.level_switches, 1);
         assert_eq!(m.level_trace()[0].level, 2);
         assert!(s.p50_s > 0.0);
+    }
+
+    #[test]
+    fn level_attribution_joins_switches_with_node_spans() {
+        use flexiq_telemetry as tel;
+        let m = MetricsHub::new(Duration::from_secs(1));
+        let t0 = m.started_tel_ns;
+        std::thread::sleep(Duration::from_millis(2));
+        m.on_level_switch(3);
+        let switch_ns = t0 + (m.level_trace()[0].at_s * 1e9) as u64;
+        let node = |start_ns: u64, dur_ns: u64| tel::SpanEvent {
+            name: "node",
+            cat: tel::Cat::Node,
+            start_ns,
+            dur_ns,
+            id: 0,
+            trace_id: 0,
+            depth: 0,
+            args: [0; 4],
+        };
+        let threads = vec![tel::ThreadSpans {
+            tid: 1,
+            thread: "t".into(),
+            spans: vec![
+                node(t0, 100),                         // before the switch
+                node(switch_ns.saturating_sub(1), 50), // still before
+                node(switch_ns + 1, 200),              // after
+                node(switch_ns + 10, 300),             // after
+            ],
+            dropped: 0,
+        }];
+        let attr = m.level_attribution(&threads, 7);
+        assert_eq!(attr.len(), 2);
+        let at7 = attr.iter().find(|a| a.level == 7).unwrap();
+        let at3 = attr.iter().find(|a| a.level == 3).unwrap();
+        assert_eq!((at7.node_ns, at7.spans), (150, 2));
+        assert_eq!((at3.node_ns, at3.spans), (500, 2));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = MetricsHub::new(Duration::from_secs(1));
+        m.on_submitted();
+        m.on_completed(
+            Instant::now(),
+            Duration::from_millis(5),
+            Duration::from_millis(1),
+        );
+        let text = m.prometheus();
+        assert!(text.contains("# TYPE flexiq_serve_submitted_total counter"));
+        assert!(text.contains("flexiq_serve_submitted_total 1"));
+        assert!(text.contains("flexiq_serve_latency_seconds{quantile=\"0.95\"}"));
+        assert!(text.contains("# TYPE flexiq_gemm_calls_total counter"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("metric line");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
     }
 }

@@ -144,6 +144,7 @@ mod tests {
             input: Tensor::zeros([1]),
             enqueued_at: Instant::now(),
             deadline: None,
+            trace: 0,
             reply: tx,
         }
     }

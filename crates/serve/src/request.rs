@@ -21,6 +21,10 @@ pub struct QueuedRequest {
     /// Absolute expiry; expired requests are dropped at dispatch and
     /// answered with [`ServeError::DeadlineExpired`].
     pub deadline: Option<Instant>,
+    /// Telemetry trace id: nonzero when this request was sampled at
+    /// admission (`ServeConfig::trace_sample_rate`). The dispatching
+    /// worker records spans for any batch carrying a sampled request.
+    pub trace: u64,
     /// Where the worker sends the outcome.
     pub reply: mpsc::Sender<Result<InferResponse>>,
 }
@@ -94,6 +98,7 @@ mod tests {
             input: Tensor::zeros([1]),
             enqueued_at: Instant::now(),
             deadline,
+            trace: 0,
             reply: tx,
         };
         (req, rx)

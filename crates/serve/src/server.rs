@@ -163,17 +163,30 @@ impl Server {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = std::sync::mpsc::channel();
         let now = Instant::now();
+        let trace = trace_id_for(id, self.cfg.trace_sample_rate);
         let req = QueuedRequest {
             id,
             input,
             enqueued_at: now,
             deadline: deadline.map(|d| now + d),
+            trace,
             reply: tx,
         };
         match self.queue.try_push(req) {
             Ok(depth) => {
                 self.metrics.on_submitted();
                 self.metrics.set_queue_depth(depth);
+                if trace != 0 {
+                    // Admission marker for the sampled request's trace.
+                    flexiq_telemetry::with_trace(trace, || {
+                        flexiq_telemetry::event(
+                            "admit",
+                            flexiq_telemetry::Cat::Serve,
+                            id as u32,
+                            [depth as u64, 0, 0, 0],
+                        );
+                    });
+                }
                 Ok(Ticket { id, rx })
             }
             Err(e) => {
@@ -216,6 +229,26 @@ impl Server {
             let _ = c.join();
         }
         self.metrics.snapshot()
+    }
+}
+
+/// Deterministic trace sampling: request `id` is traced iff the count
+/// of sampled admissions `floor(id·rate)` increments at this id — every
+/// `1/rate`-th request, no RNG, reproducible across runs. The trace id
+/// is `id + 1` so that 0 always means "unsampled".
+fn trace_id_for(id: u64, rate: f64) -> u64 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    if rate >= 1.0 {
+        return id + 1;
+    }
+    let before = (id as f64 * rate).floor();
+    let after = ((id + 1) as f64 * rate).floor();
+    if after > before {
+        id + 1
+    } else {
+        0
     }
 }
 
@@ -452,5 +485,22 @@ mod tests {
         );
         assert_eq!(s.rejected, rejected, "every rejection must be counted");
         assert_eq!(s.completed + s.rejected, 64, "no request may vanish");
+    }
+
+    #[test]
+    fn trace_sampling_is_deterministic_and_proportional() {
+        assert!((0..1000).all(|id| trace_id_for(id, 0.0) == 0));
+        assert!((0..1000).all(|id| trace_id_for(id, 1.0) == id + 1));
+        // A sampled id never maps to trace 0, and the rate holds.
+        for rate in [0.1, 0.25, 0.5] {
+            let sampled = (0..1000).filter(|&id| trace_id_for(id, rate) != 0).count();
+            let expect = (1000.0 * rate) as usize;
+            assert!(
+                sampled.abs_diff(expect) <= 1,
+                "rate {rate}: {sampled} of 1000 sampled"
+            );
+            // Deterministic: same ids every call.
+            assert!((0..1000).all(|id| trace_id_for(id, rate) == trace_id_for(id, rate)));
+        }
     }
 }

@@ -59,6 +59,7 @@ use std::time::{Duration, Instant};
 
 use flexiq_core::FlexiRuntime;
 use flexiq_parallel::ThreadPool;
+use flexiq_telemetry as tel;
 
 use crate::bucket::plan_buckets;
 use crate::config::ServeConfig;
@@ -107,6 +108,12 @@ fn answer(
                 let queue_delay = dispatched.duration_since(enqueued_at);
                 let latency = done.duration_since(enqueued_at);
                 metrics.on_completed(done, latency, queue_delay);
+                tel::event(
+                    "complete",
+                    tel::Cat::Serve,
+                    id as u32,
+                    [level as u64, size as u64, latency.as_nanos() as u64, 0],
+                );
                 let _ = reply.send(Ok(InferResponse {
                     id,
                     output,
@@ -153,6 +160,25 @@ pub fn run_batch(
             live.push(req);
         }
     }
+    // A batch carrying any sampled request is traced end to end; the
+    // first sampled member's id names the trace (spans record even when
+    // global telemetry is off).
+    let trace = live.iter().map(|r| r.trace).find(|&t| t != 0).unwrap_or(0);
+    tel::with_trace(trace, || {
+        run_batch_traced(runtime, metrics, live, policy, size, dispatched)
+    });
+}
+
+/// The traced body of [`run_batch`]: bucket planning plus every stacked
+/// pass of one dispatched batch, executed under the batch's trace id.
+fn run_batch_traced(
+    runtime: &FlexiRuntime,
+    metrics: &MetricsHub,
+    mut live: Vec<QueuedRequest>,
+    policy: DispatchPolicy,
+    size: usize,
+    dispatched: Instant,
+) {
     // Token-sequence (LM) requests: one padded stacked pass per bucket
     // group, mixed lengths welcome.
     let tokens: Vec<QueuedRequest>;
@@ -164,7 +190,10 @@ pub fn run_batch(
     if !tokens.is_empty() {
         let lens: Vec<usize> = tokens.iter().map(|r| r.input.numel()).collect();
         let mut slots: Vec<Option<QueuedRequest>> = tokens.into_iter().map(Some).collect();
-        for group in plan_buckets(&lens, policy.max_padding_waste) {
+        let plan_span = tel::span("bucket_plan", tel::Cat::Serve);
+        let groups = plan_buckets(&lens, policy.max_padding_waste);
+        drop(plan_span);
+        for group in groups {
             // Move the inputs out of the requests (no clone on the hot
             // path); the padded stack inside the runtime is the copy.
             // Groups pad tightly — to the longest member, not the
@@ -179,7 +208,16 @@ pub fn run_batch(
                 inputs.push(req.input);
                 metas.push((req.id, req.enqueued_at, req.reply));
             }
-            match runtime.infer_batch_varlen_traced(&inputs, Some(group.pad_len(&lens))) {
+            let pad = group.pad_len(&lens);
+            let dispatch_span = tel::span_full(
+                "dispatch",
+                tel::Cat::Serve,
+                metas.len() as u32,
+                [size as u64, pad as u64, 1, 0],
+            );
+            let result = runtime.infer_batch_varlen_traced(&inputs, Some(pad));
+            drop(dispatch_span);
+            match result {
                 ok @ Ok(_) => answer(metrics, size, dispatched, metas, ok),
                 // Bucketing widens a group beyond one exact shape, so one
                 // malformed request (empty ids, out-of-vocab token) must
@@ -209,13 +247,15 @@ pub fn run_batch(
             inputs.push(req.input);
             metas.push((req.id, req.enqueued_at, req.reply));
         }
-        answer(
-            metrics,
-            size,
-            dispatched,
-            metas,
-            runtime.infer_batch_traced(&inputs),
+        let dispatch_span = tel::span_full(
+            "dispatch",
+            tel::Cat::Serve,
+            metas.len() as u32,
+            [size as u64, 0, 0, 0],
         );
+        let result = runtime.infer_batch_traced(&inputs);
+        drop(dispatch_span);
+        answer(metrics, size, dispatched, metas, result);
     }
 }
 
@@ -310,6 +350,7 @@ pub(crate) mod tests {
                 enqueued_at: now,
                 // One request is already expired at dispatch.
                 deadline: if i == 1 { Some(now) } else { None },
+                trace: 0,
                 reply: tx,
             });
             tickets.push(Ticket { id: i as u64, rx });
@@ -344,6 +385,7 @@ pub(crate) mod tests {
                 input: x.clone(),
                 enqueued_at: now,
                 deadline: None,
+                trace: 0,
                 reply: tx,
             });
             tickets.push(Ticket { id: i as u64, rx });
@@ -375,6 +417,7 @@ pub(crate) mod tests {
                     input,
                     enqueued_at: now,
                     deadline: None,
+                    trace: 0,
                     reply: tx,
                 },
                 Ticket { id, rx },
@@ -414,6 +457,7 @@ pub(crate) mod tests {
                 input: x.clone(),
                 enqueued_at: now,
                 deadline: None,
+                trace: 0,
                 reply: tx,
             });
             tickets.push(Ticket { id: i as u64, rx });
@@ -459,6 +503,7 @@ pub(crate) mod tests {
                 input: x.clone(),
                 enqueued_at: now,
                 deadline: None,
+                trace: 0,
                 reply: tx,
             });
             tickets.push(Ticket { id: i as u64, rx });
@@ -495,6 +540,7 @@ pub(crate) mod tests {
                 input: x.clone(),
                 enqueued_at: now,
                 deadline: None,
+                trace: 0,
                 reply: tx,
             });
             tickets.push(Ticket { id: i as u64, rx });

@@ -1,0 +1,121 @@
+//! Prometheus text-exposition rendering for the global counters.
+//!
+//! The serve crate appends this to its own `MetricsHub` exposition so a
+//! scrape (or a human) sees runtime-internal counters — workspace
+//! growth, scratch-pool traffic, pool busy/idle, GEMM volume — next to
+//! the request-level histograms. Format follows the Prometheus text
+//! format v0.0.4: `# HELP` / `# TYPE` comment pairs then one sample per
+//! line.
+
+use std::fmt::Write as _;
+
+use crate::CountersSnapshot;
+
+/// One metric: name, help text, kind, value.
+fn sample(out: &mut String, name: &str, help: &str, kind: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders the telemetry counters as Prometheus text exposition.
+pub fn render(c: &CountersSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    sample(
+        &mut out,
+        "flexiq_workspace_buf_growth_total",
+        "Workspace Buf growth events (0 in steady state).",
+        "counter",
+        c.ws_buf_growth,
+    );
+    sample(
+        &mut out,
+        "flexiq_scratch_takes_total",
+        "Kernel scratch-pool buffer takes.",
+        "counter",
+        c.scratch_takes,
+    );
+    sample(
+        &mut out,
+        "flexiq_scratch_puts_total",
+        "Kernel scratch-pool buffer returns.",
+        "counter",
+        c.scratch_puts,
+    );
+    sample(
+        &mut out,
+        "flexiq_pool_tasks_total",
+        "Tasks executed by the shared thread pool.",
+        "counter",
+        c.pool_tasks,
+    );
+    sample(
+        &mut out,
+        "flexiq_pool_busy_nanoseconds_total",
+        "Nanoseconds pool participants spent inside task bodies.",
+        "counter",
+        c.pool_busy_ns,
+    );
+    sample(
+        &mut out,
+        "flexiq_pool_idle_nanoseconds_total",
+        "Nanoseconds pool helpers spent parked waiting for work.",
+        "counter",
+        c.pool_idle_ns,
+    );
+    sample(
+        &mut out,
+        "flexiq_gemm_calls_total",
+        "Kernel GEMM invocations.",
+        "counter",
+        c.gemm_calls,
+    );
+    sample(
+        &mut out,
+        "flexiq_gemm_madds_total",
+        "Multiply-adds issued by kernel GEMMs.",
+        "counter",
+        c.gemm_madds,
+    );
+    sample(
+        &mut out,
+        "flexiq_gemm_packed_bytes_total",
+        "Estimated bytes staged through packed GEMM panels.",
+        "counter",
+        c.gemm_packed_bytes,
+    );
+    sample(
+        &mut out,
+        "flexiq_telemetry_spans_dropped_total",
+        "Telemetry spans lost to ring-buffer exhaustion.",
+        "counter",
+        c.spans_dropped,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_emits_help_type_and_value_lines() {
+        let c = CountersSnapshot {
+            gemm_calls: 7,
+            pool_tasks: 3,
+            ..Default::default()
+        };
+        let text = render(&c);
+        assert!(text.contains("# HELP flexiq_gemm_calls_total"));
+        assert!(text.contains("# TYPE flexiq_gemm_calls_total counter"));
+        assert!(text.contains("\nflexiq_gemm_calls_total 7\n"));
+        assert!(text.contains("\nflexiq_pool_tasks_total 3\n"));
+        // Every sample line is `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            assert!(parts.next().unwrap().starts_with("flexiq_"));
+            parts.next().unwrap().parse::<u64>().unwrap();
+            assert!(parts.next().is_none());
+        }
+    }
+}

@@ -623,6 +623,81 @@ fn naive_i8_view(
     }
 }
 
+// ─── Telemetry ──────────────────────────────────────────────────────────
+
+/// Estimated bytes staged through packed panels for a blocked call: rhs
+/// column panels (packed once, `nr`-lane padded) plus lhs row tiles
+/// (packed per `MC×KC` block). Zero when the problem would run the
+/// reference loops instead.
+fn packed_bytes_est(m: usize, n: usize, kb: usize, nr: usize, min_rhs: usize, elem: usize) -> u64 {
+    if !worth_blocking(m, n, kb, nr, min_rhs) {
+        return 0;
+    }
+    ((n.div_ceil(nr) * nr * kb + m.div_ceil(MR) * MR * kb) * elem) as u64
+}
+
+/// Rows sampled by [`lhs_zero_pm`]. A full scan of a large activation
+/// band costs more than the span it annotates and alone blows the
+/// telemetry overhead gate; a handful of evenly spaced rows estimates
+/// the same per-mille at O(k) cost.
+const SKIP_SCAN_ROWS: usize = 8;
+
+/// Per-mille of zero elements in the lhs band `a[0..m, k0..k1)` — the
+/// fraction the integer kernels' lhs zero-skip branch elides. Estimated
+/// from at most [`SKIP_SCAN_ROWS`] evenly spaced rows.
+fn lhs_zero_pm(a: &[i8], lda: usize, m: usize, k0: usize, k1: usize) -> u32 {
+    if m == 0 || k1 <= k0 {
+        return 0;
+    }
+    let step = m.div_ceil(SKIP_SCAN_ROWS);
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    let mut i = 0;
+    while i < m {
+        for &v in &a[i * lda + k0..i * lda + k1] {
+            zeros += (v == 0) as usize;
+        }
+        total += k1 - k0;
+        i += step;
+    }
+    ((zeros * 1000) / total) as u32
+}
+
+/// Counts a kernel call into the global telemetry counters and, when
+/// this thread is recording, times `f` into a `Cat::Gemm` span (shape +
+/// packed-byte estimate in `args`, lhs zero-skip per-mille in `id`).
+/// The skip scan runs before the timed window opens, so telemetry never
+/// inflates the measured kernel time.
+#[inline]
+fn gemm_traced(
+    name: &'static str,
+    m: usize,
+    n: usize,
+    kb: usize,
+    packed_bytes: u64,
+    zero_skip_pm: impl FnOnce() -> u32,
+    f: impl FnOnce(),
+) {
+    use flexiq_telemetry as tel;
+    tel::count(tel::Counter::GemmCalls, 1);
+    tel::count(tel::Counter::GemmMadds, (m * n * kb) as u64);
+    tel::count(tel::Counter::GemmPackedBytes, packed_bytes);
+    if !tel::recording() {
+        return f();
+    }
+    let skip = zero_skip_pm();
+    let t0 = tel::now_ns();
+    f();
+    tel::record_span(
+        name,
+        tel::Cat::Gemm,
+        skip,
+        t0,
+        tel::now_ns(),
+        [m as u64, n as u64, kb as u64, packed_bytes],
+    );
+}
+
 // ─── Public API ─────────────────────────────────────────────────────────
 
 /// `c[m,n] += a[m,k] * b[k,n]` in f32.
@@ -637,7 +712,16 @@ pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    gemm_f32_general(m, n, k, 0, k, a, Rhs::Rows { b, n }, c);
+    let packed = packed_bytes_est(m, n, k, NR, BLOCK_MIN_RHS_F32, 4);
+    gemm_traced(
+        "gemm_f32",
+        m,
+        n,
+        k,
+        packed,
+        || 0,
+        || gemm_f32_general(m, n, k, 0, k, a, Rhs::Rows { b, n }, c),
+    );
 }
 
 /// [`gemm_f32`] with the rhs in weight layout: `c[m,n] += a[m,k] * wᵀ`
@@ -648,7 +732,16 @@ pub fn gemm_f32_wt(m: usize, n: usize, k: usize, a: &[f32], w: &[f32], c: &mut [
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(w.len() >= n * k, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    gemm_f32_general(m, n, k, 0, k, a, Rhs::WeightT { w, k }, c);
+    let packed = packed_bytes_est(m, n, k, NR, BLOCK_MIN_RHS_F32, 4);
+    gemm_traced(
+        "gemm_f32_wt",
+        m,
+        n,
+        k,
+        packed,
+        || 0,
+        || gemm_f32_general(m, n, k, 0, k, a, Rhs::WeightT { w, k }, c),
+    );
 }
 
 /// Batched [`gemm_f32`]: shared lhs `a [m,k]`, column-stacked rhs
@@ -693,7 +786,16 @@ pub fn gemm_i8_band(
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    gemm_i8_general(m, n, k, k0, k1, a, Rhs::Rows { b, n }, c);
+    let packed = packed_bytes_est(m, n, k1 - k0, NR_I8, 0, 1);
+    gemm_traced(
+        "gemm_i8_band",
+        m,
+        n,
+        k1 - k0,
+        packed,
+        || lhs_zero_pm(a, k, m, k0, k1),
+        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::Rows { b, n }, c),
+    );
 }
 
 /// [`gemm_i8_band`] with the rhs in weight layout `[n, k]` row-major:
@@ -715,7 +817,16 @@ pub fn gemm_i8_band_wt(
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(w.len() >= n * k, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    gemm_i8_general(m, n, k, k0, k1, a, Rhs::WeightT { w, k }, c);
+    let packed = packed_bytes_est(m, n, k1 - k0, NR_I8, 0, 1);
+    gemm_traced(
+        "gemm_i8_band_wt",
+        m,
+        n,
+        k1 - k0,
+        packed,
+        || lhs_zero_pm(a, k, m, k0, k1),
+        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::WeightT { w, k }, c),
+    );
 }
 
 /// Batched [`gemm_i8`]: shared lhs `a [m,k]`, column-stacked rhs

@@ -29,11 +29,13 @@ macro_rules! scratch_pool {
 
         #[doc = $take_doc]
         pub fn $take() -> Vec<$ty> {
+            flexiq_telemetry::count(flexiq_telemetry::Counter::ScratchTake, 1);
             $static_.with(|p| p.borrow_mut().pop().unwrap_or_default())
         }
 
         #[doc = $put_doc]
         pub fn $put(mut buf: Vec<$ty>) {
+            flexiq_telemetry::count(flexiq_telemetry::Counter::ScratchPut, 1);
             buf.clear();
             $static_.with(|p| {
                 let mut pool = p.borrow_mut();

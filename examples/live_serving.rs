@@ -120,6 +120,14 @@ fn main() {
         batch_timeout: Duration::from_millis(2),
         queue_capacity: 512,
         default_deadline: Some(Duration::from_secs(2)),
+        // Trace a deterministic fraction of requests end to end:
+        // sampled requests record telemetry spans for their whole batch
+        // even with global telemetry off, feeding the per-level
+        // attribution and the Chrome trace written at the end. The full
+        // trace offers tens of thousands of requests, and span rings
+        // drop newest once full — sample sparsely so the retained spans
+        // cover the whole burst, not just its first second.
+        trace_sample_rate: if smoke { 0.1 } else { 0.005 },
         control: ControlConfig {
             target,
             percentile: 0.95,
@@ -191,6 +199,7 @@ fn main() {
 
     // ── 6. Report ────────────────────────────────────────────────────
     let trace = server.metrics().level_trace();
+    let metrics = server.metrics_handle();
     let snap = server.shutdown();
     println!("\nlevel-switch trace (controller space: 0 = INT8, k = schedule level k-1):");
     for s in &trace {
@@ -234,4 +243,46 @@ fn main() {
     println!(
         "\nadaptive behaviour: raised during burst: {burst_up};  recovered to INT8: {recovered}"
     );
+
+    // ── 7. Telemetry: per-level attribution + sampled Chrome trace ───
+    // Sampled requests (trace_sample_rate) recorded spans for their
+    // batches; join those node spans against the level-switch trace to
+    // show where model time actually went, per ratio level.
+    let threads = flexiq::telemetry::drain();
+    let spans: usize = threads.iter().map(|t| t.spans.len()).sum();
+    let dropped: u64 = threads.iter().map(|t| t.dropped).sum();
+    if dropped > 0 {
+        println!("\n({dropped} spans dropped — ring full; attribution covers the retained prefix)");
+    }
+    // The server starts at controller level 0 (= INT8) — the same
+    // encoding the level-switch trace uses.
+    let attr = metrics.level_attribution(&threads, 0);
+    let total_ns: u64 = attr.iter().map(|a| a.node_ns).sum();
+    println!("\nper-level attribution (from {spans} sampled spans):");
+    println!("  level        node time   spans   share");
+    for a in &attr {
+        let name = if a.level == 0 {
+            "INT8".to_string()
+        } else {
+            format!(
+                "{:.0}% 4-bit",
+                ratios.get(a.level - 1).copied().unwrap_or(f64::NAN) * 100.0
+            )
+        };
+        println!(
+            "  {name:<11}  {:8.2} ms  {:6}  {:5.1}%",
+            a.node_ns as f64 / 1e6,
+            a.spans,
+            100.0 * a.node_ns as f64 / total_ns.max(1) as f64
+        );
+    }
+    if attr.is_empty() {
+        println!("  (no sampled spans — the short trace sampled no batch)");
+    }
+    let trace_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results/live_serving_trace.json");
+    match flexiq::telemetry::chrome::write_trace(&trace_path, &threads) {
+        Ok(()) => println!("[written {}]", trace_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", trace_path.display()),
+    }
 }

@@ -26,6 +26,7 @@
 //! | [`serving`] | discrete-event serving simulator + adaptive controller (§8.3) |
 //! | [`serve`] | live threaded batching server: real `FlexiRuntime` execution, measured-latency control |
 //! | [`baselines`] | HAWQ-, RobustQuant-, AnyPrecision-, PTMQ-style schemes (Table 5) |
+//! | [`telemetry`] | lock-free span recorder, kernel counters, Chrome-trace/Prometheus exporters |
 //!
 //! # Quickstart
 //!
@@ -42,5 +43,6 @@ pub use flexiq_parallel as parallel;
 pub use flexiq_quant as quant;
 pub use flexiq_serve as serve;
 pub use flexiq_serving as serving;
+pub use flexiq_telemetry as telemetry;
 pub use flexiq_tensor as tensor;
 pub use flexiq_train as train;

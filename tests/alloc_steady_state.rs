@@ -159,6 +159,35 @@ fn steady_state_workspace_never_regrows() {
 }
 
 #[test]
+fn disabled_telemetry_adds_no_spans_or_allocations() {
+    let (rt, inputs) = int_runtime();
+    let pool = ThreadPool::new(1);
+    flexiq::parallel::with_pool(&pool, || {
+        flexiq::telemetry::set_enabled(false);
+        rt.set_level(rt.num_levels() - 1).unwrap();
+        // Warm to steady state.
+        let _ = rt.infer(&inputs[0]).unwrap();
+        let _ = rt.infer(&inputs[0]).unwrap();
+        let (steady, _) = count_allocs(|| rt.infer(&inputs[0]).unwrap());
+        // With telemetry disabled the instrumented hot path must cost
+        // nothing on the allocator (the kernel counters are static
+        // atomics; span rings are only created on a recorded span)...
+        flexiq::telemetry::reset();
+        let (with_tel, _) = count_allocs(|| rt.infer(&inputs[0]).unwrap());
+        assert_eq!(
+            with_tel, steady,
+            "disabled telemetry changed the hot path's allocation count"
+        );
+        // ...and must record no spans at all.
+        let spans: usize = flexiq::telemetry::drain()
+            .iter()
+            .map(|t| t.spans.len())
+            .sum();
+        assert_eq!(spans, 0, "disabled telemetry must record no spans");
+    });
+}
+
+#[test]
 fn batched_infer_reaches_allocation_steady_state() {
     let (rt, inputs) = int_runtime();
     let pool = ThreadPool::new(1);
