@@ -11,10 +11,18 @@
 //! sensitive to CI runner noise.
 //!
 //! Emits `BENCH_gemm.json` at the workspace root (and a CSV under
-//! `results/`). The shape tagged `min_speedup` — the large int8 GEMM,
-//! where the serving hot path spends its time — is **enforced**: blocked
-//! must be at least that factor over naive (exit 1 here, re-checked by
-//! CI's `bench_check` gate).
+//! `results/`), stamped with the dispatched kernel `isa` (avx2 / neon /
+//! scalar). Gates are ISA-conditional, enforced here (exit 1) and
+//! re-checked by CI's `bench_check`:
+//!
+//! * `large_i8` — the shape where the serving hot path spends its time —
+//!   must beat naive by ≥ 2.5× when a SIMD ISA dispatched (the
+//!   `maddubs`-style register tiles), ≥ 1.5× scalar;
+//! * the small f32 shapes (`rnet20_conv_colbatch_f32`,
+//!   `vits_linear_f32`) must reach ≥ 1.0× under SIMD — blocked f32 used
+//!   to stay on the naive loop below `BLOCK_MIN_RHS_F32` precisely
+//!   because it lost there; the vector tile removes that regression, so
+//!   parity-or-better is now enforced.
 //!
 //! `FLEXIQ_BENCH_REPS` overrides the auto-calibrated repetition count.
 
@@ -25,10 +33,17 @@ use std::time::Instant;
 use flexiq_bench::{f2, ResultTable};
 use flexiq_tensor::gemm::{self, reference};
 use flexiq_tensor::rng::seeded;
+use flexiq_tensor::simd;
 use rand::Rng;
 
-/// Factor the gated shape's blocked kernel must beat naive by.
+/// Factor the gated int8 shape must beat naive by with scalar tiles.
 const MIN_SPEEDUP: f64 = 1.5;
+/// Factor the gated int8 shape must beat naive by when AVX2/NEON
+/// dispatched.
+const SIMD_MIN_SPEEDUP: f64 = 2.5;
+/// Small-shape f32 floor under SIMD: the vector tile must at least match
+/// the naive loop where the scalar blocked kernel used to lose.
+const F32_MIN_SPEEDUP: f64 = 1.0;
 
 #[derive(Clone, Copy)]
 enum Dtype {
@@ -43,17 +58,38 @@ struct Shape {
     m: usize,
     n: usize,
     k: usize,
-    /// Enforce `speedup >= MIN_SPEEDUP` for this shape.
+    /// Always-enforced shape: `speedup >= SIMD_MIN_SPEEDUP` when a SIMD
+    /// ISA dispatched, `>= MIN_SPEEDUP` scalar.
     gated: bool,
+}
+
+/// Minimum speedup this shape must reach under the active ISA, or
+/// `None` for informational-only shapes. Beyond the always-gated int8
+/// shape, the two small f32 shapes are gated at parity when SIMD
+/// dispatched: below `BLOCK_MIN_RHS_F32` the *scalar* blocked kernel
+/// defers to the naive loop (which streams contiguously and
+/// auto-vectorizes well), but the explicit vector tile engages blocking
+/// everywhere — so losing to naive there again would be a regression.
+fn gate_for(s: &Shape, simd_on: bool) -> Option<f64> {
+    if s.gated {
+        Some(if simd_on {
+            SIMD_MIN_SPEEDUP
+        } else {
+            MIN_SPEEDUP
+        })
+    } else if simd_on && matches!(s.name, "rnet20_conv_colbatch_f32" | "vits_linear_f32") {
+        Some(F32_MIN_SPEEDUP)
+    } else {
+        None
+    }
 }
 
 /// Representative hot-layer shapes: an RNet20 conv lowered over a
 /// 16-sample colbatch, a ViTS token-matrix linear, a TinyLm context
 /// linear, the large int8 GEMM the acceptance criterion gates, and a
-/// wide f32 GEMM whose rhs exceeds `BLOCK_MIN_RHS_F32` (the f32 kernels
-/// deliberately stay on the naive loop below that — it already streams
-/// contiguously and vectorizes well, so the small f32 shapes here
-/// measure ≈ 1.0× by construction).
+/// wide f32 GEMM whose rhs exceeds `BLOCK_MIN_RHS_F32` (the threshold
+/// below which the scalar f32 kernel defers to the naive loop; the SIMD
+/// f32 tile blocks everywhere).
 const SHAPES: [Shape; 6] = [
     Shape {
         name: "rnet20_conv_colbatch_f32",
@@ -184,6 +220,9 @@ fn measure_i8(m: usize, n: usize, k: usize, reps: usize, rng: &mut impl Rng) -> 
 
 fn main() {
     let mut rng = seeded(0x6E77);
+    let isa = simd::active();
+    let simd_on = isa != simd::Isa::Scalar;
+    println!("[kernel isa: {}]", isa.name());
     let pool = flexiq_parallel::ThreadPool::new(1);
     let mut table = ResultTable::new(
         "GEMM kernels: naive reference vs blocked+packed (single thread)",
@@ -201,6 +240,7 @@ fn main() {
         ],
     );
     let mut json = String::from("{\n  \"threads\": 1,\n");
+    let _ = writeln!(json, "  \"isa\": \"{}\",", isa.name());
     let _ = writeln!(json, "  \"min_speedup\": {MIN_SPEEDUP},");
     json.push_str("  \"shapes\": [\n");
 
@@ -231,10 +271,10 @@ fn main() {
             f2(gflops(meas.blocked_s)),
             f2(speedup),
         ]);
-        let gate_field = if s.gated {
-            format!(", \"min_speedup\": {MIN_SPEEDUP}")
-        } else {
-            String::new()
+        let gate = gate_for(s, simd_on);
+        let gate_field = match gate {
+            Some(min) => format!(", \"min_speedup\": {min}"),
+            None => String::new(),
         };
         let _ = writeln!(
             json,
@@ -252,13 +292,13 @@ fn main() {
             speedup,
             if si + 1 < SHAPES.len() { "," } else { "" }
         );
-        let verdict = if !s.gated {
-            "informational"
-        } else if speedup >= MIN_SPEEDUP {
-            "PASS"
-        } else {
-            all_pass = false;
-            "FAIL"
+        let verdict = match gate {
+            None => "informational",
+            Some(min) if speedup >= min => "PASS",
+            Some(_) => {
+                all_pass = false;
+                "FAIL"
+            }
         };
         println!(
             "[{}] naive {:.2} GFLOP/s, blocked {:.2} GFLOP/s ({speedup:.2}x, {verdict})",
@@ -282,7 +322,10 @@ fn main() {
         }
     }
     if !all_pass {
-        eprintln!("FAIL: blocked kernel below {MIN_SPEEDUP}x naive on a gated shape");
+        eprintln!(
+            "FAIL: blocked kernel below its gate on a shape above (isa: {})",
+            isa.name()
+        );
         std::process::exit(1);
     }
 }

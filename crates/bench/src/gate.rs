@@ -15,8 +15,12 @@
 //! * `BENCH_varlen.json` — bucketed padded batching must beat exact
 //!   shape-group splitting on the mixed-length LM trace, per level.
 //! * `BENCH_gemm.json` — the blocked, packed kernels must beat the naive
-//!   reference loops by each gated shape's `min_speedup` factor (the
-//!   large int8 shape at ≥ 1.5×); ungated shapes are informational.
+//!   reference loops by each gated shape's `min_speedup` factor; ungated
+//!   shapes are informational. The artifact also records the dispatched
+//!   kernel `isa` (avx2 / neon / scalar), and when a SIMD ISA ran, some
+//!   gated shape must carry the SIMD-tier factor (≥ 2.5×) — a sweep that
+//!   detected AVX2/NEON but only enforced the scalar 1.5× tier would
+//!   silently under-gate.
 //! * `BENCH_telemetry.json` — full span tracing must cost at most its
 //!   declared `max_overhead_pct` over the untraced batch-16 pass, and
 //!   the traced pass must actually record spans.
@@ -153,16 +157,28 @@ pub fn check_varlen(doc: &Json) -> Result<Vec<GateCheck>, String> {
     Ok(checks)
 }
 
+/// The SIMD-tier gate factor `exp_gemm` applies to the large int8 shape
+/// when AVX2/NEON dispatched. Mirrored here so a SIMD-run artifact that
+/// only carries the scalar-tier factor is rejected as under-gated.
+const SIMD_MIN_SPEEDUP: f64 = 2.5;
+
 /// Criteria over `BENCH_gemm.json`: every shape carrying a
 /// `min_speedup` field must show the blocked kernel at least that factor
-/// over the naive reference; shapes without one are informational.
+/// over the naive reference; shapes without one are informational. The
+/// artifact must name the dispatched `isa`, and a non-scalar ISA must
+/// gate at least one shape at the SIMD-tier factor.
 pub fn check_gemm(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let isa = doc
+        .get("isa")
+        .and_then(Json::as_str)
+        .ok_or("BENCH_gemm.json: missing \"isa\"")?;
     let shapes = doc
         .get("shapes")
         .and_then(Json::as_arr)
         .ok_or("BENCH_gemm.json: missing \"shapes\" array")?;
     let mut checks = Vec::new();
     let mut gated = 0usize;
+    let mut simd_tier = 0usize;
     for shape in shapes {
         let name = shape.get("name").and_then(Json::as_str).unwrap_or("?");
         let speedup = shape
@@ -171,6 +187,9 @@ pub fn check_gemm(doc: &Json) -> Result<Vec<GateCheck>, String> {
         match shape.num("min_speedup") {
             Some(min) => {
                 gated += 1;
+                if min >= SIMD_MIN_SPEEDUP {
+                    simd_tier += 1;
+                }
                 checks.push(GateCheck::new(
                     format!("gemm[{name}]: blocked >= {min}x naive"),
                     speedup >= min,
@@ -186,6 +205,17 @@ pub fn check_gemm(doc: &Json) -> Result<Vec<GateCheck>, String> {
     }
     if gated == 0 {
         return Err("BENCH_gemm.json: no gated shape (min_speedup)".into());
+    }
+    if isa != "scalar" {
+        checks.push(GateCheck::new(
+            format!("gemm: {isa} run gated at SIMD tier (>= {SIMD_MIN_SPEEDUP}x)"),
+            simd_tier > 0,
+            if simd_tier > 0 {
+                format!("{simd_tier} shape(s) at the SIMD-tier factor")
+            } else {
+                "SIMD dispatched but only scalar-tier gates present".into()
+            },
+        ));
     }
     Ok(checks)
 }
@@ -288,11 +318,11 @@ mod tests {
         )
     }
 
-    fn gemm_doc(gated_speedup: f64) -> String {
+    fn gemm_doc(isa: &str, gated_speedup: f64, min: f64) -> String {
         format!(
-            "{{\"shapes\": [\
+            "{{\"isa\": \"{isa}\", \"shapes\": [\
              {{\"name\": \"vits_linear_f32\", \"speedup\": 1.1}}, \
-             {{\"name\": \"large_i8\", \"speedup\": {gated_speedup}, \"min_speedup\": 1.5}}]}}"
+             {{\"name\": \"large_i8\", \"speedup\": {gated_speedup}, \"min_speedup\": {min}}}]}}"
         )
     }
 
@@ -311,7 +341,7 @@ mod tests {
             Some(&batch_doc(0.4, 1.0)),
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
-            Some(&gemm_doc(2.3)),
+            Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(ok, "checks: {checks:?}");
@@ -328,7 +358,7 @@ mod tests {
             Some(&batch_doc(1.2, 1.0)),
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
-            Some(&gemm_doc(2.3)),
+            Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(!ok);
@@ -358,17 +388,47 @@ mod tests {
     #[test]
     fn doctored_gemm_regression_fails_only_on_gated_shapes() {
         // Gated shape below its factor: fail.
-        let doc = Json::parse(&gemm_doc(1.2)).unwrap();
+        let doc = Json::parse(&gemm_doc("scalar", 1.2, 1.5)).unwrap();
         let checks = check_gemm(&doc).unwrap();
         assert!(checks[0].pass, "ungated shape is informational");
         assert!(!checks[1].pass, "gated shape below min_speedup must fail");
         // At the factor exactly: pass.
-        let doc = Json::parse(&gemm_doc(1.5)).unwrap();
+        let doc = Json::parse(&gemm_doc("scalar", 1.5, 1.5)).unwrap();
         assert!(check_gemm(&doc).unwrap()[1].pass);
         // An artifact with no gated shape at all cannot vouch for the
         // acceptance criterion: structural failure.
-        let doc = Json::parse("{\"shapes\": [{\"name\": \"x\", \"speedup\": 9.0}]}").unwrap();
+        let doc =
+            Json::parse("{\"isa\": \"scalar\", \"shapes\": [{\"name\": \"x\", \"speedup\": 9.0}]}")
+                .unwrap();
         assert!(check_gemm(&doc).is_err());
+    }
+
+    #[test]
+    fn gemm_isa_field_is_required_and_simd_runs_must_gate_at_simd_tier() {
+        // Artifact predating the isa field: structural failure, not a
+        // silent pass on stale numbers.
+        let doc = Json::parse(
+            "{\"shapes\": [{\"name\": \"large_i8\", \"speedup\": 9.0, \"min_speedup\": 1.5}]}",
+        )
+        .unwrap();
+        assert!(check_gemm(&doc).is_err());
+        // A SIMD run carrying only the scalar-tier factor is under-gated:
+        // the appended tier check must fail even though the shape passes.
+        let doc = Json::parse(&gemm_doc("avx2", 2.0, 1.5)).unwrap();
+        let checks = check_gemm(&doc).unwrap();
+        assert!(checks[1].pass, "shape itself clears its (weak) gate");
+        assert!(
+            !checks.last().unwrap().pass,
+            "SIMD run without a SIMD-tier gate must fail"
+        );
+        // The same run gated at the SIMD tier passes, and the extra tier
+        // check is present exactly when isa != scalar.
+        let doc = Json::parse(&gemm_doc("avx2", 2.7, 2.5)).unwrap();
+        let checks = check_gemm(&doc).unwrap();
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(|c| c.pass), "checks: {checks:?}");
+        let doc = Json::parse(&gemm_doc("scalar", 2.0, 1.5)).unwrap();
+        assert_eq!(check_gemm(&doc).unwrap().len(), 2);
     }
 
     #[test]
@@ -394,7 +454,7 @@ mod tests {
             None,
             Some("{not json"),
             Some(&varlen_doc(8.0, 3.0)),
-            Some(&gemm_doc(2.3)),
+            Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(!ok);
@@ -405,7 +465,7 @@ mod tests {
             Some("{\"levels\": []}"),
             Some(&parallel_doc(true, 10.0, 4.0)),
             Some(&varlen_doc(8.0, 3.0)),
-            Some(&gemm_doc(2.3)),
+            Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(!ok);

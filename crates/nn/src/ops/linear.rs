@@ -189,14 +189,15 @@ impl Linear {
         let pool = worth_it.then(flexiq_parallel::current);
         match pool {
             Some(pool) if pool.threads() >= 2 => {
-                let bands = flexiq_parallel::chunk_ranges(rows, pool.threads() * 4);
-                let elems: Vec<std::ops::Range<usize>> = bands
-                    .iter()
-                    .map(|r| r.start * c_out..r.end * c_out)
-                    .collect();
+                let mut bands = flexiq_parallel::take_ranges();
+                flexiq_parallel::chunk_ranges_into(rows, pool.threads() * 4, &mut bands);
+                let mut elems = flexiq_parallel::take_ranges();
+                elems.extend(bands.iter().map(|r| r.start * c_out..r.end * c_out));
                 pool.run_disjoint_mut(&mut out, &elems, |bi, chunk| {
                     token_rows(bands[bi].clone(), chunk)
                 });
+                flexiq_parallel::put_ranges(elems);
+                flexiq_parallel::put_ranges(bands);
             }
             _ => token_rows(0..rows, &mut out),
         }

@@ -515,12 +515,14 @@ impl<'m> QuantCompute<'m> {
         if !flexiq_parallel::in_task() && data.len() >= 16 * 1024 {
             let pool = flexiq_parallel::current();
             if pool.threads() >= 2 {
-                let ranges = flexiq_parallel::chunk_ranges(data.len(), pool.threads() * 4);
+                let mut ranges = flexiq_parallel::take_ranges();
+                flexiq_parallel::chunk_ranges_into(data.len(), pool.threads() * 4, &mut ranges);
                 pool.run_disjoint_mut(out, &ranges, |bi, chunk| {
                     for (dst, &v) in chunk.iter_mut().zip(&data[ranges[bi].clone()]) {
                         *dst = p.quantize(v) as i8;
                     }
                 });
+                flexiq_parallel::put_ranges(ranges);
                 return;
             }
         }
@@ -972,7 +974,10 @@ impl<'m> QuantCompute<'m> {
                     continue;
                 }
                 // Masked batch: pad rows are skipped — their accumulator
-                // stays zero and they cost no multiplies.
+                // stays zero and they cost no multiplies. The per-row
+                // inner product routes through [`gemm::dot_i8`] so it
+                // uses the same dispatched ISA kernel as the GEMM paths
+                // (exact in i32 regardless of path).
                 let (row_live, xq) = (&row_live, &ws.act_q);
                 let band_rows = |trange: std::ops::Range<usize>, accband: &mut [i32]| {
                     let t0 = trange.start;
@@ -980,12 +985,10 @@ impl<'m> QuantCompute<'m> {
                         if row_live.as_ref().is_some_and(|v| !v[ti]) {
                             continue;
                         }
+                        let xrow = &xq[ti * c_in + range.start..ti * c_in + range.end];
                         for o in 0..c_out {
-                            let mut s = 0i32;
-                            for c in range.clone() {
-                                s += xq[ti * c_in + c] as i32 * wq[o * c_in + c] as i32;
-                            }
-                            accband[(ti - t0) * c_out + o] += s;
+                            let wrow = &wq[o * c_in + range.start..o * c_in + range.end];
+                            accband[(ti - t0) * c_out + o] += gemm::dot_i8(xrow, wrow);
                         }
                     }
                 };
@@ -995,14 +998,15 @@ impl<'m> QuantCompute<'m> {
                 let pool = worth_it.then(flexiq_parallel::current);
                 match pool {
                     Some(pool) if pool.threads() >= 2 => {
-                        let bands = flexiq_parallel::chunk_ranges(rows, pool.threads() * 4);
-                        let elems: Vec<std::ops::Range<usize>> = bands
-                            .iter()
-                            .map(|r| r.start * c_out..r.end * c_out)
-                            .collect();
+                        let mut bands = flexiq_parallel::take_ranges();
+                        flexiq_parallel::chunk_ranges_into(rows, pool.threads() * 4, &mut bands);
+                        let mut elems = flexiq_parallel::take_ranges();
+                        elems.extend(bands.iter().map(|r| r.start * c_out..r.end * c_out));
                         pool.run_disjoint_mut(&mut ws.acc, &elems, |bi, chunk| {
                             band_rows(bands[bi].clone(), chunk)
                         });
+                        flexiq_parallel::put_ranges(elems);
+                        flexiq_parallel::put_ranges(bands);
                     }
                     _ => band_rows(0..rows, &mut ws.acc),
                 }
@@ -1130,13 +1134,21 @@ impl<'m> QuantCompute<'m> {
             .filter(|p| p.threads() >= 2);
         match pool {
             Some(pool) => {
-                // Parallel conv-group fan-out. Each executing thread
-                // checks its own parked workspace out for the group's
-                // scratch (helpers are long-lived pool threads, so their
-                // workspaces warm up and stick like the submitter's);
-                // only the returned accumulator is a fresh allocation.
+                // Parallel conv-group fan-out over disjoint **column
+                // bands** of the batched output: band `cg` is that
+                // group's `c_out_g * cols` output columns of every
+                // sample row. Each executing thread checks its own
+                // parked workspace out for the group's im2col matrix,
+                // lowering scratch, and i32 accumulator slab (helpers
+                // are long-lived pool threads, so their workspaces warm
+                // up and stick like the submitter's) and requantizes its
+                // band in task — steady state allocates nothing here.
                 let xq: &[i8] = &ws.act_q;
-                let group_acc = |cg: usize| -> Vec<i32> {
+                let mut bands = flexiq_parallel::take_ranges();
+                bands.extend(
+                    (0..conv.groups).map(|cg| cg * c_out_g * cols..(cg + 1) * c_out_g * cols),
+                );
+                pool.run_col_bands_mut(&mut out, n, c_out * cols, &bands, |cg, band| {
                     let mut tls = workspace::take();
                     let im2col_span = tel::span("im2col", tel::Cat::Phase);
                     im2col_i8_batch_fill(
@@ -1147,7 +1159,7 @@ impl<'m> QuantCompute<'m> {
                         tls.cols_q.prep(k * ncols),
                     );
                     drop(im2col_span);
-                    let mut acc = vec![0i32; c_out_g * ncols];
+                    let acc = tls.acc.prep(c_out_g * ncols);
                     let scratch = GroupScratch {
                         low_act: &mut tls.low_act,
                         low_w: &mut tls.low_w,
@@ -1155,13 +1167,27 @@ impl<'m> QuantCompute<'m> {
                         rules: &mut tls.rules,
                         gemm: &mut tls.group_scratch,
                     };
-                    self.conv_group_bands(l, conv, cg, n, cols, &tls.cols_q, scratch, &mut acc);
+                    self.conv_group_bands(l, conv, cg, n, cols, &tls.cols_q, scratch, acc);
+                    // Same per-element expression as `scatter`, so the
+                    // banded write is bit-exact with the serial path.
+                    let _requant = tel::span("requant", tel::Cat::Phase);
+                    for smp in 0..n {
+                        let row = band.row(smp);
+                        for ol in 0..c_out_g {
+                            let o = cg * c_out_g + ol;
+                            let s = lq.act_scale * lq.w_scales[o];
+                            for j in 0..cols {
+                                let mut v = tls.acc[ol * ncols + smp * cols + j] as f32 * s;
+                                if let Some(b) = &conv.bias {
+                                    v += b[o];
+                                }
+                                row[ol * cols + j] = v;
+                            }
+                        }
+                    }
                     workspace::put(tls);
-                    acc
-                };
-                for (cg, acc) in pool.map(conv.groups, group_acc).iter().enumerate() {
-                    scatter(cg, acc, &mut out);
-                }
+                });
+                flexiq_parallel::put_ranges(bands);
             }
             // Serial: compute and scatter one group at a time through the
             // workspace, so peak scratch stays one group's accumulator

@@ -38,6 +38,23 @@
 //! ([`global`]), which is sized from `FLEXIQ_THREADS` or, absent that,
 //! the machine's available parallelism. `threads = 1` is the graceful
 //! serial fallback: no helper threads exist and every job runs inline.
+//! [`PoolConfig`] adds two embedder knobs: core pinning (helper `i` is
+//! pinned to core `i % machine_threads()`; `FLEXIQ_PIN=1` turns it on
+//! for pools built with [`ThreadPool::new`]) and an `on_thread_start`
+//! hook that runs on each helper before it parks — the serve stack uses
+//! it for first-touch initialization of per-thread kernel scratch, so
+//! pinned helpers fault their scratch pages on the core (and NUMA node)
+//! that will reuse them.
+//!
+//! # Steady-state allocation
+//!
+//! Dispatch is allocation-free in steady state: exhausted [`Job`]
+//! headers are parked on a small freelist and reused by later `run`
+//! calls (an `Arc` refcount guard makes reuse race-free), and callers
+//! that band work per call draw their `Vec<Range>` from a thread-local
+//! pool ([`take_ranges`] / [`put_ranges`] / [`chunk_ranges_into`])
+//! instead of allocating. Pre-sorted disjoint ranges — the only shape
+//! the kernels produce — validate in place without the sort scratch.
 //!
 //! # Panics
 //!
@@ -49,7 +66,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -161,6 +178,26 @@ thread_local! {
     static IN_TASK: Cell<bool> = const { Cell::new(false) };
     /// Scope-installed pools ([`with_pool`]), innermost last.
     static CURRENT: RefCell<Vec<Arc<ThreadPool>>> = const { RefCell::new(Vec::new()) };
+    /// Parked `Vec<Range>` band buffers ([`take_ranges`]).
+    static RANGE_POOL: RefCell<Vec<Vec<Range<usize>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Parked job headers kept per pool for reuse; small because at most a
+/// handful of external submitters ever dispatch concurrently.
+const JOB_FREELIST_CAP: usize = 8;
+
+/// Embedder knobs for [`ThreadPool::with_config`].
+#[derive(Clone, Default)]
+pub struct PoolConfig {
+    /// Pin pool threads to distinct cores: helper `i` (1-based; the
+    /// caller thread is participant 0) goes to core
+    /// `i % machine_threads()`. Best-effort — unsupported platforms and
+    /// failed syscalls are ignored.
+    pub pin: bool,
+    /// Runs once on each helper thread (with its index `1..threads`)
+    /// after pinning, before the helper parks for work. Used for
+    /// first-touch initialization of per-thread scratch.
+    pub on_thread_start: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
 
 /// A scoped chunking/work-stealing thread pool (see the crate docs).
@@ -168,14 +205,40 @@ pub struct ThreadPool {
     shared: Arc<Shared>,
     helpers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Exhausted job headers parked for reuse (refcount-guarded).
+    jobs: Mutex<Vec<Arc<Job>>>,
+    pinned: bool,
 }
 
 impl ThreadPool {
     /// Creates a pool that runs jobs on `threads` threads (the caller
     /// plus `threads - 1` persistent helpers). `threads` is clamped to
     /// at least 1; a 1-thread pool executes every job inline (the
-    /// serial fallback).
+    /// serial fallback). Pinning follows `FLEXIQ_PIN` ([`pin_enabled`]).
     pub fn new(threads: usize) -> Arc<ThreadPool> {
+        ThreadPool::with_config(
+            threads,
+            PoolConfig {
+                pin: pin_enabled(),
+                on_thread_start: None,
+            },
+        )
+    }
+
+    /// [`ThreadPool::new`] with pinning forced on regardless of
+    /// `FLEXIQ_PIN`.
+    pub fn new_pinned(threads: usize) -> Arc<ThreadPool> {
+        ThreadPool::with_config(
+            threads,
+            PoolConfig {
+                pin: true,
+                on_thread_start: None,
+            },
+        )
+    }
+
+    /// Creates a pool with explicit [`PoolConfig`] knobs.
+    pub fn with_config(threads: usize, cfg: PoolConfig) -> Arc<ThreadPool> {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -185,9 +248,18 @@ impl ThreadPool {
         let helpers = (1..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let cfg = cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("flexiq-pool-{i}"))
-                    .spawn(move || helper_loop(&shared))
+                    .spawn(move || {
+                        if cfg.pin {
+                            pin_to_core(i % machine_threads());
+                        }
+                        if let Some(hook) = &cfg.on_thread_start {
+                            hook(i);
+                        }
+                        helper_loop(&shared)
+                    })
                     .expect("spawn pool helper thread")
             })
             .collect();
@@ -195,12 +267,19 @@ impl ThreadPool {
             shared,
             helpers,
             threads,
+            jobs: Mutex::new(Vec::new()),
+            pinned: cfg.pin,
         })
     }
 
     /// Number of threads this pool runs jobs on (including the caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether this pool pins its helper threads to cores.
+    pub fn pinned(&self) -> bool {
+        self.pinned
     }
 
     /// Runs `f(0), …, f(n_tasks - 1)` across the pool and returns when
@@ -226,17 +305,7 @@ impl ThreadPool {
         unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), i: usize) {
             (*data.cast::<F>())(i)
         }
-        let job = Arc::new(Job {
-            n_tasks,
-            next: AtomicUsize::new(0),
-            done: AtomicUsize::new(0),
-            data: (&f as *const F).cast::<()>(),
-            call: trampoline::<F>,
-            poisoned: AtomicBool::new(false),
-            panic: Mutex::new(None),
-            finished: Mutex::new(false),
-            finished_cv: Condvar::new(),
-        });
+        let job = self.checkout_job(n_tasks, (&f as *const F).cast::<()>(), trampoline::<F>);
         {
             let mut q = self.shared.queue.lock().expect("pool queue");
             q.push_back(Arc::clone(&job));
@@ -251,8 +320,65 @@ impl ThreadPool {
         }
         drop(finished);
         let payload = job.panic.lock().expect("panic slot").take();
+        // Park the spent header before any unwind so even a poisoned
+        // dispatch keeps the freelist warm. The closure borrow behind
+        // `data` ends here; a parked header's pointer is stale but never
+        // dereferenced again until checkout overwrites it.
+        self.park_job(job);
         if let Some(payload) = payload {
             resume_unwind(payload);
+        }
+    }
+
+    /// A job header for `run`: reuses a parked one when this thread is
+    /// its sole owner, else allocates. `Arc::get_mut` is the race
+    /// guard — a helper that still holds a clone of a parked job (it
+    /// finished the tasks but has not dropped its `Arc` yet) makes the
+    /// refcount `> 1`, so that header is skipped rather than reset
+    /// under a live reader.
+    fn checkout_job(
+        &self,
+        n_tasks: usize,
+        data: *const (),
+        call: unsafe fn(*const (), usize),
+    ) -> Arc<Job> {
+        let mut free = self.jobs.lock().expect("job freelist");
+        for idx in 0..free.len() {
+            if Arc::get_mut(&mut free[idx]).is_none() {
+                continue;
+            }
+            let mut job = free.swap_remove(idx);
+            drop(free);
+            let j = Arc::get_mut(&mut job).expect("sole owner after guard");
+            j.n_tasks = n_tasks;
+            *j.next.get_mut() = 0;
+            *j.done.get_mut() = 0;
+            j.data = data;
+            j.call = call;
+            *j.poisoned.get_mut() = false;
+            *j.panic.get_mut().expect("panic slot") = None;
+            *j.finished.get_mut().expect("finished latch") = false;
+            return job;
+        }
+        drop(free);
+        Arc::new(Job {
+            n_tasks,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            data,
+            call,
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        })
+    }
+
+    /// Parks a spent job header for reuse (dropped if the list is full).
+    fn park_job(&self, job: Arc<Job>) {
+        let mut free = self.jobs.lock().expect("job freelist");
+        if free.len() < JOB_FREELIST_CAP {
+            free.push(job);
         }
     }
 
@@ -275,14 +401,7 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
-        let mut sorted: Vec<&Range<usize>> = ranges.iter().collect();
-        sorted.sort_by_key(|r| r.start);
-        let mut prev_end = 0usize;
-        for r in sorted {
-            assert!(r.start >= prev_end && r.start <= r.end, "ranges overlap");
-            assert!(r.end <= data.len(), "range {r:?} outside data");
-            prev_end = r.end.max(prev_end);
-        }
+        validate_disjoint(ranges, data.len(), "range", "outside data");
         let base = SendPtr(data.as_mut_ptr());
         self.run(ranges.len(), |i| {
             let r = &ranges[i];
@@ -320,14 +439,7 @@ impl ThreadPool {
             rows * row_stride <= data.len(),
             "matrix [{rows}, {row_stride}] outside data"
         );
-        let mut sorted: Vec<&Range<usize>> = bands.iter().collect();
-        sorted.sort_by_key(|r| r.start);
-        let mut prev_end = 0usize;
-        for r in sorted {
-            assert!(r.start >= prev_end && r.start <= r.end, "bands overlap");
-            assert!(r.end <= row_stride, "band {r:?} outside row stride");
-            prev_end = r.end.max(prev_end);
-        }
+        validate_disjoint(bands, row_stride, "band", "outside row stride");
         let base = SendPtr(data.as_mut_ptr());
         self.run(bands.len(), |i| {
             // SAFETY: bands are in-bounds and pairwise disjoint (validated
@@ -346,10 +458,12 @@ impl ThreadPool {
         F: Fn(usize) -> T + Sync,
     {
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        let ranges: Vec<Range<usize>> = (0..n).map(|i| i..i + 1).collect();
+        let mut ranges = take_ranges();
+        ranges.extend((0..n).map(|i| i..i + 1));
         self.run_disjoint_mut(&mut slots, &ranges, |i, slot| {
             slot[0] = Some(f(i));
         });
+        put_ranges(ranges);
         slots
             .into_iter()
             .map(|s| s.expect("every map task completed"))
@@ -357,9 +471,40 @@ impl ThreadPool {
     }
 }
 
+/// Asserts that `ranges` are pairwise disjoint and end within `limit`.
+/// Already-sorted inputs — the only shape the band planners produce —
+/// validate in place; anything else pays a sort into scratch first.
+/// `kind`/`outside` parameterize the panic messages so row-range and
+/// column-band callers keep their historical wording.
+fn validate_disjoint(ranges: &[Range<usize>], limit: usize, kind: &str, outside: &str) {
+    if ranges.windows(2).all(|w| w[0].end <= w[1].start) {
+        for r in ranges {
+            assert!(r.start <= r.end, "{kind}s overlap");
+            assert!(r.end <= limit, "{kind} {r:?} {outside}");
+        }
+        return;
+    }
+    let mut sorted: Vec<&Range<usize>> = ranges.iter().collect();
+    sorted.sort_by_key(|r| r.start);
+    let mut prev_end = 0usize;
+    for r in sorted {
+        assert!(r.start >= prev_end && r.start <= r.end, "{kind}s overlap");
+        assert!(r.end <= limit, "{kind} {r:?} {outside}");
+        prev_end = r.end.max(prev_end);
+    }
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            // The store must happen under the queue mutex: a helper
+            // holding the lock between its shutdown check and
+            // `work_cv.wait` would otherwise miss both the flag and the
+            // notification and park forever (and the join below with it).
+            // `lock()` pins the mutex even if poisoned.
+            let _q = self.shared.queue.lock();
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
         self.shared.work_cv.notify_all();
         for h in self.helpers.drain(..) {
             let _ = h.join();
@@ -562,20 +707,106 @@ pub fn with_pool<R>(pool: &Arc<ThreadPool>, f: impl FnOnce() -> R) -> R {
 /// ranges (the first `total % parts` ranges are one longer). Returns an
 /// empty vec for `total == 0`; never returns empty ranges.
 pub fn chunk_ranges(total: usize, max_parts: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    chunk_ranges_into(total, max_parts, &mut out);
+    out
+}
+
+/// [`chunk_ranges`] into a caller-provided buffer (cleared first) — the
+/// allocation-free form hot paths pair with [`take_ranges`] /
+/// [`put_ranges`].
+pub fn chunk_ranges_into(total: usize, max_parts: usize, out: &mut Vec<Range<usize>>) {
+    out.clear();
     if total == 0 {
-        return Vec::new();
+        return;
     }
     let parts = max_parts.clamp(1, total);
     let base = total / parts;
     let extra = total % parts;
-    let mut out = Vec::with_capacity(parts);
+    out.reserve(parts);
     let mut start = 0usize;
     for p in 0..parts {
         let len = base + usize::from(p < extra);
         out.push(start..start + len);
         start += len;
     }
-    out
+}
+
+/// Takes a cleared `Vec<Range>` from this thread's band-buffer pool
+/// (empty on a cold pool). Return it with [`put_ranges`] when the
+/// dispatch using it completes; after a few warm-up calls per thread the
+/// band planning in the kernels allocates nothing.
+pub fn take_ranges() -> Vec<Range<usize>> {
+    RANGE_POOL
+        .with(|p| p.borrow_mut().pop())
+        .map(|mut v| {
+            v.clear();
+            v
+        })
+        .unwrap_or_default()
+}
+
+/// Parks a band buffer for reuse on this thread. Zero-capacity vectors
+/// are dropped (nothing to reuse); the pool keeps at most a handful.
+pub fn put_ranges(mut v: Vec<Range<usize>>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    RANGE_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < JOB_FREELIST_CAP {
+            pool.push(v);
+        }
+    });
+}
+
+/// Best-effort: pins the calling thread to CPU `core` (Linux
+/// `sched_setaffinity` on the calling thread; no-op returning `false`
+/// elsewhere). Returns whether the affinity call succeeded.
+pub fn pin_to_core(core: usize) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        // Declared directly (libc is not a dependency): glibc's wrapper
+        // takes (pid_t, size_t, const cpu_set_t*); pid 0 means the
+        // calling thread. A [u64; 16] mask covers 1024 CPUs.
+        extern "C" {
+            fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+        }
+        let mut mask = [0u64; 16];
+        let bit = core % (64 * mask.len());
+        mask[bit / 64] = 1u64 << (bit % 64);
+        // SAFETY: the mask outlives the call and the size matches it.
+        unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = core;
+        false
+    }
+}
+
+/// Whether `FLEXIQ_PIN` asks for core pinning (truthy values: `1`,
+/// `true`, `yes`, `on`). Read once per process; [`ThreadPool::new`]
+/// consults this, and the serve config treats it as the default for its
+/// own pinning knob.
+pub fn pin_enabled() -> bool {
+    // Tri-state: 0 unread, 1 off, 2 on.
+    static PIN_ENV: AtomicU8 = AtomicU8::new(0);
+    match PIN_ENV.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let on = parse_pin(std::env::var("FLEXIQ_PIN").ok().as_deref());
+            PIN_ENV.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// `FLEXIQ_PIN` value parsing, split out for tests.
+fn parse_pin(v: Option<&str>) -> bool {
+    matches!(v.map(str::trim), Some("1" | "true" | "yes" | "on"))
 }
 
 #[cfg(test)]
@@ -772,5 +1003,190 @@ mod tests {
             with_pool(&inner, || assert_eq!(current().threads(), 3));
             assert_eq!(current().threads(), 2);
         });
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn chunk_ranges_into_matches_the_allocating_form() {
+        let mut buf = vec![99..100]; // stale content must be cleared
+        for total in [0usize, 1, 2, 5, 16, 97] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                chunk_ranges_into(total, parts, &mut buf);
+                assert_eq!(buf, chunk_ranges(total, parts), "{total}/{parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_range_buffers_keep_their_capacity() {
+        // Drain this thread's pool so the test owns its state.
+        let mut drained = Vec::new();
+        loop {
+            let v = take_ranges();
+            if v.capacity() == 0 {
+                break;
+            }
+            drained.push(v);
+        }
+        let mut v = take_ranges();
+        assert_eq!(v.capacity(), 0, "cold pool hands out fresh vecs");
+        chunk_ranges_into(100, 8, &mut v);
+        let cap = v.capacity();
+        assert!(cap >= 8);
+        put_ranges(v);
+        let v = take_ranges();
+        assert!(v.is_empty(), "pooled vec comes back cleared");
+        assert_eq!(v.capacity(), cap, "pooled vec keeps its allocation");
+        put_ranges(v);
+        for v in drained {
+            put_ranges(v);
+        }
+    }
+
+    #[test]
+    fn repeated_runs_reuse_job_headers() {
+        // Behavioral check that freelist reuse stays correct across many
+        // dispatches (including closures of different types), plus a
+        // direct look at the freelist length: it must stop growing.
+        let pool = ThreadPool::new(4);
+        for round in 0..32usize {
+            let sum = AtomicU64::new(0);
+            pool.run(64, |i| {
+                sum.fetch_add((round * 64 + i) as u64, Ordering::Relaxed);
+            });
+            let expect: u64 = (0..64).map(|i| (round * 64 + i) as u64).sum();
+            assert_eq!(sum.load(Ordering::Relaxed), expect, "round {round}");
+            let parked = pool.jobs.lock().unwrap().len();
+            // Headers park at most once per dispatch and get reused, so
+            // the list stays bounded (usually length 1; a helper still
+            // holding a clone at checkout time can briefly add another).
+            assert!(parked <= JOB_FREELIST_CAP, "freelist grew: {parked}");
+        }
+        // A differently-typed closure reuses the same header too.
+        let hits: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_drop_never_loses_the_shutdown_signal() {
+        // Regression: `Drop` used to store the shutdown flag and notify
+        // without holding the queue mutex, so a helper sitting between
+        // its shutdown check and `work_cv.wait` missed both and parked
+        // forever — and the join in `Drop` hung with it. Rapid
+        // create/dispatch/drop cycles keep that window hot; with the
+        // lost wakeup this test deadlocks instead of failing an assert.
+        for round in 0..200usize {
+            let pool = ThreadPool::new(2);
+            let sum = AtomicU64::new(0);
+            pool.run(4, |i| {
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 10, "round {round}");
+        }
+    }
+
+    #[test]
+    fn freelist_survives_a_poisoned_job() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..4 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(8, |i| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                });
+            }));
+            assert!(r.is_err());
+            // The poisoned header was parked and must come back clean.
+            let ok = AtomicUsize::new(0);
+            pool.run(8, |_| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(ok.load(Ordering::Relaxed), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges overlap")]
+    fn inverted_range_is_rejected_on_the_sorted_fast_path() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u8; 10];
+        #[allow(clippy::reversed_empty_ranges, clippy::single_range_in_vec_init)]
+        pool.run_disjoint_mut(&mut data, &[5..3], |_, _| {});
+    }
+
+    #[test]
+    fn unsorted_disjoint_ranges_still_validate() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0usize; 10];
+        pool.run_disjoint_mut(&mut data, &[5..10, 0..5], |i, chunk| {
+            chunk.fill(i + 1);
+        });
+        assert_eq!(data[..5], [2, 2, 2, 2, 2]);
+        assert_eq!(data[5..], [1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn pin_parse_accepts_the_usual_truthy_spellings() {
+        for v in ["1", "true", "yes", "on", " 1 ", "yes\n"] {
+            assert!(parse_pin(Some(v)), "{v:?}");
+        }
+        for v in [Some("0"), Some("false"), Some(""), Some("2"), None] {
+            assert!(!parse_pin(v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn pinning_is_best_effort_and_reported() {
+        let pool = ThreadPool::new_pinned(2);
+        assert!(pool.pinned());
+        let free = ThreadPool::with_config(2, PoolConfig::default());
+        assert!(!free.pinned());
+        // Pinning succeeds on Linux; use a throwaway thread so the test
+        // thread's affinity is untouched.
+        if cfg!(target_os = "linux") {
+            let ok = std::thread::spawn(|| pin_to_core(0)).join().unwrap();
+            assert!(ok, "sched_setaffinity failed");
+        }
+        // A pinned pool still computes correctly.
+        let sum = AtomicU64::new(0);
+        pool.run(100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn on_thread_start_hook_runs_on_each_helper() {
+        let started = Arc::new(Mutex::new(Vec::new()));
+        let hook_started = Arc::clone(&started);
+        let pool = ThreadPool::with_config(
+            3,
+            PoolConfig {
+                pin: false,
+                on_thread_start: Some(Arc::new(move |i| {
+                    hook_started.lock().unwrap().push(i);
+                })),
+            },
+        );
+        // The hook runs before helpers park; a dispatch synchronizes
+        // loosely with helper startup, so poll briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let mut got = started.lock().unwrap().clone();
+            got.sort_unstable();
+            if got == [1, 2] {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "hooks never ran: {got:?}"
+            );
+            std::thread::yield_now();
+        }
+        drop(pool);
     }
 }

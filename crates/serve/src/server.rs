@@ -107,8 +107,18 @@ impl Server {
     ) -> Result<Server> {
         let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity));
         // One shared intra-batch pool for the whole worker fleet (see
-        // `ServeConfig::pool_threads` for the sizing rule).
-        let pool = flexiq_parallel::ThreadPool::new(cfg.resolved_pool_threads());
+        // `ServeConfig::pool_threads` for the sizing rule). Helpers
+        // first-touch their kernel scratch at startup and, when pinning
+        // is on, do so after landing on their core — so the pages are
+        // local to the thread that reuses them every dispatch.
+        let pin = cfg.resolved_pin();
+        let pool = flexiq_parallel::ThreadPool::with_config(
+            cfg.resolved_pool_threads(),
+            flexiq_parallel::PoolConfig {
+                pin,
+                on_thread_start: Some(Arc::new(|_| flexiq_tensor::scratch::warm_defaults())),
+            },
+        );
         let workers = spawn_workers(
             cfg.workers,
             Arc::clone(&queue),
@@ -118,6 +128,7 @@ impl Server {
             cfg.batch_timeout,
             Arc::clone(&pool),
             crate::worker::DispatchPolicy::from_config(&cfg),
+            pin,
         );
         let stop = Arc::new(AtomicBool::new(false));
         let control = controller.map(|ctl| {

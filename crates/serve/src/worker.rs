@@ -260,7 +260,12 @@ fn run_batch_traced(
 }
 
 /// Spawns `workers` threads draining `queue` until it is closed and
-/// empty.
+/// empty. With `pin` on, worker `i` goes to core
+/// `(pool.threads() + i) % machine_threads()` — after the shared pool's
+/// helpers, so batching workers and intra-batch threads land on
+/// disjoint cores when the machine has enough. Every worker first-touch
+/// warms its kernel scratch at startup (the caller thread of a pool
+/// dispatch runs kernels too).
 #[allow(clippy::too_many_arguments)]
 pub fn spawn_workers(
     workers: usize,
@@ -271,6 +276,7 @@ pub fn spawn_workers(
     batch_timeout: Duration,
     pool: Arc<ThreadPool>,
     policy: DispatchPolicy,
+    pin: bool,
 ) -> Vec<JoinHandle<()>> {
     (0..workers)
         .map(|i| {
@@ -281,6 +287,11 @@ pub fn spawn_workers(
             std::thread::Builder::new()
                 .name(format!("flexiq-worker-{i}"))
                 .spawn(move || {
+                    if pin {
+                        let core = pool.threads() + i;
+                        flexiq_parallel::pin_to_core(core % flexiq_parallel::machine_threads());
+                    }
+                    flexiq_tensor::scratch::warm_defaults();
                     while let Some((batch, depth_left)) = queue.pop_batch(max_batch, batch_timeout)
                     {
                         metrics.set_queue_depth(depth_left);

@@ -463,6 +463,12 @@ pub enum Counter {
     GemmMadds,
     /// Estimated bytes staged through packed GEMM panels.
     GemmPackedBytes,
+    /// GEMM calls dispatched to the AVX2 tiles.
+    GemmIsaAvx2,
+    /// GEMM calls dispatched to the NEON tiles.
+    GemmIsaNeon,
+    /// GEMM calls dispatched to the scalar tiles.
+    GemmIsaScalar,
     /// Spans lost to ring exhaustion.
     SpansDropped,
 }
@@ -489,6 +495,9 @@ pub struct CountersSnapshot {
     pub gemm_calls: u64,
     pub gemm_madds: u64,
     pub gemm_packed_bytes: u64,
+    pub gemm_isa_avx2: u64,
+    pub gemm_isa_neon: u64,
+    pub gemm_isa_scalar: u64,
     pub spans_dropped: u64,
 }
 
@@ -505,6 +514,9 @@ pub fn counters() -> CountersSnapshot {
         gemm_calls: get(Counter::GemmCalls),
         gemm_madds: get(Counter::GemmMadds),
         gemm_packed_bytes: get(Counter::GemmPackedBytes),
+        gemm_isa_avx2: get(Counter::GemmIsaAvx2),
+        gemm_isa_neon: get(Counter::GemmIsaNeon),
+        gemm_isa_scalar: get(Counter::GemmIsaScalar),
         spans_dropped: get(Counter::SpansDropped),
     }
 }

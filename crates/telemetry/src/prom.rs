@@ -84,6 +84,20 @@ pub fn render(c: &CountersSnapshot) -> String {
         "counter",
         c.gemm_packed_bytes,
     );
+    // One labeled family for the per-ISA dispatch counters, so a scrape
+    // can attribute GEMM volume to the kernel path that produced it.
+    let _ = writeln!(
+        out,
+        "# HELP flexiq_gemm_isa_calls_total GEMM calls by dispatched kernel ISA."
+    );
+    let _ = writeln!(out, "# TYPE flexiq_gemm_isa_calls_total counter");
+    for (isa, v) in [
+        ("avx2", c.gemm_isa_avx2),
+        ("neon", c.gemm_isa_neon),
+        ("scalar", c.gemm_isa_scalar),
+    ] {
+        let _ = writeln!(out, "flexiq_gemm_isa_calls_total{{isa=\"{isa}\"}} {v}");
+    }
     sample(
         &mut out,
         "flexiq_telemetry_spans_dropped_total",
@@ -103,6 +117,7 @@ mod tests {
         let c = CountersSnapshot {
             gemm_calls: 7,
             pool_tasks: 3,
+            gemm_isa_avx2: 5,
             ..Default::default()
         };
         let text = render(&c);
@@ -110,7 +125,9 @@ mod tests {
         assert!(text.contains("# TYPE flexiq_gemm_calls_total counter"));
         assert!(text.contains("\nflexiq_gemm_calls_total 7\n"));
         assert!(text.contains("\nflexiq_pool_tasks_total 3\n"));
-        // Every sample line is `name value`.
+        assert!(text.contains("\nflexiq_gemm_isa_calls_total{isa=\"avx2\"} 5\n"));
+        assert!(text.contains("\nflexiq_gemm_isa_calls_total{isa=\"scalar\"} 0\n"));
+        // Every sample line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.split_whitespace();
             assert!(parts.next().unwrap().starts_with("flexiq_"));

@@ -78,13 +78,33 @@
 //! parallel results are bit-exact with serial ones at any thread count
 //! (f32 included — no float sum is reordered). Small GEMMs (below
 //! [`PAR_MIN_WORK`] multiply-adds) stay serial.
+//!
+//! # ISA dispatch
+//!
+//! Full `MR × NR` / `MR × NR_I8` tiles dispatch to explicit SIMD
+//! kernels in [`crate::simd`] when the running CPU supports them
+//! (AVX2 on x86-64, NEON on aarch64; detected once per process,
+//! `FLEXIQ_NO_SIMD=1` forces the scalar tiles). Edge tiles and
+//! sub-threshold problems always run the scalar/reference code. The
+//! AVX2 integer path packs its rhs into a dedicated `pmaddwd` *pair*
+//! panel ([`pack_b_i8_pairs`]); every other ISA shares the plain
+//! panels. All paths are bit-identical — the f32 SIMD tiles keep
+//! per-element k-accumulation in ascending order with unfused
+//! multiply-adds, and integer tiles are exact in `i32` regardless of
+//! lane order (see [`crate::simd`] for the full contract). The SIMD
+//! integer tiles do **not** zero-skip: their branch-free throughput
+//! beats skipping, and integer results are exact either way. The f32
+//! blocking floor [`BLOCK_MIN_RHS_F32`] applies to the scalar tiles
+//! only — the SIMD f32 tile wins from the generic [`BLOCK_MIN_WORK`]
+//! threshold, so small shapes block as soon as a SIMD ISA is active.
 
 use std::ops::Range;
 use std::sync::Arc;
 
-use flexiq_parallel::{chunk_ranges, ColBandMut, ThreadPool};
+use flexiq_parallel::{chunk_ranges_into, put_ranges, take_ranges, ColBandMut, ThreadPool};
 
 use crate::scratch;
+use crate::simd::{self, Isa};
 
 /// Minimum multiply-add count (`m*n*k`) before a GEMM fans its output
 /// bands across the thread pool.
@@ -157,22 +177,29 @@ fn plan_bands(m: usize, n: usize, kb: usize) -> Plan {
     if t < 2 {
         return Plan::Serial;
     }
+    // Band vectors come from the thread-local range pool and are
+    // returned by the drivers — band planning is allocation-free in
+    // steady state.
     if m >= 2 * t {
-        let bands = chunk_ranges(m, t * 4);
-        Plan::Rows(pool, bands)
+        Plan::Rows(pool, banded(m, t * 4))
     } else if n >= 2 * t {
         // Wide but short: too few rows to feed the pool, so split the
         // column (sample) axis instead. Column bands of a row-major
         // output are strided, which is exactly what
         // `run_col_bands_mut` partitions safely.
-        let bands = chunk_ranges(n, t * 4);
-        Plan::Cols(pool, bands)
+        Plan::Cols(pool, banded(n, t * 4))
     } else if m >= 2 {
-        let bands = chunk_ranges(m, t * 4);
-        Plan::Rows(pool, bands)
+        Plan::Rows(pool, banded(m, t * 4))
     } else {
         Plan::Serial
     }
+}
+
+/// `chunk_ranges` drawing its vector from the thread-local range pool.
+fn banded(total: usize, max_parts: usize) -> Vec<Range<usize>> {
+    let mut bands = take_ranges();
+    chunk_ranges_into(total, max_parts, &mut bands);
+    bands
 }
 
 /// Whether a problem is worth packing + blocking (vs the reference
@@ -180,6 +207,17 @@ fn plan_bands(m: usize, n: usize, kb: usize) -> Plan {
 /// [`BLOCK_MIN_RHS_F32`]).
 fn worth_blocking(m: usize, n: usize, kb: usize, nr: usize, min_rhs: usize) -> bool {
     m >= 2 && n >= nr && m * n * kb >= BLOCK_MIN_WORK && kb * n >= min_rhs
+}
+
+/// Rhs-extent floor of the f32 blocked path for `isa`. The scalar f32
+/// tile only beats the naive loop once the rhs stops fitting in cache
+/// ([`BLOCK_MIN_RHS_F32`]); the explicit SIMD tiles win from the
+/// generic [`BLOCK_MIN_WORK`] threshold, so they get no extra floor.
+fn min_rhs_f32(isa: Isa) -> usize {
+    match isa {
+        Isa::Scalar => BLOCK_MIN_RHS_F32,
+        _ => 0,
+    }
 }
 
 // ─── Packing ────────────────────────────────────────────────────────────
@@ -264,12 +302,78 @@ macro_rules! pack_impl {
 pack_impl!(pack_b_f32, pack_a_f32, f32, 0.0f32, NR);
 pack_impl!(pack_b_i8, pack_a_i8, i8, 0i8, NR_I8);
 
+// The AVX2 pair panel assumes k-blocks start on pair boundaries; any
+// even KC guarantees it (only the final block of a band can be odd).
+const _: () = assert!(KC % 2 == 0);
+
+/// Packs rhs columns into `pmaddwd`-ready i16-**pair** panels for the
+/// AVX2 integer tile: element `buf[(jp*kpairs + pp)*NR_I8 + lane]`
+/// holds reduction steps `2pp` (low 16 bits) and `2pp+1` (high 16
+/// bits) of lane `lane`, where `kpairs = kb.div_ceil(2)`. An odd band
+/// tail leaves the final pair's high halves zero; tail lanes of a
+/// partial panel are zero like the plain packer. Stored as `i32` so
+/// the pair panel reuses the i32 scratch pool.
+#[cfg(target_arch = "x86_64")]
+fn pack_b_i8_pairs(rhs: Rhs<'_, i8>, k0: usize, k1: usize, cols: Range<usize>, buf: &mut Vec<i32>) {
+    #[inline]
+    fn pair(b0: i8, b1: i8) -> i32 {
+        ((b0 as i16 as u16 as u32) | ((b1 as i16 as u16 as u32) << 16)) as i32
+    }
+    let kb = k1 - k0;
+    let kpairs = kb.div_ceil(2);
+    let ncols = cols.len();
+    let npan = ncols.div_ceil(NR_I8);
+    buf.clear();
+    buf.resize(npan * kpairs * NR_I8, 0);
+    match rhs {
+        Rhs::Rows { b, n } => {
+            for jp in 0..npan {
+                let j0 = cols.start + jp * NR_I8;
+                let w = (cols.end - j0).min(NR_I8);
+                let base = jp * kpairs * NR_I8;
+                for pp in 0..kpairs {
+                    let p0 = k0 + 2 * pp;
+                    let row0 = &b[p0 * n + j0..p0 * n + j0 + w];
+                    let dst = &mut buf[base + pp * NR_I8..base + pp * NR_I8 + w];
+                    if p0 + 1 < k1 {
+                        let row1 = &b[(p0 + 1) * n + j0..(p0 + 1) * n + j0 + w];
+                        for ((d, &b0), &b1) in dst.iter_mut().zip(row0).zip(row1) {
+                            *d = pair(b0, b1);
+                        }
+                    } else {
+                        for (d, &b0) in dst.iter_mut().zip(row0) {
+                            *d = pair(b0, 0);
+                        }
+                    }
+                }
+            }
+        }
+        Rhs::WeightT { w, k } => {
+            for jp in 0..npan {
+                let j0 = cols.start + jp * NR_I8;
+                let lanes = (cols.end - j0).min(NR_I8);
+                let base = jp * kpairs * NR_I8;
+                for lane in 0..lanes {
+                    let wrow = &w[(j0 + lane) * k..(j0 + lane) * k + k];
+                    for pp in 0..kpairs {
+                        let p0 = k0 + 2 * pp;
+                        let b1 = if p0 + 1 < k1 { wrow[p0 + 1] } else { 0 };
+                        buf[base + pp * NR_I8 + lane] = pair(wrow[p0], b1);
+                    }
+                }
+            }
+        }
+    }
+}
+
 // ─── Micro-kernels ──────────────────────────────────────────────────────
 
 /// One `mr × nrw` f32 output tile: loads the tile from `c`, streams `kc`
 /// packed steps, stores back. Loading from `c` (instead of zeroing) is
 /// what keeps the per-element accumulation order identical to the naive
-/// loop across k-blocks — see the module docs.
+/// loop across k-blocks — see the module docs. Full tiles dispatch to
+/// the explicit SIMD kernel of `isa` (bit-identical; unfused mul+add in
+/// ascending k order); edges always run the scalar loop.
 #[inline]
 fn microkernel_f32(
     kc: usize,
@@ -280,6 +384,7 @@ fn microkernel_f32(
     c: &mut ColBandMut<'_, f32>,
     r0: usize,
     col0: usize,
+    isa: Isa,
 ) {
     let mut acc = [[0.0f32; NR]; MR];
     for r in 0..mr {
@@ -290,15 +395,26 @@ fn microkernel_f32(
     let ap = &ap[..kc * MR];
     let bp = &bp[..kc * NR];
     if mr == MR && nrw == NR {
-        // Full tile: fixed-size loops the compiler unrolls and keeps in
-        // registers. No zero-skip — f32 must propagate NaN/Inf.
-        for p in 0..kc {
-            let ar = &ap[p * MR..p * MR + MR];
-            let br = &bp[p * NR..p * NR + NR];
-            for r in 0..MR {
-                let av = ar[r];
-                for j in 0..NR {
-                    acc[r][j] += av * br[j];
+        match isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `isa == Avx2` only after runtime detection.
+            Isa::Avx2 => unsafe { simd::x86::f32_tile_avx2(kc, ap, bp, &mut acc) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: `isa == Neon` only after runtime detection.
+            Isa::Neon => unsafe { simd::arm::f32_tile_neon(kc, ap, bp, &mut acc) },
+            _ => {
+                // Full scalar tile: fixed-size loops the compiler
+                // unrolls and keeps in registers. No zero-skip — f32
+                // must propagate NaN/Inf.
+                for p in 0..kc {
+                    let ar = &ap[p * MR..p * MR + MR];
+                    let br = &bp[p * NR..p * NR + NR];
+                    for r in 0..MR {
+                        let av = ar[r];
+                        for j in 0..NR {
+                            acc[r][j] += av * br[j];
+                        }
+                    }
                 }
             }
         }
@@ -319,10 +435,13 @@ fn microkernel_f32(
     }
 }
 
-/// One `mr × nrw` integer output tile (`i8` operands, `i32` accumulators).
-/// Zero lhs lanes are skipped — exact in integer arithmetic, and the
-/// bit-lowered 4-bit operands the mixed-precision engines feed in here
-/// are sparse enough for the branch to pay.
+/// One `mr × nrw` integer output tile (`i8` operands, `i32` accumulators)
+/// over the plain i8 panel. Zero lhs lanes are skipped in the scalar
+/// tile — exact in integer arithmetic, and the bit-lowered 4-bit
+/// operands the mixed-precision engines feed in here are sparse enough
+/// for the branch to pay. Full NEON tiles run branch-free instead
+/// (exact either way; see [`crate::simd`]). The AVX2 path never reaches
+/// this kernel — it uses the pair panel via [`microkernel_i8_pairs`].
 #[inline]
 fn microkernel_i8(
     kc: usize,
@@ -333,6 +452,7 @@ fn microkernel_i8(
     c: &mut ColBandMut<'_, i32>,
     r0: usize,
     col0: usize,
+    isa: Isa,
 ) {
     let mut acc = [[0i32; NR_I8]; MR];
     for r in 0..mr {
@@ -341,24 +461,32 @@ fn microkernel_i8(
     let ap = &ap[..kc * MR];
     let bp = &bp[..kc * NR_I8];
     if mr == MR && nrw == NR_I8 {
-        for p in 0..kc {
-            let ar = &ap[p * MR..p * MR + MR];
-            if ar.iter().all(|&v| v == 0) {
-                continue;
-            }
-            let br = &bp[p * NR_I8..p * NR_I8 + NR_I8];
-            for (r, accr) in acc.iter_mut().enumerate() {
-                let av = ar[r] as i32;
-                // The per-row zero branch doubles as the vectorization
-                // boundary: LLVM keeps the lane loop in vector code when
-                // the row body is guarded (measured ~4× over the
-                // unguarded form), and bit-lowered operands are sparse
-                // enough for the skip itself to pay.
-                if av == 0 {
-                    continue;
-                }
-                for j in 0..NR_I8 {
-                    accr[j] += av * br[j] as i32;
+        match isa {
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: `isa == Neon` only after runtime detection.
+            Isa::Neon => unsafe { simd::arm::i8_tile_neon(kc, ap, bp, &mut acc) },
+            _ => {
+                for p in 0..kc {
+                    let ar = &ap[p * MR..p * MR + MR];
+                    if ar.iter().all(|&v| v == 0) {
+                        continue;
+                    }
+                    let br = &bp[p * NR_I8..p * NR_I8 + NR_I8];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = ar[r] as i32;
+                        // The per-row zero branch doubles as the
+                        // vectorization boundary: LLVM keeps the lane
+                        // loop in vector code when the row body is
+                        // guarded (measured ~4× over the unguarded
+                        // form), and bit-lowered operands are sparse
+                        // enough for the skip itself to pay.
+                        if av == 0 {
+                            continue;
+                        }
+                        for j in 0..NR_I8 {
+                            accr[j] += av * br[j] as i32;
+                        }
+                    }
                 }
             }
         }
@@ -382,155 +510,391 @@ fn microkernel_i8(
     }
 }
 
-// ─── Blocked drivers ────────────────────────────────────────────────────
-
-macro_rules! blocked_impl {
-    ($blocked:ident, $naive:ident, $general:ident, $pack_a:ident, $pack_b:ident,
-     $microkernel:ident, $take:ident, $put:ident, $lhs:ty, $out:ty, $nr:expr,
-     $min_rhs:expr) => {
-        /// Blocked pass over lhs/output rows `rows` against a pre-packed
-        /// rhs covering the view's columns. k-blocks run in ascending
-        /// order (load-bearing for f32 bit-exactness).
-        fn $blocked(
-            a: &[$lhs],
-            lda: usize,
-            rows: Range<usize>,
-            k0: usize,
-            k1: usize,
-            bpack: &[$lhs],
-            c: &mut ColBandMut<'_, $out>,
-        ) {
-            const NR_: usize = $nr;
-            let kb = k1 - k0;
-            let ncols = c.width();
-            let npan = ncols.div_ceil(NR_);
-            let mut apack = scratch::$take();
-            let mut pc0 = k0;
-            while pc0 < k1 {
-                let pc1 = (pc0 + KC).min(k1);
-                let kcb = pc1 - pc0;
-                let mut ic0 = rows.start;
-                while ic0 < rows.end {
-                    let ic1 = (ic0 + MC).min(rows.end);
-                    $pack_a(a, lda, ic0..ic1, pc0..pc1, &mut apack);
-                    let ntiles = (ic1 - ic0).div_ceil(MR);
-                    for jp in 0..npan {
-                        let col0 = jp * NR_;
-                        let nrw = (ncols - col0).min(NR_);
-                        let bseg =
-                            &bpack[(jp * kb + (pc0 - k0)) * NR_..(jp * kb + (pc1 - k0)) * NR_];
-                        for it in 0..ntiles {
-                            let tr0 = ic0 - rows.start + it * MR;
-                            let mr = (ic1 - ic0 - it * MR).min(MR);
-                            let aseg = &apack[it * kcb * MR..(it + 1) * kcb * MR];
-                            $microkernel(kcb, aseg, bseg, mr, nrw, c, tr0, col0);
-                        }
-                    }
-                    ic0 = ic1;
-                }
-                pc0 = pc1;
-            }
-            scratch::$put(apack);
-        }
-
-        /// Shared entry point: validates nothing (callers assert), plans
-        /// banding, and dispatches blocked or reference execution.
-        fn $general(
-            m: usize,
-            n: usize,
-            k: usize,
-            k0: usize,
-            k1: usize,
-            a: &[$lhs],
-            rhs: Rhs<'_, $lhs>,
-            c: &mut [$out],
-        ) {
-            const NR_: usize = $nr;
-            let kb = k1 - k0;
-            if m == 0 || n == 0 || kb == 0 {
-                return;
-            }
-            let blocked = worth_blocking(m, n, kb, NR_, $min_rhs);
-            match plan_bands(m, n, kb) {
-                Plan::Rows(pool, bands) => {
-                    let elems: Vec<Range<usize>> =
-                        bands.iter().map(|r| r.start * n..r.end * n).collect();
-                    if blocked {
-                        // Pack the rhs once; every row band reuses it.
-                        let mut bbuf = scratch::$take();
-                        $pack_b(rhs, k0, k1, 0..n, &mut bbuf);
-                        pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
-                            let rows = bands[bi].clone();
-                            let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
-                            $blocked(a, k, rows, k0, k1, &bbuf, &mut view);
-                        });
-                        scratch::$put(bbuf);
-                    } else {
-                        pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
-                            let rows = bands[bi].clone();
-                            let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
-                            $naive(a, k, rhs, rows, k0, k1, 0..n, &mut view);
-                        });
-                    }
-                }
-                Plan::Cols(pool, bands) => {
-                    pool.run_col_bands_mut(&mut c[..m * n], m, n, &bands, |bi, view| {
-                        let cols = bands[bi].clone();
-                        if worth_blocking(m, cols.len(), kb, NR_, $min_rhs) {
-                            // Each band packs its own column slice.
-                            let mut bbuf = scratch::$take();
-                            $pack_b(rhs, k0, k1, cols, &mut bbuf);
-                            $blocked(a, k, 0..m, k0, k1, &bbuf, view);
-                            scratch::$put(bbuf);
-                        } else {
-                            $naive(a, k, rhs, 0..m, k0, k1, cols, view);
-                        }
-                    });
-                }
-                Plan::Serial => {
-                    let mut view = ColBandMut::new(&mut c[..m * n], m, n, 0..n);
-                    if blocked {
-                        let mut bbuf = scratch::$take();
-                        $pack_b(rhs, k0, k1, 0..n, &mut bbuf);
-                        $blocked(a, k, 0..m, k0, k1, &bbuf, &mut view);
-                        scratch::$put(bbuf);
-                    } else {
-                        $naive(a, k, rhs, 0..m, k0, k1, 0..n, &mut view);
-                    }
+/// One `mr × nrw` integer output tile over a **pair** rhs panel
+/// ([`pack_b_i8_pairs`]). `kc` is the true reduction extent; the panel
+/// holds `kc.div_ceil(2)` i16 pairs per lane. Full tiles run the AVX2
+/// `pmaddwd` kernel, edge tiles a scalar pair loop — both exact in
+/// `i32`, with no zero-skip (branch-free SIMD throughput beats
+/// skipping on this path).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn microkernel_i8_pairs(
+    kc: usize,
+    ap: &[i8],
+    bp: &[i32],
+    mr: usize,
+    nrw: usize,
+    c: &mut ColBandMut<'_, i32>,
+    r0: usize,
+    col0: usize,
+) {
+    let kpairs = kc.div_ceil(2);
+    let mut acc = [[0i32; NR_I8]; MR];
+    for r in 0..mr {
+        acc[r][..nrw].copy_from_slice(&c.row(r0 + r)[col0..col0 + nrw]);
+    }
+    let ap = &ap[..kc * MR];
+    let bp = &bp[..kpairs * NR_I8];
+    if mr == MR && nrw == NR_I8 {
+        // SAFETY: the pairs panel family is only selected when runtime
+        // detection reported AVX2 (see `pack_b_i8_any`).
+        unsafe { simd::x86::i8_tile_avx2(kc, ap, bp, &mut acc) };
+    } else {
+        // Scalar walk of the pair encoding: low i16 is step 2pp, high
+        // i16 is step 2pp+1 (arithmetic shift sign-extends); an odd
+        // tail's phantom step contributes a1 = 0 on both sides.
+        for pp in 0..kpairs {
+            let a0r = &ap[2 * pp * MR..2 * pp * MR + MR];
+            let a1r = if 2 * pp + 1 < kc {
+                Some(&ap[(2 * pp + 1) * MR..(2 * pp + 1) * MR + MR])
+            } else {
+                None
+            };
+            let br = &bp[pp * NR_I8..pp * NR_I8 + NR_I8];
+            for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                let a0 = a0r[r] as i32;
+                let a1 = a1r.map_or(0, |a1r| a1r[r] as i32);
+                for j in 0..nrw {
+                    let pairv = br[j];
+                    let b0 = pairv as i16 as i32;
+                    let b1 = pairv >> 16;
+                    accr[j] += a0 * b0 + a1 * b1;
                 }
             }
         }
-    };
+    }
+    for r in 0..mr {
+        c.row(r0 + r)[col0..col0 + nrw].copy_from_slice(&acc[r][..nrw]);
+    }
 }
 
-blocked_impl!(
-    blocked_f32,
-    naive_f32_view,
-    gemm_f32_general,
-    pack_a_f32,
-    pack_b_f32,
-    microkernel_f32,
-    take_f32,
-    put_f32,
-    f32,
-    f32,
-    NR,
-    BLOCK_MIN_RHS_F32
-);
-blocked_impl!(
-    blocked_i8,
-    naive_i8_view,
-    gemm_i8_general,
-    pack_a_i8,
-    pack_b_i8,
-    microkernel_i8,
-    take_i8,
-    put_i8,
-    i8,
-    i32,
-    NR_I8,
-    0
-);
+// ─── Blocked drivers ────────────────────────────────────────────────────
+
+/// Blocked f32 pass over lhs/output rows `rows` against a pre-packed
+/// rhs covering the view's columns. k-blocks run in ascending order
+/// (load-bearing for f32 bit-exactness).
+fn blocked_f32(
+    a: &[f32],
+    lda: usize,
+    rows: Range<usize>,
+    k0: usize,
+    k1: usize,
+    bpack: &[f32],
+    c: &mut ColBandMut<'_, f32>,
+    isa: Isa,
+) {
+    let kb = k1 - k0;
+    let ncols = c.width();
+    let npan = ncols.div_ceil(NR);
+    let mut apack = scratch::take_f32();
+    let mut pc0 = k0;
+    while pc0 < k1 {
+        let pc1 = (pc0 + KC).min(k1);
+        let kcb = pc1 - pc0;
+        let mut ic0 = rows.start;
+        while ic0 < rows.end {
+            let ic1 = (ic0 + MC).min(rows.end);
+            pack_a_f32(a, lda, ic0..ic1, pc0..pc1, &mut apack);
+            let ntiles = (ic1 - ic0).div_ceil(MR);
+            for jp in 0..npan {
+                let col0 = jp * NR;
+                let nrw = (ncols - col0).min(NR);
+                let bseg = &bpack[(jp * kb + (pc0 - k0)) * NR..(jp * kb + (pc1 - k0)) * NR];
+                for it in 0..ntiles {
+                    let tr0 = ic0 - rows.start + it * MR;
+                    let mr = (ic1 - ic0 - it * MR).min(MR);
+                    let aseg = &apack[it * kcb * MR..(it + 1) * kcb * MR];
+                    microkernel_f32(kcb, aseg, bseg, mr, nrw, c, tr0, col0, isa);
+                }
+            }
+            ic0 = ic1;
+        }
+        pc0 = pc1;
+    }
+    scratch::put_f32(apack);
+}
+
+/// f32 entry point: validates nothing (callers assert), plans banding,
+/// and dispatches blocked or reference execution under `isa`.
+fn gemm_f32_general(
+    m: usize,
+    n: usize,
+    k: usize,
+    k0: usize,
+    k1: usize,
+    a: &[f32],
+    rhs: Rhs<'_, f32>,
+    c: &mut [f32],
+    isa: Isa,
+) {
+    let kb = k1 - k0;
+    if m == 0 || n == 0 || kb == 0 {
+        return;
+    }
+    simd::note_dispatch(isa);
+    let min_rhs = min_rhs_f32(isa);
+    let blocked = worth_blocking(m, n, kb, NR, min_rhs);
+    match plan_bands(m, n, kb) {
+        Plan::Rows(pool, bands) => {
+            let mut elems = take_ranges();
+            elems.extend(bands.iter().map(|r| r.start * n..r.end * n));
+            if blocked {
+                // Pack the rhs once; every row band reuses it.
+                let mut bbuf = scratch::take_f32();
+                pack_b_f32(rhs, k0, k1, 0..n, &mut bbuf);
+                pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
+                    let rows = bands[bi].clone();
+                    let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
+                    blocked_f32(a, k, rows, k0, k1, &bbuf, &mut view, isa);
+                });
+                scratch::put_f32(bbuf);
+            } else {
+                pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
+                    let rows = bands[bi].clone();
+                    let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
+                    naive_f32_view(a, k, rhs, rows, k0, k1, 0..n, &mut view);
+                });
+            }
+            put_ranges(elems);
+            put_ranges(bands);
+        }
+        Plan::Cols(pool, bands) => {
+            pool.run_col_bands_mut(&mut c[..m * n], m, n, &bands, |bi, view| {
+                let cols = bands[bi].clone();
+                if worth_blocking(m, cols.len(), kb, NR, min_rhs) {
+                    // Each band packs its own column slice.
+                    let mut bbuf = scratch::take_f32();
+                    pack_b_f32(rhs, k0, k1, cols, &mut bbuf);
+                    blocked_f32(a, k, 0..m, k0, k1, &bbuf, view, isa);
+                    scratch::put_f32(bbuf);
+                } else {
+                    naive_f32_view(a, k, rhs, 0..m, k0, k1, cols, view);
+                }
+            });
+            put_ranges(bands);
+        }
+        Plan::Serial => {
+            let mut view = ColBandMut::new(&mut c[..m * n], m, n, 0..n);
+            if blocked {
+                let mut bbuf = scratch::take_f32();
+                pack_b_f32(rhs, k0, k1, 0..n, &mut bbuf);
+                blocked_f32(a, k, 0..m, k0, k1, &bbuf, &mut view, isa);
+                scratch::put_f32(bbuf);
+            } else {
+                naive_f32_view(a, k, rhs, 0..m, k0, k1, 0..n, &mut view);
+            }
+        }
+    }
+}
+
+/// A packed i8 rhs in whichever panel format `isa` consumes: the AVX2
+/// tile eats `pmaddwd` pair panels, every other ISA the plain panel.
+/// Both draw from (and return to) the thread-local scratch pools.
+enum BPackI8 {
+    Plain(Vec<i8>),
+    #[cfg(target_arch = "x86_64")]
+    Pairs(Vec<i32>),
+}
+
+/// Packs the rhs into the panel format of `isa`.
+fn pack_b_i8_any(isa: Isa, rhs: Rhs<'_, i8>, k0: usize, k1: usize, cols: Range<usize>) -> BPackI8 {
+    let _ = isa;
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        let mut buf = scratch::take_i32();
+        pack_b_i8_pairs(rhs, k0, k1, cols, &mut buf);
+        return BPackI8::Pairs(buf);
+    }
+    let mut buf = scratch::take_i8();
+    pack_b_i8(rhs, k0, k1, cols, &mut buf);
+    BPackI8::Plain(buf)
+}
+
+/// Returns a packed rhs to its scratch pool.
+fn put_bpack_i8(bpack: BPackI8) {
+    match bpack {
+        BPackI8::Plain(buf) => scratch::put_i8(buf),
+        #[cfg(target_arch = "x86_64")]
+        BPackI8::Pairs(buf) => scratch::put_i32(buf),
+    }
+}
+
+/// Blocked integer pass dispatching on the packed panel format.
+fn blocked_i8_any(
+    a: &[i8],
+    lda: usize,
+    rows: Range<usize>,
+    k0: usize,
+    k1: usize,
+    bpack: &BPackI8,
+    c: &mut ColBandMut<'_, i32>,
+    isa: Isa,
+) {
+    match bpack {
+        BPackI8::Plain(buf) => blocked_i8(a, lda, rows, k0, k1, buf, c, isa),
+        #[cfg(target_arch = "x86_64")]
+        BPackI8::Pairs(buf) => blocked_i8_pairs(a, lda, rows, k0, k1, buf, c),
+    }
+}
+
+/// Blocked integer pass over the plain i8 panel (scalar and NEON
+/// tiles). Same KC/MC walk as [`blocked_f32`].
+fn blocked_i8(
+    a: &[i8],
+    lda: usize,
+    rows: Range<usize>,
+    k0: usize,
+    k1: usize,
+    bpack: &[i8],
+    c: &mut ColBandMut<'_, i32>,
+    isa: Isa,
+) {
+    let kb = k1 - k0;
+    let ncols = c.width();
+    let npan = ncols.div_ceil(NR_I8);
+    let mut apack = scratch::take_i8();
+    let mut pc0 = k0;
+    while pc0 < k1 {
+        let pc1 = (pc0 + KC).min(k1);
+        let kcb = pc1 - pc0;
+        let mut ic0 = rows.start;
+        while ic0 < rows.end {
+            let ic1 = (ic0 + MC).min(rows.end);
+            pack_a_i8(a, lda, ic0..ic1, pc0..pc1, &mut apack);
+            let ntiles = (ic1 - ic0).div_ceil(MR);
+            for jp in 0..npan {
+                let col0 = jp * NR_I8;
+                let nrw = (ncols - col0).min(NR_I8);
+                let bseg = &bpack[(jp * kb + (pc0 - k0)) * NR_I8..(jp * kb + (pc1 - k0)) * NR_I8];
+                for it in 0..ntiles {
+                    let tr0 = ic0 - rows.start + it * MR;
+                    let mr = (ic1 - ic0 - it * MR).min(MR);
+                    let aseg = &apack[it * kcb * MR..(it + 1) * kcb * MR];
+                    microkernel_i8(kcb, aseg, bseg, mr, nrw, c, tr0, col0, isa);
+                }
+            }
+            ic0 = ic1;
+        }
+        pc0 = pc1;
+    }
+    scratch::put_i8(apack);
+}
+
+/// Blocked integer pass over the AVX2 pair panel. Identical KC/MC walk;
+/// the rhs segment arithmetic is in pairs. `KC` is even (compile-time
+/// asserted), so every k-block starts on a pair boundary and only the
+/// final block of a band can carry the odd tail pair.
+#[cfg(target_arch = "x86_64")]
+fn blocked_i8_pairs(
+    a: &[i8],
+    lda: usize,
+    rows: Range<usize>,
+    k0: usize,
+    k1: usize,
+    bpack: &[i32],
+    c: &mut ColBandMut<'_, i32>,
+) {
+    let kpairs = (k1 - k0).div_ceil(2);
+    let ncols = c.width();
+    let npan = ncols.div_ceil(NR_I8);
+    let mut apack = scratch::take_i8();
+    let mut pc0 = k0;
+    while pc0 < k1 {
+        let pc1 = (pc0 + KC).min(k1);
+        let kcb = pc1 - pc0;
+        let pair0 = (pc0 - k0) / 2;
+        let pair1 = (pc1 - k0).div_ceil(2);
+        let mut ic0 = rows.start;
+        while ic0 < rows.end {
+            let ic1 = (ic0 + MC).min(rows.end);
+            pack_a_i8(a, lda, ic0..ic1, pc0..pc1, &mut apack);
+            let ntiles = (ic1 - ic0).div_ceil(MR);
+            for jp in 0..npan {
+                let col0 = jp * NR_I8;
+                let nrw = (ncols - col0).min(NR_I8);
+                let bseg = &bpack[(jp * kpairs + pair0) * NR_I8..(jp * kpairs + pair1) * NR_I8];
+                for it in 0..ntiles {
+                    let tr0 = ic0 - rows.start + it * MR;
+                    let mr = (ic1 - ic0 - it * MR).min(MR);
+                    let aseg = &apack[it * kcb * MR..(it + 1) * kcb * MR];
+                    microkernel_i8_pairs(kcb, aseg, bseg, mr, nrw, c, tr0, col0);
+                }
+            }
+            ic0 = ic1;
+        }
+        pc0 = pc1;
+    }
+    scratch::put_i8(apack);
+}
+
+/// Integer entry point: validates nothing (callers assert), plans
+/// banding, and dispatches blocked or reference execution under `isa`.
+fn gemm_i8_general(
+    m: usize,
+    n: usize,
+    k: usize,
+    k0: usize,
+    k1: usize,
+    a: &[i8],
+    rhs: Rhs<'_, i8>,
+    c: &mut [i32],
+    isa: Isa,
+) {
+    let kb = k1 - k0;
+    if m == 0 || n == 0 || kb == 0 {
+        return;
+    }
+    simd::note_dispatch(isa);
+    let blocked = worth_blocking(m, n, kb, NR_I8, 0);
+    match plan_bands(m, n, kb) {
+        Plan::Rows(pool, bands) => {
+            let mut elems = take_ranges();
+            elems.extend(bands.iter().map(|r| r.start * n..r.end * n));
+            if blocked {
+                // Pack the rhs once; every row band reuses it.
+                let bbuf = pack_b_i8_any(isa, rhs, k0, k1, 0..n);
+                pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
+                    let rows = bands[bi].clone();
+                    let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
+                    blocked_i8_any(a, k, rows, k0, k1, &bbuf, &mut view, isa);
+                });
+                put_bpack_i8(bbuf);
+            } else {
+                pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
+                    let rows = bands[bi].clone();
+                    let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
+                    naive_i8_view(a, k, rhs, rows, k0, k1, 0..n, &mut view);
+                });
+            }
+            put_ranges(elems);
+            put_ranges(bands);
+        }
+        Plan::Cols(pool, bands) => {
+            pool.run_col_bands_mut(&mut c[..m * n], m, n, &bands, |bi, view| {
+                let cols = bands[bi].clone();
+                if worth_blocking(m, cols.len(), kb, NR_I8, 0) {
+                    // Each band packs its own column slice.
+                    let bbuf = pack_b_i8_any(isa, rhs, k0, k1, cols);
+                    blocked_i8_any(a, k, 0..m, k0, k1, &bbuf, view, isa);
+                    put_bpack_i8(bbuf);
+                } else {
+                    naive_i8_view(a, k, rhs, 0..m, k0, k1, cols, view);
+                }
+            });
+            put_ranges(bands);
+        }
+        Plan::Serial => {
+            let mut view = ColBandMut::new(&mut c[..m * n], m, n, 0..n);
+            if blocked {
+                let bbuf = pack_b_i8_any(isa, rhs, k0, k1, 0..n);
+                blocked_i8_any(a, k, 0..m, k0, k1, &bbuf, &mut view, isa);
+                put_bpack_i8(bbuf);
+            } else {
+                naive_i8_view(a, k, rhs, 0..m, k0, k1, 0..n, &mut view);
+            }
+        }
+    }
+}
 
 // ─── Reference-order serial kernels over views ──────────────────────────
 
@@ -663,11 +1027,13 @@ fn lhs_zero_pm(a: &[i8], lda: usize, m: usize, k0: usize, k1: usize) -> u32 {
     ((zeros * 1000) / total) as u32
 }
 
-/// Counts a kernel call into the global telemetry counters and, when
-/// this thread is recording, times `f` into a `Cat::Gemm` span (shape +
-/// packed-byte estimate in `args`, lhs zero-skip per-mille in `id`).
-/// The skip scan runs before the timed window opens, so telemetry never
-/// inflates the measured kernel time.
+/// Counts a kernel call into the global telemetry counters (including
+/// the per-ISA dispatch counter, so perf artifacts are attributable to
+/// the code path that produced them) and, when this thread is
+/// recording, times `f` into a `Cat::Gemm` span (shape + packed-byte
+/// estimate in `args`, lhs zero-skip per-mille in `id`). The skip scan
+/// runs before the timed window opens, so telemetry never inflates the
+/// measured kernel time.
 #[inline]
 fn gemm_traced(
     name: &'static str,
@@ -675,6 +1041,7 @@ fn gemm_traced(
     n: usize,
     kb: usize,
     packed_bytes: u64,
+    isa: Isa,
     zero_skip_pm: impl FnOnce() -> u32,
     f: impl FnOnce(),
 ) {
@@ -682,6 +1049,14 @@ fn gemm_traced(
     tel::count(tel::Counter::GemmCalls, 1);
     tel::count(tel::Counter::GemmMadds, (m * n * kb) as u64);
     tel::count(tel::Counter::GemmPackedBytes, packed_bytes);
+    tel::count(
+        match isa {
+            Isa::Avx2 => tel::Counter::GemmIsaAvx2,
+            Isa::Neon => tel::Counter::GemmIsaNeon,
+            Isa::Scalar => tel::Counter::GemmIsaScalar,
+        },
+        1,
+    );
     if !tel::recording() {
         return f();
     }
@@ -712,15 +1087,17 @@ pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    let packed = packed_bytes_est(m, n, k, NR, BLOCK_MIN_RHS_F32, 4);
+    let isa = simd::active();
+    let packed = packed_bytes_est(m, n, k, NR, min_rhs_f32(isa), 4);
     gemm_traced(
         "gemm_f32",
         m,
         n,
         k,
         packed,
+        isa,
         || 0,
-        || gemm_f32_general(m, n, k, 0, k, a, Rhs::Rows { b, n }, c),
+        || gemm_f32_general(m, n, k, 0, k, a, Rhs::Rows { b, n }, c, isa),
     );
 }
 
@@ -732,15 +1109,17 @@ pub fn gemm_f32_wt(m: usize, n: usize, k: usize, a: &[f32], w: &[f32], c: &mut [
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(w.len() >= n * k, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
-    let packed = packed_bytes_est(m, n, k, NR, BLOCK_MIN_RHS_F32, 4);
+    let isa = simd::active();
+    let packed = packed_bytes_est(m, n, k, NR, min_rhs_f32(isa), 4);
     gemm_traced(
         "gemm_f32_wt",
         m,
         n,
         k,
         packed,
+        isa,
         || 0,
-        || gemm_f32_general(m, n, k, 0, k, a, Rhs::WeightT { w, k }, c),
+        || gemm_f32_general(m, n, k, 0, k, a, Rhs::WeightT { w, k }, c, isa),
     );
 }
 
@@ -786,6 +1165,7 @@ pub fn gemm_i8_band(
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(b.len() >= k * n, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
+    let isa = simd::active();
     let packed = packed_bytes_est(m, n, k1 - k0, NR_I8, 0, 1);
     gemm_traced(
         "gemm_i8_band",
@@ -793,8 +1173,9 @@ pub fn gemm_i8_band(
         n,
         k1 - k0,
         packed,
+        isa,
         || lhs_zero_pm(a, k, m, k0, k1),
-        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::Rows { b, n }, c),
+        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::Rows { b, n }, c, isa),
     );
 }
 
@@ -817,6 +1198,7 @@ pub fn gemm_i8_band_wt(
     assert!(a.len() >= m * k, "lhs buffer too small");
     assert!(w.len() >= n * k, "rhs buffer too small");
     assert!(c.len() >= m * n, "out buffer too small");
+    let isa = simd::active();
     let packed = packed_bytes_est(m, n, k1 - k0, NR_I8, 0, 1);
     gemm_traced(
         "gemm_i8_band_wt",
@@ -824,8 +1206,9 @@ pub fn gemm_i8_band_wt(
         n,
         k1 - k0,
         packed,
+        isa,
         || lhs_zero_pm(a, k, m, k0, k1),
-        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::WeightT { w, k }, c),
+        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::WeightT { w, k }, c, isa),
     );
 }
 
@@ -859,13 +1242,25 @@ pub fn gemm_i8_band_colbatch(
     gemm_i8_band(m, nb * n, k, k0, k1, a, b, c)
 }
 
-/// Dot product of two `i8` slices with `i32` accumulation.
+/// Dot product of two `i8` slices with `i32` accumulation. Routes
+/// through the dispatched kernel family like the tiled GEMMs, so there
+/// is exactly one i8 inner-product implementation per ISA. Exact in
+/// `i32` on every path.
 pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     assert_eq!(a.len(), b.len(), "dot operands must have equal length");
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| x as i32 * y as i32)
-        .sum()
+    match simd::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` only reports Avx2 after runtime detection.
+        Isa::Avx2 => unsafe { simd::x86::dot_i8_avx2(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: `active()` only reports Neon after runtime detection.
+        Isa::Neon => unsafe { simd::arm::dot_i8_neon(a, b) },
+        _ => a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| x as i32 * y as i32)
+            .sum(),
+    }
 }
 
 /// The naive serial loops the blocked kernels replaced. They remain the
@@ -1217,6 +1612,81 @@ mod tests {
         assert_eq!(dot_i8(&a, &b), 128 * 128 * 8);
         let b = vec![127i8; 8];
         assert_eq!(dot_i8(&a, &b), -128 * 127 * 8);
+        // Lengths straddling the SIMD chunk widths (32 on AVX2, 16 on
+        // NEON), pinned against the naive sum.
+        let mut rng = seeded(31);
+        for n in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 257] {
+            let a = rand_i8(n, &mut rng);
+            let b = rand_i8(n, &mut rng);
+            let want: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_i8(&a, &b), want, "n={n}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn pairs_panel_matches_plain_panel_semantics() {
+        // Every (step, lane) of the plain panel must be recoverable from
+        // the pair panel: low i16 = even step, high i16 = odd step (zero
+        // past an odd band tail). Checked over both rhs layouts and an
+        // odd band.
+        let mut rng = seeded(32);
+        let (k, n) = (23usize, NR_I8 + 7);
+        let (k0, k1) = (2usize, 19usize); // odd-length band
+        let b = rand_i8(k * n, &mut rng);
+        let mut plain = Vec::new();
+        pack_b_i8(Rhs::Rows { b: &b, n }, k0, k1, 0..n, &mut plain);
+        let mut pairs = Vec::new();
+        pack_b_i8_pairs(Rhs::Rows { b: &b, n }, k0, k1, 0..n, &mut pairs);
+        let kb = k1 - k0;
+        let kpairs = kb.div_ceil(2);
+        let npan = n.div_ceil(NR_I8);
+        for jp in 0..npan {
+            for pp in 0..kpairs {
+                for lane in 0..NR_I8 {
+                    let pairv = pairs[(jp * kpairs + pp) * NR_I8 + lane];
+                    let b0 = pairv as i16 as i32;
+                    let b1 = pairv >> 16;
+                    let want0 = plain[(jp * kb + 2 * pp) * NR_I8 + lane] as i32;
+                    let want1 = if 2 * pp + 1 < kb {
+                        plain[(jp * kb + 2 * pp + 1) * NR_I8 + lane] as i32
+                    } else {
+                        0
+                    };
+                    assert_eq!((b0, b1), (want0, want1), "jp={jp} pp={pp} lane={lane}");
+                }
+            }
+        }
+        // Weight layout packs the same panel as packing the materialized
+        // transpose through the Rows arm.
+        let w = rand_i8(n * k, &mut rng);
+        let mut bt = vec![0i8; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = w[j * k + p];
+            }
+        }
+        let mut from_wt = Vec::new();
+        pack_b_i8_pairs(Rhs::WeightT { w: &w, k }, k0, k1, 0..n, &mut from_wt);
+        let mut from_rows = Vec::new();
+        pack_b_i8_pairs(Rhs::Rows { b: &bt, n }, k0, k1, 0..n, &mut from_rows);
+        assert_eq!(from_wt, from_rows);
+    }
+
+    #[test]
+    fn gemm_counts_the_dispatched_isa() {
+        use flexiq_telemetry as tel;
+        let total =
+            |c: &tel::CountersSnapshot| c.gemm_isa_avx2 + c.gemm_isa_neon + c.gemm_isa_scalar;
+        let before = total(&tel::counters());
+        let a = vec![1i8; 4];
+        let b = vec![1i8; 4];
+        let mut c = vec![0i32; 4];
+        gemm_i8(2, 2, 2, &a, &b, &mut c);
+        // Other tests in this binary may run concurrently, so assert a
+        // delta, not an absolute count.
+        assert!(total(&tel::counters()) > before);
+        assert_eq!(simd::last_dispatch(), Some(simd::active()));
     }
 
     #[test]

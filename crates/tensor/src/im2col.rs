@@ -224,11 +224,10 @@ fn batch_fill<T: Copy + Send + Sync>(
     if worth_it {
         let pool = flexiq_parallel::current();
         if pool.threads() >= 2 {
-            let bands = flexiq_parallel::chunk_ranges(rows, pool.threads() * 4);
-            let elems: Vec<std::ops::Range<usize>> = bands
-                .iter()
-                .map(|r| r.start * total..r.end * total)
-                .collect();
+            let mut bands = flexiq_parallel::take_ranges();
+            flexiq_parallel::chunk_ranges_into(rows, pool.threads() * 4, &mut bands);
+            let mut elems = flexiq_parallel::take_ranges();
+            elems.extend(bands.iter().map(|r| r.start * total..r.end * total));
             pool.run_disjoint_mut(&mut out[..], &elems, |bi, slab| {
                 let rows = bands[bi].clone();
                 for s in 0..nb {
@@ -242,6 +241,8 @@ fn batch_fill<T: Copy + Send + Sync>(
                     );
                 }
             });
+            flexiq_parallel::put_ranges(elems);
+            flexiq_parallel::put_ranges(bands);
             return;
         }
     }

@@ -22,12 +22,16 @@
 //!   packing and lowering scratch, so the steady-state hot path performs
 //!   zero heap allocations here.
 //!
-//! The crate is deliberately free of `unsafe` code: the hot kernels get
-//! their throughput from cache blocking, operand packing and register
-//! tiling (see [`gemm`]), not from pointer tricks, and they are still
-//! structured the way the paper's CUDA kernel is (tiles over
-//! feature-channel groups) so that the Criterion benches expose the same
-//! relative costs. Large GEMMs and batched im2col lowerings fan disjoint
+//! The only `unsafe` in the crate is the explicit SIMD in [`simd`]:
+//! `std::arch` register tiles behind once-per-process runtime feature
+//! detection (AVX2 / NEON, `FLEXIQ_NO_SIMD=1` escape hatch), each a
+//! bit-identical drop-in for the scalar tile it replaces. Everything
+//! else gets its throughput from cache blocking, operand packing and
+//! register tiling (see [`gemm`]), not from pointer tricks, and the
+//! kernels are still structured the way the paper's CUDA kernel is
+//! (tiles over feature-channel groups) so that the Criterion benches
+//! expose the same relative costs. Large GEMMs and batched im2col
+//! lowerings fan disjoint
 //! output bands — row bands, or column bands for wide-but-short shapes —
 //! across the shared `flexiq-parallel` pool (the banding keeps every
 //! element's reduction order unchanged, so parallel results are bit-exact
@@ -42,6 +46,7 @@ pub mod mask;
 pub mod rng;
 pub mod scratch;
 pub mod shape;
+pub mod simd;
 pub mod stats;
 pub mod tensor;
 

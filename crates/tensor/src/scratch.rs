@@ -15,6 +15,18 @@
 //! buffer, and a panic between take and put only costs the buffer's
 //! capacity, never correctness. Pools are capped at [`POOL_CAP`] buffers
 //! per type so a pathological caller cannot hoard unbounded memory.
+//!
+//! # First-touch warming
+//!
+//! On NUMA (and even single-socket) machines, pages are physically
+//! placed when first written, on the node of the writing core. The
+//! `warm_*` helpers ([`warm_defaults`]) grow and zero one pooled buffer
+//! per type **on the calling thread**, so a pool/serve thread that is
+//! pinned to a core faults its scratch pages there before serving
+//! traffic — instead of inheriting pages first touched by whichever
+//! thread ran the model load. Embedders pass
+//! `flexiq_tensor::scratch::warm_defaults` as the pool's
+//! `on_thread_start` hook.
 
 use std::cell::RefCell;
 
@@ -22,7 +34,7 @@ use std::cell::RefCell;
 pub const POOL_CAP: usize = 8;
 
 macro_rules! scratch_pool {
-    ($static_:ident, $ty:ty, $take:ident, $put:ident, $take_doc:expr, $put_doc:expr) => {
+    ($static_:ident, $ty:ty, $take:ident, $put:ident, $warm:ident, $take_doc:expr, $put_doc:expr) => {
         thread_local! {
             static $static_: RefCell<Vec<Vec<$ty>>> = const { RefCell::new(Vec::new()) };
         }
@@ -44,6 +56,16 @@ macro_rules! scratch_pool {
                 }
             });
         }
+
+        /// Grows one pooled buffer of this type to `elems` elements and
+        /// zero-writes it on the calling thread (first-touch page
+        /// placement), then parks it again.
+        pub fn $warm(elems: usize) {
+            let mut buf = $take();
+            buf.clear();
+            buf.resize(elems, <$ty>::default());
+            $put(buf);
+        }
     };
 }
 
@@ -52,6 +74,7 @@ scratch_pool!(
     f32,
     take_f32,
     put_f32,
+    warm_f32,
     "Pops (or creates) a reusable `f32` scratch buffer for this thread.",
     "Returns an `f32` scratch buffer to this thread's pool, keeping its capacity."
 );
@@ -60,6 +83,7 @@ scratch_pool!(
     i8,
     take_i8,
     put_i8,
+    warm_i8,
     "Pops (or creates) a reusable `i8` scratch buffer for this thread.",
     "Returns an `i8` scratch buffer to this thread's pool, keeping its capacity."
 );
@@ -68,9 +92,25 @@ scratch_pool!(
     i32,
     take_i32,
     put_i32,
+    warm_i32,
     "Pops (or creates) a reusable `i32` scratch buffer for this thread.",
     "Returns an `i32` scratch buffer to this thread's pool, keeping its capacity."
 );
+
+/// Elements pre-faulted per type by [`warm_defaults`]: enough for the
+/// packed panels and im2col chunks of the bundled models' largest layers
+/// without reserving serving-irrelevant memory (512 KiB f32, 128 KiB i8,
+/// 512 KiB i32 per thread).
+pub const WARM_ELEMS: usize = 128 * 1024;
+
+/// First-touch warms one buffer of each pooled type on the calling
+/// thread (see the module docs). Pass as a pool's `on_thread_start`
+/// hook or call at serve-worker startup.
+pub fn warm_defaults() {
+    warm_f32(WARM_ELEMS);
+    warm_i8(WARM_ELEMS);
+    warm_i32(WARM_ELEMS);
+}
 
 #[cfg(test)]
 mod tests {
@@ -98,6 +138,27 @@ mod tests {
         assert!(a.as_ptr() != b.as_ptr() || (a.capacity() == 0 && b.capacity() == 0));
         put_i8(a);
         put_i8(b);
+    }
+
+    #[test]
+    fn warm_parks_a_sized_buffer() {
+        std::thread::spawn(|| {
+            // Fresh thread → fresh pools: warming must leave one buffer
+            // per type with at least WARM_ELEMS capacity parked.
+            warm_defaults();
+            let f = take_f32();
+            let i8b = take_i8();
+            let i32b = take_i32();
+            assert!(f.capacity() >= WARM_ELEMS);
+            assert!(i8b.capacity() >= WARM_ELEMS);
+            assert!(i32b.capacity() >= WARM_ELEMS);
+            assert!(f.is_empty() && i8b.is_empty() && i32b.is_empty());
+            put_f32(f);
+            put_i8(i8b);
+            put_i32(i32b);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

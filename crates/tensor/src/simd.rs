@@ -1,0 +1,572 @@
+//! Runtime ISA dispatch and explicit SIMD micro-kernel tiles.
+//!
+//! The blocked GEMM drivers in [`crate::gemm`] call full `MR × NR`
+//! (f32) and `MR × NR_I8` (i8) register tiles through this module. The
+//! instruction set is detected **once per process** ([`detect`]) and
+//! resolved per GEMM call ([`active`]), so a binary built for generic
+//! `x86_64` still runs the AVX2 tiles on hardware that has them and
+//! falls back to the portable scalar tiles everywhere else.
+//!
+//! Dispatch order and escape hatches:
+//!
+//! 1. `FLEXIQ_NO_SIMD=1` (env, read once) — hard override, always
+//!    scalar. This is the knob CI uses to re-run the equivalence
+//!    suites over the scalar tiles.
+//! 2. [`set_scalar`] — programmatic override for tests, subordinate to
+//!    the env knob.
+//! 3. Hardware detection: AVX2 on `x86_64`, NEON on `aarch64`, scalar
+//!    otherwise.
+//!
+//! # Exactness contract
+//!
+//! The SIMD tiles are **bit-identical** to the scalar tiles, which are
+//! in turn bit-identical to `gemm::reference` — the equivalence suites
+//! compare all three:
+//!
+//! * **f32** tiles vectorize across the `n` (lane) axis only and keep
+//!   k-accumulation in ascending scalar order per output element. They
+//!   deliberately use unfused multiply-then-add
+//!   (`_mm256_add_ps(_mm256_mul_ps(..))` / `vaddq_f32(vmulq_f32(..))`),
+//!   **never** fused FMA: a fused multiply-add skips the intermediate
+//!   rounding step and would produce different (better, but different)
+//!   bits than the scalar `a * b + c`.
+//! * **i8** tiles accumulate in `i32`, where every intermediate is
+//!   exact (`|a·b| ≤ 16384`, pair sums ≤ 32768), so any lane order
+//!   yields identical results by construction.
+//!
+//! The AVX2 i8 tile consumes a dedicated *pair* panel layout
+//! (`gemm::pack_b_i8_pairs`) holding two adjacent reduction steps as an
+//! i16 pair per lane, feeding `pmaddwd` (`_mm256_madd_epi16`) directly.
+//! The NEON i8 tile widens the ordinary i8 panel on the fly
+//! (`vmovl_s8` + `vmlal_s16`), so `aarch64` needs no second panel
+//! format.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Instruction set a GEMM call's micro-kernels dispatch to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Isa {
+    /// x86-64 AVX2 tiles (`pmaddwd` i8 path, 8-lane f32 path).
+    Avx2,
+    /// aarch64 NEON tiles (`smlal` i8 path, 4-lane f32 path).
+    Neon,
+    /// The portable scalar register tiles.
+    Scalar,
+}
+
+impl Isa {
+    /// Stable lower-case name, as recorded in telemetry counters and
+    /// bench artifact metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Avx2 => "avx2",
+            Isa::Neon => "neon",
+            Isa::Scalar => "scalar",
+        }
+    }
+}
+
+/// Best ISA the hardware supports, detected once per process. Ignores
+/// the scalar overrides — use [`active`] for the dispatch decision.
+pub fn detect() -> Isa {
+    static DETECTED: OnceLock<Isa> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Isa::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return Isa::Neon;
+            }
+        }
+        Isa::Scalar
+    })
+}
+
+/// `FLEXIQ_NO_SIMD` tri-state cache: 0 = unread, 1 = forced scalar,
+/// 2 = SIMD allowed (same lazy-env pattern as telemetry's `ENABLED`).
+static ENV_NO_SIMD: AtomicU8 = AtomicU8::new(0);
+
+/// Programmatic scalar override ([`set_scalar`]); 1 = forced scalar.
+static FORCE_SCALAR: AtomicU8 = AtomicU8::new(0);
+
+fn parse_no_simd(v: Option<&str>) -> bool {
+    matches!(v.map(str::trim), Some("1" | "true" | "yes" | "on"))
+}
+
+/// Whether `FLEXIQ_NO_SIMD` forces the scalar tiles. Read once and
+/// cached; a hard override that [`set_scalar`] cannot undo.
+pub fn env_no_simd() -> bool {
+    match ENV_NO_SIMD.load(Ordering::Relaxed) {
+        0 => {
+            let no = parse_no_simd(std::env::var("FLEXIQ_NO_SIMD").ok().as_deref());
+            ENV_NO_SIMD.store(if no { 1 } else { 2 }, Ordering::Relaxed);
+            no
+        }
+        v => v == 1,
+    }
+}
+
+/// Forces (or releases) the scalar tiles at runtime — the programmatic
+/// twin of `FLEXIQ_NO_SIMD`, used by the dispatch-equivalence tests.
+/// Global; callers toggling it concurrently should serialize.
+pub fn set_scalar(force: bool) {
+    FORCE_SCALAR.store(force as u8, Ordering::Relaxed);
+}
+
+/// The ISA the next GEMM call will dispatch to on this process.
+pub fn active() -> Isa {
+    if env_no_simd() || FORCE_SCALAR.load(Ordering::Relaxed) == 1 {
+        Isa::Scalar
+    } else {
+        detect()
+    }
+}
+
+thread_local! {
+    /// ISA of the most recent GEMM dispatch **on this thread** — set by
+    /// the drivers in [`crate::gemm`], observable by tests that need to
+    /// prove forced-scalar actually took effect.
+    static LAST_DISPATCH: Cell<Option<Isa>> = const { Cell::new(None) };
+}
+
+/// Records a dispatch decision (called by the GEMM drivers).
+pub(crate) fn note_dispatch(isa: Isa) {
+    LAST_DISPATCH.with(|c| c.set(Some(isa)));
+}
+
+/// ISA of the most recent GEMM dispatch on the calling thread, if any.
+pub fn last_dispatch() -> Option<Isa> {
+    LAST_DISPATCH.with(Cell::get)
+}
+
+/// AVX2 register tiles. Each function is `unsafe` only because of
+/// `#[target_feature]`: callers must have confirmed AVX2 support
+/// (i.e. dispatched via [`active`]` == Isa::Avx2`). All slice accesses
+/// are bounds-checked against the asserted panel extents on entry.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use crate::gemm::{MR, NR, NR_I8};
+    use std::arch::x86_64::*;
+
+    // The tile loads below spell out MR accumulator rows.
+    const _: () = assert!(MR == 4 && NR == 8 && NR_I8 == 32);
+
+    /// Full `MR × NR` f32 tile over packed panels: `acc[r][j] +=
+    /// Σ_p a[p*MR+r] * b[p*NR+j]`, k ascending, one unfused
+    /// multiply-then-add per step — bit-identical to the scalar tile
+    /// (see the module docs for why FMA is off the table).
+    ///
+    /// # Safety
+    /// AVX2 must be supported by the executing CPU.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn f32_tile_avx2(
+        kc: usize,
+        ap: &[f32],
+        bp: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+        let mut accv = [
+            _mm256_loadu_ps(acc[0].as_ptr()),
+            _mm256_loadu_ps(acc[1].as_ptr()),
+            _mm256_loadu_ps(acc[2].as_ptr()),
+            _mm256_loadu_ps(acc[3].as_ptr()),
+        ];
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        for p in 0..kc {
+            let bv = _mm256_loadu_ps(b.add(p * NR));
+            let ar = a.add(p * MR);
+            for (r, accr) in accv.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ar.add(r));
+                // Unfused on purpose — never _mm256_fmadd_ps here.
+                *accr = _mm256_add_ps(*accr, _mm256_mul_ps(av, bv));
+            }
+        }
+        for (r, accr) in accv.iter().enumerate() {
+            _mm256_storeu_ps(acc[r].as_mut_ptr(), *accr);
+        }
+    }
+
+    /// Full `MR × NR_I8` i8 tile over a **pair** panel
+    /// (`gemm::pack_b_i8_pairs`): each `bp` element holds reduction
+    /// steps `2pp` (low i16) and `2pp+1` (high i16) for one lane, so
+    /// `pmaddwd` computes `a0·b0 + a1·b1` per lane in one instruction.
+    /// `kc` is the true reduction extent; an odd tail is handled by a
+    /// final pair with the high half zeroed on both sides. Exact in
+    /// i32 by construction.
+    ///
+    /// # Safety
+    /// AVX2 must be supported by the executing CPU.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn i8_tile_avx2(
+        kc: usize,
+        ap: &[i8],
+        bp: &[i32],
+        acc: &mut [[i32; NR_I8]; MR],
+    ) {
+        let kpairs = kc / 2;
+        assert!(ap.len() >= kc * MR && bp.len() >= kc.div_ceil(2) * NR_I8);
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        // 32 lanes as two halves of 16 (4 rows × 2 regs accumulators +
+        // 2 b regs + 1 broadcast = 11 live ymm, no spills).
+        for half in 0..2 {
+            let off = half * (NR_I8 / 2);
+            let mut accv = [[_mm256_setzero_si256(); 2]; MR];
+            for (r, regs) in accv.iter_mut().enumerate() {
+                regs[0] = _mm256_loadu_si256(acc[r].as_ptr().add(off).cast());
+                regs[1] = _mm256_loadu_si256(acc[r].as_ptr().add(off + 8).cast());
+            }
+            for pp in 0..kpairs {
+                let bb = b.add(pp * NR_I8 + off);
+                let b0 = _mm256_loadu_si256(bb.cast());
+                let b1 = _mm256_loadu_si256(bb.add(8).cast());
+                // lhs panel is MR-interleaved per step: steps 2pp and
+                // 2pp+1 for row r sit MR elements apart.
+                let ar = a.add(2 * pp * MR);
+                for (r, regs) in accv.iter_mut().enumerate() {
+                    let a0 = *ar.add(r) as i16 as u16 as u32;
+                    let a1 = *ar.add(MR + r) as i16 as u16 as u32;
+                    let av = _mm256_set1_epi32((a0 | (a1 << 16)) as i32);
+                    regs[0] = _mm256_add_epi32(regs[0], _mm256_madd_epi16(av, b0));
+                    regs[1] = _mm256_add_epi32(regs[1], _mm256_madd_epi16(av, b1));
+                }
+            }
+            if kc % 2 == 1 {
+                // Odd tail: the panel's final pair has zero high
+                // halves; broadcast the last lhs step alone so the
+                // lhs-side high half is zero too (reading a phantom
+                // step `kc` would run past the packed lhs panel).
+                let bb = b.add(kpairs * NR_I8 + off);
+                let b0 = _mm256_loadu_si256(bb.cast());
+                let b1 = _mm256_loadu_si256(bb.add(8).cast());
+                let ar = a.add(2 * kpairs * MR);
+                for (r, regs) in accv.iter_mut().enumerate() {
+                    let a0 = *ar.add(r) as i16 as u16 as u32;
+                    let av = _mm256_set1_epi32(a0 as i32);
+                    regs[0] = _mm256_add_epi32(regs[0], _mm256_madd_epi16(av, b0));
+                    regs[1] = _mm256_add_epi32(regs[1], _mm256_madd_epi16(av, b1));
+                }
+            }
+            for (r, regs) in accv.iter().enumerate() {
+                _mm256_storeu_si256(acc[r].as_mut_ptr().add(off).cast(), regs[0]);
+                _mm256_storeu_si256(acc[r].as_mut_ptr().add(off + 8).cast(), regs[1]);
+            }
+        }
+    }
+
+    /// Full i8 dot product: 32-byte chunks widened to i16
+    /// (`cvtepi8_epi16`), `pmaddwd` into i32 lanes, horizontal sum,
+    /// scalar tail. Exact in i32.
+    ///
+    /// # Safety
+    /// AVX2 must be supported by the executing CPU; `a.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+        assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 32;
+        let mut acc = _mm256_setzero_si256();
+        for i in 0..chunks {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i * 32).cast());
+            let bv = _mm256_loadu_si256(b.as_ptr().add(i * 32).cast());
+            let a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(av));
+            let a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(av));
+            let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bv));
+            let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(bv));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+        }
+        let s = _mm_add_epi32(
+            _mm256_castsi256_si128(acc),
+            _mm256_extracti128_si256::<1>(acc),
+        );
+        let s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b01>(s));
+        let mut sum = _mm_cvtsi128_si32(s);
+        for i in chunks * 32..n {
+            sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+        }
+        sum
+    }
+}
+
+/// NEON register tiles — the aarch64 twins of [`x86`]. Same exactness
+/// contract: f32 unfused (`vaddq_f32(vmulq_f32(..))`, never `vfmaq`),
+/// i8 exact in i32 via `vmull_s8`/`vmlal_s16`.
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod arm {
+    use crate::gemm::{MR, NR, NR_I8};
+    use std::arch::aarch64::*;
+
+    const _: () = assert!(MR == 4 && NR == 8 && NR_I8 == 32);
+
+    /// Full `MR × NR` f32 tile (two `float32x4` per row), k ascending,
+    /// unfused multiply-then-add — bit-identical to the scalar tile.
+    ///
+    /// # Safety
+    /// NEON must be supported by the executing CPU.
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn f32_tile_neon(
+        kc: usize,
+        ap: &[f32],
+        bp: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        let mut accv = [[vdupq_n_f32(0.0); 2]; MR];
+        for (r, regs) in accv.iter_mut().enumerate() {
+            regs[0] = vld1q_f32(acc[r].as_ptr());
+            regs[1] = vld1q_f32(acc[r].as_ptr().add(4));
+        }
+        for p in 0..kc {
+            let b0 = vld1q_f32(b.add(p * NR));
+            let b1 = vld1q_f32(b.add(p * NR + 4));
+            let ar = a.add(p * MR);
+            for (r, regs) in accv.iter_mut().enumerate() {
+                let av = vdupq_n_f32(*ar.add(r));
+                // Unfused on purpose — never vfmaq_f32 here.
+                regs[0] = vaddq_f32(regs[0], vmulq_f32(av, b0));
+                regs[1] = vaddq_f32(regs[1], vmulq_f32(av, b1));
+            }
+        }
+        for (r, regs) in accv.iter().enumerate() {
+            vst1q_f32(acc[r].as_mut_ptr(), regs[0]);
+            vst1q_f32(acc[r].as_mut_ptr().add(4), regs[1]);
+        }
+    }
+
+    /// Full `MR × NR_I8` i8 tile over the **ordinary** i8 panel: per
+    /// reduction step the 16-lane rhs halves widen to i16
+    /// (`vmovl_s8`) and multiply-accumulate into i32 quads
+    /// (`vmlal_s16`). Exact in i32 (`|a·b| ≤ 16384`).
+    ///
+    /// # Safety
+    /// NEON must be supported by the executing CPU.
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn i8_tile_neon(
+        kc: usize,
+        ap: &[i8],
+        bp: &[i8],
+        acc: &mut [[i32; NR_I8]; MR],
+    ) {
+        assert!(ap.len() >= kc * MR && bp.len() >= kc * NR_I8);
+        let a = ap.as_ptr();
+        let b = bp.as_ptr();
+        for half in 0..2 {
+            let off = half * (NR_I8 / 2);
+            let mut accv = [[vdupq_n_s32(0); 4]; MR];
+            for (r, regs) in accv.iter_mut().enumerate() {
+                for (g, reg) in regs.iter_mut().enumerate() {
+                    *reg = vld1q_s32(acc[r].as_ptr().add(off + 4 * g));
+                }
+            }
+            for p in 0..kc {
+                let bv = vld1q_s8(b.add(p * NR_I8 + off));
+                let b_lo = vmovl_s8(vget_low_s8(bv));
+                let b_hi = vmovl_s8(vget_high_s8(bv));
+                let ar = a.add(p * MR);
+                for (r, regs) in accv.iter_mut().enumerate() {
+                    let av = vdup_n_s16(*ar.add(r) as i16);
+                    regs[0] = vmlal_s16(regs[0], vget_low_s16(b_lo), av);
+                    regs[1] = vmlal_s16(regs[1], vget_high_s16(b_lo), av);
+                    regs[2] = vmlal_s16(regs[2], vget_low_s16(b_hi), av);
+                    regs[3] = vmlal_s16(regs[3], vget_high_s16(b_hi), av);
+                }
+            }
+            for (r, regs) in accv.iter().enumerate() {
+                for (g, reg) in regs.iter().enumerate() {
+                    vst1q_s32(acc[r].as_mut_ptr().add(off + 4 * g), *reg);
+                }
+            }
+        }
+    }
+
+    /// Full i8 dot product: 16-byte chunks through `vmull_s8` (i16
+    /// products) pairwise-accumulated into i32 (`vpadalq_s16`), lane
+    /// reduction via `vaddvq_s32`, scalar tail. Exact in i32.
+    ///
+    /// # Safety
+    /// NEON must be supported by the executing CPU; `a.len() == b.len()`.
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn dot_i8_neon(a: &[i8], b: &[i8]) -> i32 {
+        assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 16;
+        let mut acc = vdupq_n_s32(0);
+        for i in 0..chunks {
+            let av = vld1q_s8(a.as_ptr().add(i * 16));
+            let bv = vld1q_s8(b.as_ptr().add(i * 16));
+            acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(av), vget_low_s8(bv)));
+            acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(av), vget_high_s8(bv)));
+        }
+        let mut sum = vaddvq_s32(acc);
+        for i in chunks * 16..n {
+            sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_names_are_stable() {
+        assert_eq!(Isa::Avx2.name(), "avx2");
+        assert_eq!(Isa::Neon.name(), "neon");
+        assert_eq!(Isa::Scalar.name(), "scalar");
+    }
+
+    #[test]
+    fn no_simd_parse_accepts_the_usual_truthy_spellings() {
+        assert!(parse_no_simd(Some("1")));
+        assert!(parse_no_simd(Some("true")));
+        assert!(parse_no_simd(Some(" yes ")));
+        assert!(parse_no_simd(Some("on")));
+        assert!(!parse_no_simd(Some("0")));
+        assert!(!parse_no_simd(Some("false")));
+        assert!(!parse_no_simd(Some("")));
+        assert!(!parse_no_simd(None));
+    }
+
+    #[test]
+    fn detect_is_stable_across_calls() {
+        assert_eq!(detect(), detect());
+    }
+
+    #[test]
+    fn active_honors_the_overrides() {
+        // Env override wins over everything; without it, set_scalar
+        // decides. Run both branches so the test is meaningful in the
+        // FLEXIQ_NO_SIMD=1 CI leg too. (Shares the process-global
+        // FORCE_SCALAR with nothing else in this crate's unit tests.)
+        set_scalar(true);
+        assert_eq!(active(), Isa::Scalar);
+        set_scalar(false);
+        if env_no_simd() {
+            assert_eq!(active(), Isa::Scalar);
+        } else {
+            assert_eq!(active(), detect());
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod avx2 {
+        use super::super::*;
+        use crate::gemm::{MR, NR, NR_I8};
+
+        fn splat_i8(seed: u64, len: usize) -> Vec<i8> {
+            let mut s = seed;
+            (0..len)
+                .map(|_| {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((s >> 33) as u8) as i8
+                })
+                .collect()
+        }
+
+        #[test]
+        fn f32_tile_matches_scalar_bitwise() {
+            if detect() != Isa::Avx2 {
+                return;
+            }
+            for kc in [0usize, 1, 3, 17, 128] {
+                let ap: Vec<f32> = (0..kc * MR).map(|i| (i as f32 - 7.0) * 0.37).collect();
+                let bp: Vec<f32> = (0..kc * NR).map(|i| (i as f32 - 11.0) * 0.13).collect();
+                let mut base = [[0.0f32; NR]; MR];
+                for (r, row) in base.iter_mut().enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = (r * NR + j) as f32 * 0.01 - 0.1;
+                    }
+                }
+                let mut want = base;
+                for p in 0..kc {
+                    for r in 0..MR {
+                        let av = ap[p * MR + r];
+                        for j in 0..NR {
+                            want[r][j] += av * bp[p * NR + j];
+                        }
+                    }
+                }
+                let mut got = base;
+                unsafe { x86::f32_tile_avx2(kc, &ap, &bp, &mut got) };
+                for r in 0..MR {
+                    for j in 0..NR {
+                        assert_eq!(want[r][j].to_bits(), got[r][j].to_bits(), "kc={kc}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn i8_pairs_tile_matches_scalar() {
+            if detect() != Isa::Avx2 {
+                return;
+            }
+            for kc in [1usize, 2, 5, 31, 128] {
+                let kpairs = kc.div_ceil(2);
+                let ap = splat_i8(0x5EED ^ kc as u64, kc * MR);
+                let bq = splat_i8(0xB0B ^ kc as u64, kc * NR_I8);
+                // Build the pair panel by hand: lane-major per pair.
+                let mut bp = vec![0i32; kpairs * NR_I8];
+                for pp in 0..kpairs {
+                    for lane in 0..NR_I8 {
+                        let b0 = bq[(2 * pp) * NR_I8 + lane];
+                        let b1 = if 2 * pp + 1 < kc {
+                            bq[(2 * pp + 1) * NR_I8 + lane]
+                        } else {
+                            0
+                        };
+                        bp[pp * NR_I8 + lane] =
+                            ((b0 as i16 as u16 as u32) | ((b1 as i16 as u16 as u32) << 16)) as i32;
+                    }
+                }
+                let mut want = [[0i32; NR_I8]; MR];
+                for (r, row) in want.iter_mut().enumerate() {
+                    for (lane, v) in row.iter_mut().enumerate() {
+                        *v = (r * NR_I8 + lane) as i32 - 40;
+                        for p in 0..kc {
+                            *v += ap[p * MR + r] as i32 * bq[p * NR_I8 + lane] as i32;
+                        }
+                    }
+                }
+                let mut got = [[0i32; NR_I8]; MR];
+                for (r, row) in got.iter_mut().enumerate() {
+                    for (lane, v) in row.iter_mut().enumerate() {
+                        *v = (r * NR_I8 + lane) as i32 - 40;
+                    }
+                }
+                unsafe { x86::i8_tile_avx2(kc, &ap, &bp, &mut got) };
+                assert_eq!(want, got, "kc={kc}");
+            }
+        }
+
+        #[test]
+        fn dot_matches_scalar_across_lengths() {
+            if detect() != Isa::Avx2 {
+                return;
+            }
+            for n in [0usize, 1, 31, 32, 33, 64, 257] {
+                let a = splat_i8(1 + n as u64, n);
+                let b = splat_i8(2 + n as u64, n);
+                let want: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+                let got = unsafe { x86::dot_i8_avx2(&a, &b) };
+                assert_eq!(want, got, "n={n}");
+            }
+        }
+    }
+}

@@ -12,11 +12,20 @@
 //!    lives in the per-thread `Workspace`), and the engine's workspace
 //!    reports zero buffer growth.
 //!
-//! Everything runs inside an explicit 1-thread pool so all work (and so
-//! all counted allocation) happens on the measuring thread.
+//! Most tests run inside an explicit 1-thread pool so all work (and so
+//! all counted allocation) happens on the measuring thread. The parallel
+//! conv-group test instead flips the allocator into a **global** counting
+//! mode (every thread, one atomic) and pins the fan-out path itself:
+//! once warmed, a 2-thread grouped-conv batch pass must allocate exactly
+//! as much as the serial pass — i.e. the parallel dispatch (job headers,
+//! band ranges, per-thread workspaces, accumulator slabs) adds zero heap
+//! traffic. Tests serialize on a file-wide mutex so the global counter
+//! never sees a neighbor's allocations.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use flexiq::core::pipeline::{prepare, FlexiQConfig};
 use flexiq::core::runtime::LEVEL_INT8;
@@ -33,14 +42,31 @@ thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
-/// System allocator wrapper counting allocations on the calling thread.
+/// All-thread allocation counter, active only while a test that needs
+/// cross-thread visibility (the parallel fan-out) enables it.
+static GLOBAL_COUNT_ON: AtomicBool = AtomicBool::new(false);
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Serializes the tests in this binary: the global counter sees every
+/// thread, so concurrent tests would pollute each other's measurements.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// System allocator wrapper counting allocations on the calling thread
+/// (always) and, when enabled, process-wide.
 struct CountingAlloc;
 
-// SAFETY: delegates to `System`; the counter is a const-initialized
-// thread-local `Cell`, which allocates nothing itself.
+// SAFETY: delegates to `System`; the counters are a const-initialized
+// thread-local `Cell` and static atomics, which allocate nothing.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.with(|c| c.set(c.get() + 1));
+        if GLOBAL_COUNT_ON.load(Ordering::Relaxed) {
+            GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -50,6 +76,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.with(|c| c.set(c.get() + 1));
+        if GLOBAL_COUNT_ON.load(Ordering::Relaxed) {
+            GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -64,8 +93,18 @@ fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
     (ALLOCS.with(Cell::get) - before, r)
 }
 
+/// Allocations on **every** thread while running `f`.
+fn count_global_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    GLOBAL_ALLOCS.store(0, Ordering::SeqCst);
+    GLOBAL_COUNT_ON.store(true, Ordering::SeqCst);
+    let r = f();
+    GLOBAL_COUNT_ON.store(false, Ordering::SeqCst);
+    (GLOBAL_ALLOCS.load(Ordering::SeqCst), r)
+}
+
 #[test]
 fn warmed_blocked_gemm_allocates_nothing() {
+    let _serial = serial();
     // Big enough that the packed/blocked path engages for both dtypes.
     let (m, n, k) = (64usize, 256usize, 192usize);
     let mut rng = seeded(0xA110C);
@@ -112,6 +151,7 @@ fn int_runtime() -> (flexiq::core::FlexiRuntime, Vec<flexiq::tensor::Tensor>) {
 
 #[test]
 fn infer_reaches_allocation_steady_state() {
+    let _serial = serial();
     let (rt, inputs) = int_runtime();
     let pool = ThreadPool::new(1);
     flexiq::parallel::with_pool(&pool, || {
@@ -136,6 +176,7 @@ fn infer_reaches_allocation_steady_state() {
 
 #[test]
 fn steady_state_workspace_never_regrows() {
+    let _serial = serial();
     let (rt, inputs) = int_runtime();
     let pool = ThreadPool::new(1);
     flexiq::parallel::with_pool(&pool, || {
@@ -160,6 +201,7 @@ fn steady_state_workspace_never_regrows() {
 
 #[test]
 fn disabled_telemetry_adds_no_spans_or_allocations() {
+    let _serial = serial();
     let (rt, inputs) = int_runtime();
     let pool = ThreadPool::new(1);
     flexiq::parallel::with_pool(&pool, || {
@@ -189,6 +231,7 @@ fn disabled_telemetry_adds_no_spans_or_allocations() {
 
 #[test]
 fn batched_infer_reaches_allocation_steady_state() {
+    let _serial = serial();
     let (rt, inputs) = int_runtime();
     let pool = ThreadPool::new(1);
     flexiq::parallel::with_pool(&pool, || {
@@ -198,5 +241,64 @@ fn batched_infer_reaches_allocation_steady_state() {
         let (a3, _) = count_allocs(|| rt.infer_batch(&inputs).unwrap());
         let (a4, _) = count_allocs(|| rt.infer_batch(&inputs).unwrap());
         assert_eq!(a3, a4, "batched allocation count still drifting");
+    });
+}
+
+/// Builds an Int-mode runtime over a **grouped-conv** model (MobileNetV2:
+/// depthwise layers, `groups == c_in`), the shape that engages the
+/// parallel conv-group fan-out.
+fn grouped_int_runtime() -> (flexiq::core::FlexiRuntime, Vec<flexiq::tensor::Tensor>) {
+    let id = ModelId::MNetV2;
+    let graph = id.build(Scale::Test).unwrap();
+    let calib = gen_image_inputs(6, &id.input_dims(Scale::Test), 0xA110C4);
+    let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    let rt = prepared.runtime.with_exec_options(QuantExecOptions {
+        mode: ExecMode::Int,
+        ..Default::default()
+    });
+    let inputs = gen_image_inputs(4, &id.input_dims(Scale::Test), 0xA110C5);
+    (rt, inputs)
+}
+
+#[test]
+fn parallel_grouped_conv_allocates_exactly_like_serial() {
+    let _serial = serial();
+    let (rt, inputs) = grouped_int_runtime();
+    rt.set_level(LEVEL_INT8).unwrap();
+    // Serial baseline: steady-state allocations of a grouped batch pass
+    // on a 1-thread pool, counted across all threads (only this one
+    // works).
+    let serial_pool = ThreadPool::new(1);
+    let serial_steady = flexiq::parallel::with_pool(&serial_pool, || {
+        let _ = rt.infer_batch(&inputs[..2]).unwrap();
+        let _ = rt.infer_batch(&inputs[..2]).unwrap();
+        let (a, _) = count_global_allocs(|| rt.infer_batch(&inputs[..2]).unwrap());
+        let (b, _) = count_global_allocs(|| rt.infer_batch(&inputs[..2]).unwrap());
+        assert_eq!(a, b, "serial grouped steady state still drifting");
+        a
+    });
+    // Parallel: same model and batch on a 2-thread pool — the depthwise
+    // layers fan conv groups across both threads. Task claiming is racy,
+    // so the helper's workspace/scratch warm-up can straggle across the
+    // first few passes; the invariant is that the count **converges to
+    // exactly the serial count** — the fan-out itself (job dispatch,
+    // band ranges, accumulator slabs, requant scatter) adds zero heap
+    // allocations once warm.
+    let pool = ThreadPool::new(2);
+    flexiq::parallel::with_pool(&pool, || {
+        let _ = rt.infer_batch(&inputs[..2]).unwrap();
+        let _ = rt.infer_batch(&inputs[..2]).unwrap();
+        let mut last = u64::MAX;
+        for _ in 0..10 {
+            let (a, _) = count_global_allocs(|| rt.infer_batch(&inputs[..2]).unwrap());
+            last = a;
+            if a == serial_steady {
+                break;
+            }
+        }
+        assert_eq!(
+            last, serial_steady,
+            "parallel grouped-conv pass must allocate exactly the serial amount"
+        );
     });
 }

@@ -12,14 +12,47 @@
 //! f32 comparisons are on exact bits, not tolerances: the blocked kernel
 //! keeps every output element's in-order k-accumulation, so it must
 //! reproduce the naive loop's rounding exactly.
+//!
+//! The SIMD-vs-scalar properties additionally pin the explicit vector
+//! tiles (AVX2/NEON, runtime-dispatched) bit-identical to the scalar
+//! tiles they replace, by running every kernel twice — once as
+//! dispatched, once under the forced-scalar override.
+
+use std::sync::Mutex;
 
 use flexiq::parallel::ThreadPool;
 use flexiq::tensor::gemm::{self, reference};
 use flexiq::tensor::rng::seeded;
+use flexiq::tensor::simd;
 use proptest::prelude::*;
 use rand::Rng;
 
 const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Serializes every test that flips the process-wide forced-scalar
+/// override, so a concurrent SIMD-vs-scalar comparison never observes a
+/// half-toggled state.
+static SCALAR_LOCK: Mutex<()> = Mutex::new(());
+
+fn scalar_lock() -> std::sync::MutexGuard<'static, ()> {
+    SCALAR_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII forced-scalar scope: SIMD dispatch is disabled until drop.
+struct ForceScalar;
+
+impl ForceScalar {
+    fn on() -> ForceScalar {
+        simd::set_scalar(true);
+        ForceScalar
+    }
+}
+
+impl Drop for ForceScalar {
+    fn drop(&mut self) {
+        simd::set_scalar(false);
+    }
+}
 
 fn rand_f32(len: usize, rng: &mut impl Rng) -> Vec<f32> {
     (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
@@ -198,4 +231,114 @@ proptest! {
             }
         }
     }
+
+    /// SIMD-on f32 == forced-scalar f32 on the same inputs, bit for bit,
+    /// across shapes, both rhs layouts, and thread counts — the tentpole
+    /// exactness contract for the vector tiles. (Under `FLEXIQ_NO_SIMD=1`
+    /// both sides run scalar and the property holds trivially.)
+    #[test]
+    fn f32_simd_matches_forced_scalar_bitwise(
+        m in 1usize..48,
+        n in 1usize..180,
+        k in 1usize..140,
+        seed in 0u64..1000,
+    ) {
+        let _serial = scalar_lock();
+        let mut rng = seeded(seed ^ 0x51);
+        let a = rand_f32(m * k, &mut rng);
+        let b = rand_f32(k * n, &mut rng);
+        let w = rand_f32(n * k, &mut rng);
+        let c0 = rand_f32(m * n, &mut rng);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let (mut c_simd, mut c_scalar) = (c0.clone(), c0.clone());
+            let (mut cw_simd, mut cw_scalar) = (vec![0.0f32; m * n], vec![0.0f32; m * n]);
+            flexiq::parallel::with_pool(&pool, || {
+                gemm::gemm_f32(m, n, k, &a, &b, &mut c_simd);
+                gemm::gemm_f32_wt(m, n, k, &a, &w, &mut cw_simd);
+                let _scalar = ForceScalar::on();
+                gemm::gemm_f32(m, n, k, &a, &b, &mut c_scalar);
+                gemm::gemm_f32_wt(m, n, k, &a, &w, &mut cw_scalar);
+            });
+            for (i, (x, y)) in c_simd.iter().zip(&c_scalar).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "({}, {}, {}) x{} elem {}", m, n, k, threads, i);
+            }
+            for (i, (x, y)) in cw_simd.iter().zip(&cw_scalar).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "wt ({}, {}, {}) x{} elem {}", m, n, k, threads, i);
+            }
+        }
+    }
+
+    /// SIMD-on i8 == forced-scalar i8 across bands, sparsity, both rhs
+    /// layouts, column batching, and thread counts (exact in i32 either
+    /// way — this pins the pair-panel packing and tail handling).
+    #[test]
+    fn i8_simd_matches_forced_scalar(
+        nb in 1usize..4,
+        m in 1usize..40,
+        n in 1usize..120,
+        k in 2usize..140,
+        zero_pct in 0u32..70,
+        seed in 0u64..1000,
+    ) {
+        let _serial = scalar_lock();
+        let mut rng = seeded(seed ^ 0x6E);
+        let k0 = rng.gen_range(0..k);
+        let k1 = rng.gen_range(k0..=k);
+        let a = rand_i8(m * k, zero_pct, &mut rng);
+        let b = rand_i8(k * n, 0, &mut rng);
+        let w = rand_i8(n * k, 0, &mut rng);
+        let bcol = rand_i8(k * nb * n, 0, &mut rng);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let (mut c_simd, mut c_scalar) = (vec![0i32; m * n], vec![0i32; m * n]);
+            let (mut cw_simd, mut cw_scalar) = (vec![0i32; m * n], vec![0i32; m * n]);
+            let (mut cb_simd, mut cb_scalar) =
+                (vec![0i32; m * nb * n], vec![0i32; m * nb * n]);
+            flexiq::parallel::with_pool(&pool, || {
+                gemm::gemm_i8_band(m, n, k, k0, k1, &a, &b, &mut c_simd);
+                gemm::gemm_i8_band_wt(m, n, k, k0, k1, &a, &w, &mut cw_simd);
+                gemm::gemm_i8_colbatch(nb, m, n, k, &a, &bcol, &mut cb_simd);
+                let _scalar = ForceScalar::on();
+                gemm::gemm_i8_band(m, n, k, k0, k1, &a, &b, &mut c_scalar);
+                gemm::gemm_i8_band_wt(m, n, k, k0, k1, &a, &w, &mut cw_scalar);
+                gemm::gemm_i8_colbatch(nb, m, n, k, &a, &bcol, &mut cb_scalar);
+            });
+            prop_assert_eq!(&c_simd, &c_scalar,
+                "band ({}, {}, {}) [{}, {}) x{}", m, n, k, k0, k1, threads);
+            prop_assert_eq!(&cw_simd, &cw_scalar, "wt x{}", threads);
+            prop_assert_eq!(&cb_simd, &cb_scalar, "colbatch nb={} x{}", nb, threads);
+        }
+    }
+}
+
+/// `set_scalar(true)` actually disables the SIMD path: the kernels record
+/// which ISA they dispatched, and forcing scalar must flip it (and
+/// releasing must restore the hardware pick, modulo `FLEXIQ_NO_SIMD`).
+#[test]
+fn forced_scalar_really_disables_the_simd_path() {
+    let _serial = scalar_lock();
+    let m = 8;
+    let (n, k) = (16, 12);
+    let mut rng = seeded(99);
+    let a = rand_f32(m * k, &mut rng);
+    let b = rand_f32(k * n, &mut rng);
+    let mut c = vec![0.0f32; m * n];
+    {
+        let _scalar = ForceScalar::on();
+        assert_eq!(simd::active(), simd::Isa::Scalar);
+        gemm::gemm_f32(m, n, k, &a, &b, &mut c);
+        assert_eq!(simd::last_dispatch(), Some(simd::Isa::Scalar));
+    }
+    // Released: dispatch returns to whatever the process resolves to
+    // (hardware detection, unless FLEXIQ_NO_SIMD pinned it to scalar).
+    gemm::gemm_f32(m, n, k, &a, &b, &mut c);
+    assert_eq!(simd::last_dispatch(), Some(simd::active()));
+    let mut ci = vec![0i32; m * n];
+    let ai = rand_i8(m * k, 0, &mut rng);
+    let bi = rand_i8(k * n, 0, &mut rng);
+    gemm::gemm_i8_band(m, n, k, 0, k, &ai, &bi, &mut ci);
+    assert_eq!(simd::last_dispatch(), Some(simd::active()));
 }
