@@ -20,7 +20,10 @@
 //!   kernel `isa` (avx2 / neon / scalar), and when a SIMD ISA ran, some
 //!   gated shape must carry the SIMD-tier factor (≥ 2.5×) — a sweep that
 //!   detected AVX2/NEON but only enforced the scalar 1.5× tier would
-//!   silently under-gate.
+//!   silently under-gate. The same artifact carries the **prepacked**
+//!   sweep ([`check_prepacked`]): ahead-of-time packed rhs panels must
+//!   never lose to per-call packing on any shape, and must clear the
+//!   1.3× tier on the decode-step linears.
 //! * `BENCH_telemetry.json` — full span tracing must cost at most its
 //!   declared `max_overhead_pct` over the untraced batch-16 pass, and
 //!   the traced pass must actually record spans.
@@ -220,6 +223,56 @@ pub fn check_gemm(doc: &Json) -> Result<Vec<GateCheck>, String> {
     Ok(checks)
 }
 
+/// The floor `exp_gemm` applies to the decode-step linear shapes, where
+/// per-call packing dominates the pass. Mirrored here so an artifact
+/// whose small-linear tier was quietly dropped is rejected.
+const PREPACK_SMALL_MIN_SPEEDUP: f64 = 1.3;
+
+/// Criteria over `BENCH_gemm.json`'s prepacked sweep: every shape must
+/// carry `prepacked_speedup` (the ahead-of-time packed entry point vs
+/// per-call packing) at or above its `min_prepacked_speedup` floor — an
+/// artifact predating weight prepacking fails structurally rather than
+/// passing on stale numbers — and some shape must be gated at the
+/// small-linear tier, where caching the pack is the whole point.
+pub fn check_prepacked(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let shapes = doc
+        .get("shapes")
+        .and_then(Json::as_arr)
+        .ok_or("BENCH_gemm.json: missing \"shapes\" array")?;
+    let mut checks = Vec::new();
+    let mut small_tier = 0usize;
+    for shape in shapes {
+        let name = shape.get("name").and_then(Json::as_str).unwrap_or("?");
+        let speedup = shape.num("prepacked_speedup").ok_or_else(|| {
+            format!("gemm[{name}]: no prepacked_speedup — artifact predates weight prepacking?")
+        })?;
+        let min = shape
+            .num("min_prepacked_speedup")
+            .ok_or_else(|| format!("gemm[{name}]: no min_prepacked_speedup"))?;
+        if min >= PREPACK_SMALL_MIN_SPEEDUP {
+            small_tier += 1;
+        }
+        checks.push(GateCheck::new(
+            format!("gemm[{name}]: prepacked >= {min}x per-call"),
+            speedup >= min,
+            format!("{speedup:.2}x"),
+        ));
+    }
+    if checks.is_empty() {
+        return Err("BENCH_gemm.json: no shapes".into());
+    }
+    checks.push(GateCheck::new(
+        format!("gemm: small-linear prepack tier present (>= {PREPACK_SMALL_MIN_SPEEDUP}x)"),
+        small_tier > 0,
+        if small_tier > 0 {
+            format!("{small_tier} shape(s) at the small-linear factor")
+        } else {
+            "no shape gated at the small-linear prepack tier".into()
+        },
+    ));
+    Ok(checks)
+}
+
 /// Criteria over `BENCH_telemetry.json`: with full span tracing enabled
 /// the traced batch-16 pass must stay within its declared overhead
 /// budget over the untraced pass, and the traced pass must actually
@@ -269,6 +322,7 @@ pub fn run_gate(
         ("BENCH_parallel.json", parallel, check_parallel),
         ("BENCH_varlen.json", varlen, check_varlen),
         ("BENCH_gemm.json", gemm, check_gemm),
+        ("BENCH_gemm.json", gemm, check_prepacked),
         ("BENCH_telemetry.json", telemetry, check_telemetry),
     ] {
         match text {
@@ -319,10 +373,25 @@ mod tests {
     }
 
     fn gemm_doc(isa: &str, gated_speedup: f64, min: f64) -> String {
+        gemm_doc_prepacked(isa, gated_speedup, min, 1.55, 1.3)
+    }
+
+    fn gemm_doc_prepacked(
+        isa: &str,
+        gated_speedup: f64,
+        min: f64,
+        decode_prepacked: f64,
+        decode_min: f64,
+    ) -> String {
         format!(
             "{{\"isa\": \"{isa}\", \"shapes\": [\
-             {{\"name\": \"vits_linear_f32\", \"speedup\": 1.1}}, \
-             {{\"name\": \"large_i8\", \"speedup\": {gated_speedup}, \"min_speedup\": {min}}}]}}"
+             {{\"name\": \"vits_linear_f32\", \"speedup\": 1.1, \
+               \"prepacked_speedup\": 1.05, \"min_prepacked_speedup\": 1.0}}, \
+             {{\"name\": \"tinylm_linear_decode_i8\", \"speedup\": 4.0, \
+               \"prepacked_speedup\": {decode_prepacked}, \
+               \"min_prepacked_speedup\": {decode_min}}}, \
+             {{\"name\": \"large_i8\", \"speedup\": {gated_speedup}, \"min_speedup\": {min}, \
+               \"prepacked_speedup\": 1.07, \"min_prepacked_speedup\": 1.0}}]}}"
         )
     }
 
@@ -345,7 +414,7 @@ mod tests {
             Some(&telemetry_doc(1.1, 120.0)),
         );
         assert!(ok, "checks: {checks:?}");
-        assert_eq!(checks.len(), 8);
+        assert_eq!(checks.len(), 13);
     }
 
     #[test]
@@ -391,10 +460,10 @@ mod tests {
         let doc = Json::parse(&gemm_doc("scalar", 1.2, 1.5)).unwrap();
         let checks = check_gemm(&doc).unwrap();
         assert!(checks[0].pass, "ungated shape is informational");
-        assert!(!checks[1].pass, "gated shape below min_speedup must fail");
+        assert!(!checks[2].pass, "gated shape below min_speedup must fail");
         // At the factor exactly: pass.
         let doc = Json::parse(&gemm_doc("scalar", 1.5, 1.5)).unwrap();
-        assert!(check_gemm(&doc).unwrap()[1].pass);
+        assert!(check_gemm(&doc).unwrap()[2].pass);
         // An artifact with no gated shape at all cannot vouch for the
         // acceptance criterion: structural failure.
         let doc =
@@ -416,7 +485,7 @@ mod tests {
         // the appended tier check must fail even though the shape passes.
         let doc = Json::parse(&gemm_doc("avx2", 2.0, 1.5)).unwrap();
         let checks = check_gemm(&doc).unwrap();
-        assert!(checks[1].pass, "shape itself clears its (weak) gate");
+        assert!(checks[2].pass, "shape itself clears its (weak) gate");
         assert!(
             !checks.last().unwrap().pass,
             "SIMD run without a SIMD-tier gate must fail"
@@ -425,10 +494,51 @@ mod tests {
         // check is present exactly when isa != scalar.
         let doc = Json::parse(&gemm_doc("avx2", 2.7, 2.5)).unwrap();
         let checks = check_gemm(&doc).unwrap();
-        assert_eq!(checks.len(), 3);
+        assert_eq!(checks.len(), 4);
         assert!(checks.iter().all(|c| c.pass), "checks: {checks:?}");
         let doc = Json::parse(&gemm_doc("scalar", 2.0, 1.5)).unwrap();
-        assert_eq!(check_gemm(&doc).unwrap().len(), 2);
+        assert_eq!(check_gemm(&doc).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn doctored_prepacked_regression_fails() {
+        // Decode-linear shape below the small-linear factor: the
+        // regression this gate exists for (prepacked path quietly losing
+        // its edge over per-call packing).
+        let doc = Json::parse(&gemm_doc_prepacked("scalar", 2.3, 1.5, 1.1, 1.3)).unwrap();
+        let checks = check_prepacked(&doc).unwrap();
+        assert!(checks[0].pass);
+        assert!(!checks[1].pass, "decode shape below its factor must fail");
+        // At the factor exactly: pass.
+        let doc = Json::parse(&gemm_doc_prepacked("scalar", 2.3, 1.5, 1.3, 1.3)).unwrap();
+        assert!(check_prepacked(&doc).unwrap()[1].pass);
+        // Prepacked losing to per-call anywhere fails the parity floor.
+        let doc = Json::parse(
+            "{\"isa\": \"scalar\", \"shapes\": [\
+             {\"name\": \"large_i8\", \"speedup\": 6.0, \"min_speedup\": 1.5, \
+              \"prepacked_speedup\": 0.93, \"min_prepacked_speedup\": 1.0}, \
+             {\"name\": \"tinylm_linear_decode_i8\", \"speedup\": 4.0, \
+              \"prepacked_speedup\": 1.5, \"min_prepacked_speedup\": 1.3}]}",
+        )
+        .unwrap();
+        assert!(!check_prepacked(&doc).unwrap()[0].pass);
+        // An artifact predating the prepacked sweep fails structurally,
+        // not silently on stale numbers.
+        let doc = Json::parse(
+            "{\"isa\": \"scalar\", \"shapes\": [\
+             {\"name\": \"large_i8\", \"speedup\": 6.0, \"min_speedup\": 1.5}]}",
+        )
+        .unwrap();
+        assert!(check_prepacked(&doc).is_err());
+        // A sweep whose small-linear tier was dropped (every floor at
+        // parity) fails the appended tier check.
+        let doc = Json::parse(&gemm_doc_prepacked("scalar", 2.3, 1.5, 1.5, 1.0)).unwrap();
+        let checks = check_prepacked(&doc).unwrap();
+        assert!(checks[..checks.len() - 1].iter().all(|c| c.pass));
+        assert!(
+            !checks.last().unwrap().pass,
+            "missing small-linear tier must fail"
+        );
     }
 
     #[test]

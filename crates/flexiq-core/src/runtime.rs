@@ -44,7 +44,7 @@ use std::sync::Arc;
 use flexiq_nn::data::Dataset;
 use flexiq_nn::exec;
 use flexiq_nn::graph::Graph;
-use flexiq_nn::qexec::{MixedPlan, QuantCompute, QuantExecOptions, QuantizedModel};
+use flexiq_nn::qexec::{MixedPlan, PackCache, QuantCompute, QuantExecOptions, QuantizedModel};
 use flexiq_nn::NnError;
 use flexiq_parallel::ThreadPool;
 use flexiq_tensor::{SeqMask, Tensor};
@@ -66,6 +66,13 @@ pub struct FlexiRuntime {
     opts: QuantExecOptions,
     /// Explicit intra-batch pool; `None` uses the ambient pool.
     pool: Option<Arc<ThreadPool>>,
+    /// Shared prepacked-weight cache: quantized + bit-lowered + NR-lane
+    /// packed weight bands, built lazily on first use (or eagerly via
+    /// [`FlexiRuntime::prewarm_levels`]) and consumed by every Int-mode
+    /// inference. Entries are level-independent, so
+    /// [`FlexiRuntime::set_level`] stays a single atomic store — no
+    /// invalidation on a precision switch.
+    pack_cache: Arc<PackCache>,
 }
 
 /// Level index denoting the pure 8-bit configuration (0% 4-bit).
@@ -100,7 +107,30 @@ impl FlexiRuntime {
             level: AtomicUsize::new(LEVEL_INT8),
             opts,
             pool: None,
+            pack_cache: Arc::new(PackCache::new()),
         })
+    }
+
+    /// Eagerly builds every prepacked-weight cache entry any schedule
+    /// level could touch, so no serving request — and no level switch —
+    /// ever pays lazy packing latency. Safe to call more than once
+    /// (warm entries are hits). No-op under `FLEXIQ_NO_PREPACK=1`.
+    pub fn prewarm_levels(&self) -> Result<()> {
+        self.pack_cache
+            .prewarm(&self.graph, &self.model, self.opts)?;
+        Ok(())
+    }
+
+    /// Drops every prepacked-weight cache entry. Required after mutating
+    /// master weights in place; **not** needed for level switches
+    /// (entries don't depend on the plan).
+    pub fn invalidate_pack_cache(&self) {
+        self.pack_cache.invalidate();
+    }
+
+    /// The shared prepacked-weight cache.
+    pub fn pack_cache(&self) -> &Arc<PackCache> {
+        &self.pack_cache
     }
 
     /// Pins an explicit intra-batch thread pool: every inference entry
@@ -214,6 +244,13 @@ impl FlexiRuntime {
         self.plan_at(self.level())
     }
 
+    /// A compute hook for `plan`, sharing the runtime's prepacked-weight
+    /// cache (the single construction site every inference entry point
+    /// routes through).
+    fn hook(&self, plan: MixedPlan) -> Result<QuantCompute<'_>> {
+        QuantCompute::with_cache(&self.model, plan, self.opts, Some(self.pack_cache.clone()))
+    }
+
     /// Runs inference at the active ratio.
     pub fn infer(&self, input: &Tensor) -> Result<Tensor> {
         self.infer_traced(input).map(|(y, _)| y)
@@ -226,7 +263,7 @@ impl FlexiRuntime {
     /// while a serving thread is concurrently flipping levels.
     pub fn infer_traced(&self, input: &Tensor) -> Result<(Tensor, usize)> {
         let level = self.level();
-        let mut hook = QuantCompute::new(&self.model, self.plan_at(level), self.opts)?;
+        let mut hook = self.hook(self.plan_at(level))?;
         Ok((
             self.scoped(|| exec::run(&self.graph, input, &mut hook))?,
             level,
@@ -261,7 +298,7 @@ impl FlexiRuntime {
             return Ok((Vec::new(), level));
         }
         let stacked = Tensor::stack(inputs).map_err(NnError::from)?;
-        let mut hook = QuantCompute::new(&self.model, self.plan_at(level), self.opts)?;
+        let mut hook = self.hook(self.plan_at(level))?;
         let y = self.scoped(|| exec::run_batch(&self.graph, &stacked, &mut hook))?;
         let mut outs = Vec::with_capacity(inputs.len());
         for i in 0..inputs.len() {
@@ -330,7 +367,7 @@ impl FlexiRuntime {
         let level = self.level();
         let mask = SeqMask::new(lens.clone(), bucket).map_err(NnError::from)?;
         let stacked = Tensor::pad_stack(inputs, bucket, 0.0).map_err(NnError::from)?;
-        let mut hook = QuantCompute::new(&self.model, self.plan_at(level), self.opts)?;
+        let mut hook = self.hook(self.plan_at(level))?;
         let y =
             self.scoped(|| exec::run_batch_masked(&self.graph, &stacked, Some(&mask), &mut hook))?;
         let mut outs = Vec::with_capacity(inputs.len());
@@ -350,7 +387,7 @@ impl FlexiRuntime {
     /// ratio, in percent.
     pub fn accuracy(&self, data: &Dataset) -> Result<f64> {
         let plan = self.current_plan();
-        let mut hook = QuantCompute::new(&self.model, plan, self.opts)?;
+        let mut hook = self.hook(plan)?;
         self.scoped(|| flexiq_nn::data::accuracy(&self.graph, &mut hook, data))
     }
 }
@@ -567,6 +604,48 @@ mod tests {
         assert!(rt.infer_batch_varlen(&[Tensor::zeros([2, 2])]).is_err());
         let a = seqs[4].slice_axis0(4).unwrap();
         assert!(rt.infer_batch_varlen_traced(&[a], Some(2)).is_err());
+    }
+
+    #[test]
+    fn prewarmed_int_runtime_matches_uncached_execution_at_every_level() {
+        use flexiq_nn::qexec::{run_quantized, ExecMode};
+        let (rt, data) = runtime();
+        let rt = rt.with_exec_options(QuantExecOptions {
+            mode: ExecMode::Int,
+            ..Default::default()
+        });
+        rt.prewarm_levels().unwrap();
+        let x = &data.inputs[0];
+        let mut levels = vec![LEVEL_INT8];
+        levels.extend(0..rt.num_levels());
+        for level in levels {
+            rt.set_level(level).unwrap();
+            let y = rt.infer(x).unwrap();
+            // Oracle: the free function runs the same plan without any
+            // cache (per-call lowering + packing).
+            let base = run_quantized(
+                rt.graph(),
+                rt.model(),
+                &rt.current_plan(),
+                QuantExecOptions {
+                    mode: ExecMode::Int,
+                    ..Default::default()
+                },
+                x,
+            )
+            .unwrap();
+            for (a, b) in base.data().iter().zip(y.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "level {level} diverged");
+            }
+        }
+        // Weight-mutation hook: invalidation empties the cache and the
+        // next pass transparently rebuilds.
+        assert!(rt.pack_cache().resident_bytes() > 0);
+        rt.invalidate_pack_cache();
+        assert_eq!(rt.pack_cache().resident_bytes(), 0);
+        let y = rt.infer(x).unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!(rt.pack_cache().resident_bytes() > 0);
     }
 
     #[test]

@@ -50,13 +50,16 @@
 //! along independent output ranges, so the parallel integer path stays
 //! bit-exact with serial execution at every thread count.
 
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
 use flexiq_quant::dynamic::dynamic_lowering;
 use flexiq_quant::lowering::BitLowering;
 use flexiq_quant::quantize::{PerChannelQ, RANGE_EPS};
 use flexiq_quant::{GroupSpec, QParams, QuantBits};
 use flexiq_telemetry as tel;
 use flexiq_tensor::im2col::{im2col_i8_batch_fill, im2col_i8_fill};
-use flexiq_tensor::{gemm, I8Tensor, SeqMask, Tensor};
+use flexiq_tensor::{gemm, simd, I8Tensor, SeqMask, Tensor};
 
 use crate::calibrate::CalibrationRecord;
 use crate::error::NnError;
@@ -359,6 +362,363 @@ impl QuantExecOptions {
     }
 }
 
+/// Static weight extraction rule for `(layer, group, out-channel)`.
+/// Depends on the model's calibrated maxima and the exec options only —
+/// **not** on the [`MixedPlan`] — which is what makes cached lowered
+/// weights level-independent: switching levels re-selects which bands
+/// run low, never what a low band's lowering looks like.
+fn static_w_rule(
+    model: &QuantizedModel,
+    opts: &QuantExecOptions,
+    l: LayerId,
+    g: usize,
+    o: usize,
+) -> BitLowering {
+    if opts.naive_lowering {
+        BitLowering::naive(QuantBits::B8, opts.low_bits)
+    } else {
+        model.layers[l].w_lowering(g, o, opts.low_bits)
+    }
+}
+
+// ───────────────────────── prepacked-weight cache ─────────────────────────
+
+/// Cached state of one high (8-bit) linear band: the NR-lane rhs panels
+/// of the `[C_out, C_in]` master weights over the group's feature range,
+/// consumed by [`gemm::gemm_i8_band_wt_prepacked`].
+struct HighPack {
+    panel: gemm::PackedRhsI8,
+}
+
+/// Cached state of one low (4-bit) linear band: per-output-channel
+/// extraction rules, the lowered weight block `[bw, C_out]`, and its rhs
+/// panels for [`gemm::gemm_i8_prepacked`].
+struct LowPack {
+    rules: Vec<BitLowering>,
+    wg: Vec<i8>,
+    panel: gemm::PackedRhsI8,
+}
+
+/// Cached state of one conv feature-group band: per-output-row rules
+/// plus the lowered weight band `[c_out_g, bw]`. Conv band GEMMs run the
+/// weights as the **lhs** operand, so there is no rhs panel to prepack —
+/// the cache saves the per-batch lowering rebuild.
+struct ConvLowPack {
+    rules: Vec<BitLowering>,
+    wb: Vec<i8>,
+}
+
+/// Everything a cache entry's content depends on besides the immutable
+/// model weights. A mismatch (options changed, SIMD toggled) flushes the
+/// whole cache rather than keying entries individually — these never
+/// change mid-serving.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    low_bits: QuantBits,
+    naive_lowering: bool,
+    isa: simd::Isa,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    key: Option<CacheKey>,
+    /// `high[layer][group]`, sized to the model on first use.
+    high: Vec<Vec<Option<Arc<HighPack>>>>,
+    /// `low[layer][group]`.
+    low: Vec<Vec<Option<Arc<LowPack>>>>,
+    /// Conv bands keyed by `(layer, conv group, feature group)` — run
+    /// boundaries are deterministic from the key, so it identifies the
+    /// band exactly.
+    conv_low: HashMap<(LayerId, usize, usize), Arc<ConvLowPack>>,
+}
+
+/// Ahead-of-time prepacked-weight cache (the tentpole of PR 8).
+///
+/// Holds, per `(layer, feature group)`, the quantized + bit-lowered +
+/// NR-lane-packed weight state that [`QuantCompute`] would otherwise
+/// rebuild on every call: high-band wt panels, low-band lowered blocks
+/// with their panels and rules, and conv lowered bands. Entries are
+/// **level-independent** (see [`static_w_rule`]) — a level switch needs
+/// no invalidation; [`PackCache::invalidate`] exists for weight
+/// mutation. Lookups clone an `Arc` under a read lock (no allocation on
+/// the hot path); builds run outside the lock.
+///
+/// Populated lazily on first use, or eagerly via [`PackCache::prewarm`].
+/// Consultation is skipped entirely under `FLEXIQ_NO_PREPACK=1`
+/// ([`gemm::prepack_enabled`]), which restores the per-call path as the
+/// bit-exactness oracle.
+#[derive(Default)]
+pub struct PackCache {
+    inner: RwLock<CacheInner>,
+}
+
+impl PackCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every entry (call after mutating model weights).
+    pub fn invalidate(&self) {
+        *self.write() = CacheInner::default();
+    }
+
+    /// Total bytes held by cache entries (panels + lowered blocks).
+    pub fn resident_bytes(&self) -> usize {
+        let inner = self.read();
+        let hi: usize = inner
+            .high
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.panel.bytes())
+            .sum();
+        let lo: usize = inner
+            .low
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|p| p.panel.bytes() + p.wg.len() + std::mem::size_of_val(&p.rules[..]))
+            .sum();
+        let cv: usize = inner
+            .conv_low
+            .values()
+            .map(|p| p.wb.len() + std::mem::size_of_val(&p.rules[..]))
+            .sum();
+        hi + lo + cv
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, CacheInner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, CacheInner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn key_for(opts: &QuantExecOptions) -> CacheKey {
+        CacheKey {
+            low_bits: opts.low_bits,
+            naive_lowering: opts.naive_lowering,
+            isa: simd::active(),
+        }
+    }
+
+    /// Flushes and resizes the slot tables when the key doesn't match.
+    fn align(inner: &mut CacheInner, key: CacheKey, model: &QuantizedModel) {
+        if inner.key != Some(key) {
+            *inner = CacheInner {
+                key: Some(key),
+                high: model
+                    .layers
+                    .iter()
+                    .map(|l| vec![None; l.num_groups()])
+                    .collect(),
+                low: model
+                    .layers
+                    .iter()
+                    .map(|l| vec![None; l.num_groups()])
+                    .collect(),
+                conv_low: HashMap::new(),
+            };
+        }
+    }
+
+    /// High-band panels for linear layer `l`, feature group `g`.
+    fn high(
+        &self,
+        model: &QuantizedModel,
+        opts: &QuantExecOptions,
+        l: LayerId,
+        g: usize,
+    ) -> Arc<HighPack> {
+        let key = Self::key_for(opts);
+        {
+            let inner = self.read();
+            if inner.key == Some(key) {
+                if let Some(Some(p)) = inner.high.get(l).and_then(|v| v.get(g)) {
+                    tel::count(tel::Counter::PackCacheHits, 1);
+                    return p.clone();
+                }
+            }
+        }
+        // Build outside the lock so concurrent hits keep flowing.
+        let lq = &model.layers[l];
+        let range = model.groups.channel_range(g, lq.c_in);
+        let panel =
+            gemm::prepack_i8_wt_band(lq.c_out, lq.c_in, range.start, range.end, lq.w_q.data());
+        let entry = Arc::new(HighPack { panel });
+        tel::count(tel::Counter::PackCacheMisses, 1);
+        let mut inner = self.write();
+        Self::align(&mut inner, key, model);
+        let slot = &mut inner.high[l][g];
+        match slot {
+            // Lost a build race: the resident entry is identical content;
+            // keep it so bytes aren't double-booked.
+            Some(p) => p.clone(),
+            None => {
+                tel::count(tel::Counter::PackCacheBytes, entry.panel.bytes() as u64);
+                *slot = Some(entry.clone());
+                entry
+            }
+        }
+    }
+
+    /// Low-band lowered block + panels for linear layer `l`, group `g`.
+    fn low(
+        &self,
+        model: &QuantizedModel,
+        opts: &QuantExecOptions,
+        l: LayerId,
+        g: usize,
+    ) -> Arc<LowPack> {
+        let key = Self::key_for(opts);
+        {
+            let inner = self.read();
+            if inner.key == Some(key) {
+                if let Some(Some(p)) = inner.low.get(l).and_then(|v| v.get(g)) {
+                    tel::count(tel::Counter::PackCacheHits, 1);
+                    return p.clone();
+                }
+            }
+        }
+        let lq = &model.layers[l];
+        let wq = lq.w_q.data();
+        let (c_in, c_out) = (lq.c_in, lq.c_out);
+        let range = model.groups.channel_range(g, c_in);
+        let bw = range.len();
+        let rules: Vec<BitLowering> = (0..c_out)
+            .map(|o| static_w_rule(model, opts, l, g, o))
+            .collect();
+        let mut wg = vec![0i8; bw * c_out];
+        for (bi, c) in range.enumerate() {
+            for o in 0..c_out {
+                wg[bi * c_out + o] = rules[o].lower(wq[o * c_in + c]);
+            }
+        }
+        let panel = gemm::prepack_i8(c_out, bw, &wg);
+        let bytes = (panel.bytes() + wg.len() + std::mem::size_of_val(&rules[..])) as u64;
+        let entry = Arc::new(LowPack { rules, wg, panel });
+        tel::count(tel::Counter::PackCacheMisses, 1);
+        let mut inner = self.write();
+        Self::align(&mut inner, key, model);
+        let slot = &mut inner.low[l][g];
+        match slot {
+            Some(p) => p.clone(),
+            None => {
+                tel::count(tel::Counter::PackCacheBytes, bytes);
+                *slot = Some(entry.clone());
+                entry
+            }
+        }
+    }
+
+    /// Lowered conv band for layer `l`, conv group `cg`, feature group
+    /// `g`. Geometry args mirror [`QuantCompute::conv_group_bands`]'s
+    /// locals: `k = c_in_g·kh·kw`, `w_base` the group's offset into the
+    /// master weights, `k0..k1` the feature-group run within the group.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_low(
+        &self,
+        model: &QuantizedModel,
+        opts: &QuantExecOptions,
+        l: LayerId,
+        cg: usize,
+        g: usize,
+        c_out_g: usize,
+        k: usize,
+        w_base: usize,
+        k0: usize,
+        k1: usize,
+    ) -> Arc<ConvLowPack> {
+        let key = Self::key_for(opts);
+        {
+            let inner = self.read();
+            if inner.key == Some(key) {
+                if let Some(p) = inner.conv_low.get(&(l, cg, g)) {
+                    tel::count(tel::Counter::PackCacheHits, 1);
+                    return p.clone();
+                }
+            }
+        }
+        let wq = model.layers[l].w_q.data();
+        let bw = k1 - k0;
+        let rules: Vec<BitLowering> = (0..c_out_g)
+            .map(|ol| static_w_rule(model, opts, l, g, cg * c_out_g + ol))
+            .collect();
+        let mut wb = vec![0i8; c_out_g * bw];
+        for ol in 0..c_out_g {
+            for r in 0..bw {
+                wb[ol * bw + r] = rules[ol].lower(wq[w_base + ol * k + k0 + r]);
+            }
+        }
+        let bytes = (wb.len() + std::mem::size_of_val(&rules[..])) as u64;
+        let entry = Arc::new(ConvLowPack { rules, wb });
+        tel::count(tel::Counter::PackCacheMisses, 1);
+        let mut inner = self.write();
+        Self::align(&mut inner, key, model);
+        match inner.conv_low.get(&(l, cg, g)) {
+            Some(p) => p.clone(),
+            None => {
+                tel::count(tel::Counter::PackCacheBytes, bytes);
+                inner.conv_low.insert((l, cg, g), entry.clone());
+                entry
+            }
+        }
+    }
+
+    /// Eagerly builds every entry any plan could touch. Entries are
+    /// level-independent, so warming once covers all levels — this is
+    /// what the serve crate's `ServeConfig::prewarm` runs at startup so
+    /// the adaptive controller's first level switch pays no packing
+    /// latency.
+    ///
+    /// No-op when prepacking is disabled (`FLEXIQ_NO_PREPACK=1`).
+    pub fn prewarm(
+        &self,
+        graph: &Graph,
+        model: &QuantizedModel,
+        opts: QuantExecOptions,
+    ) -> Result<()> {
+        if !gemm::prepack_enabled() {
+            return Ok(());
+        }
+        for l in 0..model.num_layers() {
+            let lq = &model.layers[l];
+            match graph.layer(l)? {
+                LayerView::Linear(_) => {
+                    for g in 0..lq.num_groups() {
+                        if model.groups.channel_range(g, lq.c_in).is_empty() {
+                            continue;
+                        }
+                        self.high(model, &opts, l, g);
+                        self.low(model, &opts, l, g);
+                    }
+                }
+                LayerView::Conv(conv) => {
+                    let khkw = conv.kh() * conv.kw();
+                    let c_in_g = conv.weight.dims()[1];
+                    let c_out_g = conv.c_out() / conv.groups;
+                    let k = c_in_g * khkw;
+                    for cg in 0..conv.groups {
+                        let w_base = cg * c_out_g * k;
+                        let mut cl = 0usize;
+                        while cl < c_in_g {
+                            let g = model.groups.group_of(cg * c_in_g + cl);
+                            let g_end = model.groups.channel_range(g, lq.c_in).end;
+                            let run_end = (g_end - cg * c_in_g).min(c_in_g);
+                            let (k0, k1) = (cl * khkw, run_end * khkw);
+                            self.conv_low(model, &opts, l, cg, g, c_out_g, k, w_base, k0, k1);
+                            cl = run_end;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The per-group scratch one conv band pass needs, borrowed field-wise
 /// from a [`Workspace`] so the caller can keep the quantized activation
 /// and im2col buffers borrowed alongside.
@@ -396,6 +756,9 @@ pub struct QuantCompute<'m> {
     /// out of `self` (`std::mem::take`) for the duration of each layer
     /// call so its fields can be borrowed alongside `&self` helpers.
     ws: Workspace,
+    /// Shared prepacked-weight cache ([`PackCache`]); `None` runs every
+    /// band through per-call lowering + packing (the oracle path).
+    cache: Option<Arc<PackCache>>,
 }
 
 impl Drop for QuantCompute<'_> {
@@ -407,6 +770,19 @@ impl Drop for QuantCompute<'_> {
 impl<'m> QuantCompute<'m> {
     /// Creates a quantized compute hook for the given plan.
     pub fn new(model: &'m QuantizedModel, plan: MixedPlan, opts: QuantExecOptions) -> Result<Self> {
+        Self::with_cache(model, plan, opts, None)
+    }
+
+    /// Like [`QuantCompute::new`], with a shared prepacked-weight cache.
+    /// Int-mode linear and conv bands consult it instead of re-lowering
+    /// and re-packing weights per call; outputs are bit-identical either
+    /// way (the cache stores exactly what the per-call path would build).
+    pub fn with_cache(
+        model: &'m QuantizedModel,
+        plan: MixedPlan,
+        opts: QuantExecOptions,
+        cache: Option<Arc<PackCache>>,
+    ) -> Result<Self> {
         plan.validate(model)?;
         let n = model.num_layers();
         Ok(QuantCompute {
@@ -416,7 +792,18 @@ impl<'m> QuantCompute<'m> {
             fake_weights: vec![None; n],
             seq_mask: None,
             ws: workspace::take(),
+            cache,
         })
+    }
+
+    /// The cache to consult this call, honouring the escape hatch
+    /// (`FLEXIQ_NO_PREPACK=1` disables consumption entirely so the
+    /// equivalence suites can exercise the fully uncached path).
+    fn pack_cache(&self) -> Option<&PackCache> {
+        match &self.cache {
+            Some(c) if gemm::prepack_enabled() => Some(c),
+            _ => None,
+        }
     }
 
     /// This hook's workspace (growth counters are test hooks).
@@ -650,18 +1037,35 @@ impl<'m> QuantCompute<'m> {
             if !self.plan.low_groups[l][g] {
                 // 8-bit band: acc[t,o] += sum_{c in band} xq[t,c] wq[o,c],
                 // run as a blocked band GEMM straight off the [C_out,
-                // C_in] master weights (no transposed copy).
+                // C_in] master weights (no transposed copy). With a warm
+                // cache the band's rhs panels come prepacked.
                 let _band = tel::span("band_gemm", tel::Cat::Phase);
-                gemm::gemm_i8_band_wt(
-                    t,
-                    c_out,
-                    c_in,
-                    range.start,
-                    range.end,
-                    &ws.act_q,
-                    wq,
-                    &mut ws.acc,
-                );
+                match self.pack_cache() {
+                    Some(cache) => {
+                        let hp = cache.high(self.model, &self.opts, l, g);
+                        gemm::gemm_i8_band_wt_prepacked(
+                            t,
+                            c_out,
+                            c_in,
+                            range.start,
+                            range.end,
+                            &ws.act_q,
+                            wq,
+                            &hp.panel,
+                            &mut ws.acc,
+                        );
+                    }
+                    None => gemm::gemm_i8_band_wt(
+                        t,
+                        c_out,
+                        c_in,
+                        range.start,
+                        range.end,
+                        &ws.act_q,
+                        wq,
+                        &mut ws.acc,
+                    ),
+                }
                 continue;
             }
             // 4-bit band with bit extraction and shifted accumulation.
@@ -685,9 +1089,13 @@ impl<'m> QuantCompute<'m> {
                     }
                 }
             }
-            // Per-output-channel lowered weight block [bw, C_out].
-            ws.rules.fill_with(c_out, |o| self.w_rule(l, g, o));
-            {
+            // Per-output-channel lowered weight block [bw, C_out] — read
+            // straight from the cache when warm, else rebuilt in scratch.
+            let lp = self
+                .pack_cache()
+                .map(|c| c.low(self.model, &self.opts, l, g));
+            if lp.is_none() {
+                ws.rules.fill_with(c_out, |o| self.w_rule(l, g, o));
                 let (wg, rules) = (ws.low_w.prep(bw * c_out), &ws.rules);
                 for (bi, c) in range.clone().enumerate() {
                     for o in 0..c_out {
@@ -698,10 +1106,27 @@ impl<'m> QuantCompute<'m> {
             drop(lower_span);
             let _band = tel::span("band_gemm", tel::Cat::Phase);
             ws.group_scratch.prep(t * c_out);
-            gemm::gemm_i8(t, c_out, bw, &ws.low_act, &ws.low_w, &mut ws.group_scratch);
+            let rules: &[BitLowering] = match &lp {
+                Some(lp) => {
+                    gemm::gemm_i8_prepacked(
+                        t,
+                        c_out,
+                        bw,
+                        &ws.low_act,
+                        &lp.wg,
+                        &lp.panel,
+                        &mut ws.group_scratch,
+                    );
+                    &lp.rules
+                }
+                None => {
+                    gemm::gemm_i8(t, c_out, bw, &ws.low_act, &ws.low_w, &mut ws.group_scratch);
+                    &ws.rules
+                }
+            };
             for ti in 0..t {
                 for o in 0..c_out {
-                    let shift = a_rule.shift() + ws.rules[o].shift();
+                    let shift = a_rule.shift() + rules[o].shift();
                     ws.acc[ti * c_out + o] += ws.group_scratch[ti * c_out + o] << shift;
                 }
             }
@@ -849,12 +1274,16 @@ impl<'m> QuantCompute<'m> {
                         }
                     }
                 }
-                // Lowered weight band [c_out_g, bw], per-row rules, built
-                // once per batch (this is the per-sample cost the batched
-                // path amortizes away).
-                s.rules
-                    .fill_with(c_out_g, |ol| self.w_rule(l, g, cg * c_out_g + ol));
-                {
+                // Lowered weight band [c_out_g, bw], per-row rules —
+                // served from the cache when warm (conv runs weights as
+                // the GEMM lhs, so the cached band is the lowered block
+                // itself, not rhs panels); rebuilt in scratch otherwise.
+                let clp = self.pack_cache().map(|c| {
+                    c.conv_low(self.model, &self.opts, l, cg, g, c_out_g, k, w_base, k0, k1)
+                });
+                if clp.is_none() {
+                    s.rules
+                        .fill_with(c_out_g, |ol| self.w_rule(l, g, cg * c_out_g + ol));
                     let wb = s.low_w.prep(c_out_g * bw);
                     for ol in 0..c_out_g {
                         for r in 0..bw {
@@ -865,17 +1294,13 @@ impl<'m> QuantCompute<'m> {
                 drop(lower_span);
                 let _band = tel::span("band_gemm", tel::Cat::Phase);
                 s.gemm.prep(c_out_g * ncols);
-                gemm::gemm_i8_colbatch(
-                    nb,
-                    c_out_g,
-                    cols,
-                    bw,
-                    &s.low_w[..],
-                    &s.low_act[..],
-                    &mut s.gemm[..],
-                );
+                let (wb, rules): (&[i8], &[BitLowering]) = match &clp {
+                    Some(p) => (&p.wb, &p.rules),
+                    None => (&s.low_w[..], &s.rules[..]),
+                };
+                gemm::gemm_i8_colbatch(nb, c_out_g, cols, bw, wb, &s.low_act[..], &mut s.gemm[..]);
                 for ol in 0..c_out_g {
-                    let shift = a_rule.shift() + s.rules[ol].shift();
+                    let shift = a_rule.shift() + rules[ol].shift();
                     for j in 0..ncols {
                         acc[ol * ncols + j] += s.gemm[ol * ncols + j] << shift;
                     }
@@ -960,17 +1385,34 @@ impl<'m> QuantCompute<'m> {
                     // GEMM straight off the [C_out, C_in] master weights.
                     // Token rows are independent, so the kernel bands
                     // them across the pool internally (integer adds in
-                    // unchanged per-element order — bit-exact).
-                    gemm::gemm_i8_band_wt(
-                        rows,
-                        c_out,
-                        c_in,
-                        range.start,
-                        range.end,
-                        &ws.act_q,
-                        wq,
-                        &mut ws.acc,
-                    );
+                    // unchanged per-element order — bit-exact). With a
+                    // warm cache the band's rhs panels come prepacked.
+                    match self.pack_cache() {
+                        Some(cache) => {
+                            let hp = cache.high(self.model, &self.opts, l, g);
+                            gemm::gemm_i8_band_wt_prepacked(
+                                rows,
+                                c_out,
+                                c_in,
+                                range.start,
+                                range.end,
+                                &ws.act_q,
+                                wq,
+                                &hp.panel,
+                                &mut ws.acc,
+                            );
+                        }
+                        None => gemm::gemm_i8_band_wt(
+                            rows,
+                            c_out,
+                            c_in,
+                            range.start,
+                            range.end,
+                            &ws.act_q,
+                            wq,
+                            &mut ws.acc,
+                        ),
+                    }
                     continue;
                 }
                 // Masked batch: pad rows are skipped — their accumulator
@@ -1029,9 +1471,13 @@ impl<'m> QuantCompute<'m> {
                 };
                 self.act_rule(l, g, live)
             };
-            // One lowered weight block [bw, C_out] for the whole batch.
-            ws.rules.fill_with(c_out, |o| self.w_rule(l, g, o));
-            {
+            // One lowered weight block [bw, C_out] for the whole batch —
+            // served prepacked from the cache when warm.
+            let lp = self
+                .pack_cache()
+                .map(|c| c.low(self.model, &self.opts, l, g));
+            if lp.is_none() {
+                ws.rules.fill_with(c_out, |o| self.w_rule(l, g, o));
                 let (wg, rules) = (ws.low_w.prep(bw * c_out), &ws.rules);
                 for (bi, c) in range.clone().enumerate() {
                     for o in 0..c_out {
@@ -1060,10 +1506,27 @@ impl<'m> QuantCompute<'m> {
             drop(lower_span);
             let _band = tel::span("band_gemm", tel::Cat::Phase);
             ws.group_scratch.prep(nv * c_out);
-            gemm::gemm_i8(nv, c_out, bw, &ws.low_act, &ws.low_w, &mut ws.group_scratch);
+            let rules: &[BitLowering] = match &lp {
+                Some(lp) => {
+                    gemm::gemm_i8_prepacked(
+                        nv,
+                        c_out,
+                        bw,
+                        &ws.low_act,
+                        &lp.wg,
+                        &lp.panel,
+                        &mut ws.group_scratch,
+                    );
+                    &lp.rules
+                }
+                None => {
+                    gemm::gemm_i8(nv, c_out, bw, &ws.low_act, &ws.low_w, &mut ws.group_scratch);
+                    &ws.rules
+                }
+            };
             for (vi, &ti) in ws.rows.iter().enumerate() {
                 for o in 0..c_out {
-                    let shift = a_rule.shift() + ws.rules[o].shift();
+                    let shift = a_rule.shift() + rules[o].shift();
                     ws.acc[ti * c_out + o] += ws.group_scratch[vi * c_out + o] << shift;
                 }
             }
@@ -1564,6 +2027,161 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// Serializes the cache tests: their counter-delta assertions read
+    /// the global telemetry counters, which other cache tests bump.
+    fn cache_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs one sample through a hook with the given cache.
+    fn run_cached(
+        g: &Graph,
+        model: &QuantizedModel,
+        plan: &MixedPlan,
+        opts: QuantExecOptions,
+        cache: Option<Arc<PackCache>>,
+        x: &Tensor,
+    ) -> Tensor {
+        let mut hook = QuantCompute::with_cache(model, plan.clone(), opts, cache).unwrap();
+        crate::exec::run(g, x, &mut hook).unwrap()
+    }
+
+    #[test]
+    fn pack_cache_is_bit_exact_with_uncached_and_hits_on_reuse() {
+        let _gate = cache_test_lock();
+        let (g, model, samples) = prepared(141, 2);
+        let opts = QuantExecOptions {
+            mode: ExecMode::Int,
+            ..Default::default()
+        };
+        let mut mixed = MixedPlan::all_high(&model);
+        mixed.low_groups[0][1] = true;
+        mixed.low_groups[1][0] = true;
+        let cache = Arc::new(PackCache::new());
+        for plan in [
+            MixedPlan::all_high(&model),
+            MixedPlan::all_low(&model),
+            mixed,
+        ] {
+            for s in &samples[..3] {
+                let base = run_quantized(&g, &model, &plan, opts, s).unwrap();
+                let cached = run_cached(&g, &model, &plan, opts, Some(cache.clone()), s);
+                for (a, b) in base.data().iter().zip(cached.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "cached output diverged");
+                }
+            }
+        }
+        assert!(cache.resident_bytes() > 0, "cache stayed empty");
+        // A re-run over a warm cache must hit, not rebuild.
+        let before = tel::counters();
+        let _ = run_cached(
+            &g,
+            &model,
+            &MixedPlan::all_low(&model),
+            opts,
+            Some(cache.clone()),
+            &samples[0],
+        );
+        let after = tel::counters();
+        assert!(
+            after.pack_cache_hits > before.pack_cache_hits,
+            "no hits on warm cache"
+        );
+        assert_eq!(
+            after.pack_cache_misses, before.pack_cache_misses,
+            "warm cache rebuilt entries"
+        );
+    }
+
+    #[test]
+    fn pack_cache_batched_runs_are_bit_exact() {
+        let _gate = cache_test_lock();
+        let (g, model, samples) = prepared(142, 2);
+        let stacked = Tensor::stack(&samples[..4]).unwrap();
+        let opts = QuantExecOptions {
+            mode: ExecMode::Int,
+            ..Default::default()
+        };
+        let cache = Arc::new(PackCache::new());
+        let mut mixed = MixedPlan::all_high(&model);
+        mixed.low_groups[0][0] = true;
+        for plan in [MixedPlan::all_low(&model), mixed] {
+            let base = run_quantized_batch(&g, &model, &plan, opts, &stacked).unwrap();
+            let mut hook =
+                QuantCompute::with_cache(&model, plan.clone(), opts, Some(cache.clone())).unwrap();
+            let cached = crate::exec::run_batch(&g, &stacked, &mut hook).unwrap();
+            drop(hook);
+            for (a, b) in base.data().iter().zip(cached.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cached batch diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_cache_prewarm_covers_every_band() {
+        let _gate = cache_test_lock();
+        let (g, model, samples) = prepared(143, 2);
+        let opts = QuantExecOptions {
+            mode: ExecMode::Int,
+            ..Default::default()
+        };
+        let cache = Arc::new(PackCache::new());
+        cache.prewarm(&g, &model, opts).unwrap();
+        let warm_bytes = cache.resident_bytes();
+        assert!(warm_bytes > 0, "prewarm built nothing");
+        // No plan at any level may trigger a build after prewarm.
+        let before = tel::counters();
+        for plan in [MixedPlan::all_high(&model), MixedPlan::all_low(&model)] {
+            let _ = run_cached(&g, &model, &plan, opts, Some(cache.clone()), &samples[0]);
+        }
+        let after = tel::counters();
+        assert_eq!(
+            after.pack_cache_misses, before.pack_cache_misses,
+            "prewarmed cache missed"
+        );
+        assert_eq!(
+            cache.resident_bytes(),
+            warm_bytes,
+            "cache grew after prewarm"
+        );
+    }
+
+    #[test]
+    fn pack_cache_invalidate_and_option_change_rebuild() {
+        let _gate = cache_test_lock();
+        let (g, model, samples) = prepared(144, 2);
+        let opts = QuantExecOptions {
+            mode: ExecMode::Int,
+            ..Default::default()
+        };
+        let plan = MixedPlan::all_low(&model);
+        let cache = Arc::new(PackCache::new());
+        let y0 = run_cached(&g, &model, &plan, opts, Some(cache.clone()), &samples[0]);
+        cache.invalidate();
+        assert_eq!(cache.resident_bytes(), 0);
+        let y1 = run_cached(&g, &model, &plan, opts, Some(cache.clone()), &samples[0]);
+        for (a, b) in y0.data().iter().zip(y1.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Changing the lowering options must flush stale entries (the
+        // fingerprint, not the caller, owns this) and still be exact.
+        let opts2 = QuantExecOptions {
+            mode: ExecMode::Int,
+            low_bits: QuantBits::B2,
+            ..Default::default()
+        };
+        let base = run_quantized(&g, &model, &plan, opts2, &samples[0]).unwrap();
+        let cached = run_cached(&g, &model, &plan, opts2, Some(cache.clone()), &samples[0]);
+        for (a, b) in base.data().iter().zip(cached.data()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "stale entries served after opts change"
+            );
         }
     }
 

@@ -76,6 +76,17 @@ pub struct ServeConfig {
     /// reproducible. `0.0` (default) never samples; `1.0` traces every
     /// request.
     pub trace_sample_rate: f64,
+    /// Prewarm the runtime's prepacked-weight cache at startup.
+    ///
+    /// When on (the default), the server eagerly builds every
+    /// quantized, bit-lowered, packed weight band any
+    /// controller-reachable level could touch
+    /// ([`flexiq_core::FlexiRuntime::prewarm_levels`])
+    /// before accepting work, so neither the first request nor any
+    /// adaptive level switch pays lazy packing latency. Turn off to
+    /// trade startup time for lazy, on-demand population. Ignored (the
+    /// cache is bypassed entirely) under `FLEXIQ_NO_PREPACK=1`.
+    pub prewarm: bool,
     /// Feedback-control parameters.
     pub control: ControlConfig,
 }
@@ -93,6 +104,7 @@ impl Default for ServeConfig {
             lm_bucketing: true,
             max_padding_waste: 0.5,
             trace_sample_rate: 0.0,
+            prewarm: true,
             control: ControlConfig::default(),
         }
     }

@@ -105,6 +105,15 @@ impl Server {
         metrics: Arc<MetricsHub>,
         controller: Option<Box<dyn Controller + Send>>,
     ) -> Result<Server> {
+        // Prepack every controller-reachable level's weight bands before
+        // any worker accepts a request: the adaptive controller can then
+        // switch levels without a packing latency spike, and the first
+        // request runs the same steady-state path as the thousandth.
+        if cfg.prewarm {
+            runtime
+                .prewarm_levels()
+                .map_err(|e| crate::error::ServeError::Config(e.to_string()))?;
+        }
         let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity));
         // One shared intra-batch pool for the whole worker fleet (see
         // `ServeConfig::pool_threads` for the sizing rule). Helpers

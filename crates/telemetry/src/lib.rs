@@ -469,6 +469,13 @@ pub enum Counter {
     GemmIsaNeon,
     /// GEMM calls dispatched to the scalar tiles.
     GemmIsaScalar,
+    /// Prepacked-weight cache lookups that found a ready entry.
+    PackCacheHits,
+    /// Prepacked-weight cache lookups that had to build an entry.
+    PackCacheMisses,
+    /// Bytes resident in prepacked-weight cache entries (built, not
+    /// evicted — the cache only grows until invalidated).
+    PackCacheBytes,
     /// Spans lost to ring exhaustion.
     SpansDropped,
 }
@@ -498,6 +505,9 @@ pub struct CountersSnapshot {
     pub gemm_isa_avx2: u64,
     pub gemm_isa_neon: u64,
     pub gemm_isa_scalar: u64,
+    pub pack_cache_hits: u64,
+    pub pack_cache_misses: u64,
+    pub pack_cache_bytes: u64,
     pub spans_dropped: u64,
 }
 
@@ -517,6 +527,9 @@ pub fn counters() -> CountersSnapshot {
         gemm_isa_avx2: get(Counter::GemmIsaAvx2),
         gemm_isa_neon: get(Counter::GemmIsaNeon),
         gemm_isa_scalar: get(Counter::GemmIsaScalar),
+        pack_cache_hits: get(Counter::PackCacheHits),
+        pack_cache_misses: get(Counter::PackCacheMisses),
+        pack_cache_bytes: get(Counter::PackCacheBytes),
         spans_dropped: get(Counter::SpansDropped),
     }
 }

@@ -98,6 +98,26 @@ pub fn render(c: &CountersSnapshot) -> String {
     ] {
         let _ = writeln!(out, "flexiq_gemm_isa_calls_total{{isa=\"{isa}\"}} {v}");
     }
+    // One labeled family for prepacked-weight cache traffic: hits serve
+    // panels straight from the cache, misses paid a build.
+    let _ = writeln!(
+        out,
+        "# HELP flexiq_pack_cache_events_total Prepacked-weight cache lookups by outcome."
+    );
+    let _ = writeln!(out, "# TYPE flexiq_pack_cache_events_total counter");
+    for (event, v) in [("hit", c.pack_cache_hits), ("miss", c.pack_cache_misses)] {
+        let _ = writeln!(
+            out,
+            "flexiq_pack_cache_events_total{{event=\"{event}\"}} {v}"
+        );
+    }
+    sample(
+        &mut out,
+        "flexiq_pack_cache_bytes_total",
+        "Bytes built into prepacked-weight cache entries.",
+        "counter",
+        c.pack_cache_bytes,
+    );
     sample(
         &mut out,
         "flexiq_telemetry_spans_dropped_total",
@@ -118,6 +138,8 @@ mod tests {
             gemm_calls: 7,
             pool_tasks: 3,
             gemm_isa_avx2: 5,
+            pack_cache_hits: 11,
+            pack_cache_bytes: 4096,
             ..Default::default()
         };
         let text = render(&c);
@@ -127,6 +149,9 @@ mod tests {
         assert!(text.contains("\nflexiq_pool_tasks_total 3\n"));
         assert!(text.contains("\nflexiq_gemm_isa_calls_total{isa=\"avx2\"} 5\n"));
         assert!(text.contains("\nflexiq_gemm_isa_calls_total{isa=\"scalar\"} 0\n"));
+        assert!(text.contains("\nflexiq_pack_cache_events_total{event=\"hit\"} 11\n"));
+        assert!(text.contains("\nflexiq_pack_cache_events_total{event=\"miss\"} 0\n"));
+        assert!(text.contains("\nflexiq_pack_cache_bytes_total 4096\n"));
         // Every sample line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.split_whitespace();

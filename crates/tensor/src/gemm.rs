@@ -97,8 +97,29 @@
 //! blocking floor [`BLOCK_MIN_RHS_F32`] applies to the scalar tiles
 //! only — the SIMD f32 tile wins from the generic [`BLOCK_MIN_WORK`]
 //! threshold, so small shapes block as soon as a SIMD ISA is active.
+//!
+//! # Prepacked weights
+//!
+//! The rhs of a weight GEMM is immutable across calls, so its pack
+//! stage can run **once ahead of time**: [`prepack_f32_wt`] /
+//! [`prepack_i8_wt_band`] (and their `Rows`-layout twins) build an
+//! owned [`PackedRhsF32`] / [`PackedRhsI8`] holding exactly the panels
+//! a per-call pack would produce, and the `gemm_*_prepacked` entry
+//! points feed them straight to the blocked drivers. Consumption is
+//! conservative: a prepacked call uses the panels only where the
+//! per-call path would have packed the full rhs once (the serial and
+//! row-banded plans of a blocked problem) and falls back to per-call
+//! behavior everywhere else — column-banded plans (whose bands pack
+//! lane-interleaved column *slices* that cannot be cut out of a
+//! full-width panel at arbitrary boundaries), sub-threshold shapes
+//! that run the reference loops, and i8 panels packed for a different
+//! ISA than the one dispatching now. Prepacked results are therefore
+//! bit-identical to the per-call entry points by construction.
+//! `FLEXIQ_NO_PREPACK=1` disables consumption entirely (the CI escape
+//! hatch mirroring `FLEXIQ_NO_SIMD`).
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use flexiq_parallel::{chunk_ranges_into, put_ranges, take_ranges, ColBandMut, ThreadPool};
@@ -299,8 +320,65 @@ macro_rules! pack_impl {
     };
 }
 
-pack_impl!(pack_b_f32, pack_a_f32, f32, 0.0f32, NR);
+pack_impl!(pack_b_f32_generic, pack_a_f32, f32, 0.0f32, NR);
 pack_impl!(pack_b_i8, pack_a_i8, i8, 0i8, NR_I8);
+
+/// Transpose-tile edge of the f32 weight-layout packer: an 8×8 f32
+/// block spans one cache line per weight row and one per panel row, so
+/// a tile's reads and writes each move whole lines.
+const WT_TILE: usize = 8;
+const _: () = assert!(WT_TILE == NR);
+
+/// f32 rhs packer. `Rows` sources copy whole panel rows and delegate to
+/// the generic arm. `WeightT` sources run a blocked 8×8 transpose
+/// instead of the generic per-lane strided scatter: each full tile
+/// reads [`WT_TILE`] consecutive elements of [`NR`] weight rows into
+/// registers and writes [`WT_TILE`] consecutive `NR`-lane panel rows,
+/// so neither side strides across cache lines (the generic arm's
+/// lane-major fill revisits every panel line [`NR`] times, which falls
+/// out of L1 once `kb` is a few hundred). Only the fill *order*
+/// differs — the packed layout, and therefore every consumer, is
+/// unchanged, and edge tiles (lane or k tails) keep the generic walk.
+fn pack_b_f32(rhs: Rhs<'_, f32>, k0: usize, k1: usize, cols: Range<usize>, buf: &mut Vec<f32>) {
+    let (w, k) = match rhs {
+        Rhs::Rows { .. } => return pack_b_f32_generic(rhs, k0, k1, cols, buf),
+        Rhs::WeightT { w, k } => (w, k),
+    };
+    let kb = k1 - k0;
+    let npan = cols.len().div_ceil(NR);
+    buf.clear();
+    buf.resize(npan * kb * NR, 0.0);
+    for jp in 0..npan {
+        let j0 = cols.start + jp * NR;
+        let lanes = (cols.end - j0).min(NR);
+        let base = jp * kb * NR;
+        let mut p0 = 0;
+        while p0 < kb {
+            let pt = (kb - p0).min(WT_TILE);
+            if lanes == NR && pt == WT_TILE {
+                let mut tile = [[0.0f32; WT_TILE]; NR];
+                for (lane, row) in tile.iter_mut().enumerate() {
+                    let src = (j0 + lane) * k + k0 + p0;
+                    row.copy_from_slice(&w[src..src + WT_TILE]);
+                }
+                for (t, _) in tile.iter().enumerate() {
+                    let dst = &mut buf[base + (p0 + t) * NR..base + (p0 + t) * NR + NR];
+                    for (lane, row) in tile.iter().enumerate() {
+                        dst[lane] = row[t];
+                    }
+                }
+            } else {
+                for lane in 0..lanes {
+                    let wrow = &w[(j0 + lane) * k..(j0 + lane) * k + k];
+                    for p in p0..p0 + pt {
+                        buf[base + p * NR + lane] = wrow[k0 + p];
+                    }
+                }
+            }
+            p0 += pt;
+        }
+    }
+}
 
 // The AVX2 pair panel assumes k-blocks start on pair boundaries; any
 // even KC guarantees it (only the final block of a band can be odd).
@@ -364,6 +442,177 @@ fn pack_b_i8_pairs(rhs: Rhs<'_, i8>, k0: usize, k1: usize, cols: Range<usize>, b
             }
         }
     }
+}
+
+// ─── Prepacked rhs operands ─────────────────────────────────────────────
+
+/// `FLEXIQ_NO_PREPACK` tri-state cache: 0 = unread, 1 = disabled,
+/// 2 = enabled (same lazy-env pattern as `simd::env_no_simd`).
+static ENV_NO_PREPACK: AtomicU8 = AtomicU8::new(0);
+
+/// Programmatic prepack kill switch ([`set_no_prepack`]); 1 = disabled.
+static FORCE_NO_PREPACK: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the `*_prepacked` entry points may consume their panels.
+/// `FLEXIQ_NO_PREPACK=1` (env, read once) or [`set_no_prepack`] force
+/// every prepacked call down its per-call fallback — the escape hatch
+/// CI uses to re-run the equivalence suites over the per-call pack
+/// stage, mirroring `FLEXIQ_NO_SIMD`.
+pub fn prepack_enabled() -> bool {
+    let env_off = match ENV_NO_PREPACK.load(Ordering::Relaxed) {
+        0 => {
+            let off = matches!(
+                std::env::var("FLEXIQ_NO_PREPACK")
+                    .ok()
+                    .as_deref()
+                    .map(str::trim),
+                Some("1" | "true" | "yes" | "on")
+            );
+            ENV_NO_PREPACK.store(if off { 1 } else { 2 }, Ordering::Relaxed);
+            off
+        }
+        v => v == 1,
+    };
+    !env_off && FORCE_NO_PREPACK.load(Ordering::Relaxed) == 0
+}
+
+/// Forces (or releases) the per-call fallback of the `*_prepacked`
+/// entry points — the programmatic twin of `FLEXIQ_NO_PREPACK`, used
+/// by the prepack-equivalence tests. Subordinate to the env knob.
+/// Global; callers toggling it concurrently should serialize.
+pub fn set_no_prepack(force: bool) {
+    FORCE_NO_PREPACK.store(force as u8, Ordering::Relaxed);
+}
+
+/// An owned, ahead-of-time packed f32 rhs: exactly the [`NR`]-lane
+/// column panels a per-call [`gemm_f32`] / [`gemm_f32_wt`] would build,
+/// packed once over rhs columns `0..n` of the reduction band `[k0, k1)`
+/// and reusable across calls. The f32 panel layout is ISA-independent.
+#[derive(Debug, Clone)]
+pub struct PackedRhsF32 {
+    panels: Vec<f32>,
+    n: usize,
+    k0: usize,
+    k1: usize,
+}
+
+impl PackedRhsF32 {
+    /// Bytes held by the packed panels.
+    pub fn bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Prepacks a `Rows`-layout f32 rhs `b [k, n]` for
+/// [`gemm_f32_prepacked`].
+pub fn prepack_f32(n: usize, k: usize, b: &[f32]) -> PackedRhsF32 {
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    let mut panels = Vec::new();
+    pack_b_f32(Rhs::Rows { b, n }, 0, k, 0..n, &mut panels);
+    PackedRhsF32 {
+        panels,
+        n,
+        k0: 0,
+        k1: k,
+    }
+}
+
+/// Prepacks a weight-layout f32 rhs `w [n, k]` (a `Linear` weight
+/// `[C_out, C_in]`) for [`gemm_f32_wt_prepacked`].
+pub fn prepack_f32_wt(n: usize, k: usize, w: &[f32]) -> PackedRhsF32 {
+    assert!(w.len() >= n * k, "rhs buffer too small");
+    let mut panels = Vec::new();
+    pack_b_f32(Rhs::WeightT { w, k }, 0, k, 0..n, &mut panels);
+    PackedRhsF32 {
+        panels,
+        n,
+        k0: 0,
+        k1: k,
+    }
+}
+
+/// Owned i8 panel storage of a [`PackedRhsI8`], in whichever format the
+/// packing ISA consumes (plain panels everywhere, `pmaddwd` pair panels
+/// under AVX2 — the owned twin of the scratch-pooled `BPackI8`).
+#[derive(Debug, Clone)]
+enum PanelsI8 {
+    Plain(Vec<i8>),
+    #[cfg(target_arch = "x86_64")]
+    Pairs(Vec<i32>),
+}
+
+/// An owned, ahead-of-time packed i8 rhs for the integer `*_prepacked`
+/// entry points. Packed in the panel format of the ISA active at
+/// construction time and stamped with it: a consumer dispatching a
+/// different ISA falls back to per-call packing rather than feed a
+/// foreign panel format to its tiles.
+#[derive(Debug, Clone)]
+pub struct PackedRhsI8 {
+    panels: PanelsI8,
+    n: usize,
+    k0: usize,
+    k1: usize,
+    isa: Isa,
+}
+
+impl PackedRhsI8 {
+    /// Bytes held by the packed panels.
+    pub fn bytes(&self) -> usize {
+        match &self.panels {
+            PanelsI8::Plain(buf) => buf.len(),
+            #[cfg(target_arch = "x86_64")]
+            PanelsI8::Pairs(buf) => buf.len() * std::mem::size_of::<i32>(),
+        }
+    }
+
+    /// The ISA whose panel format this rhs was packed in.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+}
+
+/// Packs an i8 rhs into owned panels for the active ISA.
+fn prepack_i8_rhs(rhs: Rhs<'_, i8>, n: usize, k0: usize, k1: usize) -> PackedRhsI8 {
+    let isa = simd::active();
+    #[cfg(target_arch = "x86_64")]
+    if isa == Isa::Avx2 {
+        let mut buf = Vec::new();
+        pack_b_i8_pairs(rhs, k0, k1, 0..n, &mut buf);
+        return PackedRhsI8 {
+            panels: PanelsI8::Pairs(buf),
+            n,
+            k0,
+            k1,
+            isa,
+        };
+    }
+    let mut buf = Vec::new();
+    pack_b_i8(rhs, k0, k1, 0..n, &mut buf);
+    PackedRhsI8 {
+        panels: PanelsI8::Plain(buf),
+        n,
+        k0,
+        k1,
+        isa,
+    }
+}
+
+/// Prepacks a `Rows`-layout i8 rhs `b [k, n]` for
+/// [`gemm_i8_prepacked`].
+pub fn prepack_i8(n: usize, k: usize, b: &[i8]) -> PackedRhsI8 {
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    prepack_i8_rhs(Rhs::Rows { b, n }, n, 0, k)
+}
+
+/// Prepacks the reduction band `[k0, k1)` of a weight-layout i8 rhs
+/// `w [n, k]` for [`gemm_i8_band_wt_prepacked`] over the same band.
+/// The blocked drivers index panels relative to the band start, so a
+/// panel serves exactly the band it was packed for — one panel per
+/// feature-group band, as the mixed-precision engines consume them.
+pub fn prepack_i8_wt_band(n: usize, k: usize, k0: usize, k1: usize, w: &[i8]) -> PackedRhsI8 {
+    assert!(k0 <= k1 && k1 <= k, "invalid band [{k0}, {k1}) for k={k}");
+    assert!(w.len() >= n * k, "rhs buffer too small");
+    prepack_i8_rhs(Rhs::WeightT { w, k }, n, k0, k1)
 }
 
 // ─── Micro-kernels ──────────────────────────────────────────────────────
@@ -615,7 +864,13 @@ fn blocked_f32(
 }
 
 /// f32 entry point: validates nothing (callers assert), plans banding,
-/// and dispatches blocked or reference execution under `isa`.
+/// and dispatches blocked or reference execution under `isa`. `pre`
+/// optionally supplies an ahead-of-time packed full-width rhs panel for
+/// the band `[k0, k1)`; it substitutes for the single per-call pack of
+/// the serial/row-banded blocked plans and is ignored everywhere else
+/// (column bands pack their own slices, sub-threshold shapes run the
+/// reference loops) — so prepacked results are bit-identical.
+#[allow(clippy::too_many_arguments)]
 fn gemm_f32_general(
     m: usize,
     n: usize,
@@ -624,6 +879,7 @@ fn gemm_f32_general(
     k1: usize,
     a: &[f32],
     rhs: Rhs<'_, f32>,
+    pre: Option<&[f32]>,
     c: &mut [f32],
     isa: Isa,
 ) {
@@ -639,15 +895,25 @@ fn gemm_f32_general(
             let mut elems = take_ranges();
             elems.extend(bands.iter().map(|r| r.start * n..r.end * n));
             if blocked {
-                // Pack the rhs once; every row band reuses it.
-                let mut bbuf = scratch::take_f32();
-                pack_b_f32(rhs, k0, k1, 0..n, &mut bbuf);
+                // Pack the rhs once (unless a prepacked panel already
+                // covers it); every row band reuses it.
+                let owned = match pre {
+                    Some(_) => None,
+                    None => {
+                        let mut b = scratch::take_f32();
+                        pack_b_f32(rhs, k0, k1, 0..n, &mut b);
+                        Some(b)
+                    }
+                };
+                let bbuf: &[f32] = pre.unwrap_or_else(|| owned.as_deref().expect("packed above"));
                 pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
                     let rows = bands[bi].clone();
                     let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
-                    blocked_f32(a, k, rows, k0, k1, &bbuf, &mut view, isa);
+                    blocked_f32(a, k, rows, k0, k1, bbuf, &mut view, isa);
                 });
-                scratch::put_f32(bbuf);
+                if let Some(b) = owned {
+                    scratch::put_f32(b);
+                }
             } else {
                 pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
                     let rows = bands[bi].clone();
@@ -676,10 +942,19 @@ fn gemm_f32_general(
         Plan::Serial => {
             let mut view = ColBandMut::new(&mut c[..m * n], m, n, 0..n);
             if blocked {
-                let mut bbuf = scratch::take_f32();
-                pack_b_f32(rhs, k0, k1, 0..n, &mut bbuf);
-                blocked_f32(a, k, 0..m, k0, k1, &bbuf, &mut view, isa);
-                scratch::put_f32(bbuf);
+                let owned = match pre {
+                    Some(_) => None,
+                    None => {
+                        let mut b = scratch::take_f32();
+                        pack_b_f32(rhs, k0, k1, 0..n, &mut b);
+                        Some(b)
+                    }
+                };
+                let bbuf: &[f32] = pre.unwrap_or_else(|| owned.as_deref().expect("packed above"));
+                blocked_f32(a, k, 0..m, k0, k1, bbuf, &mut view, isa);
+                if let Some(b) = owned {
+                    scratch::put_f32(b);
+                }
             } else {
                 naive_f32_view(a, k, rhs, 0..m, k0, k1, 0..n, &mut view);
             }
@@ -694,6 +969,36 @@ enum BPackI8 {
     Plain(Vec<i8>),
     #[cfg(target_arch = "x86_64")]
     Pairs(Vec<i32>),
+}
+
+/// A borrowed view of packed i8 panels — from a per-call scratch pack
+/// ([`BPackI8`]) or an owned prepacked rhs ([`PackedRhsI8`]); the
+/// blocked drivers consume either through this one type.
+#[derive(Clone, Copy)]
+enum PanelsI8Ref<'a> {
+    Plain(&'a [i8]),
+    #[cfg(target_arch = "x86_64")]
+    Pairs(&'a [i32]),
+}
+
+impl BPackI8 {
+    fn as_panels(&self) -> PanelsI8Ref<'_> {
+        match self {
+            BPackI8::Plain(buf) => PanelsI8Ref::Plain(buf),
+            #[cfg(target_arch = "x86_64")]
+            BPackI8::Pairs(buf) => PanelsI8Ref::Pairs(buf),
+        }
+    }
+}
+
+impl PanelsI8 {
+    fn as_panels(&self) -> PanelsI8Ref<'_> {
+        match self {
+            PanelsI8::Plain(buf) => PanelsI8Ref::Plain(buf),
+            #[cfg(target_arch = "x86_64")]
+            PanelsI8::Pairs(buf) => PanelsI8Ref::Pairs(buf),
+        }
+    }
 }
 
 /// Packs the rhs into the panel format of `isa`.
@@ -726,14 +1031,14 @@ fn blocked_i8_any(
     rows: Range<usize>,
     k0: usize,
     k1: usize,
-    bpack: &BPackI8,
+    bpack: PanelsI8Ref<'_>,
     c: &mut ColBandMut<'_, i32>,
     isa: Isa,
 ) {
     match bpack {
-        BPackI8::Plain(buf) => blocked_i8(a, lda, rows, k0, k1, buf, c, isa),
+        PanelsI8Ref::Plain(buf) => blocked_i8(a, lda, rows, k0, k1, buf, c, isa),
         #[cfg(target_arch = "x86_64")]
-        BPackI8::Pairs(buf) => blocked_i8_pairs(a, lda, rows, k0, k1, buf, c),
+        PanelsI8Ref::Pairs(buf) => blocked_i8_pairs(a, lda, rows, k0, k1, buf, c),
     }
 }
 
@@ -829,6 +1134,10 @@ fn blocked_i8_pairs(
 
 /// Integer entry point: validates nothing (callers assert), plans
 /// banding, and dispatches blocked or reference execution under `isa`.
+/// `pre` optionally supplies ahead-of-time packed full-width panels in
+/// `isa`'s format for the band `[k0, k1)` — substituted exactly where
+/// the per-call path packs the full rhs once (see [`gemm_f32_general`]).
+#[allow(clippy::too_many_arguments)]
 fn gemm_i8_general(
     m: usize,
     n: usize,
@@ -837,6 +1146,7 @@ fn gemm_i8_general(
     k1: usize,
     a: &[i8],
     rhs: Rhs<'_, i8>,
+    pre: Option<PanelsI8Ref<'_>>,
     c: &mut [i32],
     isa: Isa,
 ) {
@@ -851,14 +1161,21 @@ fn gemm_i8_general(
             let mut elems = take_ranges();
             elems.extend(bands.iter().map(|r| r.start * n..r.end * n));
             if blocked {
-                // Pack the rhs once; every row band reuses it.
-                let bbuf = pack_b_i8_any(isa, rhs, k0, k1, 0..n);
+                // Pack the rhs once (unless prepacked); every row band
+                // reuses it.
+                let owned = match pre {
+                    Some(_) => None,
+                    None => Some(pack_b_i8_any(isa, rhs, k0, k1, 0..n)),
+                };
+                let bbuf = pre.unwrap_or_else(|| owned.as_ref().expect("packed above").as_panels());
                 pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
                     let rows = bands[bi].clone();
                     let mut view = ColBandMut::new(chunk, rows.len(), n, 0..n);
-                    blocked_i8_any(a, k, rows, k0, k1, &bbuf, &mut view, isa);
+                    blocked_i8_any(a, k, rows, k0, k1, bbuf, &mut view, isa);
                 });
-                put_bpack_i8(bbuf);
+                if let Some(o) = owned {
+                    put_bpack_i8(o);
+                }
             } else {
                 pool.run_disjoint_mut(&mut c[..m * n], &elems, |bi, chunk| {
                     let rows = bands[bi].clone();
@@ -875,7 +1192,7 @@ fn gemm_i8_general(
                 if worth_blocking(m, cols.len(), kb, NR_I8, 0) {
                     // Each band packs its own column slice.
                     let bbuf = pack_b_i8_any(isa, rhs, k0, k1, cols);
-                    blocked_i8_any(a, k, 0..m, k0, k1, &bbuf, view, isa);
+                    blocked_i8_any(a, k, 0..m, k0, k1, bbuf.as_panels(), view, isa);
                     put_bpack_i8(bbuf);
                 } else {
                     naive_i8_view(a, k, rhs, 0..m, k0, k1, cols, view);
@@ -886,9 +1203,15 @@ fn gemm_i8_general(
         Plan::Serial => {
             let mut view = ColBandMut::new(&mut c[..m * n], m, n, 0..n);
             if blocked {
-                let bbuf = pack_b_i8_any(isa, rhs, k0, k1, 0..n);
-                blocked_i8_any(a, k, 0..m, k0, k1, &bbuf, &mut view, isa);
-                put_bpack_i8(bbuf);
+                let owned = match pre {
+                    Some(_) => None,
+                    None => Some(pack_b_i8_any(isa, rhs, k0, k1, 0..n)),
+                };
+                let bbuf = pre.unwrap_or_else(|| owned.as_ref().expect("packed above").as_panels());
+                blocked_i8_any(a, k, 0..m, k0, k1, bbuf, &mut view, isa);
+                if let Some(o) = owned {
+                    put_bpack_i8(o);
+                }
             } else {
                 naive_i8_view(a, k, rhs, 0..m, k0, k1, 0..n, &mut view);
             }
@@ -989,6 +1312,18 @@ fn naive_i8_view(
 
 // ─── Telemetry ──────────────────────────────────────────────────────────
 
+/// Estimated bytes of the `nr`-lane rhs column panels a blocked call
+/// packs (zero-padded tail lanes included).
+fn rhs_panel_bytes(n: usize, kb: usize, nr: usize, elem: usize) -> u64 {
+    (n.div_ceil(nr) * nr * kb * elem) as u64
+}
+
+/// Estimated bytes of the `MR`-interleaved lhs tiles a blocked call
+/// packs across its `MC×KC` blocks.
+fn lhs_tile_bytes(m: usize, kb: usize, elem: usize) -> u64 {
+    (m.div_ceil(MR) * MR * kb * elem) as u64
+}
+
 /// Estimated bytes staged through packed panels for a blocked call: rhs
 /// column panels (packed once, `nr`-lane padded) plus lhs row tiles
 /// (packed per `MC×KC` block). Zero when the problem would run the
@@ -997,7 +1332,26 @@ fn packed_bytes_est(m: usize, n: usize, kb: usize, nr: usize, min_rhs: usize, el
     if !worth_blocking(m, n, kb, nr, min_rhs) {
         return 0;
     }
-    ((n.div_ceil(nr) * nr * kb + m.div_ceil(MR) * MR * kb) * elem) as u64
+    rhs_panel_bytes(n, kb, nr, elem) + lhs_tile_bytes(m, kb, elem)
+}
+
+/// [`packed_bytes_est`] for a call served by a prepacked rhs: only the
+/// lhs tiles are staged per call. The rhs panels were packed once at
+/// prepack time — those bytes are booked under the pack-cache counters
+/// when the cache builds an entry, so charging them per call would
+/// double-count them in `gemm_packed_bytes`.
+fn packed_bytes_prepacked(
+    m: usize,
+    n: usize,
+    kb: usize,
+    nr: usize,
+    min_rhs: usize,
+    elem: usize,
+) -> u64 {
+    if !worth_blocking(m, n, kb, nr, min_rhs) {
+        return 0;
+    }
+    lhs_tile_bytes(m, kb, elem)
 }
 
 /// Rows sampled by [`lhs_zero_pm`]. A full scan of a large activation
@@ -1097,7 +1451,64 @@ pub fn gemm_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
         packed,
         isa,
         || 0,
-        || gemm_f32_general(m, n, k, 0, k, a, Rhs::Rows { b, n }, c, isa),
+        || gemm_f32_general(m, n, k, 0, k, a, Rhs::Rows { b, n }, None, c, isa),
+    );
+}
+
+/// [`gemm_f32`] consuming an ahead-of-time packed rhs ([`prepack_f32`]).
+///
+/// Bit-identical to [`gemm_f32`]: the owned panels are byte-for-byte
+/// what the per-call pack would build, and every plan the per-call path
+/// would not serve from one full-width pack (column-banded,
+/// sub-threshold, prepacking disabled) runs the per-call code instead.
+///
+/// # Panics
+///
+/// Panics if a slice is too small or `packed` does not cover rhs
+/// columns `0..n` of the full reduction `[0, k)`.
+pub fn gemm_f32_prepacked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    packed: &PackedRhsF32,
+    c: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    assert!(
+        packed.n == n && packed.k0 == 0 && packed.k1 == k,
+        "prepacked rhs shape mismatch"
+    );
+    if !prepack_enabled() {
+        return gemm_f32(m, n, k, a, b, c);
+    }
+    let isa = simd::active();
+    let bytes = packed_bytes_prepacked(m, n, k, NR, min_rhs_f32(isa), 4);
+    gemm_traced(
+        "gemm_f32",
+        m,
+        n,
+        k,
+        bytes,
+        isa,
+        || 0,
+        || {
+            gemm_f32_general(
+                m,
+                n,
+                k,
+                0,
+                k,
+                a,
+                Rhs::Rows { b, n },
+                Some(&packed.panels),
+                c,
+                isa,
+            )
+        },
     );
 }
 
@@ -1119,7 +1530,56 @@ pub fn gemm_f32_wt(m: usize, n: usize, k: usize, a: &[f32], w: &[f32], c: &mut [
         packed,
         isa,
         || 0,
-        || gemm_f32_general(m, n, k, 0, k, a, Rhs::WeightT { w, k }, c, isa),
+        || gemm_f32_general(m, n, k, 0, k, a, Rhs::WeightT { w, k }, None, c, isa),
+    );
+}
+
+/// [`gemm_f32_wt`] consuming an ahead-of-time packed weight rhs
+/// ([`prepack_f32_wt`]). Same fallback contract as
+/// [`gemm_f32_prepacked`] — bit-identical to the per-call entry point.
+pub fn gemm_f32_wt_prepacked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    w: &[f32],
+    packed: &PackedRhsF32,
+    c: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(w.len() >= n * k, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    assert!(
+        packed.n == n && packed.k0 == 0 && packed.k1 == k,
+        "prepacked rhs shape mismatch"
+    );
+    if !prepack_enabled() {
+        return gemm_f32_wt(m, n, k, a, w, c);
+    }
+    let isa = simd::active();
+    let bytes = packed_bytes_prepacked(m, n, k, NR, min_rhs_f32(isa), 4);
+    gemm_traced(
+        "gemm_f32_wt",
+        m,
+        n,
+        k,
+        bytes,
+        isa,
+        || 0,
+        || {
+            gemm_f32_general(
+                m,
+                n,
+                k,
+                0,
+                k,
+                a,
+                Rhs::WeightT { w, k },
+                Some(&packed.panels),
+                c,
+                isa,
+            )
+        },
     );
 }
 
@@ -1175,7 +1635,58 @@ pub fn gemm_i8_band(
         packed,
         isa,
         || lhs_zero_pm(a, k, m, k0, k1),
-        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::Rows { b, n }, c, isa),
+        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::Rows { b, n }, None, c, isa),
+    );
+}
+
+/// [`gemm_i8`] consuming an ahead-of-time packed rhs ([`prepack_i8`]).
+/// On top of the structural fallbacks of [`gemm_f32_prepacked`], an i8
+/// panel packed under a different ISA than the one dispatching now
+/// (its format would not match the tiles) also falls back to per-call
+/// packing. Exact in `i32` on every path.
+pub fn gemm_i8_prepacked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[i8],
+    b: &[i8],
+    packed: &PackedRhsI8,
+    c: &mut [i32],
+) {
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(b.len() >= k * n, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    assert!(
+        packed.n == n && packed.k0 == 0 && packed.k1 == k,
+        "prepacked rhs shape mismatch"
+    );
+    let isa = simd::active();
+    if !prepack_enabled() || packed.isa != isa {
+        return gemm_i8(m, n, k, a, b, c);
+    }
+    let bytes = packed_bytes_prepacked(m, n, k, NR_I8, 0, 1);
+    gemm_traced(
+        "gemm_i8_band",
+        m,
+        n,
+        k,
+        bytes,
+        isa,
+        || lhs_zero_pm(a, k, m, 0, k),
+        || {
+            gemm_i8_general(
+                m,
+                n,
+                k,
+                0,
+                k,
+                a,
+                Rhs::Rows { b, n },
+                Some(packed.panels.as_panels()),
+                c,
+                isa,
+            )
+        },
     );
 }
 
@@ -1208,7 +1719,61 @@ pub fn gemm_i8_band_wt(
         packed,
         isa,
         || lhs_zero_pm(a, k, m, k0, k1),
-        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::WeightT { w, k }, c, isa),
+        || gemm_i8_general(m, n, k, k0, k1, a, Rhs::WeightT { w, k }, None, c, isa),
+    );
+}
+
+/// [`gemm_i8_band_wt`] consuming an ahead-of-time packed weight band
+/// ([`prepack_i8_wt_band`] over the same `[k0, k1)`). Same fallback
+/// contract as [`gemm_i8_prepacked`]. This is the quantized linear
+/// layers' 8-bit band with the per-pass weight pack amortized to zero.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_band_wt_prepacked(
+    m: usize,
+    n: usize,
+    k: usize,
+    k0: usize,
+    k1: usize,
+    a: &[i8],
+    w: &[i8],
+    packed: &PackedRhsI8,
+    c: &mut [i32],
+) {
+    assert!(k0 <= k1 && k1 <= k, "invalid band [{k0}, {k1}) for k={k}");
+    assert!(a.len() >= m * k, "lhs buffer too small");
+    assert!(w.len() >= n * k, "rhs buffer too small");
+    assert!(c.len() >= m * n, "out buffer too small");
+    assert!(
+        packed.n == n && packed.k0 == k0 && packed.k1 == k1,
+        "prepacked rhs band mismatch"
+    );
+    let isa = simd::active();
+    if !prepack_enabled() || packed.isa != isa {
+        return gemm_i8_band_wt(m, n, k, k0, k1, a, w, c);
+    }
+    let bytes = packed_bytes_prepacked(m, n, k1 - k0, NR_I8, 0, 1);
+    gemm_traced(
+        "gemm_i8_band_wt",
+        m,
+        n,
+        k1 - k0,
+        bytes,
+        isa,
+        || lhs_zero_pm(a, k, m, k0, k1),
+        || {
+            gemm_i8_general(
+                m,
+                n,
+                k,
+                k0,
+                k1,
+                a,
+                Rhs::WeightT { w, k },
+                Some(packed.panels.as_panels()),
+                c,
+                isa,
+            )
+        },
     );
 }
 
@@ -1755,5 +2320,111 @@ mod tests {
         let b = vec![0i8; 4];
         let mut c = vec![0i32; 4];
         gemm_i8_band(2, 2, 2, 2, 1, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn tiled_wt_f32_pack_matches_generic_pack_exactly() {
+        // The blocked 8×8 transpose fill must produce byte-identical
+        // panels to the generic lane-major walk, across full tiles,
+        // lane tails, k tails, bands, and panel offsets.
+        let mut rng = seeded(33);
+        for &(n, k, k0, k1) in &[
+            (2 * NR, 2 * WT_TILE, 0usize, 2 * WT_TILE),
+            (NR + 3, 19, 0, 19),
+            (3 * NR + 5, 41, 7, 36),
+            (NR, WT_TILE, 0, WT_TILE),
+            (5, 3, 1, 3),
+        ] {
+            let w = rand_f32(n * k, &mut rng);
+            let mut tiled = Vec::new();
+            pack_b_f32(Rhs::WeightT { w: &w, k }, k0, k1, 0..n, &mut tiled);
+            let mut generic = Vec::new();
+            pack_b_f32_generic(Rhs::WeightT { w: &w, k }, k0, k1, 0..n, &mut generic);
+            assert_eq!(tiled.len(), generic.len(), "({n},{k},{k0},{k1})");
+            for (i, (x, y)) in tiled.iter().zip(generic.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "({n},{k},{k0},{k1}) elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_entry_points_are_bit_identical_to_per_call() {
+        // Shapes chosen to hit the blocked serial path, the row-banded
+        // path (under the ambient pool), and the sub-threshold naive
+        // fallback (m = 1).
+        let mut rng = seeded(34);
+        for &(m, n, k) in &[(MC + 5, 3 * NR_I8 + 9, KC + 11), (16, 64, 40), (1, 48, 32)] {
+            let a = rand_f32(m * k, &mut rng);
+            let b = rand_f32(k * n, &mut rng);
+            let w = rand_f32(n * k, &mut rng);
+            let ai = rand_i8(m * k, &mut rng);
+            let bi = rand_i8(k * n, &mut rng);
+            let wi = rand_i8(n * k, &mut rng);
+
+            let (mut c0, mut c1) = (vec![0.0f32; m * n], vec![0.0f32; m * n]);
+            gemm_f32(m, n, k, &a, &b, &mut c0);
+            gemm_f32_prepacked(m, n, k, &a, &b, &prepack_f32(n, k, &b), &mut c1);
+            for (x, y) in c0.iter().zip(c1.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "f32 rows ({m},{n},{k})");
+            }
+
+            let (mut c0, mut c1) = (vec![0.0f32; m * n], vec![0.0f32; m * n]);
+            gemm_f32_wt(m, n, k, &a, &w, &mut c0);
+            gemm_f32_wt_prepacked(m, n, k, &a, &w, &prepack_f32_wt(n, k, &w), &mut c1);
+            for (x, y) in c0.iter().zip(c1.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "f32 wt ({m},{n},{k})");
+            }
+
+            let (mut c0, mut c1) = (vec![0i32; m * n], vec![0i32; m * n]);
+            gemm_i8(m, n, k, &ai, &bi, &mut c0);
+            gemm_i8_prepacked(m, n, k, &ai, &bi, &prepack_i8(n, k, &bi), &mut c1);
+            assert_eq!(c0, c1, "i8 rows ({m},{n},{k})");
+
+            let (k0, k1) = (3usize, k - 5);
+            let (mut c0, mut c1) = (vec![0i32; m * n], vec![0i32; m * n]);
+            gemm_i8_band_wt(m, n, k, k0, k1, &ai, &wi, &mut c0);
+            gemm_i8_band_wt_prepacked(
+                m,
+                n,
+                k,
+                k0,
+                k1,
+                &ai,
+                &wi,
+                &prepack_i8_wt_band(n, k, k0, k1, &wi),
+                &mut c1,
+            );
+            assert_eq!(c0, c1, "i8 band wt ({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn prepacked_isa_mismatch_falls_back_to_per_call() {
+        // A panel stamped with an ISA other than the dispatching one
+        // must not be consumed — the call still completes (per-call
+        // path) with identical results.
+        let mut rng = seeded(35);
+        let (m, n, k) = (24usize, 2 * NR_I8, 64usize);
+        let ai = rand_i8(m * k, &mut rng);
+        let wi = rand_i8(n * k, &mut rng);
+        let mut packed = prepack_i8_wt_band(n, k, 0, k, &wi);
+        packed.isa = match packed.isa {
+            Isa::Scalar => Isa::Avx2,
+            _ => Isa::Scalar,
+        };
+        let (mut c0, mut c1) = (vec![0i32; m * n], vec![0i32; m * n]);
+        gemm_i8_band_wt(m, n, k, 0, k, &ai, &wi, &mut c0);
+        gemm_i8_band_wt_prepacked(m, n, k, 0, k, &ai, &wi, &packed, &mut c1);
+        assert_eq!(c0, c1);
+    }
+
+    #[test]
+    #[should_panic(expected = "prepacked rhs band mismatch")]
+    fn prepacked_band_mismatch_is_rejected() {
+        let ai = vec![0i8; 4 * 8];
+        let wi = vec![0i8; 8 * 8];
+        let packed = prepack_i8_wt_band(8, 8, 0, 4, &wi);
+        let mut c = vec![0i32; 4 * 8];
+        gemm_i8_band_wt_prepacked(4, 8, 8, 2, 6, &ai, &wi, &packed, &mut c);
     }
 }

@@ -244,6 +244,52 @@ fn batched_infer_reaches_allocation_steady_state() {
     });
 }
 
+#[test]
+fn warm_pack_cache_adds_zero_allocations_across_level_flips() {
+    let _serial = serial();
+    let (rt, inputs) = int_runtime();
+    // Eagerly build every cached weight band up front, so no inference
+    // below ever pays a lazy cache population.
+    rt.prewarm_levels().unwrap();
+    let pool = ThreadPool::new(1);
+    flexiq::parallel::with_pool(&pool, || {
+        let levels = [LEVEL_INT8, 0, rt.num_levels() - 1];
+        // Reach allocation steady state at each level (workspace and
+        // scratch pools warm on the first passes).
+        let mut steady = [0u64; 3];
+        for (i, &level) in levels.iter().enumerate() {
+            rt.set_level(level).unwrap();
+            let _ = rt.infer(&inputs[0]).unwrap();
+            let _ = rt.infer(&inputs[0]).unwrap();
+            let (a, _) = count_allocs(|| rt.infer(&inputs[0]).unwrap());
+            steady[i] = a;
+        }
+        // Flipping between warmed levels costs exactly each level's
+        // steady count: a cache lookup is an `Arc` clone under a read
+        // lock — no packing, no lowering, no heap traffic.
+        let before = flexiq::telemetry::counters();
+        for round in 0..2 {
+            for (i, &level) in levels.iter().enumerate() {
+                rt.set_level(level).unwrap();
+                let (a, _) = count_allocs(|| rt.infer(&inputs[0]).unwrap());
+                assert_eq!(
+                    a, steady[i],
+                    "round {round} level {level}: flip changed the steady allocation count"
+                );
+            }
+        }
+        let after = flexiq::telemetry::counters();
+        assert!(
+            after.pack_cache_hits > before.pack_cache_hits,
+            "warm passes must serve from the prepacked-weight cache"
+        );
+        assert_eq!(
+            after.pack_cache_misses, before.pack_cache_misses,
+            "a prewarmed cache must never miss on a level flip"
+        );
+    });
+}
+
 /// Builds an Int-mode runtime over a **grouped-conv** model (MobileNetV2:
 /// depthwise layers, `groups == c_in`), the shape that engages the
 /// parallel conv-group fan-out.

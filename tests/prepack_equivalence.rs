@@ -1,0 +1,264 @@
+//! Prepacked-weight equivalence (ISSUE 8).
+//!
+//! The tentpole invariant: consuming an ahead-of-time packed rhs
+//! ([`gemm::prepack_f32`] & friends) is **bit-identical** to per-call
+//! packing — same panels, same micro-kernels, same reduction order — at
+//! every shape, layout (`Rows` / `WeightT`), dtype (f32 / i8), thread
+//! count, and ISA. Proptests sweep the kernel tier; the runtime tests
+//! pin the end-to-end property: a `FlexiRuntime` serving through its
+//! prepacked-weight cache, with levels flipping mid-stream, reproduces
+//! an uncached oracle bit for bit, and the `FLEXIQ_NO_PREPACK` escape
+//! hatch restores the per-call path without changing a single bit.
+
+use std::sync::Mutex;
+
+use flexiq::core::pipeline::{prepare, FlexiQConfig};
+use flexiq::core::runtime::LEVEL_INT8;
+use flexiq::core::selection::Strategy;
+use flexiq::nn::data::gen_image_inputs;
+use flexiq::nn::qexec::{run_quantized, ExecMode, QuantExecOptions};
+use flexiq::nn::zoo::{ModelId, Scale};
+use flexiq::parallel::ThreadPool;
+use flexiq::tensor::gemm;
+use flexiq::tensor::rng::seeded;
+use flexiq::tensor::simd;
+use proptest::prelude::*;
+use rand::Rng;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Serializes tests that flip process-wide overrides (forced scalar,
+/// forced no-prepack) against each other.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
+fn toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+    TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII forced-scalar scope.
+struct ForceScalar;
+
+impl ForceScalar {
+    fn on() -> ForceScalar {
+        simd::set_scalar(true);
+        ForceScalar
+    }
+}
+
+impl Drop for ForceScalar {
+    fn drop(&mut self) {
+        simd::set_scalar(false);
+    }
+}
+
+/// RAII forced no-prepack scope (the `FLEXIQ_NO_PREPACK=1` analogue).
+struct ForceNoPrepack;
+
+impl ForceNoPrepack {
+    fn on() -> ForceNoPrepack {
+        gemm::set_no_prepack(true);
+        ForceNoPrepack
+    }
+}
+
+impl Drop for ForceNoPrepack {
+    fn drop(&mut self) {
+        gemm::set_no_prepack(false);
+    }
+}
+
+fn rand_f32(len: usize, rng: &mut impl Rng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn rand_i8(len: usize, rng: &mut impl Rng) -> Vec<i8> {
+    (0..len)
+        .map(|_| rng.gen_range(-128i16..=127) as i8)
+        .collect()
+}
+
+/// Runs all four prepacked entry points against their per-call twins at
+/// one shape and asserts bitwise equality, under every thread count.
+fn check_all_layouts(m: usize, n: usize, k: usize, seed: u64) {
+    let mut rng = seeded(seed);
+    let a = rand_f32(m * k, &mut rng);
+    let b = rand_f32(k * n, &mut rng);
+    let w = rand_f32(n * k, &mut rng);
+    let ai = rand_i8(m * k, &mut rng);
+    let bi = rand_i8(k * n, &mut rng);
+    let wi = rand_i8(n * k, &mut rng);
+    let pb = gemm::prepack_f32(n, k, &b);
+    let pw = gemm::prepack_f32_wt(n, k, &w);
+    let pbi = gemm::prepack_i8(n, k, &bi);
+    let (k0, k1) = (k / 3, k - k / 4);
+    let pwi = gemm::prepack_i8_wt_band(n, k, k0, k1, &wi);
+    for threads in THREADS {
+        let pool = ThreadPool::new(threads);
+        flexiq::parallel::with_pool(&pool, || {
+            let (mut c0, mut c1) = (vec![0.0f32; m * n], vec![0.0f32; m * n]);
+            gemm::gemm_f32(m, n, k, &a, &b, &mut c0);
+            gemm::gemm_f32_prepacked(m, n, k, &a, &b, &pb, &mut c1);
+            for (i, (x, y)) in c0.iter().zip(c1.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "f32 rows ({m}, {n}, {k}) x{threads} elem {i}"
+                );
+            }
+            let (mut c0, mut c1) = (vec![0.0f32; m * n], vec![0.0f32; m * n]);
+            gemm::gemm_f32_wt(m, n, k, &a, &w, &mut c0);
+            gemm::gemm_f32_wt_prepacked(m, n, k, &a, &w, &pw, &mut c1);
+            for (i, (x, y)) in c0.iter().zip(c1.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "f32 wt ({m}, {n}, {k}) x{threads} elem {i}"
+                );
+            }
+            let (mut c0, mut c1) = (vec![0i32; m * n], vec![0i32; m * n]);
+            gemm::gemm_i8(m, n, k, &ai, &bi, &mut c0);
+            gemm::gemm_i8_prepacked(m, n, k, &ai, &bi, &pbi, &mut c1);
+            assert_eq!(&c0, &c1, "i8 rows ({m}, {n}, {k}) x{threads}");
+            let (mut c0, mut c1) = (vec![0i32; m * n], vec![0i32; m * n]);
+            gemm::gemm_i8_band_wt(m, n, k, k0, k1, &ai, &wi, &mut c0);
+            gemm::gemm_i8_band_wt_prepacked(m, n, k, k0, k1, &ai, &wi, &pwi, &mut c1);
+            assert_eq!(&c0, &c1, "i8 band wt ({m}, {n}, {k}) x{threads}");
+        });
+    }
+}
+
+proptest! {
+    /// Prepacked == per-call, bit for bit: every layout and dtype, any
+    /// shape (blocked or sub-threshold), threads 1/2/4, active ISA.
+    #[test]
+    fn prepacked_matches_per_call_bitwise(
+        m in 1usize..48,
+        n in 1usize..180,
+        k in 4usize..140,
+        seed in 0u64..1000,
+    ) {
+        check_all_layouts(m, n, k, seed);
+    }
+}
+
+/// The same sweep under forced-scalar dispatch: panels are prepacked
+/// *and* consumed with SIMD off, so the scalar prepacked path itself is
+/// exercised (not just the ISA-mismatch fallback).
+#[test]
+fn prepacked_matches_per_call_under_forced_scalar() {
+    let _gate = toggle_lock();
+    let _scalar = ForceScalar::on();
+    for (i, &(m, n, k)) in [(33usize, 96usize, 80usize), (7, 40, 24), (1, 130, 64)]
+        .iter()
+        .enumerate()
+    {
+        check_all_layouts(m, n, k, 0x5CA1A + i as u64);
+    }
+}
+
+/// The no-prepack escape hatch: entry points fall back to per-call
+/// packing and still match bitwise.
+#[test]
+fn no_prepack_override_falls_back_bitwise() {
+    let _gate = toggle_lock();
+    let mut rng = seeded(0x0FF);
+    let (m, n, k) = (24usize, 96usize, 72usize);
+    let a = rand_f32(m * k, &mut rng);
+    let b = rand_f32(k * n, &mut rng);
+    let packed = gemm::prepack_f32(n, k, &b);
+    let mut base = vec![0.0f32; m * n];
+    gemm::gemm_f32(m, n, k, &a, &b, &mut base);
+    let _off = ForceNoPrepack::on();
+    let mut c = vec![0.0f32; m * n];
+    gemm::gemm_f32_prepacked(m, n, k, &a, &b, &packed, &mut c);
+    for (x, y) in base.iter().zip(c.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+/// Builds an Int-mode runtime (cache-serving by construction).
+fn int_runtime() -> (flexiq::core::FlexiRuntime, Vec<flexiq::tensor::Tensor>) {
+    let id = ModelId::RNet20;
+    let graph = id.build(Scale::Test).unwrap();
+    let calib = gen_image_inputs(6, &id.input_dims(Scale::Test), 0x9AC7);
+    let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    let rt = prepared.runtime.with_exec_options(QuantExecOptions {
+        mode: ExecMode::Int,
+        ..Default::default()
+    });
+    let inputs = gen_image_inputs(6, &id.input_dims(Scale::Test), 0x9AC8);
+    (rt, inputs)
+}
+
+/// Level switches mid-stream over a prewarmed cache: every output must
+/// match the uncached oracle (the free `run_quantized`, which packs and
+/// lowers per call) bit for bit — cached entries are level-independent,
+/// so a flip must never serve stale or wrong-band state.
+#[test]
+fn level_flips_mid_stream_match_uncached_oracle() {
+    let _gate = toggle_lock();
+    let (rt, inputs) = int_runtime();
+    rt.prewarm_levels().unwrap();
+    let opts = QuantExecOptions {
+        mode: ExecMode::Int,
+        ..Default::default()
+    };
+    let mut levels = vec![LEVEL_INT8];
+    levels.extend(0..rt.num_levels());
+    for (i, x) in inputs.iter().enumerate() {
+        // Interleave levels across consecutive requests of the stream.
+        let level = levels[i % levels.len()];
+        rt.set_level(level).unwrap();
+        let y = rt.infer(x).unwrap();
+        let oracle = run_quantized(rt.graph(), rt.model(), &rt.current_plan(), opts, x).unwrap();
+        assert_eq!(oracle.dims(), y.dims());
+        for (a, b) in oracle.data().iter().zip(y.data().iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "level {level} request {i} diverged"
+            );
+        }
+    }
+    // Mid-batch flips too: a stacked dispatch at each level against the
+    // oracle run per sample.
+    for &level in &levels {
+        rt.set_level(level).unwrap();
+        let (ys, ran_at) = rt.infer_batch_traced(&inputs[..3]).unwrap();
+        assert_eq!(ran_at, level);
+        for (i, x) in inputs[..3].iter().enumerate() {
+            let oracle =
+                run_quantized(rt.graph(), rt.model(), &rt.current_plan(), opts, x).unwrap();
+            for (a, b) in oracle.data().iter().zip(ys[i].data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "level {level} batched sample {i}");
+            }
+        }
+    }
+}
+
+/// The whole runtime under the escape hatch: with prepack consumption
+/// forced off, the cache-bearing runtime routes through per-call packing
+/// and must reproduce its own cached outputs bit for bit.
+#[test]
+fn runtime_outputs_identical_with_prepack_disabled() {
+    let _gate = toggle_lock();
+    let (rt, inputs) = int_runtime();
+    rt.prewarm_levels().unwrap();
+    let mut levels = vec![LEVEL_INT8];
+    levels.extend(0..rt.num_levels());
+    for &level in &levels {
+        rt.set_level(level).unwrap();
+        let cached = rt.infer(&inputs[0]).unwrap();
+        let uncached = {
+            let _off = ForceNoPrepack::on();
+            rt.infer(&inputs[0]).unwrap()
+        };
+        for (a, b) in cached.data().iter().zip(uncached.data().iter()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "level {level}: escape hatch changed bits"
+            );
+        }
+    }
+}
