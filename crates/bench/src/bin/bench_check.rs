@@ -1,8 +1,8 @@
 //! CI bench gate: re-derives the perf acceptance criteria from the
 //! `BENCH_*.json` artifacts and fails (exit 1) on any regression.
 //!
-//! Run after `exp_batch_scaling`, `exp_varlen`, `exp_gemm` and
-//! `exp_telemetry`:
+//! Run after `exp_batch_scaling`, `exp_varlen`, `exp_gemm`,
+//! `exp_telemetry` and `exp_decode`:
 //!
 //! ```text
 //! cargo run --release -p flexiq-bench --bin bench_check
@@ -14,9 +14,10 @@
 //! on multi-core runners; bucketed padded batching below shape-group
 //! splitting on the mixed-length LM trace; blocked+packed GEMM kernels
 //! at least their gated factor over the naive reference; full span
-//! tracing within its declared overhead budget. A missing or malformed
-//! artifact fails the gate — silence is the failure mode this bin
-//! exists to remove.
+//! tracing within its declared overhead budget; continuous-batching
+//! decode at least its gated factor over static batching in tokens/sec.
+//! A missing or malformed artifact fails the gate — silence is the
+//! failure mode this bin exists to remove.
 
 use std::path::PathBuf;
 
@@ -31,6 +32,7 @@ fn main() {
         read("BENCH_varlen.json").as_deref(),
         read("BENCH_gemm.json").as_deref(),
         read("BENCH_telemetry.json").as_deref(),
+        read("BENCH_decode.json").as_deref(),
     );
     println!("bench gate: {} checks", checks.len());
     for c in &checks {

@@ -1,0 +1,248 @@
+//! Autoregressive decode sweep (ISSUE 9): continuous batching vs.
+//! static (drain-then-refill) batching on an open-loop generation trace.
+//!
+//! Builds the TinyLm runtime at eval scale with the quantized KV cache
+//! (Int execution, mixed effective-bit spec — 4-bit bands carved from
+//! the live 8-bit rows), synthesizes a trace of generation requests
+//! with short prompts and widely mixed per-request token budgets
+//! (completion times diverge hard, as they do in real serving), and
+//! times two schedulers over the same trace:
+//!
+//! * **static** — [`flexiq_serve::DecodeServer`] with `continuous:
+//!   false`: classic padded batching. The drafted batch steps at full
+//!   width until its slowest member finishes; early finishers ride
+//!   along as discarded pad rows, burning slots on work nobody reads.
+//! * **continuous** — the same server with `continuous: true`: every
+//!   fused step, slots freed by finished sessions are refilled from the
+//!   admission queue, so the fused width (the `m` of every per-step
+//!   linear, exactly the regime the prepacked-weight cache serves)
+//!   stays high for the whole trace.
+//!
+//! Outputs are verified identical before timing — each request's token
+//! stream must equal its offline solo greedy decode under both
+//! schedulers — so the speedup can never come from changed or skipped
+//! work. Emits `BENCH_decode.json` at the workspace root with
+//! tokens/sec for both schedulers, the continuous-over-static speedup
+//! (gated at `MIN_SPEEDUP`, enforced here with exit 1 and re-checked by
+//! the CI `bench_check` gate), and TTFT p50/p95 under the continuous
+//! scheduler.
+//!
+//! `FLEXIQ_BENCH_REPS` overrides the auto-calibrated repetition count.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use flexiq_bench::{f2, ResultTable};
+use flexiq_core::pipeline::{prepare, FlexiQConfig};
+use flexiq_core::selection::Strategy;
+use flexiq_core::FlexiRuntime;
+use flexiq_nn::data::{gen_token_stream, lm_sequences};
+use flexiq_nn::kv::KvSpec;
+use flexiq_nn::qexec::{ExecMode, QuantExecOptions};
+use flexiq_nn::zoo::{ModelId, Scale, TinyLmCfg};
+use flexiq_serve::{DecodeConfig, DecodeServer};
+use flexiq_tensor::rng::seeded;
+use flexiq_tensor::Tensor;
+use rand::Rng;
+
+const REQUESTS: usize = 48;
+const MAX_ACTIVE: usize = 8;
+const MAX_NEW: usize = 14;
+const MIN_SPEEDUP: f64 = 1.2;
+
+fn config(continuous: bool) -> DecodeConfig {
+    DecodeConfig {
+        max_active: MAX_ACTIVE,
+        max_new_tokens: MAX_NEW,
+        continuous,
+        batch_timeout: Duration::from_millis(1),
+        ..DecodeConfig::default()
+    }
+}
+
+/// Serves the whole trace once; returns each request's token stream,
+/// its TTFT, and the total tokens generated.
+fn serve_trace(
+    rt: &Arc<FlexiRuntime>,
+    prompts: &[Tensor],
+    bounds: &[usize],
+    continuous: bool,
+) -> (Vec<Vec<u32>>, Vec<Duration>, usize) {
+    let server = DecodeServer::start(Arc::clone(rt), config(continuous)).expect("start server");
+    let tickets: Vec<_> = prompts
+        .iter()
+        .zip(bounds)
+        .map(|(p, &b)| server.submit_bounded(p.clone(), b).expect("submit"))
+        .collect();
+    let mut streams = Vec::with_capacity(prompts.len());
+    let mut ttfts = Vec::with_capacity(prompts.len());
+    let mut tokens = 0usize;
+    for t in tickets {
+        let resp = t.wait().expect("generation");
+        tokens += resp.tokens.len();
+        ttfts.push(resp.ttft);
+        streams.push(resp.tokens);
+    }
+    server.shutdown();
+    (streams, ttfts, tokens)
+}
+
+/// The offline oracle: one solo session per request, no batching.
+fn solo_stream(rt: &FlexiRuntime, prompt: &Tensor, max_new: usize) -> Vec<u32> {
+    let argmax = |row: &Tensor| -> usize {
+        let d = row.data();
+        let mut best = 0usize;
+        for (i, &v) in d.iter().enumerate() {
+            if v > d[best] {
+                best = i;
+            }
+        }
+        best
+    };
+    let (mut s, first, _) = rt.decode_start(prompt).expect("prefill");
+    let mut toks = vec![argmax(&first) as u32];
+    let room = s.context() - s.pos();
+    for _ in 0..room.min(max_new - 1) {
+        let (row, _) = rt
+            .decode_step(&mut s, *toks.last().unwrap() as f32)
+            .expect("step");
+        toks.push(argmax(&row) as u32);
+    }
+    toks
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let cfg = TinyLmCfg::at(Scale::Eval);
+    println!("preparing TinyLm (eval scale) for the decode sweep...");
+    let graph = ModelId::TinyLm.build(Scale::Eval).unwrap();
+    let seqs = lm_sequences(
+        &gen_token_stream(cfg.vocab, (REQUESTS + 8) * cfg.context, 0xDECA),
+        cfg.context,
+    );
+    let prepared = prepare(&graph, &seqs[..8], &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    let rt = prepared
+        .runtime
+        .with_exec_options(QuantExecOptions {
+            mode: ExecMode::Int,
+            ..Default::default()
+        })
+        .with_kv_spec(KvSpec::mixed(2, 0.5));
+    rt.set_level(rt.num_levels() - 1).unwrap();
+    rt.prewarm_levels().unwrap();
+    let rt = Arc::new(rt);
+
+    // Short prompts (prefill cost, identical across schedulers, stays
+    // small — and pad rows always have context room) with widely mixed
+    // per-request token budgets: finish times diverge, which is exactly
+    // what fills the static scheduler's batches with padding.
+    let mut rng = seeded(0xDECB);
+    let prompts: Vec<Tensor> = (0..REQUESTS)
+        .map(|i| {
+            let len = rng.gen_range(2..=3);
+            seqs[8 + (i % (seqs.len() - 8))].slice_axis0(len).unwrap()
+        })
+        .collect();
+    let bounds: Vec<usize> = (0..REQUESTS).map(|_| rng.gen_range(2..=MAX_NEW)).collect();
+
+    // Correctness first: both schedulers must reproduce the offline solo
+    // streams exactly — continuous batching may change *when* a token is
+    // computed, never *which* token. Also the warm-up.
+    let (cont_streams, _, tokens) = serve_trace(&rt, &prompts, &bounds, true);
+    let (stat_streams, _, _) = serve_trace(&rt, &prompts, &bounds, false);
+    for (i, prompt) in prompts.iter().enumerate() {
+        let want = solo_stream(&rt, prompt, bounds[i]);
+        assert_eq!(cont_streams[i], want, "continuous stream {i} diverged");
+        assert_eq!(stat_streams[i], want, "static stream {i} diverged");
+    }
+    println!("[schedulers agree with the solo oracle on all {REQUESTS} streams]");
+
+    // Calibrate repetitions off one static run (the slower scheduler).
+    let t0 = Instant::now();
+    serve_trace(&rt, &prompts, &bounds, false);
+    let once = t0.elapsed().as_secs_f64();
+    let reps = std::env::var("FLEXIQ_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|r| r.max(1))
+        .unwrap_or_else(|| ((0.5 / once.max(1e-6)) as usize).clamp(3, 200));
+
+    let time_sched = |continuous: bool| -> (f64, Vec<Duration>) {
+        let mut total = 0.0f64;
+        let mut ttfts = Vec::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (_, t, _) = serve_trace(&rt, &prompts, &bounds, continuous);
+            total += t0.elapsed().as_secs_f64();
+            ttfts = t;
+        }
+        (total / reps as f64, ttfts)
+    };
+    let (stat_s, _) = time_sched(false);
+    let (cont_s, cont_ttfts) = time_sched(true);
+    let (stat_tok_s, cont_tok_s) = (tokens as f64 / stat_s, tokens as f64 / cont_s);
+    let speedup = cont_tok_s / stat_tok_s;
+    let mut ttft_ms: Vec<f64> = cont_ttfts.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    ttft_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p95) = (percentile(&ttft_ms, 50.0), percentile(&ttft_ms, 95.0));
+
+    let mut table = ResultTable::new(
+        "Decode: continuous vs static batching over the generation trace",
+        &["scheduler", "trace_ms", "tok_s", "speedup"],
+    );
+    table.row(vec![
+        "static".into(),
+        f2(stat_s * 1e3),
+        f2(stat_tok_s),
+        "1.00".into(),
+    ]);
+    table.row(vec![
+        "continuous".into(),
+        f2(cont_s * 1e3),
+        f2(cont_tok_s),
+        f2(speedup),
+    ]);
+    table.emit("decode_batching");
+
+    let mut json = String::from("{\n  \"model\": \"tiny_lm\",\n  \"scale\": \"eval\",\n");
+    let _ = writeln!(json, "  \"requests\": {REQUESTS},");
+    let _ = writeln!(json, "  \"max_active\": {MAX_ACTIVE},");
+    let _ = writeln!(json, "  \"max_new_tokens\": {MAX_NEW},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"tokens\": {tokens},");
+    let _ = writeln!(json, "  \"static_tok_s\": {stat_tok_s:.2},");
+    let _ = writeln!(json, "  \"continuous_tok_s\": {cont_tok_s:.2},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
+    let _ = writeln!(json, "  \"min_speedup\": {MIN_SPEEDUP},");
+    let _ = writeln!(json, "  \"ttft_p50_ms\": {p50:.4},");
+    let _ = writeln!(json, "  \"ttft_p95_ms\": {p95:.4}");
+    json.push_str("}\n");
+
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_decode.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[written {}]", path.display()),
+        // A stale artifact would let the bench_check gate validate old
+        // numbers and silently pass — a failed write must fail the run.
+        Err(e) => {
+            eprintln!("FAIL: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "decode trace: static {:.1} tok/s, continuous {:.1} tok/s, speedup {speedup:.2}x \
+         (TTFT p50 {p50:.3} ms, p95 {p95:.3} ms)",
+        stat_tok_s, cont_tok_s
+    );
+    if speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: continuous batching under the {MIN_SPEEDUP}x gate over static");
+        std::process::exit(1);
+    }
+}

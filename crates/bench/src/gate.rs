@@ -27,6 +27,11 @@
 //! * `BENCH_telemetry.json` — full span tracing must cost at most its
 //!   declared `max_overhead_pct` over the untraced batch-16 pass, and
 //!   the traced pass must actually record spans.
+//! * `BENCH_decode.json` — continuous batching must beat static
+//!   (drain-then-refill) batching by the declared `min_speedup` factor
+//!   in tokens/sec on the decode trace, the trace must actually have
+//!   generated tokens, and the artifact may not weaken the gate factor
+//!   below the repo's floor (`DECODE_MIN_SPEEDUP`).
 
 use crate::json::Json;
 
@@ -302,8 +307,55 @@ pub fn check_telemetry(doc: &Json) -> Result<Vec<GateCheck>, String> {
     ])
 }
 
+/// The continuous-over-static floor `exp_decode` gates its trace at.
+/// Mirrored here so an artifact whose `min_speedup` was quietly lowered
+/// is rejected as under-gated.
+const DECODE_MIN_SPEEDUP: f64 = 1.2;
+
+/// Criteria over `BENCH_decode.json`: continuous batching must beat the
+/// static drain-then-refill baseline by the artifact's `min_speedup`
+/// factor in tokens/sec, that factor may not be weakened below the
+/// repo's floor, the trace must actually have generated tokens (an
+/// empty trace would make the throughput numbers vacuous), and the TTFT
+/// percentiles must be coherent.
+pub fn check_decode(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let field = |name: &str| {
+        doc.num(name)
+            .ok_or_else(|| format!("BENCH_decode.json: missing \"{name}\""))
+    };
+    let cont = field("continuous_tok_s")?;
+    let stat = field("static_tok_s")?;
+    let speedup = field("speedup")?;
+    let min = field("min_speedup")?;
+    let p50 = field("ttft_p50_ms")?;
+    let p95 = field("ttft_p95_ms")?;
+    let tokens = field("tokens")?;
+    Ok(vec![
+        GateCheck::new(
+            format!("decode: continuous >= {min}x static tokens/sec"),
+            speedup >= min,
+            format!("{speedup:.2}x ({cont:.0} vs {stat:.0} tok/s)"),
+        ),
+        GateCheck::new(
+            format!("decode: gate factor at the repo floor (>= {DECODE_MIN_SPEEDUP}x)"),
+            min >= DECODE_MIN_SPEEDUP,
+            format!("min_speedup = {min}"),
+        ),
+        GateCheck::new(
+            "decode: trace generated tokens",
+            tokens > 0.0,
+            format!("{tokens:.0} tokens"),
+        ),
+        GateCheck::new(
+            "decode: TTFT percentiles coherent",
+            p50 > 0.0 && p50 <= p95,
+            format!("p50 {p50:.3} ms, p95 {p95:.3} ms"),
+        ),
+    ])
+}
+
 /// Runs every gate over artifact texts (missing file = `None` = failed
-/// gate, since CI produces all five right before the check). Returns the
+/// gate, since CI produces all six right before the check). Returns the
 /// checks and the overall verdict.
 pub fn run_gate(
     batch: Option<&str>,
@@ -311,6 +363,7 @@ pub fn run_gate(
     varlen: Option<&str>,
     gemm: Option<&str>,
     telemetry: Option<&str>,
+    decode: Option<&str>,
 ) -> (Vec<GateCheck>, bool) {
     let mut checks = Vec::new();
     for (file, text, check) in [
@@ -324,6 +377,7 @@ pub fn run_gate(
         ("BENCH_gemm.json", gemm, check_gemm),
         ("BENCH_gemm.json", gemm, check_prepacked),
         ("BENCH_telemetry.json", telemetry, check_telemetry),
+        ("BENCH_decode.json", decode, check_decode),
     ] {
         match text {
             None => checks.push(GateCheck::new(
@@ -404,6 +458,16 @@ mod tests {
         )
     }
 
+    fn decode_doc(speedup: f64, min: f64, tokens: f64) -> String {
+        format!(
+            "{{\"continuous_tok_s\": {:.1}, \"static_tok_s\": 1000.0, \
+             \"speedup\": {speedup}, \"min_speedup\": {min}, \
+             \"ttft_p50_ms\": 0.8, \"ttft_p95_ms\": 2.4, \
+             \"tokens\": {tokens}, \"requests\": 24}}",
+            1000.0 * speedup
+        )
+    }
+
     #[test]
     fn healthy_artifacts_pass() {
         let (checks, ok) = run_gate(
@@ -412,9 +476,10 @@ mod tests {
             Some(&varlen_doc(8.0, 3.0)),
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
+            Some(&decode_doc(1.5, 1.2, 240.0)),
         );
         assert!(ok, "checks: {checks:?}");
-        assert_eq!(checks.len(), 13);
+        assert_eq!(checks.len(), 17);
     }
 
     #[test]
@@ -429,8 +494,43 @@ mod tests {
             Some(&varlen_doc(8.0, 3.0)),
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
+            Some(&decode_doc(1.5, 1.2, 240.0)),
         );
         assert!(!ok);
+    }
+
+    #[test]
+    fn doctored_decode_regression_fails() {
+        // Continuous batching losing its edge over static: the
+        // regression this gate exists for.
+        let doc = Json::parse(&decode_doc(1.05, 1.2, 240.0)).unwrap();
+        let checks = check_decode(&doc).unwrap();
+        assert!(!checks[0].pass, "speedup below min_speedup must fail");
+        // At the factor exactly: pass.
+        let doc = Json::parse(&decode_doc(1.2, 1.2, 240.0)).unwrap();
+        assert!(check_decode(&doc).unwrap()[0].pass);
+        // A quietly weakened gate factor fails even when the (weak)
+        // speedup clears it.
+        let doc = Json::parse(&decode_doc(1.1, 1.05, 240.0)).unwrap();
+        let checks = check_decode(&doc).unwrap();
+        assert!(checks[0].pass, "shape clears its (weakened) gate");
+        assert!(!checks[1].pass, "weakened min_speedup must fail the floor");
+        // A trace that generated nothing cannot vouch for throughput.
+        let doc = Json::parse(&decode_doc(1.5, 1.2, 0.0)).unwrap();
+        assert!(!check_decode(&doc).unwrap()[2].pass);
+        // Incoherent TTFT percentiles (p50 > p95) fail.
+        let doc = Json::parse(
+            "{\"continuous_tok_s\": 1500.0, \"static_tok_s\": 1000.0, \
+             \"speedup\": 1.5, \"min_speedup\": 1.2, \
+             \"ttft_p50_ms\": 5.0, \"ttft_p95_ms\": 2.0, \
+             \"tokens\": 240, \"requests\": 24}",
+        )
+        .unwrap();
+        assert!(!check_decode(&doc).unwrap()[3].pass);
+        // An artifact predating the decode bench fails structurally.
+        assert!(Json::parse("{\"tokens\": 240}")
+            .map(|d| check_decode(&d).is_err())
+            .unwrap_or(false));
     }
 
     #[test]
@@ -566,6 +666,7 @@ mod tests {
             Some(&varlen_doc(8.0, 3.0)),
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
+            Some(&decode_doc(1.5, 1.2, 240.0)),
         );
         assert!(!ok);
         assert!(!checks[0].pass, "missing file must fail");
@@ -577,7 +678,20 @@ mod tests {
             Some(&varlen_doc(8.0, 3.0)),
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
+            Some(&decode_doc(1.5, 1.2, 240.0)),
         );
         assert!(!ok);
+        // A missing decode artifact fails (CI runs exp_decode right
+        // before the check).
+        let (checks, ok) = run_gate(
+            Some(&batch_doc(0.4, 1.0)),
+            Some(&parallel_doc(true, 10.0, 4.0)),
+            Some(&varlen_doc(8.0, 3.0)),
+            Some(&gemm_doc("scalar", 2.3, 1.5)),
+            Some(&telemetry_doc(1.1, 120.0)),
+            None,
+        );
+        assert!(!ok);
+        assert!(!checks.last().unwrap().pass, "missing decode artifact");
     }
 }

@@ -41,7 +41,7 @@ pub mod score;
 pub mod selection;
 
 pub use pipeline::{FlexiQConfig, Prepared};
-pub use runtime::FlexiRuntime;
+pub use runtime::{DecodeSession, FlexiRuntime};
 pub use schedule::RatioSchedule;
 pub use selection::Strategy;
 

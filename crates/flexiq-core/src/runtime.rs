@@ -42,11 +42,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use flexiq_nn::data::Dataset;
-use flexiq_nn::exec;
+use flexiq_nn::decode::DecodeState;
+use flexiq_nn::exec::{self, Compute as _};
 use flexiq_nn::graph::Graph;
+use flexiq_nn::kv::KvSpec;
 use flexiq_nn::qexec::{MixedPlan, PackCache, QuantCompute, QuantExecOptions, QuantizedModel};
 use flexiq_nn::NnError;
 use flexiq_parallel::ThreadPool;
+use flexiq_telemetry as tel;
 use flexiq_tensor::{SeqMask, Tensor};
 
 use crate::schedule::RatioSchedule;
@@ -73,10 +76,56 @@ pub struct FlexiRuntime {
     /// [`FlexiRuntime::set_level`] stays a single atomic store — no
     /// invalidation on a precision switch.
     pack_cache: Arc<PackCache>,
+    /// K/V-cache precision for attention: the f32 default keeps
+    /// attention on the uncached core; a quantized spec makes **every**
+    /// entry point — full-context and incremental — run attention
+    /// through the same effective-bit cache arithmetic, which is what
+    /// keeps decode bit-exact with full forwards.
+    kv_spec: KvSpec,
 }
 
 /// Level index denoting the pure 8-bit configuration (0% 4-bit).
 pub const LEVEL_INT8: usize = usize::MAX;
+
+/// Per-request autoregressive generation state.
+///
+/// Created by [`FlexiRuntime::decode_start`], advanced by
+/// [`FlexiRuntime::decode_step`] / [`FlexiRuntime::decode_step_batch`].
+/// Holds one quantized K/V cache per attention layer (in the runtime's
+/// [`KvSpec`] representation) plus the absolute position, so a session
+/// can leave and re-enter the running batch freely — continuous
+/// batching's admission unit.
+pub struct DecodeSession {
+    state: DecodeState,
+    prompt_len: usize,
+}
+
+impl DecodeSession {
+    /// Prompt length this session was prefilled with.
+    pub fn prompt_len(&self) -> usize {
+        self.prompt_len
+    }
+
+    /// Absolute position of the next token (prompt + generated).
+    pub fn pos(&self) -> usize {
+        self.state.pos()
+    }
+
+    /// Tokens generated so far (excludes the prompt).
+    pub fn generated(&self) -> usize {
+        self.state.pos() - self.prompt_len
+    }
+
+    /// Positional-table capacity: `pos()` may not exceed this.
+    pub fn context(&self) -> usize {
+        self.state.context()
+    }
+
+    /// Resident bytes across this session's K/V caches.
+    pub fn kv_bytes(&self) -> usize {
+        self.state.kv_bytes()
+    }
+}
 
 impl FlexiRuntime {
     /// Assembles a runtime from its parts.
@@ -108,6 +157,7 @@ impl FlexiRuntime {
             opts,
             pool: None,
             pack_cache: Arc::new(PackCache::new()),
+            kv_spec: KvSpec::f32(),
         })
     }
 
@@ -153,6 +203,21 @@ impl FlexiRuntime {
     pub fn with_exec_options(mut self, opts: QuantExecOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Installs a K/V-cache precision spec (see
+    /// [`flexiq_nn::kv::KvSpec`]). Geometry is validated lazily against
+    /// each attention node at first use; LM serving typically installs
+    /// [`KvSpec::mixed`] so the cache carries the same effective-bit
+    /// representation as the weights.
+    pub fn with_kv_spec(mut self, spec: KvSpec) -> Self {
+        self.kv_spec = spec;
+        self
+    }
+
+    /// The installed K/V-cache precision spec.
+    pub fn kv_spec(&self) -> &KvSpec {
+        &self.kv_spec
     }
 
     /// Runs `f` under the pinned pool (or unchanged when none is set).
@@ -248,7 +313,10 @@ impl FlexiRuntime {
     /// cache (the single construction site every inference entry point
     /// routes through).
     fn hook(&self, plan: MixedPlan) -> Result<QuantCompute<'_>> {
-        QuantCompute::with_cache(&self.model, plan, self.opts, Some(self.pack_cache.clone()))
+        let mut hook =
+            QuantCompute::with_cache(&self.model, plan, self.opts, Some(self.pack_cache.clone()))?;
+        hook.set_kv_spec(self.kv_spec);
+        Ok(hook)
     }
 
     /// Runs inference at the active ratio.
@@ -381,6 +449,107 @@ impl FlexiRuntime {
             outs.push(yi);
         }
         Ok((outs, level))
+    }
+
+    /// Starts an autoregressive decode session: runs the `[T]` prompt
+    /// through the incremental walker (filling the session's quantized
+    /// K/V caches) and returns the session, the last position's
+    /// `[vocab]` logits, and the level the prefill executed at.
+    ///
+    /// The prefill is **bit-exact** with [`FlexiRuntime::infer`] on the
+    /// same prompt at the same level — the identity the decode
+    /// equivalence suite pins — because full-context attention routes
+    /// through the very same cache arithmetic whenever a non-f32
+    /// [`KvSpec`] is installed.
+    pub fn decode_start(&self, prompt: &Tensor) -> Result<(DecodeSession, Tensor, usize)> {
+        let level = self.level();
+        let mut hook = self.hook(self.plan_at(level))?;
+        let mut state = DecodeState::new(&self.graph, self.kv_spec)?;
+        let t = prompt.dims().first().copied().unwrap_or(0);
+        let _span = tel::span_full("prefill", tel::Cat::Phase, 0, [t as u64, 1, 0, 0]);
+        let logits =
+            self.scoped(|| flexiq_nn::decode::prefill(&self.graph, &mut state, prompt, &mut hook))?;
+        let last = logits
+            .index_axis0(t.saturating_sub(1))
+            .map_err(NnError::from)?;
+        tel::count(tel::Counter::DecodeSteps, 1);
+        tel::count(tel::Counter::DecodeTokens, t as u64);
+        tel::count(tel::Counter::KvCacheBytes, state.kv_bytes() as u64);
+        Ok((
+            DecodeSession {
+                state,
+                prompt_len: t,
+            },
+            last,
+            level,
+        ))
+    }
+
+    /// Runs one decode step: `token` enters at the session's position,
+    /// attends over the cached context, and the step's `[vocab]` logits
+    /// come back with the level that step executed at.
+    ///
+    /// The level is re-read per step, so a concurrent
+    /// [`FlexiRuntime::set_level`] takes effect from the next token —
+    /// the §7 switching model applied to generation. (Cached K/V rows
+    /// embedded before a switch keep the representation they were
+    /// written with; only new rows and new linears see the new plan.)
+    pub fn decode_step(&self, session: &mut DecodeSession, token: f32) -> Result<(Tensor, usize)> {
+        let level = self.level();
+        let mut hook = self.hook(self.plan_at(level))?;
+        let before = session.state.kv_bytes();
+        let _span = tel::span_full("decode_step", tel::Cat::Phase, 0, [1, 1, 0, 0]);
+        let y = self.scoped(|| {
+            flexiq_nn::decode::step(&self.graph, &mut session.state, token, &mut hook)
+        })?;
+        let row = y.index_axis0(0).map_err(NnError::from)?;
+        tel::count(tel::Counter::DecodeSteps, 1);
+        tel::count(tel::Counter::DecodeTokens, 1);
+        tel::count(
+            tel::Counter::KvCacheBytes,
+            session.state.kv_bytes().saturating_sub(before) as u64,
+        );
+        Ok((row, level))
+    }
+
+    /// Runs one decode step for **each** of several sessions as a single
+    /// fused pass: every per-step linear executes once at `m = N` — the
+    /// regime where the prepacked-weight cache pays — while attention
+    /// fans back out to each session's own cache. Per session bit-exact
+    /// with [`FlexiRuntime::decode_step`] (the walker requires a
+    /// batch-invariant hook). Returns each session's `[vocab]` logits in
+    /// order, plus the level the fused step executed at.
+    pub fn decode_step_batch(
+        &self,
+        sessions: &mut [&mut DecodeSession],
+        tokens: &[f32],
+    ) -> Result<(Vec<Tensor>, usize)> {
+        let level = self.level();
+        let mut hook = self.hook(self.plan_at(level))?;
+        let before: usize = sessions.iter().map(|s| s.state.kv_bytes()).sum();
+        let _span = tel::span_full(
+            "decode_step",
+            tel::Cat::Phase,
+            0,
+            [tokens.len() as u64, sessions.len() as u64, 0, 0],
+        );
+        let y = self.scoped(|| {
+            let mut states: Vec<&mut DecodeState> =
+                sessions.iter_mut().map(|s| &mut s.state).collect();
+            flexiq_nn::decode::step_batch(&self.graph, &mut states, tokens, &mut hook)
+        })?;
+        let mut rows = Vec::with_capacity(sessions.len());
+        for i in 0..sessions.len() {
+            rows.push(y.index_axis0(i).map_err(NnError::from)?);
+        }
+        let after: usize = sessions.iter().map(|s| s.state.kv_bytes()).sum();
+        tel::count(tel::Counter::DecodeSteps, 1);
+        tel::count(tel::Counter::DecodeTokens, tokens.len() as u64);
+        tel::count(
+            tel::Counter::KvCacheBytes,
+            after.saturating_sub(before) as u64,
+        );
+        Ok((rows, level))
     }
 
     /// Top-1 agreement with a teacher-labelled dataset at the active
@@ -646,6 +815,114 @@ mod tests {
         let y = rt.infer(x).unwrap();
         assert!(y.data().iter().all(|v| v.is_finite()));
         assert!(rt.pack_cache().resident_bytes() > 0);
+    }
+
+    #[test]
+    fn decode_session_reproduces_full_context_logits() {
+        use crate::pipeline::{prepare, FlexiQConfig};
+        use flexiq_nn::data::{gen_token_stream, lm_sequences};
+        use flexiq_nn::kv::KvSpec;
+        use flexiq_nn::zoo::TinyLmCfg;
+        let graph = ModelId::TinyLm.build(Scale::Test).unwrap();
+        let cfg = TinyLmCfg::at(Scale::Test);
+        let seqs = lm_sequences(
+            &gen_token_stream(cfg.vocab, 8 * cfg.context, 993),
+            cfg.context,
+        );
+        let prepared =
+            prepare(&graph, &seqs[..4], &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+        let base = prepared.runtime;
+        for spec in [KvSpec::f32(), KvSpec::mixed(2, 0.5)] {
+            let rt = FlexiRuntime::new(
+                base.graph().clone(),
+                base.model().clone(),
+                base.schedule().clone(),
+                Default::default(),
+            )
+            .unwrap()
+            .with_kv_spec(spec);
+            assert_eq!(*rt.kv_spec(), spec);
+            rt.set_level(0).unwrap();
+            let full_seq = &seqs[5];
+            let prompt = full_seq.slice_axis0(3).unwrap();
+            let (mut session, first, level) = rt.decode_start(&prompt).unwrap();
+            assert_eq!(level, 0);
+            assert_eq!(session.prompt_len(), 3);
+            assert_eq!(session.pos(), 3);
+            assert_eq!(session.generated(), 0);
+            // Prefill logits == full forward's last row at the same level.
+            let oracle = rt.infer(&prompt).unwrap();
+            let vocab = oracle.dims()[1];
+            for d in 0..vocab {
+                assert_eq!(
+                    first.data()[d].to_bits(),
+                    oracle.data()[2 * vocab + d].to_bits()
+                );
+            }
+            // Each step == the next prefix's full forward, bit for bit.
+            for t in 3..cfg.context {
+                let tok = full_seq.data()[t];
+                let (row, _) = rt.decode_step(&mut session, tok).unwrap();
+                let prefix = full_seq.slice_axis0(t + 1).unwrap();
+                let full = rt.infer(&prefix).unwrap();
+                for d in 0..vocab {
+                    assert_eq!(
+                        row.data()[d].to_bits(),
+                        full.data()[t * vocab + d].to_bits(),
+                        "spec {spec:?} token {t} logit {d}"
+                    );
+                }
+            }
+            assert_eq!(session.generated(), cfg.context - 3);
+            assert!(session.kv_bytes() > 0);
+            // The session is full: the next step must fail cleanly.
+            assert!(rt.decode_step(&mut session, 0.0).is_err());
+        }
+    }
+
+    #[test]
+    fn fused_decode_step_batch_matches_per_session_steps() {
+        use crate::pipeline::{prepare, FlexiQConfig};
+        use flexiq_nn::data::{gen_token_stream, lm_sequences};
+        use flexiq_nn::kv::KvSpec;
+        use flexiq_nn::zoo::TinyLmCfg;
+        let graph = ModelId::TinyLm.build(Scale::Test).unwrap();
+        let cfg = TinyLmCfg::at(Scale::Test);
+        let seqs = lm_sequences(
+            &gen_token_stream(cfg.vocab, 8 * cfg.context, 994),
+            cfg.context,
+        );
+        let prepared =
+            prepare(&graph, &seqs[..4], &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+        let rt = FlexiRuntime::new(
+            prepared.runtime.graph().clone(),
+            prepared.runtime.model().clone(),
+            prepared.runtime.schedule().clone(),
+            Default::default(),
+        )
+        .unwrap()
+        .with_kv_spec(KvSpec::mixed(2, 1.0));
+        rt.set_level(1).unwrap();
+        // Sessions admitted at different positions (continuous batching).
+        let (mut a, _, _) = rt.decode_start(&seqs[5].slice_axis0(2).unwrap()).unwrap();
+        let (mut b, _, _) = rt.decode_start(&seqs[6].slice_axis0(5).unwrap()).unwrap();
+        let (mut a2, mut b2) = (
+            rt.decode_start(&seqs[5].slice_axis0(2).unwrap()).unwrap().0,
+            rt.decode_start(&seqs[6].slice_axis0(5).unwrap()).unwrap().0,
+        );
+        let (ra, _) = rt.decode_step(&mut a, 3.0).unwrap();
+        let (rb, _) = rt.decode_step(&mut b, 7.0).unwrap();
+        let mut refs: Vec<&mut DecodeSession> = vec![&mut a2, &mut b2];
+        let (fused, level) = rt.decode_step_batch(&mut refs, &[3.0, 7.0]).unwrap();
+        assert_eq!(level, 1);
+        for (x, y) in fused[0].data().iter().zip(ra.data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in fused[1].data().iter().zip(rb.data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a2.pos(), a.pos());
+        assert_eq!(b2.pos(), b.pos());
     }
 
     #[test]

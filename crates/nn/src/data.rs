@@ -56,7 +56,7 @@ const DRIVER_MAX_BATCH: usize = 32;
 /// Runs every input through the graph, returning one output per input.
 ///
 /// Consecutive same-shaped inputs are stacked into batched passes (at
-/// most [`DRIVER_MAX_BATCH`] samples each), so per-layer work —
+/// most `DRIVER_MAX_BATCH` samples each), so per-layer work —
 /// activation quantization, weight bit-lowering, kernel setup —
 /// amortizes across samples exactly as in the serving path. Because the
 /// batched executor is bit-exact per sample, outputs are identical to N

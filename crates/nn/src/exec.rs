@@ -105,6 +105,21 @@ pub trait Compute {
     /// rows from those statistics. The default ignores the mask, which is
     /// correct for every per-element hook.
     fn set_seq_mask(&mut self, _mask: Option<&SeqMask>) {}
+
+    /// The K/V precision spec attention cores run under. The f32 default
+    /// keeps attention on the uncached [`Attention::core`] path
+    /// byte-for-byte; engines carrying a quantized spec make every
+    /// full-context forward route through the *same* cache arithmetic
+    /// the decode loop uses ([`crate::kv::core_kv`]), which is what
+    /// makes "N decode steps == one full forward" an identity rather
+    /// than a tolerance.
+    fn kv_spec(&self) -> crate::kv::KvSpec {
+        crate::kv::KvSpec::f32()
+    }
+
+    /// Installs the K/V precision spec. The default discards it, which
+    /// is correct for hooks that never claim one in [`Compute::kv_spec`].
+    fn set_kv_spec(&mut self, _spec: crate::kv::KvSpec) {}
 }
 
 /// Applies `f` to every sample slice of a stacked `[N, …]` tensor and
@@ -525,7 +540,12 @@ pub fn apply_node_batch_masked(
             let q = compute.linear_batch(lids[0], &attn.q, x, n)?;
             let k = compute.linear_batch(lids[1], &attn.k, x, n)?;
             let v = compute.linear_batch(lids[2], &attn.v, x, n)?;
-            let core = attn.core_batch_masked(&q, &k, &v, mask_for(q.dims()))?;
+            let spec = compute.kv_spec();
+            let core = if spec.is_f32() {
+                attn.core_batch_masked(&q, &k, &v, mask_for(q.dims()))?
+            } else {
+                crate::kv::core_kv_batch_masked(attn, &spec, &q, &k, &v, mask_for(q.dims()))?
+            };
             compute.linear_batch(lids[3], &attn.o, &core, n)?
         }
         Op::WindowAttention(wa) => {
@@ -700,12 +720,17 @@ fn run_attention(
     let q = compute.linear(lids[0], &attn.q, x)?;
     let k = compute.linear(lids[1], &attn.k, x)?;
     let v = compute.linear(lids[2], &attn.v, x)?;
-    let core = attn.core(&q, &k, &v)?;
+    let spec = compute.kv_spec();
+    let core = if spec.is_f32() {
+        attn.core(&q, &k, &v)?
+    } else {
+        crate::kv::core_kv(attn, &spec, &q, &k, &v)?
+    };
     compute.linear(lids[3], &attn.o, &core)
 }
 
 impl crate::graph::Node {
-    fn layers_array(&self) -> Result<[LayerId; 4]> {
+    pub(crate) fn layers_array(&self) -> Result<[LayerId; 4]> {
         if self.layers.len() != 4 {
             return Err(NnError::Invalid(format!(
                 "attention node has {} registered layers, expected 4",

@@ -29,12 +29,21 @@
 //!   diversity and activation outliers the paper exploits.
 //! * [`data`] — synthetic inputs, the teacher-labelled accuracy task and
 //!   the token stream for the LM case study.
+//! * [`kv`] — the quantized key/value cache for autoregressive decode:
+//!   8-bit cached rows with 4-bit bands carved through the same
+//!   bit-lowering rules the weight path uses, read by the same band
+//!   GEMM kernels.
+//! * [`decode`] — the incremental decode walker: prefill + single-token
+//!   steps over per-session [`kv::KvLayerCache`]s, bit-exact with the
+//!   full-context executor at every precision level.
 
 pub mod calibrate;
 pub mod data;
+pub mod decode;
 pub mod error;
 pub mod exec;
 pub mod graph;
+pub mod kv;
 pub mod ops;
 pub mod qexec;
 pub mod workspace;

@@ -171,7 +171,7 @@ impl Conv2d {
     /// Batched f32 forward pass over a stacked `[N, C_in, H, W]` input.
     ///
     /// Each channel group is lowered once for the whole batch
-    /// ([`im2col_batch`]) and multiplied in one column-batched GEMM, so
+    /// (`im2col_batch`) and multiplied in one column-batched GEMM, so
     /// the weight rows stream across all `N` samples. Channel groups are
     /// independent, so grouped/depthwise convolutions fan their groups
     /// across the ambient thread pool (single-group convolutions

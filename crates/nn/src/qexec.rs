@@ -438,7 +438,7 @@ struct CacheInner {
 /// NR-lane-packed weight state that [`QuantCompute`] would otherwise
 /// rebuild on every call: high-band wt panels, low-band lowered blocks
 /// with their panels and rules, and conv lowered bands. Entries are
-/// **level-independent** (see [`static_w_rule`]) — a level switch needs
+/// **level-independent** (see `static_w_rule`) — a level switch needs
 /// no invalidation; [`PackCache::invalidate`] exists for weight
 /// mutation. Lookups clone an `Arc` under a read lock (no allocation on
 /// the hot path); builds run outside the lock.
@@ -759,6 +759,11 @@ pub struct QuantCompute<'m> {
     /// Shared prepacked-weight cache ([`PackCache`]); `None` runs every
     /// band through per-call lowering + packing (the oracle path).
     cache: Option<Arc<PackCache>>,
+    /// K/V-cache precision spec attention cores run under. Stays the
+    /// f32 default (uncached [`crate::ops::Attention::core`]) unless the
+    /// runtime installs a quantized spec via
+    /// [`crate::exec::Compute::set_kv_spec`].
+    kv: crate::kv::KvSpec,
 }
 
 impl Drop for QuantCompute<'_> {
@@ -793,6 +798,7 @@ impl<'m> QuantCompute<'m> {
             seq_mask: None,
             ws: workspace::take(),
             cache,
+            kv: crate::kv::KvSpec::f32(),
         })
     }
 
@@ -1735,6 +1741,14 @@ impl Compute for QuantCompute<'_> {
 
     fn set_seq_mask(&mut self, mask: Option<&SeqMask>) {
         self.seq_mask = mask.cloned();
+    }
+
+    fn kv_spec(&self) -> crate::kv::KvSpec {
+        self.kv
+    }
+
+    fn set_kv_spec(&mut self, spec: crate::kv::KvSpec) {
+        self.kv = spec;
     }
 }
 

@@ -187,7 +187,7 @@ pub fn take() -> Workspace {
 }
 
 /// Parks a workspace for the calling thread's next [`take`]. At most
-/// [`PARKED_CAP`] park; further workspaces drop (bounding per-thread
+/// `PARKED_CAP` park; further workspaces drop (bounding per-thread
 /// retained memory).
 pub fn put(ws: Workspace) {
     SLOT.with(|s| {

@@ -11,7 +11,7 @@
 //!
 //! This crate provides:
 //!
-//! * [`array`] — a functional systolic array whose tile results are
+//! * [`mod@array`] — a functional systolic array whose tile results are
 //!   bit-exact against the reference integer GEMM, plus per-tile cycle
 //!   accounting (weight load, pipeline fill, streaming).
 //! * [`isa`] — the small instruction set and instruction memory whose

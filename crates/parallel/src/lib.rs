@@ -48,7 +48,7 @@
 //!
 //! # Steady-state allocation
 //!
-//! Dispatch is allocation-free in steady state: exhausted [`Job`]
+//! Dispatch is allocation-free in steady state: exhausted `Job`
 //! headers are parked on a small freelist and reused by later `run`
 //! calls (an `Arc` refcount guard makes reuse race-free), and callers
 //! that band work per call draw their `Vec<Range>` from a thread-local

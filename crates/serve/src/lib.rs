@@ -16,6 +16,7 @@
 //! | [`queue`] | bounded admission queue: backpressure + dynamic batching policy |
 //! | [`request`] | request/response/ticket types, per-request deadlines |
 //! | [`worker`] | worker pool running real `FlexiRuntime` inference |
+//! | [`decode`] | continuous-batching autoregressive generation ([`DecodeServer`]) |
 //! | [`controller`] | measured-latency feedback controller (extends the `flexiq-serving` [`Controller`] trait) |
 //! | [`metrics`] | latency histograms, p50/p95/p99, throughput, queue depth, level-switch trace |
 //! | [`server`] | the assembled [`Server`] |
@@ -47,6 +48,7 @@
 pub mod bucket;
 pub mod config;
 pub mod controller;
+pub mod decode;
 pub mod error;
 pub mod loadgen;
 pub mod metrics;
@@ -57,6 +59,7 @@ pub mod worker;
 
 pub use config::{ControlConfig, ServeConfig};
 pub use controller::{FeedbackController, MeasuredController};
+pub use decode::{DecodeConfig, DecodeServer, GenResponse, GenTicket};
 pub use error::{Result, ServeError};
 pub use loadgen::{closed_loop, open_loop, LoadReport};
 pub use metrics::{LatencyHistogram, LevelSwitch, MetricsHub, Snapshot};

@@ -8,6 +8,18 @@
 //! policy: dispatch as soon as `max_batch` requests are waiting, or when
 //! `batch_timeout` has elapsed since the batch's first request was
 //! picked up — whichever comes first.
+//!
+//! [`AdmissionQueue::pop_batch_bucketed`] layers bucket-aware admission
+//! on top for variable-length work: the FIFO head still anchors every
+//! batch (no starvation), but the fill phase prefers queued requests
+//! whose power-of-two length class matches the anchor's, so dispatched
+//! batches co-bucket and the padded-stack waste the bucket planner would
+//! otherwise absorb never enters the batch at all. Non-matching requests
+//! are left queued in order; the oldest one anchors the next batch.
+//!
+//! The queue is generic over its item (`QueuedRequest` by default): the
+//! continuous-batching decode scheduler reuses the same admission policy
+//! for generation requests.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -16,20 +28,26 @@ use std::time::{Duration, Instant};
 use crate::error::{Result, ServeError};
 use crate::request::QueuedRequest;
 
-struct Inner {
-    deque: VecDeque<QueuedRequest>,
+struct Inner<T> {
+    deque: VecDeque<T>,
     closed: bool,
 }
 
 /// The bounded MPMC admission queue.
-pub struct AdmissionQueue {
-    inner: Mutex<Inner>,
+pub struct AdmissionQueue<T = QueuedRequest> {
+    inner: Mutex<Inner<T>>,
     /// Signalled on push and close.
     arrived: Condvar,
     capacity: usize,
 }
 
-impl AdmissionQueue {
+/// Power-of-two length class: lengths in `[2^k, 2^{k+1})` share a class
+/// (the same classes [`crate::bucket::plan_buckets`] pads within).
+fn len_class(len: usize) -> u32 {
+    usize::BITS - len.max(1).leading_zeros()
+}
+
+impl<T> AdmissionQueue<T> {
     /// Creates a queue holding at most `capacity` requests.
     pub fn new(capacity: usize) -> Self {
         AdmissionQueue {
@@ -47,7 +65,7 @@ impl AdmissionQueue {
     ///
     /// Returns the queue depth right after the push, so the admission
     /// path need not re-take the lock just to publish a gauge.
-    pub fn try_push(&self, req: QueuedRequest) -> Result<usize> {
+    pub fn try_push(&self, req: T) -> Result<usize> {
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.closed {
             return Err(ServeError::ShuttingDown);
@@ -74,24 +92,103 @@ impl AdmissionQueue {
     /// depth left behind (for the worker's gauge, measured while the
     /// lock is still held), or `None` once the queue is closed *and*
     /// drained — the worker's signal to exit.
-    pub fn pop_batch(
+    pub fn pop_batch(&self, max_batch: usize, batch_timeout: Duration) -> Option<(Vec<T>, usize)> {
+        self.pop_batch_with(max_batch, batch_timeout, |_, _| true)
+    }
+
+    /// [`AdmissionQueue::pop_batch`] with bucket-aware admission: the
+    /// FIFO head anchors the batch as usual (so nothing starves), but
+    /// the fill phase admits only requests whose power-of-two length
+    /// class (per `len_of`) matches the anchor's — the classes the
+    /// bucket planner pads within, so a dispatched batch never carries
+    /// cross-bucket padding waste. Requests `len_of` declines to
+    /// classify (`None`) group with each other, not with classified
+    /// ones. Skipped requests keep their queue order; the oldest
+    /// anchors the next batch.
+    pub fn pop_batch_bucketed(
         &self,
         max_batch: usize,
         batch_timeout: Duration,
-    ) -> Option<(Vec<QueuedRequest>, usize)> {
+        len_of: impl Fn(&T) -> Option<usize>,
+    ) -> Option<(Vec<T>, usize)> {
+        self.pop_batch_with(max_batch, batch_timeout, |anchor, cand| {
+            len_of(anchor).map(len_class) == len_of(cand).map(len_class)
+        })
+    }
+
+    /// Non-blocking [`AdmissionQueue::pop_batch`]: takes whatever is
+    /// queued right now (up to `max_batch`), possibly nothing. The
+    /// continuous-batching decode scheduler uses this to refill free
+    /// slots between fused steps without ever stalling the running
+    /// batch. Returns the batch plus the depth left behind.
+    pub fn try_pop_batch(&self, max_batch: usize) -> (Vec<T>, usize) {
+        self.try_pop_batch_with(max_batch, |_, _| true)
+    }
+
+    /// Non-blocking [`AdmissionQueue::pop_batch_bucketed`]: same
+    /// anchor-class admission, but returns immediately with whatever
+    /// co-bucketed requests are queued right now.
+    pub fn try_pop_batch_bucketed(
+        &self,
+        max_batch: usize,
+        len_of: impl Fn(&T) -> Option<usize>,
+    ) -> (Vec<T>, usize) {
+        self.try_pop_batch_with(max_batch, |anchor, cand| {
+            len_of(anchor).map(len_class) == len_of(cand).map(len_class)
+        })
+    }
+
+    fn try_pop_batch_with(
+        &self,
+        max_batch: usize,
+        admit: impl Fn(&T, &T) -> bool,
+    ) -> (Vec<T>, usize) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let mut batch = Vec::new();
+        if max_batch > 0 {
+            if let Some(first) = inner.deque.pop_front() {
+                batch.push(first);
+                let mut i = 0;
+                while batch.len() < max_batch && i < inner.deque.len() {
+                    if admit(&batch[0], &inner.deque[i]) {
+                        let r = inner.deque.remove(i).expect("indexed request");
+                        batch.push(r);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let depth = inner.deque.len();
+        (batch, depth)
+    }
+
+    /// The shared two-phase batching loop: `admit(anchor, candidate)`
+    /// decides which queued requests may join the anchor's batch.
+    fn pop_batch_with(
+        &self,
+        max_batch: usize,
+        batch_timeout: Duration,
+        admit: impl Fn(&T, &T) -> bool,
+    ) -> Option<(Vec<T>, usize)> {
         let mut inner = self.inner.lock().expect("queue lock");
         // Phase 1: wait for the first request.
         loop {
             if let Some(first) = inner.deque.pop_front() {
                 let mut batch = Vec::with_capacity(max_batch);
                 batch.push(first);
-                // Phase 2: fill until full or the batching window closes.
+                // Phase 2: fill until full or the batching window closes,
+                // taking admissible requests in queue order and leaving
+                // the rest queued in order.
                 let t0 = Instant::now();
                 loop {
-                    while batch.len() < max_batch {
-                        match inner.deque.pop_front() {
-                            Some(r) => batch.push(r),
-                            None => break,
+                    let mut i = 0;
+                    while batch.len() < max_batch && i < inner.deque.len() {
+                        if admit(&batch[0], &inner.deque[i]) {
+                            let r = inner.deque.remove(i).expect("indexed request");
+                            batch.push(r);
+                        } else {
+                            i += 1;
                         }
                     }
                     if batch.len() >= max_batch || inner.closed {
@@ -226,6 +323,83 @@ mod tests {
         let (batch, _) = q.pop_batch(4, Duration::from_millis(5)).unwrap();
         assert_eq!(batch.len(), 1);
         assert!(q.pop_batch(4, Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn bucketed_pop_prefers_co_bucketed_lengths() {
+        // Items are prompt lengths; classes: {4,5,7} share [4,8), {9,12}
+        // share [8,16), {2,3} share [2,4).
+        let q = AdmissionQueue::<usize>::new(64);
+        for len in [4usize, 9, 5, 2, 7, 12, 3] {
+            q.try_push(len).unwrap();
+        }
+        let (batch, left) = q
+            .pop_batch_bucketed(8, Duration::from_millis(5), |&l| Some(l))
+            .unwrap();
+        assert_eq!(batch, vec![4, 5, 7], "anchor's class fills in queue order");
+        assert_eq!(left, 4);
+        // Skipped requests kept their order; the oldest anchors next.
+        let (batch, _) = q
+            .pop_batch_bucketed(8, Duration::from_millis(5), |&l| Some(l))
+            .unwrap();
+        assert_eq!(batch, vec![9, 12]);
+        let (batch, left) = q
+            .pop_batch_bucketed(8, Duration::from_millis(5), |&l| Some(l))
+            .unwrap();
+        assert_eq!(batch, vec![2, 3]);
+        assert_eq!(left, 0);
+    }
+
+    #[test]
+    fn bucketed_pop_never_starves_the_head() {
+        // A lone odd-class request at the head must still dispatch: the
+        // FIFO head always anchors, whatever its class.
+        let q = AdmissionQueue::<usize>::new(64);
+        for len in [100usize, 4, 4, 4] {
+            q.try_push(len).unwrap();
+        }
+        let (batch, _) = q
+            .pop_batch_bucketed(4, Duration::from_millis(5), |&l| Some(l))
+            .unwrap();
+        assert_eq!(batch, vec![100], "mismatched head still dispatches alone");
+        let (batch, _) = q
+            .pop_batch_bucketed(4, Duration::from_millis(5), |&l| Some(l))
+            .unwrap();
+        assert_eq!(batch, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn bucketed_pop_fills_from_late_co_bucketed_arrivals() {
+        let q = Arc::new(AdmissionQueue::<usize>::new(64));
+        q.try_push(5).unwrap();
+        q.try_push(20).unwrap(); // different class — stays queued
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.try_push(6).unwrap();
+        });
+        let (batch, left) = q
+            .pop_batch_bucketed(2, Duration::from_millis(500), |&l| Some(l))
+            .unwrap();
+        pusher.join().unwrap();
+        assert_eq!(batch, vec![5, 6], "late co-bucketed arrival joins early");
+        assert_eq!(left, 1, "the off-class request waits for its own batch");
+    }
+
+    #[test]
+    fn unclassified_items_group_together() {
+        let q = AdmissionQueue::<Option<usize>>::new(64);
+        for item in [None, Some(4usize), None, Some(5)] {
+            q.try_push(item).unwrap();
+        }
+        let (batch, _) = q
+            .pop_batch_bucketed(4, Duration::from_millis(5), |l| *l)
+            .unwrap();
+        assert_eq!(batch, vec![None, None]);
+        let (batch, _) = q
+            .pop_batch_bucketed(4, Duration::from_millis(5), |l| *l)
+            .unwrap();
+        assert_eq!(batch, vec![Some(4), Some(5)]);
     }
 
     #[test]

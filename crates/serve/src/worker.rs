@@ -160,6 +160,13 @@ pub fn run_batch(
             live.push(req);
         }
     }
+    // Every request can expire before dispatch (a stalled queue, a tight
+    // deadline): the drafted batch is then empty and there is nothing to
+    // stack — skip the pass entirely instead of walking the dispatch path
+    // with a zero-row batch.
+    if live.is_empty() {
+        return;
+    }
     // A batch carrying any sampled request is traced end to end; the
     // first sampled member's id names the trace (spans record even when
     // global telemetry is off).
@@ -377,6 +384,40 @@ pub(crate) mod tests {
         assert!(tickets.remove(0).wait().is_ok());
         let s = metrics.snapshot();
         assert_eq!((s.completed, s.expired, s.batches), (2, 1, 1));
+    }
+
+    #[test]
+    fn fully_expired_batch_skips_the_pass() {
+        // When every drafted request has expired, the worker must answer
+        // each with DeadlineExpired and dispatch nothing: no stacked pass,
+        // no completion, no poisoned metrics.
+        let (rt, inputs) = tiny_runtime();
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let now = Instant::now();
+        let mut tickets = Vec::new();
+        let mut batch = Vec::new();
+        for (i, x) in inputs.iter().enumerate().take(3) {
+            let (tx, rx) = mpsc::channel();
+            batch.push(QueuedRequest {
+                id: i as u64,
+                input: x.clone(),
+                enqueued_at: now,
+                deadline: Some(now), // expired before dispatch
+                trace: 0,
+                reply: tx,
+            });
+            tickets.push(Ticket { id: i as u64, rx });
+        }
+        run_batch(&rt, &metrics, batch, policy());
+        for t in tickets {
+            assert_eq!(t.wait().unwrap_err(), ServeError::DeadlineExpired);
+        }
+        let s = metrics.snapshot();
+        assert_eq!(
+            (s.completed, s.expired, s.batches),
+            (0, 3, 1),
+            "expired-only batch must complete nothing"
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Lengths accepted by [`vec`]: a fixed size or a size range.
+    /// Lengths accepted by [`vec()`]: a fixed size or a size range.
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;

@@ -476,6 +476,14 @@ pub enum Counter {
     /// Bytes resident in prepacked-weight cache entries (built, not
     /// evicted — the cache only grows until invalidated).
     PackCacheBytes,
+    /// Decode passes executed (a fused multi-session step counts once).
+    DecodeSteps,
+    /// Tokens produced by decode passes (prefill prompt tokens plus one
+    /// per session per step).
+    DecodeTokens,
+    /// Bytes written into decode sessions' K/V caches (monotonic, like
+    /// every counter here: growth since process start, not residency).
+    KvCacheBytes,
     /// Spans lost to ring exhaustion.
     SpansDropped,
 }
@@ -508,6 +516,9 @@ pub struct CountersSnapshot {
     pub pack_cache_hits: u64,
     pub pack_cache_misses: u64,
     pub pack_cache_bytes: u64,
+    pub decode_steps: u64,
+    pub decode_tokens: u64,
+    pub kv_cache_bytes: u64,
     pub spans_dropped: u64,
 }
 
@@ -530,6 +541,9 @@ pub fn counters() -> CountersSnapshot {
         pack_cache_hits: get(Counter::PackCacheHits),
         pack_cache_misses: get(Counter::PackCacheMisses),
         pack_cache_bytes: get(Counter::PackCacheBytes),
+        decode_steps: get(Counter::DecodeSteps),
+        decode_tokens: get(Counter::DecodeTokens),
+        kv_cache_bytes: get(Counter::KvCacheBytes),
         spans_dropped: get(Counter::SpansDropped),
     }
 }

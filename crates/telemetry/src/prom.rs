@@ -120,6 +120,27 @@ pub fn render(c: &CountersSnapshot) -> String {
     );
     sample(
         &mut out,
+        "flexiq_decode_steps_total",
+        "Fused decode passes run (prefills and decode steps).",
+        "counter",
+        c.decode_steps,
+    );
+    sample(
+        &mut out,
+        "flexiq_decode_tokens_total",
+        "Tokens pushed through the decode walker.",
+        "counter",
+        c.decode_tokens,
+    );
+    sample(
+        &mut out,
+        "flexiq_kv_cache_bytes_total",
+        "Bytes appended to quantized K/V decode caches.",
+        "counter",
+        c.kv_cache_bytes,
+    );
+    sample(
+        &mut out,
         "flexiq_telemetry_spans_dropped_total",
         "Telemetry spans lost to ring-buffer exhaustion.",
         "counter",
@@ -140,6 +161,9 @@ mod tests {
             gemm_isa_avx2: 5,
             pack_cache_hits: 11,
             pack_cache_bytes: 4096,
+            decode_steps: 9,
+            decode_tokens: 42,
+            kv_cache_bytes: 1536,
             ..Default::default()
         };
         let text = render(&c);
@@ -152,6 +176,9 @@ mod tests {
         assert!(text.contains("\nflexiq_pack_cache_events_total{event=\"hit\"} 11\n"));
         assert!(text.contains("\nflexiq_pack_cache_events_total{event=\"miss\"} 0\n"));
         assert!(text.contains("\nflexiq_pack_cache_bytes_total 4096\n"));
+        assert!(text.contains("\nflexiq_decode_steps_total 9\n"));
+        assert!(text.contains("\nflexiq_decode_tokens_total 42\n"));
+        assert!(text.contains("\nflexiq_kv_cache_bytes_total 1536\n"));
         // Every sample line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.split_whitespace();

@@ -4,7 +4,7 @@
 //! kernels in `flexiq-gpu-sim` and `flexiq-npu-sim`: every mixed-precision
 //! result produced there must match the plain integer GEMM of the
 //! dequantization-equivalent operands computed here. The naive loops that
-//! used to live here survive in [`reference`] — the blocked kernels are
+//! used to live here survive in `reference` — the blocked kernels are
 //! property-tested bit-exact against them across shapes, bands, layouts,
 //! and thread counts.
 //!
@@ -87,7 +87,7 @@
 //! `FLEXIQ_NO_SIMD=1` forces the scalar tiles). Edge tiles and
 //! sub-threshold problems always run the scalar/reference code. The
 //! AVX2 integer path packs its rhs into a dedicated `pmaddwd` *pair*
-//! panel ([`pack_b_i8_pairs`]); every other ISA shares the plain
+//! panel (`pack_b_i8_pairs`); every other ISA shares the plain
 //! panels. All paths are bit-identical — the f32 SIMD tiles keep
 //! per-element k-accumulation in ascending order with unfused
 //! multiply-adds, and integer tiles are exact in `i32` regardless of
@@ -132,7 +132,7 @@ use crate::simd::{self, Isa};
 pub const PAR_MIN_WORK: usize = 64 * 1024;
 
 /// Minimum multiply-add count before packing + blocking pays for itself;
-/// smaller problems run the [`reference`] loops directly.
+/// smaller problems run the `reference` loops directly.
 pub const BLOCK_MIN_WORK: usize = 8 * 1024;
 
 /// Minimum rhs extent (`kb * n` elements) before the **f32** kernels

@@ -19,7 +19,7 @@
 //!   combined objective.
 //! * [`sgd`] — SGD with momentum, weight decay and step-decay LR, the
 //!   paper's §8.1 training setup.
-//! * [`finetune`] — the dual-bitwidth finetuning driver.
+//! * [`mod@finetune`] — the dual-bitwidth finetuning driver.
 
 pub mod diff;
 pub mod finetune;
