@@ -2,7 +2,7 @@
 //! `BENCH_*.json` artifacts and fails (exit 1) on any regression.
 //!
 //! Run after `exp_batch_scaling`, `exp_varlen`, `exp_gemm`,
-//! `exp_telemetry` and `exp_decode`:
+//! `exp_telemetry`, `exp_decode` and `exp_fault`:
 //!
 //! ```text
 //! cargo run --release -p flexiq-bench --bin bench_check
@@ -15,7 +15,10 @@
 //! splitting on the mixed-length LM trace; blocked+packed GEMM kernels
 //! at least their gated factor over the naive reference; full span
 //! tracing within its declared overhead budget; continuous-batching
-//! decode at least its gated factor over static batching in tokens/sec.
+//! decode at least its gated factor over static batching in tokens/sec;
+//! goodput under the fixed fault schedule at least its gated fraction
+//! of the fault-free rate with zero hung tickets, bounded recovery and
+//! a disarmed fault framework within its overhead budget.
 //! A missing or malformed artifact fails the gate — silence is the
 //! failure mode this bin exists to remove.
 
@@ -33,6 +36,7 @@ fn main() {
         read("BENCH_gemm.json").as_deref(),
         read("BENCH_telemetry.json").as_deref(),
         read("BENCH_decode.json").as_deref(),
+        read("BENCH_fault.json").as_deref(),
     );
     println!("bench gate: {} checks", checks.len());
     for c in &checks {

@@ -32,6 +32,12 @@
 //!   in tokens/sec on the decode trace, the trace must actually have
 //!   generated tokens, and the artifact may not weaken the gate factor
 //!   below the repo's floor (`DECODE_MIN_SPEEDUP`).
+//! * `BENCH_fault.json` — under the fixed fault schedule the server
+//!   must keep at least `min_goodput_ratio` of its fault-free goodput
+//!   (floor `FAULT_MIN_GOODPUT_RATIO`), no ticket may hang, the
+//!   schedule must actually have fired, the fleet must recover within
+//!   its disarm budget, and the disarmed fault framework must cost at
+//!   most `max_overhead_pct` (floor `FAULT_MAX_OVERHEAD_PCT`).
 
 use crate::json::Json;
 
@@ -354,9 +360,80 @@ pub fn check_decode(doc: &Json) -> Result<Vec<GateCheck>, String> {
     ])
 }
 
+/// The goodput floor `exp_fault` gates its schedule at. Mirrored here
+/// so an artifact whose `min_goodput_ratio` was quietly lowered is
+/// rejected as under-gated.
+const FAULT_MIN_GOODPUT_RATIO: f64 = 0.7;
+
+/// The disarmed-overhead budget `exp_fault` declares. Mirrored here so
+/// an artifact that quietly inflated its own budget is rejected.
+const FAULT_MAX_OVERHEAD_PCT: f64 = 1.0;
+
+/// Criteria over `BENCH_fault.json`: under the fixed fault schedule
+/// goodput must stay at or above the declared ratio of the fault-free
+/// run (and that ratio may not be weakened below the repo floor), no
+/// ticket may hang, the schedule must actually have fired (a zero-fault
+/// run would make the ratio vacuous), the fleet must return to Ready
+/// within the declared recovery budget after disarm, and the disarmed
+/// fault-injection framework must stay within its declared overhead
+/// budget (which may not be inflated above the repo floor).
+pub fn check_fault(doc: &Json) -> Result<Vec<GateCheck>, String> {
+    let field = |name: &str| {
+        doc.num(name)
+            .ok_or_else(|| format!("BENCH_fault.json: missing \"{name}\""))
+    };
+    let clean = field("goodput_clean_rps")?;
+    let faulted = field("goodput_fault_rps")?;
+    let ratio = field("goodput_ratio")?;
+    let min_ratio = field("min_goodput_ratio")?;
+    let hung = field("hung_tickets")?;
+    let injected = field("faults_injected")?;
+    let recovery = field("recovery_ms")?;
+    let max_recovery = field("max_recovery_ms")?;
+    let overhead = field("overhead_pct")?;
+    let max_overhead = field("max_overhead_pct")?;
+    Ok(vec![
+        GateCheck::new(
+            format!("fault: goodput >= {min_ratio}x fault-free"),
+            ratio >= min_ratio,
+            format!("{ratio:.3}x ({faulted:.1} vs {clean:.1} rps)"),
+        ),
+        GateCheck::new(
+            format!("fault: goodput floor at the repo floor (>= {FAULT_MIN_GOODPUT_RATIO})"),
+            min_ratio >= FAULT_MIN_GOODPUT_RATIO,
+            format!("min_goodput_ratio = {min_ratio}"),
+        ),
+        GateCheck::new(
+            "fault: no hung tickets",
+            hung == 0.0,
+            format!("{hung:.0} hung"),
+        ),
+        GateCheck::new(
+            "fault: schedule actually fired",
+            injected > 0.0,
+            format!("{injected:.0} faults injected"),
+        ),
+        GateCheck::new(
+            format!("fault: fleet recovered within {max_recovery} ms of disarm"),
+            recovery.is_finite() && recovery <= max_recovery,
+            format!("{recovery:.2} ms"),
+        ),
+        GateCheck::new(
+            format!("fault: disarmed overhead <= {max_overhead}%"),
+            overhead <= max_overhead,
+            format!("{overhead:.2}%"),
+        ),
+        GateCheck::new(
+            format!("fault: overhead budget at the repo floor (<= {FAULT_MAX_OVERHEAD_PCT}%)"),
+            max_overhead <= FAULT_MAX_OVERHEAD_PCT,
+            format!("max_overhead_pct = {max_overhead}"),
+        ),
+    ])
+}
+
 /// Runs every gate over artifact texts (missing file = `None` = failed
-/// gate, since CI produces all six right before the check). Returns the
-/// checks and the overall verdict.
+/// gate, since CI produces all seven right before the check). Returns
+/// the checks and the overall verdict.
 pub fn run_gate(
     batch: Option<&str>,
     parallel: Option<&str>,
@@ -364,6 +441,7 @@ pub fn run_gate(
     gemm: Option<&str>,
     telemetry: Option<&str>,
     decode: Option<&str>,
+    fault: Option<&str>,
 ) -> (Vec<GateCheck>, bool) {
     let mut checks = Vec::new();
     for (file, text, check) in [
@@ -378,6 +456,7 @@ pub fn run_gate(
         ("BENCH_gemm.json", gemm, check_prepacked),
         ("BENCH_telemetry.json", telemetry, check_telemetry),
         ("BENCH_decode.json", decode, check_decode),
+        ("BENCH_fault.json", fault, check_fault),
     ] {
         match text {
             None => checks.push(GateCheck::new(
@@ -458,6 +537,29 @@ mod tests {
         )
     }
 
+    fn fault_doc(
+        ratio: f64,
+        min_ratio: f64,
+        hung: f64,
+        injected: f64,
+        recovery_ms: f64,
+        overhead: f64,
+        max_overhead: f64,
+    ) -> String {
+        format!(
+            "{{\"goodput_clean_rps\": 100.0, \"goodput_fault_rps\": {:.1}, \
+             \"goodput_ratio\": {ratio}, \"min_goodput_ratio\": {min_ratio}, \
+             \"hung_tickets\": {hung}, \"faults_injected\": {injected}, \
+             \"recovery_ms\": {recovery_ms}, \"max_recovery_ms\": 5000.0, \
+             \"overhead_pct\": {overhead}, \"max_overhead_pct\": {max_overhead}}}",
+            100.0 * ratio
+        )
+    }
+
+    fn healthy_fault_doc() -> String {
+        fault_doc(0.91, 0.7, 0.0, 42.0, 12.5, 0.2, 1.0)
+    }
+
     fn decode_doc(speedup: f64, min: f64, tokens: f64) -> String {
         format!(
             "{{\"continuous_tok_s\": {:.1}, \"static_tok_s\": 1000.0, \
@@ -477,9 +579,10 @@ mod tests {
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
             Some(&decode_doc(1.5, 1.2, 240.0)),
+            Some(&healthy_fault_doc()),
         );
         assert!(ok, "checks: {checks:?}");
-        assert_eq!(checks.len(), 17);
+        assert_eq!(checks.len(), 24);
     }
 
     #[test]
@@ -495,8 +598,50 @@ mod tests {
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
             Some(&decode_doc(1.5, 1.2, 240.0)),
+            Some(&healthy_fault_doc()),
         );
         assert!(!ok);
+    }
+
+    #[test]
+    fn doctored_fault_regression_fails() {
+        // Goodput collapsing under the schedule: the regression this
+        // gate exists for.
+        let doc = Json::parse(&fault_doc(0.55, 0.7, 0.0, 42.0, 12.5, 0.2, 1.0)).unwrap();
+        let checks = check_fault(&doc).unwrap();
+        assert!(!checks[0].pass, "goodput below the ratio floor must fail");
+        assert!(checks[1..].iter().all(|c| c.pass));
+        // At the ratio exactly: pass.
+        let doc = Json::parse(&fault_doc(0.7, 0.7, 0.0, 42.0, 12.5, 0.2, 1.0)).unwrap();
+        assert!(check_fault(&doc).unwrap()[0].pass);
+        // A quietly weakened ratio floor fails even when the (weak)
+        // goodput clears it.
+        let doc = Json::parse(&fault_doc(0.6, 0.5, 0.0, 42.0, 12.5, 0.2, 1.0)).unwrap();
+        let checks = check_fault(&doc).unwrap();
+        assert!(checks[0].pass, "ratio clears its (weakened) gate");
+        assert!(!checks[1].pass, "weakened min_goodput_ratio must fail");
+        // A hung ticket is the invariant violation, never acceptable.
+        let doc = Json::parse(&fault_doc(0.91, 0.7, 1.0, 42.0, 12.5, 0.2, 1.0)).unwrap();
+        assert!(!check_fault(&doc).unwrap()[2].pass);
+        // A schedule that never fired cannot vouch for the ratio.
+        let doc = Json::parse(&fault_doc(0.91, 0.7, 0.0, 0.0, 12.5, 0.2, 1.0)).unwrap();
+        assert!(!check_fault(&doc).unwrap()[3].pass);
+        // Recovery beyond the declared budget fails.
+        let doc = Json::parse(&fault_doc(0.91, 0.7, 0.0, 42.0, 9000.0, 0.2, 1.0)).unwrap();
+        assert!(!check_fault(&doc).unwrap()[4].pass);
+        // Disarmed overhead above the budget fails; an inflated budget
+        // fails the repo floor even when the overhead clears it.
+        let doc = Json::parse(&fault_doc(0.91, 0.7, 0.0, 42.0, 12.5, 2.5, 1.0)).unwrap();
+        assert!(!check_fault(&doc).unwrap()[5].pass);
+        let doc = Json::parse(&fault_doc(0.91, 0.7, 0.0, 42.0, 12.5, 2.5, 3.0)).unwrap();
+        let checks = check_fault(&doc).unwrap();
+        assert!(checks[5].pass, "overhead clears its (inflated) budget");
+        assert!(!checks[6].pass, "inflated max_overhead_pct must fail");
+        // An artifact predating the sweep fails structurally, not
+        // silently on stale numbers.
+        assert!(Json::parse("{\"goodput_ratio\": 0.9}")
+            .map(|d| check_fault(&d).is_err())
+            .unwrap_or(false));
     }
 
     #[test]
@@ -667,6 +812,7 @@ mod tests {
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
             Some(&decode_doc(1.5, 1.2, 240.0)),
+            Some(&healthy_fault_doc()),
         );
         assert!(!ok);
         assert!(!checks[0].pass, "missing file must fail");
@@ -679,6 +825,7 @@ mod tests {
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
             Some(&decode_doc(1.5, 1.2, 240.0)),
+            Some(&healthy_fault_doc()),
         );
         assert!(!ok);
         // A missing decode artifact fails (CI runs exp_decode right
@@ -690,8 +837,27 @@ mod tests {
             Some(&gemm_doc("scalar", 2.3, 1.5)),
             Some(&telemetry_doc(1.1, 120.0)),
             None,
+            Some(&healthy_fault_doc()),
         );
         assert!(!ok);
-        assert!(!checks.last().unwrap().pass, "missing decode artifact");
+        assert!(
+            checks
+                .iter()
+                .any(|c| !c.pass && c.name == "BENCH_decode.json: present"),
+            "missing decode artifact"
+        );
+        // Likewise a missing fault artifact (CI runs exp_fault right
+        // before the check).
+        let (checks, ok) = run_gate(
+            Some(&batch_doc(0.4, 1.0)),
+            Some(&parallel_doc(true, 10.0, 4.0)),
+            Some(&varlen_doc(8.0, 3.0)),
+            Some(&gemm_doc("scalar", 2.3, 1.5)),
+            Some(&telemetry_doc(1.1, 120.0)),
+            Some(&decode_doc(1.5, 1.2, 240.0)),
+            None,
+        );
+        assert!(!ok);
+        assert!(!checks.last().unwrap().pass, "missing fault artifact");
     }
 }

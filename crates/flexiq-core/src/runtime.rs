@@ -248,6 +248,20 @@ impl FlexiRuntime {
         self.schedule.len()
     }
 
+    /// The schedule level with the largest 4-bit ratio — the cheapest
+    /// (fastest, lowest-accuracy) configuration the runtime can run.
+    /// This is the brownout target: a degraded server pins this level
+    /// to survive overload. Robust to unsorted schedules; `None` when
+    /// the schedule is empty (INT8 is then the only configuration).
+    pub fn cheapest_level(&self) -> Option<usize> {
+        self.schedule
+            .ratios
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+    }
+
     /// Switches the active ratio level.
     ///
     /// This is the runtime's entire precision switch: one atomic store.

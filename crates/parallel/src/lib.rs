@@ -277,6 +277,17 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Liveness probe: dispatches one trivial task per thread and
+    /// returns the round-trip time. A serving supervisor calls this to
+    /// verify the shared intra-batch pool still answers (helpers survive
+    /// task panics by design, so an unresponsive pool means something
+    /// external — a wedged core, a runaway task — deserves attention).
+    pub fn ping(&self) -> std::time::Duration {
+        let t0 = std::time::Instant::now();
+        self.run(self.threads, |_| {});
+        t0.elapsed()
+    }
+
     /// Whether this pool pins its helper threads to cores.
     pub fn pinned(&self) -> bool {
         self.pinned

@@ -1,0 +1,358 @@
+//! Brownout: graceful degradation under sustained overload.
+//!
+//! The paper's latency/accuracy knob (§8.3's adaptive controller) doubles
+//! as a *survival* mechanism: before a saturated server starts missing
+//! deadlines wholesale, it can first run everything at full 4-bit — the
+//! cheapest configuration the schedule offers — and only then shed load
+//! with fast typed rejections. The ladder:
+//!
+//! ```text
+//! Ready ──sustained pressure──▶ Degraded ──more pressure──▶ Shedding
+//!   ▲                              │ ▲                          │
+//!   └────────── calm ──────────────┘ └────────── calm ──────────┘
+//!                        (hysteresis in both directions)
+//!
+//! Draining: entered only via Server::drain(); never left automatically.
+//! ```
+//!
+//! * **Degraded** — the control loop forces the precision controller to
+//!   the maximum (full low-bit) level; everything is still admitted.
+//! * **Shedding** — new submissions are rejected immediately with
+//!   [`ServeError::Shedding`] so
+//!   they can be retried elsewhere instead of queueing past their
+//!   deadlines; already-queued work keeps draining, which is what lets
+//!   the machine recover.
+//! * **Draining** — operator-initiated (health/drain API): no new
+//!   admissions, in-flight work finishes.
+//!
+//! Pressure is evaluated every supervisor tick from queue depth (as a
+//! fraction of capacity) and deadline misses. Escalation and recovery
+//! both require a *streak* of consecutive ticks, so a one-tick burst
+//! neither browns out the server nor lets it flap back early.
+
+use crate::error::{Result, ServeError};
+
+/// Server lifecycle / degradation state, ordered by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ServeState {
+    /// Normal operation.
+    Ready = 0,
+    /// Sustained pressure: precision forced to full low-bit.
+    Degraded = 1,
+    /// Severe pressure: new submissions are rejected immediately.
+    Shedding = 2,
+    /// Operator-initiated drain: no admissions, in-flight work finishes.
+    Draining = 3,
+}
+
+impl ServeState {
+    /// Decodes the atomic representation (unknown values clamp to
+    /// `Draining`, the most conservative state).
+    pub fn from_u8(v: u8) -> ServeState {
+        match v {
+            0 => ServeState::Ready,
+            1 => ServeState::Degraded,
+            2 => ServeState::Shedding,
+            _ => ServeState::Draining,
+        }
+    }
+
+    /// Stable lowercase name (Prometheus label / logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeState::Ready => "ready",
+            ServeState::Degraded => "degraded",
+            ServeState::Shedding => "shedding",
+            ServeState::Draining => "draining",
+        }
+    }
+}
+
+/// Thresholds and hysteresis of the brownout ladder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BrownoutConfig {
+    /// Master switch; disabled ⇒ the machine never leaves `Ready`.
+    pub enabled: bool,
+    /// Queue depth (fraction of capacity) that counts as pressure.
+    pub degrade_frac: f64,
+    /// Queue depth fraction that counts as severe pressure.
+    pub shed_frac: f64,
+    /// Queue depth fraction at or below which a tick counts as calm.
+    pub recover_frac: f64,
+    /// Deadline expiries within one tick that count as pressure.
+    pub miss_threshold: u64,
+    /// Consecutive pressured ticks before escalating one rung.
+    pub escalate_ticks: u32,
+    /// Consecutive calm ticks before recovering one rung.
+    pub recover_ticks: u32,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enabled: true,
+            degrade_frac: 0.75,
+            shed_frac: 0.95,
+            recover_frac: 0.25,
+            miss_threshold: 1,
+            escalate_ticks: 8,
+            recover_ticks: 16,
+        }
+    }
+}
+
+impl BrownoutConfig {
+    /// Validates threshold ordering and ranges.
+    pub fn validate(&self) -> Result<()> {
+        let frac_ok = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+        if !frac_ok(self.degrade_frac) || !frac_ok(self.shed_frac) || !frac_ok(self.recover_frac) {
+            return Err(ServeError::Config(
+                "brownout fractions must be in [0, 1]".to_string(),
+            ));
+        }
+        if !(self.recover_frac < self.degrade_frac && self.degrade_frac <= self.shed_frac) {
+            return Err(ServeError::Config(format!(
+                "brownout thresholds must satisfy recover < degrade <= shed, got {} / {} / {}",
+                self.recover_frac, self.degrade_frac, self.shed_frac
+            )));
+        }
+        if self.escalate_ticks == 0 || self.recover_ticks == 0 {
+            return Err(ServeError::Config(
+                "brownout escalate/recover tick streaks must be >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One tick's worth of pressure signals.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Pressure {
+    /// Queue depth as a fraction of capacity.
+    pub depth_frac: f64,
+    /// Deadline expiries observed since the previous tick.
+    pub expired_delta: u64,
+}
+
+/// The pure decision core: fed one [`Pressure`] sample per supervisor
+/// tick, returns the new state when a transition fires. Owns no clocks
+/// and no shared handles, so the policy is unit-testable tick by tick —
+/// the same sim-first split as the `Controller` trait.
+#[derive(Clone, Debug)]
+pub struct Brownout {
+    cfg: BrownoutConfig,
+    hot: u32,
+    calm: u32,
+}
+
+impl Brownout {
+    /// A machine starting with empty streaks.
+    pub fn new(cfg: BrownoutConfig) -> Self {
+        Brownout {
+            cfg,
+            hot: 0,
+            calm: 0,
+        }
+    }
+
+    /// Advances one tick. `state` is the current authoritative state
+    /// (held by the metrics hub so the submit path can read it with one
+    /// relaxed load); returns `Some(next)` when a transition fires.
+    pub fn tick(&mut self, state: ServeState, p: Pressure) -> Option<ServeState> {
+        if !self.cfg.enabled || state == ServeState::Draining {
+            // Draining is operator-owned; the machine never exits it.
+            return None;
+        }
+        // Severity of this tick's pressure relative to the rung we'd
+        // escalate *to*: escalating to Shedding needs shed-level depth,
+        // not merely degrade-level.
+        let escalate_frac = match state {
+            ServeState::Ready => self.cfg.degrade_frac,
+            _ => self.cfg.shed_frac,
+        };
+        let pressured = p.depth_frac >= escalate_frac || p.expired_delta >= self.cfg.miss_threshold;
+        let calm = p.depth_frac <= self.cfg.recover_frac && p.expired_delta == 0;
+
+        if pressured {
+            self.hot = self.hot.saturating_add(1);
+            self.calm = 0;
+        } else if calm {
+            self.calm = self.calm.saturating_add(1);
+            self.hot = 0;
+        } else {
+            // Mid-band: hold position, break both streaks.
+            self.hot = 0;
+            self.calm = 0;
+        }
+
+        let next = if self.hot >= self.cfg.escalate_ticks {
+            match state {
+                ServeState::Ready => Some(ServeState::Degraded),
+                ServeState::Degraded => Some(ServeState::Shedding),
+                _ => None,
+            }
+        } else if self.calm >= self.cfg.recover_ticks {
+            match state {
+                ServeState::Shedding => Some(ServeState::Degraded),
+                ServeState::Degraded => Some(ServeState::Ready),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if next.is_some() {
+            // A transition consumes the streak; the next rung needs a
+            // fresh one.
+            self.hot = 0;
+            self.calm = 0;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BrownoutConfig {
+        BrownoutConfig {
+            escalate_ticks: 3,
+            recover_ticks: 4,
+            ..BrownoutConfig::default()
+        }
+    }
+
+    fn hot() -> Pressure {
+        Pressure {
+            depth_frac: 1.0,
+            expired_delta: 0,
+        }
+    }
+
+    fn calm() -> Pressure {
+        Pressure {
+            depth_frac: 0.0,
+            expired_delta: 0,
+        }
+    }
+
+    #[test]
+    fn escalates_and_recovers_one_rung_at_a_time_with_hysteresis() {
+        let mut b = Brownout::new(cfg());
+        let mut state = ServeState::Ready;
+        // Two hot ticks: not enough.
+        assert_eq!(b.tick(state, hot()), None);
+        assert_eq!(b.tick(state, hot()), None);
+        // Third completes the streak.
+        state = b.tick(state, hot()).expect("escalate");
+        assert_eq!(state, ServeState::Degraded);
+        // The streak was consumed: two more hot ticks don't escalate.
+        assert_eq!(b.tick(state, hot()), None);
+        assert_eq!(b.tick(state, hot()), None);
+        state = b.tick(state, hot()).expect("escalate");
+        assert_eq!(state, ServeState::Shedding);
+        // Shedding is the top rung.
+        for _ in 0..8 {
+            assert_eq!(b.tick(state, hot()), None);
+        }
+        // Recovery needs recover_ticks consecutive calm ticks.
+        for _ in 0..3 {
+            assert_eq!(b.tick(state, calm()), None);
+        }
+        state = b.tick(state, calm()).expect("recover");
+        assert_eq!(state, ServeState::Degraded);
+        for _ in 0..3 {
+            assert_eq!(b.tick(state, calm()), None);
+        }
+        state = b.tick(state, calm()).expect("recover");
+        assert_eq!(state, ServeState::Ready);
+    }
+
+    #[test]
+    fn deadline_misses_count_as_pressure_and_break_calm() {
+        let mut b = Brownout::new(cfg());
+        let miss = Pressure {
+            depth_frac: 0.0,
+            expired_delta: 2,
+        };
+        assert_eq!(b.tick(ServeState::Ready, miss), None);
+        assert_eq!(b.tick(ServeState::Ready, miss), None);
+        assert_eq!(b.tick(ServeState::Ready, miss), Some(ServeState::Degraded));
+    }
+
+    #[test]
+    fn mid_band_breaks_both_streaks() {
+        let mut b = Brownout::new(cfg());
+        let mid = Pressure {
+            depth_frac: 0.5,
+            expired_delta: 0,
+        };
+        assert_eq!(b.tick(ServeState::Ready, hot()), None);
+        assert_eq!(b.tick(ServeState::Ready, hot()), None);
+        // Mid-band tick resets the hot streak: pressure must restart.
+        assert_eq!(b.tick(ServeState::Ready, mid), None);
+        assert_eq!(b.tick(ServeState::Ready, hot()), None);
+        assert_eq!(b.tick(ServeState::Ready, hot()), None);
+        assert_eq!(b.tick(ServeState::Ready, hot()), Some(ServeState::Degraded));
+    }
+
+    #[test]
+    fn degrade_level_pressure_does_not_push_degraded_into_shedding() {
+        let mut b = Brownout::new(cfg());
+        // Depth between degrade_frac and shed_frac: enough to *enter*
+        // Degraded, not enough to escalate further.
+        let warm = Pressure {
+            depth_frac: 0.8,
+            expired_delta: 0,
+        };
+        for _ in 0..16 {
+            assert_eq!(b.tick(ServeState::Degraded, warm), None);
+        }
+    }
+
+    #[test]
+    fn draining_is_sticky_and_disabled_machines_never_move() {
+        let mut b = Brownout::new(cfg());
+        assert_eq!(b.tick(ServeState::Draining, hot()), None);
+        assert_eq!(b.tick(ServeState::Draining, calm()), None);
+        let mut off = Brownout::new(BrownoutConfig {
+            enabled: false,
+            ..cfg()
+        });
+        for _ in 0..32 {
+            assert_eq!(off.tick(ServeState::Ready, hot()), None);
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_ladders() {
+        let bad = |f: fn(&mut BrownoutConfig)| {
+            let mut c = BrownoutConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert!(BrownoutConfig::default().validate().is_ok());
+        assert!(bad(|c| c.degrade_frac = 1.5).is_err());
+        assert!(bad(|c| c.recover_frac = 0.9).is_err());
+        assert!(bad(|c| c.shed_frac = 0.5).is_err());
+        assert!(bad(|c| c.escalate_ticks = 0).is_err());
+        assert!(bad(|c| c.recover_ticks = 0).is_err());
+    }
+
+    #[test]
+    fn state_encoding_round_trips_and_orders_by_severity() {
+        for s in [
+            ServeState::Ready,
+            ServeState::Degraded,
+            ServeState::Shedding,
+            ServeState::Draining,
+        ] {
+            assert_eq!(ServeState::from_u8(s as u8), s);
+            assert!(!s.name().is_empty());
+        }
+        assert!(ServeState::Ready < ServeState::Degraded);
+        assert!(ServeState::Shedding < ServeState::Draining);
+        assert_eq!(ServeState::from_u8(99), ServeState::Draining);
+    }
+}

@@ -2,7 +2,9 @@
 
 use std::time::Duration;
 
+use crate::brownout::BrownoutConfig;
 use crate::error::{Result, ServeError};
+use crate::fault::FaultConfig;
 
 /// Dynamic-batching and admission parameters of a [`crate::Server`].
 #[derive(Debug, Clone)]
@@ -87,6 +89,24 @@ pub struct ServeConfig {
     /// trade startup time for lazy, on-demand population. Ignored (the
     /// cache is bypassed entirely) under `FLEXIQ_NO_PREPACK=1`.
     pub prewarm: bool,
+    /// Reject requests whose input contains a non-finite value (NaN /
+    /// Inf) with [`ServeError::PoisonedInput`] before batching.
+    ///
+    /// Stacked batches share activation-quantization statistics, so one
+    /// poisoned sample would corrupt its batch siblings' outputs — the
+    /// scan (one pass over the input, far cheaper than the model pass)
+    /// keeps the bit-exactness invariant under garbage clients. On by
+    /// default; turn off only if inputs are validated upstream.
+    pub validate_inputs: bool,
+    /// How often the supervisor thread checks worker liveness and ticks
+    /// the brownout state machine.
+    pub supervise_tick: Duration,
+    /// Brownout (graceful-degradation) ladder parameters.
+    pub brownout: BrownoutConfig,
+    /// Programmatic fault-injection schedule armed at server start
+    /// (`None` leaves the global arming state alone, so `FLEXIQ_FAULT`
+    /// still applies). Used by the chaos suite and `exp_fault`.
+    pub fault: Option<FaultConfig>,
     /// Feedback-control parameters.
     pub control: ControlConfig,
 }
@@ -105,6 +125,10 @@ impl Default for ServeConfig {
             max_padding_waste: 0.5,
             trace_sample_rate: 0.0,
             prewarm: true,
+            validate_inputs: true,
+            supervise_tick: Duration::from_millis(2),
+            brownout: BrownoutConfig::default(),
+            fault: None,
             control: ControlConfig::default(),
         }
     }
@@ -138,6 +162,13 @@ impl ServeConfig {
                 "trace_sample_rate {} outside [0, 1]",
                 self.trace_sample_rate
             )));
+        }
+        if self.supervise_tick.is_zero() {
+            return Err(ServeError::Config("supervise_tick must be positive".into()));
+        }
+        self.brownout.validate()?;
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
         }
         self.control.validate()
     }
@@ -307,5 +338,26 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_ok());
+        let c = ServeConfig {
+            supervise_tick: Duration::ZERO,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            brownout: BrownoutConfig {
+                shed_frac: 0.1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            fault: Some(FaultConfig {
+                worker_panic: 7.0,
+                ..FaultConfig::off()
+            }),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
     }
 }

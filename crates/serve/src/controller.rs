@@ -140,6 +140,46 @@ impl Controller for MeasuredController {
     }
 }
 
+/// Brownout override: forces the cheapest precision while the server is
+/// degraded.
+///
+/// Wraps any [`Controller`] and consults the hub's authoritative
+/// [`crate::brownout::ServeState`] on every tick. In `Ready` the inner
+/// controller's decision passes through untouched; in any browned-out
+/// state the guard returns `max_level` (full 4-bit — the cheapest rung
+/// of the schedule) regardless of what the inner policy wants. The
+/// inner controller is still *driven* every tick so its own clock
+/// (cooldowns, idle decay) keeps running — when the brownout lifts, it
+/// resumes from a coherent state instead of a stale one.
+pub struct BrownoutGuard {
+    inner: Box<dyn Controller + Send>,
+    hub: Arc<MetricsHub>,
+    max_level: usize,
+}
+
+impl BrownoutGuard {
+    /// Wraps `inner`, overriding to `max_level` (controller space) while
+    /// `hub` reports a non-`Ready` state.
+    pub fn new(inner: Box<dyn Controller + Send>, hub: Arc<MetricsHub>, max_level: usize) -> Self {
+        BrownoutGuard {
+            inner,
+            hub,
+            max_level,
+        }
+    }
+}
+
+impl Controller for BrownoutGuard {
+    fn level(&mut self, now: f64, rate: f64) -> usize {
+        let wanted = self.inner.level(now, rate);
+        if self.hub.serve_state() == crate::brownout::ServeState::Ready {
+            wanted
+        } else {
+            self.max_level
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +274,21 @@ mod tests {
         // 10ms later: within the 50ms hold, no further change.
         assert_eq!(c.decide(0.010, Some((8, 1.0))), 1);
         assert_eq!(c.decide(0.060, Some((8, 1.0))), 2);
+    }
+
+    #[test]
+    fn brownout_guard_overrides_only_while_browned_out() {
+        use crate::brownout::ServeState;
+        let hub = Arc::new(MetricsHub::new(Duration::from_secs(1)));
+        let inner = Box::new(flexiq_serving::FixedLevel(1));
+        let mut g = BrownoutGuard::new(inner, Arc::clone(&hub), 4);
+        assert_eq!(g.level(0.0, 0.0), 1, "Ready: inner decision passes");
+        hub.set_serve_state(ServeState::Degraded);
+        assert_eq!(g.level(1.0, 0.0), 4, "Degraded: forced to cheapest");
+        hub.set_serve_state(ServeState::Shedding);
+        assert_eq!(g.level(2.0, 0.0), 4, "Shedding: forced to cheapest");
+        hub.set_serve_state(ServeState::Ready);
+        assert_eq!(g.level(3.0, 0.0), 1, "recovered: inner decision again");
     }
 
     #[test]

@@ -35,10 +35,24 @@
 //! the served token stream for a prompt is byte-for-byte the stream an
 //! offline [`FlexiRuntime::decode_step`] loop produces — pinned by this
 //! module's tests.
+//!
+//! # Supervision
+//!
+//! The scheduler thread is the decode stack's single point of failure,
+//! so its loop runs inside `catch_unwind`: a panic (a runtime bug, or
+//! the injected [`crate::fault::FaultSite::SchedulerPanic`]) unwinds the
+//! loop, every in-flight generation is answered with the typed
+//! [`ServeError::SchedulerRestarted`] from a kept registry of reply
+//! handles, and the loop re-enters with fresh state — queued requests
+//! are untouched and decode normally. A crash loop (repeated panics
+//! with no progress between them) gives up instead of spinning: the
+//! queue closes and everything still queued is error-answered, so no
+//! ticket hangs even under a 100% panic schedule.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -46,8 +60,18 @@ use flexiq_core::{DecodeSession, FlexiRuntime};
 use flexiq_tensor::Tensor;
 
 use crate::error::{Result, ServeError};
-use crate::queue::AdmissionQueue;
+use crate::fault::{self, FaultSite};
+use crate::queue::{lock_clean, AdmissionQueue};
 use crate::request::RequestId;
+
+/// Consecutive no-progress panics after which the scheduler's respawn
+/// loop concludes the fault is deterministic and gives up (closing the
+/// queue and error-answering everything) instead of crash-looping.
+const CRASH_LOOP_LIMIT: u32 = 8;
+
+/// Reply handles of generations currently owned by the scheduler,
+/// kept *outside* the unwindable loop so a panic can answer them.
+type InflightRegistry = Arc<Mutex<HashMap<RequestId, mpsc::Sender<Result<GenResponse>>>>>;
 
 /// Knobs of the [`DecodeServer`].
 #[derive(Debug, Clone)]
@@ -154,6 +178,18 @@ impl GenTicket {
     pub fn wait(self) -> Result<GenResponse> {
         self.rx.recv().map_err(|_| ServeError::ReplyDropped)?
     }
+
+    /// Blocks until the generation completes or `timeout` elapses
+    /// (answered with [`ServeError::DeadlineExpired`]). The chaos tests
+    /// lean on this: a hung ticket fails the wait instead of wedging
+    /// the harness.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<GenResponse> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExpired),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::ReplyDropped),
+        }
+    }
 }
 
 /// A session mid-generation on the scheduler thread.
@@ -218,24 +254,28 @@ pub struct DecodeServer {
     queue: Arc<AdmissionQueue<GenQueued>>,
     next_id: AtomicU64,
     max_new_tokens: usize,
+    respawns: Arc<AtomicU64>,
     scheduler: Option<JoinHandle<()>>,
 }
 
 impl DecodeServer {
-    /// Starts the scheduler thread.
+    /// Starts the scheduler thread (wrapped in its respawn supervisor).
     pub fn start(runtime: Arc<FlexiRuntime>, config: DecodeConfig) -> Result<DecodeServer> {
         config.validate()?;
         let queue = Arc::new(AdmissionQueue::<GenQueued>::new(config.queue_capacity));
         let q = Arc::clone(&queue);
         let max_new_tokens = config.max_new_tokens;
+        let respawns = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&respawns);
         let scheduler = std::thread::Builder::new()
             .name("flexiq-decode-scheduler".into())
-            .spawn(move || scheduler_loop(&runtime, &q, &config))
+            .spawn(move || supervise_scheduler(&runtime, &q, &config, &r))
             .expect("spawn decode scheduler");
         Ok(DecodeServer {
             queue,
             next_id: AtomicU64::new(0),
             max_new_tokens,
+            respawns,
             scheduler: Some(scheduler),
         })
     }
@@ -272,6 +312,11 @@ impl DecodeServer {
     /// Requests currently queued (not yet prefilling or decoding).
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// Times the scheduler loop has been restarted after a panic.
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
     }
 
     /// Stops admission, drains in-flight generations, joins the
@@ -354,14 +399,79 @@ fn admit(runtime: &FlexiRuntime, _cfg: &DecodeConfig, req: GenQueued) -> Option<
     }
 }
 
+/// The scheduler's panic-isolation wrapper: re-enters [`scheduler_loop`]
+/// after a caught panic until the loop exits normally (queue closed and
+/// drained) or a crash loop is detected.
+///
+/// In-flight generations do not survive a panic — their sessions lived
+/// in the unwound stack — but their *reply handles* do, in the shared
+/// registry: each is answered with [`ServeError::SchedulerRestarted`]
+/// so callers see a typed retryable error, never a hang. Progress is a
+/// shared counter bumped by admissions and fused steps; a panic with no
+/// progress since the previous one counts toward [`CRASH_LOOP_LIMIT`],
+/// after which the supervisor closes the queue and error-answers every
+/// queued request rather than burning cycles on a deterministic fault.
+fn supervise_scheduler(
+    runtime: &FlexiRuntime,
+    queue: &AdmissionQueue<GenQueued>,
+    cfg: &DecodeConfig,
+    respawns: &AtomicU64,
+) {
+    let registry: InflightRegistry = Arc::new(Mutex::new(HashMap::new()));
+    let progress = AtomicU64::new(0);
+    let mut last_progress = 0u64;
+    let mut stuck = 0u32;
+    loop {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scheduler_loop(runtime, queue, cfg, &registry, &progress)
+        }));
+        match caught {
+            Ok(()) => return, // closed and drained: normal shutdown
+            Err(_) => {
+                respawns.fetch_add(1, Ordering::Relaxed);
+                flexiq_telemetry::count(flexiq_telemetry::Counter::SchedulerRespawns, 1);
+                // The panicked loop's sessions are gone; their tickets
+                // must not hang on a dead scheduler's word.
+                for (_, reply) in lock_clean(&registry).drain() {
+                    let _ = reply.send(Err(ServeError::SchedulerRestarted));
+                }
+                let seen = progress.load(Ordering::Relaxed);
+                stuck = if seen == last_progress { stuck + 1 } else { 0 };
+                last_progress = seen;
+                if stuck >= CRASH_LOOP_LIMIT {
+                    // Deterministic crash: stop admitting, answer
+                    // everything queued, and exit — no ticket hangs.
+                    queue.close();
+                    while let Some((batch, _)) = queue.pop_batch(cfg.max_active, Duration::ZERO) {
+                        for req in batch {
+                            let _ = req.reply.send(Err(ServeError::SchedulerRestarted));
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// The scheduler: admit → fused step → retire, until the queue closes
 /// and the last session drains.
-fn scheduler_loop(runtime: &FlexiRuntime, queue: &AdmissionQueue<GenQueued>, cfg: &DecodeConfig) {
+fn scheduler_loop(
+    runtime: &FlexiRuntime,
+    queue: &AdmissionQueue<GenQueued>,
+    cfg: &DecodeConfig,
+    registry: &InflightRegistry,
+    progress: &AtomicU64,
+) {
     let mut active: Vec<Active> = Vec::with_capacity(cfg.max_active);
     loop {
+        // Injected scheduler death: fires before any state mutation so
+        // a panicked iteration never half-applies a step.
+        fault::fire(FaultSite::SchedulerPanic);
         // Admission. Idle: block for work (exit when closed + drained).
         // Mid-decode: continuous mode refills free slots without
         // waiting; static mode admits only once the batch has drained.
+        let admitted_from = active.len();
         if active.is_empty() {
             match pop_draft(queue, cfg, cfg.max_active, true) {
                 None => return,
@@ -374,6 +484,19 @@ fn scheduler_loop(runtime: &FlexiRuntime, queue: &AdmissionQueue<GenQueued>, cfg
             if let Some(batch) = pop_draft(queue, cfg, slots, false) {
                 active.extend(batch.into_iter().filter_map(|r| admit(runtime, cfg, r)));
             }
+        }
+        if active.len() > admitted_from {
+            // Register the newcomers' reply handles with the supervisor
+            // (cloned: [`Active::finish`] still owns the primary) and
+            // record admission progress for crash-loop detection.
+            let mut reg = lock_clean(registry);
+            for a in &active[admitted_from..] {
+                if let Some(reply) = &a.reply {
+                    reg.insert(a.id, reply.clone());
+                }
+            }
+            drop(reg);
+            progress.fetch_add((active.len() - admitted_from) as u64, Ordering::Relaxed);
         }
         // Finished sessions answer their tickets immediately. What
         // happens to their slot is the scheduler policy under test:
@@ -392,6 +515,7 @@ fn scheduler_loop(runtime: &FlexiRuntime, queue: &AdmissionQueue<GenQueued>, cfg
                 continue;
             }
             a.finish();
+            lock_clean(registry).remove(&a.id);
             let can_pad = !cfg.continuous && !all_done && a.session.pos() < a.session.context();
             if can_pad {
                 i += 1;
@@ -407,6 +531,7 @@ fn scheduler_loop(runtime: &FlexiRuntime, queue: &AdmissionQueue<GenQueued>, cfg
         let mut refs: Vec<&mut DecodeSession> = active.iter_mut().map(|a| &mut a.session).collect();
         match runtime.decode_step_batch(&mut refs, &tokens) {
             Ok((rows, level)) => {
+                progress.fetch_add(1, Ordering::Relaxed);
                 for (a, row) in active.iter_mut().zip(rows.iter()) {
                     if a.steps_left == 0 {
                         // Pad row: the step ran (that waste is the
@@ -424,7 +549,9 @@ fn scheduler_loop(runtime: &FlexiRuntime, queue: &AdmissionQueue<GenQueued>, cfg
             Err(e) => {
                 // A fused-step failure poisons the whole step; every
                 // in-flight request learns about it.
+                let mut reg = lock_clean(registry);
                 for mut a in active.drain(..) {
+                    reg.remove(&a.id);
                     if let Some(reply) = a.reply.take() {
                         let _ = reply.send(Err(ServeError::Nn(e.clone())));
                     }
@@ -622,6 +749,42 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_ok(), "queued request lost at shutdown");
         }
+    }
+
+    #[test]
+    fn wait_timeout_reports_pending_and_dropped_tickets() {
+        // Pending: sender alive but silent → DeadlineExpired.
+        let (tx, rx) = mpsc::channel::<Result<GenResponse>>();
+        let t = GenTicket { id: 0, rx };
+        assert!(matches!(
+            t.wait_timeout(Duration::from_millis(5)),
+            Err(ServeError::DeadlineExpired)
+        ));
+        // Dropped: sender gone → ReplyDropped, immediately.
+        drop(tx);
+        let (tx2, rx2) = mpsc::channel::<Result<GenResponse>>();
+        drop(tx2);
+        let t = GenTicket { id: 1, rx: rx2 };
+        assert!(matches!(
+            t.wait_timeout(Duration::from_secs(5)),
+            Err(ServeError::ReplyDropped)
+        ));
+        // Answered: the value comes through within the timeout.
+        let (rt, seqs) = tiny_lm_runtime();
+        rt.set_level(0).unwrap();
+        let cfg = DecodeConfig {
+            max_new_tokens: 2,
+            ..DecodeConfig::default()
+        };
+        let server = DecodeServer::start(Arc::clone(&rt), cfg).unwrap();
+        let resp = server
+            .submit(seqs[0].slice_axis0(2).unwrap())
+            .unwrap()
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(resp.tokens.len(), 2);
+        assert_eq!(server.respawns(), 0, "no panics on the happy path");
+        server.shutdown();
     }
 
     #[test]

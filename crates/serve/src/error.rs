@@ -18,6 +18,26 @@ pub enum ServeError {
     /// The reply channel was dropped before a response arrived (a worker
     /// panicked or the server was torn down mid-flight).
     ReplyDropped,
+    /// A model pass panicked under this request's batch. The panic was
+    /// caught at the worker's pass boundary; sibling batches and the
+    /// worker thread survive.
+    WorkerPanic {
+        /// Panic payload rendered as text (best effort).
+        message: String,
+    },
+    /// The decode scheduler died mid-stream and was restarted; this
+    /// request's generation state was lost. Safe to resubmit.
+    SchedulerRestarted,
+    /// The request's input contained a non-finite value (NaN/Inf) and
+    /// was rejected before batching — one poisoned sample must not
+    /// corrupt a stacked batch's shared activation quantization.
+    PoisonedInput,
+    /// The server is shedding load (brownout state machine at
+    /// [`Shedding`](crate::brownout::ServeState::Shedding)); retry with
+    /// backoff.
+    Shedding,
+    /// The server is draining and no longer admits requests.
+    Draining,
     /// A configuration value is invalid.
     Config(String),
     /// Propagated model-execution error.
@@ -33,6 +53,17 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::DeadlineExpired => write!(f, "deadline expired before service"),
             ServeError::ReplyDropped => write!(f, "reply channel dropped before response"),
+            ServeError::WorkerPanic { message } => {
+                write!(f, "model pass panicked (isolated): {message}")
+            }
+            ServeError::SchedulerRestarted => {
+                write!(f, "decode scheduler restarted; in-flight stream lost")
+            }
+            ServeError::PoisonedInput => {
+                write!(f, "input rejected: non-finite value (NaN/Inf)")
+            }
+            ServeError::Shedding => write!(f, "server is shedding load (brownout)"),
+            ServeError::Draining => write!(f, "server is draining"),
             ServeError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             ServeError::Nn(e) => write!(f, "model execution failed: {e}"),
         }

@@ -19,8 +19,11 @@
 //! | [`decode`] | continuous-batching autoregressive generation ([`DecodeServer`]) |
 //! | [`controller`] | measured-latency feedback controller (extends the `flexiq-serving` [`Controller`] trait) |
 //! | [`metrics`] | latency histograms, p50/p95/p99, throughput, queue depth, level-switch trace |
-//! | [`server`] | the assembled [`Server`] |
+//! | [`server`] | the assembled [`Server`], its supervisor, and health/drain APIs |
 //! | [`loadgen`] | open-loop trace replay and closed-loop capacity probes |
+//! | [`fault`] | deterministic seeded fault injection (`FLEXIQ_FAULT`), one relaxed load when disarmed |
+//! | [`brownout`] | Ready → Degraded → Shedding → Draining graceful-degradation ladder |
+//! | [`retry`] | shared bounded retry/backoff with deterministic jitter |
 //!
 //! # Quickstart
 //!
@@ -45,26 +48,32 @@
 //! See `examples/live_serving.rs` for the full bursty-trace demo with
 //! the level trace and percentile report.
 
+pub mod brownout;
 pub mod bucket;
 pub mod config;
 pub mod controller;
 pub mod decode;
 pub mod error;
+pub mod fault;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
 pub mod request;
+pub mod retry;
 pub mod server;
 pub mod worker;
 
+pub use brownout::{Brownout, BrownoutConfig, Pressure, ServeState};
 pub use config::{ControlConfig, ServeConfig};
-pub use controller::{FeedbackController, MeasuredController};
+pub use controller::{BrownoutGuard, FeedbackController, MeasuredController};
 pub use decode::{DecodeConfig, DecodeServer, GenResponse, GenTicket};
 pub use error::{Result, ServeError};
+pub use fault::{FaultConfig, FaultSite};
 pub use loadgen::{closed_loop, open_loop, LoadReport};
 pub use metrics::{LatencyHistogram, LevelSwitch, MetricsHub, Snapshot};
 pub use request::{InferResponse, RequestId, Ticket};
-pub use server::{to_runtime_level, Server};
+pub use retry::{admission_retryable, retry_with, Backoff, BackoffPolicy, RetryStats};
+pub use server::{to_runtime_level, Health, Server};
 
 // Re-exported so downstream code can name the controller trait without
 // depending on flexiq-serving directly.

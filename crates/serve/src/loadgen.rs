@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use flexiq_tensor::Tensor;
 
 use crate::error::ServeError;
+use crate::retry::{admission_retryable, retry_with, BackoffPolicy};
 use crate::server::Server;
 
 /// Outcome counts of one load-generation run.
@@ -39,6 +40,12 @@ pub struct LoadReport {
     /// `offered == accepted + rejected + failed` and
     /// `accepted == completed + expired + exec_failed` both hold.
     pub exec_failed: u64,
+    /// Closed loop only: admission retries across all clients (equal to
+    /// `rejected` — each counted rejection was retried).
+    pub retries: u64,
+    /// Closed loop only: total wall-clock spent sleeping in backoff
+    /// between retries, seconds, summed over clients.
+    pub backoff_s: f64,
     /// Wall-clock duration of the run, seconds.
     pub wall_s: f64,
 }
@@ -120,11 +127,13 @@ pub fn open_loop(
 /// Runs `clients` concurrent callers, each submitting `per_client`
 /// requests back-to-back (one in flight per client).
 ///
-/// On backpressure a client retries after a short pause — in a closed
-/// loop rejection means "the queue is momentarily full", and retrying is
-/// what a capacity probe wants. In the report, `rejected` counts retry
-/// attempts (it can exceed `offered`), while `accepted` counts logical
-/// requests that were eventually admitted.
+/// On backpressure (a full queue, or the brownout ladder shedding) a
+/// client retries under the shared [`crate::retry`] policy — bounded
+/// exponential backoff with deterministic jitter, seeded per client so
+/// colliding clients decorrelate instead of retrying in lockstep. In
+/// the report, `rejected` counts retry attempts (it can exceed
+/// `offered`), `retries`/`backoff_s` expose the retry cost, and
+/// `accepted` counts logical requests that were eventually admitted.
 pub fn closed_loop(
     server: &Server,
     inputs: &[Tensor],
@@ -139,6 +148,9 @@ pub fn closed_loop(
     let rejected = AtomicU64::new(0);
     let offered = AtomicU64::new(0);
     let admitted = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let backoff_us = AtomicU64::new(0);
+    let policy = BackoffPolicy::default();
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..clients {
@@ -149,23 +161,37 @@ pub fn closed_loop(
             let rejected = &rejected;
             let offered = &offered;
             let admitted = &admitted;
+            let retries = &retries;
+            let backoff_us = &backoff_us;
+            let policy = &policy;
             let server = &server;
             scope.spawn(move || {
                 for k in 0..per_client {
                     let input = inputs[(c + k * clients) % inputs.len()].clone();
                     offered.fetch_add(1, Ordering::Relaxed);
-                    let ticket = loop {
-                        match server.submit(input.clone()) {
-                            Ok(t) => {
-                                admitted.fetch_add(1, Ordering::Relaxed);
-                                break Some(t);
-                            }
-                            Err(ServeError::QueueFull { .. }) => {
+                    // Seed per (client, request): deterministic jitter,
+                    // decorrelated across colliding clients.
+                    let seed = (c as u64) << 32 | k as u64;
+                    let (outcome, stats) = retry_with(
+                        policy,
+                        seed,
+                        || server.submit(input.clone()),
+                        |e| {
+                            let again = admission_retryable(e);
+                            if again {
                                 rejected.fetch_add(1, Ordering::Relaxed);
-                                std::thread::sleep(Duration::from_micros(200));
                             }
-                            Err(_) => break None,
+                            again
+                        },
+                    );
+                    retries.fetch_add(stats.retries, Ordering::Relaxed);
+                    backoff_us.fetch_add(stats.backoff.as_micros() as u64, Ordering::Relaxed);
+                    let ticket = match outcome {
+                        Ok(t) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            Some(t)
                         }
+                        Err(_) => None,
                     };
                     match ticket.map(|t| t.wait()) {
                         Some(Ok(_)) => completed.fetch_add(1, Ordering::Relaxed),
@@ -187,6 +213,8 @@ pub fn closed_loop(
         expired: expired.load(Ordering::Relaxed),
         failed: failed.load(Ordering::Relaxed),
         exec_failed: exec_failed.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
+        backoff_s: backoff_us.load(Ordering::Relaxed) as f64 / 1e6,
         wall_s: t0.elapsed().as_secs_f64(),
     }
 }
@@ -223,6 +251,13 @@ mod tests {
             "closed loop with retry must finish all: {report:?}"
         );
         assert_eq!(report.failed + report.exec_failed, 0);
+        assert_eq!(
+            report.retries, report.rejected,
+            "every counted rejection was a retry attempt"
+        );
+        if report.retries > 0 {
+            assert!(report.backoff_s > 0.0, "retries must have backed off");
+        }
         assert!(report.throughput_rps() > 0.0);
         server.shutdown();
     }

@@ -9,9 +9,12 @@
 //! percentiles *of the last second*, not of all time.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::brownout::ServeState;
+use crate::queue::lock_clean;
 
 /// Lower edge of the first histogram bucket.
 const HIST_MIN_S: f64 = 1e-6;
@@ -134,7 +137,7 @@ impl LatencyWindow {
 
     /// Records one completed request.
     pub fn record(&self, at: Instant, latency: Duration) {
-        let mut w = self.samples.lock().expect("window lock");
+        let mut w = lock_clean(&self.samples);
         w.push_back((at, latency.as_secs_f64()));
         let horizon = at.checked_sub(self.span);
         while let Some(&(t, _)) = w.front() {
@@ -155,7 +158,7 @@ impl LatencyWindow {
         // same mutex, and the control loop must not stall the latencies
         // it is measuring.
         let mut vals: Vec<f64> = {
-            let w = self.samples.lock().expect("window lock");
+            let w = lock_clean(&self.samples);
             let horizon = now.checked_sub(self.span);
             w.iter()
                 .filter(|(t, _)| horizon.is_none_or(|h| *t >= h))
@@ -203,6 +206,18 @@ pub struct MetricsHub {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     queue_depth: AtomicUsize,
+    shed: AtomicU64,
+    poisoned: AtomicU64,
+    exec_failed: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    brownout_transitions: AtomicU64,
+    /// Requests dispatched into workers and not yet answered. Signed:
+    /// transient interleavings may observe a decrement first.
+    inflight: AtomicI64,
+    /// Authoritative [`ServeState`], readable from the submit path with
+    /// one relaxed load.
+    serve_state: AtomicU8,
     level_trace: Mutex<Vec<LevelSwitch>>,
 }
 
@@ -222,6 +237,14 @@ impl MetricsHub {
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            exec_failed: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            brownout_transitions: AtomicU64::new(0),
+            inflight: AtomicI64::new(0),
+            serve_state: AtomicU8::new(ServeState::Ready as u8),
             level_trace: Mutex::new(Vec::new()),
         }
     }
@@ -246,24 +269,82 @@ impl MetricsHub {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts one deadline expiry.
+    /// Counts one deadline expiry (a terminal answer: the request
+    /// leaves the in-flight set).
     pub fn on_expired(&self) {
         self.expired.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Counts one dispatched batch of `size` requests.
+    /// Counts one dispatched batch of `size` requests, all now in
+    /// flight.
     pub fn on_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(size as u64, Ordering::Relaxed);
+        self.inflight.fetch_add(size as i64, Ordering::Relaxed);
     }
 
     /// Records one completed request.
     pub fn on_completed(&self, done_at: Instant, latency: Duration, queue_delay: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
         self.latency.record(latency);
         self.queue_delay.record(queue_delay);
         self.window.record(done_at, latency);
+    }
+
+    /// Counts one brownout shed (fast typed rejection at admission).
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one poisoned-input rejection (a terminal answer).
+    pub fn on_poisoned(&self) {
+        self.poisoned.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered with an execution error (model
+    /// failure or isolated pass panic — a terminal answer).
+    pub fn on_exec_failed(&self) {
+        self.exec_failed.fetch_add(1, Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts one caught (isolated) worker pass panic.
+    pub fn on_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one supervisor worker respawn.
+    pub fn on_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline expiries so far (one relaxed load — the supervisor's
+    /// brownout tick reads this without taking a snapshot).
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Requests dispatched and not yet answered (clamped at zero).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// The authoritative server state (one relaxed load).
+    pub fn serve_state(&self) -> ServeState {
+        ServeState::from_u8(self.serve_state.load(Ordering::Relaxed))
+    }
+
+    /// Publishes a new server state; counts the transition if it
+    /// actually changed.
+    pub fn set_serve_state(&self, state: ServeState) {
+        let old = self.serve_state.swap(state as u8, Ordering::Relaxed);
+        if old != state as u8 {
+            self.brownout_transitions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Publishes the current queue depth.
@@ -274,15 +355,12 @@ impl MetricsHub {
     /// Appends to the level-switch trace.
     pub fn on_level_switch(&self, level: usize) {
         let at_s = self.uptime_s();
-        self.level_trace
-            .lock()
-            .expect("trace lock")
-            .push(LevelSwitch { at_s, level });
+        lock_clean(&self.level_trace).push(LevelSwitch { at_s, level });
     }
 
     /// The level-switch trace so far.
     pub fn level_trace(&self) -> Vec<LevelSwitch> {
-        self.level_trace.lock().expect("trace lock").clone()
+        lock_clean(&self.level_trace).clone()
     }
 
     /// A point-in-time summary.
@@ -309,7 +387,15 @@ impl MetricsHub {
             p99_s: self.latency.percentile_s(0.99),
             mean_s: self.latency.mean_s(),
             queue_delay_p95_s: self.queue_delay.percentile_s(0.95),
-            level_switches: self.level_trace.lock().expect("trace lock").len(),
+            level_switches: lock_clean(&self.level_trace).len(),
+            shed: self.shed.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+            exec_failed: self.exec_failed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            brownout_transitions: self.brownout_transitions.load(Ordering::Relaxed),
+            inflight: self.inflight(),
+            state: self.serve_state(),
         }
     }
 
@@ -328,7 +414,7 @@ impl MetricsHub {
     ) -> Vec<LevelAttribution> {
         // Interval boundaries in the telemetry clock domain.
         let mut bounds: Vec<(u64, usize)> = vec![(0, initial_level)];
-        for sw in self.level_trace.lock().expect("trace lock").iter() {
+        for sw in lock_clean(&self.level_trace).iter() {
             let at_ns = self.started_tel_ns.saturating_add((sw.at_s * 1e9) as u64);
             bounds.push((at_ns, sw.level));
         }
@@ -469,6 +555,62 @@ impl MetricsHub {
             "counter",
             s.level_switches as f64,
         );
+        metric(
+            &mut out,
+            "flexiq_serve_shed_total",
+            "Requests shed by the brownout machine at admission.",
+            "counter",
+            s.shed as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_poisoned_total",
+            "Requests rejected for non-finite (poisoned) inputs.",
+            "counter",
+            s.poisoned as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_exec_failed_total",
+            "Requests answered with an execution error.",
+            "counter",
+            s.exec_failed as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_worker_panics_total",
+            "Worker pass panics caught and answered as typed errors.",
+            "counter",
+            s.worker_panics as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_worker_respawns_total",
+            "Worker threads respawned by the supervisor.",
+            "counter",
+            s.worker_respawns as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_brownout_transitions_total",
+            "Brownout/drain state transitions.",
+            "counter",
+            s.brownout_transitions as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_state",
+            "Server state: 0 ready, 1 degraded, 2 shedding, 3 draining.",
+            "gauge",
+            s.state as u8 as f64,
+        );
+        metric(
+            &mut out,
+            "flexiq_serve_inflight",
+            "Requests dispatched and not yet answered.",
+            "gauge",
+            s.inflight as f64,
+        );
         out.push_str(&flexiq_telemetry::prom::render(
             &flexiq_telemetry::counters(),
         ));
@@ -519,6 +661,23 @@ pub struct Snapshot {
     pub queue_delay_p95_s: f64,
     /// Entries in the level-switch trace.
     pub level_switches: usize,
+    /// Requests shed by the brownout machine at admission.
+    pub shed: u64,
+    /// Requests rejected for non-finite (poisoned) inputs.
+    pub poisoned: u64,
+    /// Requests answered with an execution error (model failure or
+    /// isolated pass panic).
+    pub exec_failed: u64,
+    /// Worker pass panics caught and answered as typed errors.
+    pub worker_panics: u64,
+    /// Worker threads respawned by the supervisor.
+    pub worker_respawns: u64,
+    /// Brownout/drain state transitions.
+    pub brownout_transitions: u64,
+    /// Requests dispatched and not yet answered.
+    pub inflight: u64,
+    /// The server state at snapshot time.
+    pub state: ServeState,
 }
 
 #[cfg(test)]
@@ -664,6 +823,69 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_inflight_and_state_round_trip() {
+        let m = MetricsHub::new(Duration::from_secs(1));
+        assert_eq!(m.serve_state(), ServeState::Ready);
+        m.on_batch(4);
+        assert_eq!(m.inflight(), 4);
+        m.on_completed(
+            Instant::now(),
+            Duration::from_millis(1),
+            Duration::from_millis(1),
+        );
+        m.on_expired();
+        m.on_exec_failed();
+        m.on_poisoned();
+        assert_eq!(m.inflight(), 0, "every terminal answer decrements");
+        m.on_shed();
+        m.on_worker_panic();
+        m.on_worker_respawn();
+        m.set_serve_state(ServeState::Degraded);
+        m.set_serve_state(ServeState::Degraded); // no-op: same state
+        m.set_serve_state(ServeState::Shedding);
+        let s = m.snapshot();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.poisoned, 1);
+        assert_eq!(s.exec_failed, 1);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.brownout_transitions, 2);
+        assert_eq!(s.state, ServeState::Shedding);
+        assert_eq!(s.inflight, 0);
+    }
+
+    #[test]
+    fn poisoned_window_lock_recovers_instead_of_cascading() {
+        use std::sync::Arc;
+        // Regression for the supervision layer's poison policy: a
+        // thread that panics while holding the window lock must not
+        // take every later recorder down with it.
+        let m = Arc::new(MetricsHub::new(Duration::from_secs(1)));
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            let _guard = m2.window.samples.lock().unwrap();
+            panic!("die holding the window lock");
+        });
+        assert!(t.join().is_err(), "the helper thread must panic");
+        assert!(m.window.samples.is_poisoned());
+        // Both paths still work on the poisoned mutex.
+        let now = Instant::now();
+        m.on_completed(now, Duration::from_millis(3), Duration::from_millis(1));
+        let (n, p) = m.window.percentile_s(now, 0.5).expect("window readable");
+        assert_eq!(n, 1);
+        assert!((p - 0.003).abs() < 1e-9);
+        // Same for the level trace.
+        let m3 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            let _guard = m3.level_trace.lock().unwrap();
+            panic!("die holding the trace lock");
+        });
+        assert!(t.join().is_err());
+        m.on_level_switch(1);
+        assert_eq!(m.level_trace().len(), 1);
+    }
+
+    #[test]
     fn prometheus_exposition_is_well_formed() {
         let m = MetricsHub::new(Duration::from_secs(1));
         m.on_submitted();
@@ -677,6 +899,10 @@ mod tests {
         assert!(text.contains("flexiq_serve_submitted_total 1"));
         assert!(text.contains("flexiq_serve_latency_seconds{quantile=\"0.95\"}"));
         assert!(text.contains("# TYPE flexiq_gemm_calls_total counter"));
+        assert!(text.contains("# TYPE flexiq_serve_state gauge"));
+        assert!(text.contains("flexiq_serve_shed_total 0"));
+        assert!(text.contains("flexiq_serve_worker_respawns_total 0"));
+        assert!(text.contains("# TYPE flexiq_faults_injected_total counter"));
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (name, value) = line.rsplit_once(' ').expect("metric line");

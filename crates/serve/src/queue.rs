@@ -20,13 +20,30 @@
 //! The queue is generic over its item (`QueuedRequest` by default): the
 //! continuous-batching decode scheduler reuses the same admission policy
 //! for generation requests.
+//!
+//! # Lock-poison policy
+//!
+//! Every lock acquisition here clears poison instead of propagating it.
+//! A worker that panics while holding the queue lock (an injected fault,
+//! or a real bug) marks the mutex poisoned; if siblings then panicked on
+//! `lock().unwrap()`, one caught panic would cascade into killing every
+//! worker — exactly the amplification the supervision layer exists to
+//! prevent. Clearing is sound because the guarded state is only ever
+//! mutated by single, complete operations (one `push_back`, one
+//! `remove`, one flag store): there is no half-written invariant a
+//! panicking holder could leave behind.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::error::{Result, ServeError};
 use crate::request::QueuedRequest;
+
+/// Locks `m`, clearing poison (see the module-level lock-poison policy).
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 struct Inner<T> {
     deque: VecDeque<T>,
@@ -66,7 +83,7 @@ impl<T> AdmissionQueue<T> {
     /// Returns the queue depth right after the push, so the admission
     /// path need not re-take the lock just to publish a gauge.
     pub fn try_push(&self, req: T) -> Result<usize> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_clean(&self.inner);
         if inner.closed {
             return Err(ServeError::ShuttingDown);
         }
@@ -143,7 +160,7 @@ impl<T> AdmissionQueue<T> {
         max_batch: usize,
         admit: impl Fn(&T, &T) -> bool,
     ) -> (Vec<T>, usize) {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_clean(&self.inner);
         let mut batch = Vec::new();
         if max_batch > 0 {
             if let Some(first) = inner.deque.pop_front() {
@@ -171,7 +188,7 @@ impl<T> AdmissionQueue<T> {
         batch_timeout: Duration,
         admit: impl Fn(&T, &T) -> bool,
     ) -> Option<(Vec<T>, usize)> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_clean(&self.inner);
         // Phase 1: wait for the first request.
         loop {
             if let Some(first) = inner.deque.pop_front() {
@@ -201,26 +218,29 @@ impl<T> AdmissionQueue<T> {
                     let (guard, _timeout) = self
                         .arrived
                         .wait_timeout(inner, batch_timeout - elapsed)
-                        .expect("queue lock");
+                        .unwrap_or_else(PoisonError::into_inner);
                     inner = guard;
                 }
             }
             if inner.closed {
                 return None;
             }
-            inner = self.arrived.wait(inner).expect("queue lock");
+            inner = self
+                .arrived
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Requests currently waiting.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").deque.len()
+        lock_clean(&self.inner).deque.len()
     }
 
     /// Stops admission and wakes all waiting workers. Queued requests
     /// are still drained by subsequent `pop_batch` calls.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        lock_clean(&self.inner).closed = true;
         self.arrived.notify_all();
     }
 }

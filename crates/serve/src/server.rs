@@ -7,6 +7,7 @@
 //!     ◄───────────── Ticket ◄──────────────── reply channels
 //!
 //!  control loop:  MetricsHub.window ──► Controller ──► set_level
+//!  supervisor:    reap dead workers ──► respawn; queue pressure ──► brownout ladder
 //! ```
 //!
 //! The control loop is the live realization of §8.3: instead of flipping
@@ -14,9 +15,22 @@
 //! sliding-window percentile and calls [`FlexiRuntime::set_level`] —
 //! exactly the one-atomic-store switch the runtime was designed around —
 //! while inference threads keep executing.
+//!
+//! # Supervision & degradation
+//!
+//! A dedicated `flexiq-supervise` thread ticks every
+//! [`ServeConfig::supervise_tick`]: it reaps worker threads that died
+//! (an escaped panic, or the injected
+//! [`crate::fault::FaultSite::WorkerDeath`]) and respawns identical
+//! replacements from a kept [`WorkerContext`], and it drives the
+//! [`Brownout`] ladder from queue pressure — forcing the precision
+//! controller to the cheapest level (via
+//! [`crate::controller::BrownoutGuard`]) before shedding load with fast
+//! typed rejections. [`Server::health`], [`Server::drain`] and
+//! [`Server::resume`] expose the operator surface.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -25,13 +39,15 @@ use flexiq_core::FlexiRuntime;
 use flexiq_serving::Controller;
 use flexiq_tensor::Tensor;
 
+use crate::brownout::{Brownout, BrownoutConfig, Pressure, ServeState};
 use crate::config::ServeConfig;
-use crate::controller::MeasuredController;
-use crate::error::Result;
+use crate::controller::{BrownoutGuard, MeasuredController};
+use crate::error::{Result, ServeError};
+use crate::fault;
 use crate::metrics::{MetricsHub, Snapshot};
-use crate::queue::AdmissionQueue;
+use crate::queue::{lock_clean, AdmissionQueue};
 use crate::request::{QueuedRequest, Ticket};
-use crate::worker::spawn_workers;
+use crate::worker::{spawn_workers, WorkerContext};
 
 /// Maps a controller-space level (0 = pure INT8, `k` = schedule level
 /// `k-1`) onto the runtime's level encoding.
@@ -52,13 +68,39 @@ pub fn from_runtime_level(runtime_level: usize) -> usize {
     }
 }
 
+/// A point-in-time liveness/readiness report (see [`Server::health`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Health {
+    /// The brownout ladder's current rung.
+    pub state: ServeState,
+    /// Requests waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Requests dispatched and not yet answered.
+    pub inflight: u64,
+    /// Configured worker count.
+    pub workers: usize,
+    /// Workers currently running (the supervisor restores this to
+    /// `workers` within a tick of a death).
+    pub workers_alive: usize,
+    /// Total supervisor respawns so far.
+    pub worker_respawns: u64,
+    /// Total brownout sheds so far.
+    pub shed: u64,
+    /// Current precision level (controller space: 0 = INT8).
+    pub level: usize,
+    /// Round-trip of a trivial job through the shared intra-batch pool
+    /// (a liveness probe for the compute substrate).
+    pub pool_ping: Duration,
+}
+
 /// A running threaded batching inference server.
 pub struct Server {
     cfg: ServeConfig,
     queue: Arc<AdmissionQueue>,
     metrics: Arc<MetricsHub>,
     runtime: Arc<FlexiRuntime>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor: Option<JoinHandle<()>>,
     control: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     next_id: AtomicU64,
@@ -128,18 +170,54 @@ impl Server {
                 on_thread_start: Some(Arc::new(|_| flexiq_tensor::scratch::warm_defaults())),
             },
         );
-        let workers = spawn_workers(
-            cfg.workers,
-            Arc::clone(&queue),
-            Arc::clone(&runtime),
-            Arc::clone(&metrics),
-            cfg.max_batch,
-            cfg.batch_timeout,
-            Arc::clone(&pool),
-            crate::worker::DispatchPolicy::from_config(&cfg),
+        // Arm the process-global fault plan before any worker can hit a
+        // failure point (env `FLEXIQ_FAULT` is the other entry; an
+        // explicit config wins over it).
+        if let Some(f) = &cfg.fault {
+            fault::arm(f.clone());
+        }
+        let ctx = WorkerContext {
+            queue: Arc::clone(&queue),
+            runtime: Arc::clone(&runtime),
+            metrics: Arc::clone(&metrics),
+            max_batch: cfg.max_batch,
+            batch_timeout: cfg.batch_timeout,
+            pool: Arc::clone(&pool),
+            policy: crate::worker::DispatchPolicy::from_config(&cfg),
             pin,
-        );
+        };
+        let workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            spawn_workers(&ctx, cfg.workers)
+                .into_iter()
+                .map(Some)
+                .collect(),
+        ));
         let stop = Arc::new(AtomicBool::new(false));
+        let supervisor = Some(spawn_supervisor(
+            ctx,
+            Arc::clone(&workers),
+            Arc::clone(&stop),
+            cfg.supervise_tick,
+            cfg.brownout.clone(),
+            cfg.queue_capacity,
+        ));
+        // Brownout must outrank whatever precision policy is installed:
+        // wrap the controller so a browned-out server runs the cheapest
+        // rung no matter what the inner policy wants.
+        let controller = controller.map(|ctl| {
+            if cfg.brownout.enabled {
+                // The brownout target is the schedule's cheapest rung
+                // (largest 4-bit ratio), expressed in controller space.
+                let cheapest = runtime
+                    .cheapest_level()
+                    .map(from_runtime_level)
+                    .unwrap_or(0);
+                Box::new(BrownoutGuard::new(ctl, Arc::clone(&metrics), cheapest))
+                    as Box<dyn Controller + Send>
+            } else {
+                ctl
+            }
+        });
         let control = controller.map(|ctl| {
             spawn_control_loop(
                 ctl,
@@ -155,6 +233,7 @@ impl Server {
             metrics,
             runtime,
             workers,
+            supervisor,
             control,
             stop,
             next_id: AtomicU64::new(0),
@@ -180,6 +259,17 @@ impl Server {
         input: Tensor,
         deadline: Option<Duration>,
     ) -> Result<Ticket> {
+        // Brownout admission gate: one relaxed load on the happy path.
+        match self.metrics.serve_state() {
+            ServeState::Shedding => {
+                self.metrics.on_shed();
+                return Err(ServeError::Shedding);
+            }
+            ServeState::Draining => return Err(ServeError::Draining),
+            ServeState::Ready | ServeState::Degraded => {}
+        }
+        let mut input = input;
+        fault::maybe_poison(&mut input);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = std::sync::mpsc::channel();
         let now = Instant::now();
@@ -237,16 +327,83 @@ impl Server {
         &self.cfg
     }
 
+    /// The brownout ladder's current rung.
+    pub fn state(&self) -> ServeState {
+        self.metrics.serve_state()
+    }
+
+    /// A point-in-time liveness/readiness report.
+    pub fn health(&self) -> Health {
+        let (workers, workers_alive) = {
+            let slots = lock_clean(&self.workers);
+            let alive = slots
+                .iter()
+                .filter(|s| s.as_ref().is_some_and(|h| !h.is_finished()))
+                .count();
+            (slots.len(), alive)
+        };
+        let snap = self.metrics.snapshot();
+        Health {
+            state: self.metrics.serve_state(),
+            queue_depth: self.queue.depth(),
+            inflight: self.metrics.inflight(),
+            workers,
+            workers_alive,
+            worker_respawns: snap.worker_respawns,
+            shed: snap.shed,
+            level: from_runtime_level(self.runtime.level()),
+            pool_ping: self.pool.ping(),
+        }
+    }
+
+    /// Enters `Draining` (admission answers [`ServeError::Draining`])
+    /// and waits up to `timeout` for the queue and in-flight set to
+    /// empty. Returns whether the drain completed. The state is sticky:
+    /// call [`Server::resume`] to serve again, or shut down.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.metrics.set_serve_state(ServeState::Draining);
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.queue.depth() == 0 && self.metrics.inflight() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Leaves `Draining` (or any browned-out rung) and serves again.
+    pub fn resume(&self) {
+        self.metrics.set_serve_state(ServeState::Ready);
+    }
+
     /// Stops admission, drains queued work, joins every thread, and
     /// returns the final metrics snapshot.
     pub fn shutdown(mut self) -> Snapshot {
         self.stop.store(true, Ordering::Release);
+        // Join the supervisor before closing the queue so it cannot
+        // respawn a worker that would outlive the drain.
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
         self.queue.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        {
+            let mut slots = lock_clean(&self.workers);
+            for w in slots.iter_mut() {
+                if let Some(h) = w.take() {
+                    let _ = h.join();
+                }
+            }
         }
         if let Some(c) = self.control.take() {
             let _ = c.join();
+        }
+        // This server armed the global fault plan: disarm on the way
+        // out so the process does not keep injecting after shutdown.
+        if self.cfg.fault.is_some() {
+            fault::disarm();
         }
         self.metrics.snapshot()
     }
@@ -312,6 +469,58 @@ fn spawn_control_loop(
             }
         })
         .expect("spawn control thread")
+}
+
+/// The supervision loop: respawn-dead-workers + brownout ladder.
+///
+/// Worker slots are reaped with `is_finished` (never a blocking join on
+/// a live thread) and replaced from the kept [`WorkerContext`] — the
+/// replacement drains the same queue with the same policy, so a worker
+/// death costs at most one batch (answered as `ReplyDropped` through
+/// the dropped reply channels). Brownout pressure is sampled here too:
+/// queue fullness plus the deadline-miss delta since the last tick.
+fn spawn_supervisor(
+    ctx: WorkerContext,
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    stop: Arc<AtomicBool>,
+    tick: Duration,
+    brownout_cfg: BrownoutConfig,
+    queue_capacity: usize,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("flexiq-supervise".into())
+        .spawn(move || {
+            let metrics = Arc::clone(&ctx.metrics);
+            let mut ladder = Brownout::new(brownout_cfg);
+            let mut last_expired = metrics.expired();
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(tick);
+                {
+                    let mut slots = lock_clean(&workers);
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        let dead = slot.as_ref().is_none_or(|h| h.is_finished());
+                        if dead && !stop.load(Ordering::Acquire) {
+                            if let Some(h) = slot.take() {
+                                let _ = h.join();
+                            }
+                            *slot = Some(ctx.spawn(i));
+                            metrics.on_worker_respawn();
+                            flexiq_telemetry::count(flexiq_telemetry::Counter::WorkerRespawns, 1);
+                        }
+                    }
+                }
+                let expired = metrics.expired();
+                let pressure = Pressure {
+                    depth_frac: ctx.queue.depth() as f64 / queue_capacity.max(1) as f64,
+                    expired_delta: expired - last_expired,
+                };
+                last_expired = expired;
+                if let Some(next) = ladder.tick(metrics.serve_state(), pressure) {
+                    metrics.set_serve_state(next);
+                }
+            }
+        })
+        .expect("spawn supervisor thread")
 }
 
 #[cfg(test)]
@@ -488,10 +697,14 @@ mod tests {
         let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
         let mut accepted = Vec::new();
         let mut rejected = 0u64;
+        let mut shed = 0u64;
         for i in 0..64 {
             match server.submit(inputs[i % inputs.len()].clone()) {
                 Ok(t) => accepted.push(t),
                 Err(crate::error::ServeError::QueueFull { .. }) => rejected += 1,
+                // A sustained full queue may trip the brownout ladder
+                // into shedding — also a typed, counted rejection.
+                Err(crate::error::ServeError::Shedding) => shed += 1,
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
@@ -504,7 +717,100 @@ mod tests {
             "tiny queue must reject under a 64-request blast"
         );
         assert_eq!(s.rejected, rejected, "every rejection must be counted");
-        assert_eq!(s.completed + s.rejected, 64, "no request may vanish");
+        assert_eq!(s.shed, shed, "every shed must be counted");
+        assert_eq!(
+            s.completed + s.rejected + s.shed,
+            64,
+            "no request may vanish"
+        );
+    }
+
+    #[test]
+    fn supervisor_respawns_dead_workers() {
+        let (rt, inputs) = tiny_runtime();
+        let cfg = ServeConfig {
+            workers: 1,
+            supervise_tick: Duration::from_millis(1),
+            batch_timeout: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        // Swap the live worker's handle for an already-finished thread:
+        // to the supervisor this is indistinguishable from a worker
+        // that died, and it must reap the slot and spawn a replacement.
+        // (The displaced real worker keeps draining the shared queue
+        // until shutdown closes it — harmless here.)
+        {
+            let mut slots = lock_clean(&server.workers);
+            let decoy = std::thread::spawn(|| {});
+            drop(slots[0].replace(decoy));
+        }
+        let t0 = Instant::now();
+        while server.health().worker_respawns == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let h = server.health();
+        assert!(h.worker_respawns >= 1, "supervisor must respawn the slot");
+        assert_eq!(h.workers_alive, h.workers, "fleet must be whole again");
+        // The respawned fleet still serves.
+        let r = server.submit(inputs[0].clone()).unwrap().wait().unwrap();
+        assert!(r.output.data().iter().all(|v| v.is_finite()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_rejects_then_resume_serves_again() {
+        let (rt, inputs) = tiny_runtime();
+        let cfg = ServeConfig {
+            workers: 1,
+            batch_timeout: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        server.submit(inputs[0].clone()).unwrap().wait().unwrap();
+        assert!(
+            server.drain(Duration::from_secs(5)),
+            "an idle server must drain immediately"
+        );
+        assert_eq!(server.state(), ServeState::Draining);
+        match server.submit(inputs[0].clone()) {
+            Err(ServeError::Draining) => {}
+            Err(e) => panic!("draining server must reject with Draining, got {e}"),
+            Ok(_) => panic!("draining server must reject"),
+        }
+        server.resume();
+        assert_eq!(server.state(), ServeState::Ready);
+        let r = server.submit(inputs[0].clone()).unwrap().wait().unwrap();
+        assert!(r.output.data().iter().all(|v| v.is_finite()));
+        let s = server.shutdown();
+        assert_eq!(s.completed, 2);
+    }
+
+    #[test]
+    fn shedding_state_rejects_with_typed_error_and_counts() {
+        let (rt, inputs) = tiny_runtime();
+        let cfg = ServeConfig {
+            workers: 1,
+            // Pin the state for the assertion: no ladder ticks.
+            brownout: crate::brownout::BrownoutConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        server.metrics().set_serve_state(ServeState::Shedding);
+        match server.submit(inputs[0].clone()) {
+            Err(ServeError::Shedding) => {}
+            Err(e) => panic!("shedding server must reject with Shedding, got {e}"),
+            Ok(_) => panic!("shedding server must reject"),
+        }
+        let h = server.health();
+        assert_eq!(h.shed, 1);
+        assert_eq!(h.state, ServeState::Shedding);
+        server.resume();
+        server.submit(inputs[0].clone()).unwrap().wait().unwrap();
+        server.shutdown();
     }
 
     #[test]

@@ -44,6 +44,18 @@
 //! oversubscription — see [`crate::ServeConfig::pool_threads`] for the
 //! sizing rule.
 //!
+//! **Panic isolation:** every stacked pass runs inside
+//! `catch_unwind`, so a panicking model pass (a kernel bug, or an
+//! injected [`crate::fault::FaultSite::WorkerPanic`]) answers its batch
+//! with a typed [`ServeError::WorkerPanic`] instead of killing the
+//! worker — sibling batches, the shared pool, and the thread itself all
+//! survive. A panic that escapes the pass boundary (notably the
+//! injected [`crate::fault::FaultSite::WorkerDeath`] site, which fires
+//! outside the catch on purpose) kills the worker thread; its in-hand
+//! batch resolves through dropped reply channels
+//! ([`ServeError::ReplyDropped`]) and the server's supervisor respawns
+//! the thread. Either way no ticket is left hanging.
+//!
 //! **Steady-state allocation:** worker threads are long-lived, so the
 //! per-thread scratch the execution stack uses underneath — the
 //! quantized engines' `flexiq_nn::workspace::Workspace` and the blocked
@@ -64,6 +76,7 @@ use flexiq_telemetry as tel;
 use crate::bucket::plan_buckets;
 use crate::config::ServeConfig;
 use crate::error::{Result, ServeError};
+use crate::fault::{self, FaultSite};
 use crate::metrics::MetricsHub;
 use crate::queue::AdmissionQueue;
 use crate::request::{InferResponse, QueuedRequest, RequestId};
@@ -76,6 +89,9 @@ pub struct DispatchPolicy {
     pub lm_bucketing: bool,
     /// Padding-waste cap for bucket merging (see [`crate::bucket`]).
     pub max_padding_waste: f64,
+    /// Reject non-finite inputs before stacking (see
+    /// [`ServeConfig::validate_inputs`]).
+    pub validate_inputs: bool,
 }
 
 impl DispatchPolicy {
@@ -84,6 +100,7 @@ impl DispatchPolicy {
         DispatchPolicy {
             lm_bucketing: cfg.lm_bucketing,
             max_padding_waste: cfg.max_padding_waste,
+            validate_inputs: cfg.validate_inputs,
         }
     }
 }
@@ -99,7 +116,7 @@ fn answer(
     size: usize,
     dispatched: Instant,
     metas: Vec<ReplyMeta>,
-    result: flexiq_core::Result<(Vec<flexiq_tensor::Tensor>, usize)>,
+    result: Result<(Vec<flexiq_tensor::Tensor>, usize)>,
 ) {
     match result {
         Ok((outputs, level)) => {
@@ -126,8 +143,52 @@ fn answer(
         }
         Err(e) => {
             for (_, _, reply) in metas {
-                let _ = reply.send(Err(ServeError::Nn(e.clone())));
+                metrics.on_exec_failed();
+                let _ = reply.send(Err(e.clone()));
             }
+        }
+    }
+}
+
+/// Renders a caught panic payload as text (best effort).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one stacked pass inside the worker's panic-isolation boundary.
+///
+/// A panicking pass (kernel bug or injected fault) is caught here and
+/// converted into a typed [`ServeError::WorkerPanic`] so [`answer`] can
+/// resolve every ticket of the batch — the no-hung-ticket invariant's
+/// per-pass leg. `AssertUnwindSafe` is sound at this boundary: the
+/// runtime's mutable per-pass state is thread-local kernel scratch that
+/// is re-initialized from shapes on the next dispatch, and the shared
+/// pool already contains task panics (a poisoned job resumes its
+/// payload on the submitting thread — right here). The injected
+/// [`FaultSite::SlowPass`] / [`FaultSite::WorkerPanic`] sites fire
+/// inside the catch region, before the model pass.
+fn guarded_pass(
+    metrics: &MetricsHub,
+    f: impl FnOnce() -> flexiq_core::Result<(Vec<flexiq_tensor::Tensor>, usize)>,
+) -> Result<(Vec<flexiq_tensor::Tensor>, usize)> {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        fault::fire(FaultSite::SlowPass);
+        fault::fire(FaultSite::WorkerPanic);
+        f()
+    }));
+    match caught {
+        Ok(r) => r.map_err(ServeError::Nn),
+        Err(payload) => {
+            metrics.on_worker_panic();
+            Err(ServeError::WorkerPanic {
+                message: panic_message(payload.as_ref()),
+            })
         }
     }
 }
@@ -158,6 +219,21 @@ pub fn run_batch(
             let _ = req.reply.send(Err(ServeError::DeadlineExpired));
         } else {
             live.push(req);
+        }
+    }
+    // Stacked passes share activation-quantization statistics, so one
+    // NaN/Inf sample would corrupt every co-batched output: reject
+    // poisoned inputs with a typed answer before stacking (the scan is
+    // one pass over the input — noise next to the model pass).
+    if policy.validate_inputs {
+        let checked = std::mem::take(&mut live);
+        for req in checked {
+            if req.input.data().iter().all(|v| v.is_finite()) {
+                live.push(req);
+            } else {
+                metrics.on_poisoned();
+                let _ = req.reply.send(Err(ServeError::PoisonedInput));
+            }
         }
     }
     // Every request can expire before dispatch (a stalled queue, a tight
@@ -222,7 +298,9 @@ fn run_batch_traced(
                 metas.len() as u32,
                 [size as u64, pad as u64, 1, 0],
             );
-            let result = runtime.infer_batch_varlen_traced(&inputs, Some(pad));
+            let result = guarded_pass(metrics, || {
+                runtime.infer_batch_varlen_traced(&inputs, Some(pad))
+            });
             drop(dispatch_span);
             match result {
                 ok @ Ok(_) => answer(metrics, size, dispatched, metas, ok),
@@ -234,7 +312,9 @@ fn run_batch_traced(
                 // dispatch never pays this.
                 Err(_) if metas.len() > 1 => {
                     for (input, meta) in inputs.into_iter().zip(metas) {
-                        let single = runtime.infer_batch_varlen_traced(&[input], None);
+                        let single = guarded_pass(metrics, || {
+                            runtime.infer_batch_varlen_traced(std::slice::from_ref(&input), None)
+                        });
                         answer(metrics, size, dispatched, vec![meta], single);
                     }
                 }
@@ -260,59 +340,87 @@ fn run_batch_traced(
             metas.len() as u32,
             [size as u64, 0, 0, 0],
         );
-        let result = runtime.infer_batch_traced(&inputs);
+        let result = guarded_pass(metrics, || runtime.infer_batch_traced(&inputs));
         drop(dispatch_span);
         answer(metrics, size, dispatched, metas, result);
     }
 }
 
-/// Spawns `workers` threads draining `queue` until it is closed and
-/// empty. With `pin` on, worker `i` goes to core
-/// `(pool.threads() + i) % machine_threads()` — after the shared pool's
-/// helpers, so batching workers and intra-batch threads land on
-/// disjoint cores when the machine has enough. Every worker first-touch
-/// warms its kernel scratch at startup (the caller thread of a pool
-/// dispatch runs kernels too).
-#[allow(clippy::too_many_arguments)]
-pub fn spawn_workers(
-    workers: usize,
-    queue: Arc<AdmissionQueue>,
-    runtime: Arc<FlexiRuntime>,
-    metrics: Arc<MetricsHub>,
-    max_batch: usize,
-    batch_timeout: Duration,
-    pool: Arc<ThreadPool>,
-    policy: DispatchPolicy,
-    pin: bool,
-) -> Vec<JoinHandle<()>> {
-    (0..workers)
-        .map(|i| {
-            let queue = Arc::clone(&queue);
-            let runtime = Arc::clone(&runtime);
-            let metrics = Arc::clone(&metrics);
-            let pool = Arc::clone(&pool);
-            std::thread::Builder::new()
-                .name(format!("flexiq-worker-{i}"))
-                .spawn(move || {
-                    if pin {
-                        let core = pool.threads() + i;
-                        flexiq_parallel::pin_to_core(core % flexiq_parallel::machine_threads());
-                    }
-                    flexiq_tensor::scratch::warm_defaults();
-                    while let Some((batch, depth_left)) = queue.pop_batch(max_batch, batch_timeout)
-                    {
-                        metrics.set_queue_depth(depth_left);
-                        // One shared pool across all workers: the
-                        // stacked pass underneath parallelizes inside
-                        // it (unless the runtime pinned its own pool).
-                        flexiq_parallel::with_pool(&pool, || {
-                            run_batch(&runtime, &metrics, batch, policy)
-                        });
-                    }
-                })
-                .expect("spawn worker thread")
-        })
-        .collect()
+/// Everything needed to (re)spawn one worker thread. The server's
+/// supervisor keeps a copy so a dead worker (escaped panic, injected
+/// [`FaultSite::WorkerDeath`]) can be replaced by an identical one.
+#[derive(Clone)]
+pub struct WorkerContext {
+    /// The shared admission queue workers drain.
+    pub queue: Arc<AdmissionQueue>,
+    /// The shared runtime (one set of 8-bit master weights).
+    pub runtime: Arc<FlexiRuntime>,
+    /// The server's metrics hub.
+    pub metrics: Arc<MetricsHub>,
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// Dynamic-batching window.
+    pub batch_timeout: Duration,
+    /// The one shared intra-batch thread pool.
+    pub pool: Arc<ThreadPool>,
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+    /// Pin workers to cores after the pool's helpers.
+    pub pin: bool,
+}
+
+impl WorkerContext {
+    /// Spawns worker `i`: drains the queue until it is closed and empty.
+    /// With `pin` on, worker `i` goes to core
+    /// `(pool.threads() + i) % machine_threads()` — after the shared
+    /// pool's helpers, so batching workers and intra-batch threads land
+    /// on disjoint cores when the machine has enough. Every worker
+    /// first-touch warms its kernel scratch at startup (the caller
+    /// thread of a pool dispatch runs kernels too).
+    pub fn spawn(&self, i: usize) -> JoinHandle<()> {
+        let queue = Arc::clone(&self.queue);
+        let runtime = Arc::clone(&self.runtime);
+        let metrics = Arc::clone(&self.metrics);
+        let pool = Arc::clone(&self.pool);
+        let (max_batch, batch_timeout) = (self.max_batch, self.batch_timeout);
+        let (policy, pin) = (self.policy, self.pin);
+        std::thread::Builder::new()
+            .name(format!("flexiq-worker-{i}"))
+            .spawn(move || {
+                if pin {
+                    let core = pool.threads() + i;
+                    flexiq_parallel::pin_to_core(core % flexiq_parallel::machine_threads());
+                }
+                flexiq_tensor::scratch::warm_defaults();
+                loop {
+                    // Injected consumer stall: the queue backs up, which
+                    // is what drives the brownout ladder in chaos runs.
+                    fault::fire(FaultSite::QueueStall);
+                    let Some((batch, depth_left)) = queue.pop_batch(max_batch, batch_timeout)
+                    else {
+                        break;
+                    };
+                    // Injected worker death: fires *outside* the pass
+                    // catch on purpose — the unwind drops the batch
+                    // (tickets resolve as ReplyDropped) and kills this
+                    // thread, exercising the supervisor's respawn path.
+                    fault::fire(FaultSite::WorkerDeath);
+                    metrics.set_queue_depth(depth_left);
+                    // One shared pool across all workers: the
+                    // stacked pass underneath parallelizes inside
+                    // it (unless the runtime pinned its own pool).
+                    flexiq_parallel::with_pool(&pool, || {
+                        run_batch(&runtime, &metrics, batch, policy)
+                    });
+                }
+            })
+            .expect("spawn worker thread")
+    }
+}
+
+/// Spawns `workers` threads via [`WorkerContext::spawn`].
+pub fn spawn_workers(ctx: &WorkerContext, workers: usize) -> Vec<JoinHandle<()>> {
+    (0..workers).map(|i| ctx.spawn(i)).collect()
 }
 
 #[cfg(test)]
@@ -451,6 +559,106 @@ pub(crate) mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "request {i} diverged");
             }
         }
+    }
+
+    #[test]
+    fn pass_panic_is_isolated_into_a_typed_answer() {
+        // A panicking model pass must not unwind past guarded_pass: the
+        // batch answers with the typed WorkerPanic error, the panic is
+        // counted, and the calling thread survives to run a real pass.
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let r = guarded_pass(&metrics, || panic!("kernel exploded"));
+        match r {
+            Err(ServeError::WorkerPanic { message }) => {
+                assert!(message.contains("kernel exploded"), "got: {message}")
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        let s = metrics.snapshot();
+        assert_eq!(s.worker_panics, 1);
+        // The boundary is transparent for healthy and failing passes.
+        assert!(guarded_pass(&metrics, || Ok((Vec::new(), 0))).is_ok());
+        assert!(matches!(
+            guarded_pass(&metrics, || Err(flexiq_nn::NnError::Invalid("x".into()))),
+            Err(ServeError::Nn(_))
+        ));
+        // An answered Err is terminal: every meta is counted exec_failed
+        // and the in-flight gauge returns to zero.
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        metrics.on_batch(1);
+        answer(
+            &metrics,
+            1,
+            now,
+            vec![(0, now, tx)],
+            Err(ServeError::WorkerPanic {
+                message: "boom".into(),
+            }),
+        );
+        assert!(matches!(
+            Ticket { id: 0, rx }.wait(),
+            Err(ServeError::WorkerPanic { .. })
+        ));
+        let s = metrics.snapshot();
+        assert_eq!(s.exec_failed, 1);
+        assert_eq!(s.inflight, 0, "a panic-answered batch must deflate");
+    }
+
+    #[test]
+    fn poisoned_input_is_rejected_and_siblings_stay_bit_exact() {
+        // One NaN input in a stacked batch would corrupt the shared
+        // activation statistics of every co-batched request: the
+        // validator must answer it with PoisonedInput and run the
+        // siblings bit-identical to a clean solo pass.
+        let (rt, inputs) = tiny_runtime();
+        rt.set_level(0).unwrap();
+        let metrics = MetricsHub::new(Duration::from_secs(1));
+        let now = Instant::now();
+        let mut poisoned = inputs[1].clone();
+        poisoned.data_mut()[3] = f32::NAN;
+        let mk = |id: u64, input: flexiq_tensor::Tensor| {
+            let (tx, rx) = mpsc::channel();
+            (
+                QueuedRequest {
+                    id,
+                    input,
+                    enqueued_at: now,
+                    deadline: None,
+                    trace: 0,
+                    reply: tx,
+                },
+                Ticket { id, rx },
+            )
+        };
+        let (r0, t0) = mk(0, inputs[0].clone());
+        let (r1, t1) = mk(1, poisoned);
+        let (r2, t2) = mk(2, inputs[2].clone());
+        run_batch(&rt, &metrics, vec![r0, r1, r2], policy());
+        assert_eq!(t1.wait().unwrap_err(), ServeError::PoisonedInput);
+        for (t, x) in [(t0, &inputs[0]), (t2, &inputs[2])] {
+            let resp = t.wait().unwrap();
+            let expect = rt.infer(x).unwrap();
+            for (a, b) in resp.output.data().iter().zip(expect.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sibling diverged");
+            }
+        }
+        let s = metrics.snapshot();
+        assert_eq!((s.poisoned, s.completed), (1, 2));
+        assert_eq!(s.inflight, 0, "poisoned answer must deflate in-flight");
+        // With validation off the same batch flows to the model
+        // unchecked (the operator's explicit choice).
+        let off = DispatchPolicy {
+            validate_inputs: false,
+            ..policy()
+        };
+        let mut bad = inputs[1].clone();
+        bad.data_mut()[0] = f32::INFINITY;
+        let (r, t) = mk(3, bad);
+        run_batch(&rt, &metrics, vec![r], off);
+        // The pass itself may produce non-finite output; the point is
+        // the request reaches the model instead of being screened.
+        assert!(!matches!(t.wait(), Err(ServeError::PoisonedInput)));
     }
 
     #[test]
@@ -600,6 +808,7 @@ pub(crate) mod tests {
         let off = DispatchPolicy {
             lm_bucketing: false,
             max_padding_waste: 0.5,
+            validate_inputs: true,
         };
         run_batch(&rt, &metrics, batch, off);
         for (t, x) in tickets.into_iter().zip(inputs.iter()) {

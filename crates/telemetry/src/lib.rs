@@ -484,6 +484,13 @@ pub enum Counter {
     /// Bytes written into decode sessions' K/V caches (monotonic, like
     /// every counter here: growth since process start, not residency).
     KvCacheBytes,
+    /// Faults fired by the serve tier's seeded fault-injection
+    /// framework (`flexiq-serve::fault`). Zero unless chaos testing.
+    FaultsInjected,
+    /// Serve worker threads respawned by the supervisor after a death.
+    WorkerRespawns,
+    /// Decode scheduler restarts after a caught panic.
+    SchedulerRespawns,
     /// Spans lost to ring exhaustion.
     SpansDropped,
 }
@@ -519,6 +526,9 @@ pub struct CountersSnapshot {
     pub decode_steps: u64,
     pub decode_tokens: u64,
     pub kv_cache_bytes: u64,
+    pub faults_injected: u64,
+    pub worker_respawns: u64,
+    pub scheduler_respawns: u64,
     pub spans_dropped: u64,
 }
 
@@ -544,6 +554,9 @@ pub fn counters() -> CountersSnapshot {
         decode_steps: get(Counter::DecodeSteps),
         decode_tokens: get(Counter::DecodeTokens),
         kv_cache_bytes: get(Counter::KvCacheBytes),
+        faults_injected: get(Counter::FaultsInjected),
+        worker_respawns: get(Counter::WorkerRespawns),
+        scheduler_respawns: get(Counter::SchedulerRespawns),
         spans_dropped: get(Counter::SpansDropped),
     }
 }

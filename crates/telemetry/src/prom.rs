@@ -141,6 +141,27 @@ pub fn render(c: &CountersSnapshot) -> String {
     );
     sample(
         &mut out,
+        "flexiq_faults_injected_total",
+        "Faults fired by the seeded fault-injection framework.",
+        "counter",
+        c.faults_injected,
+    );
+    sample(
+        &mut out,
+        "flexiq_worker_respawns_total",
+        "Serve worker threads respawned by the supervisor.",
+        "counter",
+        c.worker_respawns,
+    );
+    sample(
+        &mut out,
+        "flexiq_scheduler_respawns_total",
+        "Decode scheduler restarts after a caught panic.",
+        "counter",
+        c.scheduler_respawns,
+    );
+    sample(
+        &mut out,
         "flexiq_telemetry_spans_dropped_total",
         "Telemetry spans lost to ring-buffer exhaustion.",
         "counter",
@@ -164,6 +185,9 @@ mod tests {
             decode_steps: 9,
             decode_tokens: 42,
             kv_cache_bytes: 1536,
+            faults_injected: 2,
+            worker_respawns: 1,
+            scheduler_respawns: 1,
             ..Default::default()
         };
         let text = render(&c);
@@ -179,6 +203,9 @@ mod tests {
         assert!(text.contains("\nflexiq_decode_steps_total 9\n"));
         assert!(text.contains("\nflexiq_decode_tokens_total 42\n"));
         assert!(text.contains("\nflexiq_kv_cache_bytes_total 1536\n"));
+        assert!(text.contains("\nflexiq_faults_injected_total 2\n"));
+        assert!(text.contains("\nflexiq_worker_respawns_total 1\n"));
+        assert!(text.contains("\nflexiq_scheduler_respawns_total 1\n"));
         // Every sample line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.split_whitespace();

@@ -1,0 +1,302 @@
+//! Chaos property tests for the fault-tolerant serving tier (ISSUE 10).
+//!
+//! Under arbitrary seeded fault schedules — worker-pass panics, worker
+//! deaths, artificial slow passes, poisoned (NaN) inputs, queue stalls,
+//! scheduler death mid-stream — the serving invariants must hold:
+//!
+//! 1. **No ticket left unanswered.** Every submitted ticket resolves
+//!    with a response or a typed `ServeError` within a generous bound;
+//!    a timed-out wait is a hung ticket and fails the test.
+//! 2. **Survivors are exact.** Any `Ok` response is bit-equal to the
+//!    fault-free oracle (`FlexiRuntime::infer` for the batch server,
+//!    the solo greedy decode loop for the decode server): faults may
+//!    kill work, never corrupt it.
+//! 3. **Recovery.** Once the schedule is disarmed the server returns to
+//!    `Ready` with a whole worker fleet, and clean probes serve
+//!    normally.
+//!
+//! The fault plan is process-global, so every test serializes on one
+//! mutex and disarms before releasing it. `FLEXIQ_CHAOS_SEED` varies
+//! the schedule seed (the CI matrix sets it); any seed must pass.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use flexiq::core::pipeline::{prepare, FlexiQConfig};
+use flexiq::core::selection::Strategy;
+use flexiq::core::FlexiRuntime;
+use flexiq::nn::data::{gen_image_inputs, gen_token_stream, lm_sequences};
+use flexiq::nn::zoo::{ModelId, Scale, TinyLmCfg};
+use flexiq::serve::fault::{self, FaultConfig};
+use flexiq::serve::{DecodeConfig, DecodeServer, ServeConfig, ServeError, ServeState, Server};
+use flexiq::tensor::Tensor;
+
+/// One test at a time: the fault plan is process-global state.
+fn chaos_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// The CI matrix's knob; any seed must satisfy the invariants.
+fn chaos_seed() -> u64 {
+    std::env::var("FLEXIQ_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn image_fixture() -> (Arc<FlexiRuntime>, Vec<Tensor>) {
+    let id = ModelId::RNet20;
+    let graph = id.build(Scale::Test).unwrap();
+    let calib = gen_image_inputs(4, &id.input_dims(Scale::Test), 7101);
+    let prepared = prepare(&graph, &calib, &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    (Arc::new(prepared.runtime), calib)
+}
+
+fn lm_fixture() -> (Arc<FlexiRuntime>, Vec<Tensor>) {
+    let cfg = TinyLmCfg::at(Scale::Test);
+    let graph = ModelId::TinyLm.build(Scale::Test).unwrap();
+    let seqs = lm_sequences(
+        &gen_token_stream(cfg.vocab, 8 * cfg.context, 7103),
+        cfg.context,
+    );
+    let prepared = prepare(&graph, &seqs[..4], &FlexiQConfig::new(4, Strategy::Greedy)).unwrap();
+    (Arc::new(prepared.runtime), seqs)
+}
+
+/// Offline greedy oracle for one prompt (mirrors the decode tests).
+fn offline_greedy(rt: &FlexiRuntime, prompt: &Tensor, max_new: usize) -> Vec<u32> {
+    fn argmax(row: &Tensor) -> usize {
+        let d = row.data();
+        (0..d.len()).fold(0, |b, i| if d[i] > d[b] { i } else { b })
+    }
+    let (mut session, first, _) = rt.decode_start(prompt).unwrap();
+    let mut tokens = vec![argmax(&first) as u32];
+    let mut last = tokens[0] as f32;
+    let room = session.context() - session.pos();
+    for _ in 0..room.min(max_new - 1) {
+        let (row, _) = rt.decode_step(&mut session, last).unwrap();
+        let tok = argmax(&row);
+        tokens.push(tok as u32);
+        last = tok as f32;
+    }
+    tokens
+}
+
+fn assert_bit_equal(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.dims(), want.dims(), "{what}: shape diverged");
+    for (a, b) in got.data().iter().zip(want.data().iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: output diverged");
+    }
+}
+
+#[test]
+fn server_survives_arbitrary_fault_schedules() {
+    let _g = chaos_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let (rt, inputs) = image_fixture();
+    rt.set_level(0).unwrap();
+    let oracle: Vec<Tensor> = inputs.iter().map(|x| rt.infer(x).unwrap()).collect();
+    let mut ok_total = 0u64;
+    for round in 0..3u64 {
+        let seed = chaos_seed().wrapping_mul(1 + round).wrapping_add(round);
+        let cfg = ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            batch_timeout: Duration::from_millis(1),
+            queue_capacity: 64,
+            supervise_tick: Duration::from_millis(1),
+            fault: Some(FaultConfig {
+                seed,
+                worker_panic: 0.15,
+                worker_death: 0.10,
+                slow_pass: 0.10,
+                poison_input: 0.10,
+                queue_stall: 0.05,
+                scheduler_panic: 0.0,
+                slow: Duration::from_millis(1),
+                stall: Duration::from_millis(2),
+            }),
+            ..Default::default()
+        };
+        let server = Server::start_fixed(Arc::clone(&rt), cfg).unwrap();
+        // Submit with the shared bounded backoff on typed admission
+        // rejections — exactly what a well-behaved client does.
+        let policy = flexiq::serve::BackoffPolicy::default();
+        let mut tickets = Vec::new();
+        for i in 0..60usize {
+            let input = inputs[i % inputs.len()].clone();
+            let (r, _stats) = flexiq::serve::retry_with(
+                &policy,
+                seed ^ i as u64,
+                || server.submit_with_deadline(input.clone(), None),
+                flexiq::serve::admission_retryable,
+            );
+            match r {
+                Ok(t) => tickets.push((i % inputs.len(), t)),
+                Err(e) => panic!("admission failed beyond retry budget: {e}"),
+            }
+        }
+        // Invariant 1 + 2: everything resolves; Ok answers are exact.
+        for (src, t) in tickets {
+            match t.wait_timeout(Duration::from_secs(60)) {
+                Ok(Some(resp)) => {
+                    assert_bit_equal(&resp.output, &oracle[src], "chaos survivor");
+                    ok_total += 1;
+                }
+                Ok(None) => panic!("hung ticket: no answer within 60s (seed {seed})"),
+                Err(
+                    ServeError::WorkerPanic { .. }
+                    | ServeError::PoisonedInput
+                    | ServeError::ReplyDropped
+                    | ServeError::Nn(_),
+                ) => {} // typed fault answers: the invariant held
+                Err(e) => panic!("unexpected terminal error: {e} (seed {seed})"),
+            }
+        }
+        // Invariant 3: disarm, then the server heals to Ready with a
+        // whole fleet and clean probes serve bit-exact.
+        fault::disarm();
+        let t0 = Instant::now();
+        loop {
+            let h = server.health();
+            if h.state == ServeState::Ready && h.workers_alive == h.workers && h.inflight == 0 {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(30),
+                "no recovery to Ready within 30s: {h:?} (seed {seed})"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for (i, x) in inputs.iter().enumerate() {
+            let resp = server
+                .submit_with_deadline(x.clone(), None)
+                .unwrap()
+                .wait_timeout(Duration::from_secs(30))
+                .unwrap()
+                .expect("post-recovery probe hung");
+            assert_bit_equal(&resp.output, &oracle[i], "post-recovery probe");
+        }
+        let snap = server.shutdown();
+        assert_eq!(
+            snap.inflight, 0,
+            "in-flight gauge must deflate to zero (seed {seed})"
+        );
+    }
+    assert!(ok_total > 0, "some requests must survive the schedules");
+    assert!(
+        fault::injected_total() > 0,
+        "the schedules must actually have fired"
+    );
+}
+
+#[test]
+fn decode_scheduler_death_answers_everything_and_recovers() {
+    let _g = chaos_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let (rt, seqs) = lm_fixture();
+    rt.set_level(0).unwrap();
+    let lens = [2usize, 5, 3, 7, 4, 2, 6, 3];
+    let prompts: Vec<Tensor> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| seqs[i % seqs.len()].slice_axis0(l).unwrap())
+        .collect();
+    let oracle: Vec<Vec<u32>> = prompts.iter().map(|p| offline_greedy(&rt, p, 4)).collect();
+    let seed = chaos_seed();
+    fault::arm(FaultConfig {
+        seed,
+        scheduler_panic: 0.3,
+        ..FaultConfig::off()
+    });
+    let server = DecodeServer::start(
+        Arc::clone(&rt),
+        DecodeConfig {
+            max_active: 3,
+            max_new_tokens: 4,
+            ..DecodeConfig::default()
+        },
+    )
+    .unwrap();
+    let tickets: Vec<_> = prompts
+        .iter()
+        .map(|p| server.submit(p.clone()).unwrap())
+        .collect();
+    let mut ok = 0u64;
+    let mut restarted = 0u64;
+    for (i, t) in tickets.into_iter().enumerate() {
+        match t.wait_timeout(Duration::from_secs(60)) {
+            Ok(resp) => {
+                assert_eq!(resp.tokens, oracle[i], "surviving stream {i} diverged");
+                ok += 1;
+            }
+            Err(ServeError::SchedulerRestarted) => restarted += 1,
+            // A hung ticket surfaces as the wait's own timeout.
+            Err(ServeError::DeadlineExpired) => panic!("hung decode ticket {i} (seed {seed})"),
+            Err(e) => panic!("unexpected terminal error: {e} (seed {seed})"),
+        }
+    }
+    assert_eq!(
+        ok + restarted,
+        lens.len() as u64,
+        "every ticket must resolve"
+    );
+    assert!(
+        server.respawns() >= 1,
+        "a 30% panic schedule must have killed the scheduler at least once"
+    );
+    // Recovery: disarmed, a fresh submission decodes exactly.
+    fault::disarm();
+    let probe = server
+        .submit(prompts[0].clone())
+        .unwrap()
+        .wait_timeout(Duration::from_secs(60))
+        .expect("post-disarm decode failed");
+    assert_eq!(probe.tokens, oracle[0], "post-disarm stream diverged");
+    server.shutdown();
+}
+
+#[test]
+fn crash_looping_scheduler_gives_up_without_hanging_tickets() {
+    let _g = chaos_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let (rt, seqs) = lm_fixture();
+    rt.set_level(0).unwrap();
+    // Rate 1.0: the scheduler panics on every iteration and can never
+    // make progress. The supervisor must conclude it is crash-looping,
+    // close the queue, and error-answer everything — no ticket hangs.
+    fault::arm(FaultConfig {
+        seed: chaos_seed(),
+        scheduler_panic: 1.0,
+        ..FaultConfig::off()
+    });
+    let server = DecodeServer::start(
+        Arc::clone(&rt),
+        DecodeConfig {
+            max_active: 2,
+            max_new_tokens: 2,
+            ..DecodeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut tickets = Vec::new();
+    for i in 0..6usize {
+        // Admission may race the give-up close; both outcomes are typed.
+        match server.submit(seqs[i % seqs.len()].slice_axis0(2).unwrap()) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::ShuttingDown) => {}
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    for (i, t) in tickets.into_iter().enumerate() {
+        match t.wait_timeout(Duration::from_secs(60)) {
+            Err(ServeError::SchedulerRestarted) => {}
+            Err(ServeError::DeadlineExpired) => panic!("hung ticket {i} under rate-1.0 panics"),
+            other => panic!("rate-1.0 panics cannot decode, got {other:?} for ticket {i}"),
+        }
+    }
+    assert!(
+        server.respawns() >= 1,
+        "the give-up path is reached through respawns"
+    );
+    fault::disarm();
+    server.shutdown();
+}
